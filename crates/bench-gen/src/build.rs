@@ -1,0 +1,266 @@
+//! Terse AST-construction helpers used by the circuit family generators.
+//!
+//! These are thin wrappers around `noodle-verilog` AST constructors so the
+//! generators read close to the Verilog they produce.
+
+use noodle_verilog::{
+    BinaryOp, Connection, Edge, EventControl, EventExpr, Expr, Item, LValue, Literal, NetType,
+    Port, PortDirection, Range, Stmt, UnaryOp,
+};
+
+/// An identifier expression.
+pub fn id(name: &str) -> Expr {
+    Expr::ident(name)
+}
+
+/// An unsized decimal literal.
+pub fn num(value: u128) -> Expr {
+    Expr::Literal(Literal::dec(value))
+}
+
+/// A sized hex literal `width'h value`.
+pub fn hex(width: u32, value: u128) -> Expr {
+    Expr::Literal(Literal::hex(width, value))
+}
+
+/// A sized binary literal `width'b value`.
+pub fn bin(width: u32, value: u128) -> Expr {
+    Expr::Literal(Literal::bin(width, value))
+}
+
+/// A sized decimal literal `width'd value`.
+pub fn dec(width: u32, value: u128) -> Expr {
+    Expr::Literal(Literal {
+        width: Some(width),
+        value,
+        base: noodle_verilog::token::NumberBase::Decimal,
+    })
+}
+
+/// Binary operation helper.
+pub fn bin_op(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::binary(op, lhs, rhs)
+}
+
+/// `lhs == rhs`.
+pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::Eq, lhs, rhs)
+}
+
+/// `lhs + rhs`.
+pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::Add, lhs, rhs)
+}
+
+/// `lhs - rhs`.
+pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::Sub, lhs, rhs)
+}
+
+/// `lhs & rhs`.
+pub fn band(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::BitAnd, lhs, rhs)
+}
+
+/// `lhs | rhs`.
+pub fn bor(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::BitOr, lhs, rhs)
+}
+
+/// `lhs ^ rhs`.
+pub fn bxor(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::BitXor, lhs, rhs)
+}
+
+/// `lhs && rhs`.
+pub fn land(lhs: Expr, rhs: Expr) -> Expr {
+    bin_op(BinaryOp::LogicAnd, lhs, rhs)
+}
+
+/// `~expr`.
+pub fn bnot(expr: Expr) -> Expr {
+    Expr::unary(UnaryOp::BitNot, expr)
+}
+
+/// `!expr`.
+pub fn lnot(expr: Expr) -> Expr {
+    Expr::unary(UnaryOp::Not, expr)
+}
+
+/// `cond ? a : b`.
+pub fn mux(cond: Expr, a: Expr, b: Expr) -> Expr {
+    Expr::ternary(cond, a, b)
+}
+
+/// A bit select `name[index]`.
+pub fn bit(name: &str, index: u128) -> Expr {
+    Expr::Bit { name: name.to_string(), index: Box::new(num(index)) }
+}
+
+/// A part select `name[msb:lsb]`.
+pub fn part(name: &str, msb: i64, lsb: i64) -> Expr {
+    Expr::Part { name: name.to_string(), msb, lsb }
+}
+
+/// An input port, vectored when `width > 1`.
+pub fn input(name: &str, width: u64) -> Port {
+    port(PortDirection::Input, name, width, false)
+}
+
+/// An output port, vectored when `width > 1`.
+pub fn output(name: &str, width: u64) -> Port {
+    port(PortDirection::Output, name, width, false)
+}
+
+/// An `output reg` port.
+pub fn output_reg(name: &str, width: u64) -> Port {
+    port(PortDirection::Output, name, width, true)
+}
+
+fn port(direction: PortDirection, name: &str, width: u64, is_reg: bool) -> Port {
+    Port {
+        direction,
+        name: name.to_string(),
+        range: if width > 1 { Some(Range::new(width as i64 - 1, 0)) } else { None },
+        is_reg,
+    }
+}
+
+/// A `wire` declaration.
+pub fn wire(name: &str, width: u64) -> Item {
+    decl(NetType::Wire, name, width)
+}
+
+/// A `reg` declaration.
+pub fn reg(name: &str, width: u64) -> Item {
+    decl(NetType::Reg, name, width)
+}
+
+fn decl(net: NetType, name: &str, width: u64) -> Item {
+    Item::Decl {
+        net,
+        range: if width > 1 { Some(Range::new(width as i64 - 1, 0)) } else { None },
+        names: vec![name.to_string()],
+    }
+}
+
+/// `assign name = rhs;`.
+pub fn assign(name: &str, rhs: Expr) -> Item {
+    Item::Assign { lhs: LValue::Ident(name.to_string()), rhs }
+}
+
+/// `always @(posedge clk) body`.
+pub fn always_ff(clk: &str, body: Stmt) -> Item {
+    Item::Always {
+        event: EventControl::Events(vec![EventExpr { edge: Some(Edge::Pos), signal: clk.into() }]),
+        body,
+    }
+}
+
+/// `always @(posedge clk or posedge rst) body`.
+pub fn always_ff_arst(clk: &str, rst: &str, body: Stmt) -> Item {
+    Item::Always {
+        event: EventControl::Events(vec![
+            EventExpr { edge: Some(Edge::Pos), signal: clk.into() },
+            EventExpr { edge: Some(Edge::Pos), signal: rst.into() },
+        ]),
+        body,
+    }
+}
+
+/// `always @* body`.
+pub fn always_comb(body: Stmt) -> Item {
+    Item::Always { event: EventControl::Star, body }
+}
+
+/// `begin ... end`.
+pub fn block(stmts: Vec<Stmt>) -> Stmt {
+    Stmt::Block { label: None, stmts }
+}
+
+/// Nonblocking assignment `name <= rhs;`.
+pub fn nb(name: &str, rhs: Expr) -> Stmt {
+    Stmt::Nonblocking { lhs: LValue::Ident(name.to_string()), rhs }
+}
+
+/// Blocking assignment `name = rhs;`.
+pub fn blk(name: &str, rhs: Expr) -> Stmt {
+    Stmt::Blocking { lhs: LValue::Ident(name.to_string()), rhs }
+}
+
+/// `if (cond) then` without else.
+pub fn if_then(cond: Expr, then_branch: Stmt) -> Stmt {
+    Stmt::If { cond, then_branch: Box::new(then_branch), else_branch: None }
+}
+
+/// `if (cond) then else els`.
+pub fn if_else(cond: Expr, then_branch: Stmt, els: Stmt) -> Stmt {
+    Stmt::If {
+        cond,
+        then_branch: Box::new(then_branch),
+        else_branch: Some(Box::new(els)),
+    }
+}
+
+/// A `case` statement from `(label, body)` pairs plus a default.
+pub fn case_stmt(subject: Expr, arms: Vec<(Expr, Stmt)>, default: Stmt) -> Stmt {
+    Stmt::Case {
+        kind: noodle_verilog::CaseKind::Case,
+        subject,
+        arms: arms
+            .into_iter()
+            .map(|(label, body)| noodle_verilog::CaseArm { labels: vec![label], body })
+            .collect(),
+        default: Some(Box::new(default)),
+    }
+}
+
+/// A named instance with named connections.
+pub fn instance(module: &str, name: &str, conns: Vec<(&str, Expr)>) -> Item {
+    Item::Instance {
+        module: module.to_string(),
+        name: name.to_string(),
+        connections: conns
+            .into_iter()
+            .map(|(p, e)| Connection { port: Some(p.to_string()), expr: Some(e) })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_verilog::{parse, print_module, Module};
+
+    #[test]
+    fn built_module_parses() {
+        let module = Module {
+            name: "t".into(),
+            ports: vec![input("clk", 1), input("d", 8), output_reg("q", 8)],
+            items: vec![
+                wire("next", 8),
+                assign("next", add(id("d"), dec(8, 1))),
+                always_ff("clk", nb("q", id("next"))),
+            ],
+        };
+        let text = print_module(&module);
+        let file = parse(&text).unwrap();
+        assert_eq!(file.modules[0].name, "t");
+        assert_eq!(file.modules[0].items.len(), 3);
+    }
+
+    #[test]
+    fn case_builder_parses() {
+        let module = Module {
+            name: "c".into(),
+            ports: vec![input("s", 2), output_reg("y", 1)],
+            items: vec![always_comb(case_stmt(
+                id("s"),
+                vec![(dec(2, 0), blk("y", bin(1, 0))), (dec(2, 1), blk("y", bin(1, 1)))],
+                blk("y", bin(1, 0)),
+            ))],
+        };
+        let text = print_module(&module);
+        assert!(parse(&text).is_ok(), "unparseable:\n{text}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Metadata describing a generated circuit and where a Trojan could attach.
+
+use noodle_verilog::Module;
+use serde::{Deserialize, Serialize};
+
+/// A named signal with its bit width.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalRef {
+    /// Signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: u64,
+}
+
+impl SignalRef {
+    /// Creates a signal reference.
+    pub fn new(name: impl Into<String>, width: u64) -> Self {
+        Self { name: name.into(), width }
+    }
+}
+
+/// A point where a Trojan payload can hijack an output: the circuit drives
+/// `output` with the plain continuous assignment `assign output = internal;`
+/// which an inserted Trojan rewrites into a triggered multiplexer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadHook {
+    /// The hijackable output port.
+    pub output: String,
+    /// The benign internal driver signal.
+    pub internal: String,
+    /// Width of the output in bits.
+    pub width: u64,
+}
+
+/// A generated benign circuit plus the metadata Trojan insertion needs.
+#[derive(Debug, Clone)]
+pub struct GeneratedCircuit {
+    /// The circuit itself.
+    pub module: Module,
+    /// Clock signal name, if the circuit is sequential.
+    pub clock: Option<String>,
+    /// Output hooks a Trojan payload may hijack (never empty).
+    pub hooks: Vec<PayloadHook>,
+    /// Multi-bit input buses usable as Trojan trigger sources.
+    pub data_inputs: Vec<SignalRef>,
+    /// Internal state a leakage Trojan may exfiltrate.
+    pub secrets: Vec<SignalRef>,
+}
+
+/// The circuit families produced by the generator, loosely mirroring the
+/// kinds of IP cores in the TrustHub RTL benchmark set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CircuitFamily {
+    UartTx,
+    Alu,
+    Timer,
+    FifoCtrl,
+    SpiShift,
+    MooreFsm,
+    CryptoRound,
+    Pwm,
+    Lfsr,
+    GrayCounter,
+    Arbiter,
+    Debouncer,
+    CrcGen,
+    RoundRobin,
+}
+
+impl CircuitFamily {
+    /// All families, in a stable order.
+    pub const ALL: [CircuitFamily; 14] = [
+        CircuitFamily::UartTx,
+        CircuitFamily::Alu,
+        CircuitFamily::Timer,
+        CircuitFamily::FifoCtrl,
+        CircuitFamily::SpiShift,
+        CircuitFamily::MooreFsm,
+        CircuitFamily::CryptoRound,
+        CircuitFamily::Pwm,
+        CircuitFamily::Lfsr,
+        CircuitFamily::GrayCounter,
+        CircuitFamily::Arbiter,
+        CircuitFamily::Debouncer,
+        CircuitFamily::CrcGen,
+        CircuitFamily::RoundRobin,
+    ];
+
+    /// A short lowercase name used in generated module names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CircuitFamily::UartTx => "uart_tx",
+            CircuitFamily::Alu => "alu",
+            CircuitFamily::Timer => "timer",
+            CircuitFamily::FifoCtrl => "fifo_ctrl",
+            CircuitFamily::SpiShift => "spi_shift",
+            CircuitFamily::MooreFsm => "moore_fsm",
+            CircuitFamily::CryptoRound => "crypto_round",
+            CircuitFamily::Pwm => "pwm",
+            CircuitFamily::Lfsr => "lfsr",
+            CircuitFamily::GrayCounter => "gray_counter",
+            CircuitFamily::Arbiter => "arbiter",
+            CircuitFamily::Debouncer => "debouncer",
+            CircuitFamily::CrcGen => "crc_gen",
+            CircuitFamily::RoundRobin => "round_robin",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_tags_are_unique() {
+        let mut tags: Vec<&str> = CircuitFamily::ALL.iter().map(|f| f.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), CircuitFamily::ALL.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! Composition of several generated cores into one larger IP module.
+//!
+//! TrustHub RTL benchmarks are whole IPs (UART stacks, crypto cores, …)
+//! hundreds to thousands of lines long in which a Trojan is a sub-percent
+//! fraction of the logic. Single 50-line cores make the Trojan footprint
+//! unrealistically large, so the corpus generator flattens several cores
+//! into one module: every signal of core *i* is prefixed `u<i>_`, clock
+//! and reset are shared, and the composite inherits every core's payload
+//! hooks, data inputs and secrets.
+
+use noodle_verilog::transform::rename_item;
+use noodle_verilog::{Item, Module, Port};
+
+use crate::circuit::{GeneratedCircuit, PayloadHook, SignalRef};
+
+/// Signals shared (not prefixed) across composed cores.
+const SHARED: [&str; 2] = ["clk", "rst"];
+
+/// Flattens `cores` into a single module named `name`.
+///
+/// Core *i*'s signals are renamed with the prefix `u<i>_` (clock/reset are
+/// shared). The composite exposes the union of all ports and inherits all
+/// hooks, data inputs and secrets, so Trojan insertion and decoration work
+/// on it unchanged.
+///
+/// # Panics
+///
+/// Panics if `cores` is empty.
+pub fn compose(name: &str, cores: Vec<GeneratedCircuit>) -> GeneratedCircuit {
+    assert!(!cores.is_empty(), "cannot compose zero cores");
+    let mut ports: Vec<Port> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    let mut hooks: Vec<PayloadHook> = Vec::new();
+    let mut data_inputs: Vec<SignalRef> = Vec::new();
+    let mut secrets: Vec<SignalRef> = Vec::new();
+    let mut clock = None;
+
+    for (i, core) in cores.into_iter().enumerate() {
+        let prefix = format!("u{i}_");
+        let rename = |n: &str| -> String {
+            if SHARED.contains(&n) {
+                n.to_string()
+            } else {
+                format!("{prefix}{n}")
+            }
+        };
+        for port in &core.module.ports {
+            let renamed = Port { name: rename(&port.name), ..port.clone() };
+            if SHARED.contains(&port.name.as_str()) {
+                if !ports.iter().any(|p| p.name == port.name) {
+                    ports.push(renamed);
+                }
+            } else {
+                ports.push(renamed);
+            }
+        }
+        for item in &core.module.items {
+            items.push(rename_item(item, &|n: &str| rename(n)));
+        }
+        for hook in &core.hooks {
+            hooks.push(PayloadHook {
+                output: rename(&hook.output),
+                internal: rename(&hook.internal),
+                width: hook.width,
+            });
+        }
+        for sig in &core.data_inputs {
+            data_inputs.push(SignalRef::new(rename(&sig.name), sig.width));
+        }
+        for sig in &core.secrets {
+            secrets.push(SignalRef::new(rename(&sig.name), sig.width));
+        }
+        if clock.is_none() {
+            clock = core.clock.clone();
+        }
+    }
+
+    GeneratedCircuit {
+        module: Module { name: name.to_string(), ports, items },
+        clock,
+        hooks,
+        data_inputs,
+        secrets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitFamily;
+    use crate::families::generate;
+    use noodle_verilog::{parse, print_module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cores(n: usize, seed: u64) -> Vec<GeneratedCircuit> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| generate(CircuitFamily::ALL[i % CircuitFamily::ALL.len()], "core", &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn composite_parses_and_keeps_all_logic() {
+        let composite = compose("big_ip", cores(3, 1));
+        let text = print_module(&composite.module);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed.modules[0].name, "big_ip");
+        // Items from all three cores are present.
+        assert!(composite.module.items.len() > 10);
+        assert!(composite.hooks.len() >= 3);
+    }
+
+    #[test]
+    fn clock_and_reset_are_shared() {
+        let composite = compose("ip", cores(3, 2));
+        let clk_ports =
+            composite.module.ports.iter().filter(|p| p.name == "clk").count();
+        assert_eq!(clk_ports, 1, "exactly one shared clock port");
+        assert_eq!(composite.clock.as_deref(), Some("clk"));
+    }
+
+    #[test]
+    fn signals_are_prefixed_without_collisions() {
+        // Two ALUs would collide on every name without prefixing.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = generate(CircuitFamily::Alu, "a", &mut rng);
+        let b = generate(CircuitFamily::Alu, "b", &mut rng);
+        let composite = compose("two_alus", vec![a, b]);
+        let mut names: Vec<&str> =
+            composite.module.ports.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate port names after composition");
+        assert!(composite.module.ports.iter().any(|p| p.name == "u0_y"));
+        assert!(composite.module.ports.iter().any(|p| p.name == "u1_y"));
+    }
+
+    #[test]
+    fn composite_supports_trojan_insertion() {
+        use crate::trojan::{insert_trojan, TrojanSpec};
+        let mut rng = StdRng::seed_from_u64(4);
+        for spec in TrojanSpec::all() {
+            let mut composite = compose("victim", cores(2, 5));
+            insert_trojan(&mut composite, spec, &mut rng);
+            let text = print_module(&composite.module);
+            assert!(parse(&text).is_ok(), "{spec:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn composite_supports_decoration() {
+        use crate::decorate::add_benign_decorations;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut composite = compose("deco", cores(3, 6));
+        let before = composite.module.items.len();
+        add_benign_decorations(&mut composite, 3, &mut rng);
+        assert!(composite.module.items.len() > before);
+        assert!(parse(&print_module(&composite.module)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cores")]
+    fn empty_composition_panics() {
+        let _ = compose("empty", Vec::new());
+    }
+}

@@ -1,0 +1,245 @@
+//! Assembly of a TrustHub-like benchmark corpus.
+
+use noodle_verilog::print_module;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::CircuitFamily;
+use crate::compose::compose;
+use crate::decorate::{add_benign_decorations, add_trigger_shaped_decoy};
+use crate::families::generate;
+use crate::style::apply_style_variations;
+use crate::trojan::{insert_trojan, PayloadKind, TriggerKind, TrojanDescriptor, TrojanSpec};
+
+/// The classification label of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// No Trojan inserted.
+    TrojanFree,
+    /// A Trojan was inserted.
+    TrojanInfected,
+}
+
+impl Label {
+    /// The class index used by the classifiers (TF = 0, TI = 1).
+    pub fn index(self) -> usize {
+        match self {
+            Label::TrojanFree => 0,
+            Label::TrojanInfected => 1,
+        }
+    }
+}
+
+/// One benchmark design: Verilog source plus ground-truth metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Unique design name (also the module name).
+    pub name: String,
+    /// The Verilog source text.
+    pub source: String,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Which circuit family the benign core comes from.
+    pub family: CircuitFamily,
+    /// The inserted Trojan, if any.
+    pub trojan: Option<TrojanDescriptor>,
+}
+
+/// Configuration for [`generate_corpus`].
+///
+/// The defaults mirror the data regime of the TrustHub RTL benchmarks the
+/// paper trains on: a small corpus with Trojan-infected designs heavily
+/// outnumbered by clean ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of Trojan-free designs.
+    pub trojan_free: usize,
+    /// Number of Trojan-infected designs.
+    pub trojan_infected: usize,
+    /// RNG seed; the corpus is a pure function of the configuration.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { trojan_free: 28, trojan_infected: 12, seed: 0x0D00D1E }
+    }
+}
+
+/// Generates a deterministic corpus of benign and Trojan-infected designs.
+///
+/// Families rotate round-robin so every corpus covers the full design mix;
+/// Trojan specs rotate through every trigger × payload combination.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_bench_gen::{generate_corpus, CorpusConfig, Label};
+///
+/// let corpus = generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 1 });
+/// assert_eq!(corpus.len(), 9);
+/// assert_eq!(corpus.iter().filter(|b| b.label == Label::TrojanInfected).count(), 3);
+/// ```
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut corpus = Vec::with_capacity(config.trojan_free + config.trojan_infected);
+    let specs = TrojanSpec::all();
+    for i in 0..config.trojan_free {
+        let family = CircuitFamily::ALL[i % CircuitFamily::ALL.len()];
+        let name = format!("{}_tf_{i:03}", family.tag());
+        let mut circuit = composite_design(family, &name, &mut rng);
+        // Most clean designs carry a trigger-shaped decoy chain (the benign
+        // twin of a Trojan) plus 1-3 random decorations, so every payload-
+        // mux / comparator / counter pattern also occurs benignly. The
+        // decoy rate is deliberately below 1.0: with perfect chain parity
+        // the real-data task collapses to chance, while real corpora retain
+        // a weak but genuine signal.
+        if rng.random::<f64>() < 0.6 {
+            add_trigger_shaped_decoy(&mut circuit, &mut rng);
+        }
+        add_benign_decorations(&mut circuit, rng.random_range(1..=3), &mut rng);
+        apply_style_variations(&mut circuit.module, &mut rng);
+        corpus.push(Benchmark {
+            name,
+            source: print_module(&circuit.module),
+            label: Label::TrojanFree,
+            family,
+            trojan: None,
+        });
+    }
+    for i in 0..config.trojan_infected {
+        // Offset the family rotation so infected designs are not a subset of
+        // the families used for the clean ones when counts are small.
+        let family = CircuitFamily::ALL[(i * 5 + 2) % CircuitFamily::ALL.len()];
+        let name = format!("{}_ti_{i:03}", family.tag());
+        let mut circuit = composite_design(family, &name, &mut rng);
+        // Infected designs carry the same decoration distribution plus the
+        // Trojan, whose chain hijacks an existing output instead of adding
+        // a status port — mirroring the subtlety of real TrustHub Trojans.
+        add_benign_decorations(&mut circuit, rng.random_range(1..=3), &mut rng);
+        let spec = specs[i % specs.len()];
+        let descriptor = insert_trojan(&mut circuit, spec, &mut rng);
+        apply_style_variations(&mut circuit.module, &mut rng);
+        corpus.push(Benchmark {
+            name,
+            source: print_module(&circuit.module),
+            label: Label::TrojanInfected,
+            family,
+            trojan: Some(descriptor),
+        });
+    }
+    corpus
+}
+
+/// Builds one IP-scale design: the lead family plus 1–3 further random
+/// cores flattened into a single module (TrustHub benchmarks are whole IPs,
+/// not 50-line leaf cells — composition dilutes the Trojan footprint to a
+/// realistic fraction of the design).
+fn composite_design(lead: CircuitFamily, name: &str, rng: &mut StdRng) -> crate::GeneratedCircuit {
+    let extra = rng.random_range(1..=3usize);
+    let mut cores = vec![generate(lead, "lead", rng)];
+    for _ in 0..extra {
+        let family = CircuitFamily::ALL[rng.random_range(0..CircuitFamily::ALL.len())];
+        cores.push(generate(family, "core", rng));
+    }
+    compose(name, cores)
+}
+
+/// Summary statistics of a corpus, mostly for logging and documentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Total number of designs.
+    pub total: usize,
+    /// Number of Trojan-free designs.
+    pub trojan_free: usize,
+    /// Number of Trojan-infected designs.
+    pub trojan_infected: usize,
+    /// Mean source length in lines.
+    pub mean_lines: f64,
+    /// Number of distinct (trigger, payload) combinations present.
+    pub distinct_trojans: usize,
+}
+
+/// Computes summary statistics for a corpus.
+pub fn corpus_stats(corpus: &[Benchmark]) -> CorpusStats {
+    let trojan_free = corpus.iter().filter(|b| b.label == Label::TrojanFree).count();
+    let trojan_infected = corpus.len() - trojan_free;
+    let mean_lines = if corpus.is_empty() {
+        0.0
+    } else {
+        corpus.iter().map(|b| b.source.lines().count()).sum::<usize>() as f64
+            / corpus.len() as f64
+    };
+    let mut kinds: Vec<(TriggerKind, PayloadKind)> = corpus
+        .iter()
+        .filter_map(|b| b.trojan.as_ref().map(|t| (t.trigger, t.payload)))
+        .collect();
+    kinds.sort_by_key(|k| format!("{k:?}"));
+    kinds.dedup();
+    CorpusStats {
+        total: corpus.len(),
+        trojan_free,
+        trojan_infected,
+        mean_lines,
+        distinct_trojans: kinds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_verilog::parse;
+
+    #[test]
+    fn default_corpus_is_imbalanced_and_parseable() {
+        let corpus = generate_corpus(&CorpusConfig::default());
+        let stats = corpus_stats(&corpus);
+        assert_eq!(stats.total, 40);
+        assert!(stats.trojan_free > 2 * stats.trojan_infected);
+        for b in &corpus {
+            let file = parse(&b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", b.name, b.source));
+            assert_eq!(file.modules[0].name, b.name);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let config = CorpusConfig { trojan_free: 5, trojan_infected: 5, seed: 7 };
+        let a = generate_corpus(&config);
+        let b = generate_corpus(&config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(&CorpusConfig { trojan_free: 5, trojan_infected: 2, seed: 1 });
+        let b = generate_corpus(&CorpusConfig { trojan_free: 5, trojan_infected: 2, seed: 2 });
+        assert!(a.iter().zip(&b).any(|(x, y)| x.source != y.source));
+    }
+
+    #[test]
+    fn infected_designs_carry_descriptors() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 9, seed: 3 });
+        let stats = corpus_stats(&corpus);
+        assert!(stats.distinct_trojans >= 5, "only {} distinct kinds", stats.distinct_trojans);
+        for b in &corpus {
+            assert_eq!(b.label == Label::TrojanInfected, b.trojan.is_some());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 20, trojan_infected: 20, seed: 4 });
+        let mut names: Vec<&str> = corpus.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+}

@@ -1,0 +1,365 @@
+//! Benign Trojan-lookalike decorations.
+//!
+//! Real IP cores are full of logic that *structurally* resembles Trojan
+//! triggers: watchdog counters that compare against a terminal count,
+//! address/command decoders that match magic constants, and status muxes.
+//! Without such confounders a synthetic corpus is trivially separable and
+//! the detection numbers collapse to zero — unlike the TrustHub corpus the
+//! paper evaluates on. Decorating clean *and* infected designs with these
+//! innocuous look-alikes restores honest class overlap: the discriminative
+//! signal is the full trigger→payload chain, not the mere presence of a
+//! comparator or counter.
+
+use rand::{Rng, RngExt};
+
+use crate::build::*;
+use crate::circuit::GeneratedCircuit;
+
+/// Kinds of benign decoration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decoration {
+    /// Free-running watchdog counter with a terminal-count status output.
+    Watchdog,
+    /// Magic-constant decoder on a data input driving a status output.
+    AddressDecoder,
+    /// A diagnostics mux: a real input selects between an internal signal
+    /// and its complement on a new debug output.
+    DebugMux,
+    /// A parity/status comparator on an internal secret or counter.
+    ParityStatus,
+    /// A two-step protocol command detector: a small FSM that watches a
+    /// data input for a fixed command sequence and raises a status flag —
+    /// structurally the benign twin of a sequence-triggered Trojan.
+    CommandSequencer,
+    /// The full Trojan-shaped chain — magic comparator (or terminal-count
+    /// watchdog) selecting between an internal signal and a transform of it
+    /// — but driving a brand-new diagnostics output instead of hijacking a
+    /// functional one. Topologically the closest benign twin of a real
+    /// trigger→payload pair.
+    TriggerShapedDebug,
+}
+
+/// Adds exactly one trigger-shaped decoy (the benign twin of a Trojan's
+/// trigger→payload chain) to a circuit. Used by the corpus generator so
+/// clean designs carry the same number of payload-mux chains as infected
+/// ones and only the chain's *wiring* differs.
+pub fn add_trigger_shaped_decoy<R: Rng + ?Sized>(circuit: &mut GeneratedCircuit, rng: &mut R) {
+    let expose = rng.random::<bool>();
+    apply(circuit, Decoration::TriggerShapedDebug, 9000 + rng.random_range(0..999), expose, rng);
+}
+
+/// Adds `count` random benign decorations to a circuit. Decorations only
+/// append new items and new *output* ports, so existing payload hooks stay
+/// intact for Trojan insertion.
+pub fn add_benign_decorations<R: Rng + ?Sized>(
+    circuit: &mut GeneratedCircuit,
+    count: usize,
+    rng: &mut R,
+) {
+    for i in 0..count {
+        let mut options = vec![Decoration::DebugMux, Decoration::ParityStatus];
+        if circuit.clock.is_some() {
+            options.push(Decoration::Watchdog);
+        }
+        if !circuit.data_inputs.is_empty() {
+            options.push(Decoration::AddressDecoder);
+        }
+        if circuit.clock.is_some() || !circuit.data_inputs.is_empty() {
+            // The full-chain lookalike is the most important confounder;
+            // weight it so roughly half of all decorations are chains.
+            options.push(Decoration::TriggerShapedDebug);
+            options.push(Decoration::TriggerShapedDebug);
+            options.push(Decoration::TriggerShapedDebug);
+        }
+        if circuit.clock.is_some() && !circuit.data_inputs.is_empty() {
+            options.push(Decoration::CommandSequencer);
+            options.push(Decoration::CommandSequencer);
+        }
+        let choice = options[rng.random_range(0..options.len())];
+        // Roughly half of all decorations surface their status on a new
+        // port; the rest stay internal (disabled debug / lint-dirty status
+        // nets are everywhere in real RTL). This keeps port counts from
+        // betraying how many decorations a design received.
+        let expose = rng.random::<bool>();
+        apply(circuit, choice, i, expose, rng);
+    }
+}
+
+fn apply<R: Rng + ?Sized>(
+    circuit: &mut GeneratedCircuit,
+    decoration: Decoration,
+    tag: usize,
+    expose: bool,
+    rng: &mut R,
+) {
+    match decoration {
+        Decoration::Watchdog => {
+            let clk = circuit.clock.clone().expect("watchdog requires a clock");
+            let w = 16u64;
+            let terminal = rng.random_range((1u128 << 10)..(1u128 << w));
+            let cnt = format!("wd_cnt_{tag}");
+            let ovf = format!("wd_ovf_{tag}");
+            let hit = format!("wd_hit_{tag}");
+            circuit.module.items.push(reg(&cnt, w));
+            circuit.module.items.push(wire(&hit, 1));
+            circuit.module.items.push(always_ff(
+                &clk,
+                if_else(
+                    id(&hit),
+                    nb(&cnt, dec(w as u32, 0)),
+                    nb(&cnt, add(id(&cnt), dec(w as u32, 1))),
+                ),
+            ));
+            circuit.module.items.push(assign(&hit, eq(id(&cnt), dec(w as u32, terminal))));
+            if expose {
+                circuit.module.items.push(assign(&ovf, id(&hit)));
+                circuit.module.ports.push(output(&ovf, 1));
+            }
+        }
+        Decoration::AddressDecoder => {
+            let src = circuit.data_inputs
+                [rng.random_range(0..circuit.data_inputs.len())]
+            .clone();
+            let magic = rng.random_range(0..(1u128 << src.width.min(63)));
+            let sel = format!("dec_sel_{tag}");
+            let hit = format!("dec_hit_{tag}");
+            circuit.module.items.push(wire(&hit, 1));
+            circuit
+                .module
+                .items
+                .push(assign(&hit, eq(id(&src.name), dec(src.width as u32, magic))));
+            if expose {
+                circuit.module.items.push(assign(&sel, id(&hit)));
+                circuit.module.ports.push(output(&sel, 1));
+            }
+        }
+        Decoration::DebugMux => {
+            // Select between a hook's internal signal and its complement —
+            // an innocuous diagnostics path that still looks like an output
+            // mux to a feature extractor.
+            let hook = circuit.hooks[rng.random_range(0..circuit.hooks.len())].clone();
+            let sel_input = first_single_bit_input(circuit)
+                .unwrap_or_else(|| circuit.module.ports[0].name.clone());
+            let dbg = format!("dbg_out_{tag}");
+            let dbg_w = format!("dbg_w_{tag}");
+            circuit.module.items.push(wire(&dbg_w, hook.width));
+            circuit.module.items.push(assign(
+                &dbg_w,
+                mux(id(&sel_input), bnot(id(&hook.internal)), id(&hook.internal)),
+            ));
+            if expose {
+                circuit.module.items.push(assign(&dbg, id(&dbg_w)));
+                circuit.module.ports.push(output(&dbg, hook.width));
+            }
+        }
+        Decoration::CommandSequencer => {
+            let clk = circuit.clock.clone().expect("sequencer requires a clock");
+            let src = circuit.data_inputs
+                [rng.random_range(0..circuit.data_inputs.len())]
+            .clone();
+            let m1 = rng.random_range(0..(1u128 << src.width.min(63)));
+            let mut m2 = rng.random_range(0..(1u128 << src.width.min(63)));
+            if m2 == m1 {
+                m2 = m1 ^ 1;
+            }
+            let st = format!("cmd_st_{tag}");
+            let hit = format!("cmd_hit_{tag}");
+            circuit.module.items.push(reg(&st, 2));
+            circuit.module.items.push(wire(&hit, 1));
+            circuit.module.items.push(always_ff(
+                &clk,
+                case_stmt(
+                    id(&st),
+                    vec![
+                        (
+                            dec(2, 0),
+                            if_then(
+                                eq(id(&src.name), dec(src.width as u32, m1)),
+                                nb(&st, dec(2, 1)),
+                            ),
+                        ),
+                        (
+                            dec(2, 1),
+                            if_else(
+                                eq(id(&src.name), dec(src.width as u32, m2)),
+                                nb(&st, dec(2, 2)),
+                                if_then(
+                                    lnot(eq(id(&src.name), dec(src.width as u32, m1))),
+                                    nb(&st, dec(2, 0)),
+                                ),
+                            ),
+                        ),
+                        // Unlike a Trojan trigger the benign sequencer
+                        // acknowledges and re-arms instead of latching.
+                        (dec(2, 2), nb(&st, dec(2, 0))),
+                    ],
+                    nb(&st, dec(2, 0)),
+                ),
+            ));
+            circuit.module.items.push(assign(&hit, eq(id(&st), dec(2, 2))));
+            if expose {
+                let ack = format!("cmd_ack_{tag}");
+                circuit.module.items.push(assign(&ack, id(&hit)));
+                circuit.module.ports.push(output(&ack, 1));
+            }
+        }
+        Decoration::TriggerShapedDebug => {
+            let cmp = format!("tsd_cmp_{tag}");
+            circuit.module.items.push(wire(&cmp, 1));
+            if !circuit.data_inputs.is_empty() && (circuit.clock.is_none() || rng.random::<bool>()) {
+                let src = circuit.data_inputs
+                    [rng.random_range(0..circuit.data_inputs.len())]
+                .clone();
+                let magic = rng.random_range(0..(1u128 << src.width.min(63)));
+                circuit
+                    .module
+                    .items
+                    .push(assign(&cmp, eq(id(&src.name), dec(src.width as u32, magic))));
+            } else {
+                let clk = circuit.clock.clone().expect("checked above");
+                let w = 16u64;
+                let terminal = rng.random_range((1u128 << 12)..(1u128 << w));
+                let cnt = format!("tsd_cnt_{tag}");
+                circuit.module.items.push(reg(&cnt, w));
+                circuit
+                    .module
+                    .items
+                    .push(always_ff(&clk, nb(&cnt, add(id(&cnt), dec(w as u32, 1)))));
+                circuit
+                    .module
+                    .items
+                    .push(assign(&cmp, eq(id(&cnt), dec(w as u32, terminal))));
+            }
+            let hook = circuit.hooks[rng.random_range(0..circuit.hooks.len())].clone();
+            let dbg = format!("tsd_out_{tag}");
+            let flip = if hook.width == 1 {
+                bxor(id(&hook.internal), bin(1, 1))
+            } else {
+                bxor(
+                    id(&hook.internal),
+                    dec(hook.width as u32, rng.random_range(1..(1u128 << hook.width.min(63)))),
+                )
+            };
+            let dbg_w = format!("tsd_w_{tag}");
+            circuit.module.items.push(wire(&dbg_w, hook.width));
+            circuit
+                .module
+                .items
+                .push(assign(&dbg_w, mux(id(&cmp), flip, id(&hook.internal))));
+            if expose {
+                circuit
+                    .module
+                    .items
+                    .push(assign(&dbg, id(&dbg_w)));
+                circuit.module.ports.push(output(&dbg, hook.width));
+            }
+        }
+        Decoration::ParityStatus => {
+            // Reduction-XOR parity of an internal signal, compared against a
+            // fixed bit: comparator + XOR mass without any trigger role.
+            let source = circuit
+                .secrets
+                .first()
+                .map(|s| s.name.clone())
+                .or_else(|| circuit.hooks.first().map(|h| h.internal.clone()))
+                .unwrap_or_else(|| circuit.module.ports[0].name.clone());
+            let par = format!("par_ok_{tag}");
+            let parw = format!("par_w_{tag}");
+            circuit.module.items.push(wire(&parw, 1));
+            if expose {
+                circuit.module.items.push(assign(&par, id(&parw)));
+                circuit.module.ports.push(output(&par, 1));
+            }
+            let expect = rng.random_range(0..2u128);
+            circuit.module.items.push(assign(
+                &parw,
+                eq(
+                    noodle_verilog::Expr::unary(noodle_verilog::UnaryOp::RedXor, id(&source)),
+                    bin(1, expect),
+                ),
+            ));
+        }
+    }
+}
+
+fn first_single_bit_input(circuit: &GeneratedCircuit) -> Option<String> {
+    circuit
+        .module
+        .ports
+        .iter()
+        .find(|p| {
+            p.direction == noodle_verilog::PortDirection::Input
+                && p.range.is_none()
+                && Some(&p.name) != circuit.clock.as_ref()
+        })
+        .map(|p| p.name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitFamily;
+    use crate::families::generate;
+    use noodle_verilog::{parse, print_module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decorated_circuits_parse_for_every_family() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in CircuitFamily::ALL {
+            for n in 0..3 {
+                let mut c = generate(family, "deco", &mut rng);
+                add_benign_decorations(&mut c, n, &mut rng);
+                let text = print_module(&c.module);
+                assert!(parse(&text).is_ok(), "{}: n={n}\n{text}", family.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn decorations_preserve_hooks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = generate(CircuitFamily::Alu, "deco", &mut rng);
+        let hooks_before = c.hooks.clone();
+        add_benign_decorations(&mut c, 2, &mut rng);
+        assert_eq!(c.hooks, hooks_before);
+        // The hook assigns are still plain `assign out = internal;`.
+        for hook in &c.hooks {
+            let found = c.module.items.iter().any(|item| {
+                matches!(
+                    item,
+                    noodle_verilog::Item::Assign {
+                        lhs: noodle_verilog::LValue::Ident(o),
+                        rhs: noodle_verilog::Expr::Ident(i)
+                    } if *o == hook.output && *i == hook.internal
+                )
+            });
+            assert!(found, "hook {hook:?} was disturbed");
+        }
+    }
+
+    #[test]
+    fn decorations_add_trigger_like_features_to_clean_designs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = generate(CircuitFamily::GrayCounter, "deco", &mut rng);
+        let before = print_module(&c.module);
+        add_benign_decorations(&mut c, 2, &mut rng);
+        let after = print_module(&c.module);
+        assert_ne!(before, after);
+        assert!(c.module.ports.len() >= 5, "decorations add status outputs");
+    }
+
+    #[test]
+    fn decorated_trojan_insertion_still_works() {
+        use crate::trojan::{insert_trojan, TrojanSpec};
+        let mut rng = StdRng::seed_from_u64(4);
+        for spec in TrojanSpec::all() {
+            let mut c = generate(CircuitFamily::Timer, "deco", &mut rng);
+            add_benign_decorations(&mut c, 2, &mut rng);
+            insert_trojan(&mut c, spec, &mut rng);
+            let text = print_module(&c.module);
+            assert!(parse(&text).is_ok(), "{spec:?}\n{text}");
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Control-flavoured circuit families: UART transmitter, timer, FIFO
+//! controller, SPI shifter, random Moore FSM, debouncer.
+
+use noodle_verilog::{BinaryOp, Expr, Module};
+use rand::{Rng, RngExt};
+
+use crate::build::*;
+use crate::circuit::{GeneratedCircuit, PayloadHook, SignalRef};
+
+/// A UART transmitter: idle/start/data/stop FSM with a baud-rate divider
+/// and a shift register.
+pub fn gen_uart_tx<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let baud_bits: u64 = *[4u64, 6, 8].get(rng.random_range(0..3)).expect("index in range");
+    let baud_max = (1u128 << baud_bits) - 1 - rng.random_range(0..4u128);
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("start", 1),
+            input("data", 8),
+            output("tx", 1),
+            output("busy", 1),
+        ],
+        items: vec![
+            reg("state_q", 2),
+            reg("baud_q", baud_bits),
+            reg("bit_q", 3),
+            reg("shift_q", 8),
+            reg("tx_r", 1),
+            wire("baud_hit", 1),
+            assign("baud_hit", eq(id("baud_q"), dec(baud_bits as u32, baud_max))),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    block(vec![
+                        nb("state_q", dec(2, 0)),
+                        nb("baud_q", dec(baud_bits as u32, 0)),
+                        nb("bit_q", dec(3, 0)),
+                        nb("tx_r", bin(1, 1)),
+                    ]),
+                    case_stmt(
+                        id("state_q"),
+                        vec![
+                            (
+                                dec(2, 0), // idle
+                                if_then(
+                                    id("start"),
+                                    block(vec![
+                                        nb("shift_q", id("data")),
+                                        nb("state_q", dec(2, 1)),
+                                        nb("baud_q", dec(baud_bits as u32, 0)),
+                                    ]),
+                                ),
+                            ),
+                            (
+                                dec(2, 1), // start bit
+                                block(vec![
+                                    nb("tx_r", bin(1, 0)),
+                                    if_else(
+                                        id("baud_hit"),
+                                        block(vec![
+                                            nb("state_q", dec(2, 2)),
+                                            nb("baud_q", dec(baud_bits as u32, 0)),
+                                            nb("bit_q", dec(3, 0)),
+                                        ]),
+                                        nb("baud_q", add(id("baud_q"), dec(baud_bits as u32, 1))),
+                                    ),
+                                ]),
+                            ),
+                            (
+                                dec(2, 2), // data bits
+                                block(vec![
+                                    nb("tx_r", bit("shift_q", 0)),
+                                    if_else(
+                                        id("baud_hit"),
+                                        block(vec![
+                                            nb(
+                                                "shift_q",
+                                                Expr::Concat(vec![bin(1, 0), part("shift_q", 7, 1)]),
+                                            ),
+                                            nb("baud_q", dec(baud_bits as u32, 0)),
+                                            if_else(
+                                                eq(id("bit_q"), dec(3, 7)),
+                                                nb("state_q", dec(2, 3)),
+                                                nb("bit_q", add(id("bit_q"), dec(3, 1))),
+                                            ),
+                                        ]),
+                                        nb("baud_q", add(id("baud_q"), dec(baud_bits as u32, 1))),
+                                    ),
+                                ]),
+                            ),
+                        ],
+                        // stop bit
+                        block(vec![
+                            nb("tx_r", bin(1, 1)),
+                            if_else(
+                                id("baud_hit"),
+                                nb("state_q", dec(2, 0)),
+                                nb("baud_q", add(id("baud_q"), dec(baud_bits as u32, 1))),
+                            ),
+                        ]),
+                    ),
+                ),
+            ),
+            assign("tx", id("tx_r")),
+            assign("busy", bin_op(BinaryOp::Neq, id("state_q"), dec(2, 0))),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![PayloadHook { output: "tx".into(), internal: "tx_r".into(), width: 1 }],
+        data_inputs: vec![SignalRef::new("data", 8)],
+        secrets: vec![SignalRef::new("shift_q", 8)],
+    }
+}
+
+/// A programmable timer that pulses `tick` when the counter reaches a
+/// compare input and optionally auto-reloads.
+pub fn gen_timer<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let w: u64 = *[8u64, 12, 16].get(rng.random_range(0..3)).expect("index in range");
+    let auto_reload = rng.random::<bool>();
+    let on_hit = if auto_reload {
+        block(vec![nb("cnt_q", dec(w as u32, 0)), nb("tick_r", bin(1, 1))])
+    } else {
+        nb("tick_r", bin(1, 1))
+    };
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("en", 1),
+            input("cmp", w),
+            output("tick", 1),
+            output("count", w),
+        ],
+        items: vec![
+            reg("cnt_q", w),
+            reg("tick_r", 1),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    block(vec![nb("cnt_q", dec(w as u32, 0)), nb("tick_r", bin(1, 0))]),
+                    if_then(
+                        id("en"),
+                        block(vec![
+                            nb("tick_r", bin(1, 0)),
+                            if_else(
+                                eq(id("cnt_q"), id("cmp")),
+                                on_hit,
+                                nb("cnt_q", add(id("cnt_q"), dec(w as u32, 1))),
+                            ),
+                        ]),
+                    ),
+                ),
+            ),
+            assign("tick", id("tick_r")),
+            assign("count", id("cnt_q")),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![
+            PayloadHook { output: "tick".into(), internal: "tick_r".into(), width: 1 },
+            PayloadHook { output: "count".into(), internal: "cnt_q".into(), width: w },
+        ],
+        data_inputs: vec![SignalRef::new("cmp", w)],
+        secrets: vec![SignalRef::new("cnt_q", w)],
+    }
+}
+
+/// A synchronous FIFO controller: pointers, occupancy counter and flags.
+pub fn gen_fifo_ctrl<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let aw: u64 = *[3u64, 4, 5].get(rng.random_range(0..3)).expect("index in range");
+    let depth = 1u128 << aw;
+    let cw = aw + 1;
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("push", 1),
+            input("pop", 1),
+            output("full", 1),
+            output("empty", 1),
+            output("level", cw),
+        ],
+        items: vec![
+            reg("wptr_q", aw),
+            reg("rptr_q", aw),
+            reg("count_q", cw),
+            wire("do_push", 1),
+            wire("do_pop", 1),
+            wire("full_w", 1),
+            wire("empty_w", 1),
+            assign("full_w", eq(id("count_q"), dec(cw as u32, depth))),
+            assign("empty_w", eq(id("count_q"), dec(cw as u32, 0))),
+            assign("do_push", land(id("push"), lnot(id("full_w")))),
+            assign("do_pop", land(id("pop"), lnot(id("empty_w")))),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    block(vec![
+                        nb("wptr_q", dec(aw as u32, 0)),
+                        nb("rptr_q", dec(aw as u32, 0)),
+                        nb("count_q", dec(cw as u32, 0)),
+                    ]),
+                    block(vec![
+                        if_then(id("do_push"), nb("wptr_q", add(id("wptr_q"), dec(aw as u32, 1)))),
+                        if_then(id("do_pop"), nb("rptr_q", add(id("rptr_q"), dec(aw as u32, 1)))),
+                        if_then(
+                            land(id("do_push"), lnot(id("do_pop"))),
+                            nb("count_q", add(id("count_q"), dec(cw as u32, 1))),
+                        ),
+                        if_then(
+                            land(id("do_pop"), lnot(id("do_push"))),
+                            nb("count_q", sub(id("count_q"), dec(cw as u32, 1))),
+                        ),
+                    ]),
+                ),
+            ),
+            assign("full", id("full_w")),
+            assign("empty", id("empty_w")),
+            assign("level", id("count_q")),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![
+            PayloadHook { output: "full".into(), internal: "full_w".into(), width: 1 },
+            PayloadHook { output: "empty".into(), internal: "empty_w".into(), width: 1 },
+            PayloadHook { output: "level".into(), internal: "count_q".into(), width: cw },
+        ],
+        data_inputs: vec![],
+        secrets: vec![SignalRef::new("wptr_q", aw), SignalRef::new("rptr_q", aw)],
+    }
+}
+
+/// An SPI-style shifter that serializes a parallel word on `mosi`.
+pub fn gen_spi_shift<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let w: u64 = *[8u64, 16].get(rng.random_range(0..2)).expect("index in range");
+    let idx_bits = if w == 8 { 3u64 } else { 4 };
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("go", 1),
+            input("tx_data", w),
+            output("mosi", 1),
+            output("done", 1),
+        ],
+        items: vec![
+            reg("sh_q", w),
+            reg("idx_q", idx_bits),
+            reg("run_q", 1),
+            wire("mosi_w", 1),
+            wire("done_w", 1),
+            assign("mosi_w", bit("sh_q", (w - 1) as u128)),
+            assign("done_w", lnot(id("run_q"))),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    block(vec![
+                        nb("run_q", bin(1, 0)),
+                        nb("idx_q", dec(idx_bits as u32, 0)),
+                        nb("sh_q", dec(w as u32, 0)),
+                    ]),
+                    if_else(
+                        land(id("go"), lnot(id("run_q"))),
+                        block(vec![
+                            nb("sh_q", id("tx_data")),
+                            nb("run_q", bin(1, 1)),
+                            nb("idx_q", dec(idx_bits as u32, 0)),
+                        ]),
+                        if_then(
+                            id("run_q"),
+                            block(vec![
+                                nb(
+                                    "sh_q",
+                                    Expr::Concat(vec![
+                                        part("sh_q", w as i64 - 2, 0),
+                                        bin(1, 0),
+                                    ]),
+                                ),
+                                if_else(
+                                    eq(id("idx_q"), dec(idx_bits as u32, (w - 1) as u128)),
+                                    nb("run_q", bin(1, 0)),
+                                    nb("idx_q", add(id("idx_q"), dec(idx_bits as u32, 1))),
+                                ),
+                            ]),
+                        ),
+                    ),
+                ),
+            ),
+            assign("mosi", id("mosi_w")),
+            assign("done", id("done_w")),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![
+            PayloadHook { output: "mosi".into(), internal: "mosi_w".into(), width: 1 },
+            PayloadHook { output: "done".into(), internal: "done_w".into(), width: 1 },
+        ],
+        data_inputs: vec![SignalRef::new("tx_data", w)],
+        secrets: vec![SignalRef::new("sh_q", w)],
+    }
+}
+
+/// A random Moore FSM over 4–8 states with a 2-bit input alphabet.
+pub fn gen_moore_fsm<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let n_states = rng.random_range(4..=8u128);
+    let sw = 3u64;
+    // next[state][input] random
+    let mut arms = Vec::new();
+    for s in 0..n_states {
+        let mut inner = Vec::new();
+        for i in 0..4u128 {
+            let next = rng.random_range(0..n_states);
+            inner.push((dec(2, i), blk("next_s", dec(sw as u32, next))));
+        }
+        arms.push((
+            dec(sw as u32, s),
+            case_stmt(id("inp"), inner, blk("next_s", dec(sw as u32, 0))),
+        ));
+    }
+    let out_bits: u128 = rng.random_range(0..1u128 << n_states);
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("inp", 2),
+            output("out_bit", 1),
+            output("state", sw),
+        ],
+        items: vec![
+            reg("state_q", sw),
+            reg("next_s", sw),
+            wire("out_w", 1),
+            always_comb(case_stmt(id("state_q"), arms, blk("next_s", dec(sw as u32, 0)))),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(id("rst"), nb("state_q", dec(sw as u32, 0)), nb("state_q", id("next_s"))),
+            ),
+            // Output decode: one random bit per state via a shift of a mask.
+            assign(
+                "out_w",
+                bin_op(
+                    BinaryOp::BitAnd,
+                    bin_op(BinaryOp::Shr, dec(8, out_bits & 0xFF), id("state_q")),
+                    dec(8, 1),
+                ),
+            ),
+            assign("out_bit", id("out_w")),
+            assign("state", id("state_q")),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![
+            PayloadHook { output: "out_bit".into(), internal: "out_w".into(), width: 1 },
+            PayloadHook { output: "state".into(), internal: "state_q".into(), width: sw },
+        ],
+        data_inputs: vec![SignalRef::new("inp", 2)],
+        secrets: vec![SignalRef::new("state_q", sw)],
+    }
+}
+
+/// A majority-vote debouncer over a configurable shift window.
+pub fn gen_debouncer<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let w: u64 = *[3u64, 4, 5].get(rng.random_range(0..3)).expect("index in range");
+    let all_ones = (1u128 << w) - 1;
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![input("clk", 1), input("rst", 1), input("din", 1), output("dout", 1)],
+        items: vec![
+            reg("win_q", w),
+            reg("out_q", 1),
+            wire("dout_w", 1),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    block(vec![nb("win_q", dec(w as u32, 0)), nb("out_q", bin(1, 0))]),
+                    block(vec![
+                        nb(
+                            "win_q",
+                            Expr::Concat(vec![part("win_q", w as i64 - 2, 0), id("din")]),
+                        ),
+                        if_then(eq(id("win_q"), dec(w as u32, all_ones)), nb("out_q", bin(1, 1))),
+                        if_then(eq(id("win_q"), dec(w as u32, 0)), nb("out_q", bin(1, 0))),
+                    ]),
+                ),
+            ),
+            assign("dout_w", id("out_q")),
+            assign("dout", id("dout_w")),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![PayloadHook { output: "dout".into(), internal: "dout_w".into(), width: 1 }],
+        data_inputs: vec![],
+        secrets: vec![SignalRef::new("win_q", w)],
+    }
+}
+
+/// A round-robin arbiter: a rotating pointer grants one requester per
+/// cycle, skipping to the next position every clock.
+pub fn gen_round_robin<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
+    let w: u64 = *[4u64, 8].get(rng.random_range(0..2)).expect("index in range");
+    let pw = if w == 4 { 2u64 } else { 3 };
+    let mut grant_arms = Vec::new();
+    for i in 0..w {
+        grant_arms.push((
+            dec(pw as u32, i as u128),
+            blk(
+                "grant_r",
+                mux(
+                    bit("req", i as u128),
+                    dec(w as u32, 1u128 << i),
+                    dec(w as u32, 0),
+                ),
+            ),
+        ));
+    }
+    let module = Module {
+        name: "m".to_string(),
+        ports: vec![
+            input("clk", 1),
+            input("rst", 1),
+            input("req", w),
+            output("grant", w),
+            output("active", 1),
+        ],
+        items: vec![
+            reg("ptr_q", pw),
+            reg("grant_r", w),
+            always_ff_arst(
+                "clk",
+                "rst",
+                if_else(
+                    id("rst"),
+                    nb("ptr_q", dec(pw as u32, 0)),
+                    nb("ptr_q", add(id("ptr_q"), dec(pw as u32, 1))),
+                ),
+            ),
+            always_comb(case_stmt(id("ptr_q"), grant_arms, blk("grant_r", dec(w as u32, 0)))),
+            assign("grant", id("grant_r")),
+            assign(
+                "active",
+                noodle_verilog::Expr::unary(noodle_verilog::UnaryOp::RedOr, id("grant_r")),
+            ),
+        ],
+    };
+    GeneratedCircuit {
+        module,
+        clock: Some("clk".into()),
+        hooks: vec![PayloadHook { output: "grant".into(), internal: "grant_r".into(), width: w }],
+        data_inputs: vec![SignalRef::new("req", w)],
+        secrets: vec![SignalRef::new("ptr_q", pw)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_verilog::{parse, print_module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uart_state_machine_has_case() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = gen_uart_tx(&mut rng);
+        let text = print_module(&c.module);
+        assert!(text.contains("case"), "{text}");
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn fifo_flags_are_hooked() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = gen_fifo_ctrl(&mut rng);
+        assert_eq!(c.hooks.len(), 3);
+    }
+
+    #[test]
+    fn moore_fsm_varies_state_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<usize> = (0..10)
+            .map(|_| print_module(&gen_moore_fsm(&mut rng).module).len())
+            .collect();
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        assert!(distinct.len() > 1, "FSM instances should vary: {sizes:?}");
+    }
+}

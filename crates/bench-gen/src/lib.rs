@@ -1,0 +1,44 @@
+//! # noodle-bench-gen
+//!
+//! A synthetic TrustHub-like benchmark corpus generator: parameterized,
+//! randomized Verilog IP cores (UART, ALU, FIFO, FSMs, a toy cipher round,
+//! …) plus AST-level insertion of RTL Trojans following the canonical
+//! trigger × payload taxonomy (magic-value / time-bomb / sequence triggers;
+//! corruption / leakage / denial-of-service payloads).
+//!
+//! This crate substitutes for the gated TrustHub RTL dataset the NOODLE
+//! paper uses (see `DESIGN.md`): the detection pipeline consumes AST-derived
+//! features, so a structurally realistic synthetic corpus with the same
+//! small-and-imbalanced regime exercises the identical code path.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_bench_gen::{generate_corpus, CorpusConfig};
+//!
+//! let corpus = generate_corpus(&CorpusConfig::default());
+//! assert_eq!(corpus.len(), 40);
+//! // Every design is real, parseable Verilog.
+//! for bench in &corpus {
+//!     noodle_verilog::parse(&bench.source).expect("corpus is valid Verilog");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+mod circuit;
+mod compose;
+mod corpus;
+mod decorate;
+mod style;
+pub mod families;
+mod trojan;
+
+pub use circuit::{CircuitFamily, GeneratedCircuit, PayloadHook, SignalRef};
+pub use compose::compose;
+pub use decorate::{add_benign_decorations, add_trigger_shaped_decoy};
+pub use style::apply_style_variations;
+pub use corpus::{corpus_stats, generate_corpus, Benchmark, CorpusConfig, CorpusStats, Label};
+pub use trojan::{insert_trojan, PayloadKind, TriggerKind, TrojanDescriptor, TrojanSpec};

@@ -1,0 +1,267 @@
+//! Coding-style variation transforms.
+//!
+//! Two RTL designs with identical function routinely differ in idiom:
+//! continuous assigns vs combinational always blocks, explicit intermediate
+//! nets, conditional operators vs if/else. The TrustHub corpus mixes all of
+//! these, which is a large source of label-independent feature variance.
+//! This module applies semantics-preserving style rewrites to a finished
+//! design (including any inserted Trojan, whose author has a coding style
+//! too), so the corpus does not accidentally encode "Trojan ⇔ one specific
+//! idiom".
+//!
+//! Transforms:
+//!
+//! * **intermediate net** — `assign y = expr;` becomes
+//!   `wire t; assign t = expr; assign y = t;`
+//! * **assign → always** — a continuous assign to an internal wire becomes
+//!   a combinational always block (the net is re-declared `reg`)
+//! * **mux → if/else** — an assign whose right side is a conditional
+//!   operator becomes an `always @*` if/else (the net becomes `reg`)
+
+use std::collections::HashSet;
+
+use noodle_verilog::{Expr, Item, LValue, Module, NetType, Stmt};
+use rand::{Rng, RngExt};
+
+/// Probability of restyling any individual eligible assign.
+const STYLE_RATE: f64 = 0.35;
+
+/// Applies random style rewrites to a module in place.
+///
+/// Only continuous assigns to whole, internally-declared signals are
+/// touched; ports and procedural logic keep their shape. The rewrite is
+/// semantics-preserving.
+pub fn apply_style_variations<R: Rng + ?Sized>(module: &mut Module, rng: &mut R) {
+    let port_names: HashSet<String> =
+        module.ports.iter().map(|p| p.name.clone()).collect();
+    let wire_names: HashSet<String> = module
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Decl { net: NetType::Wire, names, .. } => Some(names.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+
+    let mut new_items: Vec<Item> = Vec::with_capacity(module.items.len());
+    let mut to_reg: HashSet<String> = HashSet::new();
+    let mut fresh = 0usize;
+    for item in module.items.drain(..) {
+        match item {
+            Item::Assign { lhs: LValue::Ident(name), rhs } => {
+                let is_internal_wire =
+                    wire_names.contains(&name) && !port_names.contains(&name);
+                let is_plain_output_port = module
+                    .ports
+                    .iter()
+                    .any(|p| p.name == name && !p.is_reg);
+                let style: f64 = rng.random();
+                if style < STYLE_RATE
+                    && matches!(rhs, Expr::Ternary { .. })
+                    && (is_internal_wire || is_plain_output_port)
+                {
+                    // mux → always @* if/else
+                    let Expr::Ternary { cond, then_expr, else_expr } = rhs else {
+                        unreachable!("matched above")
+                    };
+                    if is_plain_output_port {
+                        for p in &mut module.ports {
+                            if p.name == name {
+                                p.is_reg = true;
+                            }
+                        }
+                    } else {
+                        to_reg.insert(name.clone());
+                    }
+                    new_items.push(Item::Always {
+                        event: noodle_verilog::EventControl::Star,
+                        body: Stmt::If {
+                            cond: *cond,
+                            then_branch: Box::new(Stmt::Blocking {
+                                lhs: LValue::Ident(name.clone()),
+                                rhs: *then_expr,
+                            }),
+                            else_branch: Some(Box::new(Stmt::Blocking {
+                                lhs: LValue::Ident(name),
+                                rhs: *else_expr,
+                            })),
+                        },
+                    });
+                } else if style < STYLE_RATE * 2.0 && is_internal_wire {
+                    // assign → always @*
+                    to_reg.insert(name.clone());
+                    new_items.push(Item::Always {
+                        event: noodle_verilog::EventControl::Star,
+                        body: Stmt::Blocking { lhs: LValue::Ident(name), rhs },
+                    });
+                } else if style < STYLE_RATE * 3.0 {
+                    // explicit intermediate net
+                    let tmp = format!("style_n{fresh}");
+                    fresh += 1;
+                    new_items.push(Item::Decl {
+                        net: NetType::Wire,
+                        range: None,
+                        names: vec![tmp.clone()],
+                    });
+                    // Only safe for 1-bit results when widths matter; to stay
+                    // width-safe, keep the original expression on the
+                    // original target and route the *copy* through the net:
+                    // tmp carries the expression only for 1-bit signals.
+                    // For simplicity and width-safety, the intermediate net
+                    // forwards the final value instead:
+                    //   assign tmp = <rhs>; assign y = tmp;
+                    // which is width-safe only when tmp has y's width; since
+                    // we do not know y's width here, apply this rewrite only
+                    // to 1-bit comparisons/reductions, else keep as-is.
+                    if expr_is_single_bit(&rhs) {
+                        new_items.push(Item::Assign {
+                            lhs: LValue::Ident(tmp.clone()),
+                            rhs,
+                        });
+                        new_items.push(Item::Assign {
+                            lhs: LValue::Ident(name),
+                            rhs: Expr::Ident(tmp),
+                        });
+                    } else {
+                        new_items.pop(); // remove the unused tmp decl
+                        new_items.push(Item::Assign { lhs: LValue::Ident(name), rhs });
+                    }
+                } else {
+                    new_items.push(Item::Assign { lhs: LValue::Ident(name), rhs });
+                }
+            }
+            other => new_items.push(other),
+        }
+    }
+
+    // Re-declare restyled nets as regs.
+    for item in &mut new_items {
+        if let Item::Decl { net, names, .. } = item {
+            if *net == NetType::Wire && names.iter().any(|n| to_reg.contains(n)) {
+                // Split mixed declarations if necessary.
+                if names.iter().all(|n| to_reg.contains(n)) {
+                    *net = NetType::Reg;
+                }
+            }
+        }
+    }
+    // Handle mixed declarations (some names restyled, some not).
+    let mut final_items = Vec::with_capacity(new_items.len());
+    for item in new_items {
+        match item {
+            Item::Decl { net: NetType::Wire, range, names }
+                if names.iter().any(|n| to_reg.contains(n)) =>
+            {
+                let (regs, wires): (Vec<String>, Vec<String>) =
+                    names.into_iter().partition(|n| to_reg.contains(n));
+                if !wires.is_empty() {
+                    final_items.push(Item::Decl {
+                        net: NetType::Wire,
+                        range,
+                        names: wires,
+                    });
+                }
+                final_items.push(Item::Decl { net: NetType::Reg, range, names: regs });
+            }
+            other => final_items.push(other),
+        }
+    }
+    module.items = final_items;
+}
+
+/// Conservatively detects expressions whose result is one bit wide.
+fn expr_is_single_bit(expr: &Expr) -> bool {
+    use noodle_verilog::{BinaryOp, UnaryOp};
+    match expr {
+        Expr::Binary { op, .. } => matches!(
+            op,
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNeq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogicAnd
+                | BinaryOp::LogicOr
+        ),
+        Expr::Unary { op, .. } => matches!(
+            op,
+            UnaryOp::Not | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor
+        ),
+        Expr::Bit { .. } => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitFamily;
+    use crate::families::generate;
+    use noodle_verilog::{parse, print_module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn restyled_modules_parse_for_every_family() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in CircuitFamily::ALL {
+            for _ in 0..4 {
+                let mut c = generate(family, "styled", &mut rng);
+                apply_style_variations(&mut c.module, &mut rng);
+                let text = print_module(&c.module);
+                assert!(parse(&text).is_ok(), "{}:\n{text}", family.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn style_changes_structure_but_not_interface() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut changed = 0;
+        for seed in 0..20 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let c0 = generate(CircuitFamily::FifoCtrl, "styled", &mut rng2);
+            let mut c = c0.clone();
+            apply_style_variations(&mut c.module, &mut rng);
+            assert_eq!(c.module.ports, c0.module.ports, "ports must not change");
+            if print_module(&c.module) != print_module(&c0.module) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 5, "style variations almost never fired: {changed}/20");
+    }
+
+    #[test]
+    fn restyled_trojan_still_parses() {
+        use crate::trojan::{insert_trojan, TrojanSpec};
+        let mut rng = StdRng::seed_from_u64(3);
+        for spec in TrojanSpec::all() {
+            let mut c = generate(CircuitFamily::CryptoRound, "victim", &mut rng);
+            insert_trojan(&mut c, spec, &mut rng);
+            apply_style_variations(&mut c.module, &mut rng);
+            let text = print_module(&c.module);
+            assert!(parse(&text).is_ok(), "{spec:?}\n{text}");
+        }
+    }
+
+    #[test]
+    fn single_bit_detection() {
+        use noodle_verilog::BinaryOp;
+        use noodle_verilog::Expr;
+        assert!(expr_is_single_bit(&Expr::binary(
+            BinaryOp::Eq,
+            Expr::ident("a"),
+            Expr::ident("b")
+        )));
+        assert!(!expr_is_single_bit(&Expr::binary(
+            BinaryOp::Add,
+            Expr::ident("a"),
+            Expr::ident("b")
+        )));
+        assert!(!expr_is_single_bit(&Expr::ident("a")));
+    }
+}

@@ -1,0 +1,309 @@
+//! RTL Trojan templates and AST-level insertion.
+//!
+//! The templates follow the canonical RTL Trojan taxonomy used by the
+//! TrustHub benchmarks: a stealthy *trigger* (rare input value, time bomb
+//! counter, or input sequence detector) gating a *payload* (output
+//! corruption, information leakage, or denial of service). Insertion
+//! rewrites one of the circuit's payload hooks — `assign out = internal;`
+//! becomes `assign out = trigger ? tampered : internal;` — and adds the
+//! trigger logic, using innocuous signal names so that detection cannot
+//! cheat on identifiers.
+
+use noodle_verilog::{Expr, Item, LValue};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::build::*;
+use crate::circuit::GeneratedCircuit;
+
+/// How the Trojan wakes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriggerKind {
+    /// A comparator on a data input against a rare magic value.
+    MagicValue,
+    /// A free-running counter that fires at a rare count.
+    TimeBomb,
+    /// A two-step FSM that detects a cheat-code sequence on a data input.
+    Sequence,
+}
+
+/// What the Trojan does once triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// XORs the hijacked output with a non-zero mask.
+    Corrupt,
+    /// XORs the output with a replicated bit of an internal secret,
+    /// exfiltrating it one bit at a time.
+    Leak,
+    /// Forces the output to zero.
+    DenialOfService,
+}
+
+/// A fully specified Trojan to insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrojanSpec {
+    /// Trigger mechanism.
+    pub trigger: TriggerKind,
+    /// Payload behaviour.
+    pub payload: PayloadKind,
+}
+
+impl TrojanSpec {
+    /// Every trigger × payload combination, in a stable order.
+    pub fn all() -> Vec<TrojanSpec> {
+        let mut out = Vec::new();
+        for trigger in [TriggerKind::MagicValue, TriggerKind::TimeBomb, TriggerKind::Sequence] {
+            for payload in
+                [PayloadKind::Corrupt, PayloadKind::Leak, PayloadKind::DenialOfService]
+            {
+                out.push(TrojanSpec { trigger, payload });
+            }
+        }
+        out
+    }
+}
+
+/// Description of an inserted Trojan, recorded in corpus metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrojanDescriptor {
+    /// The trigger that was actually inserted (may differ from the request
+    /// when the circuit lacks a clock or data inputs).
+    pub trigger: TriggerKind,
+    /// The payload that was inserted.
+    pub payload: PayloadKind,
+    /// The hijacked output port.
+    pub hooked_output: String,
+    /// The signal the trigger observes: a data input for
+    /// [`TriggerKind::MagicValue`]/[`TriggerKind::Sequence`], the internal
+    /// counter register for [`TriggerKind::TimeBomb`].
+    pub trigger_source: String,
+    /// The magic value(s) that fire the trigger (two for a sequence).
+    pub trigger_values: Vec<u64>,
+}
+
+// Innocuous-looking names for the inserted logic, so classifiers cannot key
+// on identifiers.
+const TRIG_WIRE: &str = "cfg_match";
+const CNT_REG: &str = "cal_cnt";
+const SEQ_REG: &str = "scan_st";
+
+/// Inserts a Trojan into `circuit` according to `spec`.
+///
+/// Falls back gracefully: a [`TriggerKind::TimeBomb`] needs a clock and
+/// degrades to [`TriggerKind::MagicValue`] on combinational circuits;
+/// [`TriggerKind::MagicValue`] and [`TriggerKind::Sequence`] need a data
+/// input and degrade to [`TriggerKind::TimeBomb`]; a [`PayloadKind::Leak`]
+/// without any secret degrades to [`PayloadKind::Corrupt`].
+///
+/// # Panics
+///
+/// Panics if the circuit has neither a clock nor a data input (no generated
+/// family is like that), or if its hook list is empty.
+pub fn insert_trojan<R: Rng + ?Sized>(
+    circuit: &mut GeneratedCircuit,
+    spec: TrojanSpec,
+    rng: &mut R,
+) -> TrojanDescriptor {
+    assert!(!circuit.hooks.is_empty(), "circuit has no payload hooks");
+    let has_clock = circuit.clock.is_some();
+    let has_data = !circuit.data_inputs.is_empty();
+    assert!(has_clock || has_data, "circuit has neither clock nor data inputs");
+
+    let trigger = match spec.trigger {
+        TriggerKind::TimeBomb if !has_clock => TriggerKind::MagicValue,
+        TriggerKind::MagicValue | TriggerKind::Sequence if !has_data => TriggerKind::TimeBomb,
+        // A sequence detector also needs a clock to advance.
+        TriggerKind::Sequence if !has_clock => TriggerKind::MagicValue,
+        t => t,
+    };
+    let payload = match spec.payload {
+        PayloadKind::Leak if circuit.secrets.is_empty() => PayloadKind::Corrupt,
+        p => p,
+    };
+
+    let hook_idx = rng.random_range(0..circuit.hooks.len());
+    let hook = circuit.hooks[hook_idx].clone();
+
+    // 1. Build the trigger logic.
+    let (trigger_source, trigger_values): (String, Vec<u64>) = match trigger {
+        TriggerKind::MagicValue => {
+            let src = &circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())];
+            let magic = rng.random_range(0..(1u128 << src.width.min(63)));
+            circuit.module.items.push(wire(TRIG_WIRE, 1));
+            circuit.module.items.push(assign(
+                TRIG_WIRE,
+                eq(id(&src.name), dec(src.width as u32, magic)),
+            ));
+            (src.name.clone(), vec![magic as u64])
+        }
+        TriggerKind::TimeBomb => {
+            let clk = circuit.clock.clone().expect("time bomb requires a clock");
+            let cw = 16u64;
+            let magic = rng.random_range((1u128 << 12)..(1u128 << cw));
+            circuit.module.items.push(reg(CNT_REG, cw));
+            circuit.module.items.push(wire(TRIG_WIRE, 1));
+            circuit
+                .module
+                .items
+                .push(always_ff(&clk, nb(CNT_REG, add(id(CNT_REG), dec(cw as u32, 1)))));
+            circuit
+                .module
+                .items
+                .push(assign(TRIG_WIRE, eq(id(CNT_REG), dec(cw as u32, magic))));
+            (CNT_REG.to_string(), vec![magic as u64])
+        }
+        TriggerKind::Sequence => {
+            let clk = circuit.clock.clone().expect("sequence trigger requires a clock");
+            let src = &circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())];
+            let m1 = rng.random_range(0..(1u128 << src.width.min(63)));
+            let mut m2 = rng.random_range(0..(1u128 << src.width.min(63)));
+            if m2 == m1 {
+                m2 = m1 ^ 1;
+            }
+            circuit.module.items.push(reg(SEQ_REG, 2));
+            circuit.module.items.push(wire(TRIG_WIRE, 1));
+            circuit.module.items.push(always_ff(
+                &clk,
+                case_stmt(
+                    id(SEQ_REG),
+                    vec![
+                        (
+                            dec(2, 0),
+                            if_then(
+                                eq(id(&src.name), dec(src.width as u32, m1)),
+                                nb(SEQ_REG, dec(2, 1)),
+                            ),
+                        ),
+                        (
+                            dec(2, 1),
+                            if_else(
+                                eq(id(&src.name), dec(src.width as u32, m2)),
+                                nb(SEQ_REG, dec(2, 2)),
+                                if_then(
+                                    lnot(eq(id(&src.name), dec(src.width as u32, m1))),
+                                    nb(SEQ_REG, dec(2, 0)),
+                                ),
+                            ),
+                        ),
+                        (dec(2, 2), nb(SEQ_REG, dec(2, 2))),
+                    ],
+                    nb(SEQ_REG, dec(2, 0)),
+                ),
+            ));
+            circuit.module.items.push(assign(TRIG_WIRE, eq(id(SEQ_REG), dec(2, 2))));
+            (src.name.clone(), vec![m1 as u64, m2 as u64])
+        }
+    };
+
+    // 2. Build the tampered value.
+    let w = hook.width;
+    let tampered = match payload {
+        PayloadKind::Corrupt => {
+            let m = if w == 1 { 1 } else { rng.random_range(1..(1u128 << w.min(63))) };
+            bxor(id(&hook.internal), dec(w as u32, m))
+        }
+        PayloadKind::Leak => {
+            let secret = &circuit.secrets[rng.random_range(0..circuit.secrets.len())];
+            let leak_bit = bit(&secret.name, 0);
+            if w == 1 {
+                bxor(id(&hook.internal), leak_bit)
+            } else {
+                bxor(
+                    id(&hook.internal),
+                    Expr::Repeat { count: w as u32, expr: Box::new(leak_bit) },
+                )
+            }
+        }
+        PayloadKind::DenialOfService => dec(w as u32, 0),
+    };
+
+    // 3. Rewrite the hook: `assign out = internal;` →
+    //    `assign out = cfg_match ? tampered : internal;`
+    let rewritten = circuit.module.items.iter_mut().any(|item| {
+        if let Item::Assign { lhs: LValue::Ident(out), rhs } = item {
+            if *out == hook.output && *rhs == id(&hook.internal) {
+                *rhs = mux(id(TRIG_WIRE), tampered.clone(), id(&hook.internal));
+                return true;
+            }
+        }
+        false
+    });
+    assert!(rewritten, "payload hook {hook:?} not found in module items");
+
+    TrojanDescriptor {
+        trigger,
+        payload,
+        hooked_output: hook.output,
+        trigger_source,
+        trigger_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitFamily;
+    use crate::families::generate;
+    use noodle_verilog::{parse, print_module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_spec_inserts_into_every_family() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for family in CircuitFamily::ALL {
+            for spec in TrojanSpec::all() {
+                let mut c = generate(family, "victim", &mut rng);
+                let before = print_module(&c.module);
+                let desc = insert_trojan(&mut c, spec, &mut rng);
+                let after = print_module(&c.module);
+                assert_ne!(before, after, "{}: {spec:?} changed nothing", family.tag());
+                assert!(
+                    parse(&after).is_ok(),
+                    "{}: {spec:?} produced unparseable Verilog:\n{after}",
+                    family.tag()
+                );
+                assert!(after.contains(TRIG_WIRE));
+                assert!(!desc.hooked_output.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_circuit_degrades_time_bomb() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = generate(CircuitFamily::Arbiter, "victim", &mut rng);
+        let spec = TrojanSpec { trigger: TriggerKind::TimeBomb, payload: PayloadKind::Corrupt };
+        let desc = insert_trojan(&mut c, spec, &mut rng);
+        assert_eq!(desc.trigger, TriggerKind::MagicValue);
+    }
+
+    #[test]
+    fn lfsr_degrades_magic_value_to_time_bomb() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = generate(CircuitFamily::Lfsr, "victim", &mut rng);
+        let spec = TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::Leak };
+        let desc = insert_trojan(&mut c, spec, &mut rng);
+        assert_eq!(desc.trigger, TriggerKind::TimeBomb);
+    }
+
+    #[test]
+    fn arbiter_leak_degrades_to_corrupt() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = generate(CircuitFamily::Arbiter, "victim", &mut rng);
+        let spec = TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::Leak };
+        let desc = insert_trojan(&mut c, spec, &mut rng);
+        assert_eq!(desc.payload, PayloadKind::Corrupt);
+    }
+
+    #[test]
+    fn dos_payload_muxes_to_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = generate(CircuitFamily::Timer, "victim", &mut rng);
+        let spec =
+            TrojanSpec { trigger: TriggerKind::TimeBomb, payload: PayloadKind::DenialOfService };
+        let _ = insert_trojan(&mut c, spec, &mut rng);
+        let text = print_module(&c.module);
+        assert!(text.contains('?'), "expected a triggered mux:\n{text}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 2 regeneration: the repeated-split Brier
+//! distribution for early vs late fusion at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale, scale_from_env};
+use noodle_core::FusionStrategy;
+use noodle_metrics::summarize;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let scale = scale_from_env(quick_scale());
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("three_split_distribution", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 10;
+            let briers: Vec<f64> = (0..3)
+                .map(|s| {
+                    fit_detector(&scale, base + s)
+                        .evaluation()
+                        .brier_of(FusionStrategy::LateFusion)
+                })
+                .collect();
+            black_box(summarize(&briers, 0.95).mean)
+        });
+    });
+    group.finish();
+
+    let early: Vec<f64> = (0..scale.repeats as u64)
+        .map(|s| fit_detector(&scale, 1000 + s).evaluation().brier_of(FusionStrategy::EarlyFusion))
+        .collect();
+    let late: Vec<f64> = (0..scale.repeats as u64)
+        .map(|s| fit_detector(&scale, 1000 + s).evaluation().brier_of(FusionStrategy::LateFusion))
+        .collect();
+    println!(
+        "Fig2 (quick): early mean {:.4}, late mean {:.4} over {} runs",
+        summarize(&early, 0.95).mean,
+        summarize(&late, 0.95).mean,
+        scale.repeats
+    );
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 3 regeneration: reliability-curve
+//! computation over the winner's test probabilities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale, scale_from_env};
+use noodle_metrics::calibration_curve;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let scale = scale_from_env(quick_scale());
+    let detector = fit_detector(&scale, 42);
+    let eval = detector.evaluation().clone();
+    let probs = eval.probs_of(eval.winner).to_vec();
+    let outcomes = eval.test_outcomes();
+
+    let mut group = c.benchmark_group("fig3");
+    group.bench_function("calibration_curve", |b| {
+        b.iter(|| black_box(calibration_curve(&probs, &outcomes, 10)))
+    });
+    group.finish();
+
+    let curve = calibration_curve(&probs, &outcomes, 10);
+    println!(
+        "Fig3 (quick): ECE {:.4}, sharpness {:.4}, {} test designs",
+        curve.expected_calibration_error(),
+        curve.sharpness(),
+        probs.len()
+    );
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 4 regeneration: ROC/AUC of the late-fusion
+//! probabilities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale, scale_from_env};
+use noodle_core::FusionStrategy;
+use noodle_metrics::roc_curve;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = scale_from_env(quick_scale());
+    let detector = fit_detector(&scale, 42);
+    let eval = detector.evaluation().clone();
+    let probs = eval.probs_of(FusionStrategy::LateFusion).to_vec();
+    let outcomes = eval.test_outcomes();
+
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("roc_curve", |b| {
+        b.iter(|| black_box(roc_curve(&probs, &outcomes).auc()))
+    });
+    group.finish();
+
+    println!("Fig4 (quick): late-fusion AUC {:.3}", roc_curve(&probs, &outcomes).auc());
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 5 regeneration: the consolidated radar
+//! metric set of the winning model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale, scale_from_env};
+use noodle_metrics::RadarMetrics;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = scale_from_env(quick_scale());
+    let detector = fit_detector(&scale, 42);
+    let eval = detector.evaluation().clone();
+    let probs = eval.probs_of(eval.winner).to_vec();
+    let outcomes = eval.test_outcomes();
+
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("radar_metrics", |b| {
+        b.iter(|| black_box(RadarMetrics::compute(&probs, &outcomes).normalized_axes()))
+    });
+    group.finish();
+
+    let m = RadarMetrics::compute(&probs, &outcomes);
+    println!(
+        "Fig5 (quick): AUC {:.3}, Brier {:.3}, sensitivity {:.3}, accuracy {:.3}",
+        m.auc, m.brier, m.sensitivity, m.accuracy
+    );
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

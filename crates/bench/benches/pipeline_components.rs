@@ -1,0 +1,86 @@
+//! Criterion micro-benches of the pipeline's individual stages: Verilog
+//! parsing, graph/tabular modality extraction, CNN inference, conformal
+//! p-value fusion and GAN sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale};
+use noodle_bench_gen::{generate_corpus, CorpusConfig};
+use noodle_conformal::{Combiner, MondrianIcp};
+use noodle_core::extract_modalities;
+use noodle_gan::{GanConfig, VanillaGan};
+use noodle_graph::{build_graph, graph_image};
+use noodle_nn::Tensor;
+use noodle_tabular::extract_features;
+use noodle_verilog::{parse, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let source = corpus[0].source.clone();
+    let module = parse(&source).unwrap().modules.remove(0);
+
+    c.bench_function("verilog_parse", |b| b.iter(|| black_box(parse(&source).unwrap())));
+    c.bench_function("graph_extraction", |b| {
+        b.iter(|| black_box(graph_image(&build_graph(&module))))
+    });
+    c.bench_function("tabular_extraction", |b| {
+        b.iter(|| black_box(extract_features(&module).to_vec()))
+    });
+
+    // Detection latency of a fitted detector (the deployment-critical path).
+    let mut detector = fit_detector(&quick_scale(), 42);
+    let (graph, tabular) = extract_modalities(&source).unwrap();
+    c.bench_function("detect_single_design", |b| {
+        b.iter(|| black_box(detector.detect_features(Some(&graph), Some(&tabular)).unwrap()))
+    });
+
+    // Conformal p-value fusion.
+    let calib: Vec<(f32, usize)> = (0..200).map(|i| (i as f32 / 200.0, i % 2)).collect();
+    let icp = MondrianIcp::fit(&calib, 2).unwrap();
+    c.bench_function("conformal_fusion", |b| {
+        b.iter(|| {
+            let pg = icp.p_values(&[0.3, 0.8]);
+            let pt = icp.p_values(&[0.4, 0.7]);
+            black_box([
+                Combiner::Fisher.combine(&[pg[0], pt[0]]),
+                Combiner::Fisher.combine(&[pg[1], pt[1]]),
+            ])
+        })
+    });
+
+    // Corpus generation (one full TrustHub-like corpus).
+    c.bench_function("corpus_generation_40", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(generate_corpus(&CorpusConfig { seed, ..CorpusConfig::default() }))
+        })
+    });
+
+    // RTL simulation: 100 clock cycles of the first corpus design.
+    let sim_file = parse(&corpus[0].source).unwrap();
+    c.bench_function("simulate_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&sim_file.modules[0]).unwrap();
+            sim.set("rst", 1).unwrap();
+            sim.step("clk").unwrap();
+            sim.set("rst", 0).unwrap();
+            sim.run("clk", 100).unwrap();
+            black_box(sim.get("clk"))
+        })
+    });
+
+    // GAN sampling (amplification inner loop).
+    let mut rng = StdRng::seed_from_u64(1);
+    let real = Tensor::rand_uniform(&[24, 32], 0.0, 1.0, &mut rng);
+    let config = GanConfig { epochs: 10, hidden_dim: 16, ..GanConfig::default() };
+    let mut gan = VanillaGan::train(&real, &config, &mut rng);
+    c.bench_function("gan_sample_100", |b| {
+        b.iter(|| black_box(gan.sample(100, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

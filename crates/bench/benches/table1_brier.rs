@@ -1,0 +1,29 @@
+//! Criterion bench for the Table I regeneration: one full pipeline fit
+//! (GAN amplification + three CNNs + conformal calibration + fusion) at
+//! quick scale, producing the four Brier scores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_bench::{fit_detector, quick_scale, scale_from_env};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = scale_from_env(quick_scale());
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("full_pipeline_fit", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let detector = fit_detector(&scale, seed);
+            black_box(detector.evaluation().brier)
+        });
+    });
+    group.finish();
+
+    // Print the regenerated table once so `cargo bench` output carries it.
+    let detector = fit_detector(&scale, 42);
+    noodle_bench::print_table1(detector.evaluation());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: **p-value combination method** for late fusion.
+//!
+//! The paper builds its fusion on the p-value combination framework of
+//! Balasubramanian et al. (the paper's reference 36), which compares Fisher, Stouffer,
+//! min/max and mean combiners. This ablation recombines the stored
+//! per-modality p-values with every method and reports the late-fusion
+//! Brier score of each — no retraining, so differences are purely due to
+//! the combiner.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin ablation_combiners
+//! ```
+
+use noodle_bench::{fit_detector, mean, paper_scale, scale_from_env};
+use noodle_conformal::Combiner;
+use noodle_metrics::brier_score;
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    eprintln!("[ablation_combiners] scale = {}, seeds = 5", scale.name);
+    let mut rows: Vec<(Combiner, Vec<f64>)> =
+        Combiner::ALL.iter().map(|&c| (c, Vec::new())).collect();
+    for seed in 0..5u64 {
+        let detector = fit_detector(&scale, 42 + seed);
+        let eval = detector.evaluation();
+        let outcomes = eval.test_outcomes();
+        for (combiner, briers) in &mut rows {
+            let probs: Vec<f64> = eval
+                .graph_p_values
+                .iter()
+                .zip(&eval.tabular_p_values)
+                .map(|(pg, pt)| {
+                    let p0 = combiner.combine(&[pg[0], pt[0]]);
+                    let p1 = combiner.combine(&[pg[1], pt[1]]);
+                    p1 / (p0 + p1)
+                })
+                .collect();
+            briers.push(brier_score(&probs, &outcomes));
+        }
+    }
+    println!("Ablation: late-fusion Brier score by p-value combination method");
+    println!("{:<14} {:>12} {:>24}", "combiner", "mean Brier", "per-seed");
+    let mut best = (Combiner::Fisher, f64::INFINITY);
+    for (combiner, briers) in &rows {
+        let m = mean(briers);
+        if m < best.1 {
+            best = (*combiner, m);
+        }
+        let series: Vec<String> = briers.iter().map(|b| format!("{b:.3}")).collect();
+        println!("{:<14} {:>12.4} {:>24}", combiner.name(), m, series.join(" "));
+    }
+    println!("\nbest combiner at this scale: {} ({:.4})", best.0.name(), best.1);
+}

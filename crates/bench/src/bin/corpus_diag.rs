@@ -1,0 +1,48 @@
+//! Diagnostic: per-feature class statistics of the raw corpus, used to
+//! verify that no single tabular feature trivially separates Trojan-free
+//! from Trojan-infected designs (which would make the benchmark dishonest
+//! compared to the TrustHub regime).
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin corpus_diag
+//! ```
+
+use noodle_bench::{paper_scale, scale_from_env};
+use noodle_core::MultimodalDataset;
+use noodle_tabular::FEATURE_NAMES;
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    let corpus = noodle_bench_gen::generate_corpus(&scale.corpus);
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus parses");
+    let tf = dataset.class_indices(0);
+    let ti = dataset.class_indices(1);
+    let tf_mat = dataset.tabular_matrix(&tf);
+    let ti_mat = dataset.tabular_matrix(&ti);
+
+    let stats = |m: &noodle_nn::Tensor, col: usize| -> (f32, f32) {
+        let n = m.shape()[0];
+        let mean = (0..n).map(|r| m.row(r)[col]).sum::<f32>() / n as f32;
+        let var = (0..n).map(|r| (m.row(r)[col] - mean).powi(2)).sum::<f32>() / n as f32;
+        (mean, var.sqrt())
+    };
+
+    println!(
+        "{:<22} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "feature", "TF mean", "TF sd", "TI mean", "TI sd", "|d'|"
+    );
+    let mut worst: Vec<(f32, String)> = Vec::new();
+    for (col, name) in FEATURE_NAMES.iter().enumerate() {
+        let (m0, s0) = stats(&tf_mat, col);
+        let (m1, s1) = stats(&ti_mat, col);
+        let pooled = ((s0 * s0 + s1 * s1) / 2.0).sqrt().max(1e-6);
+        let d = ((m1 - m0) / pooled).abs();
+        println!("{name:<22} {m0:>9.2} {s0:>8.2} {m1:>9.2} {s1:>8.2} {d:>8.2}");
+        worst.push((d, name.to_string()));
+    }
+    worst.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("\nmost separating features (Cohen's d):");
+    for (d, name) in worst.iter().take(5) {
+        println!("  {name:<22} d = {d:.2}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 2**: the Brier-score distribution (with mean
+//! interval) for early fusion (2a) and late fusion (2b) over repeated
+//! randomized splits.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin fig2
+//! ```
+
+use noodle_bench::{fit_detector, paper_scale, scale_from_env};
+use noodle_core::FusionStrategy;
+use noodle_metrics::summarize;
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    eprintln!("[fig2] scale = {}, repeats = {}", scale.name, scale.repeats);
+    let mut early = Vec::with_capacity(scale.repeats);
+    let mut late = Vec::with_capacity(scale.repeats);
+    for seed in 0..scale.repeats as u64 {
+        let detector = fit_detector(&scale, 1000 + seed);
+        let eval = detector.evaluation();
+        early.push(eval.brier_of(FusionStrategy::EarlyFusion));
+        late.push(eval.brier_of(FusionStrategy::LateFusion));
+        eprintln!(
+            "  run {seed:>2}: early = {:.4}, late = {:.4}",
+            early.last().unwrap(),
+            late.last().unwrap()
+        );
+    }
+    for (name, values) in [("(a) Early fusion", &early), ("(b) Late fusion", &late)] {
+        let s = summarize(values, 0.95);
+        println!("\nFig. 2{name}: Brier score distribution over {} runs", s.n);
+        println!("  mean           : {:.4}", s.mean);
+        println!("  std dev        : {:.4}", s.std_dev);
+        println!("  min | q25 | median | q75 | max : {:.4} | {:.4} | {:.4} | {:.4} | {:.4}",
+                 s.min, s.q25, s.median, s.q75, s.max);
+        println!("  95% interval   : [{:.4}, {:.4}]", s.interval_lo, s.interval_hi);
+        print!("  samples        : ");
+        for v in values {
+            print!("{v:.3} ");
+        }
+        println!();
+    }
+    let early_mean = summarize(&early, 0.95).mean;
+    let late_mean = summarize(&late, 0.95).mean;
+    println!(
+        "\nshape check: late-fusion mean ({late_mean:.4}) {} early-fusion mean ({early_mean:.4})",
+        if late_mean <= early_mean { "<=" } else { ">" },
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Fig. 4**: the ROC curve and AUC of NOODLE under late
+//! fusion (the paper reports AUC = 0.928).
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin fig4
+//! ```
+
+use noodle_bench::{fit_detector, paper_scale, scale_from_env, PAPER_AUC};
+use noodle_core::FusionStrategy;
+use noodle_metrics::roc_curve;
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    eprintln!("[fig4] scale = {}", scale.name);
+    let detector = fit_detector(&scale, 42);
+    let eval = detector.evaluation();
+    let probs = eval.probs_of(FusionStrategy::LateFusion);
+    let outcomes = eval.test_outcomes();
+    let roc = roc_curve(probs, &outcomes);
+
+    println!("Fig. 4: ROC curve under late fusion ({} test designs)", probs.len());
+    println!("{:>12} {:>8} {:>8}", "threshold", "FPR", "TPR");
+    for point in roc.points() {
+        println!("{:>12.4} {:>8.3} {:>8.3}", point.threshold, point.fpr, point.tpr);
+    }
+    println!("\nmeasured AUC: {:.3}", roc.auc());
+    println!("paper AUC   : {PAPER_AUC:.3}");
+    println!(
+        "shape check: AUC {} 0.85 (the paper's 'performing well' zone)",
+        if roc.auc() >= 0.85 { ">=" } else { "<" },
+    );
+
+    // ASCII rendering of the curve.
+    println!("\n     ROC (x = FPR, y = TPR)");
+    const GRID: usize = 20;
+    let mut cells = vec![vec![' '; GRID + 1]; GRID + 1];
+    for p in roc.points() {
+        let x = (p.fpr * GRID as f64).round() as usize;
+        let y = (p.tpr * GRID as f64).round() as usize;
+        cells[y][x] = '*';
+    }
+    for y in (0..=GRID).rev() {
+        let row: String = cells[y].iter().collect();
+        println!("{:>4.2} |{row}", y as f64 / GRID as f64);
+    }
+    println!("      {}", "-".repeat(GRID + 1));
+}

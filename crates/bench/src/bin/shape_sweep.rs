@@ -1,0 +1,53 @@
+//! Shape sweep: mean Brier per strategy, late-fusion AUC and per-seed win
+//! counts over many independent corpora — the robustness view behind the
+//! single-run Table I.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin shape_sweep
+//! ```
+
+use noodle_bench::{fit_detector, mean, paper_scale, scale_from_env};
+use noodle_core::FusionStrategy;
+use noodle_metrics::roc_curve;
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    let seeds: u64 = if scale.name == "paper" { 10 } else { 4 };
+    eprintln!("[shape_sweep] scale = {}, seeds = {seeds}", scale.name);
+    let mut briers: [Vec<f64>; 4] = Default::default();
+    let mut aucs = Vec::new();
+    let mut late_wins = 0usize;
+    let mut fusion_wins = 0usize;
+    let mut graph_wins = 0usize;
+    for seed in 0..seeds {
+        let detector = fit_detector(&scale, 9000 + seed);
+        let eval = detector.evaluation();
+        for (slot, b) in eval.brier.iter().enumerate() {
+            briers[slot].push(*b);
+        }
+        let outcomes = eval.test_outcomes();
+        aucs.push(roc_curve(eval.probs_of(FusionStrategy::LateFusion), &outcomes).auc());
+        if eval.brier[3] <= eval.brier[2] {
+            late_wins += 1;
+        }
+        if eval.brier[2].min(eval.brier[3]) <= eval.brier[0].min(eval.brier[1]) {
+            fusion_wins += 1;
+        }
+        if eval.brier[0] <= eval.brier[1] {
+            graph_wins += 1;
+        }
+        eprintln!(
+            "  seed {seed}: brier = {:.3}/{:.3}/{:.3}/{:.3}, auc = {:.3}",
+            eval.brier[0], eval.brier[1], eval.brier[2], eval.brier[3],
+            aucs.last().unwrap()
+        );
+    }
+    println!("Shape sweep over {seeds} independent corpora:");
+    for (strategy, series) in FusionStrategy::ALL.iter().zip(&briers) {
+        println!("  mean Brier {:<45} {:.4}", strategy.label(), mean(series));
+    }
+    println!("  mean late-fusion AUC: {:.3}", mean(&aucs));
+    println!("  late beats early    : {late_wins}/{seeds} seeds");
+    println!("  fusion beats singles: {fusion_wins}/{seeds} seeds");
+    println!("  graph beats tabular : {graph_wins}/{seeds} seeds");
+}

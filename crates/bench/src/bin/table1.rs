@@ -1,0 +1,25 @@
+//! Regenerates **Table I**: Brier score for graph-only, tabular-only,
+//! early fusion and late fusion, side by side with the paper's values.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin table1
+//! ```
+
+use noodle_bench::{fit_detector, paper_scale, print_table1, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env(paper_scale());
+    eprintln!("[table1] scale = {}", scale.name);
+    let detector = fit_detector(&scale, 42);
+    let eval = detector.evaluation();
+    print_table1(eval);
+    println!();
+    println!("test designs: {}", eval.test_labels.len());
+    println!("winning fusion strategy: {:?}", eval.winner);
+    let single_best = eval.brier[0].min(eval.brier[1]);
+    let fusion_best = eval.brier[2].min(eval.brier[3]);
+    println!(
+        "shape check: best fusion ({fusion_best:.4}) {} best single modality ({single_best:.4})",
+        if fusion_best <= single_best { "beats" } else { "DOES NOT beat" },
+    );
+}

@@ -1,0 +1,191 @@
+//! P-value combination methods for uncertainty-aware information fusion.
+//!
+//! Following Balasubramanian et al., *Conformal predictions for information
+//! fusion* (AMAI 2015) — the method the NOODLE paper builds its Algorithm 1
+//! on — each modality's conformal predictor yields a p-value per class, and
+//! a combination function turns the N per-modality p-values into a single
+//! test statistic for the combined null hypothesis.
+//!
+//! All combiners here are *valid* in the sense that if every input p-value
+//! is super-uniform under the null, the output is too (Fisher and Stouffer
+//! exactly for independent inputs; min/max/means via the standard
+//! correction factors).
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::{chi2_sf, normal_cdf, normal_quantile};
+
+/// A p-value combination method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Combiner {
+    /// Fisher's method: `-2 Σ ln p ~ χ²(2N)`.
+    Fisher,
+    /// Stouffer's method: `Σ Φ⁻¹(1-p) / √N ~ N(0,1)`.
+    Stouffer,
+    /// Bonferroni-corrected minimum: `min(1, N · min p)`.
+    Min,
+    /// Maximum raised to the count: `(max p)^N`.
+    Max,
+    /// Twice the arithmetic mean, clipped to 1.
+    ArithmeticMean,
+    /// Euler-corrected geometric mean: `min(1, e · (Π p)^(1/N))`.
+    GeometricMean,
+}
+
+impl Combiner {
+    /// Every combiner, in a stable order.
+    pub const ALL: [Combiner; 6] = [
+        Combiner::Fisher,
+        Combiner::Stouffer,
+        Combiner::Min,
+        Combiner::Max,
+        Combiner::ArithmeticMean,
+        Combiner::GeometricMean,
+    ];
+
+    /// A short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Combiner::Fisher => "fisher",
+            Combiner::Stouffer => "stouffer",
+            Combiner::Min => "min",
+            Combiner::Max => "max",
+            Combiner::ArithmeticMean => "arith_mean",
+            Combiner::GeometricMean => "geo_mean",
+        }
+    }
+
+    /// Combines per-modality p-values into one p-value.
+    ///
+    /// Inputs are clamped to `[1e-12, 1]` to keep logs finite; the output is
+    /// always in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_values` is empty.
+    pub fn combine(self, p_values: &[f64]) -> f64 {
+        assert!(!p_values.is_empty(), "cannot combine zero p-values");
+        let ps: Vec<f64> = p_values.iter().map(|&p| p.clamp(1e-12, 1.0)).collect();
+        let n = ps.len() as f64;
+        let combined = match self {
+            Combiner::Fisher => {
+                let stat: f64 = -2.0 * ps.iter().map(|p| p.ln()).sum::<f64>();
+                chi2_sf(stat, 2 * ps.len() as u32)
+            }
+            Combiner::Stouffer => {
+                let z: f64 = ps
+                    .iter()
+                    .map(|&p| normal_quantile((1.0 - p).clamp(1e-12, 1.0 - 1e-12)))
+                    .sum::<f64>()
+                    / n.sqrt();
+                1.0 - normal_cdf(z)
+            }
+            Combiner::Min => {
+                let min = ps.iter().copied().fold(f64::INFINITY, f64::min);
+                (n * min).min(1.0)
+            }
+            Combiner::Max => {
+                let max = ps.iter().copied().fold(0.0, f64::max);
+                max.powf(n)
+            }
+            Combiner::ArithmeticMean => {
+                let mean = ps.iter().sum::<f64>() / n;
+                (2.0 * mean).min(1.0)
+            }
+            Combiner::GeometricMean => {
+                let geo = (ps.iter().map(|p| p.ln()).sum::<f64>() / n).exp();
+                (std::f64::consts::E * geo).min(1.0)
+            }
+        };
+        combined.clamp(1e-300, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fisher_two_halves() {
+        // -2 (ln .5 + ln .5) = 2.772..; chi2(4) SF at 2.772 ≈ 0.597.
+        let p = Combiner::Fisher.combine(&[0.5, 0.5]);
+        assert!((p - 0.5966).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn fisher_small_inputs_stay_small() {
+        let p = Combiner::Fisher.combine(&[0.01, 0.01]);
+        assert!(p < 0.01, "p = {p}");
+        let p1 = Combiner::Fisher.combine(&[0.01, 0.9]);
+        assert!(p1 > p, "conflicting evidence should weaken the combination");
+    }
+
+    #[test]
+    fn stouffer_agrees_at_half() {
+        let p = Combiner::Stouffer.combine(&[0.5, 0.5]);
+        assert!((p - 0.5).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn stouffer_strengthens_agreement() {
+        let single = 0.05;
+        let combined = Combiner::Stouffer.combine(&[single, single]);
+        assert!(combined < single, "combined {combined} should beat single {single}");
+    }
+
+    #[test]
+    fn min_is_bonferroni() {
+        assert!((Combiner::Min.combine(&[0.02, 0.5]) - 0.04).abs() < 1e-12);
+        assert_eq!(Combiner::Min.combine(&[0.9, 0.8]), 1.0);
+    }
+
+    #[test]
+    fn max_powers_up() {
+        assert!((Combiner::Max.combine(&[0.5, 0.9]) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_are_clipped_to_one() {
+        assert_eq!(Combiner::ArithmeticMean.combine(&[0.9, 0.9]), 1.0);
+        assert!((Combiner::ArithmeticMean.combine(&[0.1, 0.3]) - 0.4).abs() < 1e-12);
+        assert_eq!(Combiner::GeometricMean.combine(&[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn all_combiners_bounded_on_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let k = rng.random_range(1..5usize);
+            let ps: Vec<f64> = (0..k).map(|_| rng.random_range(0.0..1.0)).collect();
+            for c in Combiner::ALL {
+                let p = c.combine(&ps);
+                assert!(p > 0.0 && p <= 1.0, "{}: {p} from {ps:?}", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_input_is_near_identity_for_fisher() {
+        // With N = 1, Fisher reduces to chi2(2) SF of -2 ln p = p exactly.
+        for &p in &[0.01, 0.25, 0.7] {
+            let c = Combiner::Fisher.combine(&[p]);
+            assert!((c - p).abs() < 1e-9, "{c} vs {p}");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = Combiner::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Combiner::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero p-values")]
+    fn empty_input_panics() {
+        let _ = Combiner::Fisher.combine(&[]);
+    }
+}

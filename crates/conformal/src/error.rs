@@ -1,0 +1,34 @@
+//! Error type for conformal prediction.
+
+use std::fmt;
+
+/// An error produced while fitting or evaluating a conformal predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformalError {
+    message: String,
+}
+
+impl ConformalError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConformalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conformal prediction error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConformalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConformalError::new("class 1 has no calibration examples");
+        assert!(e.to_string().contains("class 1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Mondrian (label-conditional) inductive conformal prediction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConformalError;
+
+/// A fitted Mondrian inductive conformal predictor.
+///
+/// Calibration nonconformity scores are stored per class (the "Mondrian"
+/// taxonomy), which guarantees label-conditional validity: for every class,
+/// the long-run error rate at significance ε does not exceed ε — crucial
+/// here because Trojan-infected designs are the rare minority class and
+/// would otherwise absorb a disproportionate share of errors.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_conformal::MondrianIcp;
+///
+/// # fn main() -> Result<(), noodle_conformal::ConformalError> {
+/// // Calibration scores for a 2-class problem: (nonconformity, label).
+/// let icp = MondrianIcp::fit(
+///     &[(0.1, 0), (0.2, 0), (0.3, 0), (0.15, 1), (0.4, 1)],
+///     2,
+/// )?;
+/// // P-value of a test score hypothesized to belong to class 0.
+/// let p = icp.p_value(0, 0.25);
+/// assert!(p > 0.0 && p <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MondrianIcp {
+    /// Sorted calibration scores per class.
+    calibration: Vec<Vec<f32>>,
+}
+
+impl MondrianIcp {
+    /// Fits the predictor from `(nonconformity_score, label)` calibration
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConformalError`] if `n_classes` is zero, any label is out
+    /// of range, any score is non-finite, or some class has no calibration
+    /// examples (its p-values would be vacuous).
+    pub fn fit(scores: &[(f32, usize)], n_classes: usize) -> Result<Self, ConformalError> {
+        if n_classes == 0 {
+            return Err(ConformalError::new("number of classes must be positive"));
+        }
+        let mut calibration = vec![Vec::new(); n_classes];
+        for &(score, label) in scores {
+            if label >= n_classes {
+                return Err(ConformalError::new(format!(
+                    "label {label} out of range for {n_classes} classes"
+                )));
+            }
+            if !score.is_finite() {
+                return Err(ConformalError::new("nonconformity scores must be finite"));
+            }
+            calibration[label].push(score);
+        }
+        for (class, scores) in calibration.iter().enumerate() {
+            if scores.is_empty() {
+                return Err(ConformalError::new(format!(
+                    "class {class} has no calibration examples"
+                )));
+            }
+        }
+        for scores in &mut calibration {
+            scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+        }
+        Ok(Self { calibration })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.calibration.len()
+    }
+
+    /// Number of calibration examples for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn calibration_count(&self, class: usize) -> usize {
+        self.calibration[class].len()
+    }
+
+    /// The smoothed-free conformal p-value of hypothesis "the test example
+    /// with nonconformity `score` belongs to `class`":
+    /// `(#{calibration scores of class >= score} + 1) / (n_class + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn p_value(&self, class: usize, score: f32) -> f64 {
+        let scores = &self.calibration[class];
+        // scores is sorted ascending; count >= score via partition point.
+        let below = scores.partition_point(|&s| s < score);
+        let geq = scores.len() - below;
+        (geq as f64 + 1.0) / (scores.len() as f64 + 1.0)
+    }
+
+    /// P-values for every class given per-class nonconformity scores of one
+    /// test example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != self.n_classes()`.
+    pub fn p_values(&self, scores: &[f32]) -> Vec<f64> {
+        assert_eq!(
+            scores.len(),
+            self.n_classes(),
+            "need one nonconformity score per class"
+        );
+        scores.iter().enumerate().map(|(c, &s)| self.p_value(c, s)).collect()
+    }
+}
+
+/// The standard probability-based nonconformity score used by NOODLE's
+/// CNN conformal predictors: `NS(x, y) = 1 - p̂_y(x)` (Eq. 4 with a single
+/// classifier; for an ensemble the scores sum).
+pub fn nonconformity_from_proba(proba_of_label: f32) -> f32 {
+    1.0 - proba_of_label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_icp() -> MondrianIcp {
+        MondrianIcp::fit(
+            &[(0.1, 0), (0.2, 0), (0.3, 0), (0.4, 0), (0.5, 1), (0.6, 1)],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn p_value_formula() {
+        let icp = simple_icp();
+        // class 0 scores: [0.1, 0.2, 0.3, 0.4], n = 4.
+        // score 0.25 → 2 scores >= → p = 3/5.
+        assert!((icp.p_value(0, 0.25) - 0.6).abs() < 1e-9);
+        // score below all → p = 5/5 = 1.
+        assert!((icp.p_value(0, 0.0) - 1.0).abs() < 1e-9);
+        // score above all → p = 1/5.
+        assert!((icp.p_value(0, 0.9) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_count_as_geq() {
+        let icp = simple_icp();
+        // score exactly 0.2: scores >= 0.2 are {0.2, 0.3, 0.4} → p = 4/5.
+        assert!((icp.p_value(0, 0.2) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_values_bounded() {
+        let icp = simple_icp();
+        for &s in &[-1.0f32, 0.0, 0.35, 2.0] {
+            for c in 0..2 {
+                let p = icp.p_value(c, s);
+                assert!(p > 0.0 && p <= 1.0, "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_p_value_is_one_over_n_plus_one() {
+        let icp = simple_icp();
+        // class 1 has n = 2, so min possible p is 1/3.
+        assert!((icp.p_value(1, 100.0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(MondrianIcp::fit(&[(0.1, 0)], 0).is_err());
+        assert!(MondrianIcp::fit(&[(0.1, 2)], 2).is_err());
+        assert!(MondrianIcp::fit(&[(f32::NAN, 0)], 1).is_err());
+        // class 1 empty:
+        assert!(MondrianIcp::fit(&[(0.1, 0)], 2).is_err());
+    }
+
+    #[test]
+    fn p_values_vector_matches_classes() {
+        let icp = simple_icp();
+        let ps = icp.p_values(&[0.25, 0.55]);
+        assert_eq!(ps.len(), 2);
+        assert!((ps[0] - 0.6).abs() < 1e-9);
+        assert!((ps[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonconformity_is_one_minus_proba() {
+        assert_eq!(nonconformity_from_proba(1.0), 0.0);
+        assert_eq!(nonconformity_from_proba(0.25), 0.75);
+    }
+
+    #[test]
+    fn validity_on_exchangeable_data() {
+        // Draw calibration and test scores from the same distribution; the
+        // fraction of test examples whose true-class p-value <= ε must be
+        // close to (and long-run at most) ε.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let calib: Vec<(f32, usize)> = (0..400)
+            .map(|i| (rng.random_range(0.0..1.0f32), i % 2))
+            .collect();
+        let icp = MondrianIcp::fit(&calib, 2).unwrap();
+        for &eps in &[0.05f64, 0.1, 0.2] {
+            let mut errors = 0usize;
+            let n = 4000;
+            for i in 0..n {
+                let label = i % 2;
+                let score: f32 = rng.random_range(0.0..1.0);
+                if icp.p_value(label, score) <= eps {
+                    errors += 1;
+                }
+            }
+            let rate = errors as f64 / n as f64;
+            assert!(
+                rate < eps + 0.03,
+                "error rate {rate} exceeds significance {eps} by too much"
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # noodle-conformal
+//!
+//! Mondrian inductive conformal prediction (ICP) with p-value combination —
+//! the uncertainty-quantification engine of the NOODLE pipeline
+//! (Algorithm 1 of the paper).
+//!
+//! Each modality's classifier becomes a conformal predictor by calibrating
+//! nonconformity scores on a held-out split; label-conditional (Mondrian)
+//! calibration guarantees per-class validity even under the heavy class
+//! imbalance of Trojan detection. Per-modality p-values are fused with a
+//! [`Combiner`] (Fisher, Stouffer, …) into a combined hypothesis test per
+//! class, yielding calibrated prediction regions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_conformal::{Combiner, ConformalPrediction, MondrianIcp};
+//!
+//! # fn main() -> Result<(), noodle_conformal::ConformalError> {
+//! // Two modalities, each with its own calibrated conformal predictor.
+//! let icp_graph = MondrianIcp::fit(&[(0.1, 0), (0.2, 0), (0.7, 1), (0.8, 1)], 2)?;
+//! let icp_tab = MondrianIcp::fit(&[(0.2, 0), (0.3, 0), (0.6, 1), (0.9, 1)], 2)?;
+//! // Per-class p-values of one test design from each modality...
+//! let p_graph = icp_graph.p_values(&[0.15, 0.95]);
+//! let p_tab = icp_tab.p_values(&[0.25, 0.85]);
+//! // ...fused per class with Fisher's method (late fusion):
+//! let fused: Vec<f64> = (0..2)
+//!     .map(|c| Combiner::Fisher.combine(&[p_graph[c], p_tab[c]]))
+//!     .collect();
+//! let prediction = ConformalPrediction::new(fused);
+//! assert_eq!(prediction.point_prediction(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod combine;
+mod error;
+mod icp;
+mod region;
+pub mod special;
+
+pub use combine::Combiner;
+pub use error::ConformalError;
+pub use icp::{nonconformity_from_proba, MondrianIcp};
+pub use region::{region_stats, ConformalPrediction, RegionStats};

@@ -1,0 +1,212 @@
+//! Conformal prediction regions and hedged point predictions.
+
+use serde::{Deserialize, Serialize};
+
+/// A conformal prediction for one test example: the per-class p-values and
+/// the derived region/point views.
+///
+/// Terminology follows the paper's Algorithm 1: at confidence level `E` the
+/// region `r_E` contains every class whose p-value exceeds `1 - E`
+/// (equivalently, significance `ε = 1 - E`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformalPrediction {
+    p_values: Vec<f64>,
+}
+
+impl ConformalPrediction {
+    /// Wraps per-class p-values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_values` is empty or any value is outside `(0, 1]`.
+    pub fn new(p_values: Vec<f64>) -> Self {
+        assert!(!p_values.is_empty(), "need at least one class");
+        for &p in &p_values {
+            assert!(p > 0.0 && p <= 1.0, "p-value {p} outside (0, 1]");
+        }
+        Self { p_values }
+    }
+
+    /// The per-class p-values.
+    pub fn p_values(&self) -> &[f64] {
+        &self.p_values
+    }
+
+    /// The prediction region at significance `epsilon`: all classes with
+    /// `p > epsilon`.
+    pub fn region(&self, epsilon: f64) -> Vec<usize> {
+        self.p_values
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > epsilon)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// The paper's `r_E`: the region at confidence `E` (significance
+    /// `1 - E`).
+    pub fn region_at_confidence(&self, confidence: f64) -> Vec<usize> {
+        self.region(1.0 - confidence)
+    }
+
+    /// The hedged point prediction: the class with the highest p-value.
+    pub fn point_prediction(&self) -> usize {
+        let mut best = 0;
+        for (c, &p) in self.p_values.iter().enumerate() {
+            if p > self.p_values[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Credibility: the largest p-value (how typical the example is of the
+    /// predicted class).
+    pub fn credibility(&self) -> f64 {
+        self.p_values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Confidence: one minus the second-largest p-value (how decisively the
+    /// runner-up class is rejected). `1.0` for single-class problems.
+    pub fn confidence(&self) -> f64 {
+        if self.p_values.len() < 2 {
+            return 1.0;
+        }
+        let mut sorted = self.p_values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("p-values are finite"));
+        1.0 - sorted[1]
+    }
+
+    /// Whether the region at significance `epsilon` is uncertain (contains
+    /// more than one class).
+    pub fn is_uncertain(&self, epsilon: f64) -> bool {
+        self.region(epsilon).len() > 1
+    }
+
+    /// Whether the region at significance `epsilon` is empty (the example
+    /// looks unlike every class — itself a strong anomaly signal).
+    pub fn is_empty_region(&self, epsilon: f64) -> bool {
+        self.region(epsilon).is_empty()
+    }
+}
+
+/// Aggregate efficiency/validity statistics of conformal predictions on a
+/// labelled evaluation set at a fixed significance level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// The significance level ε the stats were computed at.
+    pub epsilon: f64,
+    /// Fraction of examples whose region missed the true label (validity
+    /// requires this to be ≤ ε in the long run).
+    pub error_rate: f64,
+    /// Mean region size (efficiency; 1.0 is ideal).
+    pub mean_region_size: f64,
+    /// Fraction of singleton regions.
+    pub singleton_rate: f64,
+    /// Fraction of empty regions.
+    pub empty_rate: f64,
+    /// Fraction of multi-label (uncertain) regions.
+    pub uncertain_rate: f64,
+}
+
+/// Computes [`RegionStats`] over labelled predictions.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length or are empty.
+pub fn region_stats(
+    predictions: &[ConformalPrediction],
+    labels: &[usize],
+    epsilon: f64,
+) -> RegionStats {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert!(!predictions.is_empty(), "need at least one prediction");
+    let n = predictions.len() as f64;
+    let mut errors = 0usize;
+    let mut size_sum = 0usize;
+    let mut singletons = 0usize;
+    let mut empties = 0usize;
+    let mut uncertain = 0usize;
+    for (pred, &label) in predictions.iter().zip(labels) {
+        let region = pred.region(epsilon);
+        if !region.contains(&label) {
+            errors += 1;
+        }
+        size_sum += region.len();
+        match region.len() {
+            0 => empties += 1,
+            1 => singletons += 1,
+            _ => uncertain += 1,
+        }
+    }
+    RegionStats {
+        epsilon,
+        error_rate: errors as f64 / n,
+        mean_region_size: size_sum as f64 / n,
+        singleton_rate: singletons as f64 / n,
+        empty_rate: empties as f64 / n,
+        uncertain_rate: uncertain as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_thresholding() {
+        let pred = ConformalPrediction::new(vec![0.8, 0.04]);
+        assert_eq!(pred.region(0.05), vec![0]);
+        assert_eq!(pred.region(0.01), vec![0, 1]);
+        assert_eq!(pred.region(0.9), Vec::<usize>::new());
+        assert_eq!(pred.region_at_confidence(0.95), vec![0]);
+    }
+
+    #[test]
+    fn point_prediction_is_argmax() {
+        let pred = ConformalPrediction::new(vec![0.3, 0.7]);
+        assert_eq!(pred.point_prediction(), 1);
+    }
+
+    #[test]
+    fn credibility_and_confidence() {
+        let pred = ConformalPrediction::new(vec![0.7, 0.2]);
+        assert!((pred.credibility() - 0.7).abs() < 1e-12);
+        assert!((pred.confidence() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncertainty_flags() {
+        let pred = ConformalPrediction::new(vec![0.6, 0.5]);
+        assert!(pred.is_uncertain(0.4));
+        assert!(!pred.is_uncertain(0.55));
+        assert!(pred.is_empty_region(0.7));
+    }
+
+    #[test]
+    fn stats_on_perfect_predictor() {
+        let preds = vec![
+            ConformalPrediction::new(vec![0.9, 0.01]),
+            ConformalPrediction::new(vec![0.02, 0.8]),
+        ];
+        let s = region_stats(&preds, &[0, 1], 0.05);
+        assert_eq!(s.error_rate, 0.0);
+        assert_eq!(s.mean_region_size, 1.0);
+        assert_eq!(s.singleton_rate, 1.0);
+        assert_eq!(s.empty_rate, 0.0);
+        assert_eq!(s.uncertain_rate, 0.0);
+    }
+
+    #[test]
+    fn stats_count_misses() {
+        let preds = vec![ConformalPrediction::new(vec![0.01, 0.9])];
+        let s = region_stats(&preds, &[0], 0.05);
+        assert_eq!(s.error_rate, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_invalid_p_values() {
+        let _ = ConformalPrediction::new(vec![0.0, 0.5]);
+    }
+}

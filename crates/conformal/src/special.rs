@@ -1,0 +1,266 @@
+//! Special functions needed for p-value combination: log-gamma, the
+//! regularized incomplete gamma function, the chi-square survival function
+//! and the standard normal CDF/quantile.
+//!
+//! Implementations follow the classic Lanczos / Numerical-Recipes forms and
+//! are unit-tested against reference values.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(s, x)`.
+///
+/// # Panics
+///
+/// Panics if `s <= 0` or `x < 0`.
+pub fn reg_gamma_p(s: f64, x: f64) -> f64 {
+    assert!(s > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < s + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / s;
+        let mut sum = term;
+        let mut n = s;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + s * x.ln() - x - ln_gamma(s)).exp()
+    } else {
+        1.0 - reg_gamma_q_cf(s, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(s, x) = 1 - P(s, x)`.
+///
+/// # Panics
+///
+/// Panics if `s <= 0` or `x < 0`.
+pub fn reg_gamma_q(s: f64, x: f64) -> f64 {
+    assert!(s > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < s + 1.0 {
+        1.0 - reg_gamma_p(s, x)
+    } else {
+        reg_gamma_q_cf(s, x)
+    }
+}
+
+/// Continued-fraction evaluation of `Q(s, x)`, valid for `x >= s + 1`.
+fn reg_gamma_q_cf(s: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - s;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - s);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (s * x.ln() - x - ln_gamma(s)).exp() * h
+}
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: `P(X >= x)`.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+pub fn chi2_sf(x: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    reg_gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Standard normal CDF via the complementary error function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (W. J. Cody–style rational approximation,
+/// accurate to ~1e-7 absolute which is ample for p-value work).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal quantile function (inverse CDF), Acklam's algorithm.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_of_integers() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_q_sum_to_one() {
+        for &s in &[0.5, 1.0, 2.5, 10.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0] {
+                let p = reg_gamma_p(s, x);
+                let q = reg_gamma_q(s, x);
+                assert!((p + q - 1.0).abs() < 1e-9, "s={s} x={x}: {p} + {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_sf_reference_values() {
+        // chi2 with 2 dof is Exp(1/2): SF(x) = exp(-x/2).
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            assert!((chi2_sf(x, 2) - (-x / 2.0f64).exp()).abs() < 1e-9);
+        }
+        // chi2(1): SF(3.841) ≈ 0.05
+        assert!((chi2_sf(3.841, 1) - 0.05).abs() < 1e-3);
+        // chi2(4): SF(9.488) ≈ 0.05
+        assert!((chi2_sf(9.488, 4) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.01, 0.05, 0.25, 0.5, 0.9, 0.99] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-4, "p={p}, z={z}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_points() {
+        assert!(normal_quantile(0.5).abs() < 1e-8);
+        assert!((normal_quantile(0.975) - 1.959_96).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0, 1)")]
+    fn quantile_rejects_bounds() {
+        let _ = normal_quantile(0.0);
+    }
+}

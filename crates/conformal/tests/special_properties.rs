@@ -1,0 +1,100 @@
+//! Property-based tests for the special functions and conformal machinery.
+
+use noodle_conformal::special::{chi2_sf, ln_gamma, normal_cdf, normal_quantile, reg_gamma_p, reg_gamma_q};
+use noodle_conformal::{Combiner, MondrianIcp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// P(s, x) + Q(s, x) = 1 across the domain.
+    #[test]
+    fn gamma_partition(s in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = reg_gamma_p(s, x);
+        let q = reg_gamma_q(s, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-8, "s={s} x={x}: {p}+{q}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    /// P is monotone increasing in x.
+    #[test]
+    fn gamma_p_monotone(s in 0.1f64..20.0, x in 0.0f64..50.0, dx in 0.01f64..10.0) {
+        prop_assert!(reg_gamma_p(s, x + dx) + 1e-10 >= reg_gamma_p(s, x));
+    }
+
+    /// Γ(x+1) = x Γ(x) (in log form).
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..30.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// chi2 survival decreases in x and lives in [0, 1].
+    #[test]
+    fn chi2_sf_monotone(x in 0.0f64..100.0, dx in 0.01f64..10.0, dof in 1u32..40) {
+        let a = chi2_sf(x, dof);
+        let b = chi2_sf(x + dx, dof);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b <= a + 1e-10);
+    }
+
+    /// The normal CDF and quantile are mutual inverses.
+    #[test]
+    fn normal_inverse_pair(p in 0.0005f64..0.9995) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 2e-4, "p={p}, z={z}");
+    }
+
+    /// The Mondrian p-value of the true class is super-uniform on
+    /// exchangeable data: P(p <= eps) <= eps. The guarantee is *marginal*
+    /// over calibration draws, so the property averages over several
+    /// calibration sets rather than conditioning on one.
+    #[test]
+    fn mondrian_super_uniformity(seed in 0u64..200, eps in 0.05f64..0.5) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..16 {
+            let calib: Vec<(f32, usize)> =
+                (0..120).map(|i| (rng.random_range(0.0..1.0f32), i % 2)).collect();
+            let icp = MondrianIcp::fit(&calib, 2).unwrap();
+            for i in 0..300 {
+                let score: f32 = rng.random_range(0.0..1.0);
+                if icp.p_value(i % 2, score) <= eps {
+                    hits += 1;
+                }
+                total += 1;
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        // Slack sized at ~5 standard deviations of the dominant variance
+        // term (conditional rate variation across 16 calibration sets of
+        // 60 per class), so false alarms are vanishingly rare while a
+        // validity bug would still trip the bound.
+        let slack = 0.03 + 5.0 * (eps * (1.0 - eps) / (60.0 * 16.0)).sqrt();
+        prop_assert!(rate <= eps + slack, "rate {rate} >> eps {eps} (+{slack:.3})");
+    }
+
+    /// Fisher's combination of uniform p-values is itself super-uniform.
+    #[test]
+    fn fisher_validity(seed in 0u64..200) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 800;
+        let mut hits = 0usize;
+        let eps = 0.1;
+        for _ in 0..n {
+            let p1: f64 = rng.random_range(0.0..1.0);
+            let p2: f64 = rng.random_range(0.0..1.0);
+            if Combiner::Fisher.combine(&[p1, p2]) <= eps {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        prop_assert!(rate <= eps + 0.05, "Fisher under the null: rate {rate}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Class-conditional GAN amplification of the multimodal dataset.
+//!
+//! Following the paper, Trojan-free and Trojan-infected samples are
+//! segregated and a GAN is trained per class. The GAN operates on the
+//! *concatenation* of both modalities so synthetic samples respect the
+//! joint distribution of the observed modalities (Sec. III), and the
+//! combined vector is split back into graph and tabular parts afterwards.
+
+use noodle_gan::{amplify_class, GanConfig};
+use noodle_nn::Tensor;
+use rand::Rng;
+
+use crate::dataset::{MultimodalDataset, MultimodalSample, GRAPH_DIM, TABULAR_DIM};
+
+/// Amplifies every class of `dataset` to `target_per_class` samples with a
+/// per-class GAN over the joint modality vector. Real samples are kept
+/// verbatim; synthetic samples are appended with `synthetic = true`.
+///
+/// Classes already at or above the target are left unchanged.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn amplify_dataset<R: Rng + ?Sized>(
+    dataset: &MultimodalDataset,
+    target_per_class: usize,
+    config: &GanConfig,
+    rng: &mut R,
+) -> MultimodalDataset {
+    assert!(!dataset.is_empty(), "cannot amplify an empty dataset");
+    let max_label = dataset.samples().iter().map(|s| s.label).max().unwrap_or(0);
+    let mut samples: Vec<MultimodalSample> = dataset.samples().to_vec();
+    for label in 0..=max_label {
+        let indices = dataset.class_indices(label);
+        if indices.is_empty() || indices.len() >= target_per_class {
+            continue;
+        }
+        let joint = joint_matrix(dataset, &indices);
+        let grown = amplify_class(&joint, target_per_class, config, rng);
+        // Rows beyond the real count are synthetic.
+        for r in indices.len()..grown.shape()[0] {
+            let row = grown.row(r);
+            let mut graph = row[..GRAPH_DIM].to_vec();
+            // Graph images live in [0, 1]; the GAN's inverse scaling keeps
+            // the training range but clamp defensively.
+            for v in &mut graph {
+                *v = v.clamp(0.0, 1.0);
+            }
+            // Tabular features are counts; keep them non-negative.
+            let tabular: Vec<f32> =
+                row[GRAPH_DIM..].iter().map(|&v| v.max(0.0)).collect();
+            samples.push(MultimodalSample {
+                name: format!("syn_c{label}_{:03}", r - indices.len()),
+                label,
+                graph,
+                tabular,
+                synthetic: true,
+            });
+        }
+    }
+    MultimodalDataset::from_samples(samples)
+}
+
+fn joint_matrix(dataset: &MultimodalDataset, indices: &[usize]) -> Tensor {
+    let mut rows = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let s = &dataset.samples()[i];
+        let mut row = Vec::with_capacity(GRAPH_DIM + TABULAR_DIM);
+        row.extend_from_slice(&s.graph);
+        row.extend_from_slice(&s.tabular);
+        rows.push(row);
+    }
+    Tensor::stack_rows(&rows).expect("all joint rows share one length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_bench_gen::{generate_corpus, CorpusConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> GanConfig {
+        GanConfig { epochs: 10, hidden_dim: 16, ..GanConfig::default() }
+    }
+
+    #[test]
+    fn amplifies_both_classes_to_target() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 4, seed: 1 });
+        let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let grown = amplify_dataset(&ds, 20, &small_config(), &mut rng);
+        assert_eq!(grown.class_count(0), 20);
+        assert_eq!(grown.class_count(1), 20);
+        assert_eq!(grown.len(), 40);
+    }
+
+    #[test]
+    fn real_samples_survive_unchanged() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 2 });
+        let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let grown = amplify_dataset(&ds, 10, &small_config(), &mut rng);
+        for (orig, kept) in ds.samples().iter().zip(grown.samples()) {
+            assert_eq!(orig, kept);
+        }
+    }
+
+    #[test]
+    fn synthetic_samples_are_flagged_and_bounded() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 3 });
+        let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let grown = amplify_dataset(&ds, 12, &small_config(), &mut rng);
+        let synthetic: Vec<_> = grown.samples().iter().filter(|s| s.synthetic).collect();
+        assert_eq!(synthetic.len(), grown.len() - ds.len());
+        for s in synthetic {
+            assert!(s.graph.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(s.tabular.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn oversize_class_untouched() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 8, trojan_infected: 3, seed: 4 });
+        let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let grown = amplify_dataset(&ds, 5, &small_config(), &mut rng);
+        assert_eq!(grown.class_count(0), 8); // already above target
+        assert_eq!(grown.class_count(1), 5);
+    }
+}

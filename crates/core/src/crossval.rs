@@ -1,0 +1,162 @@
+//! Stratified k-fold cross-validation over *real* designs.
+//!
+//! Each fold holds out 1/k of the real corpus for evaluation and fits the
+//! full pipeline (GAN amplification included) on the rest, so every real
+//! design is tested exactly once with no synthetic leakage — the
+//! evaluation protocol a deployment decision should be based on (see
+//! EXPERIMENTS.md §A4 for how much this differs from the paper's
+//! amplify-then-split protocol).
+
+use noodle_metrics::DistributionSummary;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::MultimodalDataset;
+use crate::detector::{EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector};
+use crate::error::PipelineError;
+
+/// The evaluation of one cross-validation fold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldReport {
+    /// Fold index in `0..k`.
+    pub fold: usize,
+    /// Indices (into the input dataset) of the held-out designs.
+    pub test_indices: Vec<usize>,
+    /// The fitted pipeline's evaluation on the held-out designs.
+    pub report: EvaluationReport,
+}
+
+/// Aggregated cross-validation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidation {
+    /// Per-fold evaluations.
+    pub folds: Vec<FoldReport>,
+}
+
+impl CrossValidation {
+    /// Brier scores of one strategy across folds.
+    pub fn briers_of(&self, strategy: FusionStrategy) -> Vec<f64> {
+        self.folds.iter().map(|f| f.report.brier_of(strategy)).collect()
+    }
+
+    /// Distribution summary of one strategy's fold Brier scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no folds.
+    pub fn summary_of(&self, strategy: FusionStrategy) -> DistributionSummary {
+        noodle_metrics::summarize(&self.briers_of(strategy), 0.95)
+    }
+
+    /// Pooled `(probability, outcome)` pairs of one strategy over all
+    /// folds, for pooled metrics (ROC, calibration, …).
+    pub fn pooled(&self, strategy: FusionStrategy) -> (Vec<f64>, Vec<bool>) {
+        let mut probs = Vec::new();
+        let mut outcomes = Vec::new();
+        for fold in &self.folds {
+            probs.extend_from_slice(fold.report.probs_of(strategy));
+            outcomes.extend(fold.report.test_outcomes());
+        }
+        (probs, outcomes)
+    }
+}
+
+/// Runs stratified k-fold cross-validation.
+///
+/// Folds are stratified by class so each contains both Trojan-free and
+/// Trojan-infected designs (requires at least `k` designs of each class).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the dataset cannot be folded (fewer than
+/// `k` designs of either class, or `k < 2`) or any fold fails to fit.
+pub fn cross_validate<R: Rng + ?Sized>(
+    dataset: &MultimodalDataset,
+    config: &NoodleConfig,
+    k: usize,
+    rng: &mut R,
+) -> Result<CrossValidation, PipelineError> {
+    if k < 2 {
+        return Err(PipelineError::Dataset("k-fold needs k >= 2".into()));
+    }
+    for class in 0..=1 {
+        if dataset.class_count(class) < k {
+            return Err(PipelineError::Dataset(format!(
+                "class {class} has {} designs, fewer than k = {k}",
+                dataset.class_count(class)
+            )));
+        }
+    }
+    // Stratified fold assignment: shuffle each class, deal round-robin.
+    let mut fold_of = vec![0usize; dataset.len()];
+    for class in 0..=1 {
+        let mut indices = dataset.class_indices(class);
+        rand::seq::SliceRandom::shuffle(indices.as_mut_slice(), rng);
+        for (pos, &i) in indices.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_indices: Vec<usize> =
+            (0..dataset.len()).filter(|&i| fold_of[i] == fold).collect();
+        let detector = NoodleDetector::fit_holdout(dataset, &test_indices, config, rng)?;
+        folds.push(FoldReport { fold, test_indices, report: detector.evaluation().clone() });
+    }
+    Ok(CrossValidation { folds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_bench_gen::{generate_corpus, CorpusConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> MultimodalDataset {
+        let corpus = generate_corpus(&CorpusConfig {
+            trojan_free: 12,
+            trojan_infected: 6,
+            seed: 77,
+        });
+        MultimodalDataset::from_benchmarks(&corpus).unwrap()
+    }
+
+    #[test]
+    fn every_design_tested_exactly_once() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cv = cross_validate(&ds, &NoodleConfig::fast(), 3, &mut rng).unwrap();
+        assert_eq!(cv.folds.len(), 3);
+        let mut seen: Vec<usize> =
+            cv.folds.iter().flat_map(|f| f.test_indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..ds.len()).collect::<Vec<_>>());
+        // Stratification: every fold sees both classes.
+        for fold in &cv.folds {
+            assert!(fold.report.test_labels.contains(&0), "fold {} misses TF", fold.fold);
+            assert!(fold.report.test_labels.contains(&1), "fold {} misses TI", fold.fold);
+        }
+    }
+
+    #[test]
+    fn summaries_and_pooling_are_consistent() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cv = cross_validate(&ds, &NoodleConfig::fast(), 3, &mut rng).unwrap();
+        let summary = cv.summary_of(FusionStrategy::LateFusion);
+        assert_eq!(summary.n, 3);
+        assert!(summary.mean >= 0.0 && summary.mean <= 1.0);
+        let (probs, outcomes) = cv.pooled(FusionStrategy::LateFusion);
+        assert_eq!(probs.len(), ds.len());
+        assert_eq!(outcomes.len(), ds.len());
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(cross_validate(&ds, &NoodleConfig::fast(), 1, &mut rng).is_err());
+        assert!(cross_validate(&ds, &NoodleConfig::fast(), 7, &mut rng).is_err());
+    }
+}

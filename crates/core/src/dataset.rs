@@ -1,0 +1,438 @@
+//! The multimodal dataset: per-design graph-image and tabular feature
+//! vectors with labels, plus stratified splitting.
+
+use noodle_bench_gen::Benchmark;
+use noodle_graph::{build_graph, graph_image, IMAGE_CHANNELS, IMAGE_SIZE};
+use noodle_nn::Tensor;
+use noodle_tabular::{extract_features, TabularFeatures};
+use noodle_verilog::parse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+
+/// One design in both modalities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultimodalSample {
+    /// Design name.
+    pub name: String,
+    /// Class index: 0 = Trojan-free, 1 = Trojan-infected.
+    pub label: usize,
+    /// Flattened graph image (`IMAGE_CHANNELS × IMAGE_SIZE × IMAGE_SIZE`).
+    pub graph: Vec<f32>,
+    /// Tabular code-branching feature vector.
+    pub tabular: Vec<f32>,
+    /// Whether the sample was synthesized by the GAN amplifier.
+    pub synthetic: bool,
+}
+
+/// A dataset of multimodal samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultimodalDataset {
+    samples: Vec<MultimodalSample>,
+}
+
+/// Stratified index split into train / calibration / test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Conformal calibration indices.
+    pub calibration: Vec<usize>,
+    /// Held-out test indices.
+    pub test: Vec<usize>,
+}
+
+/// Length of the flattened graph modality vector.
+pub const GRAPH_DIM: usize = IMAGE_CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+
+/// Length of the tabular modality vector.
+pub const TABULAR_DIM: usize = TabularFeatures::len();
+
+impl MultimodalDataset {
+    /// Builds the dataset from generated benchmarks by parsing each design
+    /// and extracting both modalities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if any benchmark fails to parse or has no
+    /// modules.
+    pub fn from_benchmarks(benchmarks: &[Benchmark]) -> Result<Self, PipelineError> {
+        let mut samples = Vec::with_capacity(benchmarks.len());
+        for bench in benchmarks {
+            samples.push(sample_from_source(
+                &bench.name,
+                &bench.source,
+                bench.label.index(),
+            )?);
+        }
+        Ok(Self { samples })
+    }
+
+    /// Builds the dataset from raw `(name, verilog_source, label)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if any source fails to parse or has no
+    /// modules.
+    pub fn from_sources(sources: &[(&str, &str, usize)]) -> Result<Self, PipelineError> {
+        let mut samples = Vec::with_capacity(sources.len());
+        for (name, source, label) in sources {
+            samples.push(sample_from_source(name, source, *label)?);
+        }
+        Ok(Self { samples })
+    }
+
+    /// Wraps pre-extracted samples (used by the GAN amplifier).
+    pub fn from_samples(samples: Vec<MultimodalSample>) -> Self {
+        Self { samples }
+    }
+
+    /// The samples in order.
+    pub fn samples(&self) -> &[MultimodalSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: MultimodalSample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples with the given label.
+    pub fn class_count(&self, label: usize) -> usize {
+        self.samples.iter().filter(|s| s.label == label).count()
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn class_indices(&self, label: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.samples[i].label == label).collect()
+    }
+
+    /// The graph modality of selected samples as `[n, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn graph_tensor(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * GRAPH_DIM);
+        for &i in indices {
+            data.extend_from_slice(&self.samples[i].graph);
+        }
+        Tensor::from_vec(vec![indices.len(), IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE], data)
+            .expect("graph vectors have a fixed length")
+    }
+
+    /// The graph modality flattened to `[n, GRAPH_DIM]` (for GANs and early
+    /// fusion).
+    pub fn graph_matrix(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * GRAPH_DIM);
+        for &i in indices {
+            data.extend_from_slice(&self.samples[i].graph);
+        }
+        Tensor::from_vec(vec![indices.len(), GRAPH_DIM], data)
+            .expect("graph vectors have a fixed length")
+    }
+
+    /// The tabular modality of selected samples as `[n, TABULAR_DIM]`.
+    pub fn tabular_matrix(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * TABULAR_DIM);
+        for &i in indices {
+            data.extend_from_slice(&self.samples[i].tabular);
+        }
+        Tensor::from_vec(vec![indices.len(), TABULAR_DIM], data)
+            .expect("tabular vectors have a fixed length")
+    }
+
+    /// Labels of selected samples.
+    pub fn labels(&self, indices: &[usize]) -> Vec<usize> {
+        indices.iter().map(|&i| self.samples[i].label).collect()
+    }
+
+    /// A new dataset containing clones of the selected samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> MultimodalDataset {
+        MultimodalDataset::from_samples(
+            indices.iter().map(|&i| self.samples[i].clone()).collect(),
+        )
+    }
+
+    /// Stratified split into train / calibration / test by fractions.
+    /// Within each class, sample order is shuffled by `seed`; fractions
+    /// apply per class so the imbalance is preserved in every part and no
+    /// part ends up without minority examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac`, `0 < calib_frac` and
+    /// `train_frac + calib_frac < 1`.
+    pub fn split(&self, train_frac: f64, calib_frac: f64, seed: u64) -> Split {
+        assert!(train_frac > 0.0 && calib_frac > 0.0, "fractions must be positive");
+        assert!(train_frac + calib_frac < 1.0, "no test fraction left");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut split = Split { train: Vec::new(), calibration: Vec::new(), test: Vec::new() };
+        let max_label = self.samples.iter().map(|s| s.label).max().unwrap_or(0);
+        for label in 0..=max_label {
+            let mut indices = self.class_indices(label);
+            rand::seq::SliceRandom::shuffle(indices.as_mut_slice(), &mut rng);
+            let n = indices.len();
+            // At least one example of each class in each part when possible.
+            let n_train = ((n as f64 * train_frac).round() as usize).clamp(1, n.saturating_sub(2).max(1));
+            let n_calib =
+                ((n as f64 * calib_frac).round() as usize).clamp(1, (n - n_train).saturating_sub(1).max(1));
+            split.train.extend(&indices[..n_train]);
+            split.calibration.extend(&indices[n_train..n_train + n_calib]);
+            split.test.extend(&indices[n_train + n_calib..]);
+        }
+        split
+    }
+}
+
+/// Extracts both modality vectors from Verilog source text: the flattened
+/// graph image and the tabular feature vector.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the source fails to parse or contains no
+/// modules.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_core::extract_modalities;
+///
+/// # fn main() -> Result<(), noodle_core::PipelineError> {
+/// let (graph, tabular) =
+///     extract_modalities("module m(input a, output y); assign y = !a; endmodule")?;
+/// assert_eq!(graph.len(), noodle_core::GRAPH_DIM);
+/// assert_eq!(tabular.len(), noodle_core::TABULAR_DIM);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_modalities(source: &str) -> Result<(Vec<f32>, Vec<f32>), PipelineError> {
+    let sample = sample_from_source("anonymous", source, 0)?;
+    Ok((sample.graph, sample.tabular))
+}
+
+/// Parses one design and extracts both modalities. Multi-module sources are
+/// merged by summing tabular features and overlaying graph images (the
+/// TrustHub benchmarks are single-IP designs, but hierarchical sources
+/// should not lose their submodules).
+fn sample_from_source(
+    name: &str,
+    source: &str,
+    label: usize,
+) -> Result<MultimodalSample, PipelineError> {
+    let file = parse(source)?;
+    if file.modules.is_empty() {
+        return Err(PipelineError::EmptyDesign);
+    }
+    // Hierarchical sources: flatten the top module (the one nobody
+    // instantiates) so cross-module dataflow is visible to the graph
+    // modality. If flattening fails (e.g. a black-box instance), fall back
+    // to merging per-module features.
+    let flattened = if file.modules.len() > 1 {
+        let instantiated: std::collections::HashSet<&str> = file
+            .modules
+            .iter()
+            .flat_map(|m| m.items.iter())
+            .filter_map(|item| match item {
+                noodle_verilog::Item::Instance { module, .. } => Some(module.as_str()),
+                _ => None,
+            })
+            .collect();
+        file.modules
+            .iter()
+            .find(|m| !instantiated.contains(m.name.as_str()))
+            .and_then(|top| noodle_verilog::transform::flatten(&file, &top.name).ok())
+    } else {
+        None
+    };
+    let modules: Vec<&noodle_verilog::Module> = match &flattened {
+        Some(flat) => vec![flat],
+        None => file.modules.iter().collect(),
+    };
+    let mut graph_acc = vec![0.0f32; GRAPH_DIM];
+    let mut tabular_acc = vec![0.0f32; TABULAR_DIM];
+    for module in modules {
+        let image = graph_image(&build_graph(module));
+        for (a, &v) in graph_acc.iter_mut().zip(image.data()) {
+            *a = a.max(v);
+        }
+        let features = extract_features(module).to_vec();
+        for (a, v) in tabular_acc.iter_mut().zip(features) {
+            *a += v;
+        }
+    }
+    Ok(MultimodalSample {
+        name: name.to_string(),
+        label,
+        graph: graph_acc,
+        tabular: tabular_acc,
+        synthetic: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_bench_gen::{generate_corpus, CorpusConfig};
+
+    fn tiny_dataset() -> MultimodalDataset {
+        let corpus = generate_corpus(&CorpusConfig {
+            trojan_free: 12,
+            trojan_infected: 6,
+            seed: 5,
+        });
+        MultimodalDataset::from_benchmarks(&corpus).unwrap()
+    }
+
+    #[test]
+    fn builds_from_corpus() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.len(), 18);
+        assert_eq!(ds.class_count(0), 12);
+        assert_eq!(ds.class_count(1), 6);
+        for s in ds.samples() {
+            assert_eq!(s.graph.len(), GRAPH_DIM);
+            assert_eq!(s.tabular.len(), TABULAR_DIM);
+            assert!(!s.synthetic);
+        }
+    }
+
+    #[test]
+    fn tensors_have_expected_shapes() {
+        let ds = tiny_dataset();
+        let idx: Vec<usize> = (0..5).collect();
+        assert_eq!(ds.graph_tensor(&idx).shape(), &[5, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        assert_eq!(ds.graph_matrix(&idx).shape(), &[5, GRAPH_DIM]);
+        assert_eq!(ds.tabular_matrix(&idx).shape(), &[5, TABULAR_DIM]);
+        assert_eq!(ds.labels(&idx).len(), 5);
+    }
+
+    #[test]
+    fn split_is_stratified_and_complete() {
+        let ds = tiny_dataset();
+        let split = ds.split(0.5, 0.25, 42);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.calibration)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..18).collect::<Vec<_>>(), "split must partition the dataset");
+        // Each part contains both classes.
+        for part in [&split.train, &split.calibration, &split.test] {
+            let labels = ds.labels(part);
+            assert!(labels.contains(&0), "part misses class 0");
+            assert!(labels.contains(&1), "part misses class 1");
+        }
+    }
+
+    #[test]
+    fn split_depends_on_seed() {
+        let ds = tiny_dataset();
+        let a = ds.split(0.5, 0.25, 1);
+        let b = ds.split(0.5, 0.25, 2);
+        assert_ne!(a.train, b.train);
+        assert_eq!(ds.split(0.5, 0.25, 1), a, "same seed must reproduce");
+    }
+
+    #[test]
+    fn hierarchical_sources_are_flattened() {
+        let hierarchical = "
+            module top(input a, input b, output y);
+                wire n;
+                stage s0(.i(a), .o(n));
+                stage s1(.i(n & b), .o(y));
+            endmodule
+            module stage(input i, output o);
+                assign o = !i;
+            endmodule";
+        let flat_equivalent = "
+            module top(input a, input b, output y);
+                wire n;
+                wire s0_i, s0_o, s1_i, s1_o;
+                assign s0_o = !s0_i;
+                assign s1_o = !s1_i;
+                assign s0_i = a;
+                assign n = s0_o;
+                assign s1_i = n & b;
+                assign y = s1_o;
+            endmodule";
+        let ds = MultimodalDataset::from_sources(&[
+            ("hier", hierarchical, 0),
+            ("flat", flat_equivalent, 0),
+        ])
+        .unwrap();
+        // The hierarchical sample must see the cross-module dataflow: its
+        // graph must be as connected as the hand-flattened equivalent's
+        // (same number of non-zero image cells), not two disjoint islands.
+        let nz = |v: &[f32]| v.iter().filter(|&&x| x > 0.0).count();
+        assert_eq!(nz(&ds.samples()[0].graph), nz(&ds.samples()[1].graph));
+    }
+
+    #[test]
+    fn parse_failure_is_reported() {
+        let result = MultimodalDataset::from_sources(&[("bad", "module broken(", 0)]);
+        assert!(matches!(result, Err(PipelineError::Parse(_))));
+    }
+
+    #[test]
+    fn empty_source_is_rejected() {
+        let result = MultimodalDataset::from_sources(&[("empty", "", 0)]);
+        assert!(matches!(result, Err(PipelineError::EmptyDesign)));
+    }
+
+    #[test]
+    fn bare_trojan_insertion_shifts_trigger_features() {
+        // On undecorated designs (no benign trigger-lookalikes) the raw
+        // Trojan signature must point in the expected direction. The full
+        // corpus deliberately cancels this marginal with decoy chains —
+        // that cancellation is tested in `noodle-bench-gen`.
+        use noodle_bench_gen::{families, insert_trojan, CircuitFamily, TrojanSpec};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let col = noodle_tabular::FEATURE_NAMES
+            .iter()
+            .position(|&n| n == "const_comparisons")
+            .unwrap();
+        let mut clean_sum = 0.0;
+        let mut infected_sum = 0.0;
+        for (i, spec) in TrojanSpec::all().into_iter().enumerate() {
+            let family = CircuitFamily::ALL[i % CircuitFamily::ALL.len()];
+            let clean = families::generate(family, "c", &mut rng);
+            let clean_src = noodle_verilog::print_module(&clean.module);
+            let mut infected = clean.clone();
+            insert_trojan(&mut infected, spec, &mut rng);
+            let infected_src = noodle_verilog::print_module(&infected.module);
+            let ds = MultimodalDataset::from_sources(&[
+                ("c", clean_src.as_str(), 0),
+                ("t", infected_src.as_str(), 1),
+            ])
+            .unwrap();
+            clean_sum += ds.samples()[0].tabular[col];
+            infected_sum += ds.samples()[1].tabular[col];
+        }
+        assert!(
+            infected_sum > clean_sum,
+            "bare Trojans must add comparator mass: {infected_sum} vs {clean_sum}"
+        );
+    }
+}

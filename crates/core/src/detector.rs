@@ -1,0 +1,844 @@
+//! The NOODLE detector: multimodal CNNs + Mondrian ICP + p-value fusion.
+//!
+//! [`NoodleDetector::fit`] implements Algorithm 2 of the paper end to end:
+//! GAN amplification of the small corpus, per-modality CNN training, early
+//! and late fusion with uncertainty-aware p-value combination
+//! (Algorithm 1), and selection of the winning fusion strategy by Brier
+//! score. The fitted detector then classifies new RTL with calibrated
+//! uncertainty, including designs with a missing modality (imputed by a
+//! conditional GAN).
+
+use noodle_conformal::{
+    nonconformity_from_proba, Combiner, ConformalPrediction, MondrianIcp,
+};
+use noodle_gan::{GanConfig, ImputerConfig, ModalityImputer};
+use noodle_graph::{IMAGE_CHANNELS, IMAGE_SIZE};
+use noodle_metrics::brier_score;
+use noodle_nn::{Tensor, TrainConfig};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::amplify::amplify_dataset;
+use crate::classifier::{ModalityClassifier, ModalityKind};
+use crate::dataset::{extract_modalities, MultimodalDataset, Split, GRAPH_DIM, TABULAR_DIM};
+use crate::error::PipelineError;
+use crate::normalize::ZScore;
+
+/// All hyperparameters of the NOODLE pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoodleConfig {
+    /// CNN training hyperparameters (identical for every modality).
+    pub train: TrainConfig,
+    /// GAN amplification hyperparameters.
+    pub gan: GanConfig,
+    /// Cross-modal imputer hyperparameters.
+    pub imputer: ImputerConfig,
+    /// Target samples per class after GAN amplification (the paper grows
+    /// the corpus to ~500 points total; 250 per class).
+    pub amplify_per_class: usize,
+    /// P-value combination method for late fusion.
+    pub combiner: Combiner,
+    /// Fraction of the amplified corpus used for CNN training.
+    pub train_frac: f64,
+    /// Fraction used for conformal calibration.
+    pub calib_frac: f64,
+    /// Significance level ε for prediction regions.
+    pub significance: f64,
+    /// Whether to train the cross-modal imputers (needed only for
+    /// missing-modality detection).
+    pub train_imputers: bool,
+    /// Evaluation protocol: `false` (paper-faithful) amplifies the whole
+    /// corpus before splitting, so the test split contains GAN-synthetic
+    /// samples; `true` holds out *real* designs for testing and amplifies
+    /// only the training/calibration pool (no synthetic leakage into the
+    /// evaluation).
+    pub holdout_real_test: bool,
+}
+
+impl Default for NoodleConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig { epochs: 10, batch_size: 16, lr: 1e-3 },
+            gan: GanConfig::default(),
+            imputer: ImputerConfig::default(),
+            amplify_per_class: 250,
+            combiner: Combiner::Fisher,
+            train_frac: 0.56,
+            calib_frac: 0.22,
+            significance: 0.1,
+            train_imputers: true,
+            holdout_real_test: false,
+        }
+    }
+}
+
+impl NoodleConfig {
+    /// A heavily down-scaled configuration for unit tests and examples that
+    /// must run in seconds.
+    pub fn fast() -> Self {
+        Self {
+            train: TrainConfig { epochs: 14, batch_size: 16, lr: 2e-3 },
+            gan: GanConfig { epochs: 20, hidden_dim: 16, ..GanConfig::default() },
+            imputer: ImputerConfig { epochs: 15, hidden_dim: 16, ..ImputerConfig::default() },
+            amplify_per_class: 50,
+            train_imputers: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The four classification strategies the paper compares (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// Graph modality CNN alone.
+    GraphOnly,
+    /// Tabular modality CNN alone.
+    TabularOnly,
+    /// Feature-level fusion: one CNN over the concatenated modalities.
+    EarlyFusion,
+    /// Decision-level fusion: conformal p-value combination per class.
+    LateFusion,
+}
+
+impl FusionStrategy {
+    /// All strategies in Table I order.
+    pub const ALL: [FusionStrategy; 4] = [
+        FusionStrategy::GraphOnly,
+        FusionStrategy::TabularOnly,
+        FusionStrategy::EarlyFusion,
+        FusionStrategy::LateFusion,
+    ];
+
+    /// Human-readable name matching the paper's Table I.
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionStrategy::GraphOnly => "Graph-based Data",
+            FusionStrategy::TabularOnly => "Tabular-based Data",
+            FusionStrategy::EarlyFusion => "NOODLE - Early Fusion (Graph + Tabular)",
+            FusionStrategy::LateFusion => "NOODLE - Late Fusion (Graph + Tabular)",
+        }
+    }
+}
+
+/// Per-strategy positive-class probabilities and Brier scores on the held-
+/// out test split, captured during [`NoodleDetector::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Names of the test designs.
+    pub test_names: Vec<String>,
+    /// Ground-truth labels of the test designs (0 = TF, 1 = TI).
+    pub test_labels: Vec<usize>,
+    /// P(Trojan-infected) per test design, graph modality alone.
+    pub graph_probs: Vec<f64>,
+    /// P(Trojan-infected) per test design, tabular modality alone.
+    pub tabular_probs: Vec<f64>,
+    /// P(Trojan-infected) per test design, early fusion.
+    pub early_probs: Vec<f64>,
+    /// P(Trojan-infected) per test design, late fusion (normalized
+    /// combined p-values).
+    pub late_probs: Vec<f64>,
+    /// Combined per-class p-values per test design (late fusion).
+    pub late_p_values: Vec<[f64; 2]>,
+    /// Per-class conformal p-values per test design, graph modality.
+    pub graph_p_values: Vec<[f64; 2]>,
+    /// Per-class conformal p-values per test design, tabular modality.
+    pub tabular_p_values: Vec<[f64; 2]>,
+    /// Brier score per strategy, in [`FusionStrategy::ALL`] order.
+    pub brier: [f64; 4],
+    /// The winning fusion strategy (lowest Brier among early/late).
+    pub winner: FusionStrategy,
+}
+
+impl EvaluationReport {
+    /// The Brier score of one strategy.
+    pub fn brier_of(&self, strategy: FusionStrategy) -> f64 {
+        let idx = FusionStrategy::ALL
+            .iter()
+            .position(|&s| s == strategy)
+            .expect("strategy is one of ALL");
+        self.brier[idx]
+    }
+
+    /// The probability series of one strategy.
+    pub fn probs_of(&self, strategy: FusionStrategy) -> &[f64] {
+        match strategy {
+            FusionStrategy::GraphOnly => &self.graph_probs,
+            FusionStrategy::TabularOnly => &self.tabular_probs,
+            FusionStrategy::EarlyFusion => &self.early_probs,
+            FusionStrategy::LateFusion => &self.late_probs,
+        }
+    }
+
+    /// Test labels as booleans (`true` = Trojan-infected).
+    pub fn test_outcomes(&self) -> Vec<bool> {
+        self.test_labels.iter().map(|&l| l == 1).collect()
+    }
+}
+
+/// One classification decision with calibrated uncertainty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The hedged point decision: is the design Trojan-infected?
+    pub infected: bool,
+    /// Normalized probability of infection derived from the p-values.
+    pub probability_infected: f64,
+    /// The conformal prediction (per-class p-values).
+    pub prediction: ConformalPrediction,
+    /// Classes in the region at the configured significance.
+    pub region: Vec<usize>,
+    /// Credibility of the decision (largest p-value).
+    pub credibility: f64,
+    /// Confidence of the decision (1 − second-largest p-value).
+    pub confidence: f64,
+    /// Whether the region is uncertain (contains both classes) — the
+    /// risk-aware "send to manual inspection" signal.
+    pub uncertain: bool,
+    /// Whether any modality was imputed rather than extracted.
+    pub imputed_modality: bool,
+    /// The strategy that produced the decision.
+    pub strategy: FusionStrategy,
+}
+
+/// A fitted NOODLE detector.
+///
+/// The whole detector — CNNs, normalizer, conformal calibration, imputers
+/// and the captured evaluation — serializes with [`NoodleDetector::to_json`]
+/// so a model can be trained once and deployed.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct NoodleDetector {
+    config: NoodleConfig,
+    graph_clf: ModalityClassifier,
+    tabular_clf: ModalityClassifier,
+    early_clf: ModalityClassifier,
+    tabular_norm: ZScore,
+    icp_graph: MondrianIcp,
+    icp_tabular: MondrianIcp,
+    icp_early: MondrianIcp,
+    imputer_graph_to_tab: Option<ModalityImputer>,
+    imputer_tab_to_graph: Option<ModalityImputer>,
+    evaluation: EvaluationReport,
+}
+
+impl NoodleDetector {
+    /// Fits the full pipeline on a multimodal dataset (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the dataset is too small to split into
+    /// train/calibration/test parts with both classes present, or if
+    /// conformal calibration fails.
+    pub fn fit<R: Rng + ?Sized>(
+        dataset: &MultimodalDataset,
+        config: &NoodleConfig,
+        rng: &mut R,
+    ) -> Result<Self, PipelineError> {
+        if dataset.class_count(0) < 2 || dataset.class_count(1) < 2 {
+            return Err(PipelineError::Dataset(
+                "need at least two samples of each class".into(),
+            ));
+        }
+
+        // Steps 1–2: GAN amplification (class-conditional, joint
+        // modalities) and stratified splitting. The paper amplifies the
+        // whole corpus before splitting, so the test split contains
+        // synthetic samples; with `holdout_real_test` the test split is
+        // carved from the *real* designs first and only the remaining pool
+        // is amplified — the leakage-free protocol.
+        let split_seed = rng.random::<u64>();
+        let (amplified, split) = if config.holdout_real_test {
+            let test_frac = 1.0 - config.train_frac - config.calib_frac;
+            let real = dataset.split(1.0 - test_frac - 1e-9, test_frac / 2.0, split_seed);
+            // `real.train` is the amplification pool; `real.calibration` and
+            // `real.test` together form the held-out real test set.
+            let test_indices: Vec<usize> =
+                real.calibration.iter().chain(&real.test).copied().collect();
+            prepare_holdout(dataset, &test_indices, config, split_seed, rng)
+        } else {
+            let amplified =
+                amplify_dataset(dataset, config.amplify_per_class, &config.gan, rng);
+            let split =
+                amplified.split(config.train_frac, config.calib_frac, split_seed);
+            (amplified, split)
+        };
+        Self::fit_prepared(amplified, split, config, rng)
+    }
+
+    /// Fits the pipeline with an explicit held-out real test set: the pool
+    /// (every design outside `test_indices`) is GAN-amplified for training
+    /// and calibration, and the held-out designs form the evaluation split.
+    /// This is the building block of [`crate::cross_validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] under the same conditions as
+    /// [`NoodleDetector::fit`], or if `test_indices` is empty or covers the
+    /// whole dataset.
+    pub fn fit_holdout<R: Rng + ?Sized>(
+        dataset: &MultimodalDataset,
+        test_indices: &[usize],
+        config: &NoodleConfig,
+        rng: &mut R,
+    ) -> Result<Self, PipelineError> {
+        if test_indices.is_empty() || test_indices.len() >= dataset.len() {
+            return Err(PipelineError::Dataset(
+                "holdout must leave both a pool and a test set".into(),
+            ));
+        }
+        let split_seed = rng.random::<u64>();
+        let (amplified, split) =
+            prepare_holdout(dataset, test_indices, config, split_seed, rng);
+        Self::fit_prepared(amplified, split, config, rng)
+    }
+
+    fn fit_prepared<R: Rng + ?Sized>(
+        amplified: MultimodalDataset,
+        split: Split,
+        config: &NoodleConfig,
+        rng: &mut R,
+    ) -> Result<Self, PipelineError> {
+        // Step 3: modality tensors.
+        let tabular_norm = ZScore::fit(&amplified.tabular_matrix(&split.train));
+        let graph_train = amplified.graph_tensor(&split.train);
+        let tab_train = tab_input(&amplified, &split.train, &tabular_norm);
+        let early_train = early_input(&amplified, &split.train, &tabular_norm);
+        let train_labels = amplified.labels(&split.train);
+
+        // Step 4: three CNNs with identical hyperparameters.
+        let mut graph_clf = ModalityClassifier::new(ModalityKind::Graph, rng);
+        let mut tabular_clf = ModalityClassifier::new(ModalityKind::Tabular, rng);
+        let mut early_clf = ModalityClassifier::new(ModalityKind::EarlyFusion, rng);
+        graph_clf.fit(&graph_train, &train_labels, &config.train, rng);
+        tabular_clf.fit(&tab_train, &train_labels, &config.train, rng);
+        early_clf.fit(&early_train, &train_labels, &config.train, rng);
+
+        // Step 5: Mondrian ICP calibration per source (Algorithm 1).
+        let calib_labels = amplified.labels(&split.calibration);
+        let icp_graph = calibrate(
+            &mut graph_clf,
+            &amplified.graph_tensor(&split.calibration),
+            &calib_labels,
+        )?;
+        let icp_tabular = calibrate(
+            &mut tabular_clf,
+            &tab_input(&amplified, &split.calibration, &tabular_norm),
+            &calib_labels,
+        )?;
+        let icp_early = calibrate(
+            &mut early_clf,
+            &early_input(&amplified, &split.calibration, &tabular_norm),
+            &calib_labels,
+        )?;
+
+        // Step 6: evaluate every strategy on the test split.
+        let test_labels = amplified.labels(&split.test);
+        let graph_proba = graph_clf.predict_proba(&amplified.graph_tensor(&split.test));
+        let tab_proba =
+            tabular_clf.predict_proba(&tab_input(&amplified, &split.test, &tabular_norm));
+        let early_proba =
+            early_clf.predict_proba(&early_input(&amplified, &split.test, &tabular_norm));
+
+        let n_test = split.test.len();
+        let mut late_probs = Vec::with_capacity(n_test);
+        let mut late_p_values = Vec::with_capacity(n_test);
+        let mut graph_p_values = Vec::with_capacity(n_test);
+        let mut tabular_p_values = Vec::with_capacity(n_test);
+        for i in 0..n_test {
+            let pg = icp_graph.p_values(&scores_from_proba(graph_proba.row(i)));
+            let pt = icp_tabular.p_values(&scores_from_proba(tab_proba.row(i)));
+            let fused: Vec<f64> = (0..2)
+                .map(|c| config.combiner.combine(&[pg[c], pt[c]]))
+                .collect();
+            late_probs.push(fused[1] / (fused[0] + fused[1]));
+            late_p_values.push([fused[0], fused[1]]);
+            graph_p_values.push([pg[0], pg[1]]);
+            tabular_p_values.push([pt[0], pt[1]]);
+        }
+
+        let outcomes: Vec<bool> = test_labels.iter().map(|&l| l == 1).collect();
+        let graph_probs: Vec<f64> = (0..n_test).map(|i| graph_proba.row(i)[1] as f64).collect();
+        let tabular_probs: Vec<f64> = (0..n_test).map(|i| tab_proba.row(i)[1] as f64).collect();
+        let early_probs: Vec<f64> = (0..n_test).map(|i| early_proba.row(i)[1] as f64).collect();
+        let brier = [
+            brier_score(&graph_probs, &outcomes),
+            brier_score(&tabular_probs, &outcomes),
+            brier_score(&early_probs, &outcomes),
+            brier_score(&late_probs, &outcomes),
+        ];
+        // Algorithm 2 step 8: choose the winning *fusion* method by Brier.
+        let winner = if brier[3] <= brier[2] {
+            FusionStrategy::LateFusion
+        } else {
+            FusionStrategy::EarlyFusion
+        };
+        let evaluation = EvaluationReport {
+            test_names: split
+                .test
+                .iter()
+                .map(|&i| amplified.samples()[i].name.clone())
+                .collect(),
+            test_labels,
+            graph_probs,
+            tabular_probs,
+            early_probs,
+            late_probs,
+            late_p_values,
+            graph_p_values,
+            tabular_p_values,
+            brier,
+            winner,
+        };
+
+        // Step 7: optional cross-modal imputers for missing modalities.
+        let (imputer_graph_to_tab, imputer_tab_to_graph) = if config.train_imputers {
+            let g = amplified.graph_matrix(&split.train);
+            let t = amplified.tabular_matrix(&split.train);
+            (
+                Some(ModalityImputer::train(&g, &t, &config.imputer, rng)),
+                Some(ModalityImputer::train(&t, &g, &config.imputer, rng)),
+            )
+        } else {
+            (None, None)
+        };
+
+        Ok(Self {
+            config: *config,
+            graph_clf,
+            tabular_clf,
+            early_clf,
+            tabular_norm,
+            icp_graph,
+            icp_tabular,
+            icp_early,
+            imputer_graph_to_tab,
+            imputer_tab_to_graph,
+            evaluation,
+        })
+    }
+
+    /// The test-split evaluation captured during fitting.
+    pub fn evaluation(&self) -> &EvaluationReport {
+        &self.evaluation
+    }
+
+    /// The winning fusion strategy.
+    pub fn winner(&self) -> FusionStrategy {
+        self.evaluation.winner
+    }
+
+    /// The configuration the detector was fitted with.
+    pub fn config(&self) -> &NoodleConfig {
+        &self.config
+    }
+
+    /// Serializes the fitted detector (networks, calibration, imputers,
+    /// evaluation) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a detector previously produced by
+    /// [`NoodleDetector::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if `json` is not a valid detector.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Classifies an RTL design given as Verilog source text, using the
+    /// winning fusion strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the source fails to parse.
+    pub fn detect(&mut self, source: &str) -> Result<Detection, PipelineError> {
+        let (graph, tabular) = extract_modalities(source)?;
+        self.detect_features(Some(&graph), Some(&tabular))
+    }
+
+    /// Classifies from raw modality vectors; either modality may be missing
+    /// and is then imputed by the conditional GAN (Algorithm 2, step 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Dataset`] if both modalities are missing, a
+    /// vector has the wrong length, or imputation is required but the
+    /// detector was fitted with `train_imputers = false`.
+    pub fn detect_features(
+        &mut self,
+        graph: Option<&[f32]>,
+        tabular: Option<&[f32]>,
+    ) -> Result<Detection, PipelineError> {
+        if let Some(g) = graph {
+            if g.len() != GRAPH_DIM {
+                return Err(PipelineError::Dataset(format!(
+                    "graph vector must have length {GRAPH_DIM}, got {}",
+                    g.len()
+                )));
+            }
+        }
+        if let Some(t) = tabular {
+            if t.len() != TABULAR_DIM {
+                return Err(PipelineError::Dataset(format!(
+                    "tabular vector must have length {TABULAR_DIM}, got {}",
+                    t.len()
+                )));
+            }
+        }
+        let mut imputed = false;
+        let (graph, tabular): (Vec<f32>, Vec<f32>) = match (graph, tabular) {
+            (Some(g), Some(t)) => (g.to_vec(), t.to_vec()),
+            (Some(g), None) => {
+                let imputer = self.imputer_graph_to_tab.as_mut().ok_or_else(|| {
+                    PipelineError::Dataset("imputers were not trained".into())
+                })?;
+                imputed = true;
+                let gm = Tensor::from_vec(vec![1, GRAPH_DIM], g.to_vec())
+                    .expect("length checked above");
+                (g.to_vec(), imputer.impute(&gm).row(0).to_vec())
+            }
+            (None, Some(t)) => {
+                let imputer = self.imputer_tab_to_graph.as_mut().ok_or_else(|| {
+                    PipelineError::Dataset("imputers were not trained".into())
+                })?;
+                imputed = true;
+                let tm = Tensor::from_vec(vec![1, TABULAR_DIM], t.to_vec())
+                    .expect("length checked above");
+                (imputer.impute(&tm).row(0).to_vec(), t.to_vec())
+            }
+            (None, None) => {
+                return Err(PipelineError::Dataset(
+                    "at least one modality must be present".into(),
+                ))
+            }
+        };
+
+        let strategy = self.evaluation.winner;
+        let prediction = self.conformal_for(&graph, &tabular, strategy);
+        Ok(self.decision(prediction, strategy, imputed))
+    }
+
+    /// Classifies with an explicitly chosen strategy (used by the ablation
+    /// benches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the source fails to parse.
+    pub fn detect_with_strategy(
+        &mut self,
+        source: &str,
+        strategy: FusionStrategy,
+    ) -> Result<Detection, PipelineError> {
+        let (graph, tabular) = extract_modalities(source)?;
+        let prediction = self.conformal_for(&graph, &tabular, strategy);
+        Ok(self.decision(prediction, strategy, false))
+    }
+
+    fn conformal_for(
+        &mut self,
+        graph: &[f32],
+        tabular: &[f32],
+        strategy: FusionStrategy,
+    ) -> ConformalPrediction {
+        let graph_t = Tensor::from_vec(
+            vec![1, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
+            graph.to_vec(),
+        )
+        .expect("graph vector length is validated");
+        let tab_raw = Tensor::from_vec(vec![1, TABULAR_DIM], tabular.to_vec())
+            .expect("tabular vector length is validated");
+        let tab_norm = self.tabular_norm.transform(&tab_raw);
+        let tab_t = tab_norm
+            .reshape(&[1, 1, TABULAR_DIM])
+            .expect("reshape keeps the element count");
+        match strategy {
+            FusionStrategy::GraphOnly => {
+                let proba = self.graph_clf.predict_proba(&graph_t);
+                ConformalPrediction::new(
+                    self.icp_graph.p_values(&scores_from_proba(proba.row(0))),
+                )
+            }
+            FusionStrategy::TabularOnly => {
+                let proba = self.tabular_clf.predict_proba(&tab_t);
+                ConformalPrediction::new(
+                    self.icp_tabular.p_values(&scores_from_proba(proba.row(0))),
+                )
+            }
+            FusionStrategy::EarlyFusion => {
+                let mut row = graph.to_vec();
+                row.extend_from_slice(tab_norm.row(0));
+                let early = Tensor::from_vec(vec![1, 1, GRAPH_DIM + TABULAR_DIM], row)
+                    .expect("concatenation length is fixed");
+                let proba = self.early_clf.predict_proba(&early);
+                ConformalPrediction::new(
+                    self.icp_early.p_values(&scores_from_proba(proba.row(0))),
+                )
+            }
+            FusionStrategy::LateFusion => {
+                let pg = {
+                    let proba = self.graph_clf.predict_proba(&graph_t);
+                    self.icp_graph.p_values(&scores_from_proba(proba.row(0)))
+                };
+                let pt = {
+                    let proba = self.tabular_clf.predict_proba(&tab_t);
+                    self.icp_tabular.p_values(&scores_from_proba(proba.row(0)))
+                };
+                let fused: Vec<f64> = (0..2)
+                    .map(|c| self.config.combiner.combine(&[pg[c], pt[c]]))
+                    .collect();
+                ConformalPrediction::new(fused)
+            }
+        }
+    }
+
+    fn decision(
+        &self,
+        prediction: ConformalPrediction,
+        strategy: FusionStrategy,
+        imputed: bool,
+    ) -> Detection {
+        let region = prediction.region(self.config.significance);
+        let p = prediction.p_values();
+        Detection {
+            infected: prediction.point_prediction() == 1,
+            probability_infected: p[1] / (p[0] + p[1]),
+            region: region.clone(),
+            credibility: prediction.credibility(),
+            confidence: prediction.confidence(),
+            uncertain: region.len() > 1,
+            imputed_modality: imputed,
+            strategy,
+            prediction,
+        }
+    }
+}
+
+/// Builds the amplified working set and split for a real-holdout fit: the
+/// pool (everything outside `test_indices`) is GAN-amplified and split into
+/// train/calibration; the held-out real designs are appended as the test
+/// part.
+fn prepare_holdout<R: Rng + ?Sized>(
+    dataset: &MultimodalDataset,
+    test_indices: &[usize],
+    config: &NoodleConfig,
+    split_seed: u64,
+    rng: &mut R,
+) -> (MultimodalDataset, Split) {
+    let pool_indices: Vec<usize> =
+        (0..dataset.len()).filter(|i| !test_indices.contains(i)).collect();
+    let pool = dataset.subset(&pool_indices);
+    let mut amplified = amplify_dataset(&pool, config.amplify_per_class, &config.gan, rng);
+    let inner_frac = config.train_frac / (config.train_frac + config.calib_frac);
+    let inner = amplified.split(inner_frac - 1e-9, (1.0 - inner_frac) / 2.0, split_seed ^ 0xA5A5);
+    let offset = amplified.len();
+    for &i in test_indices {
+        amplified.push(dataset.samples()[i].clone());
+    }
+    let test: Vec<usize> = (offset..amplified.len()).collect();
+    let split = Split {
+        train: inner.train,
+        // Calibration must stay disjoint from training; fold the inner test
+        // remnant into calibration rather than waste it.
+        calibration: inner.calibration.into_iter().chain(inner.test).collect(),
+        test,
+    };
+    (amplified, split)
+}
+
+/// Converts `[1, 2]` softmax probabilities to per-class nonconformity
+/// scores (Eq. 4 with a single classifier).
+fn scores_from_proba(row: &[f32]) -> Vec<f32> {
+    row.iter().map(|&p| nonconformity_from_proba(p)).collect()
+}
+
+fn calibrate(
+    clf: &mut ModalityClassifier,
+    inputs: &Tensor,
+    labels: &[usize],
+) -> Result<MondrianIcp, PipelineError> {
+    let proba = clf.predict_proba(inputs);
+    let scores: Vec<(f32, usize)> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (nonconformity_from_proba(proba.row(i)[y]), y))
+        .collect();
+    Ok(MondrianIcp::fit(&scores, 2)?)
+}
+
+fn tab_input(dataset: &MultimodalDataset, indices: &[usize], norm: &ZScore) -> Tensor {
+    norm.transform(&dataset.tabular_matrix(indices))
+        .reshape(&[indices.len(), 1, TABULAR_DIM])
+        .expect("reshape keeps the element count")
+}
+
+fn early_input(dataset: &MultimodalDataset, indices: &[usize], norm: &ZScore) -> Tensor {
+    let graph = dataset.graph_matrix(indices);
+    let tab = norm.transform(&dataset.tabular_matrix(indices));
+    Tensor::concat_cols(&[&graph, &tab])
+        .expect("row counts match by construction")
+        .reshape(&[indices.len(), 1, GRAPH_DIM + TABULAR_DIM])
+        .expect("reshape keeps the element count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_bench_gen::{generate_corpus, CorpusConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted() -> NoodleDetector {
+        let corpus = generate_corpus(&CorpusConfig {
+            trojan_free: 14,
+            trojan_infected: 7,
+            seed: 11,
+        });
+        let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_complete_evaluation() {
+        let det = fitted();
+        let eval = det.evaluation();
+        assert!(!eval.test_labels.is_empty());
+        assert_eq!(eval.graph_probs.len(), eval.test_labels.len());
+        assert_eq!(eval.late_probs.len(), eval.test_labels.len());
+        assert_eq!(eval.late_p_values.len(), eval.test_labels.len());
+        for &b in &eval.brier {
+            assert!((0.0..=1.0).contains(&b), "brier {b}");
+        }
+        for &p in eval.graph_probs.iter().chain(&eval.late_probs) {
+            assert!((0.0..=1.0).contains(&p), "prob {p}");
+        }
+        assert!(matches!(
+            eval.winner,
+            FusionStrategy::EarlyFusion | FusionStrategy::LateFusion
+        ));
+    }
+
+    #[test]
+    fn detect_classifies_new_designs() {
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig {
+            trojan_free: 1,
+            trojan_infected: 1,
+            seed: 999,
+        });
+        for bench in &probe {
+            let d = det.detect(&bench.source).unwrap();
+            assert!((0.0..=1.0).contains(&d.probability_infected));
+            assert!(d.credibility > 0.0 && d.credibility <= 1.0);
+            assert!(d.confidence >= 0.0 && d.confidence <= 1.0);
+            assert_eq!(d.prediction.p_values().len(), 2);
+        }
+    }
+
+    #[test]
+    fn detect_rejects_garbage() {
+        let mut det = fitted();
+        assert!(det.detect("module broken(").is_err());
+    }
+
+    #[test]
+    fn all_strategies_produce_decisions() {
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig {
+            trojan_free: 1,
+            trojan_infected: 0,
+            seed: 5,
+        });
+        for strategy in FusionStrategy::ALL {
+            let d = det.detect_with_strategy(&probe[0].source, strategy).unwrap();
+            assert_eq!(d.strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn missing_modality_requires_imputers() {
+        let mut det = fitted(); // fast() config: imputers off
+        let g = vec![0.0; GRAPH_DIM];
+        let err = det.detect_features(Some(&g), None).unwrap_err();
+        assert!(err.to_string().contains("imputers"));
+        assert!(det.detect_features(None, None).is_err());
+    }
+
+    #[test]
+    fn feature_length_is_validated() {
+        let mut det = fitted();
+        assert!(det.detect_features(Some(&[0.0; 3]), None).is_err());
+        assert!(det.detect_features(None, Some(&[0.0; 3])).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_dataset() {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 1, seed: 1 });
+        let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn holdout_protocol_tests_only_real_designs() {
+        let corpus = generate_corpus(&CorpusConfig {
+            trojan_free: 14,
+            trojan_infected: 7,
+            seed: 21,
+        });
+        let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = NoodleConfig { holdout_real_test: true, ..NoodleConfig::fast() };
+        let det = NoodleDetector::fit(&dataset, &config, &mut rng).unwrap();
+        let eval = det.evaluation();
+        assert!(!eval.test_names.is_empty());
+        // Every test design must be a real corpus design, never synthetic.
+        for name in &eval.test_names {
+            assert!(
+                corpus.iter().any(|b| &b.name == name),
+                "test design `{name}` is not a real corpus member"
+            );
+            assert!(!name.starts_with("syn_"), "synthetic sample in test: {name}");
+        }
+        // Both classes are present in the real test set.
+        assert!(eval.test_labels.contains(&0));
+        assert!(eval.test_labels.contains(&1));
+    }
+
+    #[test]
+    fn detector_json_round_trip_preserves_decisions() {
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig {
+            trojan_free: 2,
+            trojan_infected: 1,
+            seed: 777,
+        });
+        let json = det.to_json().unwrap();
+        let mut restored = NoodleDetector::from_json(&json).unwrap();
+        for bench in &probe {
+            let a = det.detect(&bench.source).unwrap();
+            let b = restored.detect(&bench.source).unwrap();
+            assert_eq!(a.infected, b.infected);
+            assert!((a.probability_infected - b.probability_infected).abs() < 1e-12);
+            assert_eq!(a.prediction.p_values(), b.prediction.p_values());
+        }
+        // Float JSON round-trips can wobble in the last bit; the captured
+        // evaluation must survive within that tolerance.
+        assert_eq!(det.evaluation().test_names, restored.evaluation().test_names);
+        for (a, b) in det.evaluation().brier.iter().zip(&restored.evaluation().brier) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strategy_labels_match_table_one() {
+        assert_eq!(FusionStrategy::GraphOnly.label(), "Graph-based Data");
+        assert!(FusionStrategy::LateFusion.label().contains("Late Fusion"));
+    }
+}

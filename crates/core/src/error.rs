@@ -1,0 +1,70 @@
+//! Error type for the NOODLE pipeline.
+
+use std::fmt;
+
+use noodle_conformal::ConformalError;
+use noodle_verilog::ParseError;
+
+/// An error produced while building datasets or running the NOODLE
+/// detection pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The RTL source failed to parse.
+    Parse(ParseError),
+    /// The source parsed but contained no modules.
+    EmptyDesign,
+    /// The conformal calibration step failed.
+    Conformal(ConformalError),
+    /// The dataset is unusable for the requested operation.
+    Dataset(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "failed to parse RTL: {e}"),
+            PipelineError::EmptyDesign => write!(f, "design contains no modules"),
+            PipelineError::Conformal(e) => write!(f, "{e}"),
+            PipelineError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Conformal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<ConformalError> for PipelineError {
+    fn from(e: ConformalError) -> Self {
+        PipelineError::Conformal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PipelineError::EmptyDesign.to_string().contains("no modules"));
+        assert!(PipelineError::Dataset("too small".into()).to_string().contains("too small"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

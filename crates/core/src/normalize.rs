@@ -1,0 +1,103 @@
+//! Z-score feature normalization fitted on training data.
+
+use noodle_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score normalizer (`(x - mean) / std`), with constant
+/// features mapped to 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZScore {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl ZScore {
+    /// Fits the normalizer on a `[n, d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not rank 2 or has no rows.
+    pub fn fit(data: &Tensor) -> Self {
+        assert_eq!(data.ndim(), 2, "ZScore expects [n, d] data");
+        let (n, d) = (data.shape()[0], data.shape()[1]);
+        assert!(n > 0, "cannot fit a normalizer on zero rows");
+        let mut means = vec![0.0f32; d];
+        for r in 0..n {
+            for (c, &v) in data.row(r).iter().enumerate() {
+                means[c] += v / n as f32;
+            }
+        }
+        let mut stds = vec![0.0f32; d];
+        for r in 0..n {
+            for (c, &v) in data.row(r).iter().enumerate() {
+                stds[c] += (v - means[c]) * (v - means[c]) / n as f32;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt();
+        }
+        Self { means, stds }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Normalizes a `[n, d]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-count mismatch.
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        assert_eq!(data.shape()[1], self.dim(), "feature count mismatch");
+        let (n, d) = (data.shape()[0], data.shape()[1]);
+        let mut out = data.clone();
+        let values = out.data_mut();
+        for r in 0..n {
+            for c in 0..d {
+                let idx = r * d + c;
+                values[idx] = if self.stds[c] > 1e-8 {
+                    (values[idx] - self.means[c]) / self.stds[c]
+                } else {
+                    0.0
+                };
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_data_has_zero_mean_unit_std() {
+        let data = Tensor::from_vec(vec![4, 1], vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        let z = ZScore::fit(&data);
+        let out = z.transform(&data);
+        let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        let var: f32 = out.data().iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = Tensor::from_vec(vec![3, 2], vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0]).unwrap();
+        let z = ZScore::fit(&data);
+        let out = z.transform(&data);
+        assert_eq!(out.at(&[0, 0]), 0.0);
+        assert_eq!(out.at(&[2, 0]), 0.0);
+    }
+
+    #[test]
+    fn transform_applies_train_statistics_to_new_data() {
+        let train = Tensor::from_vec(vec![2, 1], vec![0.0, 2.0]).unwrap();
+        let z = ZScore::fit(&train);
+        let test = Tensor::from_vec(vec![1, 1], vec![4.0]).unwrap();
+        // mean 1, std 1 → (4 - 1) / 1 = 3
+        assert!((z.transform(&test).at(&[0, 0]) - 3.0).abs() < 1e-6);
+    }
+}

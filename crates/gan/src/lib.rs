@@ -1,0 +1,35 @@
+//! # noodle-gan
+//!
+//! Generative adversarial networks for NOODLE's small-data regime:
+//!
+//! * [`VanillaGan`] / [`amplify_class`] — class-conditional dataset
+//!   amplification (the paper segregates Trojan-free and Trojan-infected
+//!   samples and trains one GAN per label to grow the corpus to ~500
+//!   points),
+//! * [`ModalityImputer`] — a conditional GAN that synthesizes a missing
+//!   modality from the present one (Algorithm 2, step 3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_gan::{amplify_class, GanConfig};
+//! use noodle_nn::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let real = Tensor::rand_uniform(&[12, 4], 0.0, 1.0, &mut rng);
+//! let config = GanConfig { epochs: 10, ..GanConfig::default() };
+//! let grown = amplify_class(&real, 30, &config, &mut rng);
+//! assert_eq!(grown.shape(), &[30, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod imputer;
+mod scaler;
+mod vanilla;
+
+pub use imputer::{ImputerConfig, ModalityImputer};
+pub use scaler::MinMaxScaler;
+pub use vanilla::{amplify_class, GanConfig, GanEpoch, VanillaGan};

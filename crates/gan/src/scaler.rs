@@ -1,0 +1,123 @@
+//! Per-feature min–max scaling to the generator's tanh range.
+
+use noodle_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature min–max scaler mapping data to `[-1, 1]` (the output range
+/// of a tanh generator) and back.
+///
+/// Constant features (min == max) are mapped to 0 and restored exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a `[n, d]` data matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not rank 2 or has zero rows.
+    pub fn fit(data: &Tensor) -> Self {
+        assert_eq!(data.ndim(), 2, "scaler expects [n, d] data");
+        let (n, d) = (data.shape()[0], data.shape()[1]);
+        assert!(n > 0, "cannot fit a scaler on zero rows");
+        let mut mins = vec![f32::INFINITY; d];
+        let mut maxs = vec![f32::NEG_INFINITY; d];
+        for r in 0..n {
+            for (c, &v) in data.row(r).iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales data into `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count disagrees with the fitted dimension.
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        self.apply(data, |v, lo, hi| {
+            if hi > lo {
+                2.0 * (v - lo) / (hi - lo) - 1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Maps scaled data back to the original feature ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count disagrees with the fitted dimension.
+    pub fn inverse_transform(&self, data: &Tensor) -> Tensor {
+        self.apply(data, |v, lo, hi| {
+            if hi > lo {
+                (v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (hi - lo) + lo
+            } else {
+                lo
+            }
+        })
+    }
+
+    fn apply(&self, data: &Tensor, f: impl Fn(f32, f32, f32) -> f32) -> Tensor {
+        assert_eq!(data.ndim(), 2, "scaler expects [n, d] data");
+        assert_eq!(data.shape()[1], self.dim(), "feature count mismatch");
+        let (n, d) = (data.shape()[0], data.shape()[1]);
+        let mut out = data.clone();
+        let values = out.data_mut();
+        for r in 0..n {
+            for c in 0..d {
+                values[r * d + c] = f(values[r * d + c], self.mins[c], self.maxs[c]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data =
+            Tensor::from_vec(vec![3, 2], vec![0.0, 10.0, 5.0, 20.0, 10.0, 30.0]).unwrap();
+        let scaler = MinMaxScaler::fit(&data);
+        let scaled = scaler.transform(&data);
+        assert!(scaled.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let restored = scaler.inverse_transform(&scaled);
+        for (a, b) in data.data().iter().zip(restored.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_feature_restored_exactly() {
+        let data = Tensor::from_vec(vec![2, 2], vec![7.0, 1.0, 7.0, 2.0]).unwrap();
+        let scaler = MinMaxScaler::fit(&data);
+        let scaled = scaler.transform(&data);
+        assert_eq!(scaled.at(&[0, 0]), 0.0);
+        let restored = scaler.inverse_transform(&scaled);
+        assert_eq!(restored.at(&[0, 0]), 7.0);
+        assert_eq!(restored.at(&[1, 0]), 7.0);
+    }
+
+    #[test]
+    fn out_of_range_generator_output_is_clamped() {
+        let data = Tensor::from_vec(vec![2, 1], vec![0.0, 1.0]).unwrap();
+        let scaler = MinMaxScaler::fit(&data);
+        let wild = Tensor::from_vec(vec![1, 1], vec![5.0]).unwrap();
+        let restored = scaler.inverse_transform(&wild);
+        assert_eq!(restored.at(&[0, 0]), 1.0);
+    }
+}

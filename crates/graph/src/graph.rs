@@ -1,0 +1,368 @@
+//! Signal-level dataflow/control graph construction from a Verilog AST.
+
+use std::collections::HashMap;
+
+use noodle_verilog::{EventControl, Expr, Item, LValue, Module, NetType, PortDirection, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// The role of a node in the circuit graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Module input port.
+    Input,
+    /// Module output port.
+    Output,
+    /// Internal wire.
+    Wire,
+    /// Internal register (state).
+    Reg,
+    /// An instantiated submodule.
+    Instance,
+}
+
+/// The reason an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Source appears in an expression that drives the target.
+    Data,
+    /// Source appears in a branch condition guarding an assignment to the
+    /// target.
+    Control,
+}
+
+/// One node of the circuit graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Signal or instance name.
+    pub name: String,
+    /// Node role.
+    pub kind: NodeKind,
+    /// Bit width (1 for instances).
+    pub width: u64,
+}
+
+/// A directed edge `from -> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Edge flavour.
+    pub kind: EdgeKind,
+}
+
+/// A directed signal graph of one module: nodes are ports, nets and
+/// instances; data edges follow assignments; control edges follow branch
+/// conditions (the paths Trojan triggers live on).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CircuitGraph {
+    nodes: Vec<Node>,
+    edges: Vec<EdgeRef>,
+    index: HashMap<String, usize>,
+}
+
+impl CircuitGraph {
+    /// The nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The edges in insertion order (deduplicated).
+    pub fn edges(&self) -> &[EdgeRef] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Index of a node by signal name.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Out-degree of each node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0; self.nodes.len()];
+        for e in &self.edges {
+            d[e.from] += 1;
+        }
+        d
+    }
+
+    /// In-degree of each node.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0; self.nodes.len()];
+        for e in &self.edges {
+            d[e.to] += 1;
+        }
+        d
+    }
+
+    /// Adjacency list of successor node indices.
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+        }
+        adj
+    }
+
+    fn intern(&mut self, name: &str, kind: NodeKind, width: u64) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(Node { name: name.to_string(), kind, width });
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        let e = EdgeRef { from, to, kind };
+        if !self.edges.contains(&e) {
+            self.edges.push(e);
+        }
+    }
+}
+
+/// Builds the circuit graph of one module.
+///
+/// Unknown identifiers referenced in expressions (e.g. parameters) become
+/// [`NodeKind::Wire`] nodes so the graph is always closed.
+pub fn build_graph(module: &Module) -> CircuitGraph {
+    let mut g = CircuitGraph::default();
+
+    // 1. Ports first: stable node order helps the embedding.
+    for port in module.resolved_ports() {
+        let kind = match port.direction {
+            PortDirection::Input => NodeKind::Input,
+            PortDirection::Output => NodeKind::Output,
+            PortDirection::Inout | PortDirection::Unspecified => NodeKind::Wire,
+        };
+        g.intern(&port.name, kind, port.range.map(|r| r.width()).unwrap_or(1));
+    }
+
+    // 2. Declarations.
+    for item in &module.items {
+        if let Item::Decl { net, range, names } = item {
+            let kind = match net {
+                NetType::Wire => NodeKind::Wire,
+                NetType::Reg | NetType::Integer => NodeKind::Reg,
+            };
+            for name in names {
+                g.intern(name, kind, range.map(|r| r.width()).unwrap_or(1));
+            }
+        }
+    }
+
+    // 3. Edges.
+    for item in &module.items {
+        match item {
+            Item::Assign { lhs, rhs } => {
+                connect(&mut g, lhs, rhs, &[]);
+            }
+            Item::Always { body, event } => {
+                // Edge-sensitive events (clock/reset) influence every write in
+                // the block as control edges.
+                let mut guards: Vec<String> = Vec::new();
+                if let EventControl::Events(events) = event {
+                    for e in events {
+                        if e.edge.is_some() {
+                            guards.push(e.signal.clone());
+                        }
+                    }
+                }
+                walk_proc(&mut g, body, &guards);
+            }
+            Item::Initial { body } => walk_proc(&mut g, body, &[]),
+            Item::Instance { name, connections, .. } => {
+                let inst = g.intern(name, NodeKind::Instance, 1);
+                for c in connections {
+                    let Some(expr) = &c.expr else { continue };
+                    // Without the instantiated module's port directions we
+                    // conservatively connect both ways; this matches how
+                    // netlist-level graph tools treat black boxes.
+                    for ident in expr.referenced_idents() {
+                        let sig = g.intern(ident, NodeKind::Wire, 1);
+                        g.add_edge(sig, inst, EdgeKind::Data);
+                        g.add_edge(inst, sig, EdgeKind::Data);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    g
+}
+
+fn walk_proc(g: &mut CircuitGraph, stmt: &Stmt, guards: &[String]) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                walk_proc(g, s, guards);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            let mut inner = guards.to_vec();
+            inner.extend(cond.referenced_idents().iter().map(|s| s.to_string()));
+            walk_proc(g, then_branch, &inner);
+            if let Some(e) = else_branch {
+                walk_proc(g, e, &inner);
+            }
+        }
+        Stmt::Case { subject, arms, default, .. } => {
+            let mut inner = guards.to_vec();
+            inner.extend(subject.referenced_idents().iter().map(|s| s.to_string()));
+            for arm in arms {
+                walk_proc(g, &arm.body, &inner);
+            }
+            if let Some(d) = default {
+                walk_proc(g, d, &inner);
+            }
+        }
+        Stmt::Blocking { lhs, rhs } | Stmt::Nonblocking { lhs, rhs } => {
+            connect(g, lhs, rhs, guards);
+        }
+        Stmt::For { init, cond, step, body } => {
+            let mut inner = guards.to_vec();
+            inner.extend(cond.referenced_idents().iter().map(|s| s.to_string()));
+            walk_proc(g, init, guards);
+            walk_proc(g, step, &inner);
+            walk_proc(g, body, &inner);
+        }
+        Stmt::SystemCall { .. } | Stmt::Null => {}
+    }
+}
+
+fn connect(g: &mut CircuitGraph, lhs: &LValue, rhs: &Expr, guards: &[String]) {
+    for target in lhs.target_names() {
+        let t = g.intern(target, NodeKind::Wire, 1);
+        for source in rhs.referenced_idents() {
+            let s = g.intern(source, NodeKind::Wire, 1);
+            g.add_edge(s, t, EdgeKind::Data);
+        }
+        for guard in guards {
+            let s = g.intern(guard, NodeKind::Wire, 1);
+            g.add_edge(s, t, EdgeKind::Control);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_verilog::parse;
+
+    fn graph_of(src: &str) -> CircuitGraph {
+        let file = parse(src).unwrap();
+        build_graph(&file.modules[0])
+    }
+
+    #[test]
+    fn simple_assign_edges() {
+        let g = graph_of("module m(input a, input b, output y); assign y = a & b; endmodule");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let y = g.node_index("y").unwrap();
+        assert_eq!(g.in_degrees()[y], 2);
+        assert_eq!(g.nodes()[y].kind, NodeKind::Output);
+    }
+
+    #[test]
+    fn clocked_write_gets_control_edge_from_clock() {
+        let g = graph_of(
+            "module m(input clk, input d, output reg q);
+                always @(posedge clk) q <= d;
+            endmodule",
+        );
+        let clk = g.node_index("clk").unwrap();
+        let q = g.node_index("q").unwrap();
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == clk && e.to == q && e.kind == EdgeKind::Control));
+    }
+
+    #[test]
+    fn branch_condition_becomes_control_edge() {
+        let g = graph_of(
+            "module m(input s, input a, input b, output reg y);
+                always @* if (s) y = a; else y = b;
+            endmodule",
+        );
+        let s = g.node_index("s").unwrap();
+        let y = g.node_index("y").unwrap();
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.from == s && e.to == y && e.kind == EdgeKind::Control));
+        // a and b are data parents of y.
+        assert_eq!(g.in_degrees()[y], 3);
+    }
+
+    #[test]
+    fn case_subject_guards_all_arms() {
+        let g = graph_of(
+            "module m(input [1:0] s, input a, output reg y);
+                always @* case (s)
+                    2'd0: y = a;
+                    default: y = 1'b0;
+                endcase
+            endmodule",
+        );
+        let s = g.node_index("s").unwrap();
+        let y = g.node_index("y").unwrap();
+        assert!(g.edges().iter().any(|e| e.from == s && e.to == y));
+    }
+
+    #[test]
+    fn reg_kind_recorded_with_width() {
+        let g = graph_of("module m; reg [7:0] r; wire w; endmodule");
+        let r = g.node_index("r").unwrap();
+        assert_eq!(g.nodes()[r].kind, NodeKind::Reg);
+        assert_eq!(g.nodes()[r].width, 8);
+        let w = g.node_index("w").unwrap();
+        assert_eq!(g.nodes()[w].kind, NodeKind::Wire);
+    }
+
+    #[test]
+    fn instance_connects_bidirectionally() {
+        let g = graph_of(
+            "module m(input a, output y); wire t; sub u0(.i(a), .o(t)); assign y = t; endmodule",
+        );
+        let u0 = g.node_index("u0").unwrap();
+        assert_eq!(g.nodes()[u0].kind, NodeKind::Instance);
+        let a = g.node_index("a").unwrap();
+        assert!(g.edges().iter().any(|e| e.from == a && e.to == u0));
+        assert!(g.edges().iter().any(|e| e.from == u0 && e.to == a));
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let g = graph_of("module m(input a, output y); assign y = a & a; endmodule");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn degrees_are_consistent() {
+        let g = graph_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                always @(posedge clk) r <= d;
+                assign q = r;
+            endmodule",
+        );
+        let total_out: usize = g.out_degrees().iter().sum();
+        let total_in: usize = g.in_degrees().iter().sum();
+        assert_eq!(total_out, g.edge_count());
+        assert_eq!(total_in, g.edge_count());
+    }
+}

@@ -1,0 +1,249 @@
+//! Fixed-size "graph image" embedding for CNN consumption.
+//!
+//! The paper feeds the graph modality to a CNN, which needs fixed-shape
+//! input regardless of circuit size. We bucket nodes into a fixed number of
+//! rows by a stable ordering (node kind, then degree) and accumulate edge
+//! weights into a `buckets × buckets` heatmap with two channels: one for
+//! data edges and one for control edges. The result is a coarse, permutation-
+//! robust picture of the circuit's connectivity that preserves exactly the
+//! patterns Trojans perturb (extra control fan-in onto outputs, isolated
+//! counter cliques, rare comparator chains).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{CircuitGraph, EdgeKind, NodeKind};
+
+/// Number of node buckets per image axis.
+pub const IMAGE_SIZE: usize = 12;
+
+/// Number of channels (data edges, control edges).
+pub const IMAGE_CHANNELS: usize = 2;
+
+/// A fixed-shape graph embedding: `IMAGE_CHANNELS` stacked
+/// `size × size` heatmaps in row-major order (`size` is [`IMAGE_SIZE`] for
+/// [`graph_image`], arbitrary for [`graph_image_with_size`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphImage {
+    data: Vec<f32>,
+    size: usize,
+}
+
+impl GraphImage {
+    /// The flat image data, length `IMAGE_CHANNELS * size * size`, ordered
+    /// `[channel][row][col]`.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Total number of values.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image is empty (never true for [`graph_image`] output).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Buckets per axis.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Value at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn at(&self, channel: usize, row: usize, col: usize) -> f32 {
+        assert!(channel < IMAGE_CHANNELS && row < self.size && col < self.size);
+        self.data[(channel * self.size + row) * self.size + col]
+    }
+}
+
+/// Stable bucket assignment: order nodes by (kind rank, in+out degree,
+/// name) and spread them evenly over the buckets.
+fn bucket_of(rank: usize, total: usize, size: usize) -> usize {
+    if total <= 1 {
+        return 0;
+    }
+    (rank * size / total).min(size - 1)
+}
+
+fn kind_rank(kind: NodeKind) -> usize {
+    match kind {
+        NodeKind::Input => 0,
+        NodeKind::Reg => 1,
+        NodeKind::Wire => 2,
+        NodeKind::Instance => 3,
+        NodeKind::Output => 4,
+    }
+}
+
+/// Embeds a circuit graph as a fixed-size two-channel image.
+///
+/// Each cell `(r, c)` accumulates edges whose source falls in bucket `r`
+/// and target in bucket `c`; the image is then normalized to `[0, 1]` by
+/// its maximum cell (so circuits of different sizes are comparable).
+pub fn graph_image(graph: &CircuitGraph) -> GraphImage {
+    graph_image_with_size(graph, IMAGE_SIZE)
+}
+
+/// Embeds a circuit graph at an arbitrary bucket resolution (used by the
+/// embedding-resolution ablation; the pipeline's fixed default is
+/// [`IMAGE_SIZE`]).
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+pub fn graph_image_with_size(graph: &CircuitGraph, size: usize) -> GraphImage {
+    assert!(size > 0, "image size must be positive");
+    let n = graph.node_count();
+    let mut data = vec![0.0f32; IMAGE_CHANNELS * size * size];
+    if n == 0 {
+        return GraphImage { data, size };
+    }
+    let ins = graph.in_degrees();
+    let outs = graph.out_degrees();
+    // Stable ordering of node indices.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let na = &graph.nodes()[a];
+        let nb = &graph.nodes()[b];
+        kind_rank(na.kind)
+            .cmp(&kind_rank(nb.kind))
+            .then((ins[a] + outs[a]).cmp(&(ins[b] + outs[b])))
+            .then(na.name.cmp(&nb.name))
+    });
+    let mut bucket = vec![0usize; n];
+    for (rank, &node) in order.iter().enumerate() {
+        bucket[node] = bucket_of(rank, n, size);
+    }
+    for e in graph.edges() {
+        let ch = match e.kind {
+            EdgeKind::Data => 0,
+            EdgeKind::Control => 1,
+        };
+        let idx = (ch * size + bucket[e.from]) * size + bucket[e.to];
+        data[idx] += 1.0;
+    }
+    let max = data.iter().copied().fold(0.0f32, f32::max);
+    if max > 0.0 {
+        for v in &mut data {
+            *v /= max;
+        }
+    }
+    GraphImage { data, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_graph;
+    use noodle_verilog::parse;
+
+    fn image_of(src: &str) -> GraphImage {
+        let file = parse(src).unwrap();
+        graph_image(&build_graph(&file.modules[0]))
+    }
+
+    #[test]
+    fn image_has_fixed_shape() {
+        let img = image_of("module m(input a, output y); assign y = a; endmodule");
+        assert_eq!(img.len(), IMAGE_CHANNELS * IMAGE_SIZE * IMAGE_SIZE);
+    }
+
+    #[test]
+    fn image_is_normalized() {
+        let img = image_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                always @(posedge clk) r <= d;
+                assign q = r;
+            endmodule",
+        );
+        let max = img.data().iter().copied().fold(0.0f32, f32::max);
+        assert!((max - 1.0).abs() < 1e-6);
+        assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_graph_is_zero_image() {
+        let img = image_of("module m; endmodule");
+        assert!(img.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn control_edges_land_in_second_channel() {
+        let img = image_of(
+            "module m(input clk, input d, output reg q);
+                always @(posedge clk) q <= d;
+            endmodule",
+        );
+        let ch0: f32 = (0..IMAGE_SIZE)
+            .flat_map(|r| (0..IMAGE_SIZE).map(move |c| (r, c)))
+            .map(|(r, c)| img.at(0, r, c))
+            .sum();
+        let ch1: f32 = (0..IMAGE_SIZE)
+            .flat_map(|r| (0..IMAGE_SIZE).map(move |c| (r, c)))
+            .map(|(r, c)| img.at(1, r, c))
+            .sum();
+        assert!(ch0 > 0.0, "data channel empty");
+        assert!(ch1 > 0.0, "control channel empty");
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let src = "module m(input a, input b, output y); assign y = a ^ b; endmodule";
+        assert_eq!(image_of(src), image_of(src));
+    }
+
+    #[test]
+    fn trojaned_circuit_changes_image() {
+        let clean = image_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                always @(posedge clk) r <= d;
+                assign q = r;
+            endmodule",
+        );
+        let infected = image_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                reg [15:0] cal_cnt;
+                wire cfg_match;
+                always @(posedge clk) r <= d;
+                always @(posedge clk) cal_cnt <= cal_cnt + 16'd1;
+                assign cfg_match = cal_cnt == 16'hBEEF;
+                assign q = cfg_match ? r ^ 8'h80 : r;
+            endmodule",
+        );
+        assert_ne!(clean, infected);
+    }
+
+    #[test]
+    fn bucket_of_covers_range() {
+        assert_eq!(bucket_of(0, 100, IMAGE_SIZE), 0);
+        assert_eq!(bucket_of(99, 100, IMAGE_SIZE), IMAGE_SIZE - 1);
+        assert_eq!(bucket_of(0, 1, IMAGE_SIZE), 0);
+        for rank in 0..50 {
+            assert!(bucket_of(rank, 50, IMAGE_SIZE) < IMAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn sized_embedding_scales() {
+        let file = parse("module m(input a, input b, output y); assign y = a & b; endmodule")
+            .unwrap();
+        let g = build_graph(&file.modules[0]);
+        for size in [1usize, 4, 8, 24] {
+            let img = graph_image_with_size(&g, size);
+            assert_eq!(img.len(), IMAGE_CHANNELS * size * size);
+            assert_eq!(img.size(), size);
+            assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Size 1 collapses everything into one cell per channel.
+        let tiny = graph_image_with_size(&g, 1);
+        assert_eq!(tiny.at(0, 0, 0), 1.0);
+    }
+}

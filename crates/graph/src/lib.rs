@@ -1,0 +1,38 @@
+//! # noodle-graph
+//!
+//! The *graph* modality of the NOODLE pipeline: a signal-level dataflow and
+//! control graph built from a Verilog AST (in the spirit of HW2VEC's RTL
+//! graph extraction), scalar graph statistics, and a fixed-size
+//! "graph image" embedding suitable for the CNN classifier.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_graph::{build_graph, graph_image, graph_stats};
+//!
+//! # fn main() -> Result<(), noodle_verilog::ParseError> {
+//! let file = noodle_verilog::parse(
+//!     "module m(input clk, input d, output reg q);
+//!        always @(posedge clk) q <= d;
+//!      endmodule",
+//! )?;
+//! let graph = build_graph(&file.modules[0]);
+//! assert_eq!(graph.node_count(), 3);
+//! let stats = graph_stats(&graph);
+//! assert_eq!(stats.control_edges, 1.0);
+//! let image = graph_image(&graph);
+//! assert_eq!(image.len(), noodle_graph::IMAGE_CHANNELS * 12 * 12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod image;
+mod stats;
+
+pub use graph::{build_graph, CircuitGraph, EdgeKind, EdgeRef, Node, NodeKind};
+pub use image::{graph_image, graph_image_with_size, GraphImage, IMAGE_CHANNELS, IMAGE_SIZE};
+pub use stats::{graph_stats, GraphStats, GRAPH_STAT_NAMES};

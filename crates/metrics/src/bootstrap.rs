@@ -1,0 +1,127 @@
+//! Summary statistics and percentile intervals for metric distributions
+//! (used by the Fig. 2 Brier-score distribution plots).
+
+use serde::{Deserialize, Serialize};
+
+/// A five-number-plus-mean summary of a sample, with a percentile interval
+/// around the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionSummary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Lower bound of the percentile interval.
+    pub interval_lo: f64,
+    /// Upper bound of the percentile interval.
+    pub interval_hi: f64,
+}
+
+/// Summarizes a sample with a central percentile interval of the given
+/// `coverage` (e.g. 0.95).
+///
+/// # Panics
+///
+/// Panics if `values` is empty, contains non-finite values, or `coverage`
+/// is outside `(0, 1]`.
+pub fn summarize(values: &[f64], coverage: f64) -> DistributionSummary {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+    assert!(coverage > 0.0 && coverage <= 1.0, "coverage must be in (0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let std_dev = if n > 1 {
+        (sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    let alpha = (1.0 - coverage) / 2.0;
+    DistributionSummary {
+        n,
+        mean,
+        std_dev,
+        min: sorted[0],
+        q25: percentile(&sorted, 0.25),
+        median: percentile(&sorted, 0.5),
+        q75: percentile(&sorted, 0.75),
+        max: sorted[n - 1],
+        interval_lo: percentile(&sorted, alpha),
+        interval_hi: percentile(&sorted, 1.0 - alpha),
+    }
+}
+
+/// Linear-interpolated percentile of a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summarize(&values, 1.0);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q25, 2.0);
+        assert_eq!(s.q75, 4.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_narrows_with_coverage() {
+        let values: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let wide = summarize(&values, 0.95);
+        let narrow = summarize(&values, 0.5);
+        assert!(narrow.interval_lo > wide.interval_lo);
+        assert!(narrow.interval_hi < wide.interval_hi);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[0.42], 0.95);
+        assert_eq!(s.mean, 0.42);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.interval_lo, 0.42);
+        assert_eq!(s.interval_hi, 0.42);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = summarize(&[3.0, 1.0, 2.0], 1.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = summarize(&[f64::NAN], 0.95);
+    }
+}

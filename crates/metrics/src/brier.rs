@@ -1,0 +1,221 @@
+//! Brier score and its decompositions.
+
+use serde::{Deserialize, Serialize};
+
+/// The Brier score of probabilistic binary predictions:
+/// `BS = mean((p_i - o_i)^2)` (Eq. 5 of the paper). Lower is better;
+/// 0 is perfect.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty, or if any
+/// probability is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let bs = noodle_metrics::brier_score(&[1.0, 0.0], &[true, false]);
+/// assert_eq!(bs, 0.0);
+/// ```
+pub fn brier_score(probabilities: &[f64], outcomes: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), outcomes.len(), "inputs must align");
+    assert!(!probabilities.is_empty(), "need at least one prediction");
+    let mut sum = 0.0;
+    for (&p, &o) in probabilities.iter().zip(outcomes) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let target = if o { 1.0 } else { 0.0 };
+        sum += (p - target) * (p - target);
+    }
+    sum / probabilities.len() as f64
+}
+
+/// The Brier skill score relative to the climatology forecast (always
+/// predicting the base rate): `BSS = 1 - BS / BS_ref`. Positive means
+/// better than climatology; 1 is perfect.
+///
+/// Returns 0 when the reference score is 0 (a degenerate constant-outcome
+/// set, where no skill is measurable).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`brier_score`].
+pub fn brier_skill_score(probabilities: &[f64], outcomes: &[bool]) -> f64 {
+    let bs = brier_score(probabilities, outcomes);
+    let base_rate =
+        outcomes.iter().filter(|&&o| o).count() as f64 / outcomes.len() as f64;
+    let reference: Vec<f64> = vec![base_rate; outcomes.len()];
+    let bs_ref = brier_score(&reference, outcomes);
+    if bs_ref == 0.0 {
+        0.0
+    } else {
+        1.0 - bs / bs_ref
+    }
+}
+
+/// Murphy's three-component decomposition of the Brier score over
+/// probability bins: `BS = reliability - resolution + uncertainty`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MurphyDecomposition {
+    /// Mean squared gap between bin forecast and bin outcome frequency
+    /// (lower is better calibrated).
+    pub reliability: f64,
+    /// How much the bin outcome frequencies differ from the base rate
+    /// (higher is better — the forecasts discriminate).
+    pub resolution: f64,
+    /// Base-rate variance `ō(1-ō)`; a property of the data alone.
+    pub uncertainty: f64,
+}
+
+impl MurphyDecomposition {
+    /// The Brier score implied by the decomposition.
+    pub fn brier(&self) -> f64 {
+        self.reliability - self.resolution + self.uncertainty
+    }
+
+    /// Refinement loss under the calibration–refinement decomposition:
+    /// `refinement = uncertainty - resolution` (the error a perfectly
+    /// calibrated forecaster with this sharpness would still make).
+    pub fn refinement_loss(&self) -> f64 {
+        self.uncertainty - self.resolution
+    }
+
+    /// Calibration loss (synonym for reliability).
+    pub fn calibration_loss(&self) -> f64 {
+        self.reliability
+    }
+}
+
+/// Computes Murphy's decomposition with `bins` equal-width probability
+/// bins.
+///
+/// The decomposition identity `BS = rel - res + unc` holds exactly when
+/// every forecast in a bin shares the bin's mean forecast; with binning it
+/// holds approximately (tested to a small tolerance).
+///
+/// # Panics
+///
+/// Panics if inputs are empty/misaligned or `bins == 0`.
+pub fn murphy_decomposition(
+    probabilities: &[f64],
+    outcomes: &[bool],
+    bins: usize,
+) -> MurphyDecomposition {
+    assert_eq!(probabilities.len(), outcomes.len(), "inputs must align");
+    assert!(!probabilities.is_empty(), "need at least one prediction");
+    assert!(bins > 0, "need at least one bin");
+    let n = probabilities.len() as f64;
+    let base_rate = outcomes.iter().filter(|&&o| o).count() as f64 / n;
+    let mut bin_count = vec![0usize; bins];
+    let mut bin_prob_sum = vec![0.0f64; bins];
+    let mut bin_pos = vec![0usize; bins];
+    for (&p, &o) in probabilities.iter().zip(outcomes) {
+        let b = ((p * bins as f64) as usize).min(bins - 1);
+        bin_count[b] += 1;
+        bin_prob_sum[b] += p;
+        if o {
+            bin_pos[b] += 1;
+        }
+    }
+    let mut reliability = 0.0;
+    let mut resolution = 0.0;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let nk = bin_count[b] as f64;
+        let mean_p = bin_prob_sum[b] / nk;
+        let freq = bin_pos[b] as f64 / nk;
+        reliability += nk * (mean_p - freq) * (mean_p - freq);
+        resolution += nk * (freq - base_rate) * (freq - base_rate);
+    }
+    MurphyDecomposition {
+        reliability: reliability / n,
+        resolution: resolution / n,
+        uncertainty: base_rate * (1.0 - base_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_worst_scores() {
+        assert_eq!(brier_score(&[1.0, 0.0, 1.0], &[true, false, true]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_score() {
+        // (0.8-1)^2 = 0.04 ; (0.3-0)^2 = 0.09 ; mean = 0.065
+        let bs = brier_score(&[0.8, 0.3], &[true, false]);
+        assert!((bs - 0.065).abs() < 1e-12);
+    }
+
+    #[test]
+    fn climatology_has_zero_skill() {
+        let outcomes = [true, false, true, false];
+        let probs = vec![0.5; 4];
+        let bss = brier_skill_score(&probs, &outcomes);
+        assert!(bss.abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_has_unit_skill() {
+        let outcomes = [true, false, true, false];
+        let probs = [1.0, 0.0, 1.0, 0.0];
+        assert!((brier_skill_score(&probs, &outcomes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_outcomes_give_zero_skill() {
+        assert_eq!(brier_skill_score(&[0.9, 0.8], &[true, true]), 0.0);
+    }
+
+    #[test]
+    fn murphy_identity_holds_with_constant_bin_forecasts() {
+        // Forecasts exactly at bin centres so within-bin variance is 0 and
+        // the identity is exact.
+        let probs = [0.05, 0.05, 0.05, 0.95, 0.95, 0.95, 0.95, 0.05];
+        let outcomes = [false, false, true, true, true, true, false, false];
+        let d = murphy_decomposition(&probs, &outcomes, 10);
+        let bs = brier_score(&probs, &outcomes);
+        assert!((d.brier() - bs).abs() < 1e-12, "{} vs {bs}", d.brier());
+    }
+
+    #[test]
+    fn uncertainty_is_base_rate_variance() {
+        let probs = [0.5; 10];
+        let outcomes = [true, true, true, false, false, false, false, false, false, false];
+        let d = murphy_decomposition(&probs, &outcomes, 10);
+        assert!((d.uncertainty - 0.3 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_zero_for_constant_forecast() {
+        let probs = [0.4; 6];
+        let outcomes = [true, false, true, false, false, false];
+        let d = murphy_decomposition(&probs, &outcomes, 10);
+        assert!(d.resolution.abs() < 1e-12);
+        assert!((d.refinement_loss() - d.uncertainty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposition_components_nonnegative() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let probs: Vec<f64> = (0..200).map(|_| rng.random_range(0.0..1.0)).collect();
+        let outcomes: Vec<bool> = probs.iter().map(|&p| rng.random_range(0.0..1.0) < p).collect();
+        let d = murphy_decomposition(&probs, &outcomes, 10);
+        assert!(d.reliability >= 0.0);
+        assert!(d.resolution >= 0.0);
+        assert!(d.uncertainty >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = brier_score(&[1.5], &[true]);
+    }
+}

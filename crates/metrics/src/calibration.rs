@@ -1,0 +1,164 @@
+//! Reliability (confidence calibration) diagrams.
+
+use serde::{Deserialize, Serialize};
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Inclusive lower edge of the bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted probability of the bin (NaN-free: 0 when empty).
+    pub mean_predicted: f64,
+    /// Observed positive frequency in the bin (0 when empty).
+    pub observed_frequency: f64,
+}
+
+/// A reliability diagram plus the sharpness histogram the paper plots
+/// beneath it (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationCurve {
+    bins: Vec<CalibrationBin>,
+    expected_calibration_error: f64,
+    sharpness: f64,
+}
+
+impl CalibrationCurve {
+    /// The diagram's bins in order.
+    pub fn bins(&self) -> &[CalibrationBin] {
+        &self.bins
+    }
+
+    /// Expected calibration error: count-weighted mean |predicted −
+    /// observed| over the bins.
+    pub fn expected_calibration_error(&self) -> f64 {
+        self.expected_calibration_error
+    }
+
+    /// Sharpness: the variance of the predictions (the paper's definition —
+    /// the tendency of forecasts to sit at the extremes).
+    pub fn sharpness(&self) -> f64 {
+        self.sharpness
+    }
+
+    /// The histogram counts (one per bin), for the sharpness plot.
+    pub fn histogram(&self) -> Vec<usize> {
+        self.bins.iter().map(|b| b.count).collect()
+    }
+}
+
+/// Computes a reliability diagram with `bins` equal-width bins.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/misaligned, `bins == 0`, or any probability
+/// is outside `[0, 1]`.
+pub fn calibration_curve(
+    probabilities: &[f64],
+    outcomes: &[bool],
+    bins: usize,
+) -> CalibrationCurve {
+    assert_eq!(probabilities.len(), outcomes.len(), "inputs must align");
+    assert!(!probabilities.is_empty(), "need at least one prediction");
+    assert!(bins > 0, "need at least one bin");
+    let n = probabilities.len() as f64;
+    let mut count = vec![0usize; bins];
+    let mut prob_sum = vec![0.0f64; bins];
+    let mut pos = vec![0usize; bins];
+    for (&p, &o) in probabilities.iter().zip(outcomes) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let b = ((p * bins as f64) as usize).min(bins - 1);
+        count[b] += 1;
+        prob_sum[b] += p;
+        if o {
+            pos[b] += 1;
+        }
+    }
+    let width = 1.0 / bins as f64;
+    let mut out_bins = Vec::with_capacity(bins);
+    let mut ece = 0.0;
+    for b in 0..bins {
+        let (mean_predicted, observed_frequency) = if count[b] > 0 {
+            (prob_sum[b] / count[b] as f64, pos[b] as f64 / count[b] as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        if count[b] > 0 {
+            ece += (count[b] as f64 / n) * (mean_predicted - observed_frequency).abs();
+        }
+        out_bins.push(CalibrationBin {
+            lo: b as f64 * width,
+            hi: if b == bins - 1 { 1.0 } else { (b + 1) as f64 * width },
+            count: count[b],
+            mean_predicted,
+            observed_frequency,
+        });
+    }
+    let mean_p = probabilities.iter().sum::<f64>() / n;
+    let sharpness =
+        probabilities.iter().map(|&p| (p - mean_p) * (p - mean_p)).sum::<f64>() / n;
+    CalibrationCurve { bins: out_bins, expected_calibration_error: ece, sharpness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_bins() {
+        // Two bins: low bin has 25% positives at p = 0.25, high bin 75% at 0.75.
+        let probs = [0.25, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75, 0.75];
+        let outcomes = [true, false, false, false, true, true, true, false];
+        let curve = calibration_curve(&probs, &outcomes, 2);
+        assert!(curve.expected_calibration_error() < 1e-12);
+        assert_eq!(curve.bins()[0].count, 4);
+        assert!((curve.bins()[0].observed_frequency - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overconfident_model_has_high_ece() {
+        let probs = [0.99, 0.99, 0.99, 0.99];
+        let outcomes = [true, false, false, false];
+        let curve = calibration_curve(&probs, &outcomes, 10);
+        assert!(curve.expected_calibration_error() > 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n() {
+        let probs = [0.1, 0.5, 0.9, 0.95, 0.05];
+        let outcomes = [false, true, true, true, false];
+        let curve = calibration_curve(&probs, &outcomes, 10);
+        let total: usize = curve.histogram().iter().sum();
+        assert_eq!(total, probs.len());
+    }
+
+    #[test]
+    fn sharpness_is_prediction_variance() {
+        let probs = [0.0, 1.0];
+        let outcomes = [false, true];
+        let curve = calibration_curve(&probs, &outcomes, 10);
+        assert!((curve.sharpness() - 0.25).abs() < 1e-12);
+        let flat = calibration_curve(&[0.5, 0.5], &outcomes, 10);
+        assert_eq!(flat.sharpness(), 0.0);
+    }
+
+    #[test]
+    fn edge_probabilities_land_in_terminal_bins() {
+        let curve = calibration_curve(&[0.0, 1.0], &[false, true], 10);
+        assert_eq!(curve.bins()[0].count, 1);
+        assert_eq!(curve.bins()[9].count, 1);
+    }
+
+    #[test]
+    fn bin_edges_tile_unit_interval() {
+        let curve = calibration_curve(&[0.5], &[true], 7);
+        assert_eq!(curve.bins()[0].lo, 0.0);
+        assert_eq!(curve.bins().last().unwrap().hi, 1.0);
+        for w in curve.bins().windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+    }
+}

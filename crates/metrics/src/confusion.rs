@@ -1,0 +1,141 @@
+//! Binary confusion matrix and derived classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix (positive class = Trojan-infected).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from predictions and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "inputs must align");
+        let mut m = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions (0 on an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Positive predictive value (0 when no positive predictions).
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// True-positive rate / sensitivity (0 when no positives).
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Synonym for [`Self::recall`].
+    pub fn sensitivity(&self) -> f64 {
+        self.recall()
+    }
+
+    /// True-negative rate (0 when no negatives).
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Mean of sensitivity and specificity; robust to imbalance.
+    pub fn balanced_accuracy(&self) -> f64 {
+        (self.sensitivity() + self.specificity()) / 2.0
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        // predictions: TP TP FP TN TN FN
+        ConfusionMatrix::from_predictions(
+            &[true, true, true, false, false, false],
+            &[true, true, false, false, false, true],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let m = example();
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 2, 1));
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let m = example();
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.specificity() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.balanced_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn never_positive_predictor() {
+        let m = ConfusionMatrix::from_predictions(&[false, false], &[true, false]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.specificity(), 1.0);
+        // Accuracy is misleadingly decent — exactly the imbalance trap the
+        // paper's Brier-score argument warns about.
+        assert_eq!(m.accuracy(), 0.5);
+    }
+}

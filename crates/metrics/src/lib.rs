@@ -1,0 +1,40 @@
+//! # noodle-metrics
+//!
+//! Probabilistic-classification metrics for the NOODLE evaluation: the
+//! Brier score with Murphy and calibration–refinement decompositions,
+//! Brier skill score, ROC/AUC, reliability (calibration) curves with
+//! sharpness histograms, binary confusion matrices, distribution summaries
+//! for repeated-split experiments, and the consolidated radar-plot metric
+//! set — everything the paper's Table I and Figs. 2–5 report.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_metrics::{brier_score, roc_curve, RadarMetrics};
+//!
+//! let probs = [0.9, 0.8, 0.3, 0.1];
+//! let truth = [true, true, false, false];
+//! assert!(brier_score(&probs, &truth) < 0.05);
+//! assert_eq!(roc_curve(&probs, &truth).auc(), 1.0);
+//! let radar = RadarMetrics::compute(&probs, &truth);
+//! assert_eq!(radar.sensitivity, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod brier;
+mod calibration;
+mod confusion;
+mod pr;
+mod radar;
+mod roc;
+
+pub use bootstrap::{summarize, DistributionSummary};
+pub use brier::{brier_score, brier_skill_score, murphy_decomposition, MurphyDecomposition};
+pub use calibration::{calibration_curve, CalibrationBin, CalibrationCurve};
+pub use confusion::ConfusionMatrix;
+pub use pr::{log_loss, pr_curve, PrCurve, PrPoint};
+pub use radar::{RadarMetrics, RADAR_AXES};
+pub use roc::{roc_curve, RocCurve, RocPoint};

@@ -1,0 +1,150 @@
+//! Precision–recall curves and log loss — complements to ROC/Brier that
+//! behave better under the heavy class imbalance of Trojan detection.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// Recall (true-positive rate).
+    pub recall: f64,
+    /// Precision (positive predictive value).
+    pub precision: f64,
+}
+
+/// A precision–recall curve with its average precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrCurve {
+    points: Vec<PrPoint>,
+    average_precision: f64,
+}
+
+impl PrCurve {
+    /// The operating points, from the highest threshold (lowest recall)
+    /// down.
+    pub fn points(&self) -> &[PrPoint] {
+        &self.points
+    }
+
+    /// Average precision: the step-function integral of precision over
+    /// recall (the standard AP definition).
+    pub fn average_precision(&self) -> f64 {
+        self.average_precision
+    }
+}
+
+/// Computes the precision–recall curve of scores against binary labels.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/misaligned, scores are non-finite, or there
+/// is no positive example (recall is undefined).
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> PrCurve {
+    assert_eq!(scores.len(), labels.len(), "inputs must align");
+    assert!(!scores.is_empty(), "need at least one example");
+    assert!(scores.iter().all(|s| s.is_finite()), "scores must be finite");
+    let positives = labels.iter().filter(|&&l| l).count();
+    assert!(positives > 0, "PR curve requires at least one positive example");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores are finite"));
+
+    let mut points = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut average_precision = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let recall = tp as f64 / positives as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        average_precision += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        points.push(PrPoint { threshold, recall, precision });
+    }
+    PrCurve { points, average_precision }
+}
+
+/// Binary cross-entropy (log loss) of probabilistic predictions, with
+/// probabilities clamped away from 0/1 for finiteness.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/misaligned or probabilities are outside
+/// `[0, 1]`.
+pub fn log_loss(probabilities: &[f64], outcomes: &[bool]) -> f64 {
+    assert_eq!(probabilities.len(), outcomes.len(), "inputs must align");
+    assert!(!probabilities.is_empty(), "need at least one prediction");
+    let mut sum = 0.0;
+    for (&p, &o) in probabilities.iter().zip(outcomes) {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        sum -= if o { p.ln() } else { (1.0 - p).ln() };
+    }
+    sum / probabilities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_unit_ap() {
+        let curve = pr_curve(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        assert!((curve.average_precision() - 1.0).abs() < 1e-12);
+        let first = curve.points()[0];
+        assert_eq!(first.precision, 1.0);
+    }
+
+    #[test]
+    fn random_scores_ap_near_base_rate() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let scores: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let ap = pr_curve(&scores, &labels).average_precision();
+        assert!((ap - 0.25).abs() < 0.07, "AP {ap} should be near the 0.25 base rate");
+    }
+
+    #[test]
+    fn recall_is_monotone() {
+        let scores = [0.9, 0.7, 0.5, 0.3, 0.1, 0.6];
+        let labels = [true, false, true, false, true, true];
+        let curve = pr_curve(&scores, &labels);
+        for w in curve.points().windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((curve.points().last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_reference_values() {
+        // Uniform 0.5 predictions give ln 2.
+        let ll = log_loss(&[0.5, 0.5], &[true, false]);
+        assert!((ll - std::f64::consts::LN_2).abs() < 1e-12);
+        // Perfect predictions give ~0.
+        assert!(log_loss(&[1.0, 0.0], &[true, false]) < 1e-10);
+        // Confidently wrong predictions explode but stay finite.
+        let bad = log_loss(&[0.0, 1.0], &[true, false]);
+        assert!(bad.is_finite() && bad > 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn pr_requires_positives() {
+        let _ = pr_curve(&[0.5], &[false]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Consolidated radar-plot metrics (Fig. 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::brier::{brier_score, brier_skill_score, murphy_decomposition};
+use crate::confusion::ConfusionMatrix;
+use crate::roc::roc_curve;
+
+/// The consolidated metric set the paper's radar plot shows: discrimination
+/// metrics (AUC, resolution, refinement loss), combined
+/// calibration+discrimination metrics (Brier score, Brier skill score) and
+/// headline classification metrics (sensitivity, accuracy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarMetrics {
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Murphy resolution.
+    pub resolution: f64,
+    /// Refinement loss (uncertainty − resolution).
+    pub refinement_loss: f64,
+    /// Brier score.
+    pub brier: f64,
+    /// Brier skill score vs climatology.
+    pub brier_skill: f64,
+    /// Sensitivity (true-positive rate) at threshold 0.5.
+    pub sensitivity: f64,
+    /// Accuracy at threshold 0.5.
+    pub accuracy: f64,
+}
+
+/// Axis labels in the order of [`RadarMetrics::normalized_axes`].
+pub const RADAR_AXES: [&str; 7] = [
+    "AUC",
+    "Resolution",
+    "Refinement loss",
+    "Brier score",
+    "Brier skill score",
+    "Sensitivity",
+    "Accuracy",
+];
+
+impl RadarMetrics {
+    /// Computes all radar metrics from positive-class probabilities and
+    /// ground truth, thresholding at 0.5 for the point metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the constituent metrics' conditions (empty input,
+    /// single-class labels for AUC, probabilities outside `[0, 1]`).
+    pub fn compute(probabilities: &[f64], outcomes: &[bool]) -> Self {
+        let decomposition = murphy_decomposition(probabilities, outcomes, 10);
+        let predicted: Vec<bool> = probabilities.iter().map(|&p| p >= 0.5).collect();
+        let cm = ConfusionMatrix::from_predictions(&predicted, outcomes);
+        Self {
+            auc: roc_curve(probabilities, outcomes).auc(),
+            resolution: decomposition.resolution,
+            refinement_loss: decomposition.refinement_loss(),
+            brier: brier_score(probabilities, outcomes),
+            brier_skill: brier_skill_score(probabilities, outcomes),
+            sensitivity: cm.sensitivity(),
+            accuracy: cm.accuracy(),
+        }
+    }
+
+    /// The metrics normalized to the radial `[0, 1]` axis in the
+    /// [`RADAR_AXES`] order, with "lower is better" axes inverted so that
+    /// larger is uniformly better:
+    ///
+    /// * resolution and refinement loss are scaled by 4 (their maximum is
+    ///   the maximum uncertainty 0.25),
+    /// * Brier score and refinement loss are reported as `1 − scaled`,
+    /// * Brier skill is clamped at 0 from below.
+    pub fn normalized_axes(&self) -> [f64; 7] {
+        [
+            self.auc.clamp(0.0, 1.0),
+            (self.resolution * 4.0).clamp(0.0, 1.0),
+            (1.0 - self.refinement_loss * 4.0).clamp(0.0, 1.0),
+            (1.0 - self.brier).clamp(0.0, 1.0),
+            self.brier_skill.clamp(0.0, 1.0),
+            self.sensitivity.clamp(0.0, 1.0),
+            self.accuracy.clamp(0.0, 1.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictor_maxes_axes() {
+        let probs = [1.0, 1.0, 0.0, 0.0];
+        let outcomes = [true, true, false, false];
+        let m = RadarMetrics::compute(&probs, &outcomes);
+        assert_eq!(m.auc, 1.0);
+        assert_eq!(m.brier, 0.0);
+        assert_eq!(m.sensitivity, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+        let axes = m.normalized_axes();
+        assert!(axes.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        assert_eq!(axes[0], 1.0);
+        assert_eq!(axes[3], 1.0);
+    }
+
+    #[test]
+    fn axes_always_in_unit_range() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let probs: Vec<f64> = (0..40).map(|_| rng.random_range(0.0..1.0)).collect();
+            let mut outcomes: Vec<bool> =
+                probs.iter().map(|&p| rng.random_range(0.0..1.0) < p).collect();
+            outcomes[0] = true;
+            outcomes[1] = false;
+            let m = RadarMetrics::compute(&probs, &outcomes);
+            for a in m.normalized_axes() {
+                assert!((0.0..=1.0).contains(&a), "axis {a} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_names_match_count() {
+        let m = RadarMetrics::compute(&[0.9, 0.1], &[true, false]);
+        assert_eq!(m.normalized_axes().len(), RADAR_AXES.len());
+    }
+}

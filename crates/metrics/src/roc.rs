@@ -1,0 +1,157 @@
+//! ROC curve and AUC.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate (sensitivity).
+    pub tpr: f64,
+}
+
+/// A full ROC curve with its AUC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// The curve's operating points, ordered from threshold `+inf`
+    /// (`(0,0)`) down to `-inf` (`(1,1)`).
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// The area under the curve.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+}
+
+/// Computes the ROC curve of scores against binary labels (`true` =
+/// positive class).
+///
+/// Ties in scores are handled correctly by advancing over all equal scores
+/// at once. The AUC equals the Mann–Whitney probability that a random
+/// positive outscores a random negative (ties counting ½).
+///
+/// # Panics
+///
+/// Panics if inputs are empty/misaligned, contain non-finite scores, or if
+/// either class is absent (the curve is undefined).
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> RocCurve {
+    assert_eq!(scores.len(), labels.len(), "inputs must align");
+    assert!(!scores.is_empty(), "need at least one example");
+    assert!(scores.iter().all(|s| s.is_finite()), "scores must be finite");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    assert!(positives > 0, "ROC requires at least one positive example");
+    assert!(negatives > 0, "ROC requires at least one negative example");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores are finite"));
+
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut auc = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        let (mut dtp, mut dfp) = (0usize, 0usize);
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                dtp += 1;
+            } else {
+                dfp += 1;
+            }
+            i += 1;
+        }
+        // Trapezoid over the tie block (handles diagonal tie segments).
+        let prev_tpr = tp as f64 / positives as f64;
+        tp += dtp;
+        fp += dfp;
+        let tpr = tp as f64 / positives as f64;
+        let fpr = fp as f64 / negatives as f64;
+        auc += (dfp as f64 / negatives as f64) * (prev_tpr + tpr) / 2.0;
+        points.push(RocPoint { threshold, fpr, tpr });
+    }
+    RocCurve { points, auc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let roc = roc_curve(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_scores_give_zero_auc() {
+        let roc = roc_curve(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]);
+        assert!(roc.auc().abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ties_give_half() {
+        let roc = roc_curve(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]);
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.9, 0.1, 0.8, 0.4, 0.35, 0.6];
+        let labels = [true, false, true, false, true, false];
+        let roc = roc_curve(&scores, &labels);
+        for w in roc.points().windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = roc.points().last().unwrap();
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn auc_matches_mann_whitney() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let scores: Vec<f64> = (0..60).map(|_| rng.random_range(0.0..1.0)).collect();
+        let labels: Vec<bool> = (0..60).map(|i| i % 3 == 0).collect();
+        let roc = roc_curve(&scores, &labels);
+        // Brute-force Mann–Whitney.
+        let mut wins = 0.0;
+        let mut pairs = 0.0;
+        for (i, &li) in labels.iter().enumerate() {
+            if !li {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj {
+                    continue;
+                }
+                pairs += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        assert!((roc.auc() - wins / pairs).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn requires_both_classes() {
+        let _ = roc_curve(&[0.5, 0.6], &[false, false]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Weight-initialization helpers.
+
+/// Glorot/Xavier uniform limit: `sqrt(6 / (fan_in + fan_out))`.
+///
+/// Weights drawn uniformly from `[-limit, limit]` keep activation variance
+/// approximately constant through linear layers.
+pub fn glorot_uniform_limit(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out).max(1) as f32).sqrt()
+}
+
+/// He/Kaiming uniform limit: `sqrt(6 / fan_in)`, appropriate for layers
+/// followed by ReLU activations.
+pub fn he_uniform_limit(fan_in: usize) -> f32 {
+    (6.0 / fan_in.max(1) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_limit_formula() {
+        assert!((glorot_uniform_limit(3, 3) - 1.0).abs() < 1e-6);
+        assert!((glorot_uniform_limit(100, 50) - (6.0f32 / 150.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn he_limit_formula() {
+        assert!((he_uniform_limit(6) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_fans_do_not_divide_by_zero() {
+        assert!(glorot_uniform_limit(0, 0).is_finite());
+        assert!(he_uniform_limit(0).is_finite());
+    }
+}

@@ -1,0 +1,247 @@
+//! 1-D convolution over `[batch, channels, length]` inputs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::ParamMut;
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A 1-D convolution layer with stride 1 and symmetric zero padding.
+///
+/// Kernels are stored as `[out_channels, in_channels, kernel]`. The output
+/// length is `len + 2 * padding - kernel + 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    padding: usize,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution with He-uniform initialized kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        let fan_in = in_channels * kernel;
+        let limit = init::he_uniform_limit(fan_in);
+        Self {
+            weight: Tensor::rand_uniform(&[out_channels, in_channels, kernel], -limit, limit, rng),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+
+    /// Output length for an input of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded length is shorter than the kernel.
+    pub fn output_len(&self, len: usize) -> usize {
+        let padded = len + 2 * self.padding;
+        assert!(padded + 1 > self.kernel(), "input length {len} too short for kernel");
+        padded - self.kernel() + 1
+    }
+
+    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Conv1d expects [batch, ch, len], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels(),
+            "Conv1d expects {} input channels, got {}",
+            self.in_channels(),
+            input.shape()[1]
+        );
+        self.cached_input = Some(input.clone());
+        let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let out_len = self.output_len(len);
+        let mut out = Tensor::zeros(&[batch, cout, out_len]);
+        let x = input.data();
+        let w = self.weight.data();
+        let bias = self.bias.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            for co in 0..cout {
+                for t in 0..out_len {
+                    let mut acc = bias[co];
+                    for ci in 0..cin {
+                        for kk in 0..k {
+                            let src = t + kk;
+                            if src < pad || src >= pad + len {
+                                continue;
+                            }
+                            let xi = x[(b * cin + ci) * len + (src - pad)];
+                            acc += xi * w[(co * cin + ci) * k + kk];
+                        }
+                    }
+                    o[(b * cout + co) * out_len + t] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv1d::backward called before forward");
+        let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let out_len = self.output_len(len);
+        assert_eq!(grad_output.shape(), &[batch, cout, out_len]);
+        let x = input.data();
+        let go = grad_output.data();
+        let w = self.weight.data();
+        let gw = self.grad_weight.data_mut();
+        let gb = self.grad_bias.data_mut();
+        let mut grad_input = Tensor::zeros(&[batch, cin, len]);
+        let gi = grad_input.data_mut();
+        for b in 0..batch {
+            for co in 0..cout {
+                for t in 0..out_len {
+                    let g = go[(b * cout + co) * out_len + t];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[co] += g;
+                    for ci in 0..cin {
+                        for kk in 0..k {
+                            let src = t + kk;
+                            if src < pad || src >= pad + len {
+                                continue;
+                            }
+                            let xi_idx = (b * cin + ci) * len + (src - pad);
+                            gw[(co * cin + ci) * k + kk] += g * x[xi_idx];
+                            gi[xi_idx] += g * w[(co * cin + ci) * k + kk];
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        vec![
+            ParamMut { value: &mut self.weight, grad: &mut self.grad_weight },
+            ParamMut { value: &mut self.bias, grad: &mut self.grad_bias },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identity_conv() -> Conv1d {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 1, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 1], vec![1.0]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        c
+    }
+
+    #[test]
+    fn kernel_one_is_identity() {
+        let mut c = identity_conv();
+        let x = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn moving_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 2, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn padding_extends_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 3, 1, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 3], vec![0.0, 1.0, 0.0]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 3], vec![5.0, 6.0, 7.0]).unwrap();
+        let y = c.forward(&x);
+        // Centre-tap kernel with same-padding reproduces the input.
+        assert_eq!(y.shape(), &[1, 1, 3]);
+        assert_eq!(y.data(), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut c = identity_conv();
+        c.bias = Tensor::from_slice(&[10.0]);
+        let x = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 2.0]).unwrap();
+        assert_eq!(c.forward(&x).data(), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn backward_grad_input_for_moving_sum() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv1d::new(1, 1, 2, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let _ = c.forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
+        let gx = c.backward(&gy);
+        // Middle input appears in both windows.
+        assert_eq!(gx.data(), &[1.0, 2.0, 1.0]);
+        // dW[k] = sum_t gy[t] * x[t+k]
+        assert_eq!(c.grad_weight.data(), &[3.0, 5.0]);
+        assert_eq!(c.grad_bias.data(), &[2.0]);
+    }
+
+    #[test]
+    fn multi_channel_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv1d::new(2, 4, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[5, 2, 8]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[5, 4, 8]);
+        let gx = c.backward(&Tensor::zeros(&[5, 4, 8]));
+        assert_eq!(gx.shape(), &[5, 2, 8]);
+    }
+}

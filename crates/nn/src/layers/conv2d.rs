@@ -1,0 +1,253 @@
+//! 2-D convolution over `[batch, channels, height, width]` inputs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::ParamMut;
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer with stride 1 and symmetric zero padding.
+///
+/// Kernels are stored as `[out_channels, in_channels, kh, kw]`. Output
+/// spatial dimensions are `h + 2p - kh + 1` by `w + 2p - kw + 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    padding: usize,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a 2-D convolution with He-uniform initialized square kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let limit = init::he_uniform_limit(fan_in);
+        Self {
+            weight: Tensor::rand_uniform(
+                &[out_channels, in_channels, kernel, kernel],
+                -limit,
+                limit,
+                rng,
+            ),
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+
+    fn out_dim(&self, dim: usize) -> usize {
+        let padded = dim + 2 * self.padding;
+        assert!(padded + 1 > self.kernel(), "input dim {dim} too small for kernel");
+        padded - self.kernel() + 1
+    }
+
+    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Conv2d expects [b, c, h, w], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels(),
+            "Conv2d expects {} input channels, got {}",
+            self.in_channels(),
+            input.shape()[1]
+        );
+        self.cached_input = Some(input.clone());
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
+        let x = input.data();
+        let wt = self.weight.data();
+        let bias = self.bias.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            for co in 0..cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[co];
+                        for ci in 0..cin {
+                            for ky in 0..k {
+                                let sy = oy + ky;
+                                if sy < pad || sy >= pad + h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let sx = ox + kx;
+                                    if sx < pad || sx >= pad + w {
+                                        continue;
+                                    }
+                                    let xi = x[((b * cin + ci) * h + (sy - pad)) * w + (sx - pad)];
+                                    acc += xi * wt[((co * cin + ci) * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                        o[((b * cout + co) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        assert_eq!(grad_output.shape(), &[batch, cout, oh, ow]);
+        let x = input.data();
+        let go = grad_output.data();
+        let wt = self.weight.data();
+        let gw = self.grad_weight.data_mut();
+        let gb = self.grad_bias.data_mut();
+        let mut grad_input = Tensor::zeros(&[batch, cin, h, w]);
+        let gi = grad_input.data_mut();
+        for b in 0..batch {
+            for co in 0..cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((b * cout + co) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[co] += g;
+                        for ci in 0..cin {
+                            for ky in 0..k {
+                                let sy = oy + ky;
+                                if sy < pad || sy >= pad + h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let sx = ox + kx;
+                                    if sx < pad || sx >= pad + w {
+                                        continue;
+                                    }
+                                    let xi_idx = ((b * cin + ci) * h + (sy - pad)) * w + (sx - pad);
+                                    let w_idx = ((co * cin + ci) * k + ky) * k + kx;
+                                    gw[w_idx] += g * x[xi_idx];
+                                    gi[xi_idx] += g * wt[w_idx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        vec![
+            ParamMut { value: &mut self.weight, grad: &mut self.grad_weight },
+            ParamMut { value: &mut self.bias, grad: &mut self.grad_bias },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_by_one_kernel_scales_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 1, 1, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn box_filter_hand_computed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 1, 2, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // windows: [1,2,4,5]=12 [2,3,5,6]=16 [4,5,7,8]=24 [5,6,8,9]=28
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn same_padding_with_center_tap() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 1, 3, 1, &mut rng);
+        let mut kernel = vec![0.0; 9];
+        kernel[4] = 1.0; // centre tap
+        c.weight = Tensor::from_vec(vec![1, 1, 3, 3], kernel).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn backward_box_filter_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(1, 1, 2, 0, &mut rng);
+        c.weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
+        c.bias = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let _ = c.forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
+        let gx = c.backward(&gy);
+        assert_eq!(gx.data(), &[1.0; 4]);
+        assert_eq!(c.grad_weight.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.grad_bias.data(), &[1.0]);
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = Conv2d::new(3, 8, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[2, 8, 16, 16]);
+        let gx = c.backward(&Tensor::zeros(&[2, 8, 16, 16]));
+        assert_eq!(gx.shape(), &[2, 3, 16, 16]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Neural-network layers.
+//!
+//! Layers are concrete structs wrapped by the [`Layer`] enum so that whole
+//! networks are [`serde`]-serializable and `Clone`/`Debug` without trait
+//! objects. Every layer caches what it needs during [`Layer::forward`] so
+//! that [`Layer::backward`] can compute gradients with plain backpropagation.
+
+mod activation;
+mod batchnorm;
+mod conv1d;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+
+pub use activation::{sigmoid, softmax_rows, Activation, ActivationKind};
+pub use batchnorm::BatchNorm1d;
+pub use conv1d::Conv1d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{MaxPool1d, MaxPool2d};
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Whether a forward pass is for training (enables dropout, caches
+/// intermediates) or inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Training mode: stochastic layers are active.
+    Train,
+    /// Inference mode: stochastic layers are identity.
+    Eval,
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+#[derive(Debug)]
+pub struct ParamMut<'a> {
+    /// The trainable values.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent backward pass.
+    pub grad: &'a mut Tensor,
+}
+
+/// Any layer supported by this crate.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_nn::{Layer, Dense, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer: Layer = Dense::new(4, 2, &mut rng).into();
+/// let x = Tensor::zeros(&[3, 4]);
+/// let y = layer.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected layer.
+    Dense(Dense),
+    /// 1-D batch normalization over `[batch, features]`.
+    BatchNorm1d(BatchNorm1d),
+    /// 1-D convolution over `[batch, channels, length]`.
+    Conv1d(Conv1d),
+    /// 2-D convolution over `[batch, channels, height, width]`.
+    Conv2d(Conv2d),
+    /// Elementwise nonlinearity.
+    Activation(Activation),
+    /// Inverted dropout.
+    Dropout(Dropout),
+    /// Flattens all trailing dimensions into one.
+    Flatten(Flatten),
+    /// 1-D max pooling.
+    MaxPool1d(MaxPool1d),
+    /// 2-D max pooling.
+    MaxPool2d(MaxPool2d),
+}
+
+impl Layer {
+    /// Runs the layer forward, caching whatever `backward` will need.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match self {
+            Layer::Dense(l) => l.forward(input),
+            Layer::BatchNorm1d(l) => l.forward(input, mode),
+            Layer::Conv1d(l) => l.forward(input),
+            Layer::Conv2d(l) => l.forward(input),
+            Layer::Activation(l) => l.forward(input),
+            Layer::Dropout(l) => l.forward(input, mode),
+            Layer::Flatten(l) => l.forward(input),
+            Layer::MaxPool1d(l) => l.forward(input),
+            Layer::MaxPool2d(l) => l.forward(input),
+        }
+    }
+
+    /// Propagates `grad_output` backward, accumulating parameter gradients
+    /// and returning the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` on layers that cache activations.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match self {
+            Layer::Dense(l) => l.backward(grad_output),
+            Layer::BatchNorm1d(l) => l.backward(grad_output),
+            Layer::Conv1d(l) => l.backward(grad_output),
+            Layer::Conv2d(l) => l.backward(grad_output),
+            Layer::Activation(l) => l.backward(grad_output),
+            Layer::Dropout(l) => l.backward(grad_output),
+            Layer::Flatten(l) => l.backward(grad_output),
+            Layer::MaxPool1d(l) => l.backward(grad_output),
+            Layer::MaxPool2d(l) => l.backward(grad_output),
+        }
+    }
+
+    /// Mutable views of every trainable parameter and its gradient.
+    pub fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        match self {
+            Layer::Dense(l) => l.params_mut(),
+            Layer::BatchNorm1d(l) => l.params_mut(),
+            Layer::Conv1d(l) => l.params_mut(),
+            Layer::Conv2d(l) => l.params_mut(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Resets all parameter gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Total number of trainable scalars in the layer.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+impl From<Dense> for Layer {
+    fn from(l: Dense) -> Self {
+        Layer::Dense(l)
+    }
+}
+impl From<BatchNorm1d> for Layer {
+    fn from(l: BatchNorm1d) -> Self {
+        Layer::BatchNorm1d(l)
+    }
+}
+impl From<Conv1d> for Layer {
+    fn from(l: Conv1d) -> Self {
+        Layer::Conv1d(l)
+    }
+}
+impl From<Conv2d> for Layer {
+    fn from(l: Conv2d) -> Self {
+        Layer::Conv2d(l)
+    }
+}
+impl From<Activation> for Layer {
+    fn from(l: Activation) -> Self {
+        Layer::Activation(l)
+    }
+}
+impl From<Dropout> for Layer {
+    fn from(l: Dropout) -> Self {
+        Layer::Dropout(l)
+    }
+}
+impl From<Flatten> for Layer {
+    fn from(l: Flatten) -> Self {
+        Layer::Flatten(l)
+    }
+}
+impl From<MaxPool1d> for Layer {
+    fn from(l: MaxPool1d) -> Self {
+        Layer::MaxPool1d(l)
+    }
+}
+impl From<MaxPool2d> for Layer {
+    fn from(l: MaxPool2d) -> Self {
+        Layer::MaxPool2d(l)
+    }
+}

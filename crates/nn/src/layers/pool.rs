@@ -1,0 +1,226 @@
+//! Max-pooling layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// 1-D max pooling over `[batch, channels, length]` with non-overlapping
+/// windows (`stride == kernel`). Trailing elements that do not fill a full
+/// window are dropped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    kernel: usize,
+    #[serde(skip)]
+    cached: Option<PoolCache>,
+}
+
+/// 2-D max pooling over `[batch, channels, height, width]` with
+/// non-overlapping square windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    kernel: usize,
+    #[serde(skip)]
+    cached: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    input_shape: Vec<usize>,
+    /// For each output element, the flat index of the winning input element.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Creates a 1-D max-pool with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        Self { kernel, cached: None }
+    }
+
+    /// The pooling window size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 3, "MaxPool1d expects [b, c, l], got {:?}", input.shape());
+        let (batch, ch, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let out_len = len / self.kernel;
+        assert!(out_len > 0, "input length {len} shorter than pool kernel {}", self.kernel);
+        let x = input.data();
+        let mut out = Tensor::zeros(&[batch, ch, out_len]);
+        let mut argmax = vec![0usize; batch * ch * out_len];
+        let o = out.data_mut();
+        for b in 0..batch {
+            for c in 0..ch {
+                for t in 0..out_len {
+                    let base = (b * ch + c) * len + t * self.kernel;
+                    let mut best_idx = base;
+                    let mut best = x[base];
+                    for k in 1..self.kernel {
+                        if x[base + k] > best {
+                            best = x[base + k];
+                            best_idx = base + k;
+                        }
+                    }
+                    let oi = (b * ch + c) * out_len + t;
+                    o[oi] = best;
+                    argmax[oi] = best_idx;
+                }
+            }
+        }
+        self.cached = Some(PoolCache { input_shape: input.shape().to_vec(), argmax });
+        out
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("MaxPool1d::backward called before forward");
+        scatter_pool_grad(cache, grad_output)
+    }
+}
+
+impl MaxPool2d {
+    /// Creates a 2-D max-pool with square windows of side `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is zero.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        Self { kernel, cached: None }
+    }
+
+    /// The pooling window side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "MaxPool2d expects [b, c, h, w], got {:?}", input.shape());
+        let (batch, ch, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (oh, ow) = (h / self.kernel, w / self.kernel);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool kernel {}", self.kernel);
+        let x = input.data();
+        let mut out = Tensor::zeros(&[batch, ch, oh, ow]);
+        let mut argmax = vec![0usize; batch * ch * oh * ow];
+        let o = out.data_mut();
+        for b in 0..batch {
+            for c in 0..ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.kernel + ky;
+                                let ix = ox * self.kernel + kx;
+                                let idx = ((b * ch + c) * h + iy) * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oi = ((b * ch + c) * oh + oy) * ow + ox;
+                        o[oi] = best;
+                        argmax[oi] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached = Some(PoolCache { input_shape: input.shape().to_vec(), argmax });
+        out
+    }
+
+    pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("MaxPool2d::backward called before forward");
+        scatter_pool_grad(cache, grad_output)
+    }
+}
+
+fn scatter_pool_grad(cache: &PoolCache, grad_output: &Tensor) -> Tensor {
+    assert_eq!(
+        grad_output.len(),
+        cache.argmax.len(),
+        "pool backward gradient has wrong number of elements"
+    );
+    let mut grad_input = Tensor::zeros(&cache.input_shape);
+    let gi = grad_input.data_mut();
+    for (oi, &src) in cache.argmax.iter().enumerate() {
+        gi[src] += grad_output.data()[oi];
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool1d_picks_window_max() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 6], vec![1.0, 3.0, 2.0, 2.0, 5.0, 4.0]).unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[3.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn pool1d_drops_trailing_remainder() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 5], vec![1.0, 2.0, 3.0, 4.0, 99.0]).unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn pool1d_backward_routes_to_argmax() {
+        let mut p = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 3.0, 5.0, 2.0]).unwrap();
+        let _ = p.forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 2], vec![10.0, 20.0]).unwrap();
+        let gx = p.backward(&gy);
+        assert_eq!(gx.data(), &[0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn pool2d_hand_computed() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn pool2d_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![4.0, 1.0, 2.0, 3.0]).unwrap();
+        let _ = p.forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 1, 1], vec![7.0]).unwrap();
+        let gx = p.backward(&gy);
+        assert_eq!(gx.data(), &[7.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool2d_negative_values() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![-4.0, -1.0, -2.0, -3.0]).unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[-1.0]);
+    }
+}

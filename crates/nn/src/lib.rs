@@ -1,0 +1,66 @@
+//! # noodle-nn
+//!
+//! A from-scratch neural-network substrate for the NOODLE hardware-Trojan
+//! detection pipeline: dense tensors, dense/convolutional layers with manual
+//! backpropagation, standard losses, and SGD/Adam optimizers.
+//!
+//! The crate intentionally avoids heavyweight ML frameworks: NOODLE's
+//! networks are small CNNs trained on a few hundred samples, so simple
+//! loop-based kernels are fast enough, fully deterministic under a seeded
+//! RNG, and easy to verify with finite-difference gradient checks (see the
+//! crate's integration tests).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_nn::{fit_classifier, Activation, Dense, Sequential, Tensor, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), noodle_nn::ShapeError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut net = Sequential::new(vec![
+//!     Dense::new(2, 8, &mut rng).into(),
+//!     Activation::relu().into(),
+//!     Dense::new(8, 2, &mut rng).into(),
+//! ]);
+//! let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.])?;
+//! let y = vec![0, 0, 1, 1];
+//! let trace = fit_classifier(&mut net, &x, &y, &TrainConfig::default(), &mut rng);
+//! assert_eq!(trace.len(), TrainConfig::default().epochs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+mod layers;
+pub mod loss;
+mod model;
+pub mod optim;
+mod tensor;
+
+pub use layers::{
+    sigmoid, softmax_rows, Activation, ActivationKind, BatchNorm1d, Conv1d, Conv2d, Dense,
+    Dropout, Flatten, Layer, MaxPool1d, MaxPool2d, Mode, ParamMut,
+};
+pub use model::{fit_classifier, EpochStats, Sequential, TrainConfig};
+pub use optim::{Adam, Sgd};
+pub use tensor::{ShapeError, Tensor};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+        assert_send_sync::<Sequential>();
+        assert_send_sync::<Layer>();
+        assert_send_sync::<Adam>();
+        assert_send_sync::<Sgd>();
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Loss functions.
+//!
+//! Each loss returns the scalar loss averaged over the batch together with
+//! the gradient of that scalar with respect to the network output, ready to
+//! be fed to [`crate::Sequential::backward`].
+
+use crate::layers::softmax_rows;
+use crate::tensor::Tensor;
+
+/// Result of evaluating a loss: the batch-mean scalar and the gradient with
+/// respect to the predictions.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Batch-mean loss value.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the predictions.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer labels.
+///
+/// Combines the softmax and negative log-likelihood so the gradient is the
+/// numerically friendly `softmax(x) - onehot(y)` (divided by the batch size).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [batch, classes] logits");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch, "labels length must match batch size");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let g = grad.data_mut();
+    for (b, &y) in labels.iter().enumerate() {
+        assert!(y < classes, "label {y} out of range for {classes} classes");
+        let p = probs.at(&[b, y]).max(1e-12);
+        loss -= p.ln();
+        g[b * classes + y] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    grad.map_inplace(|v| v * scale);
+    LossOutput { loss: loss * scale, grad }
+}
+
+/// Binary cross-entropy on logits `[batch, 1]` with targets in `{0, 1}`
+/// (or soft targets in `[0, 1]`).
+///
+/// Uses the log-sum-exp form so it is stable for large-magnitude logits; the
+/// gradient is `sigmoid(x) - t` (divided by the batch size).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn binary_cross_entropy_with_logits(logits: &Tensor, targets: &[f32]) -> LossOutput {
+    assert_eq!(logits.ndim(), 2, "bce expects [batch, 1] logits");
+    assert_eq!(logits.shape()[1], 1, "bce expects a single output column");
+    let batch = logits.shape()[0];
+    assert_eq!(targets.len(), batch, "targets length must match batch size");
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(&[batch, 1]);
+    let g = grad.data_mut();
+    for b in 0..batch {
+        let x = logits.data()[b];
+        let t = targets[b];
+        // max(x,0) - x t + ln(1 + e^{-|x|})
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        g[b] = crate::layers::sigmoid(x) - t;
+    }
+    let scale = 1.0 / batch as f32;
+    grad.map_inplace(|v| v * scale);
+    LossOutput { loss: loss * scale, grad }
+}
+
+/// Mean squared error between predictions and targets of identical shape.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn mse(predictions: &Tensor, targets: &Tensor) -> LossOutput {
+    assert_eq!(predictions.shape(), targets.shape(), "mse requires matching shapes");
+    let n = predictions.len().max(1) as f32;
+    let diff = predictions.sub(targets);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    LossOutput { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!((out.loss - 2.0f32.ln()).abs() < 1e-6);
+        // grad = p - onehot = [0.5 - 1, 0.5]
+        assert!((out.grad.data()[0] + 0.5).abs() < 1e-6);
+        assert!((out.grad.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_is_small() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![10.0, -10.0]).unwrap();
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_batch_mean() {
+        let logits = Tensor::zeros(&[4, 2]);
+        let out = cross_entropy(&logits, &[0, 1, 0, 1]);
+        assert!((out.loss - 2.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = cross_entropy(&logits, &[2]);
+    }
+
+    #[test]
+    fn bce_at_zero_logit() {
+        let logits = Tensor::zeros(&[1, 1]);
+        let out = binary_cross_entropy_with_logits(&logits, &[1.0]);
+        assert!((out.loss - 2.0f32.ln()).abs() < 1e-6);
+        assert!((out.grad.data()[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let logits = Tensor::from_vec(vec![2, 1], vec![500.0, -500.0]).unwrap();
+        let out = binary_cross_entropy_with_logits(&logits, &[1.0, 0.0]);
+        assert!(out.loss.is_finite());
+        assert!(out.loss < 1e-3);
+        let wrong = binary_cross_entropy_with_logits(&logits, &[0.0, 1.0]);
+        assert!(wrong.loss.is_finite());
+        assert!(wrong.loss > 100.0);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let out = mse(&p, &t);
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_zero_for_equal_inputs() {
+        let p = Tensor::from_slice(&[1.0, -1.0]);
+        let out = mse(&p, &p);
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.data(), &[0.0, 0.0]);
+    }
+}

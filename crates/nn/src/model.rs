@@ -1,0 +1,283 @@
+//! Sequential model container and a minibatch trainer.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{softmax_rows, Layer, Mode, ParamMut};
+use crate::loss::cross_entropy;
+use crate::optim::Adam;
+use crate::tensor::Tensor;
+
+/// A feed-forward stack of [`Layer`]s applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_nn::{Activation, Dense, Mode, Sequential, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new(vec![
+///     Dense::new(4, 8, &mut rng).into(),
+///     Activation::relu().into(),
+///     Dense::new(8, 2, &mut rng).into(),
+/// ]);
+/// let logits = net.forward(&Tensor::zeros(&[1, 4]), Mode::Eval);
+/// assert_eq!(logits.shape(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Creates a model from an ordered list of layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Appends a layer to the end of the stack.
+    pub fn push(&mut self, layer: impl Into<Layer>) {
+        self.layers.push(layer.into());
+    }
+
+    /// Runs the network forward.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    /// Backpropagates `grad_output` through every layer, accumulating
+    /// parameter gradients, and returns the gradient at the input.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Mutable views of every parameter/gradient pair, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<ParamMut<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.param_count()).sum()
+    }
+
+    /// Serializes the model (architecture and weights) to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a model previously produced by [`Sequential::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if `json` is not a valid model.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Softmax class probabilities for a batch, in inference mode.
+    pub fn predict_proba(&mut self, input: &Tensor) -> Tensor {
+        let logits = self.forward(input, Mode::Eval);
+        softmax_rows(&logits)
+    }
+}
+
+/// Hyperparameters for [`fit_classifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Minibatch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 40, batch_size: 16, lr: 1e-3 }
+    }
+}
+
+/// Per-epoch training record returned by [`fit_classifier`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index, starting at 0.
+    pub epoch: usize,
+    /// Mean cross-entropy over the epoch's minibatches.
+    pub loss: f32,
+}
+
+/// Trains `model` as a softmax classifier with Adam and cross-entropy.
+///
+/// `inputs` must be a batch tensor whose first dimension indexes samples and
+/// matches `labels.len()`. Minibatch order is shuffled each epoch with `rng`.
+/// Returns the per-epoch mean loss trace.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or its first dimension differs from
+/// `labels.len()`.
+pub fn fit_classifier<R: Rng + ?Sized>(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    labels: &[usize],
+    config: &TrainConfig,
+    rng: &mut R,
+) -> Vec<EpochStats> {
+    let n = labels.len();
+    assert!(n > 0, "cannot train on an empty dataset");
+    assert_eq!(inputs.shape()[0], n, "inputs and labels disagree on sample count");
+    let batch_size = config.batch_size.clamp(1, n);
+    let mut opt = Adam::new(config.lr);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut trace = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        order.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch_size) {
+            let batch_x = select_samples(inputs, chunk);
+            let batch_y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            model.zero_grad();
+            let logits = model.forward(&batch_x, Mode::Train);
+            let out = cross_entropy(&logits, &batch_y);
+            model.backward(&out.grad);
+            opt.step(&mut model.params_mut());
+            epoch_loss += out.loss;
+            batches += 1;
+        }
+        trace.push(EpochStats { epoch, loss: epoch_loss / batches.max(1) as f32 });
+    }
+    trace
+}
+
+/// Selects samples along the first axis of a batch tensor of any rank.
+pub(crate) fn select_samples(inputs: &Tensor, indices: &[usize]) -> Tensor {
+    let sample_len: usize = inputs.shape()[1..].iter().product();
+    let mut data = Vec::with_capacity(indices.len() * sample_len);
+    for &i in indices {
+        data.extend_from_slice(&inputs.data()[i * sample_len..(i + 1) * sample_len]);
+    }
+    let mut shape = inputs.shape().to_vec();
+    shape[0] = indices.len();
+    Tensor::from_vec(shape, data).expect("select_samples computes a consistent shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use crate::layers::Dense;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_vec(
+            vec![4, 2],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Sequential::new(vec![
+            Dense::new(2, 16, &mut rng).into(),
+            Activation::tanh().into(),
+            Dense::new(16, 2, &mut rng).into(),
+        ]);
+        let (x, y) = xor_data();
+        let config = TrainConfig { epochs: 400, batch_size: 4, lr: 0.02 };
+        let trace = fit_classifier(&mut net, &x, &y, &config, &mut rng);
+        assert!(trace.last().unwrap().loss < 0.1, "final loss {}", trace.last().unwrap().loss);
+        let probs = net.predict_proba(&x);
+        assert_eq!(probs.argmax_rows(), y);
+    }
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new(vec![Dense::new(1, 2, &mut rng).into()]);
+        let x = Tensor::from_vec(vec![6, 1], vec![-2.0, -1.5, -1.0, 1.0, 1.5, 2.0]).unwrap();
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let config = TrainConfig { epochs: 50, batch_size: 6, lr: 0.05 };
+        let trace = fit_classifier(&mut net, &x, &y, &config, &mut rng);
+        assert!(trace.last().unwrap().loss < trace.first().unwrap().loss);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Sequential::new(vec![
+            Dense::new(3, 4, &mut rng).into(),
+            Activation::relu().into(),
+            Dense::new(4, 2, &mut rng).into(),
+        ]);
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let before = net.predict_proba(&x);
+        let json = net.to_json().unwrap();
+        let mut restored = Sequential::from_json(&json).unwrap();
+        let after = restored.predict_proba(&x);
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new(vec![
+            Dense::new(3, 4, &mut rng).into(), // 12 + 4
+            Dense::new(4, 2, &mut rng).into(), // 8 + 2
+        ]);
+        assert_eq!(net.param_count(), 26);
+    }
+
+    #[test]
+    fn select_samples_any_rank() {
+        let t = Tensor::from_vec(vec![3, 1, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let s = select_samples(&t, &[2, 0]);
+        assert_eq!(s.shape(), &[2, 1, 2]);
+        assert_eq!(s.data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new(vec![Dense::new(2, 3, &mut rng).into()]);
+        let p = net.predict_proba(&Tensor::rand_uniform(&[5, 2], -1.0, 1.0, &mut rng));
+        for r in 0..5 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

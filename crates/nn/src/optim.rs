@@ -1,0 +1,240 @@
+//! Gradient-descent optimizers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::ParamMut;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_nn::{Dense, Layer, Mode, Sgd, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut layer: Layer = Dense::new(2, 1, &mut rng).into();
+/// let mut opt = Sgd::new(0.1).momentum(0.9);
+/// let x = Tensor::ones(&[1, 2]);
+/// let _ = layer.forward(&x, Mode::Train);
+/// let _ = layer.backward(&Tensor::ones(&[1, 1]));
+/// opt.step(&mut layer.params_mut());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive, got {lr}");
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Sets the momentum coefficient (0 disables momentum).
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update to every parameter.
+    ///
+    /// Parameters must be passed in the same order on every call; the
+    /// optimizer keys its momentum state by position.
+    pub fn step(&mut self, params: &mut [ParamMut<'_>]) {
+        if self.velocity.len() < params.len() {
+            for p in params.iter().skip(self.velocity.len()) {
+                self.velocity.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut update = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                update.axpy(self.weight_decay, p.value);
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                for (vj, &uj) in v.data_mut().iter_mut().zip(update.data()) {
+                    *vj = self.momentum * *vj + uj;
+                }
+                update = v.clone();
+            }
+            p.value.axpy(-self.lr, &update);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with learning rate `lr` and the standard defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive, got {lr}");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets the exponential-decay rates for the moment estimates.
+    pub fn betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one Adam update to every parameter.
+    ///
+    /// Parameters must be passed in the same order on every call; the
+    /// optimizer keys its moment state by position.
+    pub fn step(&mut self, params: &mut [ParamMut<'_>]) {
+        if self.m.len() < params.len() {
+            for p in params.iter().skip(self.m.len()) {
+                self.m.push(Tensor::zeros(p.value.shape()));
+                self.v.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            let value = p.value.data_mut();
+            let grad = p.grad.data();
+            for j in 0..value.len() {
+                let g = grad[j] + self.weight_decay * value[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[j] / bc1;
+                let v_hat = v[j] / bc2;
+                value[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param() -> (Tensor, Tensor) {
+        // minimize f(w) = w^2 starting at w = 4; grad = 2w
+        (Tensor::from_slice(&[4.0]), Tensor::zeros(&[1]))
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let (mut w, mut g) = quadratic_param();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            g.data_mut()[0] = 2.0 * w.data()[0];
+            opt.step(&mut [ParamMut { value: &mut w, grad: &mut g }]);
+        }
+        assert!(w.data()[0].abs() < 1e-3, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    fn sgd_momentum_descends_quadratic() {
+        let (mut w, mut g) = quadratic_param();
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        for _ in 0..200 {
+            g.data_mut()[0] = 2.0 * w.data()[0];
+            opt.step(&mut [ParamMut { value: &mut w, grad: &mut g }]);
+        }
+        assert!(w.data()[0].abs() < 1e-3, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let (mut w, mut g) = quadratic_param();
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            g.data_mut()[0] = 2.0 * w.data()[0];
+            opt.step(&mut [ParamMut { value: &mut w, grad: &mut g }]);
+        }
+        assert!(w.data()[0].abs() < 1e-2, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_with_zero_grad() {
+        let mut w = Tensor::from_slice(&[1.0]);
+        let mut g = Tensor::zeros(&[1]);
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        opt.step(&mut [ParamMut { value: &mut w, grad: &mut g }]);
+        assert!((w.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step is ~lr in magnitude.
+        let mut w = Tensor::from_slice(&[0.0]);
+        let mut g = Tensor::from_slice(&[3.0]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [ParamMut { value: &mut w, grad: &mut g }]);
+        assert!((w.data()[0] + 0.01).abs() < 1e-4, "w = {}", w.data()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,630 @@
+//! A minimal dense tensor of `f32` values with the operations needed by the
+//! neural-network layers in this crate.
+//!
+//! The tensor is deliberately simple: row-major contiguous storage, explicit
+//! shapes, and loop-based kernels. At NOODLE's dataset scale (hundreds of
+//! samples, networks with tens of thousands of parameters) this is more than
+//! fast enough, fully deterministic, and easy to verify against hand-computed
+//! values in tests.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Error produced when constructing or combining [`Tensor`]s with
+/// incompatible shapes or data lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_nn::Tensor;
+///
+/// # fn main() -> Result<(), noodle_nn::ShapeError> {
+/// let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::ones(&[2, 2]);
+/// let sum = a.add(&b);
+/// assert_eq!(sum.data(), &[2.0, 3.0, 4.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and a flat row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len()` does not equal the product of
+    /// the dimensions in `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, ShapeError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(ShapeError::new(format!(
+                "shape {:?} implies {} elements but {} were provided",
+                shape,
+                expected,
+                data.len()
+            )));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; len] }
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(values: &[f32]) -> Self {
+        Self { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng.random_range(lo..hi)).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// Creates a tensor with elements drawn from a standard normal
+    /// distribution (Box–Muller transform), scaled by `std`.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            let u1 = rng.random_range(f32::EPSILON..1.0f32);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < len {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The flat row-major data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes the tensor in place, preserving the element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the new shape does not have the same
+    /// number of elements.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, ShapeError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(ShapeError::new(format!(
+                "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
+                self.shape,
+                self.data.len(),
+                shape,
+                expected
+            )));
+        }
+        Ok(Self { shape: shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} does not match tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        let mut off = 0;
+        for (dim, (&i, &s)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {i} out of bounds for dimension {dim} of size {s}");
+            off = off * s + i;
+        }
+        off
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip_map requires identical shapes");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `value` to every element.
+    pub fn add_scalar(&self, value: f32) -> Self {
+        self.map(|x| x + value)
+    }
+
+    /// Multiplies every element by `value`.
+    pub fn scale(&self, value: f32) -> Self {
+        self.map(|x| x * value)
+    }
+
+    /// In-place `self += other * alpha` (AXPY). Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.shape, other.shape, "axpy requires identical shapes");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        Self { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.ndim(), 2, "transpose requires rank 2, got {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { shape: vec![n, m], data }
+    }
+
+    /// Returns row `i` of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.ndim(), 2, "row requires rank 2, got {:?}", self.shape);
+        let n = self.shape[1];
+        assert!(i < self.shape[0], "row {i} out of bounds for {} rows", self.shape[0]);
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Stacks 1-D tensors of equal length into a rank-2 tensor `[rows, cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `rows` is empty or the rows have unequal
+    /// lengths.
+    pub fn stack_rows(rows: &[Vec<f32>]) -> Result<Self, ShapeError> {
+        let Some(first) = rows.first() else {
+            return Err(ShapeError::new("cannot stack zero rows"));
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(ShapeError::new(format!(
+                    "row {i} has length {} but row 0 has length {cols}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { shape: vec![rows.len(), cols], data })
+    }
+
+    /// Concatenates rank-2 tensors along the column axis
+    /// (`[b, n1] ++ [b, n2] -> [b, n1 + n2]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `parts` is empty, any part is not rank 2,
+    /// or the row counts differ.
+    pub fn concat_cols(parts: &[&Self]) -> Result<Self, ShapeError> {
+        let Some(first) = parts.first() else {
+            return Err(ShapeError::new("cannot concat zero tensors"));
+        };
+        if first.ndim() != 2 {
+            return Err(ShapeError::new("concat_cols requires rank-2 tensors"));
+        }
+        let rows = first.shape[0];
+        let mut total_cols = 0;
+        for part in parts {
+            if part.ndim() != 2 {
+                return Err(ShapeError::new("concat_cols requires rank-2 tensors"));
+            }
+            if part.shape[0] != rows {
+                return Err(ShapeError::new(format!(
+                    "row count mismatch: {} vs {}",
+                    part.shape[0], rows
+                )));
+            }
+            total_cols += part.shape[1];
+        }
+        let mut data = Vec::with_capacity(rows * total_cols);
+        for r in 0..rows {
+            for part in parts {
+                data.extend_from_slice(part.row(r));
+            }
+        }
+        Ok(Self { shape: vec![rows, total_cols], data })
+    }
+
+    /// Selects a subset of rows from a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        assert_eq!(self.ndim(), 2, "select_rows requires rank 2, got {:?}", self.shape);
+        let cols = self.shape[1];
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Self { shape: vec![indices.len(), cols], data }
+    }
+
+    /// Index of the maximum value within each row of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires rank 2, got {:?}", self.shape);
+        assert!(self.shape[1] > 0, "argmax_rows requires at least one column");
+        (0..self.shape[0])
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::from_vec(vec![2, 3], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert_eq!(z.sum(), 0.0);
+        let f = Tensor::full(&[3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 7.0);
+        assert_eq!(t.at(&[1, 2, 3]), 7.0);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let id = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), &[3, 2]);
+        assert_eq!(a.transpose().at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(a.sum(), 2.0);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn stack_and_rows() {
+        let t = Tensor::stack_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert!(Tensor::stack_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Tensor::stack_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_cols_works() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 1], vec![9.0, 8.0]).unwrap();
+        let c = Tensor::concat_cols(&[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn concat_cols_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(Tensor::concat_cols(&[&a, &b]).is_err());
+        assert!(Tensor::concat_cols(&[]).is_err());
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let a = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let a = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.9, 3.0, 2.0, 1.0]).unwrap();
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let b = a.reshape(&[2, 2]).unwrap();
+        assert_eq!(b.at(&[1, 0]), 3.0);
+        assert!(a.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn randn_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / (t.len() as f32 - 1.0);
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn rand_uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(&[2]);
+        assert!(!format!("{t}").is_empty());
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

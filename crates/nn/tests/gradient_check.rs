@@ -1,0 +1,194 @@
+//! Finite-difference gradient checks for every trainable layer type.
+//!
+//! For a scalar loss L(θ), backprop gradients must match
+//! (L(θ + h) − L(θ − h)) / 2h to a few decimal places. This is the strongest
+//! correctness test a hand-written backward pass can get.
+
+use noodle_nn::loss::{binary_cross_entropy_with_logits, cross_entropy, mse};
+use noodle_nn::{
+    Activation, Conv1d, Conv2d, Dense, Flatten, MaxPool1d, MaxPool2d, Mode, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const H: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Loss used by the checks: cross-entropy against fixed labels.
+fn loss_of(net: &mut Sequential, x: &Tensor, labels: &[usize]) -> f32 {
+    let logits = net.forward(x, Mode::Train);
+    cross_entropy(&logits, labels).loss
+}
+
+/// Checks every parameter of `net` by central differences.
+fn check_param_grads(net: &mut Sequential, x: &Tensor, labels: &[usize]) {
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train);
+    let out = cross_entropy(&logits, labels);
+    net.backward(&out.grad);
+
+    // Snapshot analytic gradients.
+    let analytic: Vec<Vec<f32>> =
+        net.params_mut().iter().map(|p| p.grad.data().to_vec()).collect();
+
+    for (pi, grads) in analytic.iter().enumerate() {
+        for j in 0..grads.len() {
+            let orig = {
+                let mut params = net.params_mut();
+                let v = params[pi].value.data_mut();
+                let orig = v[j];
+                v[j] = orig + H;
+                orig
+            };
+            let plus = loss_of(net, x, labels);
+            {
+                let mut params = net.params_mut();
+                params[pi].value.data_mut()[j] = orig - H;
+            }
+            let minus = loss_of(net, x, labels);
+            {
+                let mut params = net.params_mut();
+                params[pi].value.data_mut()[j] = orig;
+            }
+            let numeric = (plus - minus) / (2.0 * H);
+            let diff = (numeric - grads[j]).abs();
+            let scale = numeric.abs().max(grads[j].abs()).max(1.0);
+            assert!(
+                diff / scale < TOL,
+                "param {pi} element {j}: analytic {} vs numeric {numeric}",
+                grads[j]
+            );
+        }
+    }
+}
+
+/// Checks the gradient with respect to the *input* by central differences.
+fn check_input_grads(net: &mut Sequential, x: &Tensor, labels: &[usize]) {
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train);
+    let out = cross_entropy(&logits, labels);
+    let gx = net.backward(&out.grad);
+    for j in 0..x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[j] += H;
+        let plus = loss_of(net, &xp, labels);
+        let mut xm = x.clone();
+        xm.data_mut()[j] -= H;
+        let minus = loss_of(net, &xm, labels);
+        let numeric = (plus - minus) / (2.0 * H);
+        let diff = (numeric - gx.data()[j]).abs();
+        let scale = numeric.abs().max(gx.data()[j].abs()).max(1.0);
+        assert!(
+            diff / scale < TOL,
+            "input element {j}: analytic {} vs numeric {numeric}",
+            gx.data()[j]
+        );
+    }
+}
+
+#[test]
+fn dense_relu_dense_gradients() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = Sequential::new(vec![
+        Dense::new(3, 5, &mut rng).into(),
+        Activation::relu().into(),
+        Dense::new(5, 2, &mut rng).into(),
+    ]);
+    let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+    check_param_grads(&mut net, &x, &[0, 1, 0, 1]);
+    check_input_grads(&mut net, &x, &[0, 1, 0, 1]);
+}
+
+#[test]
+fn tanh_and_sigmoid_gradients() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = Sequential::new(vec![
+        Dense::new(2, 4, &mut rng).into(),
+        Activation::tanh().into(),
+        Dense::new(4, 4, &mut rng).into(),
+        Activation::sigmoid().into(),
+        Dense::new(4, 2, &mut rng).into(),
+    ]);
+    let x = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+    check_param_grads(&mut net, &x, &[1, 0, 1]);
+}
+
+#[test]
+fn conv1d_pipeline_gradients() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = Sequential::new(vec![
+        Conv1d::new(1, 3, 3, 1, &mut rng).into(),
+        Activation::relu().into(),
+        MaxPool1d::new(2).into(),
+        Flatten::new().into(),
+        Dense::new(3 * 3, 2, &mut rng).into(),
+    ]);
+    let x = Tensor::rand_uniform(&[2, 1, 6], -1.0, 1.0, &mut rng);
+    check_param_grads(&mut net, &x, &[0, 1]);
+    check_input_grads(&mut net, &x, &[0, 1]);
+}
+
+#[test]
+fn conv2d_pipeline_gradients() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = Sequential::new(vec![
+        Conv2d::new(1, 2, 3, 1, &mut rng).into(),
+        Activation::leaky_relu().into(),
+        MaxPool2d::new(2).into(),
+        Flatten::new().into(),
+        Dense::new(2 * 2 * 2, 2, &mut rng).into(),
+    ]);
+    let x = Tensor::rand_uniform(&[2, 1, 4, 4], -1.0, 1.0, &mut rng);
+    check_param_grads(&mut net, &x, &[1, 0]);
+    check_input_grads(&mut net, &x, &[1, 0]);
+}
+
+#[test]
+fn bce_gradient_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let logits = Tensor::rand_uniform(&[4, 1], -2.0, 2.0, &mut rng);
+    let targets = [1.0, 0.0, 1.0, 0.0];
+    let out = binary_cross_entropy_with_logits(&logits, &targets);
+    for j in 0..4 {
+        let mut lp = logits.clone();
+        lp.data_mut()[j] += H;
+        let plus = binary_cross_entropy_with_logits(&lp, &targets).loss;
+        let mut lm = logits.clone();
+        lm.data_mut()[j] -= H;
+        let minus = binary_cross_entropy_with_logits(&lm, &targets).loss;
+        let numeric = (plus - minus) / (2.0 * H);
+        assert!((numeric - out.grad.data()[j]).abs() < TOL);
+    }
+}
+
+#[test]
+fn mse_gradient_matches_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let pred = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+    let target = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+    let out = mse(&pred, &target);
+    for j in 0..pred.len() {
+        let mut pp = pred.clone();
+        pp.data_mut()[j] += H;
+        let plus = mse(&pp, &target).loss;
+        let mut pm = pred.clone();
+        pm.data_mut()[j] -= H;
+        let minus = mse(&pm, &target).loss;
+        let numeric = (plus - minus) / (2.0 * H);
+        assert!((numeric - out.grad.data()[j]).abs() < TOL);
+    }
+}
+
+#[test]
+fn batchnorm_pipeline_gradients() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = Sequential::new(vec![
+        Dense::new(3, 6, &mut rng).into(),
+        noodle_nn::BatchNorm1d::new(6).into(),
+        Activation::relu().into(),
+        Dense::new(6, 2, &mut rng).into(),
+    ]);
+    let x = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+    check_param_grads(&mut net, &x, &[0, 1, 0, 1, 1]);
+    check_input_grads(&mut net, &x, &[0, 1, 0, 1, 1]);
+}

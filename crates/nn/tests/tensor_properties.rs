@@ -1,0 +1,88 @@
+//! Property-based tests for the tensor algebra and network invariants.
+
+use noodle_nn::{softmax_rows, Activation, Dense, Mode, Sequential, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Matrix multiplication is associative (within float tolerance).
+    #[test]
+    fn matmul_associative(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// `(A B)^T = B^T A^T`.
+    #[test]
+    fn transpose_of_product(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Elementwise addition commutes and `sub` undoes `add`.
+    #[test]
+    fn add_sub_inverse(a in small_matrix(4, 4), b in small_matrix(4, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        let restored = a.add(&b).sub(&b);
+        for (x, y) in restored.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability vectors, invariant to per-row shifts.
+    #[test]
+    fn softmax_invariances(a in small_matrix(3, 5), shift in -50.0f32..50.0) {
+        let p = softmax_rows(&a);
+        for r in 0..3 {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let shifted = softmax_rows(&a.add_scalar(shift));
+        for (x, y) in p.data().iter().zip(shifted.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "softmax must be shift-invariant");
+        }
+    }
+
+    /// Reshape preserves data; select_rows matches row views.
+    #[test]
+    fn reshape_and_select(a in small_matrix(4, 6)) {
+        let r = a.reshape(&[6, 4]).unwrap();
+        prop_assert_eq!(r.data(), a.data());
+        let s = a.select_rows(&[2, 0]);
+        prop_assert_eq!(&s.row(0), &a.row(2));
+        prop_assert_eq!(&s.row(1), &a.row(0));
+    }
+
+    /// A network's eval-mode output is deterministic, and JSON round-trips
+    /// preserve it exactly.
+    #[test]
+    fn network_eval_deterministic(seed in 0u64..500, input in small_matrix(2, 6)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new(vec![
+            Dense::new(6, 5, &mut rng).into(),
+            Activation::relu().into(),
+            Dense::new(5, 2, &mut rng).into(),
+        ]);
+        let a = net.forward(&input, Mode::Eval);
+        let b = net.forward(&input, Mode::Eval);
+        prop_assert_eq!(&a, &b);
+        let mut restored = Sequential::from_json(&net.to_json().unwrap()).unwrap();
+        let c = restored.forward(&input, Mode::Eval);
+        prop_assert_eq!(&a, &c);
+    }
+}

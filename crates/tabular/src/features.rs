@@ -1,0 +1,457 @@
+//! Code-branching feature extraction.
+
+use noodle_verilog::{
+    BinaryOp, EventControl, Expr, Item, LValue, Module, NetType, PortDirection, Stmt, UnaryOp,
+};
+use serde::{Deserialize, Serialize};
+
+/// Names of the features, in the order produced by
+/// [`TabularFeatures::to_vec`].
+pub const FEATURE_NAMES: [&str; 28] = [
+    "inputs",
+    "outputs",
+    "input_bits",
+    "output_bits",
+    "wires",
+    "regs",
+    "reg_bits",
+    "assigns",
+    "always_blocks",
+    "clocked_always",
+    "comb_always",
+    "if_count",
+    "else_count",
+    "max_if_depth",
+    "case_count",
+    "case_arm_count",
+    "case_default_count",
+    "blocking_assigns",
+    "nonblocking_assigns",
+    "instances",
+    "ternaries",
+    "xor_ops",
+    "eq_comparisons",
+    "const_comparisons",
+    "max_const_cmp_width",
+    "self_increment_regs",
+    "expr_nodes",
+    "max_expr_depth",
+];
+
+/// The code-branching tabular feature vector of one module.
+///
+/// All fields are `f32` counts/widths so the struct converts losslessly to
+/// the model input vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct TabularFeatures {
+    pub inputs: f32,
+    pub outputs: f32,
+    pub input_bits: f32,
+    pub output_bits: f32,
+    pub wires: f32,
+    pub regs: f32,
+    pub reg_bits: f32,
+    pub assigns: f32,
+    pub always_blocks: f32,
+    pub clocked_always: f32,
+    pub comb_always: f32,
+    pub if_count: f32,
+    pub else_count: f32,
+    pub max_if_depth: f32,
+    pub case_count: f32,
+    pub case_arm_count: f32,
+    pub case_default_count: f32,
+    pub blocking_assigns: f32,
+    pub nonblocking_assigns: f32,
+    pub instances: f32,
+    pub ternaries: f32,
+    pub xor_ops: f32,
+    pub eq_comparisons: f32,
+    pub const_comparisons: f32,
+    pub max_const_cmp_width: f32,
+    pub self_increment_regs: f32,
+    pub expr_nodes: f32,
+    pub max_expr_depth: f32,
+}
+
+impl TabularFeatures {
+    /// The features as a vector ordered like [`FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f32> {
+        vec![
+            self.inputs,
+            self.outputs,
+            self.input_bits,
+            self.output_bits,
+            self.wires,
+            self.regs,
+            self.reg_bits,
+            self.assigns,
+            self.always_blocks,
+            self.clocked_always,
+            self.comb_always,
+            self.if_count,
+            self.else_count,
+            self.max_if_depth,
+            self.case_count,
+            self.case_arm_count,
+            self.case_default_count,
+            self.blocking_assigns,
+            self.nonblocking_assigns,
+            self.instances,
+            self.ternaries,
+            self.xor_ops,
+            self.eq_comparisons,
+            self.const_comparisons,
+            self.max_const_cmp_width,
+            self.self_increment_regs,
+            self.expr_nodes,
+            self.max_expr_depth,
+        ]
+    }
+
+    /// Number of features (the length of [`FEATURE_NAMES`]).
+    pub const fn len() -> usize {
+        FEATURE_NAMES.len()
+    }
+}
+
+/// Extracts the code-branching feature vector of a module.
+pub fn extract_features(module: &Module) -> TabularFeatures {
+    let mut f = TabularFeatures::default();
+
+    for port in module.resolved_ports() {
+        let bits = port.range.map(|r| r.width()).unwrap_or(1) as f32;
+        match port.direction {
+            PortDirection::Input => {
+                f.inputs += 1.0;
+                f.input_bits += bits;
+            }
+            PortDirection::Output => {
+                f.outputs += 1.0;
+                f.output_bits += bits;
+            }
+            PortDirection::Inout | PortDirection::Unspecified => {}
+        }
+    }
+
+    for item in &module.items {
+        match item {
+            Item::Decl { net, range, names } => {
+                let bits = range.map(|r| r.width()).unwrap_or(1) as f32 * names.len() as f32;
+                match net {
+                    NetType::Wire => f.wires += names.len() as f32,
+                    NetType::Reg | NetType::Integer => {
+                        f.regs += names.len() as f32;
+                        f.reg_bits += bits;
+                    }
+                }
+            }
+            Item::Assign { rhs, .. } => {
+                f.assigns += 1.0;
+                scan_expr(&mut f, rhs, 1);
+            }
+            Item::Always { event, body } => {
+                f.always_blocks += 1.0;
+                match event {
+                    EventControl::Star => f.comb_always += 1.0,
+                    EventControl::Events(events) => {
+                        if events.iter().any(|e| e.edge.is_some()) {
+                            f.clocked_always += 1.0;
+                        } else {
+                            f.comb_always += 1.0;
+                        }
+                    }
+                }
+                scan_stmt(&mut f, body, 0);
+            }
+            Item::Initial { body } => scan_stmt(&mut f, body, 0),
+            Item::Instance { connections, .. } => {
+                f.instances += 1.0;
+                for c in connections {
+                    if let Some(e) = &c.expr {
+                        scan_expr(&mut f, e, 1);
+                    }
+                }
+            }
+            Item::Parameter { value, .. } | Item::Localparam { value, .. } => {
+                scan_expr(&mut f, value, 1);
+            }
+            Item::PortDecl { .. } => {}
+        }
+    }
+    f
+}
+
+fn scan_stmt(f: &mut TabularFeatures, stmt: &Stmt, if_depth: u32) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                scan_stmt(f, s, if_depth);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            f.if_count += 1.0;
+            let depth = if_depth + 1;
+            f.max_if_depth = f.max_if_depth.max(depth as f32);
+            scan_expr(f, cond, 1);
+            scan_stmt(f, then_branch, depth);
+            if let Some(e) = else_branch {
+                f.else_count += 1.0;
+                scan_stmt(f, e, depth);
+            }
+        }
+        Stmt::Case { subject, arms, default, .. } => {
+            f.case_count += 1.0;
+            scan_expr(f, subject, 1);
+            for arm in arms {
+                f.case_arm_count += 1.0;
+                for l in &arm.labels {
+                    scan_expr(f, l, 1);
+                }
+                scan_stmt(f, &arm.body, if_depth);
+            }
+            if let Some(d) = default {
+                f.case_default_count += 1.0;
+                scan_stmt(f, d, if_depth);
+            }
+        }
+        Stmt::Blocking { lhs, rhs } => {
+            f.blocking_assigns += 1.0;
+            note_self_increment(f, lhs, rhs);
+            scan_expr(f, rhs, 1);
+        }
+        Stmt::Nonblocking { lhs, rhs } => {
+            f.nonblocking_assigns += 1.0;
+            note_self_increment(f, lhs, rhs);
+            scan_expr(f, rhs, 1);
+        }
+        Stmt::For { init, cond, step, body } => {
+            scan_stmt(f, init, if_depth);
+            scan_expr(f, cond, 1);
+            scan_stmt(f, step, if_depth);
+            scan_stmt(f, body, if_depth);
+        }
+        Stmt::SystemCall { args, .. } => {
+            for a in args {
+                scan_expr(f, a, 1);
+            }
+        }
+        Stmt::Null => {}
+    }
+}
+
+/// Detects the `x <= x + c` / `x = x + c` time-bomb-style pattern.
+fn note_self_increment(f: &mut TabularFeatures, lhs: &LValue, rhs: &Expr) {
+    let LValue::Ident(target) = lhs else { return };
+    if let Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: b } = rhs {
+        let reads_self = matches!(&**a, Expr::Ident(n) if n == target)
+            || matches!(&**b, Expr::Ident(n) if n == target);
+        let adds_const =
+            matches!(&**a, Expr::Literal(_)) || matches!(&**b, Expr::Literal(_));
+        if reads_self && adds_const {
+            f.self_increment_regs += 1.0;
+        }
+    }
+}
+
+fn scan_expr(f: &mut TabularFeatures, expr: &Expr, depth: u32) {
+    f.expr_nodes += 1.0;
+    f.max_expr_depth = f.max_expr_depth.max(depth as f32);
+    match expr {
+        Expr::Ident(_) | Expr::Literal(_) | Expr::Str(_) | Expr::Part { .. } => {}
+        Expr::Bit { index, .. } => scan_expr(f, index, depth + 1),
+        Expr::Unary { op, operand } => {
+            if *op == UnaryOp::RedXor {
+                f.xor_ops += 1.0;
+            }
+            scan_expr(f, operand, depth + 1);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            match op {
+                BinaryOp::BitXor | BinaryOp::BitXnor => f.xor_ops += 1.0,
+                BinaryOp::Eq | BinaryOp::CaseEq => {
+                    f.eq_comparisons += 1.0;
+                    let const_width = literal_width(lhs).or_else(|| literal_width(rhs));
+                    if let Some(w) = const_width {
+                        f.const_comparisons += 1.0;
+                        f.max_const_cmp_width = f.max_const_cmp_width.max(w as f32);
+                    }
+                }
+                _ => {}
+            }
+            scan_expr(f, lhs, depth + 1);
+            scan_expr(f, rhs, depth + 1);
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            f.ternaries += 1.0;
+            scan_expr(f, cond, depth + 1);
+            scan_expr(f, then_expr, depth + 1);
+            scan_expr(f, else_expr, depth + 1);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                scan_expr(f, p, depth + 1);
+            }
+        }
+        Expr::Repeat { expr, .. } => scan_expr(f, expr, depth + 1),
+    }
+}
+
+fn literal_width(e: &Expr) -> Option<u32> {
+    match e {
+        Expr::Literal(l) => Some(l.width.unwrap_or(32)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_verilog::parse;
+
+    fn features_of(src: &str) -> TabularFeatures {
+        let file = parse(src).unwrap();
+        extract_features(&file.modules[0])
+    }
+
+    #[test]
+    fn counts_ports_and_bits() {
+        let f = features_of(
+            "module m(input clk, input [7:0] d, output [3:0] q, output v); endmodule",
+        );
+        assert_eq!(f.inputs, 2.0);
+        assert_eq!(f.outputs, 2.0);
+        assert_eq!(f.input_bits, 9.0);
+        assert_eq!(f.output_bits, 5.0);
+    }
+
+    #[test]
+    fn counts_declarations() {
+        let f = features_of(
+            "module m; wire a, b; reg [7:0] r1; reg r2; integer i; endmodule",
+        );
+        assert_eq!(f.wires, 2.0);
+        assert_eq!(f.regs, 3.0); // r1, r2, i
+        assert_eq!(f.reg_bits, 10.0);
+    }
+
+    #[test]
+    fn counts_branching() {
+        let f = features_of(
+            "module m(input a, input b, output reg y);
+                always @* begin
+                    if (a) begin
+                        if (b) y = 1'b1; else y = 1'b0;
+                    end else y = 1'b0;
+                end
+            endmodule",
+        );
+        assert_eq!(f.if_count, 2.0);
+        assert_eq!(f.else_count, 2.0);
+        assert_eq!(f.max_if_depth, 2.0);
+        assert_eq!(f.blocking_assigns, 3.0);
+    }
+
+    #[test]
+    fn counts_case_structure() {
+        let f = features_of(
+            "module m(input [1:0] s, output reg y);
+                always @* case (s)
+                    2'd0: y = 1'b0;
+                    2'd1: y = 1'b1;
+                    default: y = 1'b0;
+                endcase
+            endmodule",
+        );
+        assert_eq!(f.case_count, 1.0);
+        assert_eq!(f.case_arm_count, 2.0);
+        assert_eq!(f.case_default_count, 1.0);
+    }
+
+    #[test]
+    fn detects_rare_value_trigger_signature() {
+        let f = features_of(
+            "module m(input [15:0] d, output t);
+                assign t = d == 16'hCAFE;
+            endmodule",
+        );
+        assert_eq!(f.eq_comparisons, 1.0);
+        assert_eq!(f.const_comparisons, 1.0);
+        assert_eq!(f.max_const_cmp_width, 16.0);
+    }
+
+    #[test]
+    fn detects_time_bomb_signature() {
+        let f = features_of(
+            "module m(input clk, output [15:0] c);
+                reg [15:0] cnt;
+                always @(posedge clk) cnt <= cnt + 16'd1;
+                assign c = cnt;
+            endmodule",
+        );
+        assert_eq!(f.self_increment_regs, 1.0);
+        assert_eq!(f.clocked_always, 1.0);
+    }
+
+    #[test]
+    fn non_self_increment_not_counted() {
+        let f = features_of(
+            "module m(input clk, input [7:0] a, input [7:0] b, output reg [7:0] s);
+                always @(posedge clk) s <= a + b;
+            endmodule",
+        );
+        assert_eq!(f.self_increment_regs, 0.0);
+    }
+
+    #[test]
+    fn counts_ternary_and_xor() {
+        let f = features_of(
+            "module m(input t, input [7:0] x, input [7:0] k, output [7:0] y);
+                assign y = t ? x ^ k : x;
+            endmodule",
+        );
+        assert_eq!(f.ternaries, 1.0);
+        assert_eq!(f.xor_ops, 1.0);
+    }
+
+    #[test]
+    fn vector_matches_names() {
+        let f = features_of("module m(input a, output y); assign y = a; endmodule");
+        assert_eq!(f.to_vec().len(), FEATURE_NAMES.len());
+        assert_eq!(TabularFeatures::len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn feature_names_are_unique() {
+        let mut names = FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn trojaned_module_shifts_features() {
+        let clean = features_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                always @(posedge clk) r <= d;
+                assign q = r;
+            endmodule",
+        );
+        let infected = features_of(
+            "module m(input clk, input [7:0] d, output [7:0] q);
+                reg [7:0] r;
+                reg [15:0] cal_cnt;
+                wire cfg_match;
+                always @(posedge clk) r <= d;
+                always @(posedge clk) cal_cnt <= cal_cnt + 16'd1;
+                assign cfg_match = cal_cnt == 16'hBEEF;
+                assign q = cfg_match ? r ^ 8'h80 : r;
+            endmodule",
+        );
+        assert!(infected.const_comparisons > clean.const_comparisons);
+        assert!(infected.self_increment_regs > clean.self_increment_regs);
+        assert!(infected.ternaries > clean.ternaries);
+    }
+}

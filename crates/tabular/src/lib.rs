@@ -1,0 +1,37 @@
+//! # noodle-tabular
+//!
+//! The *tabular* (Euclidean) modality of the NOODLE pipeline: a fixed-length
+//! vector of code-branching and structural features extracted from the AST
+//! of an RTL design, in the spirit of the TrustHub code-branching feature
+//! set (Salmani et al.) the paper trains on.
+//!
+//! Several features deliberately capture the static signatures RTL Trojans
+//! tend to leave: comparisons against wide constants (rare-value triggers),
+//! self-incrementing registers (time bombs), ternary multiplexers on output
+//! drivers (payload hijack), and deep conditional nesting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noodle_tabular::{extract_features, FEATURE_NAMES};
+//!
+//! # fn main() -> Result<(), noodle_verilog::ParseError> {
+//! let file = noodle_verilog::parse(
+//!     "module m(input clk, input [7:0] d, output reg [7:0] q);
+//!        always @(posedge clk) if (d == 8'hA5) q <= 8'd0; else q <= d;
+//!      endmodule",
+//! )?;
+//! let features = extract_features(&file.modules[0]);
+//! let vector = features.to_vec();
+//! assert_eq!(vector.len(), FEATURE_NAMES.len());
+//! assert_eq!(features.const_comparisons, 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod features;
+
+pub use features::{extract_features, TabularFeatures, FEATURE_NAMES};

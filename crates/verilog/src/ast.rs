@@ -1,0 +1,594 @@
+//! Abstract syntax tree for the Verilog-2001 subset.
+//!
+//! The tree is deliberately close to the concrete syntax: downstream crates
+//! (`noodle-graph`, `noodle-tabular`) extract structural features from it,
+//! and `noodle-bench-gen` constructs it programmatically before printing it
+//! back to Verilog text.
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::NumberBase;
+
+/// A parsed source file: one or more module definitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// The modules in declaration order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// A `module ... endmodule` definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// ANSI-style header ports. Non-ANSI headers produce ports with
+    /// [`PortDirection::Unspecified`] that are resolved against body
+    /// `input`/`output` declarations by [`Module::resolved_ports`].
+    pub ports: Vec<Port>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Ports with directions resolved against any non-ANSI body
+    /// declarations.
+    pub fn resolved_ports(&self) -> Vec<Port> {
+        self.ports
+            .iter()
+            .map(|p| {
+                if p.direction != PortDirection::Unspecified {
+                    return p.clone();
+                }
+                for item in &self.items {
+                    if let Item::PortDecl { direction, range, names } = item {
+                        if names.iter().any(|n| n == &p.name) {
+                            return Port {
+                                direction: *direction,
+                                name: p.name.clone(),
+                                range: *range,
+                                is_reg: false,
+                            };
+                        }
+                    }
+                }
+                p.clone()
+            })
+            .collect()
+    }
+}
+
+/// Direction of a module port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// `input`.
+    Input,
+    /// `output`.
+    Output,
+    /// `inout`.
+    Inout,
+    /// Old-style header port whose direction is declared in the body.
+    Unspecified,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Direction (or [`PortDirection::Unspecified`] for non-ANSI headers).
+    pub direction: PortDirection,
+    /// Port name.
+    pub name: String,
+    /// Bit range, if vectored.
+    pub range: Option<Range>,
+    /// Whether the port was declared `output reg`.
+    pub is_reg: bool,
+}
+
+/// A constant `[msb:lsb]` bit range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Range {
+    /// Most significant bit index.
+    pub msb: i64,
+    /// Least significant bit index.
+    pub lsb: i64,
+}
+
+impl Range {
+    /// Creates a `[msb:lsb]` range.
+    pub fn new(msb: i64, lsb: i64) -> Self {
+        Self { msb, lsb }
+    }
+
+    /// Width in bits (`|msb - lsb| + 1`).
+    pub fn width(&self) -> u64 {
+        self.msb.abs_diff(self.lsb) + 1
+    }
+}
+
+/// Net or variable kind in a declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetType {
+    /// `wire`.
+    Wire,
+    /// `reg`.
+    Reg,
+    /// `integer`.
+    Integer,
+}
+
+/// A top-level item inside a module body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Item {
+    /// `wire`/`reg`/`integer` declaration of one or more names.
+    Decl {
+        /// Net kind.
+        net: NetType,
+        /// Optional vector range.
+        range: Option<Range>,
+        /// Declared names.
+        names: Vec<String>,
+    },
+    /// Non-ANSI `input`/`output`/`inout` declaration in the module body.
+    PortDecl {
+        /// Declared direction.
+        direction: PortDirection,
+        /// Optional vector range.
+        range: Option<Range>,
+        /// Declared names.
+        names: Vec<String>,
+    },
+    /// `parameter NAME = expr;`
+    Parameter {
+        /// Parameter name.
+        name: String,
+        /// Constant value expression.
+        value: Expr,
+    },
+    /// `localparam NAME = expr;`
+    Localparam {
+        /// Parameter name.
+        name: String,
+        /// Constant value expression.
+        value: Expr,
+    },
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Driving expression.
+        rhs: Expr,
+    },
+    /// `always @(...) stmt`
+    Always {
+        /// The sensitivity list.
+        event: EventControl,
+        /// The procedural body.
+        body: Stmt,
+    },
+    /// `initial stmt`
+    Initial {
+        /// The procedural body.
+        body: Stmt,
+    },
+    /// A module instantiation.
+    Instance {
+        /// Name of the instantiated module.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// Port connections (named or positional).
+        connections: Vec<Connection>,
+    },
+}
+
+/// Sensitivity specification of an `always` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventControl {
+    /// `@*` or `@(*)`: combinational.
+    Star,
+    /// `@(e1 or e2, ...)`: explicit event list.
+    Events(Vec<EventExpr>),
+}
+
+/// One entry of an event list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventExpr {
+    /// Optional edge qualifier.
+    pub edge: Option<Edge>,
+    /// The watched signal.
+    pub signal: String,
+}
+
+/// Clock/reset edge qualifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Edge {
+    /// `posedge`.
+    Pos,
+    /// `negedge`.
+    Neg,
+}
+
+/// One port connection of a module instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// The formal port name for named connections (`.port(expr)`), `None`
+    /// for positional connections.
+    pub port: Option<String>,
+    /// The connected expression; `None` for an explicitly open port `.p()`.
+    pub expr: Option<Expr>,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `begin ... end` (optionally named).
+    Block {
+        /// Optional block label.
+        label: Option<String>,
+        /// Statements in order.
+        stmts: Vec<Stmt>,
+    },
+    /// `if (cond) then [else els]`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Box<Stmt>,
+        /// Optional else branch.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case`/`casex`/`casez`.
+    Case {
+        /// The case flavour.
+        kind: CaseKind,
+        /// The switched expression.
+        subject: Expr,
+        /// The labelled arms.
+        arms: Vec<CaseArm>,
+        /// The optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// Nonblocking assignment `lhs <= rhs;`.
+    Nonblocking {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop variable initialisation (blocking assignment).
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop step (blocking assignment).
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// A system-task call such as `$display(...)`.
+    SystemCall {
+        /// Task name including the `$`.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// The empty statement `;`.
+    Null,
+}
+
+/// Flavour of a case statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseKind {
+    /// `case`.
+    Case,
+    /// `casex`.
+    Casex,
+    /// `casez`.
+    Casez,
+}
+
+/// One labelled arm of a case statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// Comma-separated labels.
+    pub labels: Vec<Expr>,
+    /// The arm body.
+    pub body: Stmt,
+}
+
+/// An assignable target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// A whole signal.
+    Ident(String),
+    /// A single bit `name[expr]`.
+    Bit {
+        /// Signal name.
+        name: String,
+        /// Bit index expression.
+        index: Box<Expr>,
+    },
+    /// A constant part select `name[msb:lsb]`.
+    Part {
+        /// Signal name.
+        name: String,
+        /// Most significant bit.
+        msb: i64,
+        /// Least significant bit.
+        lsb: i64,
+    },
+    /// A concatenation of targets `{a, b}`.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Names of all signals written by this target.
+    pub fn target_names(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(n) | LValue::Bit { name: n, .. } | LValue::Part { name: n, .. } => {
+                vec![n.as_str()]
+            }
+            LValue::Concat(parts) => parts.iter().flat_map(|p| p.target_names()).collect(),
+        }
+    }
+}
+
+/// An integer literal with optional width and base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Declared bit width, if sized.
+    pub width: Option<u32>,
+    /// The value.
+    pub value: u128,
+    /// The radix it was written in (used when printing).
+    pub base: NumberBase,
+}
+
+impl Literal {
+    /// An unsized decimal literal.
+    pub fn dec(value: u128) -> Self {
+        Self { width: None, value, base: NumberBase::Decimal }
+    }
+
+    /// A sized hexadecimal literal.
+    pub fn hex(width: u32, value: u128) -> Self {
+        Self { width: Some(width), value, base: NumberBase::Hex }
+    }
+
+    /// A sized binary literal.
+    pub fn bin(width: u32, value: u128) -> Self {
+        Self { width: Some(width), value, base: NumberBase::Binary }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical not `!`.
+    Not,
+    /// Bitwise not `~`.
+    BitNot,
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Reduction and `&`.
+    RedAnd,
+    /// Reduction or `|`.
+    RedOr,
+    /// Reduction xor `^`.
+    RedXor,
+}
+
+/// Binary operators in increasing precedence groups (see the parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    LogicOr,
+    LogicAnd,
+    BitOr,
+    BitXor,
+    BitXnor,
+    BitAnd,
+    Eq,
+    Neq,
+    CaseEq,
+    CaseNeq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A signal or parameter reference.
+    Ident(String),
+    /// An integer literal.
+    Literal(Literal),
+    /// A bit select `name[index]`.
+    Bit {
+        /// Signal name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A constant part select `name[msb:lsb]`.
+    Part {
+        /// Signal name.
+        name: String,
+        /// Most significant bit.
+        msb: i64,
+        /// Least significant bit.
+        lsb: i64,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// The conditional operator `cond ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// A concatenation `{a, b, ...}`.
+    Concat(Vec<Expr>),
+    /// A replication `{count{expr}}`.
+    Repeat {
+        /// Replication count.
+        count: u32,
+        /// Replicated expression.
+        expr: Box<Expr>,
+    },
+    /// A string literal (only valid as a system-task argument).
+    Str(String),
+}
+
+impl Expr {
+    /// Convenience constructor for an identifier expression.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Expr::Ident(name.into())
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience constructor for a unary expression.
+    pub fn unary(op: UnaryOp, operand: Expr) -> Self {
+        Expr::Unary { op, operand: Box::new(operand) }
+    }
+
+    /// Convenience constructor for the conditional operator.
+    pub fn ternary(cond: Expr, then_expr: Expr, else_expr: Expr) -> Self {
+        Expr::Ternary {
+            cond: Box::new(cond),
+            then_expr: Box::new(then_expr),
+            else_expr: Box::new(else_expr),
+        }
+    }
+
+    /// Collects the names of all identifiers read by this expression.
+    pub fn referenced_idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out
+    }
+
+    fn collect_idents<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Ident(n) => out.push(n),
+            Expr::Literal(_) | Expr::Str(_) => {}
+            Expr::Bit { name, index } => {
+                out.push(name);
+                index.collect_idents(out);
+            }
+            Expr::Part { name, .. } => out.push(name),
+            Expr::Unary { operand, .. } => operand.collect_idents(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_idents(out);
+                rhs.collect_idents(out);
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                cond.collect_idents(out);
+                then_expr.collect_idents(out);
+                else_expr.collect_idents(out);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.collect_idents(out);
+                }
+            }
+            Expr::Repeat { expr, .. } => expr.collect_idents(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_width() {
+        assert_eq!(Range::new(7, 0).width(), 8);
+        assert_eq!(Range::new(0, 0).width(), 1);
+        assert_eq!(Range::new(0, 7).width(), 8);
+    }
+
+    #[test]
+    fn lvalue_target_names() {
+        let lv = LValue::Concat(vec![
+            LValue::Ident("a".into()),
+            LValue::Bit { name: "b".into(), index: Box::new(Expr::Literal(Literal::dec(0))) },
+        ]);
+        assert_eq!(lv.target_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn referenced_idents_walks_everything() {
+        let e = Expr::ternary(
+            Expr::binary(BinaryOp::Eq, Expr::ident("sel"), Expr::Literal(Literal::dec(1))),
+            Expr::Concat(vec![Expr::ident("a"), Expr::ident("b")]),
+            Expr::unary(UnaryOp::BitNot, Expr::ident("c")),
+        );
+        assert_eq!(e.referenced_idents(), vec!["sel", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn resolved_ports_from_body_decls() {
+        let m = Module {
+            name: "m".into(),
+            ports: vec![Port {
+                direction: PortDirection::Unspecified,
+                name: "x".into(),
+                range: None,
+                is_reg: false,
+            }],
+            items: vec![Item::PortDecl {
+                direction: PortDirection::Input,
+                range: Some(Range::new(3, 0)),
+                names: vec!["x".into()],
+            }],
+        };
+        let resolved = m.resolved_ports();
+        assert_eq!(resolved[0].direction, PortDirection::Input);
+        assert_eq!(resolved[0].range, Some(Range::new(3, 0)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: usize,
+}
+
+impl ParseError {
+    /// Creates an error attached to a 1-based source line.
+    pub fn new(message: impl Into<String>, line: usize) -> Self {
+        Self { message: message.into(), line }
+    }
+
+    /// The human-readable message (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line the error refers to.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "line 17: unexpected token");
+        assert_eq!(e.line(), 17);
+        assert_eq!(e.message(), "unexpected token");
+    }
+}

@@ -1,0 +1,817 @@
+//! A cycle-accurate interpreter for the supported Verilog subset.
+//!
+//! The simulator evaluates a single flattened module (no instances) with
+//! two-state semantics (no `x`/`z`): continuous assigns and combinational
+//! `always` blocks are propagated to a fixpoint, clocked `always` blocks
+//! fire on explicit [`Simulator::step`] calls with nonblocking semantics
+//! (right-hand sides read pre-edge state, updates commit together).
+//!
+//! Width semantics are deliberately simplified relative to the LRM:
+//! expressions are computed in 128-bit arithmetic and truncated to the
+//! target width at assignment. For the structured RTL the corpus generator
+//! emits (consistent widths, no implicit extension tricks) this matches
+//! event-driven simulators bit for bit.
+//!
+//! The NOODLE test-suite uses the simulator to *functionally* validate
+//! Trojan insertion: an infected design must behave identically to its
+//! benign original until the trigger condition is met, and must deviate
+//! once it fires.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::*;
+
+/// An error produced while building or running a [`Simulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    message: String,
+}
+
+impl SimError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+const MAX_SETTLE_ITERATIONS: usize = 200;
+const MAX_LOOP_ITERATIONS: usize = 100_000;
+
+/// A two-state interpreter for one module.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_verilog::{parse, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let file = parse(
+///     "module counter(input clk, input rst, output reg [3:0] q);
+///        always @(posedge clk) if (rst) q <= 4'd0; else q <= q + 4'd1;
+///      endmodule",
+/// )?;
+/// let mut sim = Simulator::new(&file.modules[0])?;
+/// sim.set("rst", 1)?;
+/// sim.step("clk")?;
+/// sim.set("rst", 0)?;
+/// for _ in 0..5 {
+///     sim.step("clk")?;
+/// }
+/// assert_eq!(sim.get("q"), Some(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    values: HashMap<String, u128>,
+    widths: HashMap<String, u32>,
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, u32)>,
+    comb: Vec<CombProcess>,
+    clocked: Vec<ClockedProcess>,
+    initials: Vec<Stmt>,
+    initialized: bool,
+}
+
+#[derive(Debug, Clone)]
+enum CombProcess {
+    Assign { lhs: LValue, rhs: Expr },
+    Always { body: Stmt },
+}
+
+#[derive(Debug, Clone)]
+struct ClockedProcess {
+    events: Vec<EventExpr>,
+    body: Stmt,
+}
+
+impl Simulator {
+    /// Builds a simulator for a flattened module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the module instantiates submodules (flatten
+    /// first) or uses constructs outside the supported subset.
+    pub fn new(module: &Module) -> Result<Self, SimError> {
+        let mut sim = Self {
+            values: HashMap::new(),
+            widths: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            comb: Vec::new(),
+            clocked: Vec::new(),
+            initials: Vec::new(),
+            initialized: false,
+        };
+        for port in module.resolved_ports() {
+            let width = port.range.map(|r| r.width() as u32).unwrap_or(1);
+            sim.declare(&port.name, width);
+            match port.direction {
+                PortDirection::Input => sim.inputs.push((port.name.clone(), width)),
+                PortDirection::Output => sim.outputs.push((port.name.clone(), width)),
+                _ => {}
+            }
+        }
+        for item in &module.items {
+            match item {
+                Item::Decl { range, names, .. } => {
+                    let width = range.map(|r| r.width() as u32).unwrap_or(32);
+                    for name in names {
+                        sim.declare(name, width);
+                    }
+                }
+                Item::PortDecl { .. } => {}
+                Item::Parameter { name, value } | Item::Localparam { name, value } => {
+                    sim.declare(name, 32);
+                    let v = sim.eval(value)?;
+                    sim.values.insert(name.clone(), v);
+                }
+                Item::Assign { lhs, rhs } => {
+                    sim.comb.push(CombProcess::Assign { lhs: lhs.clone(), rhs: rhs.clone() });
+                }
+                Item::Always { event, body } => match event {
+                    EventControl::Star => {
+                        sim.comb.push(CombProcess::Always { body: body.clone() })
+                    }
+                    EventControl::Events(events) => {
+                        if events.iter().any(|e| e.edge.is_some()) {
+                            sim.clocked
+                                .push(ClockedProcess { events: events.clone(), body: body.clone() });
+                        } else {
+                            sim.comb.push(CombProcess::Always { body: body.clone() });
+                        }
+                    }
+                },
+                Item::Initial { body } => sim.initials.push(body.clone()),
+                Item::Instance { .. } => {
+                    return Err(SimError::new(
+                        "module instances are not supported; flatten the design first",
+                    ))
+                }
+            }
+        }
+        Ok(sim)
+    }
+
+    fn declare(&mut self, name: &str, width: u32) {
+        self.widths.insert(name.to_string(), width.min(128));
+        self.values.entry(name.to_string()).or_insert(0);
+    }
+
+    fn ensure_initialized(&mut self) -> Result<(), SimError> {
+        if self.initialized {
+            return Ok(());
+        }
+        self.initialized = true;
+        let initials = std::mem::take(&mut self.initials);
+        for body in &initials {
+            let mut nb = Vec::new();
+            self.exec(body, &mut nb, &self.values.clone())?;
+            for (name, value) in nb {
+                self.store(&name, value);
+            }
+        }
+        self.initials = initials;
+        self.settle()
+    }
+
+    /// Sets an input (or any signal) to `value`, truncated to its width,
+    /// and re-settles combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the signal does not exist or settling fails.
+    pub fn set(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        self.ensure_initialized()?;
+        if !self.values.contains_key(name) {
+            return Err(SimError::new(format!("unknown signal `{name}`")));
+        }
+        self.store(name, value);
+        self.settle()
+    }
+
+    /// Current value of a signal, if it exists.
+    pub fn get(&self, name: &str) -> Option<u128> {
+        self.values.get(name).copied()
+    }
+
+    /// Width in bits of a signal, if it exists.
+    pub fn width(&self, name: &str) -> Option<u32> {
+        self.widths.get(name).copied()
+    }
+
+    /// The module's input ports as `(name, width)` pairs, in declaration
+    /// order.
+    pub fn inputs(&self) -> &[(String, u32)] {
+        &self.inputs
+    }
+
+    /// The module's output ports as `(name, width)` pairs, in declaration
+    /// order.
+    pub fn outputs(&self) -> &[(String, u32)] {
+        &self.outputs
+    }
+
+    /// Performs one positive clock edge on `clock`: every clocked process
+    /// sensitive to `posedge clock` fires with nonblocking semantics, then
+    /// combinational logic re-settles.
+    ///
+    /// Processes with additional `negedge rst`-style events fire on the
+    /// clock edge here; asynchronous resets can be exercised by setting the
+    /// reset signal and calling [`Simulator::async_reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or a combinational loop.
+    pub fn step(&mut self, clock: &str) -> Result<(), SimError> {
+        self.ensure_initialized()?;
+        let pre = self.values.clone();
+        let mut updates: Vec<(String, u128)> = Vec::new();
+        let processes = self.clocked.clone();
+        for process in &processes {
+            let sensitive = process.events.iter().any(|e| e.signal == clock);
+            if !sensitive {
+                continue;
+            }
+            self.exec(&process.body, &mut updates, &pre)?;
+        }
+        for (name, value) in updates {
+            self.store(&name, value);
+        }
+        self.settle()
+    }
+
+    /// Fires every clocked process sensitive to an edge on `signal`
+    /// (asynchronous set/reset modelling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or a combinational loop.
+    pub fn async_reset(&mut self, signal: &str) -> Result<(), SimError> {
+        self.step(signal)
+    }
+
+    /// Runs `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`Simulator::step`].
+    pub fn run(&mut self, clock: &str, cycles: usize) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step(clock)?;
+        }
+        Ok(())
+    }
+
+    /// Propagates combinational logic to a fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the logic does not stabilize within the
+    /// iteration budget (a combinational loop).
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        for _ in 0..MAX_SETTLE_ITERATIONS {
+            let before = self.values.clone();
+            let processes = self.comb.clone();
+            for process in &processes {
+                match process {
+                    CombProcess::Assign { lhs, rhs } => {
+                        let value = self.eval(rhs)?;
+                        self.assign_lvalue(lhs, value)?;
+                    }
+                    CombProcess::Always { body } => {
+                        // Blocking semantics: updates apply immediately.
+                        let mut nb = Vec::new();
+                        let snapshot = self.values.clone();
+                        self.exec(body, &mut nb, &snapshot)?;
+                        for (name, value) in nb {
+                            self.store(&name, value);
+                        }
+                    }
+                }
+            }
+            if self.values == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::new("combinational logic did not settle (loop?)"))
+    }
+
+    fn store(&mut self, name: &str, value: u128) {
+        let width = self.widths.get(name).copied().unwrap_or(128);
+        self.values.insert(name.to_string(), mask(value, width));
+    }
+
+    /// Executes a statement. Nonblocking assignments evaluate against
+    /// `pre` and are queued in `nb`; blocking assignments apply
+    /// immediately.
+    fn exec(
+        &mut self,
+        stmt: &Stmt,
+        nb: &mut Vec<(String, u128)>,
+        pre: &HashMap<String, u128>,
+    ) -> Result<(), SimError> {
+        match stmt {
+            Stmt::Block { stmts, .. } => {
+                for s in stmts {
+                    self.exec(s, nb, pre)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                if self.eval_with(cond, pre)? != 0 {
+                    self.exec(then_branch, nb, pre)
+                } else if let Some(els) = else_branch {
+                    self.exec(els, nb, pre)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case { subject, arms, default, .. } => {
+                let subject_value = self.eval_with(subject, pre)?;
+                for arm in arms {
+                    for label in &arm.labels {
+                        if self.eval_with(label, pre)? == subject_value {
+                            return self.exec(&arm.body, nb, pre);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec(d, nb, pre)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking { lhs, rhs } => {
+                let value = self.eval(rhs)?;
+                self.assign_lvalue(lhs, value)
+            }
+            Stmt::Nonblocking { lhs, rhs } => {
+                let value = self.eval_with(rhs, pre)?;
+                match lhs {
+                    LValue::Ident(name) => {
+                        nb.push((name.clone(), value));
+                        Ok(())
+                    }
+                    LValue::Bit { name, index } => {
+                        let idx = self.eval_with(index, pre)? as u32;
+                        let current =
+                            nb.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(
+                                *pre.get(name).ok_or_else(|| {
+                                    SimError::new(format!("unknown signal `{name}`"))
+                                })?,
+                            );
+                        let updated =
+                            (current & !(1u128 << idx)) | ((value & 1) << idx);
+                        nb.push((name.clone(), updated));
+                        Ok(())
+                    }
+                    LValue::Part { name, msb, lsb } => {
+                        let (hi, lo) = (*msb.max(lsb) as u32, *msb.min(lsb) as u32);
+                        let field = hi - lo + 1;
+                        let current =
+                            nb.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(
+                                *pre.get(name).ok_or_else(|| {
+                                    SimError::new(format!("unknown signal `{name}`"))
+                                })?,
+                            );
+                        let m = mask(u128::MAX, field) << lo;
+                        let updated = (current & !m) | ((mask(value, field)) << lo);
+                        nb.push((name.clone(), updated));
+                        Ok(())
+                    }
+                    LValue::Concat(_) => Err(SimError::new(
+                        "nonblocking concatenation targets are not supported",
+                    )),
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.exec(init, nb, pre)?;
+                let mut iterations = 0;
+                while self.eval(cond)? != 0 {
+                    self.exec(body, nb, pre)?;
+                    self.exec(step, nb, pre)?;
+                    iterations += 1;
+                    if iterations > MAX_LOOP_ITERATIONS {
+                        return Err(SimError::new("for loop exceeded the iteration budget"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::SystemCall { .. } | Stmt::Null => Ok(()),
+        }
+    }
+
+    fn assign_lvalue(&mut self, lhs: &LValue, value: u128) -> Result<(), SimError> {
+        match lhs {
+            LValue::Ident(name) => {
+                if !self.values.contains_key(name) {
+                    self.declare(name, 1);
+                }
+                self.store(name, value);
+                Ok(())
+            }
+            LValue::Bit { name, index } => {
+                let idx = self.eval(index)? as u32;
+                let current = self
+                    .values
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+                let updated = (current & !(1u128 << idx)) | ((value & 1) << idx);
+                self.store(name, updated);
+                Ok(())
+            }
+            LValue::Part { name, msb, lsb } => {
+                let (hi, lo) = (*msb.max(lsb) as u32, *msb.min(lsb) as u32);
+                let field = hi - lo + 1;
+                let current = self
+                    .values
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+                let m = mask(u128::MAX, field) << lo;
+                let updated = (current & !m) | (mask(value, field) << lo);
+                self.store(name, updated);
+                Ok(())
+            }
+            LValue::Concat(parts) => {
+                // Assign from MSB part to LSB part.
+                let mut remaining = value;
+                for part in parts.iter().rev() {
+                    let width = self.lvalue_width(part)?;
+                    self.assign_lvalue(part, mask(remaining, width))?;
+                    remaining >>= width;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn lvalue_width(&self, lhs: &LValue) -> Result<u32, SimError> {
+        match lhs {
+            LValue::Ident(name) => self
+                .widths
+                .get(name)
+                .copied()
+                .ok_or_else(|| SimError::new(format!("unknown signal `{name}`"))),
+            LValue::Bit { .. } => Ok(1),
+            LValue::Part { msb, lsb, .. } => Ok(msb.abs_diff(*lsb) as u32 + 1),
+            LValue::Concat(parts) => {
+                let mut total = 0;
+                for p in parts {
+                    total += self.lvalue_width(p)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    fn eval(&self, expr: &Expr) -> Result<u128, SimError> {
+        self.eval_with(expr, &self.values)
+    }
+
+    fn eval_with(&self, expr: &Expr, env: &HashMap<String, u128>) -> Result<u128, SimError> {
+        Ok(match expr {
+            Expr::Ident(name) => *env
+                .get(name)
+                .or_else(|| self.values.get(name))
+                .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?,
+            Expr::Literal(l) => match l.width {
+                Some(w) => mask(l.value, w),
+                None => l.value,
+            },
+            Expr::Str(_) => 0,
+            Expr::Bit { name, index } => {
+                let base = *env
+                    .get(name)
+                    .or_else(|| self.values.get(name))
+                    .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+                let idx = self.eval_with(index, env)? as u32;
+                (base >> idx.min(127)) & 1
+            }
+            Expr::Part { name, msb, lsb } => {
+                let base = *env
+                    .get(name)
+                    .or_else(|| self.values.get(name))
+                    .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+                let (hi, lo) = (*msb.max(lsb) as u32, *msb.min(lsb) as u32);
+                mask(base >> lo, hi - lo + 1)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval_with(operand, env)?;
+                let w = self.expr_width(operand)?;
+                match op {
+                    UnaryOp::Not => (v == 0) as u128,
+                    UnaryOp::BitNot => mask(!v, w),
+                    UnaryOp::Neg => mask(v.wrapping_neg(), w.max(1)),
+                    UnaryOp::RedAnd => (v == mask(u128::MAX, w)) as u128,
+                    UnaryOp::RedOr => (v != 0) as u128,
+                    UnaryOp::RedXor => (v.count_ones() % 2) as u128,
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval_with(lhs, env)?;
+                let b = self.eval_with(rhs, env)?;
+                let w = self.expr_width(expr)?;
+                match op {
+                    BinaryOp::LogicOr => ((a != 0) || (b != 0)) as u128,
+                    BinaryOp::LogicAnd => ((a != 0) && (b != 0)) as u128,
+                    BinaryOp::BitOr => mask(a | b, w),
+                    BinaryOp::BitXor => mask(a ^ b, w),
+                    BinaryOp::BitXnor => mask(!(a ^ b), w),
+                    BinaryOp::BitAnd => mask(a & b, w),
+                    BinaryOp::Eq | BinaryOp::CaseEq => (a == b) as u128,
+                    BinaryOp::Neq | BinaryOp::CaseNeq => (a != b) as u128,
+                    BinaryOp::Lt => (a < b) as u128,
+                    BinaryOp::Le => (a <= b) as u128,
+                    BinaryOp::Gt => (a > b) as u128,
+                    BinaryOp::Ge => (a >= b) as u128,
+                    BinaryOp::Shl => mask(a.checked_shl(b.min(127) as u32).unwrap_or(0), w),
+                    BinaryOp::Shr => a.checked_shr(b.min(127) as u32).unwrap_or(0),
+                    BinaryOp::Add => mask(a.wrapping_add(b), w),
+                    BinaryOp::Sub => mask(a.wrapping_sub(b), w),
+                    BinaryOp::Mul => mask(a.wrapping_mul(b), w),
+                    BinaryOp::Div => a.checked_div(b).unwrap_or(0),
+                    BinaryOp::Mod => a.checked_rem(b).unwrap_or(0),
+                }
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                if self.eval_with(cond, env)? != 0 {
+                    self.eval_with(then_expr, env)?
+                } else {
+                    self.eval_with(else_expr, env)?
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut out: u128 = 0;
+                for part in parts {
+                    let w = self.expr_width(part)?;
+                    out = (out << w) | mask(self.eval_with(part, env)?, w);
+                }
+                out
+            }
+            Expr::Repeat { count, expr } => {
+                let w = self.expr_width(expr)?;
+                let v = mask(self.eval_with(expr, env)?, w);
+                let mut out: u128 = 0;
+                for _ in 0..*count {
+                    out = (out << w) | v;
+                }
+                out
+            }
+        })
+    }
+
+    /// Self-determined bit width of an expression (simplified LRM rules).
+    fn expr_width(&self, expr: &Expr) -> Result<u32, SimError> {
+        Ok(match expr {
+            Expr::Ident(name) => self.widths.get(name).copied().unwrap_or(32),
+            Expr::Literal(l) => l.width.unwrap_or(32),
+            Expr::Str(_) => 0,
+            Expr::Bit { .. } => 1,
+            Expr::Part { msb, lsb, .. } => msb.abs_diff(*lsb) as u32 + 1,
+            Expr::Unary { op, operand } => match op {
+                UnaryOp::Not | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => 1,
+                _ => self.expr_width(operand)?,
+            },
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinaryOp::LogicOr
+                | BinaryOp::LogicAnd
+                | BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNeq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge => 1,
+                _ => self.expr_width(lhs)?.max(self.expr_width(rhs)?),
+            },
+            Expr::Ternary { then_expr, else_expr, .. } => {
+                self.expr_width(then_expr)?.max(self.expr_width(else_expr)?)
+            }
+            Expr::Concat(parts) => {
+                let mut total = 0;
+                for p in parts {
+                    total += self.expr_width(p)?;
+                }
+                total
+            }
+            Expr::Repeat { count, expr } => count * self.expr_width(expr)?,
+        })
+    }
+}
+
+fn mask(value: u128, width: u32) -> u128 {
+    if width >= 128 {
+        value
+    } else {
+        value & ((1u128 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sim_of(src: &str) -> Simulator {
+        let file = parse(src).unwrap();
+        Simulator::new(&file.modules[0]).unwrap()
+    }
+
+    #[test]
+    fn combinational_gates() {
+        let mut sim = sim_of(
+            "module m(input a, input b, output y, output z);
+                assign y = a & b;
+                assign z = a ^ b;
+            endmodule",
+        );
+        sim.set("a", 1).unwrap();
+        sim.set("b", 1).unwrap();
+        assert_eq!(sim.get("y"), Some(1));
+        assert_eq!(sim.get("z"), Some(0));
+        sim.set("b", 0).unwrap();
+        assert_eq!(sim.get("y"), Some(0));
+        assert_eq!(sim.get("z"), Some(1));
+    }
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let mut sim = sim_of(
+            "module m(input clk, input rst, output reg [1:0] q);
+                always @(posedge clk) if (rst) q <= 2'd0; else q <= q + 2'd1;
+            endmodule",
+        );
+        sim.set("rst", 1).unwrap();
+        sim.step("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        for expected in [1u128, 2, 3, 0, 1] {
+            sim.step("clk").unwrap();
+            assert_eq!(sim.get("q"), Some(expected));
+        }
+    }
+
+    #[test]
+    fn nonblocking_swap() {
+        // The classic register swap only works with nonblocking semantics.
+        let mut sim = sim_of(
+            "module m(input clk, output reg a, output reg b);
+                initial begin a = 1'b1; b = 1'b0; end
+                always @(posedge clk) a <= b;
+                always @(posedge clk) b <= a;
+            endmodule",
+        );
+        sim.set("clk", 0).unwrap(); // force initialization
+        assert_eq!(sim.get("a"), Some(1));
+        assert_eq!(sim.get("b"), Some(0));
+        sim.step("clk").unwrap();
+        assert_eq!(sim.get("a"), Some(0));
+        assert_eq!(sim.get("b"), Some(1));
+    }
+
+    #[test]
+    fn comb_always_with_case() {
+        let mut sim = sim_of(
+            "module m(input [1:0] s, output reg [3:0] y);
+                always @* case (s)
+                    2'd0: y = 4'd1;
+                    2'd1: y = 4'd2;
+                    2'd2: y = 4'd4;
+                    default: y = 4'd8;
+                endcase
+            endmodule",
+        );
+        for (s, y) in [(0u128, 1u128), (1, 2), (2, 4), (3, 8)] {
+            sim.set("s", s).unwrap();
+            assert_eq!(sim.get("y"), Some(y), "s = {s}");
+        }
+    }
+
+    #[test]
+    fn part_select_and_concat() {
+        let mut sim = sim_of(
+            "module m(input [7:0] d, output [7:0] y, output [3:0] hi);
+                assign y = {d[3:0], d[7:4]};
+                assign hi = d[7:4];
+            endmodule",
+        );
+        sim.set("d", 0xA5).unwrap();
+        assert_eq!(sim.get("y"), Some(0x5A));
+        assert_eq!(sim.get("hi"), Some(0xA));
+    }
+
+    #[test]
+    fn replication_and_reductions() {
+        let mut sim = sim_of(
+            "module m(input [3:0] d, output [7:0] y, output p, output all);
+                assign y = {2{d}};
+                assign p = ^d;
+                assign all = &d;
+            endmodule",
+        );
+        sim.set("d", 0b1010).unwrap();
+        assert_eq!(sim.get("y"), Some(0b1010_1010));
+        assert_eq!(sim.get("p"), Some(0));
+        assert_eq!(sim.get("all"), Some(0));
+        sim.set("d", 0b1111).unwrap();
+        assert_eq!(sim.get("all"), Some(1));
+    }
+
+    #[test]
+    fn chained_comb_settles() {
+        let mut sim = sim_of(
+            "module m(input a, output y);
+                wire t1, t2;
+                assign t2 = ~t1;
+                assign t1 = ~a;
+                assign y = ~t2;
+            endmodule",
+        );
+        sim.set("a", 1).unwrap();
+        assert_eq!(sim.get("y"), Some(0));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        // A ring oscillator has no stable point and must be reported.
+        let file = parse(
+            "module m(output y);
+                wire a;
+                assign a = ~a;
+                assign y = a;
+            endmodule",
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&file.modules[0]).unwrap();
+        assert!(sim.settle().is_err());
+    }
+
+    #[test]
+    fn arithmetic_truncates_to_width() {
+        let mut sim = sim_of(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] s);
+                assign s = a + b;
+            endmodule",
+        );
+        sim.set("a", 12).unwrap();
+        sim.set("b", 7).unwrap();
+        assert_eq!(sim.get("s"), Some(3)); // 19 mod 16
+    }
+
+    #[test]
+    fn for_loop_in_initial() {
+        let mut sim = sim_of(
+            "module m(input clk, output reg [7:0] acc);
+                integer i;
+                initial begin
+                    acc = 8'd0;
+                    for (i = 0; i < 5; i = i + 1) acc = acc + 8'd2;
+                end
+            endmodule",
+        );
+        sim.set("clk", 0).unwrap();
+        assert_eq!(sim.get("acc"), Some(10));
+    }
+
+    #[test]
+    fn unknown_signal_reported() {
+        let mut sim = sim_of("module m(input a, output y); assign y = a; endmodule");
+        assert!(sim.set("nope", 1).is_err());
+        assert_eq!(sim.get("nope"), None);
+    }
+
+    #[test]
+    fn instances_rejected() {
+        let file = parse(
+            "module m(input a, output y); sub u0(.i(a), .o(y)); endmodule",
+        )
+        .unwrap();
+        assert!(Simulator::new(&file.modules[0]).is_err());
+    }
+
+    #[test]
+    fn bit_assignment_read_modify_write() {
+        let mut sim = sim_of(
+            "module m(input [2:0] idx, input v, output reg [7:0] r);
+                always @* begin
+                    r = 8'd0;
+                    r[idx] = v;
+                end
+            endmodule",
+        );
+        sim.set("idx", 3).unwrap();
+        sim.set("v", 1).unwrap();
+        assert_eq!(sim.get("r"), Some(8));
+    }
+}

@@ -1,0 +1,485 @@
+//! Hand-written lexer for the Verilog-2001 subset.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, NumberBase, NumberToken, Symbol, Token, TokenKind};
+
+/// Tokenizes Verilog source text.
+///
+/// Line (`//`) and block (`/* */`) comments are skipped. Compiler directives
+/// (`` `timescale `` and friends) are skipped to the end of their line, which
+/// is sufficient for the synthetic corpus and for typical RTL headers.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unterminated comments or strings, malformed
+/// number literals, or characters outside the supported subset.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self { chars: source.chars().collect(), pos: 0, line: 1, source }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.line)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let _ = self.source;
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, line });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == '_' || c == '\\' || c == '$' {
+                self.lex_ident()?
+            } else if c.is_ascii_digit() || (c == '\'' && self.peek2().is_some()) {
+                self.lex_number()?
+            } else if c == '"' {
+                self.lex_string()?
+            } else {
+                self.lex_symbol()?
+            };
+            tokens.push(Token { kind, line });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(ParseError::new("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                Some('`') => {
+                    // Compiler directive: skip to end of line.
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> Result<TokenKind, ParseError> {
+        let mut name = String::new();
+        if self.peek() == Some('\\') {
+            // Escaped identifier: backslash to next whitespace.
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                name.push(c);
+                self.bump();
+            }
+            if name.is_empty() {
+                return Err(self.error("empty escaped identifier"));
+            }
+            return Ok(TokenKind::Ident(name));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::lookup(&name) {
+            Some(kw) => Ok(TokenKind::Keyword(kw)),
+            None => Ok(TokenKind::Ident(name)),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        // Optional size prefix (decimal digits), then optional 'b/'o/'d/'h base.
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    prefix.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() != Some('\'') {
+            if prefix.is_empty() {
+                return Err(self.error("expected number"));
+            }
+            let value: u128 = prefix
+                .parse()
+                .map_err(|_| self.error(format!("integer literal `{prefix}` out of range")))?;
+            return Ok(TokenKind::Number(NumberToken {
+                width: None,
+                value,
+                base: NumberBase::Decimal,
+            }));
+        }
+        self.bump(); // consume '
+        let width = if prefix.is_empty() {
+            None
+        } else {
+            Some(
+                prefix
+                    .parse::<u32>()
+                    .map_err(|_| self.error(format!("bit width `{prefix}` out of range")))?,
+            )
+        };
+        let base_char = self
+            .bump()
+            .ok_or_else(|| self.error("unexpected end of input after `'`"))?;
+        let base = match base_char.to_ascii_lowercase() {
+            'b' => NumberBase::Binary,
+            'o' => NumberBase::Octal,
+            'd' => NumberBase::Decimal,
+            'h' => NumberBase::Hex,
+            other => return Err(self.error(format!("unknown number base `{other}`"))),
+        };
+        let radix = match base {
+            NumberBase::Binary => 2,
+            NumberBase::Octal => 8,
+            NumberBase::Decimal => 10,
+            NumberBase::Hex => 16,
+        };
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' {
+                self.bump();
+                continue;
+            }
+            if c.is_ascii_alphanumeric() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if digits.is_empty() {
+            return Err(self.error("number literal has no digits"));
+        }
+        let mut value: u128 = 0;
+        for d in digits.chars() {
+            let dv = d
+                .to_digit(radix)
+                .ok_or_else(|| self.error(format!("invalid digit `{d}` for base {radix}")))?;
+            value = value
+                .checked_mul(radix as u128)
+                .and_then(|v| v.checked_add(dv as u128))
+                .ok_or_else(|| self.error("number literal exceeds 128 bits"))?;
+        }
+        Ok(TokenKind::Number(NumberToken { width, value, base }))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| ParseError::new("unterminated string", start))?;
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                }
+                Some(c) => s.push(c),
+                None => return Err(ParseError::new("unterminated string", start)),
+            }
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<TokenKind, ParseError> {
+        use Symbol::*;
+        let c = self.bump().expect("lex_symbol called at end of input");
+        let sym = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '[' => LBracket,
+            ']' => RBracket,
+            '{' => LBrace,
+            '}' => RBrace,
+            ';' => Semicolon,
+            ',' => Comma,
+            ':' => Colon,
+            '.' => Dot,
+            '#' => Hash,
+            '@' => At,
+            '?' => Question,
+            '+' => Plus,
+            '-' => Minus,
+            '*' => Star,
+            '/' => Slash,
+            '%' => Percent,
+            '~' => {
+                if self.peek() == Some('^') {
+                    self.bump();
+                    TildeCaret
+                } else {
+                    Tilde
+                }
+            }
+            '^' => {
+                if self.peek() == Some('~') {
+                    self.bump();
+                    TildeCaret
+                } else {
+                    Caret
+                }
+            }
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    PipePipe
+                } else {
+                    Pipe
+                }
+            }
+            '!' => match (self.peek(), self.peek2()) {
+                (Some('='), Some('=')) => {
+                    self.bump();
+                    self.bump();
+                    BangEqEq
+                }
+                (Some('='), _) => {
+                    self.bump();
+                    BangEq
+                }
+                _ => Bang,
+            },
+            '=' => match (self.peek(), self.peek2()) {
+                (Some('='), Some('=')) => {
+                    self.bump();
+                    self.bump();
+                    EqEqEq
+                }
+                (Some('='), _) => {
+                    self.bump();
+                    EqEq
+                }
+                _ => Assign,
+            },
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    LtEq
+                }
+                Some('<') => {
+                    self.bump();
+                    Shl
+                }
+                _ => Lt,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    GtEq
+                }
+                Some('>') => {
+                    self.bump();
+                    Shr
+                }
+                _ => Gt,
+            },
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(TokenKind::Symbol(sym))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let toks = kinds("module top(clk);");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Module),
+                TokenKind::Ident("top".into()),
+                TokenKind::Symbol(Symbol::LParen),
+                TokenKind::Ident("clk".into()),
+                TokenKind::Symbol(Symbol::RParen),
+                TokenKind::Symbol(Symbol::Semicolon),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_numbers() {
+        let toks = kinds("8'hFF 4'b1010 16'd255 'o17 42 1_000");
+        let values: Vec<(Option<u32>, u128, NumberBase)> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Number(n) => Some((n.width, n.value, n.base)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            values,
+            vec![
+                (Some(8), 255, NumberBase::Hex),
+                (Some(4), 10, NumberBase::Binary),
+                (Some(16), 255, NumberBase::Decimal),
+                (None, 15, NumberBase::Octal),
+                (None, 42, NumberBase::Decimal),
+                (None, 1000, NumberBase::Decimal),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_directives() {
+        let toks = kinds("`timescale 1ns/1ps\n// line\n/* block\nspanning */ wire");
+        assert_eq!(toks, vec![TokenKind::Keyword(Keyword::Wire), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("<= < << >= > >> == != === !== && || ~^ ^~");
+        let syms: Vec<Symbol> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![
+                Symbol::LtEq,
+                Symbol::Lt,
+                Symbol::Shl,
+                Symbol::GtEq,
+                Symbol::Gt,
+                Symbol::Shr,
+                Symbol::EqEq,
+                Symbol::BangEq,
+                Symbol::EqEqEq,
+                Symbol::BangEqEq,
+                Symbol::AmpAmp,
+                Symbol::PipePipe,
+                Symbol::TildeCaret,
+                Symbol::TildeCaret,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = tokenize("module\n\nwire").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#""hi\n\"there\"""#);
+        assert_eq!(toks[0], TokenKind::Str("hi\n\"there\"".into()));
+    }
+
+    #[test]
+    fn escaped_identifier() {
+        let toks = kinds("\\foo+bar rest");
+        assert_eq!(toks[0], TokenKind::Ident("foo+bar".into()));
+        assert_eq!(toks[1], TokenKind::Ident("rest".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("€").is_err());
+    }
+
+    #[test]
+    fn number_overflow_detected() {
+        assert!(tokenize("'hFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF").is_err());
+    }
+
+    #[test]
+    fn dollar_in_identifier() {
+        let toks = kinds("$display sig$x");
+        assert_eq!(toks[0], TokenKind::Ident("$display".into()));
+    }
+}

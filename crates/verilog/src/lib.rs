@@ -1,0 +1,56 @@
+//! # noodle-verilog
+//!
+//! A lexer, recursive-descent parser, AST, pretty-printer and visitor for a
+//! synthesizable Verilog-2001 subset — the RTL front end of the NOODLE
+//! hardware-Trojan detection pipeline.
+//!
+//! The supported subset covers what the TrustHub-style RTL benchmarks (and
+//! the synthetic corpus in `noodle-bench-gen`) use: ANSI and non-ANSI module
+//! headers, `wire`/`reg`/`integer` declarations, parameters, continuous
+//! assigns, `always`/`initial` blocks with `if`/`case`/`for`, blocking and
+//! nonblocking assignments, module instantiation, and the usual operator
+//! zoo including reductions, concatenation and replication. Constant bit
+//! ranges are required (`[7:0]`, not `[W-1:0]`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! # fn main() -> Result<(), noodle_verilog::ParseError> {
+//! let src = "module counter(input clk, input rst, output reg [3:0] q);
+//!     always @(posedge clk)
+//!         if (rst) q <= 4'd0; else q <= q + 4'd1;
+//! endmodule";
+//! let file = noodle_verilog::parse(src)?;
+//! let counter = file.module("counter").expect("module exists");
+//! assert_eq!(counter.ports.len(), 3);
+//! // Print it back out — the printer emits parseable Verilog.
+//! let printed = noodle_verilog::print_source(&file);
+//! assert_eq!(noodle_verilog::parse(&printed)?, file);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod interp;
+mod lexer;
+mod parser;
+mod printer;
+pub mod token;
+pub mod transform;
+mod vcd;
+pub mod visit;
+
+pub use ast::{
+    BinaryOp, CaseArm, CaseKind, Connection, Edge, EventControl, EventExpr, Expr, Item, LValue,
+    Literal, Module, NetType, Port, PortDirection, Range, SourceFile, Stmt, UnaryOp,
+};
+pub use error::ParseError;
+pub use interp::{SimError, Simulator};
+pub use lexer::tokenize;
+pub use parser::parse;
+pub use printer::{print_expr, print_module, print_source, print_stmt};
+pub use vcd::VcdRecorder;

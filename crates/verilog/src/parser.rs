@@ -1,0 +1,848 @@
+//! Recursive-descent parser for the Verilog-2001 subset.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Symbol, Token, TokenKind};
+
+/// Parses Verilog source text into a [`SourceFile`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a source line for lexical errors and for
+/// constructs outside the supported subset.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), noodle_verilog::ParseError> {
+/// let src = "module inv(input a, output y); assign y = !a; endmodule";
+/// let file = noodle_verilog::parse(src)?;
+/// assert_eq!(file.modules[0].name, "inv");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<SourceFile, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.parse_source_file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.line())
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if *self.peek() == TokenKind::Symbol(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{sym}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`, found {}", kw.as_str(), self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_source_file(mut self) -> Result<SourceFile, ParseError> {
+        let mut modules = Vec::new();
+        while *self.peek() != TokenKind::Eof {
+            modules.push(self.parse_module()?);
+        }
+        Ok(SourceFile { modules })
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        self.expect_keyword(Keyword::Module)?;
+        let name = self.expect_ident()?;
+        let mut items = Vec::new();
+
+        // Optional parameter port list `#(parameter N = 8, ...)`.
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            loop {
+                let _ = self.eat_keyword(Keyword::Parameter);
+                let pname = self.expect_ident()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let value = self.parse_expr()?;
+                items.push(Item::Parameter { name: pname, value });
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+
+        let mut ports = Vec::new();
+        if self.eat_symbol(Symbol::LParen)
+            && !self.eat_symbol(Symbol::RParen) {
+                ports = self.parse_port_list()?;
+                self.expect_symbol(Symbol::RParen)?;
+            }
+        self.expect_symbol(Symbol::Semicolon)?;
+
+        while !self.eat_keyword(Keyword::Endmodule) {
+            if *self.peek() == TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside module body"));
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(Module { name, ports, items })
+    }
+
+    fn parse_port_list(&mut self) -> Result<Vec<Port>, ParseError> {
+        let mut ports = Vec::new();
+        let mut direction = PortDirection::Unspecified;
+        let mut range = None;
+        let mut is_reg = false;
+        loop {
+            let mut fresh = false;
+            let next_dir = match self.peek() {
+                TokenKind::Keyword(Keyword::Input) => Some(PortDirection::Input),
+                TokenKind::Keyword(Keyword::Output) => Some(PortDirection::Output),
+                TokenKind::Keyword(Keyword::Inout) => Some(PortDirection::Inout),
+                _ => None,
+            };
+            if let Some(dir) = next_dir {
+                self.bump();
+                direction = dir;
+                range = None;
+                is_reg = false;
+                fresh = true;
+            }
+            if self.eat_keyword(Keyword::Wire) {
+                is_reg = false;
+            } else if self.eat_keyword(Keyword::Reg) {
+                is_reg = true;
+            }
+            let _ = self.eat_keyword(Keyword::Signed);
+            if *self.peek() == TokenKind::Symbol(Symbol::LBracket) {
+                range = Some(self.parse_range()?);
+            } else if fresh {
+                range = None;
+            }
+            let name = self.expect_ident()?;
+            ports.push(Port { direction, name, range, is_reg });
+            if !self.eat_symbol(Symbol::Comma) {
+                return Ok(ports);
+            }
+        }
+    }
+
+    fn parse_range(&mut self) -> Result<Range, ParseError> {
+        self.expect_symbol(Symbol::LBracket)?;
+        let msb = self.parse_const_int()?;
+        self.expect_symbol(Symbol::Colon)?;
+        let lsb = self.parse_const_int()?;
+        self.expect_symbol(Symbol::RBracket)?;
+        Ok(Range::new(msb, lsb))
+    }
+
+    /// A constant integer expression restricted to literals and unary minus;
+    /// ranges and part selects in the subset must be numeric.
+    fn parse_const_int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_symbol(Symbol::Minus);
+        match self.bump() {
+            TokenKind::Number(n) => {
+                let v = i64::try_from(n.value)
+                    .map_err(|_| self.error("constant exceeds i64 range"))?;
+                Ok(if neg { -v } else { v })
+            }
+            other => Err(self.error(format!("expected constant integer, found {other}"))),
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Wire) => self.parse_decl(NetType::Wire),
+            TokenKind::Keyword(Keyword::Reg) => self.parse_decl(NetType::Reg),
+            TokenKind::Keyword(Keyword::Integer) => self.parse_decl(NetType::Integer),
+            TokenKind::Keyword(Keyword::Input) => self.parse_port_decl(PortDirection::Input),
+            TokenKind::Keyword(Keyword::Output) => self.parse_port_decl(PortDirection::Output),
+            TokenKind::Keyword(Keyword::Inout) => self.parse_port_decl(PortDirection::Inout),
+            TokenKind::Keyword(Keyword::Parameter) => self.parse_parameter(false),
+            TokenKind::Keyword(Keyword::Localparam) => self.parse_parameter(true),
+            TokenKind::Keyword(Keyword::Assign) => {
+                self.bump();
+                let lhs = self.parse_lvalue()?;
+                self.expect_symbol(Symbol::Assign)?;
+                let rhs = self.parse_expr()?;
+                self.expect_symbol(Symbol::Semicolon)?;
+                Ok(Item::Assign { lhs, rhs })
+            }
+            TokenKind::Keyword(Keyword::Always) => {
+                self.bump();
+                self.expect_symbol(Symbol::At)?;
+                let event = self.parse_event_control()?;
+                let body = self.parse_stmt()?;
+                Ok(Item::Always { event, body })
+            }
+            TokenKind::Keyword(Keyword::Initial) => {
+                self.bump();
+                let body = self.parse_stmt()?;
+                Ok(Item::Initial { body })
+            }
+            TokenKind::Ident(_) => self.parse_instance(),
+            other => Err(self.error(format!("unexpected {other} in module body"))),
+        }
+    }
+
+    fn parse_decl(&mut self, net: NetType) -> Result<Item, ParseError> {
+        self.bump();
+        let _ = self.eat_keyword(Keyword::Signed);
+        let range = if *self.peek() == TokenKind::Symbol(Symbol::LBracket) {
+            Some(self.parse_range()?)
+        } else {
+            None
+        };
+        let mut names = vec![self.expect_ident()?];
+        while self.eat_symbol(Symbol::Comma) {
+            names.push(self.expect_ident()?);
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(Item::Decl { net, range, names })
+    }
+
+    fn parse_port_decl(&mut self, direction: PortDirection) -> Result<Item, ParseError> {
+        self.bump();
+        let _ = self.eat_keyword(Keyword::Wire) || self.eat_keyword(Keyword::Reg);
+        let _ = self.eat_keyword(Keyword::Signed);
+        let range = if *self.peek() == TokenKind::Symbol(Symbol::LBracket) {
+            Some(self.parse_range()?)
+        } else {
+            None
+        };
+        let mut names = vec![self.expect_ident()?];
+        while self.eat_symbol(Symbol::Comma) {
+            names.push(self.expect_ident()?);
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(Item::PortDecl { direction, range, names })
+    }
+
+    fn parse_parameter(&mut self, local: bool) -> Result<Item, ParseError> {
+        self.bump();
+        let name = self.expect_ident()?;
+        self.expect_symbol(Symbol::Assign)?;
+        let value = self.parse_expr()?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(if local {
+            Item::Localparam { name, value }
+        } else {
+            Item::Parameter { name, value }
+        })
+    }
+
+    fn parse_instance(&mut self) -> Result<Item, ParseError> {
+        let module = self.expect_ident()?;
+        // Optional parameter overrides `#( ... )` are parsed and discarded:
+        // the structural features NOODLE extracts do not depend on them.
+        if self.eat_symbol(Symbol::Hash) {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.bump() {
+                    TokenKind::Symbol(Symbol::LParen) => depth += 1,
+                    TokenKind::Symbol(Symbol::RParen) => depth -= 1,
+                    TokenKind::Eof => {
+                        return Err(self.error("unexpected end of input in parameter overrides"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let name = self.expect_ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut connections = Vec::new();
+        if !self.eat_symbol(Symbol::RParen) {
+            loop {
+                if self.eat_symbol(Symbol::Dot) {
+                    let port = self.expect_ident()?;
+                    self.expect_symbol(Symbol::LParen)?;
+                    let expr = if *self.peek() == TokenKind::Symbol(Symbol::RParen) {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    self.expect_symbol(Symbol::RParen)?;
+                    connections.push(Connection { port: Some(port), expr });
+                } else {
+                    let expr = self.parse_expr()?;
+                    connections.push(Connection { port: None, expr: Some(expr) });
+                }
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+        }
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(Item::Instance { module, name, connections })
+    }
+
+    fn parse_event_control(&mut self) -> Result<EventControl, ParseError> {
+        if self.eat_symbol(Symbol::Star) {
+            return Ok(EventControl::Star);
+        }
+        self.expect_symbol(Symbol::LParen)?;
+        if self.eat_symbol(Symbol::Star) {
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(EventControl::Star);
+        }
+        let mut events = Vec::new();
+        loop {
+            let edge = if self.eat_keyword(Keyword::Posedge) {
+                Some(Edge::Pos)
+            } else if self.eat_keyword(Keyword::Negedge) {
+                Some(Edge::Neg)
+            } else {
+                None
+            };
+            let signal = self.expect_ident()?;
+            events.push(EventExpr { edge, signal });
+            if self.eat_keyword(Keyword::Or) || self.eat_symbol(Symbol::Comma) {
+                continue;
+            }
+            break;
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(EventControl::Events(events))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Optional delay control `#n` before a statement (testbench style).
+        if self.eat_symbol(Symbol::Hash) {
+            match self.bump() {
+                TokenKind::Number(_) => {}
+                other => return Err(self.error(format!("expected delay value, found {other}"))),
+            }
+        }
+        match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Begin) => {
+                self.bump();
+                let label = if self.eat_symbol(Symbol::Colon) {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                let mut stmts = Vec::new();
+                while !self.eat_keyword(Keyword::End) {
+                    if *self.peek() == TokenKind::Eof {
+                        return Err(self.error("unexpected end of input inside begin/end"));
+                    }
+                    stmts.push(self.parse_stmt()?);
+                }
+                Ok(Stmt::Block { label, stmts })
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_symbol(Symbol::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                let then_branch = Box::new(self.parse_stmt()?);
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch })
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casex | Keyword::Casez)) => {
+                self.bump();
+                let kind = match kw {
+                    Keyword::Case => CaseKind::Case,
+                    Keyword::Casex => CaseKind::Casex,
+                    _ => CaseKind::Casez,
+                };
+                self.expect_symbol(Symbol::LParen)?;
+                let subject = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while !self.eat_keyword(Keyword::Endcase) {
+                    if *self.peek() == TokenKind::Eof {
+                        return Err(self.error("unexpected end of input inside case"));
+                    }
+                    if self.eat_keyword(Keyword::Default) {
+                        let _ = self.eat_symbol(Symbol::Colon);
+                        default = Some(Box::new(self.parse_stmt()?));
+                        continue;
+                    }
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat_symbol(Symbol::Comma) {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect_symbol(Symbol::Colon)?;
+                    let body = self.parse_stmt()?;
+                    arms.push(CaseArm { labels, body });
+                }
+                Ok(Stmt::Case { kind, subject, arms, default })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_symbol(Symbol::LParen)?;
+                let init = Box::new(self.parse_assignment_stmt(false)?);
+                let cond = self.parse_expr()?;
+                self.expect_symbol(Symbol::Semicolon)?;
+                let step = Box::new(self.parse_assignment_no_semi()?);
+                self.expect_symbol(Symbol::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::Symbol(Symbol::Semicolon) => {
+                self.bump();
+                Ok(Stmt::Null)
+            }
+            TokenKind::Ident(name) if name.starts_with('$') => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat_symbol(Symbol::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_symbol(Symbol::RParen)?;
+                }
+                self.expect_symbol(Symbol::Semicolon)?;
+                Ok(Stmt::SystemCall { name, args })
+            }
+            _ => self.parse_assignment_stmt(true),
+        }
+    }
+
+    /// Parses `lhs = rhs ;` or `lhs <= rhs ;`, with the trailing semicolon.
+    fn parse_assignment_stmt(&mut self, allow_nonblocking: bool) -> Result<Stmt, ParseError> {
+        let stmt = self.parse_assignment_core(allow_nonblocking)?;
+        self.expect_symbol(Symbol::Semicolon)?;
+        Ok(stmt)
+    }
+
+    /// Parses a blocking assignment without a trailing semicolon (for-loop
+    /// step position).
+    fn parse_assignment_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        self.parse_assignment_core(false)
+    }
+
+    fn parse_assignment_core(&mut self, allow_nonblocking: bool) -> Result<Stmt, ParseError> {
+        let lhs = self.parse_lvalue()?;
+        match self.bump() {
+            TokenKind::Symbol(Symbol::Assign) => {
+                let rhs = self.parse_expr()?;
+                Ok(Stmt::Blocking { lhs, rhs })
+            }
+            TokenKind::Symbol(Symbol::LtEq) if allow_nonblocking => {
+                let rhs = self.parse_expr()?;
+                Ok(Stmt::Nonblocking { lhs, rhs })
+            }
+            other => Err(self.error(format!("expected `=` or `<=`, found {other}"))),
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue, ParseError> {
+        if self.eat_symbol(Symbol::LBrace) {
+            let mut parts = vec![self.parse_lvalue()?];
+            while self.eat_symbol(Symbol::Comma) {
+                parts.push(self.parse_lvalue()?);
+            }
+            self.expect_symbol(Symbol::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.expect_ident()?;
+        if self.eat_symbol(Symbol::LBracket) {
+            let first = self.parse_expr()?;
+            if self.eat_symbol(Symbol::Colon) {
+                let msb = expr_as_const(&first)
+                    .ok_or_else(|| self.error("part-select bounds must be constant"))?;
+                let lsb = self.parse_const_int()?;
+                self.expect_symbol(Symbol::RBracket)?;
+                return Ok(LValue::Part { name, msb, lsb });
+            }
+            self.expect_symbol(Symbol::RBracket)?;
+            return Ok(LValue::Bit { name, index: Box::new(first) });
+        }
+        Ok(LValue::Ident(name))
+    }
+
+    // ---- expression parsing: precedence climbing -----------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_symbol(Symbol::Question) {
+            let then_expr = self.parse_expr()?;
+            self.expect_symbol(Symbol::Colon)?;
+            let else_expr = self.parse_expr()?;
+            return Ok(Expr::ternary(cond, then_expr, else_expr));
+        }
+        Ok(cond)
+    }
+
+    fn parse_binary(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, level)) = binary_op_of(self.peek()) {
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(level + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Symbol(Symbol::Bang) => Some(UnaryOp::Not),
+            TokenKind::Symbol(Symbol::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Symbol(Symbol::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Symbol(Symbol::Amp) => Some(UnaryOp::RedAnd),
+            TokenKind::Symbol(Symbol::Pipe) => Some(UnaryOp::RedOr),
+            TokenKind::Symbol(Symbol::Caret) => Some(UnaryOp::RedXor),
+            TokenKind::Symbol(Symbol::Plus) => {
+                self.bump();
+                return self.parse_unary();
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary()?;
+            return Ok(Expr::unary(op, operand));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            TokenKind::Number(n) => {
+                Ok(Expr::Literal(Literal { width: n.width, value: n.value, base: n.base }))
+            }
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Symbol(Symbol::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(Symbol::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Symbol(Symbol::LBrace) => {
+                // `{expr, ...}` concatenation or `{n{expr}}` replication.
+                let first = self.parse_expr()?;
+                if *self.peek() == TokenKind::Symbol(Symbol::LBrace) {
+                    let count = expr_as_const(&first)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| self.error("replication count must be a constant"))?;
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    self.expect_symbol(Symbol::RBrace)?;
+                    return Ok(Expr::Repeat { count, expr: Box::new(inner) });
+                }
+                let mut parts = vec![first];
+                while self.eat_symbol(Symbol::Comma) {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect_symbol(Symbol::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_symbol(Symbol::LBracket) {
+                    let first = self.parse_expr()?;
+                    if self.eat_symbol(Symbol::Colon) {
+                        let msb = expr_as_const(&first)
+                            .ok_or_else(|| self.error("part-select bounds must be constant"))?;
+                        let lsb = self.parse_const_int()?;
+                        self.expect_symbol(Symbol::RBracket)?;
+                        return Ok(Expr::Part { name, msb, lsb });
+                    }
+                    self.expect_symbol(Symbol::RBracket)?;
+                    return Ok(Expr::Bit { name, index: Box::new(first) });
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Interprets a literal (or negated literal) expression as a constant.
+fn expr_as_const(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Literal(l) => i64::try_from(l.value).ok(),
+        Expr::Unary { op: UnaryOp::Neg, operand } => expr_as_const(operand).map(|v| -v),
+        _ => None,
+    }
+}
+
+/// Precedence table (higher binds tighter), lowest first.
+fn binary_op_of(kind: &TokenKind) -> Option<(BinaryOp, u8)> {
+    let TokenKind::Symbol(sym) = kind else { return None };
+    Some(match sym {
+        Symbol::PipePipe => (BinaryOp::LogicOr, 0),
+        Symbol::AmpAmp => (BinaryOp::LogicAnd, 1),
+        Symbol::Pipe => (BinaryOp::BitOr, 2),
+        Symbol::Caret => (BinaryOp::BitXor, 3),
+        Symbol::TildeCaret => (BinaryOp::BitXnor, 3),
+        Symbol::Amp => (BinaryOp::BitAnd, 4),
+        Symbol::EqEq => (BinaryOp::Eq, 5),
+        Symbol::BangEq => (BinaryOp::Neq, 5),
+        Symbol::EqEqEq => (BinaryOp::CaseEq, 5),
+        Symbol::BangEqEq => (BinaryOp::CaseNeq, 5),
+        Symbol::Lt => (BinaryOp::Lt, 6),
+        Symbol::LtEq => (BinaryOp::Le, 6),
+        Symbol::Gt => (BinaryOp::Gt, 6),
+        Symbol::GtEq => (BinaryOp::Ge, 6),
+        Symbol::Shl => (BinaryOp::Shl, 7),
+        Symbol::Shr => (BinaryOp::Shr, 7),
+        Symbol::Plus => (BinaryOp::Add, 8),
+        Symbol::Minus => (BinaryOp::Sub, 8),
+        Symbol::Star => (BinaryOp::Mul, 9),
+        Symbol::Slash => (BinaryOp::Div, 9),
+        Symbol::Percent => (BinaryOp::Mod, 9),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ansi_module() {
+        let src = "module m(input wire clk, input [7:0] d, output reg [7:0] q); endmodule";
+        let file = parse(src).unwrap();
+        let m = &file.modules[0];
+        assert_eq!(m.name, "m");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].direction, PortDirection::Input);
+        assert_eq!(m.ports[1].range, Some(Range::new(7, 0)));
+        assert!(m.ports[2].is_reg);
+        assert_eq!(m.ports[2].direction, PortDirection::Output);
+    }
+
+    #[test]
+    fn parses_non_ansi_module() {
+        let src = "module m(a, b, y);\ninput a, b;\noutput y;\nassign y = a & b;\nendmodule";
+        let file = parse(src).unwrap();
+        let resolved = file.modules[0].resolved_ports();
+        assert_eq!(resolved[0].direction, PortDirection::Input);
+        assert_eq!(resolved[2].direction, PortDirection::Output);
+    }
+
+    #[test]
+    fn parses_always_ff() {
+        let src = "module m(input clk, input rst_n, input d, output reg q);
+            always @(posedge clk or negedge rst_n)
+                if (!rst_n) q <= 1'b0; else q <= d;
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Always { event, body } = &file.modules[0].items[0] else {
+            panic!("expected always block")
+        };
+        let EventControl::Events(events) = event else { panic!("expected event list") };
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].edge, Some(Edge::Pos));
+        assert_eq!(events[1].edge, Some(Edge::Neg));
+        assert!(matches!(body, Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_case_with_default() {
+        let src = "module m(input [1:0] s, output reg y);
+            always @* case (s)
+                2'd0: y = 1'b0;
+                2'd1, 2'd2: y = 1'b1;
+                default: y = 1'b0;
+            endcase
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Case { arms, default, kind, .. } = body else { panic!("expected case") };
+        assert_eq!(*kind, CaseKind::Case);
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[1].labels.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "module m(output y); assign y = 1 + 2 * 3; endmodule";
+        let file = parse(src).unwrap();
+        let Item::Assign { rhs, .. } = &file.modules[0].items[0] else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, rhs: mul, .. } = rhs else {
+            panic!("addition should be outermost: {rhs:?}")
+        };
+        assert!(matches!(**mul, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn ternary_and_relational() {
+        let src = "module m(input [7:0] a, output [7:0] y); assign y = a > 8'd5 ? a : 8'd0; endmodule";
+        let file = parse(src).unwrap();
+        let Item::Assign { rhs, .. } = &file.modules[0].items[0] else { panic!() };
+        assert!(matches!(rhs, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn le_in_expression_vs_nonblocking() {
+        // `<=` is relational inside an expression, nonblocking in stmt head.
+        let src = "module m(input clk, input [3:0] a, output reg f);
+            always @(posedge clk) f <= a <= 4'd7;
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Nonblocking { rhs, .. } = body else { panic!("expected nonblocking") };
+        assert!(matches!(rhs, Expr::Binary { op: BinaryOp::Le, .. }));
+    }
+
+    #[test]
+    fn parses_instance_named_and_positional() {
+        let src = "module top(input a, output y);
+            wire w;
+            inv u0(.a(a), .y(w));
+            buf u1(w, y);
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Instance { module, name, connections } = &file.modules[0].items[1] else {
+            panic!()
+        };
+        assert_eq!(module, "inv");
+        assert_eq!(name, "u0");
+        assert_eq!(connections[0].port.as_deref(), Some("a"));
+        let Item::Instance { connections, .. } = &file.modules[0].items[2] else { panic!() };
+        assert!(connections[0].port.is_none());
+    }
+
+    #[test]
+    fn parses_parameter_ports_and_overrides() {
+        let src = "module m #(parameter W = 8)(input [7:0] d, output [7:0] q);
+            sub #(16) u0(d, q);
+        endmodule";
+        let file = parse(src).unwrap();
+        assert!(matches!(file.modules[0].items[0], Item::Parameter { .. }));
+        assert!(matches!(file.modules[0].items[1], Item::Instance { .. }));
+    }
+
+    #[test]
+    fn parses_concat_repeat_parts() {
+        let src = "module m(input [7:0] a, output [15:0] y);
+            assign y = {a[7:4], {2{a[1:0]}}, a[3], ~a[2], 2'b01, {4{1'b0}}};
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Assign { rhs, .. } = &file.modules[0].items[0] else { panic!() };
+        let Expr::Concat(parts) = rhs else { panic!("expected concat") };
+        assert_eq!(parts.len(), 6);
+        assert!(matches!(parts[1], Expr::Repeat { count: 2, .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_and_system_call() {
+        let src = "module m; integer i; reg [7:0] mem;
+            initial begin
+                for (i = 0; i < 8; i = i + 1) mem[i] = 1'b0;
+                $display(\"done %d\", i);
+            end
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Initial { body } = &file.modules[0].items[2] else { panic!() };
+        let Stmt::Block { stmts, .. } = body else { panic!() };
+        assert!(matches!(stmts[0], Stmt::For { .. }));
+        assert!(matches!(&stmts[1], Stmt::SystemCall { name, .. } if name == "$display"));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_error() {
+        let err = parse("module m(input a);\nassign = 1;\nendmodule").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn rejects_truncated_module() {
+        assert!(parse("module m(input a);").is_err());
+        assert!(parse("module m(input a); assign").is_err());
+    }
+
+    #[test]
+    fn parses_multiple_modules() {
+        let src = "module a; endmodule\nmodule b; endmodule";
+        let file = parse(src).unwrap();
+        assert_eq!(file.modules.len(), 2);
+        assert!(file.module("b").is_some());
+        assert!(file.module("c").is_none());
+    }
+
+    #[test]
+    fn parses_reduction_operators() {
+        let src = "module m(input [7:0] a, output p, output z);
+            assign p = ^a;
+            assign z = ~(|a) & (&a || !a[0]);
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Assign { rhs, .. } = &file.modules[0].items[0] else { panic!() };
+        assert!(matches!(rhs, Expr::Unary { op: UnaryOp::RedXor, .. }));
+    }
+
+    #[test]
+    fn lvalue_concat_assignment() {
+        let src = "module m(input [1:0] d, output reg c, output reg [0:0] s);
+            always @* {c, s} = d + 2'b01;
+        endmodule";
+        let file = parse(src).unwrap();
+        let Item::Always { body, .. } = &file.modules[0].items[0] else { panic!() };
+        let Stmt::Blocking { lhs, .. } = body else { panic!() };
+        assert_eq!(lhs.target_names(), vec!["c", "s"]);
+    }
+}

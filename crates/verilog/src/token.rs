@@ -1,0 +1,281 @@
+//! Token definitions for the Verilog lexer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line on which the token starts.
+    pub line: usize,
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or escaped identifier.
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer literal, possibly sized and based (e.g. `8'hFF`).
+    Number(NumberToken),
+    /// A string literal (without quotes).
+    Str(String),
+    /// An operator or punctuation symbol.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// A parsed integer literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumberToken {
+    /// Declared bit width (`8` in `8'hFF`), if any.
+    pub width: Option<u32>,
+    /// The numeric value.
+    pub value: u128,
+    /// The base the literal was written in.
+    pub base: NumberBase,
+}
+
+/// Radix of an integer literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumberBase {
+    /// Plain or `'d` decimal.
+    Decimal,
+    /// `'h` hexadecimal.
+    Hex,
+    /// `'b` binary.
+    Binary,
+    /// `'o` octal.
+    Octal,
+}
+
+/// Reserved Verilog keywords recognized by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Integer,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    Initial,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casex,
+    Casez,
+    Endcase,
+    Default,
+    For,
+    While,
+    Posedge,
+    Negedge,
+    Or,
+    Signed,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    pub fn lookup(s: &str) -> Option<Self> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "integer" => Keyword::Integer,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "initial" => Keyword::Initial,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casex" => Keyword::Casex,
+            "casez" => Keyword::Casez,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "signed" => Keyword::Signed,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Integer => "integer",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Initial => "initial",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casex => "casex",
+            Keyword::Casez => "casez",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Signed => "signed",
+        }
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semicolon,
+    Comma,
+    Colon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,        // =
+    NonblockAssign, // <=  (context-dependent with Le; lexed as LeOrNonblock)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    TildeCaret, // ~^ / ^~ xnor
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    BangEq,
+    EqEqEq,
+    BangEqEq,
+    Lt,
+    LtEq, // `<=`: relational or nonblocking assignment, disambiguated by the parser
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::LBracket => "[",
+            Symbol::RBracket => "]",
+            Symbol::LBrace => "{",
+            Symbol::RBrace => "}",
+            Symbol::Semicolon => ";",
+            Symbol::Comma => ",",
+            Symbol::Colon => ":",
+            Symbol::Dot => ".",
+            Symbol::Hash => "#",
+            Symbol::At => "@",
+            Symbol::Question => "?",
+            Symbol::Assign => "=",
+            Symbol::NonblockAssign | Symbol::LtEq => "<=",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Star => "*",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Bang => "!",
+            Symbol::Tilde => "~",
+            Symbol::Amp => "&",
+            Symbol::Pipe => "|",
+            Symbol::Caret => "^",
+            Symbol::TildeCaret => "~^",
+            Symbol::AmpAmp => "&&",
+            Symbol::PipePipe => "||",
+            Symbol::EqEq => "==",
+            Symbol::BangEq => "!=",
+            Symbol::EqEqEq => "===",
+            Symbol::BangEqEq => "!==",
+            Symbol::Lt => "<",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+            Symbol::Shl => "<<",
+            Symbol::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Number(n) => write!(f, "number `{}`", n.value),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Module, Keyword::Endmodule, Keyword::Posedge, Keyword::Casez] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::lookup("notakeyword"), None);
+    }
+
+    #[test]
+    fn symbol_display_nonempty() {
+        assert_eq!(Symbol::Shl.to_string(), "<<");
+        assert_eq!(Symbol::TildeCaret.to_string(), "~^");
+    }
+}

@@ -1,0 +1,464 @@
+//! AST transformations: signal renaming and hierarchy flattening.
+//!
+//! [`rename_signals`] rewrites every identifier of a module through a
+//! mapping function (used for prefix-renaming when inlining submodules).
+//! [`flatten`] inlines a design's full instance hierarchy into one module,
+//! which is what the [`crate::Simulator`] and the NOODLE feature extractors
+//! operate on.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::ParseError;
+
+/// Rewrites every signal identifier in `module` (ports, declarations,
+/// expressions, targets and event lists) through `rename`.
+pub fn rename_signals(module: &Module, rename: &dyn Fn(&str) -> String) -> Module {
+    Module {
+        name: module.name.clone(),
+        ports: module
+            .ports
+            .iter()
+            .map(|p| Port { name: rename(&p.name), ..p.clone() })
+            .collect(),
+        items: module.items.iter().map(|i| rename_item(i, rename)).collect(),
+    }
+}
+
+/// Rewrites one item through `rename`.
+pub fn rename_item(item: &Item, rename: &dyn Fn(&str) -> String) -> Item {
+    match item {
+        Item::Decl { net, range, names } => Item::Decl {
+            net: *net,
+            range: *range,
+            names: names.iter().map(|n| rename(n)).collect(),
+        },
+        Item::PortDecl { direction, range, names } => Item::PortDecl {
+            direction: *direction,
+            range: *range,
+            names: names.iter().map(|n| rename(n)).collect(),
+        },
+        Item::Parameter { name, value } => {
+            Item::Parameter { name: rename(name), value: rename_expr(value, rename) }
+        }
+        Item::Localparam { name, value } => {
+            Item::Localparam { name: rename(name), value: rename_expr(value, rename) }
+        }
+        Item::Assign { lhs, rhs } => Item::Assign {
+            lhs: rename_lvalue(lhs, rename),
+            rhs: rename_expr(rhs, rename),
+        },
+        Item::Always { event, body } => Item::Always {
+            event: match event {
+                EventControl::Star => EventControl::Star,
+                EventControl::Events(events) => EventControl::Events(
+                    events
+                        .iter()
+                        .map(|e| EventExpr { edge: e.edge, signal: rename(&e.signal) })
+                        .collect(),
+                ),
+            },
+            body: rename_stmt(body, rename),
+        },
+        Item::Initial { body } => Item::Initial { body: rename_stmt(body, rename) },
+        Item::Instance { module, name, connections } => Item::Instance {
+            module: module.clone(),
+            name: rename(name),
+            connections: connections
+                .iter()
+                .map(|c| Connection {
+                    port: c.port.clone(),
+                    expr: c.expr.as_ref().map(|e| rename_expr(e, rename)),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Rewrites one statement through `rename`.
+pub fn rename_stmt(stmt: &Stmt, rename: &dyn Fn(&str) -> String) -> Stmt {
+    match stmt {
+        Stmt::Block { label, stmts } => Stmt::Block {
+            label: label.clone(),
+            stmts: stmts.iter().map(|s| rename_stmt(s, rename)).collect(),
+        },
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: rename_expr(cond, rename),
+            then_branch: Box::new(rename_stmt(then_branch, rename)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(rename_stmt(e, rename))),
+        },
+        Stmt::Case { kind, subject, arms, default } => Stmt::Case {
+            kind: *kind,
+            subject: rename_expr(subject, rename),
+            arms: arms
+                .iter()
+                .map(|arm| CaseArm {
+                    labels: arm.labels.iter().map(|l| rename_expr(l, rename)).collect(),
+                    body: rename_stmt(&arm.body, rename),
+                })
+                .collect(),
+            default: default.as_ref().map(|d| Box::new(rename_stmt(d, rename))),
+        },
+        Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
+            lhs: rename_lvalue(lhs, rename),
+            rhs: rename_expr(rhs, rename),
+        },
+        Stmt::Nonblocking { lhs, rhs } => Stmt::Nonblocking {
+            lhs: rename_lvalue(lhs, rename),
+            rhs: rename_expr(rhs, rename),
+        },
+        Stmt::For { init, cond, step, body } => Stmt::For {
+            init: Box::new(rename_stmt(init, rename)),
+            cond: rename_expr(cond, rename),
+            step: Box::new(rename_stmt(step, rename)),
+            body: Box::new(rename_stmt(body, rename)),
+        },
+        Stmt::SystemCall { name, args } => Stmt::SystemCall {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_expr(a, rename)).collect(),
+        },
+        Stmt::Null => Stmt::Null,
+    }
+}
+
+/// Rewrites one assignment target through `rename`.
+pub fn rename_lvalue(lvalue: &LValue, rename: &dyn Fn(&str) -> String) -> LValue {
+    match lvalue {
+        LValue::Ident(n) => LValue::Ident(rename(n)),
+        LValue::Bit { name, index } => LValue::Bit {
+            name: rename(name),
+            index: Box::new(rename_expr(index, rename)),
+        },
+        LValue::Part { name, msb, lsb } => {
+            LValue::Part { name: rename(name), msb: *msb, lsb: *lsb }
+        }
+        LValue::Concat(parts) => {
+            LValue::Concat(parts.iter().map(|p| rename_lvalue(p, rename)).collect())
+        }
+    }
+}
+
+/// Rewrites one expression through `rename`.
+pub fn rename_expr(expr: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
+    match expr {
+        Expr::Ident(n) => Expr::Ident(rename(n)),
+        Expr::Literal(l) => Expr::Literal(*l),
+        Expr::Str(s) => Expr::Str(s.clone()),
+        Expr::Bit { name, index } => Expr::Bit {
+            name: rename(name),
+            index: Box::new(rename_expr(index, rename)),
+        },
+        Expr::Part { name, msb, lsb } => {
+            Expr::Part { name: rename(name), msb: *msb, lsb: *lsb }
+        }
+        Expr::Unary { op, operand } => {
+            Expr::Unary { op: *op, operand: Box::new(rename_expr(operand, rename)) }
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, rename)),
+            rhs: Box::new(rename_expr(rhs, rename)),
+        },
+        Expr::Ternary { cond, then_expr, else_expr } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, rename)),
+            then_expr: Box::new(rename_expr(then_expr, rename)),
+            else_expr: Box::new(rename_expr(else_expr, rename)),
+        },
+        Expr::Concat(parts) => {
+            Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect())
+        }
+        Expr::Repeat { count, expr } => {
+            Expr::Repeat { count: *count, expr: Box::new(rename_expr(expr, rename)) }
+        }
+    }
+}
+
+/// Inlines the full instance hierarchy below `top` into a single module.
+///
+/// Every instance `u` of a child module contributes the child's items with
+/// all signals renamed to `u_<signal>`; child ports become plain net
+/// declarations wired to the parent's connection expressions (`assign
+/// u_<in> = <expr>;` for inputs, `assign <target> = u_<out>;` for outputs,
+/// where an output must be connected to an assignable expression).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] (line 0) if `top` or an instantiated module is
+/// missing, the hierarchy is recursive, a connection is malformed
+/// (positional count mismatch, unknown named port, output wired to a
+/// non-assignable expression), or an `inout` port is encountered.
+pub fn flatten(file: &SourceFile, top: &str) -> Result<Module, ParseError> {
+    let index: HashMap<&str, &Module> =
+        file.modules.iter().map(|m| (m.name.as_str(), m)).collect();
+    let mut stack = Vec::new();
+    flatten_module(&index, top, &mut stack)
+}
+
+fn flatten_module(
+    index: &HashMap<&str, &Module>,
+    name: &str,
+    stack: &mut Vec<String>,
+) -> Result<Module, ParseError> {
+    if stack.iter().any(|s| s == name) {
+        return Err(ParseError::new(
+            format!("recursive instantiation of `{name}`"),
+            0,
+        ));
+    }
+    let module = *index
+        .get(name)
+        .ok_or_else(|| ParseError::new(format!("module `{name}` not found"), 0))?;
+    stack.push(name.to_string());
+
+    let mut out = Module {
+        name: module.name.clone(),
+        ports: module.ports.clone(),
+        items: Vec::new(),
+    };
+    for item in &module.items {
+        let Item::Instance { module: child_name, name: inst, connections } = item else {
+            out.items.push(item.clone());
+            continue;
+        };
+        let child = flatten_module(index, child_name, stack)?;
+        let prefix = format!("{inst}_");
+        let rename = |n: &str| format!("{prefix}{n}");
+        let child_ports = child.resolved_ports();
+
+        // Declare the child's ports as local nets.
+        for port in &child_ports {
+            out.items.push(Item::Decl {
+                net: if port.is_reg { NetType::Reg } else { NetType::Wire },
+                range: port.range,
+                names: vec![rename(&port.name)],
+            });
+        }
+        // Inline the child body (minus its own port decls).
+        for child_item in &child.items {
+            if matches!(child_item, Item::PortDecl { .. }) {
+                continue;
+            }
+            out.items.push(rename_item(child_item, &rename));
+        }
+        // Wire up the connections.
+        let resolved: Vec<(&crate::ast::Port, &Connection)> = if connections
+            .iter()
+            .all(|c| c.port.is_some())
+        {
+            let mut pairs = Vec::new();
+            for c in connections {
+                let port_name = c.port.as_deref().expect("checked above");
+                let port = child_ports
+                    .iter()
+                    .find(|p| p.name == port_name)
+                    .ok_or_else(|| {
+                        ParseError::new(
+                            format!("`{child_name}` has no port `{port_name}`"),
+                            0,
+                        )
+                    })?;
+                pairs.push((port, c));
+            }
+            pairs
+        } else {
+            if connections.len() != child_ports.len() {
+                return Err(ParseError::new(
+                    format!(
+                        "instance `{inst}` connects {} ports but `{child_name}` has {}",
+                        connections.len(),
+                        child_ports.len()
+                    ),
+                    0,
+                ));
+            }
+            child_ports.iter().zip(connections).collect()
+        };
+        for (port, connection) in resolved {
+            let Some(expr) = &connection.expr else { continue };
+            match port.direction {
+                PortDirection::Input => out.items.push(Item::Assign {
+                    lhs: LValue::Ident(rename(&port.name)),
+                    rhs: expr.clone(),
+                }),
+                PortDirection::Output => {
+                    let lhs = expr_as_lvalue(expr).ok_or_else(|| {
+                        ParseError::new(
+                            format!(
+                                "output `{}` of `{inst}` is wired to a non-assignable expression",
+                                port.name
+                            ),
+                            0,
+                        )
+                    })?;
+                    out.items.push(Item::Assign {
+                        lhs,
+                        rhs: Expr::Ident(rename(&port.name)),
+                    });
+                }
+                PortDirection::Inout | PortDirection::Unspecified => {
+                    return Err(ParseError::new(
+                        format!("unsupported port direction on `{}`", port.name),
+                        0,
+                    ))
+                }
+            }
+        }
+    }
+    stack.pop();
+    Ok(out)
+}
+
+fn expr_as_lvalue(expr: &Expr) -> Option<LValue> {
+    match expr {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Bit { name, index } => {
+            Some(LValue::Bit { name: name.clone(), index: index.clone() })
+        }
+        Expr::Part { name, msb, lsb } => {
+            Some(LValue::Part { name: name.clone(), msb: *msb, lsb: *lsb })
+        }
+        Expr::Concat(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                out.push(expr_as_lvalue(p)?);
+            }
+            Some(LValue::Concat(out))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Simulator;
+    use crate::{parse, print_module};
+
+    const HIERARCHICAL: &str = "
+        module top(input a, input b, output y, output z);
+            wire n1;
+            inv u0(.a(a), .y(n1));
+            andgate u1(n1, b, y);
+            inv u2(.a(y), .y(z));
+        endmodule
+        module inv(input a, output y);
+            assign y = !a;
+        endmodule
+        module andgate(input p, input q, output r);
+            assign r = p & q;
+        endmodule";
+
+    #[test]
+    fn flatten_removes_instances_and_parses() {
+        let file = parse(HIERARCHICAL).unwrap();
+        let flat = flatten(&file, "top").unwrap();
+        assert!(
+            !flat.items.iter().any(|i| matches!(i, Item::Instance { .. })),
+            "instances must be inlined"
+        );
+        let printed = print_module(&flat);
+        assert!(parse(&printed).is_ok(), "flattened module must parse:\n{printed}");
+    }
+
+    #[test]
+    fn flattened_hierarchy_simulates_correctly() {
+        let file = parse(HIERARCHICAL).unwrap();
+        let flat = flatten(&file, "top").unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        // y = !a & b ; z = !y
+        for (a, b) in [(0u128, 0u128), (0, 1), (1, 0), (1, 1)] {
+            sim.set("a", a).unwrap();
+            sim.set("b", b).unwrap();
+            let expected_y = ((a == 0) && (b == 1)) as u128;
+            assert_eq!(sim.get("y"), Some(expected_y), "a={a} b={b}");
+            assert_eq!(sim.get("z"), Some(1 - expected_y));
+        }
+    }
+
+    #[test]
+    fn positional_and_named_connections_agree() {
+        let file = parse(HIERARCHICAL).unwrap();
+        let flat = flatten(&file, "top").unwrap();
+        // u1 was positional: its inputs p/q must be driven.
+        let text = print_module(&flat);
+        assert!(text.contains("assign u1_p = n1;"), "{text}");
+        assert!(text.contains("assign u1_q = b;"), "{text}");
+        assert!(text.contains("assign y = u1_r;"), "{text}");
+    }
+
+    #[test]
+    fn nested_hierarchy_flattens() {
+        let src = "
+            module top(input x, output y);
+                mid m0(.i(x), .o(y));
+            endmodule
+            module mid(input i, output o);
+                inv v0(.a(i), .y(o));
+            endmodule
+            module inv(input a, output y);
+                assign y = !a;
+            endmodule";
+        let file = parse(src).unwrap();
+        let flat = flatten(&file, "top").unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        sim.set("x", 0).unwrap();
+        assert_eq!(sim.get("y"), Some(1));
+        // The inner instance's signals carry both prefixes.
+        assert!(print_module(&flat).contains("m0_v0_a"));
+    }
+
+    #[test]
+    fn missing_module_and_recursion_are_reported() {
+        let file = parse("module top(input a); ghost u0(.x(a)); endmodule").unwrap();
+        assert!(flatten(&file, "top").is_err());
+        assert!(flatten(&file, "nonexistent").is_err());
+        let rec = parse("module a(input x); a u0(.x(x)); endmodule").unwrap();
+        assert!(flatten(&rec, "a").is_err());
+    }
+
+    #[test]
+    fn bad_connections_are_reported() {
+        let file = parse(
+            "module top(input a, output y);
+                inv u0(.nope(a), .y(y));
+            endmodule
+            module inv(input a, output y); assign y = !a; endmodule",
+        )
+        .unwrap();
+        assert!(flatten(&file, "top").is_err());
+
+        let arity = parse(
+            "module top(input a, output y);
+                inv u0(a);
+            endmodule
+            module inv(input a, output y); assign y = !a; endmodule",
+        )
+        .unwrap();
+        assert!(flatten(&arity, "top").is_err());
+
+        let bad_out = parse(
+            "module top(input a, output y);
+                inv u0(.a(a), .y(y & a));
+            endmodule
+            module inv(input a, output y); assign y = !a; endmodule",
+        )
+        .unwrap();
+        assert!(flatten(&bad_out, "top").is_err());
+    }
+
+    #[test]
+    fn rename_signals_covers_everything() {
+        let file = parse(
+            "module m(input clk, input [3:0] d, output reg [3:0] q);
+                always @(posedge clk) q <= d + 4'd1;
+            endmodule",
+        )
+        .unwrap();
+        let renamed = rename_signals(&file.modules[0], &|n| format!("x_{n}"));
+        let text = print_module(&renamed);
+        assert!(text.contains("x_clk"));
+        assert!(text.contains("x_d"));
+        assert!(text.contains("x_q"));
+        assert!(!text.contains("posedge clk"), "event list must be renamed: {text}");
+    }
+}

@@ -1,0 +1,230 @@
+//! AST traversal helpers.
+//!
+//! [`Visitor`] is a classic pre-order visitor with default no-op hooks; the
+//! `walk_*` functions drive the traversal so implementors only override the
+//! hooks they care about. Feature extractors in `noodle-graph` and
+//! `noodle-tabular` are built on this.
+
+use crate::ast::*;
+
+/// A pre-order AST visitor with default no-op methods.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_verilog::{parse, visit::{walk_module, Visitor}, Stmt};
+///
+/// struct IfCounter(usize);
+/// impl Visitor for IfCounter {
+///     fn visit_stmt(&mut self, s: &Stmt) {
+///         if matches!(s, Stmt::If { .. }) {
+///             self.0 += 1;
+///         }
+///     }
+/// }
+///
+/// # fn main() -> Result<(), noodle_verilog::ParseError> {
+/// let file = parse("module m(input a, output reg y); always @* if (a) y = 1; else y = 0; endmodule")?;
+/// let mut counter = IfCounter(0);
+/// walk_module(&mut counter, &file.modules[0]);
+/// assert_eq!(counter.0, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Visitor {
+    /// Called for every module before its items.
+    fn visit_module(&mut self, _module: &Module) {}
+    /// Called for every item before its children.
+    fn visit_item(&mut self, _item: &Item) {}
+    /// Called for every statement before its children.
+    fn visit_stmt(&mut self, _stmt: &Stmt) {}
+    /// Called for every expression before its children.
+    fn visit_expr(&mut self, _expr: &Expr) {}
+    /// Called for every assignment target before its index expressions.
+    fn visit_lvalue(&mut self, _lvalue: &LValue) {}
+}
+
+/// Walks a whole source file.
+pub fn walk_source<V: Visitor + ?Sized>(v: &mut V, file: &SourceFile) {
+    for m in &file.modules {
+        walk_module(v, m);
+    }
+}
+
+/// Walks one module and everything beneath it.
+pub fn walk_module<V: Visitor + ?Sized>(v: &mut V, module: &Module) {
+    v.visit_module(module);
+    for item in &module.items {
+        walk_item(v, item);
+    }
+}
+
+/// Walks one item and everything beneath it.
+pub fn walk_item<V: Visitor + ?Sized>(v: &mut V, item: &Item) {
+    v.visit_item(item);
+    match item {
+        Item::Decl { .. } | Item::PortDecl { .. } => {}
+        Item::Parameter { value, .. } | Item::Localparam { value, .. } => walk_expr(v, value),
+        Item::Assign { lhs, rhs } => {
+            walk_lvalue(v, lhs);
+            walk_expr(v, rhs);
+        }
+        Item::Always { body, .. } | Item::Initial { body } => walk_stmt(v, body),
+        Item::Instance { connections, .. } => {
+            for c in connections {
+                if let Some(e) = &c.expr {
+                    walk_expr(v, e);
+                }
+            }
+        }
+    }
+}
+
+/// Walks one statement and everything beneath it.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    v.visit_stmt(stmt);
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                walk_stmt(v, s);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            walk_expr(v, cond);
+            walk_stmt(v, then_branch);
+            if let Some(e) = else_branch {
+                walk_stmt(v, e);
+            }
+        }
+        Stmt::Case { subject, arms, default, .. } => {
+            walk_expr(v, subject);
+            for arm in arms {
+                for l in &arm.labels {
+                    walk_expr(v, l);
+                }
+                walk_stmt(v, &arm.body);
+            }
+            if let Some(d) = default {
+                walk_stmt(v, d);
+            }
+        }
+        Stmt::Blocking { lhs, rhs } | Stmt::Nonblocking { lhs, rhs } => {
+            walk_lvalue(v, lhs);
+            walk_expr(v, rhs);
+        }
+        Stmt::For { init, cond, step, body } => {
+            walk_stmt(v, init);
+            walk_expr(v, cond);
+            walk_stmt(v, step);
+            walk_stmt(v, body);
+        }
+        Stmt::SystemCall { args, .. } => {
+            for a in args {
+                walk_expr(v, a);
+            }
+        }
+        Stmt::Null => {}
+    }
+}
+
+/// Walks one expression and everything beneath it.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    v.visit_expr(expr);
+    match expr {
+        Expr::Ident(_) | Expr::Literal(_) | Expr::Str(_) | Expr::Part { .. } => {}
+        Expr::Bit { index, .. } => walk_expr(v, index),
+        Expr::Unary { operand, .. } => walk_expr(v, operand),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(v, lhs);
+            walk_expr(v, rhs);
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            walk_expr(v, cond);
+            walk_expr(v, then_expr);
+            walk_expr(v, else_expr);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                walk_expr(v, p);
+            }
+        }
+        Expr::Repeat { expr, .. } => walk_expr(v, expr),
+    }
+}
+
+/// Walks one assignment target.
+pub fn walk_lvalue<V: Visitor + ?Sized>(v: &mut V, lvalue: &LValue) {
+    v.visit_lvalue(lvalue);
+    match lvalue {
+        LValue::Ident(_) | LValue::Part { .. } => {}
+        LValue::Bit { index, .. } => walk_expr(v, index),
+        LValue::Concat(parts) => {
+            for p in parts {
+                walk_lvalue(v, p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[derive(Default)]
+    struct Counter {
+        items: usize,
+        stmts: usize,
+        exprs: usize,
+        lvalues: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_item(&mut self, _: &Item) {
+            self.items += 1;
+        }
+        fn visit_stmt(&mut self, _: &Stmt) {
+            self.stmts += 1;
+        }
+        fn visit_expr(&mut self, _: &Expr) {
+            self.exprs += 1;
+        }
+        fn visit_lvalue(&mut self, _: &LValue) {
+            self.lvalues += 1;
+        }
+    }
+
+    #[test]
+    fn counts_everything_once() {
+        let src = "module m(input clk, input a, output reg y);
+            always @(posedge clk)
+                if (a) y <= 1'b1; else y <= 1'b0;
+        endmodule";
+        let file = parse(src).unwrap();
+        let mut c = Counter::default();
+        walk_source(&mut c, &file);
+        assert_eq!(c.items, 1); // the always block
+        assert_eq!(c.stmts, 3); // if + two nonblocking
+        // exprs: cond `a`, rhs 1'b1, rhs 1'b0
+        assert_eq!(c.exprs, 3);
+        assert_eq!(c.lvalues, 2);
+    }
+
+    #[test]
+    fn walks_into_case_labels_and_instances() {
+        let src = "module m(input [1:0] s, input a, output reg y, output w);
+            sub u0(.i(a & s[0]), .o(w));
+            always @* case (s)
+                2'd0, 2'd1: y = a;
+                default: y = !a;
+            endcase
+        endmodule";
+        let file = parse(src).unwrap();
+        let mut c = Counter::default();
+        walk_source(&mut c, &file);
+        assert_eq!(c.items, 2);
+        // stmts: the case itself, the single arm body, the default body
+        assert_eq!(c.stmts, 3);
+        assert!(c.exprs >= 8, "exprs = {}", c.exprs);
+    }
+}

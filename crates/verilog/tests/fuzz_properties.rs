@@ -1,0 +1,62 @@
+//! Property-based robustness tests: the lexer and parser must never panic,
+//! whatever bytes arrive, and must be total functions returning `Ok`/`Err`.
+
+use noodle_verilog::{parse, print_source, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total over arbitrary strings.
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = tokenize(&input);
+    }
+
+    /// The parser is total over arbitrary strings.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse(&input);
+    }
+
+    /// The parser is total over "Verilog-looking" token soup, which reaches
+    /// much deeper into the grammar than uniformly random bytes.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "module", "endmodule", "input", "output", "wire", "reg",
+                "assign", "always", "begin", "end", "if", "else", "case",
+                "endcase", "posedge", "(", ")", "[", "]", "{", "}", ";",
+                ",", ":", "=", "<=", "@", "*", "+", "8'hFF", "x", "clk",
+            ]),
+            0..60,
+        )
+    ) {
+        let source = tokens.join(" ");
+        let _ = parse(&source);
+    }
+
+    /// Anything that parses must print back to something that parses to the
+    /// same tree (fixpoint through the printer).
+    #[test]
+    fn accepted_inputs_round_trip(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "module", "endmodule", "input", "output", "wire", "reg",
+                "assign", "always", "begin", "end", "if", "else",
+                "posedge", "(", ")", ";", ",", "=", "@", "a", "b", "clk",
+                "1'b0", "1'b1", "&", "|", "~",
+            ]),
+            0..40,
+        )
+    ) {
+        let source = tokens.join(" ");
+        if let Ok(file) = parse(&source) {
+            let printed = print_source(&file);
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("printer output must parse: {e}\n{printed}"));
+            prop_assert_eq!(file, reparsed);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Missing-modality detection: classify designs for which only one
+//! modality is available, imputing the other with the conditional GAN
+//! (Algorithm 2, step 3 of the paper).
+//!
+//! A practical scenario: a vendor ships only the pre-extracted
+//! code-branching feature CSV (tabular modality) without the RTL, so no
+//! graph can be built — or conversely, only a netlist-derived graph is
+//! available. The detector imputes the missing modality and still produces
+//! a calibrated late-fusion decision; this example compares its accuracy
+//! against full-multimodal detection on the same designs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example missing_modality
+//! ```
+
+use noodle::{
+    extract_modalities, generate_corpus, CorpusConfig, Label, MultimodalDataset, NoodleConfig,
+    NoodleDetector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let dataset = MultimodalDataset::from_benchmarks(&corpus)?;
+    let mut rng = StdRng::seed_from_u64(3);
+    // `train_imputers` is on by default: the fit also trains graph→tabular
+    // and tabular→graph conditional GANs on the training split.
+    let config = NoodleConfig { train_imputers: true, ..NoodleConfig::default() };
+    let mut detector = NoodleDetector::fit(&dataset, &config, &mut rng)?;
+    println!("detector fitted (winner = {:?})\n", detector.winner());
+
+    let probes =
+        generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 5, seed: 1234 });
+
+    let mut correct = [0usize; 3]; // full, graph-only, tabular-only
+    println!(
+        "{:<24} {:<9} {:<14} {:<16} {:<16}",
+        "design", "truth", "full", "graph-only", "tabular-only"
+    );
+    for bench in &probes {
+        let (graph, tabular) = extract_modalities(&bench.source)?;
+        let truth = bench.label == Label::TrojanInfected;
+
+        let full = detector.detect_features(Some(&graph), Some(&tabular))?;
+        let graph_only = detector.detect_features(Some(&graph), None)?;
+        let tabular_only = detector.detect_features(None, Some(&tabular))?;
+        assert!(graph_only.imputed_modality && tabular_only.imputed_modality);
+
+        for (slot, d) in [&full, &graph_only, &tabular_only].iter().enumerate() {
+            if d.infected == truth {
+                correct[slot] += 1;
+            }
+        }
+        let show = |d: &noodle::Detection| {
+            format!("{} ({:.2})", if d.infected { "infected" } else { "clean" },
+                    d.probability_infected)
+        };
+        println!(
+            "{:<24} {:<9} {:<14} {:<16} {:<16}",
+            bench.name,
+            if truth { "INFECTED" } else { "clean" },
+            show(&full),
+            show(&graph_only),
+            show(&tabular_only),
+        );
+    }
+
+    let n = probes.len();
+    println!("\naccuracy with both modalities : {}/{n}", correct[0]);
+    println!("accuracy, tabular imputed     : {}/{n}", correct[1]);
+    println!("accuracy, graph imputed       : {}/{n}", correct[2]);
+    println!(
+        "\nimputation degrades gracefully: the GAN reconstruction preserves the \
+         joint structure well enough for the late fusion to stay usable."
+    );
+    Ok(())
+}

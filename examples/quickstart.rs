@@ -1,0 +1,65 @@
+//! Quickstart: generate a TrustHub-like corpus, fit NOODLE, and classify a
+//! handful of unseen designs with calibrated uncertainty.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use noodle::{
+    generate_corpus, CorpusConfig, Label, MultimodalDataset, NoodleConfig, NoodleDetector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small, imbalanced corpus mirroring the TrustHub RTL data regime.
+    let corpus = generate_corpus(&CorpusConfig::default());
+    println!(
+        "corpus: {} designs ({} Trojan-free, {} Trojan-infected)",
+        corpus.len(),
+        corpus.iter().filter(|b| b.label == Label::TrojanFree).count(),
+        corpus.iter().filter(|b| b.label == Label::TrojanInfected).count(),
+    );
+
+    // 2. Extract both modalities from every design.
+    let dataset = MultimodalDataset::from_benchmarks(&corpus)?;
+
+    // 3. Fit the full pipeline: GAN amplification, three CNNs, Mondrian ICP
+    //    calibration, early/late fusion, winner selection by Brier score.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut detector = NoodleDetector::fit(&dataset, &NoodleConfig::default(), &mut rng)?;
+
+    let eval = detector.evaluation();
+    println!("\nBrier scores on the held-out split:");
+    for (strategy, brier) in noodle::FusionStrategy::ALL.iter().zip(&eval.brier) {
+        println!("  {:<45} {brier:.4}", strategy.label());
+    }
+    println!("winning fusion strategy: {:?}", detector.winner());
+
+    // 4. Classify unseen designs (fresh seed => disjoint from training).
+    let probes = generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 3, seed: 777 });
+    println!("\nscreening {} unseen designs:", probes.len());
+    for bench in &probes {
+        let verdict = detector.detect(&bench.source)?;
+        let flag = if verdict.uncertain {
+            "[UNCERTAIN — inspect manually]"
+        } else if verdict.region.is_empty() {
+            // Every class rejected at the significance level: the design is
+            // unlike anything in the calibration set — treat as anomalous.
+            "[ANOMALOUS — outside calibration distribution]"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<22} truth={:<15?} verdict={:<8} p(TI)={:.3} credibility={:.2} {flag}",
+            bench.name,
+            bench.label,
+            if verdict.infected { "INFECTED" } else { "clean" },
+            verdict.probability_infected,
+            verdict.credibility,
+        );
+    }
+    Ok(())
+}

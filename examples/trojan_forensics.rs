@@ -1,0 +1,112 @@
+//! Trojan forensics: after NOODLE flags a suspicious design, confirm the
+//! verdict *dynamically* with the built-in RTL simulator — differential
+//! testing against a known-good reference plus a brute-force hunt for the
+//! trigger condition.
+//!
+//! This mirrors how a real incident response would proceed: the ML verdict
+//! is probabilistic; taping out (or rejecting a vendor) wants concrete
+//! evidence. The uncertainty-aware detector tells you *where to spend
+//! simulation effort*.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example trojan_forensics
+//! ```
+
+use noodle::bench_gen::{families, insert_trojan, CircuitFamily, PayloadKind, TriggerKind, TrojanSpec};
+use noodle::verilog::{parse, print_module, PortDirection, Simulator};
+use noodle::{generate_corpus, CorpusConfig, MultimodalDataset, NoodleConfig, NoodleDetector};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the detector as usual.
+    let corpus = generate_corpus(&CorpusConfig::default());
+    let dataset = MultimodalDataset::from_benchmarks(&corpus)?;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut detector = NoodleDetector::fit(&dataset, &NoodleConfig::default(), &mut rng)?;
+
+    // 2. A vendor delivers a "UART transmitter" that secretly leaks its
+    //    shift register when a magic byte appears on the data bus.
+    let mut gen_rng = StdRng::seed_from_u64(31_415);
+    let golden = families::generate(CircuitFamily::UartTx, "vendor_uart", &mut gen_rng);
+    let mut delivered = golden.clone();
+    let spec = TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::Corrupt };
+    let secret_descriptor = insert_trojan(&mut delivered, spec, &mut gen_rng);
+    let delivered_src = print_module(&delivered.module);
+    let golden_src = print_module(&golden.module);
+
+    // 3. Static verdict.
+    let verdict = detector.detect(&delivered_src)?;
+    println!(
+        "NOODLE verdict: {} (p(TI) = {:.3}, credibility = {:.2}{})",
+        if verdict.infected { "TROJAN SUSPECTED" } else { "clean" },
+        verdict.probability_infected,
+        verdict.credibility,
+        if verdict.uncertain { ", UNCERTAIN" } else { "" },
+    );
+
+    // 4. Dynamic confirmation: differential simulation against the golden
+    //    model while sweeping the 8-bit data bus for a trigger.
+    println!("\ndifferential trigger hunt over the data bus:");
+    let golden_file = parse(&golden_src)?;
+    let delivered_file = parse(&delivered_src)?;
+    let inputs: Vec<String> = golden_file.modules[0]
+        .resolved_ports()
+        .iter()
+        .filter(|p| p.direction == PortDirection::Input && p.name != "clk")
+        .map(|p| p.name.clone())
+        .collect();
+
+    let mut found = Vec::new();
+    for candidate in 0u128..256 {
+        let mut reference = Simulator::new(&golden_file.modules[0])?;
+        let mut suspect = Simulator::new(&delivered_file.modules[0])?;
+        for sim in [&mut reference, &mut suspect] {
+            sim.set("rst", 1)?;
+            sim.step("clk")?;
+            sim.set("rst", 0)?;
+        }
+        let mut probe_rng = StdRng::seed_from_u64(candidate as u64);
+        for _ in 0..6 {
+            for input in &inputs {
+                let value = if input == "data" {
+                    candidate
+                } else if input == "rst" {
+                    0
+                } else {
+                    probe_rng.random_range(0..2u128)
+                };
+                reference.set(input, value)?;
+                suspect.set(input, value)?;
+            }
+            reference.step("clk")?;
+            suspect.step("clk")?;
+            if reference.get("tx") != suspect.get("tx")
+                || reference.get("busy") != suspect.get("busy")
+            {
+                found.push(candidate);
+                break;
+            }
+        }
+    }
+
+    match found.as_slice() {
+        [] => println!("  no divergence found in 256 × 6 cycles — verdict unconfirmed"),
+        values => {
+            println!("  divergence confirmed for data values: {values:?}");
+            println!(
+                "  ground truth: trigger on `{}` == {:?} hijacking `{}`",
+                secret_descriptor.trigger_source,
+                secret_descriptor.trigger_values,
+                secret_descriptor.hooked_output,
+            );
+        }
+    }
+    println!(
+        "\nworkflow: the uncertainty-aware static detector prioritizes suspects; \
+         differential simulation produces the actionable proof."
+    );
+    Ok(())
+}

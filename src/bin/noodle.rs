@@ -1,0 +1,208 @@
+//! The `noodle` command-line tool: train a detector, persist it, and screen
+//! Verilog files with calibrated uncertainty.
+//!
+//! ```text
+//! noodle gen-corpus <dir> [--tf 28] [--ti 12] [--seed N]   write a synthetic corpus as .v files
+//! noodle train <model.json> [--corpus-seed N] [--fast]     fit on a generated corpus and save
+//! noodle detect <model.json> <file.v>...                   classify Verilog files
+//! noodle inspect <file.v>                                  print both modality feature vectors
+//! ```
+//!
+//! The tool is deliberately dependency-free (hand-rolled argument parsing)
+//! so the workspace's only runtime dependencies stay `rand` + `serde`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig};
+use noodle::{
+    extract_modalities, FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen-corpus") => cmd_gen_corpus(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `noodle help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "noodle — uncertainty-aware hardware Trojan detection\n\n\
+         USAGE:\n  \
+         noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
+         noodle train <model.json> [--corpus-seed N] [--fast]\n  \
+         noodle detect <model.json> <file.v>...\n  \
+         noodle inspect <file.v>\n"
+    );
+}
+
+/// Positional arguments plus `(name, value)` flag pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Parses `--flag value` pairs from an argument list, returning leftover
+/// positional arguments.
+fn parse_flags(args: &[String]) -> Result<ParsedArgs<'_>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if name == "fast" {
+                flags.push((name, "true"));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name, value.as_str()));
+                i += 2;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_value<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+fn parse_num<T: std::str::FromStr>(flags: &[(&str, &str)], name: &str, default: T) -> Result<T, String> {
+    match flag_value(flags, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn cmd_gen_corpus(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let [dir] = positional.as_slice() else {
+        return Err("usage: noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]".into());
+    };
+    let config = CorpusConfig {
+        trojan_free: parse_num(&flags, "tf", 28)?,
+        trojan_infected: parse_num(&flags, "ti", 12)?,
+        seed: parse_num(&flags, "seed", CorpusConfig::default().seed)?,
+    };
+    let corpus = generate_corpus(&config);
+    let dir = PathBuf::from(dir);
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for bench in &corpus {
+        let path = dir.join(format!("{}.v", bench.name));
+        fs::write(&path, &bench.source)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let stats = corpus_stats(&corpus);
+    println!(
+        "wrote {} designs to {} ({} Trojan-free, {} Trojan-infected, mean {:.0} lines)",
+        stats.total,
+        dir.display(),
+        stats.trojan_free,
+        stats.trojan_infected,
+        stats.mean_lines
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let [model_path] = positional.as_slice() else {
+        return Err("usage: noodle train <model.json> [--corpus-seed N] [--fast]".into());
+    };
+    let corpus_seed = parse_num(&flags, "corpus-seed", CorpusConfig::default().seed)?;
+    let corpus = generate_corpus(&CorpusConfig { seed: corpus_seed, ..CorpusConfig::default() });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).map_err(|e| e.to_string())?;
+    let config = if flag_value(&flags, "fast").is_some() {
+        NoodleConfig::fast()
+    } else {
+        NoodleConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(parse_num(&flags, "seed", 42)?);
+    eprintln!("training on {} designs (this runs the full pipeline)...", dataset.len());
+    let detector = NoodleDetector::fit(&dataset, &config, &mut rng).map_err(|e| e.to_string())?;
+    let eval = detector.evaluation();
+    for strategy in FusionStrategy::ALL {
+        eprintln!("  {:<45} Brier {:.4}", strategy.label(), eval.brier_of(strategy));
+    }
+    eprintln!("winner: {:?}", detector.winner());
+    let json = detector.to_json().map_err(|e| e.to_string())?;
+    fs::write(model_path, json).map_err(|e| format!("cannot write {model_path}: {e}"))?;
+    println!("model saved to {model_path}");
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(args)?;
+    let [model_path, files @ ..] = positional.as_slice() else {
+        return Err("usage: noodle detect <model.json> <file.v>...".into());
+    };
+    if files.is_empty() {
+        return Err("no Verilog files given".into());
+    }
+    let json = fs::read_to_string(model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let mut detector = NoodleDetector::from_json(&json)
+        .map_err(|e| format!("{model_path} is not a valid model: {e}"))?;
+    println!(
+        "{:<32} {:<9} {:>7} {:>12} {:>11}  region",
+        "file", "verdict", "p(TI)", "credibility", "confidence"
+    );
+    for file in files {
+        let source = fs::read_to_string(Path::new(file))
+            .map_err(|e| format!("cannot read {file}: {e}"))?;
+        let verdict = detector.detect(&source).map_err(|e| format!("{file}: {e}"))?;
+        let region = match verdict.region.as_slice() {
+            [] => "{} (anomalous)".to_string(),
+            [0] => "{TF}".to_string(),
+            [1] => "{TI}".to_string(),
+            _ => "{TF, TI} (uncertain)".to_string(),
+        };
+        println!(
+            "{:<32} {:<9} {:>7.3} {:>12.3} {:>11.3}  {region}",
+            file,
+            if verdict.infected { "INFECTED" } else { "clean" },
+            verdict.probability_infected,
+            verdict.credibility,
+            verdict.confidence,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(args)?;
+    let [file] = positional.as_slice() else {
+        return Err("usage: noodle inspect <file.v>".into());
+    };
+    let source =
+        fs::read_to_string(Path::new(file)).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let (graph, tabular) = extract_modalities(&source).map_err(|e| e.to_string())?;
+    println!("tabular features ({}):", tabular.len());
+    for (name, value) in noodle::tabular::FEATURE_NAMES.iter().zip(&tabular) {
+        println!("  {name:<22} {value}");
+    }
+    let nonzero = graph.iter().filter(|&&v| v > 0.0).count();
+    println!("\ngraph image: {} cells, {nonzero} non-zero", graph.len());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Integration tests for the `noodle` command-line tool, driving the real
+//! binary end to end: corpus generation → training → detection → inspect.
+
+use std::process::Command;
+
+fn noodle() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_noodle"))
+}
+
+#[test]
+fn cli_full_round_trip() {
+    let dir = std::env::temp_dir().join(format!("noodle_cli_{}", std::process::id()));
+    let corpus_dir = dir.join("corpus");
+    let model = dir.join("model.json");
+
+    // gen-corpus
+    let out = noodle()
+        .args(["gen-corpus", corpus_dir.to_str().unwrap(), "--tf", "10", "--ti", "5", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let files: Vec<_> = std::fs::read_dir(&corpus_dir).unwrap().collect();
+    assert_eq!(files.len(), 15, "one .v file per design");
+
+    // train (fast scale so the test stays quick)
+    let out = noodle()
+        .args(["train", model.to_str().unwrap(), "--fast", "--corpus-seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    // detect on a couple of generated files
+    let mut paths: Vec<String> = std::fs::read_dir(&corpus_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path().to_str().unwrap().to_string())
+        .collect();
+    paths.sort();
+    let out = noodle()
+        .args(["detect", model.to_str().unwrap(), &paths[0], &paths[1]])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict"), "{stdout}");
+    assert!(stdout.lines().count() >= 3, "{stdout}");
+
+    // inspect
+    let out = noodle().args(["inspect", &paths[0]]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tabular features"));
+    assert!(stdout.contains("graph image"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // Unknown command.
+    let out = noodle().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing model file.
+    let out = noodle().args(["detect", "/nonexistent/model.json", "x.v"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Help succeeds.
+    let out = noodle().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,70 @@
+//! Validity of the conformal machinery on the *real pipeline*: the error
+//! rate of prediction regions at significance ε must not (grossly) exceed
+//! ε, per class — the Mondrian guarantee the paper relies on for
+//! risk-aware decisions on the minority (Trojan-infected) class.
+
+use noodle::conformal::{region_stats, ConformalPrediction};
+use noodle::{generate_corpus, CorpusConfig, MultimodalDataset, NoodleConfig, NoodleDetector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn evaluation_predictions(seed: u64) -> (Vec<ConformalPrediction>, Vec<usize>) {
+    let corpus =
+        generate_corpus(&CorpusConfig { trojan_free: 18, trojan_infected: 9, seed });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = NoodleConfig::fast();
+    config.amplify_per_class = 40;
+    let detector = NoodleDetector::fit(&dataset, &config, &mut rng).unwrap();
+    let eval = detector.evaluation();
+    let preds: Vec<ConformalPrediction> = eval
+        .late_p_values
+        .iter()
+        .map(|pv| ConformalPrediction::new(pv.to_vec()))
+        .collect();
+    (preds, eval.test_labels.clone())
+}
+
+#[test]
+fn late_fusion_regions_are_approximately_valid() {
+    // Aggregate over several seeds so the test-split sample size is large
+    // enough for the long-run guarantee to show.
+    let mut all_preds = Vec::new();
+    let mut all_labels = Vec::new();
+    for seed in [1u64, 2, 3, 4] {
+        let (preds, labels) = evaluation_predictions(seed);
+        all_preds.extend(preds);
+        all_labels.extend(labels);
+    }
+    let epsilon = 0.2;
+    let stats = region_stats(&all_preds, &all_labels, epsilon);
+    // Combined p-values are conservative rather than exact, so the error
+    // rate should sit below ε with slack for finite-sample noise.
+    assert!(
+        stats.error_rate <= epsilon + 0.1,
+        "error rate {:.3} far exceeds significance {epsilon}",
+        stats.error_rate
+    );
+    assert!(stats.mean_region_size >= stats.singleton_rate);
+}
+
+#[test]
+fn region_size_shrinks_as_significance_grows() {
+    let (preds, labels) = evaluation_predictions(5);
+    let loose = region_stats(&preds, &labels, 0.01);
+    let tight = region_stats(&preds, &labels, 0.5);
+    assert!(
+        tight.mean_region_size <= loose.mean_region_size,
+        "regions must shrink: eps=0.5 size {} vs eps=0.01 size {}",
+        tight.mean_region_size,
+        loose.mean_region_size
+    );
+}
+
+#[test]
+fn uncertain_rate_plus_singletons_plus_empties_is_one() {
+    let (preds, labels) = evaluation_predictions(6);
+    let stats = region_stats(&preds, &labels, 0.1);
+    let total = stats.singleton_rate + stats.empty_rate + stats.uncertain_rate;
+    assert!((total - 1.0).abs() < 1e-9, "rates sum to {total}");
+}

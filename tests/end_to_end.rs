@@ -1,0 +1,103 @@
+//! End-to-end integration tests spanning every crate: corpus generation →
+//! parsing → modality extraction → GAN amplification → CNN training →
+//! conformal fusion → detection.
+
+use noodle::{
+    generate_corpus, CorpusConfig, FusionStrategy, Label, MultimodalDataset, NoodleConfig,
+    NoodleDetector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_corpus(seed: u64) -> Vec<noodle::Benchmark> {
+    generate_corpus(&CorpusConfig { trojan_free: 16, trojan_infected: 8, seed })
+}
+
+fn fit(seed: u64) -> NoodleDetector {
+    let dataset = MultimodalDataset::from_benchmarks(&small_corpus(seed)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap()
+}
+
+#[test]
+fn pipeline_runs_end_to_end() {
+    let det = fit(1);
+    let eval = det.evaluation();
+    assert!(eval.test_labels.len() >= 4);
+    for strategy in FusionStrategy::ALL {
+        let b = eval.brier_of(strategy);
+        assert!((0.0..=1.0).contains(&b), "{strategy:?} brier {b}");
+        assert_eq!(eval.probs_of(strategy).len(), eval.test_labels.len());
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_under_fixed_seed() {
+    let a = fit(7);
+    let b = fit(7);
+    assert_eq!(a.evaluation().brier, b.evaluation().brier);
+    assert_eq!(a.evaluation().late_probs, b.evaluation().late_probs);
+    assert_eq!(a.winner(), b.winner());
+}
+
+#[test]
+fn pipeline_varies_across_seeds() {
+    let a = fit(1);
+    let b = fit(2);
+    assert_ne!(a.evaluation().late_probs, b.evaluation().late_probs);
+}
+
+#[test]
+fn detector_beats_coin_flipping() {
+    // The fast config is deliberately tiny, so only require clearly-better-
+    // than-chance Brier on the winner (a coin flip scores 0.25).
+    let det = fit(3);
+    let winner_brier = det.evaluation().brier_of(det.winner());
+    assert!(winner_brier < 0.25, "winner Brier {winner_brier} not better than chance");
+}
+
+#[test]
+fn detection_probabilities_track_labels_on_average() {
+    let mut det = fit(4);
+    let probes = generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 6, seed: 555 });
+    let mut infected_mean = 0.0;
+    let mut clean_mean = 0.0;
+    for bench in &probes {
+        let p = det.detect(&bench.source).unwrap().probability_infected;
+        if bench.label == Label::TrojanInfected {
+            infected_mean += p / 6.0;
+        } else {
+            clean_mean += p / 6.0;
+        }
+    }
+    assert!(
+        infected_mean > clean_mean,
+        "mean p(TI): infected {infected_mean:.3} vs clean {clean_mean:.3}"
+    );
+}
+
+#[test]
+fn late_fusion_p_values_are_valid() {
+    let det = fit(5);
+    for pv in &det.evaluation().late_p_values {
+        for &p in pv {
+            assert!(p > 0.0 && p <= 1.0, "p-value {p} outside (0, 1]");
+        }
+    }
+}
+
+#[test]
+fn every_trojan_spec_flows_through_detection() {
+    let mut det = fit(6);
+    let mut rng = StdRng::seed_from_u64(88);
+    for (i, spec) in noodle::TrojanSpec::all().into_iter().enumerate() {
+        let family = noodle::bench_gen::CircuitFamily::ALL
+            [i % noodle::bench_gen::CircuitFamily::ALL.len()];
+        let mut circuit =
+            noodle::bench_gen::families::generate(family, &format!("spec_{i}"), &mut rng);
+        noodle::bench_gen::insert_trojan(&mut circuit, spec, &mut rng);
+        let source = noodle::verilog::print_module(&circuit.module);
+        let verdict = det.detect(&source).unwrap();
+        assert_eq!(verdict.prediction.p_values().len(), 2);
+    }
+}

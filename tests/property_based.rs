@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! generated circuit, any Trojan insertion, and any p-value fusion.
+
+use noodle::bench_gen::{families, insert_trojan, CircuitFamily, TrojanSpec};
+use noodle::conformal::{Combiner, MondrianIcp};
+use noodle::graph::{build_graph, graph_image, graph_stats};
+use noodle::metrics::{brier_score, murphy_decomposition, roc_curve};
+use noodle::tabular::extract_features;
+use noodle::verilog::{parse, print_module};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family_strategy() -> impl Strategy<Value = CircuitFamily> {
+    prop::sample::select(CircuitFamily::ALL.to_vec())
+}
+
+fn spec_strategy() -> impl Strategy<Value = TrojanSpec> {
+    prop::sample::select(TrojanSpec::all())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Print → parse is a fixpoint for every generated circuit.
+    #[test]
+    fn print_parse_fixpoint(family in family_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = families::generate(family, "fixpoint_probe", &mut rng);
+        let text = print_module(&circuit.module);
+        let reparsed = parse(&text).expect("generated Verilog must parse");
+        let reprinted = print_module(&reparsed.modules[0]);
+        prop_assert_eq!(text, reprinted);
+    }
+
+    /// Trojan insertion always yields parseable Verilog whose features and
+    /// graph differ from the benign original.
+    #[test]
+    fn trojan_insertion_invariants(
+        family in family_strategy(),
+        spec in spec_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut circuit = families::generate(family, "victim", &mut rng);
+        let clean_text = print_module(&circuit.module);
+        let clean_features = extract_features(&parse(&clean_text).unwrap().modules[0]);
+        insert_trojan(&mut circuit, spec, &mut rng);
+        let infected_text = print_module(&circuit.module);
+        let infected = parse(&infected_text).expect("infected Verilog must parse");
+        let infected_features = extract_features(&infected.modules[0]);
+        prop_assert_ne!(&clean_features, &infected_features);
+        // The payload mux adds at least a ternary or changes expression mass.
+        prop_assert!(
+            infected_features.expr_nodes > clean_features.expr_nodes,
+            "expr nodes did not grow: {} -> {}",
+            clean_features.expr_nodes,
+            infected_features.expr_nodes
+        );
+    }
+
+    /// Graph invariants for arbitrary generated circuits.
+    #[test]
+    fn graph_invariants(family in family_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = families::generate(family, "graph_probe", &mut rng);
+        let graph = build_graph(&circuit.module);
+        let stats = graph_stats(&graph);
+        prop_assert!(stats.nodes > 0.0);
+        prop_assert!(stats.density >= 0.0 && stats.density <= 1.0);
+        prop_assert_eq!(stats.data_edges + stats.control_edges, stats.edges);
+        let image = graph_image(&graph);
+        prop_assert!(image.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Degree sums equal edge count.
+        let in_sum: usize = graph.in_degrees().iter().sum();
+        prop_assert_eq!(in_sum, graph.edge_count());
+    }
+
+    /// Tabular features of any generated circuit are finite and
+    /// non-negative.
+    #[test]
+    fn tabular_features_are_sane(family in family_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = families::generate(family, "tab_probe", &mut rng);
+        let features = extract_features(&circuit.module).to_vec();
+        prop_assert_eq!(features.len(), noodle::tabular::FEATURE_NAMES.len());
+        prop_assert!(features.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// Every combiner maps arbitrary valid p-values into (0, 1] and is
+    /// monotone under strengthening evidence.
+    #[test]
+    fn combiner_invariants(
+        p1 in 0.001f64..1.0,
+        p2 in 0.001f64..1.0,
+        shrink in 0.1f64..0.9,
+    ) {
+        for combiner in Combiner::ALL {
+            let combined = combiner.combine(&[p1, p2]);
+            prop_assert!(combined > 0.0 && combined <= 1.0, "{}: {combined}", combiner.name());
+            // Shrinking one p-value must not increase the combination.
+            let stronger = combiner.combine(&[p1 * shrink, p2]);
+            prop_assert!(
+                stronger <= combined + 1e-9,
+                "{}: {stronger} > {combined}",
+                combiner.name()
+            );
+        }
+    }
+
+    /// Mondrian p-values are valid and monotone in the score.
+    #[test]
+    fn icp_p_value_monotonicity(
+        scores in prop::collection::vec(0.0f32..1.0, 8..60),
+        probe in 0.0f32..1.0,
+        delta in 0.01f32..0.5,
+    ) {
+        let calib: Vec<(f32, usize)> =
+            scores.iter().enumerate().map(|(i, &s)| (s, i % 2)).collect();
+        let icp = MondrianIcp::fit(&calib, 2).unwrap();
+        for class in 0..2 {
+            let p_low = icp.p_value(class, probe);
+            let p_high = icp.p_value(class, probe + delta);
+            prop_assert!(p_low > 0.0 && p_low <= 1.0);
+            prop_assert!(p_high <= p_low, "p-value must not grow with the score");
+        }
+    }
+
+    /// Brier score is bounded and the Murphy identity approximately holds
+    /// for random forecasts.
+    #[test]
+    fn brier_bounds_and_identity(
+        pairs in prop::collection::vec((0.0f64..=1.0, prop::bool::ANY), 10..80),
+    ) {
+        let probs: Vec<f64> = pairs.iter().map(|(p, _)| *p).collect();
+        let outcomes: Vec<bool> = pairs.iter().map(|(_, o)| *o).collect();
+        let bs = brier_score(&probs, &outcomes);
+        prop_assert!((0.0..=1.0).contains(&bs));
+        let d = murphy_decomposition(&probs, &outcomes, 10);
+        // Binned identity holds to within-bin variance; bound loosely.
+        prop_assert!((d.brier() - bs).abs() < 0.05, "identity gap {}", (d.brier() - bs).abs());
+    }
+
+    /// AUC is within [0, 1] and label inversion flips it around 0.5.
+    #[test]
+    fn auc_inversion_symmetry(
+        pairs in prop::collection::vec((0.0f64..=1.0, prop::bool::ANY), 8..60),
+    ) {
+        let probs: Vec<f64> = pairs.iter().map(|(p, _)| *p).collect();
+        let mut outcomes: Vec<bool> = pairs.iter().map(|(_, o)| *o).collect();
+        outcomes[0] = true;
+        outcomes[1] = false;
+        let auc = roc_curve(&probs, &outcomes).auc();
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let flipped: Vec<bool> = outcomes.iter().map(|&o| !o).collect();
+        let auc_flipped = roc_curve(&probs, &flipped).auc();
+        prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9);
+    }
+}
