@@ -195,11 +195,7 @@ pub fn if_then(cond: Expr, then_branch: Stmt) -> Stmt {
 
 /// `if (cond) then else els`.
 pub fn if_else(cond: Expr, then_branch: Stmt, els: Stmt) -> Stmt {
-    Stmt::If {
-        cond,
-        then_branch: Box::new(then_branch),
-        else_branch: Some(Box::new(els)),
-    }
+    Stmt::If { cond, then_branch: Box::new(then_branch), else_branch: Some(Box::new(els)) }
 }
 
 /// A `case` statement from `(label, body)` pairs plus a default.

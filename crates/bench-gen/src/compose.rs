@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn clock_and_reset_are_shared() {
         let composite = compose("ip", cores(3, 2));
-        let clk_ports =
-            composite.module.ports.iter().filter(|p| p.name == "clk").count();
+        let clk_ports = composite.module.ports.iter().filter(|p| p.name == "clk").count();
         assert_eq!(clk_ports, 1, "exactly one shared clock port");
         assert_eq!(composite.clock.as_deref(), Some("clk"));
     }
@@ -127,8 +126,7 @@ mod tests {
         let a = generate(CircuitFamily::Alu, "a", &mut rng);
         let b = generate(CircuitFamily::Alu, "b", &mut rng);
         let composite = compose("two_alus", vec![a, b]);
-        let mut names: Vec<&str> =
-            composite.module.ports.iter().map(|p| p.name.as_str()).collect();
+        let mut names: Vec<&str> = composite.module.ports.iter().map(|p| p.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();

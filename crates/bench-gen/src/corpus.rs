@@ -82,6 +82,16 @@ impl Default for CorpusConfig {
 /// assert_eq!(corpus.iter().filter(|b| b.label == Label::TrojanInfected).count(), 3);
 /// ```
 pub fn generate_corpus(config: &CorpusConfig) -> Vec<Benchmark> {
+    let _span = noodle_telemetry::span!(
+        "bench_gen.generate_corpus",
+        trojan_free = config.trojan_free,
+        trojan_infected = config.trojan_infected,
+        seed = config.seed,
+    );
+    noodle_telemetry::counter_add(
+        "bench_gen.designs",
+        (config.trojan_free + config.trojan_infected) as u64,
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut corpus = Vec::with_capacity(config.trojan_free + config.trojan_infected);
     let specs = TrojanSpec::all();
@@ -168,13 +178,10 @@ pub fn corpus_stats(corpus: &[Benchmark]) -> CorpusStats {
     let mean_lines = if corpus.is_empty() {
         0.0
     } else {
-        corpus.iter().map(|b| b.source.lines().count()).sum::<usize>() as f64
-            / corpus.len() as f64
+        corpus.iter().map(|b| b.source.lines().count()).sum::<usize>() as f64 / corpus.len() as f64
     };
-    let mut kinds: Vec<(TriggerKind, PayloadKind)> = corpus
-        .iter()
-        .filter_map(|b| b.trojan.as_ref().map(|t| (t.trigger, t.payload)))
-        .collect();
+    let mut kinds: Vec<(TriggerKind, PayloadKind)> =
+        corpus.iter().filter_map(|b| b.trojan.as_ref().map(|t| (t.trigger, t.payload))).collect();
     kinds.sort_by_key(|k| format!("{k:?}"));
     kinds.dedup();
     CorpusStats {
@@ -198,8 +205,7 @@ mod tests {
         assert_eq!(stats.total, 40);
         assert!(stats.trojan_free > 2 * stats.trojan_infected);
         for b in &corpus {
-            let file = parse(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{}", b.name, b.source));
+            let file = parse(&b.source).unwrap_or_else(|e| panic!("{}: {e}\n{}", b.name, b.source));
             assert_eq!(file.modules[0].name, b.name);
         }
     }
@@ -224,8 +230,7 @@ mod tests {
 
     #[test]
     fn infected_designs_carry_descriptors() {
-        let corpus =
-            generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 9, seed: 3 });
+        let corpus = generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 9, seed: 3 });
         let stats = corpus_stats(&corpus);
         assert!(stats.distinct_trojans >= 5, "only {} distinct kinds", stats.distinct_trojans);
         for b in &corpus {

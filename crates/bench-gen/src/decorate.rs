@@ -117,9 +117,7 @@ fn apply<R: Rng + ?Sized>(
             }
         }
         Decoration::AddressDecoder => {
-            let src = circuit.data_inputs
-                [rng.random_range(0..circuit.data_inputs.len())]
-            .clone();
+            let src = circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())].clone();
             let magic = rng.random_range(0..(1u128 << src.width.min(63)));
             let sel = format!("dec_sel_{tag}");
             let hit = format!("dec_hit_{tag}");
@@ -154,9 +152,7 @@ fn apply<R: Rng + ?Sized>(
         }
         Decoration::CommandSequencer => {
             let clk = circuit.clock.clone().expect("sequencer requires a clock");
-            let src = circuit.data_inputs
-                [rng.random_range(0..circuit.data_inputs.len())]
-            .clone();
+            let src = circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())].clone();
             let m1 = rng.random_range(0..(1u128 << src.width.min(63)));
             let mut m2 = rng.random_range(0..(1u128 << src.width.min(63)));
             if m2 == m1 {
@@ -206,10 +202,10 @@ fn apply<R: Rng + ?Sized>(
         Decoration::TriggerShapedDebug => {
             let cmp = format!("tsd_cmp_{tag}");
             circuit.module.items.push(wire(&cmp, 1));
-            if !circuit.data_inputs.is_empty() && (circuit.clock.is_none() || rng.random::<bool>()) {
-                let src = circuit.data_inputs
-                    [rng.random_range(0..circuit.data_inputs.len())]
-                .clone();
+            if !circuit.data_inputs.is_empty() && (circuit.clock.is_none() || rng.random::<bool>())
+            {
+                let src =
+                    circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())].clone();
                 let magic = rng.random_range(0..(1u128 << src.width.min(63)));
                 circuit
                     .module
@@ -225,10 +221,7 @@ fn apply<R: Rng + ?Sized>(
                     .module
                     .items
                     .push(always_ff(&clk, nb(&cnt, add(id(&cnt), dec(w as u32, 1)))));
-                circuit
-                    .module
-                    .items
-                    .push(assign(&cmp, eq(id(&cnt), dec(w as u32, terminal))));
+                circuit.module.items.push(assign(&cmp, eq(id(&cnt), dec(w as u32, terminal))));
             }
             let hook = circuit.hooks[rng.random_range(0..circuit.hooks.len())].clone();
             let dbg = format!("tsd_out_{tag}");
@@ -242,15 +235,9 @@ fn apply<R: Rng + ?Sized>(
             };
             let dbg_w = format!("tsd_w_{tag}");
             circuit.module.items.push(wire(&dbg_w, hook.width));
-            circuit
-                .module
-                .items
-                .push(assign(&dbg_w, mux(id(&cmp), flip, id(&hook.internal))));
+            circuit.module.items.push(assign(&dbg_w, mux(id(&cmp), flip, id(&hook.internal))));
             if expose {
-                circuit
-                    .module
-                    .items
-                    .push(assign(&dbg, id(&dbg_w)));
+                circuit.module.items.push(assign(&dbg, id(&dbg_w)));
                 circuit.module.ports.push(output(&dbg, hook.width));
             }
         }

@@ -79,7 +79,10 @@ pub fn gen_uart_tx<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
                                         block(vec![
                                             nb(
                                                 "shift_q",
-                                                Expr::Concat(vec![bin(1, 0), part("shift_q", 7, 1)]),
+                                                Expr::Concat(vec![
+                                                    bin(1, 0),
+                                                    part("shift_q", 7, 1),
+                                                ]),
                                             ),
                                             nb("baud_q", dec(baud_bits as u32, 0)),
                                             if_else(
@@ -290,10 +293,7 @@ pub fn gen_spi_shift<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
                             block(vec![
                                 nb(
                                     "sh_q",
-                                    Expr::Concat(vec![
-                                        part("sh_q", w as i64 - 2, 0),
-                                        bin(1, 0),
-                                    ]),
+                                    Expr::Concat(vec![part("sh_q", w as i64 - 2, 0), bin(1, 0)]),
                                 ),
                                 if_else(
                                     eq(id("idx_q"), dec(idx_bits as u32, (w - 1) as u128)),
@@ -401,10 +401,7 @@ pub fn gen_debouncer<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
                     id("rst"),
                     block(vec![nb("win_q", dec(w as u32, 0)), nb("out_q", bin(1, 0))]),
                     block(vec![
-                        nb(
-                            "win_q",
-                            Expr::Concat(vec![part("win_q", w as i64 - 2, 0), id("din")]),
-                        ),
+                        nb("win_q", Expr::Concat(vec![part("win_q", w as i64 - 2, 0), id("din")])),
                         if_then(eq(id("win_q"), dec(w as u32, all_ones)), nb("out_q", bin(1, 1))),
                         if_then(eq(id("win_q"), dec(w as u32, 0)), nb("out_q", bin(1, 0))),
                     ]),
@@ -432,14 +429,7 @@ pub fn gen_round_robin<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
     for i in 0..w {
         grant_arms.push((
             dec(pw as u32, i as u128),
-            blk(
-                "grant_r",
-                mux(
-                    bit("req", i as u128),
-                    dec(w as u32, 1u128 << i),
-                    dec(w as u32, 0),
-                ),
-            ),
+            blk("grant_r", mux(bit("req", i as u128), dec(w as u32, 1u128 << i), dec(w as u32, 0))),
         ));
     }
     let module = Module {
@@ -506,9 +496,8 @@ mod tests {
     #[test]
     fn moore_fsm_varies_state_count() {
         let mut rng = StdRng::seed_from_u64(3);
-        let sizes: Vec<usize> = (0..10)
-            .map(|_| print_module(&gen_moore_fsm(&mut rng).module).len())
-            .collect();
+        let sizes: Vec<usize> =
+            (0..10).map(|_| print_module(&gen_moore_fsm(&mut rng).module).len()).collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
         assert!(distinct.len() > 1, "FSM instances should vary: {sizes:?}");
     }

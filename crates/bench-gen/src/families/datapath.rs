@@ -102,10 +102,7 @@ pub fn gen_crypto_round<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
                         id("load"),
                         nb(
                             "state_q",
-                            noodle_verilog::Expr::Concat(vec![
-                                part("mixed", 7, 3),
-                                id("sub_lo"),
-                            ]),
+                            noodle_verilog::Expr::Concat(vec![part("mixed", 7, 3), id("sub_lo")]),
                         ),
                     ),
                 ),
@@ -312,11 +309,7 @@ pub fn gen_crc<R: Rng + ?Sized>(rng: &mut R) -> GeneratedCircuit {
                         id("en"),
                         nb(
                             "crc_q",
-                            mux(
-                                id("fb"),
-                                bxor(id("shifted"), dec(w as u32, poly)),
-                                id("shifted"),
-                            ),
+                            mux(id("fb"), bxor(id("shifted"), dec(w as u32, poly)), id("shifted")),
                         ),
                     ),
                 ),

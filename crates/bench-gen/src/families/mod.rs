@@ -61,8 +61,8 @@ mod tests {
             for i in 0..5 {
                 let c = generate(family, &format!("{}_{i}", family.tag()), &mut rng);
                 let text = print_module(&c.module);
-                let parsed = parse(&text)
-                    .unwrap_or_else(|e| panic!("{}: {e}\n{text}", family.tag()));
+                let parsed =
+                    parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", family.tag()));
                 assert_eq!(parsed.modules[0].name, c.module.name);
             }
         }

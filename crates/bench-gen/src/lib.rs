@@ -32,13 +32,13 @@ mod circuit;
 mod compose;
 mod corpus;
 mod decorate;
-mod style;
 pub mod families;
+mod style;
 mod trojan;
 
 pub use circuit::{CircuitFamily, GeneratedCircuit, PayloadHook, SignalRef};
 pub use compose::compose;
+pub use corpus::{corpus_stats, generate_corpus, Benchmark, CorpusConfig, CorpusStats, Label};
 pub use decorate::{add_benign_decorations, add_trigger_shaped_decoy};
 pub use style::apply_style_variations;
-pub use corpus::{corpus_stats, generate_corpus, Benchmark, CorpusConfig, CorpusStats, Label};
 pub use trojan::{insert_trojan, PayloadKind, TriggerKind, TrojanDescriptor, TrojanSpec};

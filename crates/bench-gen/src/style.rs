@@ -32,8 +32,7 @@ const STYLE_RATE: f64 = 0.35;
 /// touched; ports and procedural logic keep their shape. The rewrite is
 /// semantics-preserving.
 pub fn apply_style_variations<R: Rng + ?Sized>(module: &mut Module, rng: &mut R) {
-    let port_names: HashSet<String> =
-        module.ports.iter().map(|p| p.name.clone()).collect();
+    let port_names: HashSet<String> = module.ports.iter().map(|p| p.name.clone()).collect();
     let wire_names: HashSet<String> = module
         .items
         .iter()
@@ -50,12 +49,8 @@ pub fn apply_style_variations<R: Rng + ?Sized>(module: &mut Module, rng: &mut R)
     for item in module.items.drain(..) {
         match item {
             Item::Assign { lhs: LValue::Ident(name), rhs } => {
-                let is_internal_wire =
-                    wire_names.contains(&name) && !port_names.contains(&name);
-                let is_plain_output_port = module
-                    .ports
-                    .iter()
-                    .any(|p| p.name == name && !p.is_reg);
+                let is_internal_wire = wire_names.contains(&name) && !port_names.contains(&name);
+                let is_plain_output_port = module.ports.iter().any(|p| p.name == name && !p.is_reg);
                 let style: f64 = rng.random();
                 if style < STYLE_RATE
                     && matches!(rhs, Expr::Ternary { .. })
@@ -115,14 +110,9 @@ pub fn apply_style_variations<R: Rng + ?Sized>(module: &mut Module, rng: &mut R)
                     // we do not know y's width here, apply this rewrite only
                     // to 1-bit comparisons/reductions, else keep as-is.
                     if expr_is_single_bit(&rhs) {
-                        new_items.push(Item::Assign {
-                            lhs: LValue::Ident(tmp.clone()),
-                            rhs,
-                        });
-                        new_items.push(Item::Assign {
-                            lhs: LValue::Ident(name),
-                            rhs: Expr::Ident(tmp),
-                        });
+                        new_items.push(Item::Assign { lhs: LValue::Ident(tmp.clone()), rhs });
+                        new_items
+                            .push(Item::Assign { lhs: LValue::Ident(name), rhs: Expr::Ident(tmp) });
                     } else {
                         new_items.pop(); // remove the unused tmp decl
                         new_items.push(Item::Assign { lhs: LValue::Ident(name), rhs });
@@ -156,11 +146,7 @@ pub fn apply_style_variations<R: Rng + ?Sized>(module: &mut Module, rng: &mut R)
                 let (regs, wires): (Vec<String>, Vec<String>) =
                     names.into_iter().partition(|n| to_reg.contains(n));
                 if !wires.is_empty() {
-                    final_items.push(Item::Decl {
-                        net: NetType::Wire,
-                        range,
-                        names: wires,
-                    });
+                    final_items.push(Item::Decl { net: NetType::Wire, range, names: wires });
                 }
                 final_items.push(Item::Decl { net: NetType::Reg, range, names: regs });
             }
@@ -187,10 +173,9 @@ fn expr_is_single_bit(expr: &Expr) -> bool {
                 | BinaryOp::LogicAnd
                 | BinaryOp::LogicOr
         ),
-        Expr::Unary { op, .. } => matches!(
-            op,
-            UnaryOp::Not | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor
-        ),
+        Expr::Unary { op, .. } => {
+            matches!(op, UnaryOp::Not | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor)
+        }
         Expr::Bit { .. } => true,
         _ => false,
     }

@@ -53,9 +53,7 @@ impl TrojanSpec {
     pub fn all() -> Vec<TrojanSpec> {
         let mut out = Vec::new();
         for trigger in [TriggerKind::MagicValue, TriggerKind::TimeBomb, TriggerKind::Sequence] {
-            for payload in
-                [PayloadKind::Corrupt, PayloadKind::Leak, PayloadKind::DenialOfService]
-            {
+            for payload in [PayloadKind::Corrupt, PayloadKind::Leak, PayloadKind::DenialOfService] {
                 out.push(TrojanSpec { trigger, payload });
             }
         }
@@ -130,10 +128,10 @@ pub fn insert_trojan<R: Rng + ?Sized>(
             let src = &circuit.data_inputs[rng.random_range(0..circuit.data_inputs.len())];
             let magic = rng.random_range(0..(1u128 << src.width.min(63)));
             circuit.module.items.push(wire(TRIG_WIRE, 1));
-            circuit.module.items.push(assign(
-                TRIG_WIRE,
-                eq(id(&src.name), dec(src.width as u32, magic)),
-            ));
+            circuit
+                .module
+                .items
+                .push(assign(TRIG_WIRE, eq(id(&src.name), dec(src.width as u32, magic))));
             (src.name.clone(), vec![magic as u64])
         }
         TriggerKind::TimeBomb => {
@@ -146,10 +144,7 @@ pub fn insert_trojan<R: Rng + ?Sized>(
                 .module
                 .items
                 .push(always_ff(&clk, nb(CNT_REG, add(id(CNT_REG), dec(cw as u32, 1)))));
-            circuit
-                .module
-                .items
-                .push(assign(TRIG_WIRE, eq(id(CNT_REG), dec(cw as u32, magic))));
+            circuit.module.items.push(assign(TRIG_WIRE, eq(id(CNT_REG), dec(cw as u32, magic))));
             (CNT_REG.to_string(), vec![magic as u64])
         }
         TriggerKind::Sequence => {
@@ -208,10 +203,7 @@ pub fn insert_trojan<R: Rng + ?Sized>(
             if w == 1 {
                 bxor(id(&hook.internal), leak_bit)
             } else {
-                bxor(
-                    id(&hook.internal),
-                    Expr::Repeat { count: w as u32, expr: Box::new(leak_bit) },
-                )
+                bxor(id(&hook.internal), Expr::Repeat { count: w as u32, expr: Box::new(leak_bit) })
             }
         }
         PayloadKind::DenialOfService => dec(w as u32, 0),

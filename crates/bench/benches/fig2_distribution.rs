@@ -17,9 +17,7 @@ fn bench_fig2(c: &mut Criterion) {
             base += 10;
             let briers: Vec<f64> = (0..3)
                 .map(|s| {
-                    fit_detector(&scale, base + s)
-                        .evaluation()
-                        .brier_of(FusionStrategy::LateFusion)
+                    fit_detector(&scale, base + s).evaluation().brier_of(FusionStrategy::LateFusion)
                 })
                 .collect();
             black_box(summarize(&briers, 0.95).mean)

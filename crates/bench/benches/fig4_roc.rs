@@ -15,9 +15,7 @@ fn bench_fig4(c: &mut Criterion) {
     let outcomes = eval.test_outcomes();
 
     let mut group = c.benchmark_group("fig4");
-    group.bench_function("roc_curve", |b| {
-        b.iter(|| black_box(roc_curve(&probs, &outcomes).auc()))
-    });
+    group.bench_function("roc_curve", |b| b.iter(|| black_box(roc_curve(&probs, &outcomes).auc())));
     group.finish();
 
     println!("Fig4 (quick): late-fusion AUC {:.3}", roc_curve(&probs, &outcomes).auc());

@@ -77,9 +77,7 @@ fn bench_components(c: &mut Criterion) {
     let real = Tensor::rand_uniform(&[24, 32], 0.0, 1.0, &mut rng);
     let config = GanConfig { epochs: 10, hidden_dim: 16, ..GanConfig::default() };
     let mut gan = VanillaGan::train(&real, &config, &mut rng);
-    c.bench_function("gan_sample_100", |b| {
-        b.iter(|| black_box(gan.sample(100, &mut rng)))
-    });
+    c.bench_function("gan_sample_100", |b| b.iter(|| black_box(gan.sample(100, &mut rng))));
 }
 
 criterion_group!(benches, bench_components);

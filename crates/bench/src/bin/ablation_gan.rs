@@ -14,20 +14,14 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = scale_from_env(paper_scale());
-    let targets: &[usize] = if scale.name == "paper" {
-        &[0, 60, 125, 250, 400]
-    } else {
-        &[0, 20, 40]
-    };
+    let targets: &[usize] =
+        if scale.name == "paper" { &[0, 60, 125, 250, 400] } else { &[0, 20, 40] };
     eprintln!("[ablation_gan] scale = {}, targets = {targets:?}", scale.name);
     let corpus = noodle_bench_gen::generate_corpus(&scale.corpus);
     let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus parses");
 
     println!("Ablation: effect of the GAN amplification target (per class)");
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>12}",
-        "target", "graph", "tabular", "early", "late"
-    );
+    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "target", "graph", "tabular", "early", "late");
     for &target in targets {
         let mut briers = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for seed in 0..3u64 {
@@ -35,8 +29,7 @@ fn main() {
             // target 0 => keep the raw corpus (amplification disabled).
             config.amplify_per_class = target;
             let mut rng = StdRng::seed_from_u64(7 + seed);
-            let detector =
-                NoodleDetector::fit(&dataset, &config, &mut rng).expect("fit succeeds");
+            let detector = NoodleDetector::fit(&dataset, &config, &mut rng).expect("fit succeeds");
             for (slot, b) in detector.evaluation().brier.iter().enumerate() {
                 briers[slot].push(*b);
             }

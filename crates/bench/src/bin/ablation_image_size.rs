@@ -71,10 +71,8 @@ fn main() {
     for size in [2usize, 4, 6, 8, 12, 16, 24, 32] {
         let mut accs = Vec::new();
         for (graphs, labels) in &corpora {
-            let vectors: Vec<Vec<f32>> = graphs
-                .iter()
-                .map(|g| graph_image_with_size(g, size).data().to_vec())
-                .collect();
+            let vectors: Vec<Vec<f32>> =
+                graphs.iter().map(|g| graph_image_with_size(g, size).data().to_vec()).collect();
             accs.push(loo_1nn(&vectors, labels));
         }
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;

@@ -36,8 +36,7 @@ fn main() {
             let mut config = scale.noodle;
             config.holdout_real_test = holdout;
             let mut rng = StdRng::seed_from_u64(31 + seed);
-            let detector =
-                NoodleDetector::fit(&dataset, &config, &mut rng).expect("fit succeeds");
+            let detector = NoodleDetector::fit(&dataset, &config, &mut rng).expect("fit succeeds");
             for (slot, b) in detector.evaluation().brier.iter().enumerate() {
                 briers[slot].push(*b);
             }

@@ -17,9 +17,8 @@ fn main() {
     for seed in 0..5u64 {
         let detector = fit_detector(&scale, 100 + seed);
         let eval = detector.evaluation();
-        predictions.extend(
-            eval.late_p_values.iter().map(|pv| ConformalPrediction::new(pv.to_vec())),
-        );
+        predictions
+            .extend(eval.late_p_values.iter().map(|pv| ConformalPrediction::new(pv.to_vec())));
         labels.extend(eval.test_labels.iter().copied());
     }
     println!(

@@ -25,14 +25,8 @@ fn main() {
         config.amplify_per_class = amplify;
         let mut rng = StdRng::seed_from_u64(42);
         let cv = cross_validate(&dataset, &config, k, &mut rng).expect("cross-validation runs");
-        println!(
-            "\n{k}-fold cross-validation over {} real designs — {label}:",
-            dataset.len()
-        );
-        println!(
-            "{:<46} {:>12} {:>10} {:>12}",
-            "strategy", "mean Brier", "std", "pooled Brier"
-        );
+        println!("\n{k}-fold cross-validation over {} real designs — {label}:", dataset.len());
+        println!("{:<46} {:>12} {:>10} {:>12}", "strategy", "mean Brier", "std", "pooled Brier");
         for strategy in FusionStrategy::ALL {
             let summary = cv.summary_of(strategy);
             let (probs, outcomes) = cv.pooled(strategy);

@@ -31,8 +31,10 @@ fn main() {
         println!("\nFig. 2{name}: Brier score distribution over {} runs", s.n);
         println!("  mean           : {:.4}", s.mean);
         println!("  std dev        : {:.4}", s.std_dev);
-        println!("  min | q25 | median | q75 | max : {:.4} | {:.4} | {:.4} | {:.4} | {:.4}",
-                 s.min, s.q25, s.median, s.q75, s.max);
+        println!(
+            "  min | q25 | median | q75 | max : {:.4} | {:.4} | {:.4} | {:.4} | {:.4}",
+            s.min, s.q25, s.median, s.q75, s.max
+        );
         println!("  95% interval   : [{:.4}, {:.4}]", s.interval_lo, s.interval_hi);
         print!("  samples        : ");
         for v in values {

@@ -38,7 +38,10 @@ fn main() {
         }
         eprintln!(
             "  seed {seed}: brier = {:.3}/{:.3}/{:.3}/{:.3}, auc = {:.3}",
-            eval.brier[0], eval.brier[1], eval.brier[2], eval.brier[3],
+            eval.brier[0],
+            eval.brier[1],
+            eval.brier[2],
+            eval.brier[3],
             aucs.last().unwrap()
         );
     }

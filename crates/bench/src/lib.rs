@@ -88,8 +88,7 @@ pub fn fit_detector(scale: &Scale, seed: u64) -> NoodleDetector {
     // are not hostage to one corpus draw's sampling noise.
     let corpus_config = CorpusConfig { seed: scale.corpus.seed ^ seed, ..scale.corpus };
     let corpus = noodle_bench_gen::generate_corpus(&corpus_config);
-    let dataset =
-        MultimodalDataset::from_benchmarks(&corpus).expect("corpus must parse cleanly");
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus must parse cleanly");
     let mut rng = StdRng::seed_from_u64(seed);
     NoodleDetector::fit(&dataset, &scale.noodle, &mut rng).expect("pipeline fit must succeed")
 }
@@ -110,12 +109,7 @@ pub fn print_table1(eval: &EvaluationReport) {
     println!("Table I: Brier score comparison for different modalities");
     println!("{:<46} {:>10} {:>10}", "Dataset", "Measured", "Paper");
     for (strategy, paper) in PAPER_TABLE1 {
-        println!(
-            "{:<46} {:>10.4} {:>10.4}",
-            strategy.label(),
-            eval.brier_of(strategy),
-            paper
-        );
+        println!("{:<46} {:>10.4} {:>10.4}", strategy.label(), eval.brier_of(strategy), paper);
     }
 }
 

@@ -70,6 +70,13 @@ impl MondrianIcp {
         for scores in &mut calibration {
             scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
         }
+        if noodle_telemetry::enabled() {
+            noodle_telemetry::counter_add("icp.calibrations", 1);
+            noodle_telemetry::counter_add("icp.calibration_scores", scores.len() as u64);
+            for &(score, _) in scores {
+                noodle_telemetry::histogram_record("icp.nonconformity", score as f64);
+            }
+        }
         Ok(Self { calibration })
     }
 
@@ -109,11 +116,7 @@ impl MondrianIcp {
     ///
     /// Panics if `scores.len() != self.n_classes()`.
     pub fn p_values(&self, scores: &[f32]) -> Vec<f64> {
-        assert_eq!(
-            scores.len(),
-            self.n_classes(),
-            "need one nonconformity score per class"
-        );
+        assert_eq!(scores.len(), self.n_classes(), "need one nonconformity score per class");
         scores.iter().enumerate().map(|(c, &s)| self.p_value(c, s)).collect()
     }
 }
@@ -130,11 +133,7 @@ mod tests {
     use super::*;
 
     fn simple_icp() -> MondrianIcp {
-        MondrianIcp::fit(
-            &[(0.1, 0), (0.2, 0), (0.3, 0), (0.4, 0), (0.5, 1), (0.6, 1)],
-            2,
-        )
-        .unwrap()
+        MondrianIcp::fit(&[(0.1, 0), (0.2, 0), (0.3, 0), (0.4, 0), (0.5, 1), (0.6, 1)], 2).unwrap()
     }
 
     #[test]
@@ -206,9 +205,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        let calib: Vec<(f32, usize)> = (0..400)
-            .map(|i| (rng.random_range(0.0..1.0f32), i % 2))
-            .collect();
+        let calib: Vec<(f32, usize)> =
+            (0..400).map(|i| (rng.random_range(0.0..1.0f32), i % 2)).collect();
         let icp = MondrianIcp::fit(&calib, 2).unwrap();
         for &eps in &[0.05f64, 0.1, 0.2] {
             let mut errors = 0usize;
@@ -221,10 +219,7 @@ mod tests {
                 }
             }
             let rate = errors as f64 / n as f64;
-            assert!(
-                rate < eps + 0.03,
-                "error rate {rate} exceeds significance {eps} by too much"
-            );
+            assert!(rate < eps + 0.03, "error rate {rate} exceeds significance {eps} by too much");
         }
     }
 }

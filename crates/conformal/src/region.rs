@@ -35,12 +35,7 @@ impl ConformalPrediction {
     /// The prediction region at significance `epsilon`: all classes with
     /// `p > epsilon`.
     pub fn region(&self, epsilon: f64) -> Vec<usize> {
-        self.p_values
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p > epsilon)
-            .map(|(c, _)| c)
-            .collect()
+        self.p_values.iter().enumerate().filter(|(_, &p)| p > epsilon).map(|(c, _)| c).collect()
     }
 
     /// The paper's `r_E`: the region at confidence `E` (significance

@@ -1,6 +1,8 @@
 //! Property-based tests for the special functions and conformal machinery.
 
-use noodle_conformal::special::{chi2_sf, ln_gamma, normal_cdf, normal_quantile, reg_gamma_p, reg_gamma_q};
+use noodle_conformal::special::{
+    chi2_sf, ln_gamma, normal_cdf, normal_quantile, reg_gamma_p, reg_gamma_q,
+};
 use noodle_conformal::{Combiner, MondrianIcp};
 use proptest::prelude::*;
 

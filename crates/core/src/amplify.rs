@@ -28,6 +28,11 @@ pub fn amplify_dataset<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> MultimodalDataset {
     assert!(!dataset.is_empty(), "cannot amplify an empty dataset");
+    let _span = noodle_telemetry::span!(
+        "gan.amplify_dataset",
+        real_samples = dataset.len(),
+        target_per_class = target_per_class,
+    );
     let max_label = dataset.samples().iter().map(|s| s.label).max().unwrap_or(0);
     let mut samples: Vec<MultimodalSample> = dataset.samples().to_vec();
     for label in 0..=max_label {
@@ -35,8 +40,14 @@ pub fn amplify_dataset<R: Rng + ?Sized>(
         if indices.is_empty() || indices.len() >= target_per_class {
             continue;
         }
+        let _class_span =
+            noodle_telemetry::span!("gan.amplify", class = class_name(label), real = indices.len());
         let joint = joint_matrix(dataset, &indices);
         let grown = amplify_class(&joint, target_per_class, config, rng);
+        noodle_telemetry::counter_add(
+            "gan.synthetic_samples",
+            (grown.shape()[0] - indices.len()) as u64,
+        );
         // Rows beyond the real count are synthetic.
         for r in indices.len()..grown.shape()[0] {
             let row = grown.row(r);
@@ -47,8 +58,7 @@ pub fn amplify_dataset<R: Rng + ?Sized>(
                 *v = v.clamp(0.0, 1.0);
             }
             // Tabular features are counts; keep them non-negative.
-            let tabular: Vec<f32> =
-                row[GRAPH_DIM..].iter().map(|&v| v.max(0.0)).collect();
+            let tabular: Vec<f32> = row[GRAPH_DIM..].iter().map(|&v| v.max(0.0)).collect();
             samples.push(MultimodalSample {
                 name: format!("syn_c{label}_{:03}", r - indices.len()),
                 label,
@@ -59,6 +69,16 @@ pub fn amplify_dataset<R: Rng + ?Sized>(
         }
     }
     MultimodalDataset::from_samples(samples)
+}
+
+/// Human-readable class name for span attributes (TF/TI for the binary
+/// Trojan labels, the raw index otherwise).
+fn class_name(label: usize) -> String {
+    match label {
+        0 => "TF".to_string(),
+        1 => "TI".to_string(),
+        other => other.to_string(),
+    }
 }
 
 fn joint_matrix(dataset: &MultimodalDataset, indices: &[usize]) -> Tensor {
@@ -98,8 +118,7 @@ mod tests {
 
     #[test]
     fn real_samples_survive_unchanged() {
-        let corpus =
-            generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 2 });
+        let corpus = generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 2 });
         let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let grown = amplify_dataset(&ds, 10, &small_config(), &mut rng);
@@ -110,8 +129,7 @@ mod tests {
 
     #[test]
     fn synthetic_samples_are_flagged_and_bounded() {
-        let corpus =
-            generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 3 });
+        let corpus = generate_corpus(&CorpusConfig { trojan_free: 6, trojan_infected: 3, seed: 3 });
         let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let grown = amplify_dataset(&ds, 12, &small_config(), &mut rng);
@@ -125,8 +143,7 @@ mod tests {
 
     #[test]
     fn oversize_class_untouched() {
-        let corpus =
-            generate_corpus(&CorpusConfig { trojan_free: 8, trojan_infected: 3, seed: 4 });
+        let corpus = generate_corpus(&CorpusConfig { trojan_free: 8, trojan_infected: 3, seed: 4 });
         let ds = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let grown = amplify_dataset(&ds, 5, &small_config(), &mut rng);

@@ -74,6 +74,15 @@ impl ModalityClassifier {
         self.kind
     }
 
+    /// Short lowercase modality name used in telemetry attributes.
+    pub fn modality_name(&self) -> &'static str {
+        match self.kind {
+            ModalityKind::Graph => "graph",
+            ModalityKind::Tabular => "tabular",
+            ModalityKind::EarlyFusion => "early_fusion",
+        }
+    }
+
     /// Expected input shape (without the batch dimension).
     pub fn input_shape(&self) -> Vec<usize> {
         match self.kind {
@@ -97,6 +106,11 @@ impl ModalityClassifier {
         rng: &mut R,
     ) -> Vec<EpochStats> {
         assert_eq!(&inputs.shape()[1..], self.input_shape().as_slice(), "input shape mismatch");
+        let _span = noodle_telemetry::span!(
+            "cnn.fit",
+            modality = self.modality_name(),
+            samples = labels.len(),
+        );
         fit_classifier(&mut self.net, inputs, labels, config, rng)
     }
 
@@ -167,10 +181,7 @@ mod tests {
             rows.push(noise.data().iter().map(|v| v + base).collect::<Vec<f32>>());
             labels.push(label);
         }
-        let x = Tensor::stack_rows(&rows)
-            .unwrap()
-            .reshape(&[n, 1, TABULAR_DIM])
-            .unwrap();
+        let x = Tensor::stack_rows(&rows).unwrap().reshape(&[n, 1, TABULAR_DIM]).unwrap();
         let config = TrainConfig { epochs: 25, batch_size: 8, lr: 2e-3 };
         let trace = clf.fit(&x, &labels, &config, &mut rng);
         assert!(trace.last().unwrap().loss < trace.first().unwrap().loss);

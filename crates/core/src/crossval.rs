@@ -98,8 +98,7 @@ pub fn cross_validate<R: Rng + ?Sized>(
     }
     let mut folds = Vec::with_capacity(k);
     for fold in 0..k {
-        let test_indices: Vec<usize> =
-            (0..dataset.len()).filter(|&i| fold_of[i] == fold).collect();
+        let test_indices: Vec<usize> = (0..dataset.len()).filter(|&i| fold_of[i] == fold).collect();
         let detector = NoodleDetector::fit_holdout(dataset, &test_indices, config, rng)?;
         folds.push(FoldReport { fold, test_indices, report: detector.evaluation().clone() });
     }
@@ -114,11 +113,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset() -> MultimodalDataset {
-        let corpus = generate_corpus(&CorpusConfig {
-            trojan_free: 12,
-            trojan_infected: 6,
-            seed: 77,
-        });
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 12, trojan_infected: 6, seed: 77 });
         MultimodalDataset::from_benchmarks(&corpus).unwrap()
     }
 
@@ -128,8 +124,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let cv = cross_validate(&ds, &NoodleConfig::fast(), 3, &mut rng).unwrap();
         assert_eq!(cv.folds.len(), 3);
-        let mut seen: Vec<usize> =
-            cv.folds.iter().flat_map(|f| f.test_indices.clone()).collect();
+        let mut seen: Vec<usize> = cv.folds.iter().flat_map(|f| f.test_indices.clone()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..ds.len()).collect::<Vec<_>>());
         // Stratification: every fold sees both classes.

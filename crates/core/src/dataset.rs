@@ -59,13 +59,15 @@ impl MultimodalDataset {
     /// Returns [`PipelineError`] if any benchmark fails to parse or has no
     /// modules.
     pub fn from_benchmarks(benchmarks: &[Benchmark]) -> Result<Self, PipelineError> {
+        let _span = noodle_telemetry::span!("dataset.build", designs = benchmarks.len());
+        let parsed: Vec<noodle_verilog::SourceFile> = {
+            let _parse = noodle_telemetry::span!("dataset.parse");
+            benchmarks.iter().map(|b| parse(&b.source)).collect::<Result<_, _>>()?
+        };
+        let _extract = noodle_telemetry::span!("dataset.extract");
         let mut samples = Vec::with_capacity(benchmarks.len());
-        for bench in benchmarks {
-            samples.push(sample_from_source(
-                &bench.name,
-                &bench.source,
-                bench.label.index(),
-            )?);
+        for (bench, file) in benchmarks.iter().zip(&parsed) {
+            samples.push(sample_from_file(&bench.name, file, bench.label.index())?);
         }
         Ok(Self { samples })
     }
@@ -77,6 +79,7 @@ impl MultimodalDataset {
     /// Returns [`PipelineError`] if any source fails to parse or has no
     /// modules.
     pub fn from_sources(sources: &[(&str, &str, usize)]) -> Result<Self, PipelineError> {
+        let _span = noodle_telemetry::span!("dataset.build", designs = sources.len());
         let mut samples = Vec::with_capacity(sources.len());
         for (name, source, label) in sources {
             samples.push(sample_from_source(name, source, *label)?);
@@ -165,9 +168,7 @@ impl MultimodalDataset {
     ///
     /// Panics if any index is out of bounds.
     pub fn subset(&self, indices: &[usize]) -> MultimodalDataset {
-        MultimodalDataset::from_samples(
-            indices.iter().map(|&i| self.samples[i].clone()).collect(),
-        )
+        MultimodalDataset::from_samples(indices.iter().map(|&i| self.samples[i].clone()).collect())
     }
 
     /// Stratified split into train / calibration / test by fractions.
@@ -190,9 +191,10 @@ impl MultimodalDataset {
             rand::seq::SliceRandom::shuffle(indices.as_mut_slice(), &mut rng);
             let n = indices.len();
             // At least one example of each class in each part when possible.
-            let n_train = ((n as f64 * train_frac).round() as usize).clamp(1, n.saturating_sub(2).max(1));
-            let n_calib =
-                ((n as f64 * calib_frac).round() as usize).clamp(1, (n - n_train).saturating_sub(1).max(1));
+            let n_train =
+                ((n as f64 * train_frac).round() as usize).clamp(1, n.saturating_sub(2).max(1));
+            let n_calib = ((n as f64 * calib_frac).round() as usize)
+                .clamp(1, (n - n_train).saturating_sub(1).max(1));
             split.train.extend(&indices[..n_train]);
             split.calibration.extend(&indices[n_train..n_train + n_calib]);
             split.test.extend(&indices[n_train + n_calib..]);
@@ -237,6 +239,17 @@ fn sample_from_source(
     label: usize,
 ) -> Result<MultimodalSample, PipelineError> {
     let file = parse(source)?;
+    sample_from_file(name, &file, label)
+}
+
+/// Extracts both modalities from an already-parsed design (the loop body of
+/// [`MultimodalDataset::from_benchmarks`], split out so parsing and
+/// extraction can be traced as separate stages).
+fn sample_from_file(
+    name: &str,
+    file: &noodle_verilog::SourceFile,
+    label: usize,
+) -> Result<MultimodalSample, PipelineError> {
     if file.modules.is_empty() {
         return Err(PipelineError::EmptyDesign);
     }
@@ -257,7 +270,7 @@ fn sample_from_source(
         file.modules
             .iter()
             .find(|m| !instantiated.contains(m.name.as_str()))
-            .and_then(|top| noodle_verilog::transform::flatten(&file, &top.name).ok())
+            .and_then(|top| noodle_verilog::transform::flatten(file, &top.name).ok())
     } else {
         None
     };
@@ -292,11 +305,8 @@ mod tests {
     use noodle_bench_gen::{generate_corpus, CorpusConfig};
 
     fn tiny_dataset() -> MultimodalDataset {
-        let corpus = generate_corpus(&CorpusConfig {
-            trojan_free: 12,
-            trojan_infected: 6,
-            seed: 5,
-        });
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 12, trojan_infected: 6, seed: 5 });
         MultimodalDataset::from_benchmarks(&corpus).unwrap()
     }
 
@@ -327,13 +337,8 @@ mod tests {
     fn split_is_stratified_and_complete() {
         let ds = tiny_dataset();
         let split = ds.split(0.5, 0.25, 42);
-        let mut all: Vec<usize> = split
-            .train
-            .iter()
-            .chain(&split.calibration)
-            .chain(&split.test)
-            .copied()
-            .collect();
+        let mut all: Vec<usize> =
+            split.train.iter().chain(&split.calibration).chain(&split.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..18).collect::<Vec<_>>(), "split must partition the dataset");
         // Each part contains both classes.
@@ -409,10 +414,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(9);
-        let col = noodle_tabular::FEATURE_NAMES
-            .iter()
-            .position(|&n| n == "const_comparisons")
-            .unwrap();
+        let col =
+            noodle_tabular::FEATURE_NAMES.iter().position(|&n| n == "const_comparisons").unwrap();
         let mut clean_sum = 0.0;
         let mut infected_sum = 0.0;
         for (i, spec) in TrojanSpec::all().into_iter().enumerate() {

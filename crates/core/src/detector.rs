@@ -8,9 +8,7 @@
 //! uncertainty, including designs with a missing modality (imputed by a
 //! conditional GAN).
 
-use noodle_conformal::{
-    nonconformity_from_proba, Combiner, ConformalPrediction, MondrianIcp,
-};
+use noodle_conformal::{nonconformity_from_proba, Combiner, ConformalPrediction, MondrianIcp};
 use noodle_gan::{GanConfig, ImputerConfig, ModalityImputer};
 use noodle_graph::{IMAGE_CHANNELS, IMAGE_SIZE};
 use noodle_metrics::brier_score;
@@ -233,10 +231,9 @@ impl NoodleDetector {
         rng: &mut R,
     ) -> Result<Self, PipelineError> {
         if dataset.class_count(0) < 2 || dataset.class_count(1) < 2 {
-            return Err(PipelineError::Dataset(
-                "need at least two samples of each class".into(),
-            ));
+            return Err(PipelineError::Dataset("need at least two samples of each class".into()));
         }
+        let _span = noodle_telemetry::span!("pipeline.fit", designs = dataset.len());
 
         // Steps 1–2: GAN amplification (class-conditional, joint
         // modalities) and stratified splitting. The paper amplifies the
@@ -254,10 +251,8 @@ impl NoodleDetector {
                 real.calibration.iter().chain(&real.test).copied().collect();
             prepare_holdout(dataset, &test_indices, config, split_seed, rng)
         } else {
-            let amplified =
-                amplify_dataset(dataset, config.amplify_per_class, &config.gan, rng);
-            let split =
-                amplified.split(config.train_frac, config.calib_frac, split_seed);
+            let amplified = amplify_dataset(dataset, config.amplify_per_class, &config.gan, rng);
+            let split = amplified.split(config.train_frac, config.calib_frac, split_seed);
             (amplified, split)
         };
         Self::fit_prepared(amplified, split, config, rng)
@@ -284,9 +279,13 @@ impl NoodleDetector {
                 "holdout must leave both a pool and a test set".into(),
             ));
         }
+        let _span = noodle_telemetry::span!(
+            "pipeline.fit",
+            designs = dataset.len(),
+            holdout = test_indices.len(),
+        );
         let split_seed = rng.random::<u64>();
-        let (amplified, split) =
-            prepare_holdout(dataset, test_indices, config, split_seed, rng);
+        let (amplified, split) = prepare_holdout(dataset, test_indices, config, split_seed, rng);
         Self::fit_prepared(amplified, split, config, rng)
     }
 
@@ -297,11 +296,13 @@ impl NoodleDetector {
         rng: &mut R,
     ) -> Result<Self, PipelineError> {
         // Step 3: modality tensors.
+        let tensors_span = noodle_telemetry::span!("dataset.tensors");
         let tabular_norm = ZScore::fit(&amplified.tabular_matrix(&split.train));
         let graph_train = amplified.graph_tensor(&split.train);
         let tab_train = tab_input(&amplified, &split.train, &tabular_norm);
         let early_train = early_input(&amplified, &split.train, &tabular_norm);
         let train_labels = amplified.labels(&split.train);
+        drop(tensors_span);
 
         // Step 4: three CNNs with identical hyperparameters.
         let mut graph_clf = ModalityClassifier::new(ModalityKind::Graph, rng);
@@ -313,11 +314,8 @@ impl NoodleDetector {
 
         // Step 5: Mondrian ICP calibration per source (Algorithm 1).
         let calib_labels = amplified.labels(&split.calibration);
-        let icp_graph = calibrate(
-            &mut graph_clf,
-            &amplified.graph_tensor(&split.calibration),
-            &calib_labels,
-        )?;
+        let icp_graph =
+            calibrate(&mut graph_clf, &amplified.graph_tensor(&split.calibration), &calib_labels)?;
         let icp_tabular = calibrate(
             &mut tabular_clf,
             &tab_input(&amplified, &split.calibration, &tabular_norm),
@@ -330,6 +328,8 @@ impl NoodleDetector {
         )?;
 
         // Step 6: evaluate every strategy on the test split.
+        let fusion_span =
+            noodle_telemetry::span!("fusion.evaluate", test_samples = split.test.len());
         let test_labels = amplified.labels(&split.test);
         let graph_proba = graph_clf.predict_proba(&amplified.graph_tensor(&split.test));
         let tab_proba =
@@ -345,9 +345,8 @@ impl NoodleDetector {
         for i in 0..n_test {
             let pg = icp_graph.p_values(&scores_from_proba(graph_proba.row(i)));
             let pt = icp_tabular.p_values(&scores_from_proba(tab_proba.row(i)));
-            let fused: Vec<f64> = (0..2)
-                .map(|c| config.combiner.combine(&[pg[c], pt[c]]))
-                .collect();
+            let fused: Vec<f64> =
+                (0..2).map(|c| config.combiner.combine(&[pg[c], pt[c]])).collect();
             late_probs.push(fused[1] / (fused[0] + fused[1]));
             late_p_values.push([fused[0], fused[1]]);
             graph_p_values.push([pg[0], pg[1]]);
@@ -371,11 +370,7 @@ impl NoodleDetector {
             FusionStrategy::EarlyFusion
         };
         let evaluation = EvaluationReport {
-            test_names: split
-                .test
-                .iter()
-                .map(|&i| amplified.samples()[i].name.clone())
-                .collect(),
+            test_names: split.test.iter().map(|&i| amplified.samples()[i].name.clone()).collect(),
             test_labels,
             graph_probs,
             tabular_probs,
@@ -387,9 +382,16 @@ impl NoodleDetector {
             brier,
             winner,
         };
+        if noodle_telemetry::enabled() {
+            for (strategy, value) in FusionStrategy::ALL.iter().zip(&evaluation.brier) {
+                noodle_telemetry::gauge_set(&format!("brier.{strategy:?}"), *value);
+            }
+        }
+        drop(fusion_span);
 
         // Step 7: optional cross-modal imputers for missing modalities.
         let (imputer_graph_to_tab, imputer_tab_to_graph) = if config.train_imputers {
+            let _imputer_span = noodle_telemetry::span!("imputer.train");
             let g = amplified.graph_matrix(&split.train);
             let t = amplified.tabular_matrix(&split.train);
             (
@@ -457,6 +459,9 @@ impl NoodleDetector {
     ///
     /// Returns [`PipelineError`] if the source fails to parse.
     pub fn detect(&mut self, source: &str) -> Result<Detection, PipelineError> {
+        let _span = noodle_telemetry::span!("detect");
+        let _timer = noodle_telemetry::time_histogram("detect.latency_us");
+        noodle_telemetry::counter_add("detect.calls", 1);
         let (graph, tabular) = extract_modalities(source)?;
         self.detect_features(Some(&graph), Some(&tabular))
     }
@@ -494,27 +499,27 @@ impl NoodleDetector {
         let (graph, tabular): (Vec<f32>, Vec<f32>) = match (graph, tabular) {
             (Some(g), Some(t)) => (g.to_vec(), t.to_vec()),
             (Some(g), None) => {
-                let imputer = self.imputer_graph_to_tab.as_mut().ok_or_else(|| {
-                    PipelineError::Dataset("imputers were not trained".into())
-                })?;
+                let imputer = self
+                    .imputer_graph_to_tab
+                    .as_mut()
+                    .ok_or_else(|| PipelineError::Dataset("imputers were not trained".into()))?;
                 imputed = true;
-                let gm = Tensor::from_vec(vec![1, GRAPH_DIM], g.to_vec())
-                    .expect("length checked above");
+                let gm =
+                    Tensor::from_vec(vec![1, GRAPH_DIM], g.to_vec()).expect("length checked above");
                 (g.to_vec(), imputer.impute(&gm).row(0).to_vec())
             }
             (None, Some(t)) => {
-                let imputer = self.imputer_tab_to_graph.as_mut().ok_or_else(|| {
-                    PipelineError::Dataset("imputers were not trained".into())
-                })?;
+                let imputer = self
+                    .imputer_tab_to_graph
+                    .as_mut()
+                    .ok_or_else(|| PipelineError::Dataset("imputers were not trained".into()))?;
                 imputed = true;
                 let tm = Tensor::from_vec(vec![1, TABULAR_DIM], t.to_vec())
                     .expect("length checked above");
                 (imputer.impute(&tm).row(0).to_vec(), t.to_vec())
             }
             (None, None) => {
-                return Err(PipelineError::Dataset(
-                    "at least one modality must be present".into(),
-                ))
+                return Err(PipelineError::Dataset("at least one modality must be present".into()))
             }
         };
 
@@ -545,23 +550,18 @@ impl NoodleDetector {
         tabular: &[f32],
         strategy: FusionStrategy,
     ) -> ConformalPrediction {
-        let graph_t = Tensor::from_vec(
-            vec![1, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE],
-            graph.to_vec(),
-        )
-        .expect("graph vector length is validated");
+        let graph_t =
+            Tensor::from_vec(vec![1, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE], graph.to_vec())
+                .expect("graph vector length is validated");
         let tab_raw = Tensor::from_vec(vec![1, TABULAR_DIM], tabular.to_vec())
             .expect("tabular vector length is validated");
         let tab_norm = self.tabular_norm.transform(&tab_raw);
-        let tab_t = tab_norm
-            .reshape(&[1, 1, TABULAR_DIM])
-            .expect("reshape keeps the element count");
+        let tab_t =
+            tab_norm.reshape(&[1, 1, TABULAR_DIM]).expect("reshape keeps the element count");
         match strategy {
             FusionStrategy::GraphOnly => {
                 let proba = self.graph_clf.predict_proba(&graph_t);
-                ConformalPrediction::new(
-                    self.icp_graph.p_values(&scores_from_proba(proba.row(0))),
-                )
+                ConformalPrediction::new(self.icp_graph.p_values(&scores_from_proba(proba.row(0))))
             }
             FusionStrategy::TabularOnly => {
                 let proba = self.tabular_clf.predict_proba(&tab_t);
@@ -575,9 +575,7 @@ impl NoodleDetector {
                 let early = Tensor::from_vec(vec![1, 1, GRAPH_DIM + TABULAR_DIM], row)
                     .expect("concatenation length is fixed");
                 let proba = self.early_clf.predict_proba(&early);
-                ConformalPrediction::new(
-                    self.icp_early.p_values(&scores_from_proba(proba.row(0))),
-                )
+                ConformalPrediction::new(self.icp_early.p_values(&scores_from_proba(proba.row(0))))
             }
             FusionStrategy::LateFusion => {
                 let pg = {
@@ -588,9 +586,8 @@ impl NoodleDetector {
                     let proba = self.tabular_clf.predict_proba(&tab_t);
                     self.icp_tabular.p_values(&scores_from_proba(proba.row(0)))
                 };
-                let fused: Vec<f64> = (0..2)
-                    .map(|c| self.config.combiner.combine(&[pg[c], pt[c]]))
-                    .collect();
+                let fused: Vec<f64> =
+                    (0..2).map(|c| self.config.combiner.combine(&[pg[c], pt[c]])).collect();
                 ConformalPrediction::new(fused)
             }
         }
@@ -661,6 +658,11 @@ fn calibrate(
     inputs: &Tensor,
     labels: &[usize],
 ) -> Result<MondrianIcp, PipelineError> {
+    let _span = noodle_telemetry::span!(
+        "icp.calibrate",
+        modality = clf.modality_name(),
+        samples = labels.len(),
+    );
     let proba = clf.predict_proba(inputs);
     let scores: Vec<(f32, usize)> = labels
         .iter()
@@ -693,11 +695,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn fitted() -> NoodleDetector {
-        let corpus = generate_corpus(&CorpusConfig {
-            trojan_free: 14,
-            trojan_infected: 7,
-            seed: 11,
-        });
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
         let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap()
@@ -717,20 +716,14 @@ mod tests {
         for &p in eval.graph_probs.iter().chain(&eval.late_probs) {
             assert!((0.0..=1.0).contains(&p), "prob {p}");
         }
-        assert!(matches!(
-            eval.winner,
-            FusionStrategy::EarlyFusion | FusionStrategy::LateFusion
-        ));
+        assert!(matches!(eval.winner, FusionStrategy::EarlyFusion | FusionStrategy::LateFusion));
     }
 
     #[test]
     fn detect_classifies_new_designs() {
         let mut det = fitted();
-        let probe = generate_corpus(&CorpusConfig {
-            trojan_free: 1,
-            trojan_infected: 1,
-            seed: 999,
-        });
+        let probe =
+            generate_corpus(&CorpusConfig { trojan_free: 1, trojan_infected: 1, seed: 999 });
         for bench in &probe {
             let d = det.detect(&bench.source).unwrap();
             assert!((0.0..=1.0).contains(&d.probability_infected));
@@ -749,11 +742,7 @@ mod tests {
     #[test]
     fn all_strategies_produce_decisions() {
         let mut det = fitted();
-        let probe = generate_corpus(&CorpusConfig {
-            trojan_free: 1,
-            trojan_infected: 0,
-            seed: 5,
-        });
+        let probe = generate_corpus(&CorpusConfig { trojan_free: 1, trojan_infected: 0, seed: 5 });
         for strategy in FusionStrategy::ALL {
             let d = det.detect_with_strategy(&probe[0].source, strategy).unwrap();
             assert_eq!(d.strategy, strategy);
@@ -778,8 +767,7 @@ mod tests {
 
     #[test]
     fn rejects_tiny_dataset() {
-        let corpus =
-            generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 1, seed: 1 });
+        let corpus = generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 1, seed: 1 });
         let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).is_err());
@@ -787,11 +775,8 @@ mod tests {
 
     #[test]
     fn holdout_protocol_tests_only_real_designs() {
-        let corpus = generate_corpus(&CorpusConfig {
-            trojan_free: 14,
-            trojan_infected: 7,
-            seed: 21,
-        });
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 21 });
         let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let config = NoodleConfig { holdout_real_test: true, ..NoodleConfig::fast() };
@@ -814,11 +799,8 @@ mod tests {
     #[test]
     fn detector_json_round_trip_preserves_decisions() {
         let mut det = fitted();
-        let probe = generate_corpus(&CorpusConfig {
-            trojan_free: 2,
-            trojan_infected: 1,
-            seed: 777,
-        });
+        let probe =
+            generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 1, seed: 777 });
         let json = det.to_json().unwrap();
         let mut restored = NoodleDetector::from_json(&json).unwrap();
         for bench in &probe {

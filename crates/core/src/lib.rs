@@ -48,13 +48,11 @@ mod error;
 mod normalize;
 
 pub use amplify::amplify_dataset;
-pub use crossval::{cross_validate, CrossValidation, FoldReport};
 pub use classifier::{ModalityClassifier, ModalityKind};
+pub use crossval::{cross_validate, CrossValidation, FoldReport};
 pub use dataset::{
     extract_modalities, MultimodalDataset, MultimodalSample, Split, GRAPH_DIM, TABULAR_DIM,
 };
-pub use detector::{
-    Detection, EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector,
-};
+pub use detector::{Detection, EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector};
 pub use error::PipelineError;
 pub use normalize::ZScore;

@@ -68,6 +68,12 @@ impl ModalityImputer {
         assert!(n > 0, "cannot train an imputer on zero samples");
         assert_eq!(n, target.shape()[0], "source/target row mismatch");
         let (da, db) = (source.shape()[1], target.shape()[1]);
+        let _span = noodle_telemetry::span!(
+            "gan.imputer.train",
+            samples = n,
+            source_dim = da,
+            target_dim = db,
+        );
 
         let source_scaler = MinMaxScaler::fit(source);
         let target_scaler = MinMaxScaler::fit(target);

@@ -45,13 +45,7 @@ impl MinMaxScaler {
     ///
     /// Panics if the feature count disagrees with the fitted dimension.
     pub fn transform(&self, data: &Tensor) -> Tensor {
-        self.apply(data, |v, lo, hi| {
-            if hi > lo {
-                2.0 * (v - lo) / (hi - lo) - 1.0
-            } else {
-                0.0
-            }
-        })
+        self.apply(data, |v, lo, hi| if hi > lo { 2.0 * (v - lo) / (hi - lo) - 1.0 } else { 0.0 })
     }
 
     /// Maps scaled data back to the original feature ranges.
@@ -90,8 +84,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let data =
-            Tensor::from_vec(vec![3, 2], vec![0.0, 10.0, 5.0, 20.0, 10.0, 30.0]).unwrap();
+        let data = Tensor::from_vec(vec![3, 2], vec![0.0, 10.0, 5.0, 20.0, 10.0, 30.0]).unwrap();
         let scaler = MinMaxScaler::fit(&data);
         let scaled = scaler.transform(&data);
         assert!(scaled.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));

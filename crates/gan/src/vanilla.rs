@@ -66,6 +66,12 @@ impl VanillaGan {
         let n = data.shape()[0];
         assert!(n > 0, "cannot train a GAN on zero samples");
         let d = data.shape()[1];
+        let _span = noodle_telemetry::span!(
+            "gan.train",
+            samples = n,
+            features = d,
+            epochs = config.epochs,
+        );
         let scaler = MinMaxScaler::fit(data);
         let scaled = scaler.transform(data);
 
@@ -102,14 +108,12 @@ impl VanillaGan {
                 // --- Discriminator step -------------------------------
                 discriminator.zero_grad();
                 let real_logits = discriminator.forward(&real, Mode::Train);
-                let real_loss =
-                    binary_cross_entropy_with_logits(&real_logits, &vec![0.9; b]);
+                let real_loss = binary_cross_entropy_with_logits(&real_logits, &vec![0.9; b]);
                 discriminator.backward(&real_loss.grad);
                 let z = Tensor::randn(&[b, config.latent_dim], 1.0, rng);
                 let fake = generator.forward(&z, Mode::Eval);
                 let fake_logits = discriminator.forward(&fake, Mode::Train);
-                let fake_loss =
-                    binary_cross_entropy_with_logits(&fake_logits, &vec![0.0; b]);
+                let fake_loss = binary_cross_entropy_with_logits(&fake_logits, &vec![0.0; b]);
                 discriminator.backward(&fake_loss.grad);
                 opt_d.step(&mut discriminator.params_mut());
                 d_loss_sum += real_loss.loss + fake_loss.loss;
@@ -127,21 +131,17 @@ impl VanillaGan {
                 g_loss_sum += g_loss.loss;
                 batches += 1;
             }
-            trace.push(GanEpoch {
-                epoch,
-                d_loss: d_loss_sum / batches.max(1) as f32,
-                g_loss: g_loss_sum / batches.max(1) as f32,
-            });
+            let d_loss = d_loss_sum / batches.max(1) as f32;
+            let g_loss = g_loss_sum / batches.max(1) as f32;
+            noodle_telemetry::counter_add("gan.epochs", 1);
+            noodle_telemetry::gauge_set("gan.d_loss", d_loss as f64);
+            noodle_telemetry::gauge_set("gan.g_loss", g_loss as f64);
+            noodle_telemetry::histogram_record("gan.d_loss", d_loss as f64);
+            noodle_telemetry::histogram_record("gan.g_loss", g_loss as f64);
+            trace.push(GanEpoch { epoch, d_loss, g_loss });
         }
 
-        Self {
-            generator,
-            discriminator,
-            scaler,
-            latent_dim: config.latent_dim,
-            data_dim: d,
-            trace,
-        }
+        Self { generator, discriminator, scaler, latent_dim: config.latent_dim, data_dim: d, trace }
     }
 
     /// Number of features per sample.

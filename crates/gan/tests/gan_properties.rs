@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Tensor> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Tensor> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-100.0f32..100.0, r * c)
             .prop_map(move |data| Tensor::from_vec(vec![r, c], data).expect("sized"))

@@ -138,6 +138,8 @@ impl CircuitGraph {
 /// Unknown identifiers referenced in expressions (e.g. parameters) become
 /// [`NodeKind::Wire`] nodes so the graph is always closed.
 pub fn build_graph(module: &Module) -> CircuitGraph {
+    let _timer = noodle_telemetry::time_histogram("graph.build_us");
+    noodle_telemetry::counter_add("graph.builds", 1);
     let mut g = CircuitGraph::default();
 
     // 1. Ports first: stable node order helps the embedding.
@@ -300,10 +302,7 @@ mod tests {
         );
         let s = g.node_index("s").unwrap();
         let y = g.node_index("y").unwrap();
-        assert!(g
-            .edges()
-            .iter()
-            .any(|e| e.from == s && e.to == y && e.kind == EdgeKind::Control));
+        assert!(g.edges().iter().any(|e| e.from == s && e.to == y && e.kind == EdgeKind::Control));
         // a and b are data parents of y.
         assert_eq!(g.in_degrees()[y], 3);
     }

@@ -86,6 +86,7 @@ fn kind_rank(kind: NodeKind) -> usize {
 /// and target in bucket `c`; the image is then normalized to `[0, 1]` by
 /// its maximum cell (so circuits of different sizes are comparable).
 pub fn graph_image(graph: &CircuitGraph) -> GraphImage {
+    let _timer = noodle_telemetry::time_histogram("graph.image_us");
     graph_image_with_size(graph, IMAGE_SIZE)
 }
 
@@ -233,8 +234,8 @@ mod tests {
 
     #[test]
     fn sized_embedding_scales() {
-        let file = parse("module m(input a, input b, output y); assign y = a & b; endmodule")
-            .unwrap();
+        let file =
+            parse("module m(input a, input b, output y); assign y = a & b; endmodule").unwrap();
         let g = build_graph(&file.modules[0]);
         for size in [1usize, 4, 8, 24] {
             let img = graph_image_with_size(&g, size);

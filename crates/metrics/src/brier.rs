@@ -41,8 +41,7 @@ pub fn brier_score(probabilities: &[f64], outcomes: &[bool]) -> f64 {
 /// Panics under the same conditions as [`brier_score`].
 pub fn brier_skill_score(probabilities: &[f64], outcomes: &[bool]) -> f64 {
     let bs = brier_score(probabilities, outcomes);
-    let base_rate =
-        outcomes.iter().filter(|&&o| o).count() as f64 / outcomes.len() as f64;
+    let base_rate = outcomes.iter().filter(|&&o| o).count() as f64 / outcomes.len() as f64;
     let reference: Vec<f64> = vec![base_rate; outcomes.len()];
     let bs_ref = brier_score(&reference, outcomes);
     if bs_ref == 0.0 {

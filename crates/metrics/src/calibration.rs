@@ -98,8 +98,7 @@ pub fn calibration_curve(
         });
     }
     let mean_p = probabilities.iter().sum::<f64>() / n;
-    let sharpness =
-        probabilities.iter().map(|&p| (p - mean_p) * (p - mean_p)).sum::<f64>() / n;
+    let sharpness = probabilities.iter().map(|&p| (p - mean_p) * (p - mean_p)).sum::<f64>() / n;
     CalibrationCurve { bins: out_bins, expected_calibration_error: ece, sharpness }
 }
 

@@ -85,10 +85,7 @@ impl Activation {
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cached = self
-            .cached
-            .as_ref()
-            .expect("Activation::backward called before forward");
+        let cached = self.cached.as_ref().expect("Activation::backward called before forward");
         match self.kind {
             ActivationKind::Relu => {
                 cached.zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })

@@ -75,8 +75,7 @@ impl BatchNorm1d {
                         var[c] += d * d / batch as f32;
                     }
                 }
-                let std_inv: Vec<f32> =
-                    var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+                let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
                 let mut normalized = Tensor::zeros(&[batch, features]);
                 {
                     let n = normalized.data_mut();
@@ -102,8 +101,8 @@ impl BatchNorm1d {
                 for r in 0..batch {
                     for c in 0..features {
                         let idx = r * features + c;
-                        let n = (x[idx] - self.running_mean[c])
-                            / (self.running_var[c] + EPS).sqrt();
+                        let n =
+                            (x[idx] - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
                         o[idx] = self.gamma.data()[c] * n + self.beta.data()[c];
                     }
                 }
@@ -114,10 +113,8 @@ impl BatchNorm1d {
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BatchNorm1d::backward called before a training forward");
+        let cache =
+            self.cache.as_ref().expect("BatchNorm1d::backward called before a training forward");
         let (batch, features) = (grad_output.shape()[0], grad_output.shape()[1]);
         let go = grad_output.data();
         let n = cache.normalized.data();
@@ -166,8 +163,8 @@ mod tests {
     #[test]
     fn train_output_is_standardized() {
         let mut bn = BatchNorm1d::new(2);
-        let x = Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
         let y = bn.forward(&x, Mode::Train);
         for c in 0..2 {
             let col: Vec<f32> = (0..4).map(|r| y.at(&[r, c])).collect();

@@ -114,10 +114,7 @@ impl Conv1d {
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Conv1d::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Conv1d::backward called before forward");
         let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let out_len = self.output_len(len);

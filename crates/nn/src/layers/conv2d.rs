@@ -123,10 +123,7 @@ impl Conv2d {
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Conv2d::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Conv2d::backward called before forward");
         let (batch, cin, h, w) =
             (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);

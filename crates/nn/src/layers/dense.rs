@@ -78,10 +78,7 @@ impl Dense {
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
+        let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = dY^T X ; db = sum over batch ; dX = dY W
         self.grad_weight.axpy(1.0, &grad_output.transpose().matmul(input));
         let (batch, out_f) = (grad_output.shape()[0], grad_output.shape()[1]);

@@ -22,16 +22,11 @@ impl Flatten {
         self.cached_shape = Some(input.shape().to_vec());
         let batch = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
-        input
-            .reshape(&[batch, rest])
-            .expect("flatten reshape cannot change the element count")
+        input.reshape(&[batch, rest]).expect("flatten reshape cannot change the element count")
     }
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .cached_shape
-            .as_ref()
-            .expect("Flatten::backward called before forward");
+        let shape = self.cached_shape.as_ref().expect("Flatten::backward called before forward");
         grad_output
             .reshape(shape)
             .expect("flatten backward reshape cannot change the element count")

@@ -42,8 +42,8 @@ pub mod optim;
 mod tensor;
 
 pub use layers::{
-    sigmoid, softmax_rows, Activation, ActivationKind, BatchNorm1d, Conv1d, Conv2d, Dense,
-    Dropout, Flatten, Layer, MaxPool1d, MaxPool2d, Mode, ParamMut,
+    sigmoid, softmax_rows, Activation, ActivationKind, BatchNorm1d, Conv1d, Conv2d, Dense, Dropout,
+    Flatten, Layer, MaxPool1d, MaxPool2d, Mode, ParamMut,
 };
 pub use model::{fit_classifier, EpochStats, Sequential, TrainConfig};
 pub use optim::{Adam, Sgd};

@@ -154,6 +154,12 @@ pub fn fit_classifier<R: Rng + ?Sized>(
     let n = labels.len();
     assert!(n > 0, "cannot train on an empty dataset");
     assert_eq!(inputs.shape()[0], n, "inputs and labels disagree on sample count");
+    let _span = noodle_telemetry::span!(
+        "nn.fit",
+        samples = n,
+        epochs = config.epochs,
+        batch_size = config.batch_size,
+    );
     let batch_size = config.batch_size.clamp(1, n);
     let mut opt = Adam::new(config.lr);
     let mut order: Vec<usize> = (0..n).collect();
@@ -173,7 +179,11 @@ pub fn fit_classifier<R: Rng + ?Sized>(
             epoch_loss += out.loss;
             batches += 1;
         }
-        trace.push(EpochStats { epoch, loss: epoch_loss / batches.max(1) as f32 });
+        let mean_loss = epoch_loss / batches.max(1) as f32;
+        noodle_telemetry::counter_add("nn.epochs", 1);
+        noodle_telemetry::gauge_set("nn.epoch_loss", mean_loss as f64);
+        noodle_telemetry::histogram_record("nn.epoch_loss", mean_loss as f64);
+        trace.push(EpochStats { epoch, loss: mean_loss });
     }
     trace
 }
@@ -199,11 +209,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn xor_data() -> (Tensor, Vec<usize>) {
-        let x = Tensor::from_vec(
-            vec![4, 2],
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![4, 2], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         (x, vec![0, 1, 1, 0])
     }
 

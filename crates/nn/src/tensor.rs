@@ -608,8 +608,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn(&[10_000], 1.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / (t.len() as f32 - 1.0);
+        let var =
+            t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / (t.len() as f32 - 1.0);
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

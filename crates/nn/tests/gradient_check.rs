@@ -28,8 +28,7 @@ fn check_param_grads(net: &mut Sequential, x: &Tensor, labels: &[usize]) {
     net.backward(&out.grad);
 
     // Snapshot analytic gradients.
-    let analytic: Vec<Vec<f32>> =
-        net.params_mut().iter().map(|p| p.grad.data().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> = net.params_mut().iter().map(|p| p.grad.data().to_vec()).collect();
 
     for (pi, grads) in analytic.iter().enumerate() {
         for j in 0..grads.len() {

@@ -118,6 +118,8 @@ impl TabularFeatures {
 
 /// Extracts the code-branching feature vector of a module.
 pub fn extract_features(module: &Module) -> TabularFeatures {
+    let _timer = noodle_telemetry::time_histogram("tabular.extract_us");
+    noodle_telemetry::counter_add("tabular.extractions", 1);
     let mut f = TabularFeatures::default();
 
     for port in module.resolved_ports() {
@@ -247,8 +249,7 @@ fn note_self_increment(f: &mut TabularFeatures, lhs: &LValue, rhs: &Expr) {
     if let Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: b } = rhs {
         let reads_self = matches!(&**a, Expr::Ident(n) if n == target)
             || matches!(&**b, Expr::Ident(n) if n == target);
-        let adds_const =
-            matches!(&**a, Expr::Literal(_)) || matches!(&**b, Expr::Literal(_));
+        let adds_const = matches!(&**a, Expr::Literal(_)) || matches!(&**b, Expr::Literal(_));
         if reads_self && adds_const {
             f.self_increment_regs += 1.0;
         }
@@ -317,9 +318,8 @@ mod tests {
 
     #[test]
     fn counts_ports_and_bits() {
-        let f = features_of(
-            "module m(input clk, input [7:0] d, output [3:0] q, output v); endmodule",
-        );
+        let f =
+            features_of("module m(input clk, input [7:0] d, output [3:0] q, output v); endmodule");
         assert_eq!(f.inputs, 2.0);
         assert_eq!(f.outputs, 2.0);
         assert_eq!(f.input_bits, 9.0);
@@ -328,9 +328,7 @@ mod tests {
 
     #[test]
     fn counts_declarations() {
-        let f = features_of(
-            "module m; wire a, b; reg [7:0] r1; reg r2; integer i; endmodule",
-        );
+        let f = features_of("module m; wire a, b; reg [7:0] r1; reg r2; integer i; endmodule");
         assert_eq!(f.wires, 2.0);
         assert_eq!(f.regs, 3.0); // r1, r2, i
         assert_eq!(f.reg_bits, 10.0);

@@ -1,0 +1,205 @@
+//! Metrics: monotonic counters, last-value gauges and fixed-bucket
+//! histograms, all keyed by name in a global registry.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{enabled, registry};
+
+/// A fixed-bucket histogram with `len(bounds) + 1` buckets.
+///
+/// Bucket `i` counts values `v` with `v <= bounds[i]` (and
+/// `v > bounds[i - 1]` for `i > 0`); the final bucket counts values above
+/// every bound. Bounds are sorted ascending at construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (one more than `bounds` for overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation, if any.
+    pub min: Option<f64>,
+    /// Largest observation, if any.
+    pub max: Option<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.total_cmp(b));
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Self { bounds, counts, count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    /// Default bounds: a 1–2–5 logarithmic ladder from 1e-6 to 1e9, wide
+    /// enough for losses, probabilities and microsecond latencies alike.
+    pub fn default_bounds() -> Vec<f64> {
+        let mut bounds = Vec::with_capacity(48);
+        let mut decade = 1e-6;
+        while decade < 1e10 {
+            for mult in [1.0, 2.0, 5.0] {
+                bounds.push(decade * mult);
+            }
+            decade *= 10.0;
+        }
+        bounds
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Mean of the observations, or `None` before the first one.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// A point-in-time copy of every metric and finished root span.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Finished root spans (each the root of a stage-timing tree).
+    pub spans: Vec<crate::SpanRecord>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when telemetry is
+/// disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value`. Non-finite values are ignored; no-op
+/// when telemetry is disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() || !value.is_finite() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    reg.gauges.insert(name.to_string(), value);
+}
+
+/// Records `value` into the named histogram, creating it with
+/// [`Histogram::default_bounds`] on first use. No-op when telemetry is
+/// disabled.
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    reg.histograms
+        .entry(name.to_string())
+        .or_insert_with(|| Histogram::new(&Histogram::default_bounds()))
+        .record(value);
+}
+
+/// Creates (or replaces) the named histogram with explicit bucket bounds.
+/// No-op when telemetry is disabled.
+pub fn register_histogram(name: &str, bounds: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    reg.histograms.insert(name.to_string(), Histogram::new(bounds));
+}
+
+/// RAII timer: on drop, records the elapsed wall-clock time in
+/// **microseconds** into the named histogram. Created disarmed (zero cost)
+/// when telemetry is disabled.
+#[must_use = "a timer measures the scope that holds it"]
+pub struct TimerGuard {
+    inner: Option<(std::time::Instant, &'static str)>,
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        if let Some((start, name)) = self.inner.take() {
+            histogram_record(name, start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Starts a [`TimerGuard`] recording into histogram `name` (microseconds).
+pub fn time_histogram(name: &'static str) -> TimerGuard {
+    if !enabled() {
+        return TimerGuard { inner: None };
+    }
+    TimerGuard { inner: Some((std::time::Instant::now(), name)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::new(&[1.0, 2.0, 5.0]);
+        h.record(0.5); // <= 1.0        -> bucket 0
+        h.record(1.0); // == bound      -> bucket 0 (inclusive)
+        h.record(1.5); // (1, 2]        -> bucket 1
+        h.record(2.0); // == bound      -> bucket 1
+        h.record(5.0); // == last bound -> bucket 2
+        h.record(9.0); // above all     -> overflow bucket
+        assert_eq!(h.counts, vec![2, 2, 1, 1]);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, Some(0.5));
+        assert_eq!(h.max, Some(9.0));
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn bounds_are_sorted_and_deduped() {
+        let h = Histogram::new(&[5.0, 1.0, 5.0, f64::INFINITY]);
+        assert_eq!(h.bounds, vec![1.0, 5.0]);
+        assert_eq!(h.counts.len(), 3);
+    }
+
+    #[test]
+    fn default_bounds_are_ascending() {
+        let bounds = Histogram::default_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(bounds.first().unwrap() <= &1e-6);
+        assert!(bounds.last().unwrap() >= &1e9);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = Histogram::new(&[10.0]);
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.mean(), Some(3.0));
+    }
+}

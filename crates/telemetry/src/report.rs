@@ -1,0 +1,208 @@
+//! The end-of-run report: a serde-serializable summary of one pipeline run
+//! (stage-timing tree, metric snapshots, corpus stats, winner strategy),
+//! written to a JSON file by `noodle --report <path>`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Histogram, TelemetrySnapshot};
+use crate::span::SpanRecord;
+
+/// Corpus composition statistics, mirrored from `bench_gen::CorpusStats`
+/// (redeclared here so the telemetry crate stays a leaf dependency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSummary {
+    /// Total number of designs.
+    pub total: usize,
+    /// Number of Trojan-free designs.
+    pub trojan_free: usize,
+    /// Number of Trojan-infected designs.
+    pub trojan_infected: usize,
+    /// Mean source length in lines.
+    pub mean_lines: f64,
+    /// Number of distinct (trigger, payload) combinations present.
+    pub distinct_trojans: usize,
+}
+
+/// Outcome of the fusion-strategy competition captured during training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationSummary {
+    /// The winning fusion strategy, e.g. `"LateFusion"`.
+    pub winner: String,
+    /// Brier score per strategy.
+    pub brier: BTreeMap<String, f64>,
+}
+
+/// A complete end-of-run summary, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Version of the noodle workspace that produced the report.
+    pub tool_version: String,
+    /// The command that ran (`"train"`, `"gen-corpus"`, ...).
+    pub command: String,
+    /// Stage-timing trees, one per root span, in completion order.
+    pub stages: Vec<SpanRecord>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Corpus composition, when the run generated or consumed a corpus.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub corpus: Option<CorpusSummary>,
+    /// Fusion competition outcome, when the run trained a detector.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub evaluation: Option<EvaluationSummary>,
+}
+
+impl RunReport {
+    /// Builds a report from a telemetry snapshot.
+    pub fn from_snapshot(command: &str, snapshot: TelemetrySnapshot) -> Self {
+        Self {
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            command: command.to_string(),
+            stages: snapshot.spans,
+            counters: snapshot.counters,
+            gauges: snapshot.gauges,
+            histograms: snapshot.histograms,
+            corpus: None,
+            evaluation: None,
+        }
+    }
+
+    /// Total wall-clock time across the root stages, in nanoseconds.
+    pub fn total_duration_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.duration_ns).sum()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a report previously produced by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if `json` is not a valid report.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the report as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` if serialization or the write fails.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut histograms = BTreeMap::new();
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(42.0);
+        histograms.insert("nn.epoch_loss".to_string(), h);
+        RunReport {
+            tool_version: "0.1.0".into(),
+            command: "train".into(),
+            stages: vec![SpanRecord {
+                name: "train".into(),
+                attrs: vec![("corpus_seed".into(), "3".into())],
+                start_ns: 10,
+                duration_ns: 5_000,
+                children: vec![SpanRecord {
+                    name: "cnn.fit".into(),
+                    attrs: vec![("modality".into(), "graph".into())],
+                    start_ns: 20,
+                    duration_ns: 3_000,
+                    children: Vec::new(),
+                }],
+            }],
+            counters: BTreeMap::from([("verilog.parse_calls".to_string(), 15)]),
+            gauges: BTreeMap::from([("brier.late".to_string(), 0.08)]),
+            histograms,
+            corpus: Some(CorpusSummary {
+                total: 15,
+                trojan_free: 10,
+                trojan_infected: 5,
+                mean_lines: 80.5,
+                distinct_trojans: 4,
+            }),
+            evaluation: Some(EvaluationSummary {
+                winner: "LateFusion".into(),
+                brier: BTreeMap::from([("LateFusion".to_string(), 0.08)]),
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample_report();
+        let json = report.to_json().unwrap();
+        let restored = RunReport::from_json(&json).unwrap();
+        assert_eq!(report, restored);
+    }
+
+    #[test]
+    fn golden_schema_keys_are_stable() {
+        // Downstream tooling parses these field names; changing them is a
+        // breaking schema change and must update this test deliberately.
+        let json = sample_report().to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        for key in [
+            "tool_version",
+            "command",
+            "stages",
+            "counters",
+            "gauges",
+            "histograms",
+            "corpus",
+            "evaluation",
+        ] {
+            assert!(value.get(key).is_some(), "missing top-level key `{key}`");
+        }
+        let stage = &value["stages"][0];
+        for key in ["name", "attrs", "start_ns", "duration_ns", "children"] {
+            assert!(stage.get(key).is_some(), "missing span key `{key}`");
+        }
+        let hist = &value["histograms"]["nn.epoch_loss"];
+        for key in ["bounds", "counts", "count", "sum", "min", "max"] {
+            assert!(hist.get(key).is_some(), "missing histogram key `{key}`");
+        }
+        assert_eq!(value["evaluation"]["winner"], "LateFusion");
+        assert_eq!(value["corpus"]["total"], 15);
+    }
+
+    #[test]
+    fn optional_sections_are_omitted_when_absent() {
+        let report = RunReport::from_snapshot("detect", TelemetrySnapshot::default());
+        let json = report.to_json().unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("corpus").is_none());
+        assert!(value.get("evaluation").is_none());
+        // And they default to None on the way back in.
+        let restored = RunReport::from_json(&json).unwrap();
+        assert_eq!(restored.corpus, None);
+    }
+
+    #[test]
+    fn total_duration_sums_roots() {
+        let report = sample_report();
+        assert_eq!(report.total_duration_ns(), 5_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hierarchical spans with wall-clock timing and key/value attributes.
+//!
+//! Spans nest through a per-thread stack: opening a span while another is
+//! active makes it a child of the active one. When a span closes its record
+//! is attached to its parent (or, for root spans, submitted to the global
+//! collector) and streamed to the configured [`crate::Sink`].
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{enabled, epoch, registry, with_sink};
+
+/// A finished span: name, attributes, timing and nested children.
+///
+/// Durations are wall-clock nanoseconds; `start_ns` is the offset from the
+/// telemetry epoch (the first instant the telemetry layer was touched), so
+/// records from one run share a common timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name, dotted by convention (`"cnn.fit"`).
+    pub name: String,
+    /// Key/value attributes attached at open time.
+    pub attrs: Vec<(String, String)>,
+    /// Start offset from the telemetry epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub duration_ns: u64,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Total duration of the direct children, in nanoseconds.
+    ///
+    /// Children run strictly inside their parent, so this never exceeds
+    /// [`SpanRecord::duration_ns`] beyond clock granularity.
+    pub fn child_time_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.duration_ns).sum()
+    }
+
+    /// Time spent in this span but not in any direct child, in nanoseconds.
+    pub fn self_time_ns(&self) -> u64 {
+        self.duration_ns.saturating_sub(self.child_time_ns())
+    }
+
+    /// Depth-first search for the first descendant (or self) with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// A span that has been opened but not yet closed.
+struct PendingSpan {
+    name: String,
+    attrs: Vec<(String, String)>,
+    start: Instant,
+    start_ns: u64,
+    children: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<PendingSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`crate::span!`] / [`start_span`]; closing (by
+/// drop) records the span.
+///
+/// Guards must be dropped in reverse open order (the natural scoping
+/// behaviour); interleaved drops would attach children to the wrong parent.
+#[must_use = "a span measures the scope that holds its guard"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing on drop, used when telemetry is disabled.
+    pub fn disabled() -> Self {
+        Self { armed: false }
+    }
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro, which skips attribute
+/// formatting entirely when telemetry is disabled.
+pub fn start_span(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let start = Instant::now();
+    let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    SPAN_STACK.with(|stack| {
+        stack.borrow_mut().push(PendingSpan {
+            name: name.to_string(),
+            attrs,
+            start,
+            start_ns,
+            children: Vec::new(),
+        });
+    });
+    SpanGuard { armed: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let closed = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let pending = stack.pop()?;
+            let record = SpanRecord {
+                duration_ns: pending.start.elapsed().as_nanos() as u64,
+                name: pending.name,
+                attrs: pending.attrs,
+                start_ns: pending.start_ns,
+                children: pending.children,
+            };
+            let depth = stack.len();
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(record.clone());
+            }
+            Some((record, depth))
+        });
+        if let Some((record, depth)) = closed {
+            if depth == 0 {
+                registry().lock().expect("telemetry registry poisoned").spans.push(record.clone());
+            }
+            with_sink(|sink| sink.span_closed(&record, depth));
+        }
+    }
+}
+
+/// Formats a nanosecond duration for humans (`412ns`, `3.1us`, `27ms`,
+/// `1.42s`).
+pub fn format_duration_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str, duration_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            attrs: Vec::new(),
+            start_ns: 0,
+            duration_ns,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn child_and_self_time() {
+        let mut root = leaf("root", 100);
+        root.children.push(leaf("a", 30));
+        root.children.push(leaf("b", 50));
+        assert_eq!(root.child_time_ns(), 80);
+        assert_eq!(root.self_time_ns(), 20);
+    }
+
+    #[test]
+    fn self_time_saturates() {
+        let mut root = leaf("root", 10);
+        root.children.push(leaf("a", 30));
+        assert_eq!(root.self_time_ns(), 0);
+    }
+
+    #[test]
+    fn find_walks_the_tree() {
+        let mut root = leaf("root", 100);
+        let mut mid = leaf("mid", 60);
+        mid.children.push(leaf("deep", 20));
+        root.children.push(mid);
+        assert_eq!(root.find("deep").unwrap().duration_ns, 20);
+        assert!(root.find("missing").is_none());
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(format_duration_ns(412), "412ns");
+        assert_eq!(format_duration_ns(3_100), "3.1us");
+        assert_eq!(format_duration_ns(27_000_000), "27.0ms");
+        assert_eq!(format_duration_ns(1_420_000_000), "1.42s");
+    }
+}

@@ -1,0 +1,196 @@
+//! Integration tests exercising the global collector: span nesting and
+//! timing, concurrent metric updates, sinks, and the disabled fast path.
+//!
+//! The collector is process-global and `cargo test` runs tests in parallel
+//! threads, so every test here serializes on [`lock`] and resets the
+//! registry before running. Span trees stay per-thread (the span stack is
+//! thread-local), so only the shared registry/sink need the discipline.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use noodle_telemetry as telemetry;
+use noodle_telemetry::span;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    telemetry::set_sink(Box::new(telemetry::NullSink));
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    guard
+}
+
+#[test]
+fn spans_nest_and_durations_are_monotonic() {
+    let _guard = lock();
+    {
+        let _root = span!("root", run = 1);
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _child = span!("child");
+            std::thread::sleep(Duration::from_millis(2));
+            let _grandchild = span!("grandchild");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let _sibling = span!("sibling");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let snapshot = telemetry::snapshot();
+    assert_eq!(snapshot.spans.len(), 1, "one root span");
+    let root = &snapshot.spans[0];
+    assert_eq!(root.name, "root");
+    assert_eq!(root.attrs, vec![("run".to_string(), "1".to_string())]);
+    assert_eq!(root.children.len(), 2);
+    assert_eq!(root.children[0].name, "child");
+    assert_eq!(root.children[0].children[0].name, "grandchild");
+    assert_eq!(root.children[1].name, "sibling");
+
+    // Timing monotonicity: every child starts no earlier than its parent,
+    // fits inside it, and siblings' summed time never exceeds the parent.
+    fn check(span: &telemetry::SpanRecord) {
+        assert!(span.duration_ns > 0, "{} has zero duration", span.name);
+        for child in &span.children {
+            assert!(child.start_ns >= span.start_ns, "{} starts before parent", child.name);
+            assert!(
+                child.start_ns + child.duration_ns <= span.start_ns + span.duration_ns,
+                "{} ends after parent {}",
+                child.name,
+                span.name
+            );
+            check(child);
+        }
+        assert!(
+            span.child_time_ns() <= span.duration_ns,
+            "children of {} sum past the parent",
+            span.name
+        );
+    }
+    check(root);
+    assert!(root.duration_ns >= Duration::from_millis(6).as_nanos() as u64);
+}
+
+#[test]
+fn sibling_start_times_are_ordered() {
+    let _guard = lock();
+    {
+        let _root = span!("root");
+        for _ in 0..3 {
+            let _child = span!("step");
+        }
+    }
+    let snapshot = telemetry::snapshot();
+    let starts: Vec<u64> = snapshot.spans[0].children.iter().map(|c| c.start_ns).collect();
+    assert_eq!(starts.len(), 3);
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]), "starts not monotonic: {starts:?}");
+}
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let _guard = lock();
+    const THREADS: usize = 8;
+    const INCREMENTS: usize = 1_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..INCREMENTS {
+                    telemetry::counter_add("stress.count", 1);
+                    telemetry::histogram_record("stress.value", 1.0);
+                }
+            });
+        }
+    });
+    let snapshot = telemetry::snapshot();
+    assert_eq!(snapshot.counters["stress.count"], (THREADS * INCREMENTS) as u64);
+    assert_eq!(snapshot.histograms["stress.value"].count, (THREADS * INCREMENTS) as u64);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = lock();
+    telemetry::set_enabled(false);
+    fn expensive_attr() -> String {
+        panic!("attribute evaluated while disabled")
+    }
+    {
+        // Attribute expressions must not even be evaluated when disabled.
+        let _span = span!("ghost", expensive = expensive_attr());
+        telemetry::counter_add("ghost.count", 1);
+        telemetry::gauge_set("ghost.gauge", 1.0);
+        telemetry::histogram_record("ghost.hist", 1.0);
+        let _timer = telemetry::time_histogram("ghost.timer_us");
+    }
+    let snapshot = telemetry::snapshot();
+    assert!(snapshot.spans.is_empty());
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+    assert!(snapshot.histograms.is_empty());
+    telemetry::set_enabled(true);
+}
+
+#[test]
+fn memory_sink_sees_every_close_with_depth() {
+    let _guard = lock();
+    let sink = telemetry::MemorySink::new();
+    telemetry::set_sink(Box::new(sink.clone()));
+    {
+        let _root = span!("outer");
+        let _child = span!("inner");
+    }
+    let records = sink.records();
+    telemetry::set_sink(Box::new(telemetry::NullSink));
+    // Children close first.
+    assert_eq!(records.len(), 2);
+    assert_eq!((records[0].0, records[0].1.name.as_str()), (1, "inner"));
+    assert_eq!((records[1].0, records[1].1.name.as_str()), (0, "outer"));
+    // The root record carries its child tree.
+    assert_eq!(records[1].1.children.len(), 1);
+}
+
+#[test]
+fn gauges_keep_the_last_value_and_reject_nan() {
+    let _guard = lock();
+    telemetry::gauge_set("loss", 0.9);
+    telemetry::gauge_set("loss", 0.4);
+    telemetry::gauge_set("loss", f64::NAN);
+    let snapshot = telemetry::snapshot();
+    assert_eq!(snapshot.gauges["loss"], 0.4);
+}
+
+#[test]
+fn timer_guard_records_microseconds() {
+    let _guard = lock();
+    {
+        let _timer = telemetry::time_histogram("sleep_us");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let snapshot = telemetry::snapshot();
+    let hist = &snapshot.histograms["sleep_us"];
+    assert_eq!(hist.count, 1);
+    assert!(hist.min.unwrap() >= 2_000.0, "expected >= 2000us, got {:?}", hist.min);
+}
+
+#[test]
+fn run_report_reflects_the_snapshot() {
+    let _guard = lock();
+    {
+        let _root = span!("train", corpus_seed = 3);
+        telemetry::counter_add("verilog.parse_calls", 15);
+    }
+    let mut report = telemetry::RunReport::from_snapshot("train", telemetry::snapshot());
+    report.evaluation = Some(telemetry::EvaluationSummary {
+        winner: "LateFusion".into(),
+        brier: [("LateFusion".to_string(), 0.1)].into_iter().collect(),
+    });
+    let json = report.to_json().unwrap();
+    let restored = telemetry::RunReport::from_json(&json).unwrap();
+    assert_eq!(restored, report);
+    assert_eq!(restored.stages[0].name, "train");
+    assert_eq!(restored.counters["verilog.parse_calls"], 15);
+    assert_eq!(restored.total_duration_ns(), restored.stages[0].duration_ns);
+}

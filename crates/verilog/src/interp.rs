@@ -138,13 +138,13 @@ impl Simulator {
                     sim.comb.push(CombProcess::Assign { lhs: lhs.clone(), rhs: rhs.clone() });
                 }
                 Item::Always { event, body } => match event {
-                    EventControl::Star => {
-                        sim.comb.push(CombProcess::Always { body: body.clone() })
-                    }
+                    EventControl::Star => sim.comb.push(CombProcess::Always { body: body.clone() }),
                     EventControl::Events(events) => {
                         if events.iter().any(|e| e.edge.is_some()) {
-                            sim.clocked
-                                .push(ClockedProcess { events: events.clone(), body: body.clone() });
+                            sim.clocked.push(ClockedProcess {
+                                events: events.clone(),
+                                body: body.clone(),
+                            });
                         } else {
                             sim.comb.push(CombProcess::Always { body: body.clone() });
                         }
@@ -369,8 +369,7 @@ impl Simulator {
                                     SimError::new(format!("unknown signal `{name}`"))
                                 })?,
                             );
-                        let updated =
-                            (current & !(1u128 << idx)) | ((value & 1) << idx);
+                        let updated = (current & !(1u128 << idx)) | ((value & 1) << idx);
                         nb.push((name.clone(), updated));
                         Ok(())
                     }
@@ -388,9 +387,9 @@ impl Simulator {
                         nb.push((name.clone(), updated));
                         Ok(())
                     }
-                    LValue::Concat(_) => Err(SimError::new(
-                        "nonblocking concatenation targets are not supported",
-                    )),
+                    LValue::Concat(_) => {
+                        Err(SimError::new("nonblocking concatenation targets are not supported"))
+                    }
                 }
             }
             Stmt::For { init, cond, step, body } => {
@@ -793,10 +792,7 @@ mod tests {
 
     #[test]
     fn instances_rejected() {
-        let file = parse(
-            "module m(input a, output y); sub u0(.i(a), .o(y)); endmodule",
-        )
-        .unwrap();
+        let file = parse("module m(input a, output y); sub u0(.i(a), .o(y)); endmodule").unwrap();
         assert!(Simulator::new(&file.modules[0]).is_err());
     }
 

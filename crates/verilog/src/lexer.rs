@@ -183,9 +183,8 @@ impl<'a> Lexer<'a> {
                     .map_err(|_| self.error(format!("bit width `{prefix}` out of range")))?,
             )
         };
-        let base_char = self
-            .bump()
-            .ok_or_else(|| self.error("unexpected end of input after `'`"))?;
+        let base_char =
+            self.bump().ok_or_else(|| self.error("unexpected end of input after `'`"))?;
         let base = match base_char.to_ascii_lowercase() {
             'b' => NumberBase::Binary,
             'o' => NumberBase::Octal,
@@ -236,9 +235,8 @@ impl<'a> Lexer<'a> {
             match self.bump() {
                 Some('"') => return Ok(TokenKind::Str(s)),
                 Some('\\') => {
-                    let esc = self
-                        .bump()
-                        .ok_or_else(|| ParseError::new("unterminated string", start))?;
+                    let esc =
+                        self.bump().ok_or_else(|| ParseError::new("unterminated string", start))?;
                     s.push(match esc {
                         'n' => '\n',
                         't' => '\t',

@@ -23,6 +23,8 @@ use crate::token::{Keyword, Symbol, Token, TokenKind};
 /// # }
 /// ```
 pub fn parse(source: &str) -> Result<SourceFile, ParseError> {
+    let _timer = noodle_telemetry::time_histogram("verilog.parse_us");
+    noodle_telemetry::counter_add("verilog.parse_calls", 1);
     let tokens = tokenize(source)?;
     Parser { tokens, pos: 0 }.parse_source_file()
 }
@@ -124,11 +126,10 @@ impl Parser {
         }
 
         let mut ports = Vec::new();
-        if self.eat_symbol(Symbol::LParen)
-            && !self.eat_symbol(Symbol::RParen) {
-                ports = self.parse_port_list()?;
-                self.expect_symbol(Symbol::RParen)?;
-            }
+        if self.eat_symbol(Symbol::LParen) && !self.eat_symbol(Symbol::RParen) {
+            ports = self.parse_port_list()?;
+            self.expect_symbol(Symbol::RParen)?;
+        }
         self.expect_symbol(Symbol::Semicolon)?;
 
         while !self.eat_keyword(Keyword::Endmodule) {
@@ -194,8 +195,8 @@ impl Parser {
         let neg = self.eat_symbol(Symbol::Minus);
         match self.bump() {
             TokenKind::Number(n) => {
-                let v = i64::try_from(n.value)
-                    .map_err(|_| self.error("constant exceeds i64 range"))?;
+                let v =
+                    i64::try_from(n.value).map_err(|_| self.error("constant exceeds i64 range"))?;
                 Ok(if neg { -v } else { v })
             }
             other => Err(self.error(format!("expected constant integer, found {other}"))),
@@ -276,11 +277,7 @@ impl Parser {
         self.expect_symbol(Symbol::Assign)?;
         let value = self.parse_expr()?;
         self.expect_symbol(Symbol::Semicolon)?;
-        Ok(if local {
-            Item::Localparam { name, value }
-        } else {
-            Item::Parameter { name, value }
-        })
+        Ok(if local { Item::Localparam { name, value } } else { Item::Parameter { name, value } })
     }
 
     fn parse_instance(&mut self) -> Result<Item, ParseError> {
@@ -370,11 +367,8 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Keyword(Keyword::Begin) => {
                 self.bump();
-                let label = if self.eat_symbol(Symbol::Colon) {
-                    Some(self.expect_ident()?)
-                } else {
-                    None
-                };
+                let label =
+                    if self.eat_symbol(Symbol::Colon) { Some(self.expect_ident()?) } else { None };
                 let mut stmts = Vec::new();
                 while !self.eat_keyword(Keyword::End) {
                     if *self.peek() == TokenKind::Eof {
@@ -730,7 +724,8 @@ mod tests {
 
     #[test]
     fn ternary_and_relational() {
-        let src = "module m(input [7:0] a, output [7:0] y); assign y = a > 8'd5 ? a : 8'd0; endmodule";
+        let src =
+            "module m(input [7:0] a, output [7:0] y); assign y = a > 8'd5 ? a : 8'd0; endmodule";
         let file = parse(src).unwrap();
         let Item::Assign { rhs, .. } = &file.modules[0].items[0] else { panic!() };
         assert!(matches!(rhs, Expr::Ternary { .. }));

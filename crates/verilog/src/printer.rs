@@ -65,9 +65,7 @@ impl Printer {
             self.line(&header);
         } else {
             header.push('(');
-            header.push_str(
-                &m.ports.iter().map(port_text).collect::<Vec<_>>().join(", "),
-            );
+            header.push_str(&m.ports.iter().map(port_text).collect::<Vec<_>>().join(", "));
             header.push_str(");");
             self.line(&header);
         }
@@ -352,12 +350,9 @@ fn expr_text(e: &Expr) -> String {
         Expr::Binary { op, lhs, rhs } => {
             format!("({} {} {})", expr_text(lhs), binary_text(*op), expr_text(rhs))
         }
-        Expr::Ternary { cond, then_expr, else_expr } => format!(
-            "({} ? {} : {})",
-            expr_text(cond),
-            expr_text(then_expr),
-            expr_text(else_expr)
-        ),
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            format!("({} ? {} : {})", expr_text(cond), expr_text(then_expr), expr_text(else_expr))
+        }
         Expr::Concat(parts) => {
             let p: Vec<String> = parts.iter().map(expr_text).collect();
             format!("{{{}}}", p.join(", "))

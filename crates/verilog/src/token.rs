@@ -176,7 +176,7 @@ pub enum Symbol {
     Hash,
     At,
     Question,
-    Assign,        // =
+    Assign,         // =
     NonblockAssign, // <=  (context-dependent with Le; lexed as LeOrNonblock)
     Plus,
     Minus,

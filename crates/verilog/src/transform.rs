@@ -16,11 +16,7 @@ use crate::error::ParseError;
 pub fn rename_signals(module: &Module, rename: &dyn Fn(&str) -> String) -> Module {
     Module {
         name: module.name.clone(),
-        ports: module
-            .ports
-            .iter()
-            .map(|p| Port { name: rename(&p.name), ..p.clone() })
-            .collect(),
+        ports: module.ports.iter().map(|p| Port { name: rename(&p.name), ..p.clone() }).collect(),
         items: module.items.iter().map(|i| rename_item(i, rename)).collect(),
     }
 }
@@ -44,10 +40,9 @@ pub fn rename_item(item: &Item, rename: &dyn Fn(&str) -> String) -> Item {
         Item::Localparam { name, value } => {
             Item::Localparam { name: rename(name), value: rename_expr(value, rename) }
         }
-        Item::Assign { lhs, rhs } => Item::Assign {
-            lhs: rename_lvalue(lhs, rename),
-            rhs: rename_expr(rhs, rename),
-        },
+        Item::Assign { lhs, rhs } => {
+            Item::Assign { lhs: rename_lvalue(lhs, rename), rhs: rename_expr(rhs, rename) }
+        }
         Item::Always { event, body } => Item::Always {
             event: match event {
                 EventControl::Star => EventControl::Star,
@@ -99,14 +94,12 @@ pub fn rename_stmt(stmt: &Stmt, rename: &dyn Fn(&str) -> String) -> Stmt {
                 .collect(),
             default: default.as_ref().map(|d| Box::new(rename_stmt(d, rename))),
         },
-        Stmt::Blocking { lhs, rhs } => Stmt::Blocking {
-            lhs: rename_lvalue(lhs, rename),
-            rhs: rename_expr(rhs, rename),
-        },
-        Stmt::Nonblocking { lhs, rhs } => Stmt::Nonblocking {
-            lhs: rename_lvalue(lhs, rename),
-            rhs: rename_expr(rhs, rename),
-        },
+        Stmt::Blocking { lhs, rhs } => {
+            Stmt::Blocking { lhs: rename_lvalue(lhs, rename), rhs: rename_expr(rhs, rename) }
+        }
+        Stmt::Nonblocking { lhs, rhs } => {
+            Stmt::Nonblocking { lhs: rename_lvalue(lhs, rename), rhs: rename_expr(rhs, rename) }
+        }
         Stmt::For { init, cond, step, body } => Stmt::For {
             init: Box::new(rename_stmt(init, rename)),
             cond: rename_expr(cond, rename),
@@ -125,10 +118,9 @@ pub fn rename_stmt(stmt: &Stmt, rename: &dyn Fn(&str) -> String) -> Stmt {
 pub fn rename_lvalue(lvalue: &LValue, rename: &dyn Fn(&str) -> String) -> LValue {
     match lvalue {
         LValue::Ident(n) => LValue::Ident(rename(n)),
-        LValue::Bit { name, index } => LValue::Bit {
-            name: rename(name),
-            index: Box::new(rename_expr(index, rename)),
-        },
+        LValue::Bit { name, index } => {
+            LValue::Bit { name: rename(name), index: Box::new(rename_expr(index, rename)) }
+        }
         LValue::Part { name, msb, lsb } => {
             LValue::Part { name: rename(name), msb: *msb, lsb: *lsb }
         }
@@ -144,13 +136,10 @@ pub fn rename_expr(expr: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
         Expr::Ident(n) => Expr::Ident(rename(n)),
         Expr::Literal(l) => Expr::Literal(*l),
         Expr::Str(s) => Expr::Str(s.clone()),
-        Expr::Bit { name, index } => Expr::Bit {
-            name: rename(name),
-            index: Box::new(rename_expr(index, rename)),
-        },
-        Expr::Part { name, msb, lsb } => {
-            Expr::Part { name: rename(name), msb: *msb, lsb: *lsb }
+        Expr::Bit { name, index } => {
+            Expr::Bit { name: rename(name), index: Box::new(rename_expr(index, rename)) }
         }
+        Expr::Part { name, msb, lsb } => Expr::Part { name: rename(name), msb: *msb, lsb: *lsb },
         Expr::Unary { op, operand } => {
             Expr::Unary { op: *op, operand: Box::new(rename_expr(operand, rename)) }
         }
@@ -164,9 +153,7 @@ pub fn rename_expr(expr: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
             then_expr: Box::new(rename_expr(then_expr, rename)),
             else_expr: Box::new(rename_expr(else_expr, rename)),
         },
-        Expr::Concat(parts) => {
-            Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect())
-        }
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| rename_expr(p, rename)).collect()),
         Expr::Repeat { count, expr } => {
             Expr::Repeat { count: *count, expr: Box::new(rename_expr(expr, rename)) }
         }
@@ -188,8 +175,7 @@ pub fn rename_expr(expr: &Expr, rename: &dyn Fn(&str) -> String) -> Expr {
 /// (positional count mismatch, unknown named port, output wired to a
 /// non-assignable expression), or an `inout` port is encountered.
 pub fn flatten(file: &SourceFile, top: &str) -> Result<Module, ParseError> {
-    let index: HashMap<&str, &Module> =
-        file.modules.iter().map(|m| (m.name.as_str(), m)).collect();
+    let index: HashMap<&str, &Module> = file.modules.iter().map(|m| (m.name.as_str(), m)).collect();
     let mut stack = Vec::new();
     flatten_module(&index, top, &mut stack)
 }
@@ -200,21 +186,14 @@ fn flatten_module(
     stack: &mut Vec<String>,
 ) -> Result<Module, ParseError> {
     if stack.iter().any(|s| s == name) {
-        return Err(ParseError::new(
-            format!("recursive instantiation of `{name}`"),
-            0,
-        ));
+        return Err(ParseError::new(format!("recursive instantiation of `{name}`"), 0));
     }
-    let module = *index
-        .get(name)
-        .ok_or_else(|| ParseError::new(format!("module `{name}` not found"), 0))?;
+    let module =
+        *index.get(name).ok_or_else(|| ParseError::new(format!("module `{name}` not found"), 0))?;
     stack.push(name.to_string());
 
-    let mut out = Module {
-        name: module.name.clone(),
-        ports: module.ports.clone(),
-        items: Vec::new(),
-    };
+    let mut out =
+        Module { name: module.name.clone(), ports: module.ports.clone(), items: Vec::new() };
     for item in &module.items {
         let Item::Instance { module: child_name, name: inst, connections } = item else {
             out.items.push(item.clone());
@@ -241,38 +220,31 @@ fn flatten_module(
             out.items.push(rename_item(child_item, &rename));
         }
         // Wire up the connections.
-        let resolved: Vec<(&crate::ast::Port, &Connection)> = if connections
-            .iter()
-            .all(|c| c.port.is_some())
-        {
-            let mut pairs = Vec::new();
-            for c in connections {
-                let port_name = c.port.as_deref().expect("checked above");
-                let port = child_ports
-                    .iter()
-                    .find(|p| p.name == port_name)
-                    .ok_or_else(|| {
-                        ParseError::new(
-                            format!("`{child_name}` has no port `{port_name}`"),
-                            0,
-                        )
-                    })?;
-                pairs.push((port, c));
-            }
-            pairs
-        } else {
-            if connections.len() != child_ports.len() {
-                return Err(ParseError::new(
-                    format!(
-                        "instance `{inst}` connects {} ports but `{child_name}` has {}",
-                        connections.len(),
-                        child_ports.len()
-                    ),
-                    0,
-                ));
-            }
-            child_ports.iter().zip(connections).collect()
-        };
+        let resolved: Vec<(&crate::ast::Port, &Connection)> =
+            if connections.iter().all(|c| c.port.is_some()) {
+                let mut pairs = Vec::new();
+                for c in connections {
+                    let port_name = c.port.as_deref().expect("checked above");
+                    let port =
+                        child_ports.iter().find(|p| p.name == port_name).ok_or_else(|| {
+                            ParseError::new(format!("`{child_name}` has no port `{port_name}`"), 0)
+                        })?;
+                    pairs.push((port, c));
+                }
+                pairs
+            } else {
+                if connections.len() != child_ports.len() {
+                    return Err(ParseError::new(
+                        format!(
+                            "instance `{inst}` connects {} ports but `{child_name}` has {}",
+                            connections.len(),
+                            child_ports.len()
+                        ),
+                        0,
+                    ));
+                }
+                child_ports.iter().zip(connections).collect()
+            };
         for (port, connection) in resolved {
             let Some(expr) = &connection.expr else { continue };
             match port.direction {
@@ -290,10 +262,7 @@ fn flatten_module(
                             0,
                         )
                     })?;
-                    out.items.push(Item::Assign {
-                        lhs,
-                        rhs: Expr::Ident(rename(&port.name)),
-                    });
+                    out.items.push(Item::Assign { lhs, rhs: Expr::Ident(rename(&port.name)) });
                 }
                 PortDirection::Inout | PortDirection::Unspecified => {
                     return Err(ParseError::new(
@@ -311,9 +280,7 @@ fn flatten_module(
 fn expr_as_lvalue(expr: &Expr) -> Option<LValue> {
     match expr {
         Expr::Ident(n) => Some(LValue::Ident(n.clone())),
-        Expr::Bit { name, index } => {
-            Some(LValue::Bit { name: name.clone(), index: index.clone() })
-        }
+        Expr::Bit { name, index } => Some(LValue::Bit { name: name.clone(), index: index.clone() }),
         Expr::Part { name, msb, lsb } => {
             Some(LValue::Part { name: name.clone(), msb: *msb, lsb: *lsb })
         }

@@ -58,9 +58,8 @@ impl VcdRecorder {
     pub fn new(scope: &str, sim: &Simulator, signals: &[&str]) -> Result<Self, SimError> {
         let mut recorded = Vec::with_capacity(signals.len());
         for (i, &name) in signals.iter().enumerate() {
-            let width = sim
-                .width(name)
-                .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+            let width =
+                sim.width(name).ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
             recorded.push((name.to_string(), width, id_code(i)));
         }
         Ok(Self {
@@ -78,12 +77,8 @@ impl VcdRecorder {
     ///
     /// Returns [`SimError`] if the simulator has no ports to record.
     pub fn over_ports(scope: &str, sim: &Simulator) -> Result<Self, SimError> {
-        let names: Vec<String> = sim
-            .inputs()
-            .iter()
-            .chain(sim.outputs())
-            .map(|(n, _)| n.clone())
-            .collect();
+        let names: Vec<String> =
+            sim.inputs().iter().chain(sim.outputs()).map(|(n, _)| n.clone()).collect();
         if names.is_empty() {
             return Err(SimError::new("module has no ports to record"));
         }
@@ -105,9 +100,8 @@ impl VcdRecorder {
     /// with a simulator built from the same module).
     pub fn sample(&mut self, sim: &Simulator) -> Result<(), SimError> {
         for (i, (name, _, _)) in self.signals.iter().enumerate() {
-            let value = sim
-                .get(name)
-                .ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
+            let value =
+                sim.get(name).ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
             if self.last.get(&i) != Some(&value) {
                 self.changes.push((self.time, i, value));
                 self.last.insert(i, value);

@@ -205,7 +205,7 @@ mod tests {
         walk_source(&mut c, &file);
         assert_eq!(c.items, 1); // the always block
         assert_eq!(c.stmts, 3); // if + two nonblocking
-        // exprs: cond `a`, rhs 1'b1, rhs 1'b0
+                                // exprs: cond `a`, rhs 1'b1, rhs 1'b0
         assert_eq!(c.exprs, 3);
         assert_eq!(c.lvalues, 2);
     }

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut detector = NoodleDetector::fit(&dataset, &config, &mut rng)?;
     println!("detector fitted (winner = {:?})\n", detector.winner());
 
-    let probes =
-        generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 5, seed: 1234 });
+    let probes = generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 5, seed: 1234 });
 
     let mut correct = [0usize; 3]; // full, graph-only, tabular-only
     println!(
@@ -55,8 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let show = |d: &noodle::Detection| {
-            format!("{} ({:.2})", if d.infected { "infected" } else { "clean" },
-                    d.probability_infected)
+            format!(
+                "{} ({:.2})",
+                if d.infected { "infected" } else { "clean" },
+                d.probability_infected
+            )
         };
         println!(
             "{:<24} {:<9} {:<14} {:<16} {:<16}",

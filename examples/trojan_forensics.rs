@@ -14,7 +14,9 @@
 //! cargo run --release --example trojan_forensics
 //! ```
 
-use noodle::bench_gen::{families, insert_trojan, CircuitFamily, PayloadKind, TriggerKind, TrojanSpec};
+use noodle::bench_gen::{
+    families, insert_trojan, CircuitFamily, PayloadKind, TriggerKind, TrojanSpec,
+};
 use noodle::verilog::{parse, print_module, PortDirection, Simulator};
 use noodle::{generate_corpus, CorpusConfig, MultimodalDataset, NoodleConfig, NoodleDetector};
 use rand::rngs::StdRng;

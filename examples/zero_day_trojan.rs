@@ -28,15 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    payloads (leakage is our zero-day family).
     let mut rng = StdRng::seed_from_u64(99);
     let clean = generate_corpus(&CorpusConfig { trojan_free: 28, trojan_infected: 0, seed: 1 });
-    let mut sources: Vec<(String, String, usize)> = clean
-        .iter()
-        .map(|b| (b.name.clone(), b.source.clone(), b.label.index()))
-        .collect();
+    let mut sources: Vec<(String, String, usize)> =
+        clean.iter().map(|b| (b.name.clone(), b.source.clone(), b.label.index())).collect();
 
-    let known_specs: Vec<TrojanSpec> = TrojanSpec::all()
-        .into_iter()
-        .filter(|s| s.payload != PayloadKind::Leak)
-        .collect();
+    let known_specs: Vec<TrojanSpec> =
+        TrojanSpec::all().into_iter().filter(|s| s.payload != PayloadKind::Leak).collect();
     for (i, spec) in known_specs.iter().cycle().take(12).enumerate() {
         let family = CircuitFamily::ALL[(i * 7 + 3) % CircuitFamily::ALL.len()];
         let name = format!("known_ti_{i:02}");
@@ -107,8 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nzero-day detection rate : {flagged}/{n_zero_day}");
     println!("uncertain regions       : {uncertain}/{n_zero_day}");
-    println!("mean credibility  zero-day={:.3}  in-distribution clean={:.3}",
-             mean(&zero_day_credibility), mean(&control_credibility));
+    println!(
+        "mean credibility  zero-day={:.3}  in-distribution clean={:.3}",
+        mean(&zero_day_credibility),
+        mean(&control_credibility)
+    );
     println!(
         "\nlower credibility on the unseen family is the uncertainty signal a \
          risk-aware flow uses to escalate zero-day suspects."

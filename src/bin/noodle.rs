@@ -6,18 +6,31 @@
 //! noodle train <model.json> [--corpus-seed N] [--fast]     fit on a generated corpus and save
 //! noodle detect <model.json> <file.v>...                   classify Verilog files
 //! noodle inspect <file.v>                                  print both modality feature vectors
+//! noodle version                                           print the workspace version
+//! ```
+//!
+//! Every command also accepts the observability flags:
+//!
+//! ```text
+//! --trace[=pretty|json]   stream per-stage span timings to stderr
+//! --report <path>         write a RunReport JSON summary at exit
+//! --quiet                 suppress progress output (errors still print)
 //! ```
 //!
 //! The tool is deliberately dependency-free (hand-rolled argument parsing)
 //! so the workspace's only runtime dependencies stay `rand` + `serde`.
 
+use std::error::Error;
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig};
+use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats};
+use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunReport};
 use noodle::{
     extract_modalities, FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector,
+    PipelineError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,16 +42,25 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("version" | "--version" | "-V") => {
+            println!("noodle {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `noodle help`)")),
+        Some(other) => Err(CliError::msg(format!("unknown command `{other}` (try `noodle help`)"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(error) => {
+            eprintln!("error: {error}");
+            let mut cause = error.source();
+            while let Some(inner) = cause {
+                eprintln!("  caused by: {inner}");
+                cause = inner.source();
+            }
             ExitCode::FAILURE
         }
     }
@@ -51,34 +73,91 @@ fn print_usage() {
          noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
          noodle train <model.json> [--corpus-seed N] [--fast]\n  \
          noodle detect <model.json> <file.v>...\n  \
-         noodle inspect <file.v>\n"
+         noodle inspect <file.v>\n  \
+         noodle version\n\n\
+         OBSERVABILITY (any command):\n  \
+         --trace[=pretty|json]   stream per-stage timings to stderr\n  \
+         --report <path>         write a RunReport JSON summary\n  \
+         --quiet                 suppress progress output\n"
     );
 }
+
+/// A CLI failure: either a plain message or a pipeline error whose full
+/// `source()` chain is printed by `main`.
+#[derive(Debug)]
+enum CliError {
+    Msg(String),
+    Pipeline { context: String, source: PipelineError },
+}
+
+impl CliError {
+    fn msg(message: impl Into<String>) -> Self {
+        CliError::Msg(message.into())
+    }
+
+    fn pipeline(context: impl Into<String>) -> impl FnOnce(PipelineError) -> Self {
+        let context = context.into();
+        move |source| CliError::Pipeline { context, source }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Msg(message) => f.write_str(message),
+            CliError::Pipeline { context, .. } => f.write_str(context),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Msg(_) => None,
+            CliError::Pipeline { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Msg(message)
+    }
+}
+
+/// Flags that take no value; everything else consumes the next argument
+/// (or an inline `--flag=value`).
+const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace"];
 
 /// Positional arguments plus `(name, value)` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
-/// Parses `--flag value` pairs from an argument list, returning leftover
-/// positional arguments.
-fn parse_flags(args: &[String]) -> Result<ParsedArgs<'_>, String> {
+/// Parses flags from an argument list, returning leftover positional
+/// arguments. Supports `--flag value`, inline `--flag=value`, and the
+/// declared [`BOOLEAN_FLAGS`] which never consume the next argument
+/// (`--trace` may still carry an inline value: `--trace=json`).
+fn parse_flags(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            if name == "fast" {
-                flags.push((name, "true"));
-                i += 1;
-            } else {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.push((name, value.as_str()));
-                i += 2;
-            }
-        } else {
+        let Some(name) = args[i].strip_prefix("--") else {
             positional.push(args[i].as_str());
             i += 1;
+            continue;
+        };
+        if let Some((name, value)) = name.split_once('=') {
+            flags.push((name, value));
+            i += 1;
+        } else if BOOLEAN_FLAGS.contains(&name) {
+            flags.push((name, "true"));
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::msg(format!("flag --{name} needs a value")))?;
+            flags.push((name, value.as_str()));
+            i += 2;
         }
     }
     Ok((positional, flags))
@@ -88,90 +167,205 @@ fn flag_value<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
     flags.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
 }
 
-fn parse_num<T: std::str::FromStr>(flags: &[(&str, &str)], name: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(
+    flags: &[(&str, &str)],
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
     match flag_value(flags, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        Some(v) => {
+            v.parse().map_err(|_| CliError::msg(format!("--{name} expects a number, got `{v}`")))
+        }
     }
 }
 
-fn cmd_gen_corpus(args: &[String]) -> Result<(), String> {
+/// Observability options shared by every command: configures the global
+/// telemetry layer from `--trace`/`--report`/`--quiet` and writes the
+/// [`RunReport`] at the end of a run.
+struct Observability {
+    report: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl Observability {
+    fn from_flags(flags: &[(&str, &str)]) -> Result<Self, CliError> {
+        let trace = flag_value(flags, "trace");
+        let report = flag_value(flags, "report").map(PathBuf::from);
+        let quiet = flag_value(flags, "quiet").is_some();
+        if trace.is_some() || report.is_some() {
+            telemetry::set_enabled(true);
+        }
+        match trace {
+            Some("true" | "pretty") if !quiet => {
+                telemetry::set_sink(Box::new(telemetry::StderrPretty::default()));
+            }
+            Some("json") if !quiet => {
+                telemetry::set_sink(Box::new(telemetry::JsonLines::stderr()));
+            }
+            Some("true" | "pretty" | "json") | None => {
+                telemetry::set_sink(Box::new(telemetry::NullSink));
+            }
+            Some(other) => {
+                return Err(CliError::msg(format!(
+                    "--trace expects `pretty` or `json`, got `{other}`"
+                )));
+            }
+        }
+        Ok(Self { report, quiet })
+    }
+
+    /// Writes the run report, if one was requested. Call after the root
+    /// span guard has been dropped so the stage tree is complete.
+    fn finish(
+        &self,
+        command: &str,
+        corpus: Option<CorpusSummary>,
+        evaluation: Option<EvaluationSummary>,
+    ) -> Result<(), CliError> {
+        let Some(path) = &self.report else {
+            return Ok(());
+        };
+        let mut report = RunReport::from_snapshot(command, telemetry::snapshot());
+        report.corpus = corpus;
+        report.evaluation = evaluation;
+        report
+            .write_to(path)
+            .map_err(|e| CliError::msg(format!("cannot write report {}: {e}", path.display())))?;
+        if !self.quiet {
+            eprintln!("run report written to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Mirrors corpus statistics into telemetry gauges/counters and the report
+/// summary.
+fn emit_corpus_stats(stats: &CorpusStats) -> CorpusSummary {
+    telemetry::counter_add("corpus.designs", stats.total as u64);
+    telemetry::gauge_set("corpus.total", stats.total as f64);
+    telemetry::gauge_set("corpus.trojan_free", stats.trojan_free as f64);
+    telemetry::gauge_set("corpus.trojan_infected", stats.trojan_infected as f64);
+    telemetry::gauge_set("corpus.mean_lines", stats.mean_lines);
+    telemetry::gauge_set("corpus.distinct_trojans", stats.distinct_trojans as f64);
+    CorpusSummary {
+        total: stats.total,
+        trojan_free: stats.trojan_free,
+        trojan_infected: stats.trojan_infected,
+        mean_lines: stats.mean_lines,
+        distinct_trojans: stats.distinct_trojans,
+    }
+}
+
+fn cmd_gen_corpus(args: &[String]) -> Result<(), CliError> {
     let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
     let [dir] = positional.as_slice() else {
-        return Err("usage: noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]".into());
+        return Err(CliError::msg("usage: noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]"));
     };
     let config = CorpusConfig {
         trojan_free: parse_num(&flags, "tf", 28)?,
         trojan_infected: parse_num(&flags, "ti", 12)?,
         seed: parse_num(&flags, "seed", CorpusConfig::default().seed)?,
     };
+    let root = telemetry::span!("gen_corpus", seed = config.seed);
     let corpus = generate_corpus(&config);
     let dir = PathBuf::from(dir);
-    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    for bench in &corpus {
-        let path = dir.join(format!("{}.v", bench.name));
-        fs::write(&path, &bench.source)
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    fs::create_dir_all(&dir)
+        .map_err(|e| CliError::msg(format!("cannot create {}: {e}", dir.display())))?;
+    {
+        let _write_span = telemetry::span!("gen_corpus.write", designs = corpus.len());
+        for bench in &corpus {
+            let path = dir.join(format!("{}.v", bench.name));
+            fs::write(&path, &bench.source)
+                .map_err(|e| CliError::msg(format!("cannot write {}: {e}", path.display())))?;
+        }
     }
     let stats = corpus_stats(&corpus);
-    println!(
-        "wrote {} designs to {} ({} Trojan-free, {} Trojan-infected, mean {:.0} lines)",
-        stats.total,
-        dir.display(),
-        stats.trojan_free,
-        stats.trojan_infected,
-        stats.mean_lines
-    );
-    Ok(())
+    let summary = emit_corpus_stats(&stats);
+    drop(root);
+    if !observability.quiet {
+        println!(
+            "wrote {} designs to {} ({} Trojan-free, {} Trojan-infected, mean {:.0} lines)",
+            stats.total,
+            dir.display(),
+            stats.trojan_free,
+            stats.trojan_infected,
+            stats.mean_lines
+        );
+    }
+    observability.finish("gen-corpus", Some(summary), None)
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
     let [model_path] = positional.as_slice() else {
-        return Err("usage: noodle train <model.json> [--corpus-seed N] [--fast]".into());
+        return Err(CliError::msg("usage: noodle train <model.json> [--corpus-seed N] [--fast]"));
     };
     let corpus_seed = parse_num(&flags, "corpus-seed", CorpusConfig::default().seed)?;
+    let fast = flag_value(&flags, "fast").is_some();
+    let train_seed: u64 = parse_num(&flags, "seed", 42)?;
+
+    let root = telemetry::span!("train", corpus_seed = corpus_seed, fast = fast);
     let corpus = generate_corpus(&CorpusConfig { seed: corpus_seed, ..CorpusConfig::default() });
-    let dataset = MultimodalDataset::from_benchmarks(&corpus).map_err(|e| e.to_string())?;
-    let config = if flag_value(&flags, "fast").is_some() {
-        NoodleConfig::fast()
-    } else {
-        NoodleConfig::default()
-    };
-    let mut rng = StdRng::seed_from_u64(parse_num(&flags, "seed", 42)?);
-    eprintln!("training on {} designs (this runs the full pipeline)...", dataset.len());
-    let detector = NoodleDetector::fit(&dataset, &config, &mut rng).map_err(|e| e.to_string())?;
-    let eval = detector.evaluation();
-    for strategy in FusionStrategy::ALL {
-        eprintln!("  {:<45} Brier {:.4}", strategy.label(), eval.brier_of(strategy));
+    let corpus_summary = emit_corpus_stats(&corpus_stats(&corpus));
+    let dataset = MultimodalDataset::from_benchmarks(&corpus)
+        .map_err(CliError::pipeline("corpus designs failed modality extraction"))?;
+    let config = if fast { NoodleConfig::fast() } else { NoodleConfig::default() };
+    let mut rng = StdRng::seed_from_u64(train_seed);
+    if !observability.quiet {
+        eprintln!("training on {} designs (this runs the full pipeline)...", dataset.len());
     }
-    eprintln!("winner: {:?}", detector.winner());
-    let json = detector.to_json().map_err(|e| e.to_string())?;
-    fs::write(model_path, json).map_err(|e| format!("cannot write {model_path}: {e}"))?;
-    println!("model saved to {model_path}");
-    Ok(())
+    let detector = NoodleDetector::fit(&dataset, &config, &mut rng)
+        .map_err(CliError::pipeline("training failed"))?;
+    let eval = detector.evaluation();
+    let mut brier = std::collections::BTreeMap::new();
+    for strategy in FusionStrategy::ALL {
+        if !observability.quiet {
+            eprintln!("  {:<45} Brier {:.4}", strategy.label(), eval.brier_of(strategy));
+        }
+        brier.insert(format!("{strategy:?}"), eval.brier_of(strategy));
+    }
+    if !observability.quiet {
+        eprintln!("winner: {:?}", detector.winner());
+    }
+    let evaluation = EvaluationSummary { winner: format!("{:?}", detector.winner()), brier };
+    let json =
+        detector.to_json().map_err(|e| CliError::msg(format!("cannot serialize model: {e}")))?;
+    fs::write(model_path, json)
+        .map_err(|e| CliError::msg(format!("cannot write {model_path}: {e}")))?;
+    drop(root);
+    if !observability.quiet {
+        println!("model saved to {model_path}");
+    }
+    observability.finish("train", Some(corpus_summary), Some(evaluation))
 }
 
-fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let (positional, _) = parse_flags(args)?;
+fn cmd_detect(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
     let [model_path, files @ ..] = positional.as_slice() else {
-        return Err("usage: noodle detect <model.json> <file.v>...".into());
+        return Err(CliError::msg("usage: noodle detect <model.json> <file.v>..."));
     };
     if files.is_empty() {
-        return Err("no Verilog files given".into());
+        return Err(CliError::msg("no Verilog files given"));
     }
+    let root = telemetry::span!("detect_run", files = files.len());
     let json = fs::read_to_string(model_path)
-        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+        .map_err(|e| CliError::msg(format!("cannot read {model_path}: {e}")))?;
     let mut detector = NoodleDetector::from_json(&json)
-        .map_err(|e| format!("{model_path} is not a valid model: {e}"))?;
+        .map_err(|e| CliError::msg(format!("{model_path} is not a valid model: {e}")))?;
     println!(
         "{:<32} {:<9} {:>7} {:>12} {:>11}  region",
         "file", "verdict", "p(TI)", "credibility", "confidence"
     );
     for file in files {
         let source = fs::read_to_string(Path::new(file))
-            .map_err(|e| format!("cannot read {file}: {e}"))?;
-        let verdict = detector.detect(&source).map_err(|e| format!("{file}: {e}"))?;
+            .map_err(|e| CliError::msg(format!("cannot read {file}: {e}")))?;
+        let verdict = detector
+            .detect(&source)
+            .map_err(CliError::pipeline(format!("cannot screen {file}")))?;
         let region = match verdict.region.as_slice() {
             [] => "{} (anomalous)".to_string(),
             [0] => "{TF}".to_string(),
@@ -187,22 +381,27 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
             verdict.confidence,
         );
     }
-    Ok(())
+    drop(root);
+    observability.finish("detect", None, None)
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let (positional, _) = parse_flags(args)?;
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
     let [file] = positional.as_slice() else {
-        return Err("usage: noodle inspect <file.v>".into());
+        return Err(CliError::msg("usage: noodle inspect <file.v>"));
     };
-    let source =
-        fs::read_to_string(Path::new(file)).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let (graph, tabular) = extract_modalities(&source).map_err(|e| e.to_string())?;
+    let root = telemetry::span!("inspect");
+    let source = fs::read_to_string(Path::new(file))
+        .map_err(|e| CliError::msg(format!("cannot read {file}: {e}")))?;
+    let (graph, tabular) = extract_modalities(&source)
+        .map_err(CliError::pipeline(format!("cannot inspect {file}")))?;
     println!("tabular features ({}):", tabular.len());
     for (name, value) in noodle::tabular::FEATURE_NAMES.iter().zip(&tabular) {
         println!("  {name:<22} {value}");
     }
     let nonzero = graph.iter().filter(|&&v| v > 0.0).count();
     println!("\ngraph image: {} cells, {nonzero} non-zero", graph.len());
-    Ok(())
+    drop(root);
+    observability.finish("inspect", None, None)
 }

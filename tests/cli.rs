@@ -1,10 +1,57 @@
 //! Integration tests for the `noodle` command-line tool, driving the real
 //! binary end to end: corpus generation → training → detection → inspect.
 
+use std::path::Path;
 use std::process::Command;
 
 fn noodle() -> Command {
     Command::new(env!("CARGO_BIN_EXE_noodle"))
+}
+
+/// Every span's children must fit inside their parent: child durations sum
+/// to no more than the parent's wall-clock time.
+fn assert_stage_tree_consistent(span: &serde_json::Value) {
+    let duration = span["duration_ns"].as_u64().expect("duration_ns is u64");
+    let children = span["children"].as_array().expect("children is an array");
+    let child_sum: u64 =
+        children.iter().map(|c| c["duration_ns"].as_u64().expect("child duration")).sum();
+    assert!(
+        child_sum <= duration,
+        "children of `{}` sum to {child_sum}ns > parent {duration}ns",
+        span["name"]
+    );
+    for child in children {
+        assert_stage_tree_consistent(child);
+    }
+}
+
+/// Parses a `--report` file and checks the training-run schema: a `train`
+/// root stage whose tree is time-consistent, per-stage instrumentation,
+/// corpus stats and the fusion evaluation.
+fn assert_train_report(path: &Path) {
+    let json = std::fs::read_to_string(path).expect("report file exists");
+    let report: serde_json::Value = serde_json::from_str(&json).expect("report is valid JSON");
+    assert_eq!(report["command"], "train");
+    let stages = report["stages"].as_array().expect("stages is an array");
+    let root = stages
+        .iter()
+        .find(|s| s["name"] == "train")
+        .expect("report contains the `train` root stage");
+    assert_stage_tree_consistent(root);
+    let tree = serde_json::to_string(root).unwrap();
+    for stage in
+        ["dataset.parse", "dataset.extract", "gan.amplify", "cnn.fit", "icp.calibrate", "fusion"]
+    {
+        assert!(tree.contains(stage), "train stage tree missing `{stage}`");
+    }
+    // Counters/histograms from the instrumented crates.
+    assert!(report["counters"]["verilog.parse_calls"].as_u64().unwrap_or(0) > 0);
+    assert!(report["counters"]["nn.epochs"].as_u64().unwrap_or(0) > 0);
+    assert!(report["histograms"].get("nn.epoch_loss").is_some());
+    // Corpus + evaluation summaries.
+    assert!(report["corpus"]["total"].as_u64().unwrap_or(0) > 0);
+    let winner = report["evaluation"]["winner"].as_str().expect("winner recorded");
+    assert!(report["evaluation"]["brier"][winner].is_number(), "winner has a Brier score");
 }
 
 #[test]
@@ -15,20 +62,44 @@ fn cli_full_round_trip() {
 
     // gen-corpus
     let out = noodle()
-        .args(["gen-corpus", corpus_dir.to_str().unwrap(), "--tf", "10", "--ti", "5", "--seed", "3"])
+        .args([
+            "gen-corpus",
+            corpus_dir.to_str().unwrap(),
+            "--tf",
+            "10",
+            "--ti",
+            "5",
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let files: Vec<_> = std::fs::read_dir(&corpus_dir).unwrap().collect();
     assert_eq!(files.len(), 15, "one .v file per design");
 
-    // train (fast scale so the test stays quick)
+    // train (fast scale so the test stays quick) with tracing + run report
+    let report = dir.join("train_report.json");
     let out = noodle()
-        .args(["train", model.to_str().unwrap(), "--fast", "--corpus-seed", "3"])
+        .args([
+            "train",
+            model.to_str().unwrap(),
+            "--fast",
+            "--corpus-seed",
+            "3",
+            "--trace",
+            "--report",
+            report.to_str().unwrap(),
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(model.exists());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for stage in ["dataset.parse", "dataset.extract", "gan.amplify", "cnn.fit", "icp.calibrate"] {
+        assert!(stderr.contains(stage), "trace output missing stage {stage}:\n{stderr}");
+    }
+    assert_train_report(&report);
 
     // detect on a couple of generated files
     let mut paths: Vec<String> = std::fs::read_dir(&corpus_dir)
@@ -56,6 +127,62 @@ fn cli_full_round_trip() {
 }
 
 #[test]
+fn cli_gen_corpus_report_is_parseable_json() {
+    let dir = std::env::temp_dir().join(format!("noodle_cli_gc_{}", std::process::id()));
+    let corpus_dir = dir.join("corpus");
+    let report = dir.join("corpus_report.json");
+    let out = noodle()
+        .args([
+            "gen-corpus",
+            corpus_dir.to_str().unwrap(),
+            "--tf",
+            "6",
+            "--ti",
+            "4",
+            "--seed",
+            "7",
+            "--quiet",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --quiet suppresses the progress line.
+    assert!(out.stdout.is_empty(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let json = std::fs::read_to_string(&report).expect("report written");
+    let value: serde_json::Value = serde_json::from_str(&json).expect("report is valid JSON");
+    assert_eq!(value["command"], "gen-corpus");
+    assert_eq!(value["corpus"]["total"], 10);
+    assert_eq!(value["corpus"]["trojan_free"], 6);
+    assert_eq!(value["corpus"]["trojan_infected"], 4);
+    assert_eq!(value["counters"]["corpus.designs"], 10);
+    let root = value["stages"]
+        .as_array()
+        .and_then(|s| s.iter().find(|s| s["name"] == "gen_corpus"))
+        .expect("gen_corpus root stage");
+    assert_stage_tree_consistent(root);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_version_prints_workspace_version() {
+    let out = noodle().arg("version").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim(), format!("noodle {}", env!("CARGO_PKG_VERSION")));
+}
+
+#[test]
+fn cli_rejects_bad_trace_mode() {
+    let out = noodle().args(["inspect", "x.v", "--trace=xml"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace expects"));
+}
+
+#[test]
 fn cli_reports_errors_cleanly() {
     // Unknown command.
     let out = noodle().arg("frobnicate").output().expect("binary runs");
@@ -65,6 +192,16 @@ fn cli_reports_errors_cleanly() {
     // Missing model file.
     let out = noodle().args(["detect", "/nonexistent/model.json", "x.v"]).output().unwrap();
     assert!(!out.status.success());
+
+    // A pipeline failure prints its full cause chain.
+    let bad = std::env::temp_dir().join(format!("noodle_bad_{}.v", std::process::id()));
+    std::fs::write(&bad, "module broken(; endmodule").unwrap();
+    let out = noodle().args(["inspect", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: cannot inspect"), "{stderr}");
+    assert!(stderr.contains("caused by:"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
 
     // Help succeeds.
     let out = noodle().arg("help").output().unwrap();

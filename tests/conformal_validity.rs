@@ -9,19 +9,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn evaluation_predictions(seed: u64) -> (Vec<ConformalPrediction>, Vec<usize>) {
-    let corpus =
-        generate_corpus(&CorpusConfig { trojan_free: 18, trojan_infected: 9, seed });
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 18, trojan_infected: 9, seed });
     let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut config = NoodleConfig::fast();
     config.amplify_per_class = 40;
     let detector = NoodleDetector::fit(&dataset, &config, &mut rng).unwrap();
     let eval = detector.evaluation();
-    let preds: Vec<ConformalPrediction> = eval
-        .late_p_values
-        .iter()
-        .map(|pv| ConformalPrediction::new(pv.to_vec()))
-        .collect();
+    let preds: Vec<ConformalPrediction> =
+        eval.late_p_values.iter().map(|pv| ConformalPrediction::new(pv.to_vec())).collect();
     (preds, eval.test_labels.clone())
 }
 

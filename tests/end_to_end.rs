@@ -91,8 +91,8 @@ fn every_trojan_spec_flows_through_detection() {
     let mut det = fit(6);
     let mut rng = StdRng::seed_from_u64(88);
     for (i, spec) in noodle::TrojanSpec::all().into_iter().enumerate() {
-        let family = noodle::bench_gen::CircuitFamily::ALL
-            [i % noodle::bench_gen::CircuitFamily::ALL.len()];
+        let family =
+            noodle::bench_gen::CircuitFamily::ALL[i % noodle::bench_gen::CircuitFamily::ALL.len()];
         let mut circuit =
             noodle::bench_gen::families::generate(family, &format!("spec_{i}"), &mut rng);
         noodle::bench_gen::insert_trojan(&mut circuit, spec, &mut rng);

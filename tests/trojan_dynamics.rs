@@ -170,12 +170,9 @@ fn trojans_are_dormant_until_triggered() {
 
 #[test]
 fn dos_payload_zeroes_the_output_when_fired() {
-    let spec = TrojanSpec {
-        trigger: TriggerKind::MagicValue,
-        payload: PayloadKind::DenialOfService,
-    };
-    let (mut clean, mut infected, descriptor, _) =
-        build_pair(CircuitFamily::Arbiter, spec, 7);
+    let spec =
+        TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::DenialOfService };
+    let (mut clean, mut infected, descriptor, _) = build_pair(CircuitFamily::Arbiter, spec, 7);
     // Drive all requests high: the arbiter must grant someone...
     clean.set("req", 0b1111).unwrap();
     infected.set("req", 0b1111).unwrap();
@@ -192,8 +189,7 @@ fn dos_payload_zeroes_the_output_when_fired() {
 #[test]
 fn leak_payload_exfiltrates_the_secret_bit() {
     let spec = TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::Leak };
-    let (mut clean, mut infected, descriptor, _) =
-        build_pair(CircuitFamily::CryptoRound, spec, 11);
+    let (mut clean, mut infected, descriptor, _) = build_pair(CircuitFamily::CryptoRound, spec, 11);
     assert_eq!(descriptor.payload, PayloadKind::Leak);
     // Load a known state with an odd low bit, then trigger and compare the
     // hijacked output: the xor-ed difference equals the replicated secret
@@ -234,8 +230,8 @@ fn corpus_designs_simulate() {
     let mut rng = StdRng::seed_from_u64(1);
     for bench in &corpus {
         let file = parse(&bench.source).expect("corpus parses");
-        let mut sim = Simulator::new(&file.modules[0])
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let mut sim =
+            Simulator::new(&file.modules[0]).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let inputs: Vec<(String, u64)> = file.modules[0]
             .resolved_ports()
             .iter()
