@@ -94,6 +94,19 @@ impl MondrianIcp {
         self.calibration[class].len()
     }
 
+    /// The sorted calibration nonconformity scores for `class`.
+    ///
+    /// Exposed so callers can snapshot the calibration distribution at fit
+    /// time — e.g. to persist a drift-detection baseline alongside the
+    /// model (`noodle-observe` bins these into a PSI reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn calibration_scores(&self, class: usize) -> &[f32] {
+        &self.calibration[class]
+    }
+
     /// The smoothed-free conformal p-value of hypothesis "the test example
     /// with nonconformity `score` belongs to `class`":
     /// `(#{calibration scores of class >= score} + 1) / (n_class + 1)`.
@@ -171,6 +184,13 @@ mod tests {
         let icp = simple_icp();
         // class 1 has n = 2, so min possible p is 1/3.
         assert!((icp.p_value(1, 100.0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_scores_are_sorted_snapshots() {
+        let icp = MondrianIcp::fit(&[(0.3, 0), (0.1, 0), (0.2, 0), (0.6, 1), (0.5, 1)], 2).unwrap();
+        assert_eq!(icp.calibration_scores(0), &[0.1, 0.2, 0.3]);
+        assert_eq!(icp.calibration_scores(1), &[0.5, 0.6]);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Finite-sample validity of Mondrian ICP: the invariant the online
+//! coverage monitor in `noodle-observe` checks at serve time.
+//!
+//! For continuous exchangeable nonconformity scores, the probability that
+//! the true-class p-value falls at or below ε is exactly
+//! `floor(ε·(n_c + 1)) / (n_c + 1)` per class, where `n_c` is that class's
+//! calibration count. The test draws calibration and test scores from the
+//! same class-conditional distributions and asserts the empirical error
+//! rate stays within a wide binomial tolerance band of that target, across
+//! several seeds and ε values.
+
+use noodle_conformal::MondrianIcp;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Class-conditional score draw: class 0 concentrates low, class 1 is
+/// uniform — different shapes exercise the Mondrian (per-class) taxonomy.
+fn draw_score(rng: &mut StdRng, class: usize) -> f32 {
+    let u: f32 = rng.random_range(0.0..1.0);
+    if class == 0 {
+        u * u
+    } else {
+        u
+    }
+}
+
+#[test]
+fn empirical_coverage_tracks_one_minus_epsilon_per_class() {
+    const CALIB_PER_CLASS: usize = 300;
+    const TEST_PER_CLASS: usize = 2500;
+
+    for &seed in &[7u64, 21, 99] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let calib: Vec<(f32, usize)> = (0..2 * CALIB_PER_CLASS)
+            .map(|i| {
+                let class = i % 2;
+                (draw_score(&mut rng, class), class)
+            })
+            .collect();
+        let icp = MondrianIcp::fit(&calib, 2).unwrap();
+
+        let mut p_values: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        for class in 0..2 {
+            for _ in 0..TEST_PER_CLASS {
+                let score = draw_score(&mut rng, class);
+                p_values[class].push(icp.p_value(class, score));
+            }
+        }
+
+        for &epsilon in &[0.05f64, 0.1, 0.2] {
+            for class in 0..2 {
+                let n_cal = icp.calibration_count(class) as f64;
+                // Exact error target for continuous scores at this ε.
+                let target = (epsilon * (n_cal + 1.0)).floor() / (n_cal + 1.0);
+                let errors = p_values[class].iter().filter(|&&p| p <= epsilon).count() as f64;
+                let rate = errors / TEST_PER_CLASS as f64;
+                // 4.5σ binomial band: false-failure odds are negligible
+                // across the whole seed × ε × class grid.
+                let sigma = (target * (1.0 - target) / TEST_PER_CLASS as f64).sqrt();
+                let band = 4.5 * sigma + 1e-3;
+                assert!(
+                    (rate - target).abs() <= band,
+                    "seed {seed} ε={epsilon} class {class}: empirical error {rate:.4} \
+                     deviates from exact target {target:.4} by more than {band:.4}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coverage_holds_under_class_imbalance() {
+    // Trojan-infected designs are the rare class in NOODLE; label-conditional
+    // calibration must keep per-class validity even at a 5:1 imbalance.
+    const TEST_PER_CLASS: usize = 2500;
+    let mut rng = StdRng::seed_from_u64(1234);
+    let calib: Vec<(f32, usize)> = (0..600)
+        .map(|i| {
+            let class = usize::from(i % 6 == 0);
+            (draw_score(&mut rng, class), class)
+        })
+        .collect();
+    let icp = MondrianIcp::fit(&calib, 2).unwrap();
+    assert!(icp.calibration_count(1) * 4 < icp.calibration_count(0));
+
+    let epsilon = 0.1f64;
+    for class in 0..2 {
+        let n_cal = icp.calibration_count(class) as f64;
+        let target = (epsilon * (n_cal + 1.0)).floor() / (n_cal + 1.0);
+        let errors = (0..TEST_PER_CLASS)
+            .filter(|_| {
+                let score = draw_score(&mut rng, class);
+                icp.p_value(class, score) <= epsilon
+            })
+            .count() as f64;
+        let rate = errors / TEST_PER_CLASS as f64;
+        let sigma = (target * (1.0 - target) / TEST_PER_CLASS as f64).sqrt();
+        assert!(
+            (rate - target).abs() <= 4.5 * sigma + 1e-3,
+            "class {class}: error {rate:.4} vs target {target:.4}"
+        );
+    }
+}

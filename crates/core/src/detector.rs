@@ -8,11 +8,18 @@
 //! uncertainty, including designs with a missing modality (imputed by a
 //! conditional GAN).
 
+use std::collections::BTreeMap;
+use std::time::Instant;
+
 use noodle_conformal::{nonconformity_from_proba, Combiner, ConformalPrediction, MondrianIcp};
 use noodle_gan::{GanConfig, ImputerConfig, ModalityImputer};
 use noodle_graph::{IMAGE_CHANNELS, IMAGE_SIZE};
 use noodle_metrics::brier_score;
 use noodle_nn::{Tensor, TrainConfig};
+use noodle_observe::{
+    emit_if, AuditHeader, AuditSink, CalibrationBaseline, PredictionRecord, ScoreBaseline,
+    SourceProbe, AUDIT_SCHEMA_VERSION,
+};
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
@@ -215,6 +222,17 @@ pub struct NoodleDetector {
     imputer_graph_to_tab: Option<ModalityImputer>,
     imputer_tab_to_graph: Option<ModalityImputer>,
     evaluation: EvaluationReport,
+    /// Calibration-time reference distributions for drift monitoring,
+    /// persisted with the model (absent in detectors fitted before the
+    /// observability layer existed).
+    #[serde(default)]
+    baseline: Option<CalibrationBaseline>,
+    /// Attached audit sink; runtime-only, never serialized.
+    #[serde(skip)]
+    audit: Option<Box<dyn AuditSink>>,
+    /// Monotonic sequence number for emitted audit records.
+    #[serde(skip)]
+    audit_seq: u64,
 }
 
 impl NoodleDetector {
@@ -314,14 +332,14 @@ impl NoodleDetector {
 
         // Step 5: Mondrian ICP calibration per source (Algorithm 1).
         let calib_labels = amplified.labels(&split.calibration);
-        let icp_graph =
+        let (icp_graph, graph_min_scores) =
             calibrate(&mut graph_clf, &amplified.graph_tensor(&split.calibration), &calib_labels)?;
-        let icp_tabular = calibrate(
+        let (icp_tabular, tabular_min_scores) = calibrate(
             &mut tabular_clf,
             &tab_input(&amplified, &split.calibration, &tabular_norm),
             &calib_labels,
         )?;
-        let icp_early = calibrate(
+        let (icp_early, early_min_scores) = calibrate(
             &mut early_clf,
             &early_input(&amplified, &split.calibration, &tabular_norm),
             &calib_labels,
@@ -402,6 +420,28 @@ impl NoodleDetector {
             (None, None)
         };
 
+        // Persist the fit-time reference the serve-time monitors compare
+        // against: per-source score distributions, class balance, the
+        // winner's Brier score.
+        let mut baseline_sources = BTreeMap::new();
+        for (name, scores) in [
+            ("graph", &graph_min_scores),
+            ("tabular", &tabular_min_scores),
+            ("early_fusion", &early_min_scores),
+        ] {
+            if let Some(b) = ScoreBaseline::from_scores(scores, 10) {
+                baseline_sources.insert(name.to_string(), b);
+            }
+        }
+        let infected = calib_labels.iter().filter(|&&l| l == 1).count();
+        let baseline = Some(CalibrationBaseline {
+            sources: baseline_sources,
+            class_balance: infected as f64 / calib_labels.len().max(1) as f64,
+            winner_brier: evaluation.brier_of(winner),
+            significance: config.significance,
+            calibration_count: calib_labels.len(),
+        });
+
         Ok(Self {
             config: *config,
             graph_clf,
@@ -414,6 +454,9 @@ impl NoodleDetector {
             imputer_graph_to_tab,
             imputer_tab_to_graph,
             evaluation,
+            baseline,
+            audit: None,
+            audit_seq: 0,
         })
     }
 
@@ -430,6 +473,37 @@ impl NoodleDetector {
     /// The configuration the detector was fitted with.
     pub fn config(&self) -> &NoodleConfig {
         &self.config
+    }
+
+    /// The calibration baseline persisted at fit time, if any (detectors
+    /// serialized before the observability layer carry none).
+    pub fn baseline(&self) -> Option<&CalibrationBaseline> {
+        self.baseline.as_ref()
+    }
+
+    /// The audit-log header describing this detector (schema version,
+    /// significance, winning strategy, calibration baseline).
+    pub fn audit_header(&self) -> AuditHeader {
+        AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            significance: self.config.significance,
+            strategy: format!("{:?}", self.evaluation.winner),
+            baseline: self.baseline.clone(),
+        }
+    }
+
+    /// Attaches an audit sink: the header is sent immediately and every
+    /// subsequent `detect` call emits a [`PredictionRecord`]. With no sink
+    /// attached the detect path pays nothing for the audit feature.
+    pub fn set_audit_sink(&mut self, mut sink: Box<dyn AuditSink>) {
+        sink.header(&self.audit_header());
+        self.audit = Some(sink);
+    }
+
+    /// Detaches and returns the audit sink, if one was attached.
+    pub fn take_audit_sink(&mut self) -> Option<Box<dyn AuditSink>> {
+        self.audit.take()
     }
 
     /// Serializes the fitted detector (networks, calibration, imputers,
@@ -459,11 +533,28 @@ impl NoodleDetector {
     ///
     /// Returns [`PipelineError`] if the source fails to parse.
     pub fn detect(&mut self, source: &str) -> Result<Detection, PipelineError> {
+        self.detect_named("", source, None)
+    }
+
+    /// Classifies like [`NoodleDetector::detect`], carrying a design
+    /// identifier and an optional ground-truth label (0 = TF, 1 = TI) into
+    /// the audit record — the label powers the offline coverage and Brier
+    /// monitors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if the source fails to parse.
+    pub fn detect_named(
+        &mut self,
+        design: &str,
+        source: &str,
+        label: Option<usize>,
+    ) -> Result<Detection, PipelineError> {
         let _span = noodle_telemetry::span!("detect");
         let _timer = noodle_telemetry::time_histogram("detect.latency_us");
         noodle_telemetry::counter_add("detect.calls", 1);
         let (graph, tabular) = extract_modalities(source)?;
-        self.detect_features(Some(&graph), Some(&tabular))
+        self.detect_features_named(design, Some(&graph), Some(&tabular), label)
     }
 
     /// Classifies from raw modality vectors; either modality may be missing
@@ -479,6 +570,26 @@ impl NoodleDetector {
         graph: Option<&[f32]>,
         tabular: Option<&[f32]>,
     ) -> Result<Detection, PipelineError> {
+        self.detect_features_named("", graph, tabular, None)
+    }
+
+    /// [`NoodleDetector::detect_features`] with audit provenance: the
+    /// design identifier and optional label are carried into the emitted
+    /// [`PredictionRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NoodleDetector::detect_features`].
+    pub fn detect_features_named(
+        &mut self,
+        design: &str,
+        graph: Option<&[f32]>,
+        tabular: Option<&[f32]>,
+        label: Option<usize>,
+    ) -> Result<Detection, PipelineError> {
+        let start = self.audit.is_some().then(Instant::now);
+        let graph_present = graph.is_some();
+        let tabular_present = tabular.is_some();
         if let Some(g) = graph {
             if g.len() != GRAPH_DIM {
                 return Err(PipelineError::Dataset(format!(
@@ -524,8 +635,10 @@ impl NoodleDetector {
         };
 
         let strategy = self.evaluation.winner;
-        let prediction = self.conformal_for(&graph, &tabular, strategy);
-        Ok(self.decision(prediction, strategy, imputed))
+        let (prediction, probes) = self.predict_with_optional_probes(&graph, &tabular, strategy);
+        let detection = self.decision(prediction, strategy, imputed);
+        self.emit_audit(design, label, &detection, graph_present, tabular_present, probes, start);
+        Ok(detection)
     }
 
     /// Classifies with an explicitly chosen strategy (used by the ablation
@@ -539,9 +652,68 @@ impl NoodleDetector {
         source: &str,
         strategy: FusionStrategy,
     ) -> Result<Detection, PipelineError> {
+        let start = self.audit.is_some().then(Instant::now);
         let (graph, tabular) = extract_modalities(source)?;
-        let prediction = self.conformal_for(&graph, &tabular, strategy);
-        Ok(self.decision(prediction, strategy, false))
+        let (prediction, probes) = self.predict_with_optional_probes(&graph, &tabular, strategy);
+        let detection = self.decision(prediction, strategy, false);
+        self.emit_audit("", None, &detection, true, true, probes, start);
+        Ok(detection)
+    }
+
+    /// Runs [`NoodleDetector::conformal_for`], collecting per-source
+    /// conformal evidence only when an audit sink is attached (the probe
+    /// vector stays unallocated otherwise).
+    fn predict_with_optional_probes(
+        &mut self,
+        graph: &[f32],
+        tabular: &[f32],
+        strategy: FusionStrategy,
+    ) -> (ConformalPrediction, Vec<SourceProbe>) {
+        let mut probes = Vec::new();
+        let want_probes = self.audit.is_some();
+        let prediction =
+            self.conformal_for(graph, tabular, strategy, want_probes.then_some(&mut probes));
+        (prediction, probes)
+    }
+
+    /// Emits one audit record when a sink is attached; a no-op otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_audit(
+        &mut self,
+        design: &str,
+        label: Option<usize>,
+        detection: &Detection,
+        graph_present: bool,
+        tabular_present: bool,
+        probes: Vec<SourceProbe>,
+        start: Option<Instant>,
+    ) {
+        if self.audit.is_none() {
+            return;
+        }
+        let seq = self.audit_seq;
+        self.audit_seq += 1;
+        let p = detection.prediction.p_values();
+        let record = PredictionRecord {
+            seq,
+            design: design.to_string(),
+            strategy: format!("{:?}", detection.strategy),
+            infected: detection.infected,
+            probability_infected: detection.probability_infected,
+            p_values: [p[0], p[1]],
+            region: detection.region.clone(),
+            credibility: detection.credibility,
+            confidence: detection.confidence,
+            uncertain: detection.uncertain,
+            significance: self.config.significance,
+            graph_present,
+            tabular_present,
+            imputed_modality: detection.imputed_modality,
+            label,
+            latency_us: start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e6),
+            sources: probes,
+        };
+        emit_if(self.audit.as_deref_mut(), move || record);
     }
 
     fn conformal_for(
@@ -549,6 +721,7 @@ impl NoodleDetector {
         graph: &[f32],
         tabular: &[f32],
         strategy: FusionStrategy,
+        mut probes: Option<&mut Vec<SourceProbe>>,
     ) -> ConformalPrediction {
         let graph_t =
             Tensor::from_vec(vec![1, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE], graph.to_vec())
@@ -561,13 +734,17 @@ impl NoodleDetector {
         match strategy {
             FusionStrategy::GraphOnly => {
                 let proba = self.graph_clf.predict_proba(&graph_t);
-                ConformalPrediction::new(self.icp_graph.p_values(&scores_from_proba(proba.row(0))))
+                let scores = scores_from_proba(proba.row(0));
+                let p = self.icp_graph.p_values(&scores);
+                push_probe(&mut probes, "graph", &p, &scores);
+                ConformalPrediction::new(p)
             }
             FusionStrategy::TabularOnly => {
                 let proba = self.tabular_clf.predict_proba(&tab_t);
-                ConformalPrediction::new(
-                    self.icp_tabular.p_values(&scores_from_proba(proba.row(0))),
-                )
+                let scores = scores_from_proba(proba.row(0));
+                let p = self.icp_tabular.p_values(&scores);
+                push_probe(&mut probes, "tabular", &p, &scores);
+                ConformalPrediction::new(p)
             }
             FusionStrategy::EarlyFusion => {
                 let mut row = graph.to_vec();
@@ -575,16 +752,25 @@ impl NoodleDetector {
                 let early = Tensor::from_vec(vec![1, 1, GRAPH_DIM + TABULAR_DIM], row)
                     .expect("concatenation length is fixed");
                 let proba = self.early_clf.predict_proba(&early);
-                ConformalPrediction::new(self.icp_early.p_values(&scores_from_proba(proba.row(0))))
+                let scores = scores_from_proba(proba.row(0));
+                let p = self.icp_early.p_values(&scores);
+                push_probe(&mut probes, "early_fusion", &p, &scores);
+                ConformalPrediction::new(p)
             }
             FusionStrategy::LateFusion => {
                 let pg = {
                     let proba = self.graph_clf.predict_proba(&graph_t);
-                    self.icp_graph.p_values(&scores_from_proba(proba.row(0)))
+                    let scores = scores_from_proba(proba.row(0));
+                    let p = self.icp_graph.p_values(&scores);
+                    push_probe(&mut probes, "graph", &p, &scores);
+                    p
                 };
                 let pt = {
                     let proba = self.tabular_clf.predict_proba(&tab_t);
-                    self.icp_tabular.p_values(&scores_from_proba(proba.row(0)))
+                    let scores = scores_from_proba(proba.row(0));
+                    let p = self.icp_tabular.p_values(&scores);
+                    push_probe(&mut probes, "tabular", &p, &scores);
+                    p
                 };
                 let fused: Vec<f64> =
                     (0..2).map(|c| self.config.combiner.combine(&[pg[c], pt[c]])).collect();
@@ -653,11 +839,32 @@ fn scores_from_proba(row: &[f32]) -> Vec<f32> {
     row.iter().map(|&p| nonconformity_from_proba(p)).collect()
 }
 
+/// Records one source's conformal evidence when probes are being gathered.
+fn push_probe(
+    probes: &mut Option<&mut Vec<SourceProbe>>,
+    source: &str,
+    p_values: &[f64],
+    scores: &[f32],
+) {
+    if let Some(probes) = probes.as_deref_mut() {
+        probes.push(SourceProbe {
+            source: source.to_string(),
+            p_values: [p_values[0], p_values[1]],
+            scores: [scores[0] as f64, scores[1] as f64],
+        });
+    }
+}
+
+/// Calibrates one p-value source and snapshots its predicted-class
+/// (minimum) nonconformity scores — the statistic the serve-time drift
+/// monitor sees, so the persisted PSI baseline compares like with like
+/// (true-class scores have a different upper tail on misclassified
+/// samples).
 fn calibrate(
     clf: &mut ModalityClassifier,
     inputs: &Tensor,
     labels: &[usize],
-) -> Result<MondrianIcp, PipelineError> {
+) -> Result<(MondrianIcp, Vec<f64>), PipelineError> {
     let _span = noodle_telemetry::span!(
         "icp.calibrate",
         modality = clf.modality_name(),
@@ -669,7 +876,12 @@ fn calibrate(
         .enumerate()
         .map(|(i, &y)| (nonconformity_from_proba(proba.row(i)[y]), y))
         .collect();
-    Ok(MondrianIcp::fit(&scores, 2)?)
+    let min_scores: Vec<f64> = (0..labels.len())
+        .map(|i| {
+            scores_from_proba(proba.row(i)).into_iter().fold(f64::INFINITY, |m, s| m.min(s as f64))
+        })
+        .collect();
+    Ok((MondrianIcp::fit(&scores, 2)?, min_scores))
 }
 
 fn tab_input(dataset: &MultimodalDataset, indices: &[usize], norm: &ZScore) -> Tensor {
@@ -822,5 +1034,89 @@ mod tests {
     fn strategy_labels_match_table_one() {
         assert_eq!(FusionStrategy::GraphOnly.label(), "Graph-based Data");
         assert!(FusionStrategy::LateFusion.label().contains("Late Fusion"));
+    }
+
+    #[test]
+    fn fit_persists_a_calibration_baseline() {
+        let det = fitted();
+        let baseline = det.baseline().expect("fit captures a baseline");
+        for source in ["graph", "tabular", "early_fusion"] {
+            let b = baseline.sources.get(source).unwrap_or_else(|| panic!("no {source} baseline"));
+            assert_eq!(b.n, baseline.calibration_count);
+            assert!(!b.edges.is_empty());
+            let sum: f64 = b.expected.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        assert!(baseline.class_balance > 0.0 && baseline.class_balance < 1.0);
+        assert!((baseline.significance - det.config().significance).abs() < 1e-12);
+        assert!(baseline.calibration_count > 0);
+        assert!((baseline.winner_brier - det.evaluation().brier_of(det.winner())).abs() < 1e-12);
+
+        // The baseline survives model serialization.
+        let restored = NoodleDetector::from_json(&det.to_json().unwrap()).unwrap();
+        assert_eq!(restored.baseline(), det.baseline());
+    }
+
+    #[test]
+    fn audit_sink_receives_header_and_records() {
+        use noodle_observe::MemoryAudit;
+
+        let mut det = fitted();
+        let sink = MemoryAudit::new();
+        det.set_audit_sink(Box::new(sink.clone()));
+
+        let header = sink.header().expect("header emitted on attach");
+        assert_eq!(header.schema_version, noodle_observe::AUDIT_SCHEMA_VERSION);
+        assert!((header.significance - det.config().significance).abs() < 1e-12);
+        assert_eq!(header.strategy, format!("{:?}", det.winner()));
+        assert!(header.baseline.is_some());
+
+        let probe =
+            generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 1, seed: 321 });
+        for bench in &probe {
+            det.detect_named(&bench.name, &bench.source, Some(bench.label.index())).unwrap();
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), probe.len());
+        for (i, (record, bench)) in records.iter().zip(&probe).enumerate() {
+            assert_eq!(record.seq, i as u64);
+            assert_eq!(record.design, bench.name);
+            assert_eq!(record.label, Some(bench.label.index()));
+            assert_eq!(record.strategy, format!("{:?}", det.winner()));
+            assert!(record.graph_present && record.tabular_present);
+            assert!(!record.imputed_modality);
+            assert!(record.p_values.iter().all(|&p| p > 0.0 && p <= 1.0));
+            assert!(!record.sources.is_empty());
+            for probe in &record.sources {
+                assert!(probe.p_values.iter().all(|&p| p > 0.0 && p <= 1.0));
+            }
+        }
+
+        // Detaching stops emission.
+        assert!(det.take_audit_sink().is_some());
+        det.detect(&probe[0].source).unwrap();
+        assert_eq!(sink.records().len(), probe.len());
+    }
+
+    #[test]
+    fn unaudited_detect_matches_audited_decisions() {
+        use noodle_observe::MemoryAudit;
+
+        let mut plain = fitted();
+        let mut audited = fitted();
+        let sink = MemoryAudit::new();
+        audited.set_audit_sink(Box::new(sink.clone()));
+        let probe =
+            generate_corpus(&CorpusConfig { trojan_free: 1, trojan_infected: 1, seed: 4242 });
+        for bench in &probe {
+            let a = plain.detect(&bench.source).unwrap();
+            let b = audited.detect(&bench.source).unwrap();
+            assert_eq!(a.infected, b.infected);
+            assert_eq!(a.prediction.p_values(), b.prediction.p_values());
+        }
+        // The audited run produced matching records.
+        let records = sink.records();
+        assert_eq!(records.len(), probe.len());
+        assert!(records.iter().all(|r| r.latency_us > 0.0));
     }
 }

@@ -1,0 +1,35 @@
+//! Error type for audit-log parsing and monitor replay.
+
+use std::fmt;
+
+/// An audit/monitoring failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    message: String,
+}
+
+impl AuditError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_its_message() {
+        let err = AuditError::new("bad line");
+        assert_eq!(err.to_string(), "bad line");
+    }
+}

@@ -1,0 +1,44 @@
+//! Prediction provenance and online monitoring for the NOODLE detector.
+//!
+//! NOODLE's value proposition is *calibrated* uncertainty: Mondrian ICP
+//! guarantees per-class coverage `1 − ε`, and fusion is chosen by Brier
+//! score. Those guarantees rest on exchangeability and silently degrade
+//! when the serving distribution drifts. This crate turns the guarantee
+//! into a monitored runtime invariant:
+//!
+//! - [`PredictionRecord`] — the per-`detect` provenance record (modality
+//!   availability, per-class Mondrian p-values, credibility/confidence,
+//!   fused decision, latency), streamed to a pluggable [`AuditSink`] such
+//!   as [`JsonlAudit`].
+//! - [`MonitorSuite`] — sliding-window monitors for empirical conformal
+//!   coverage vs ε (binomial tolerance bands), rolling Brier score,
+//!   nonconformity-score PSI drift against the fit-time
+//!   [`CalibrationBaseline`], class-balance and modality-imputation drift,
+//!   each reporting [`Health`] with evidence.
+//! - [`replay`] / [`MonitorReport`] — offline replay of a JSONL audit log
+//!   into a machine-readable health report (the `noodle observe`
+//!   subcommand).
+//!
+//! Audit emission follows the same gating discipline as
+//! `noodle-telemetry`: with no sink attached, [`emit_if`] never invokes
+//! the record builder, so the hot detect path pays nothing (enforced by a
+//! counting-allocator test in this crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod monitor;
+pub mod psi;
+pub mod record;
+pub mod report;
+pub mod sink;
+
+pub use error::AuditError;
+pub use monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
+pub use psi::{CalibrationBaseline, ScoreBaseline};
+pub use record::{
+    parse_audit_log, AuditHeader, AuditLine, PredictionRecord, SourceProbe, AUDIT_SCHEMA_VERSION,
+};
+pub use report::{replay, MonitorReport, MONITOR_SCHEMA_VERSION};
+pub use sink::{emit_if, AuditSink, JsonlAudit, MemoryAudit};

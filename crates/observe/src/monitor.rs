@@ -1,0 +1,657 @@
+//! Online monitors over sliding windows of prediction records.
+//!
+//! Each monitor compares a windowed statistic against a reference (the
+//! configured ε, the fit-time calibration baseline, or a fixed threshold)
+//! and reports [`Health`] with the evidence that triggered it. Tolerance
+//! bands are binomial: for a rate with expectation `p` over `n` samples,
+//! `σ = sqrt(p(1−p)/n)` and the monitor warns/alerts at configurable
+//! multiples of σ.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::psi::CalibrationBaseline;
+use crate::record::PredictionRecord;
+
+/// Health verdict of one monitor, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Health {
+    /// Statistic within tolerance of its reference.
+    Healthy,
+    /// Statistic outside the warn band but below the alert band.
+    Warn,
+    /// Statistic outside the alert band.
+    Alert,
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Warn => "warn",
+            Health::Alert => "alert",
+        })
+    }
+}
+
+/// One monitor's verdict plus the numbers behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorStatus {
+    /// Monitor name, e.g. `"coverage.trojan_free"` or `"drift.graph"`.
+    pub monitor: String,
+    /// The verdict.
+    pub health: Health,
+    /// The windowed statistic that was checked.
+    pub observed: f64,
+    /// The reference it was checked against.
+    pub expected: f64,
+    /// Half-width of the warn band around `expected` (0 for threshold
+    /// monitors such as PSI, where `expected` is the warn threshold).
+    pub tolerance: f64,
+    /// Number of window samples the statistic was computed from.
+    pub samples: usize,
+    /// Human-readable explanation of the verdict.
+    pub evidence: String,
+}
+
+/// Thresholds and window sizing for [`MonitorSuite`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Sliding-window length (records) for every monitor.
+    pub window: usize,
+    /// Monitors stay `Healthy` with an "insufficient samples" note until
+    /// this many relevant samples are in the window.
+    pub min_samples: usize,
+    /// Significance override; falls back to the audit header / records.
+    pub epsilon: Option<f64>,
+    /// PSI above this warns (industry-standard 0.10).
+    pub psi_warn: f64,
+    /// PSI above this alerts (industry-standard 0.25).
+    pub psi_alert: f64,
+    /// Rolling Brier may exceed the fit-time reference by this before warn.
+    pub brier_warn_margin: f64,
+    /// Rolling Brier may exceed the fit-time reference by this before alert.
+    pub brier_alert_margin: f64,
+    /// Coverage error warn band, in binomial σ above ε.
+    pub coverage_warn_sigmas: f64,
+    /// Coverage error alert band, in binomial σ above ε.
+    pub coverage_alert_sigmas: f64,
+    /// Class-balance warn band, in binomial σ around the baseline balance.
+    pub balance_warn_sigmas: f64,
+    /// Class-balance alert band, in binomial σ around the baseline balance.
+    pub balance_alert_sigmas: f64,
+    /// Imputed-modality fraction above this warns.
+    pub imputed_warn: f64,
+    /// Imputed-modality fraction above this alerts.
+    pub imputed_alert: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            min_samples: 20,
+            epsilon: None,
+            psi_warn: 0.10,
+            psi_alert: 0.25,
+            brier_warn_margin: 0.05,
+            brier_alert_margin: 0.15,
+            coverage_warn_sigmas: 2.0,
+            coverage_alert_sigmas: 3.0,
+            balance_warn_sigmas: 2.5,
+            balance_alert_sigmas: 3.5,
+            imputed_warn: 0.10,
+            imputed_alert: 0.30,
+        }
+    }
+}
+
+/// A bounded window of f64 observations.
+#[derive(Debug, Clone, Default)]
+struct Window {
+    values: VecDeque<f64>,
+    cap: usize,
+}
+
+impl Window {
+    fn new(cap: usize) -> Self {
+        Self { values: VecDeque::with_capacity(cap.min(1024)), cap }
+    }
+
+    fn push(&mut self, value: f64) {
+        if self.values.len() == self.cap {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    fn as_vec(&self) -> Vec<f64> {
+        self.values.iter().copied().collect()
+    }
+}
+
+/// The full set of online monitors, fed one [`PredictionRecord`] at a time.
+#[derive(Debug, Clone)]
+pub struct MonitorSuite {
+    config: MonitorConfig,
+    baseline: Option<CalibrationBaseline>,
+    /// Fallback ε taken from the first record when neither the config nor a
+    /// baseline provides one.
+    seen_significance: Option<f64>,
+    records: usize,
+    labeled: usize,
+    /// Per-class coverage misses (1.0 = true class outside region).
+    coverage_miss: [Window; 2],
+    /// Per-record Brier terms (mean squared error over both classes).
+    brier: Window,
+    /// Predicted-infected indicator for class-balance drift.
+    predicted_infected: Window,
+    /// Imputed-modality indicator.
+    imputed: Window,
+    /// Per-source predicted-class (minimum) nonconformity scores, keyed in
+    /// baseline-source order.
+    source_scores: Vec<(String, Window)>,
+}
+
+impl MonitorSuite {
+    /// A suite with the given thresholds and optional fit-time baseline.
+    pub fn new(config: MonitorConfig, baseline: Option<CalibrationBaseline>) -> Self {
+        let w = config.window;
+        let source_scores = baseline
+            .as_ref()
+            .map(|b| b.sources.keys().map(|k| (k.clone(), Window::new(w))).collect())
+            .unwrap_or_default();
+        Self {
+            config,
+            baseline,
+            seen_significance: None,
+            records: 0,
+            labeled: 0,
+            coverage_miss: [Window::new(w), Window::new(w)],
+            brier: Window::new(w),
+            predicted_infected: Window::new(w),
+            imputed: Window::new(w),
+            source_scores,
+        }
+    }
+
+    /// The significance level monitors are checking coverage against.
+    pub fn epsilon(&self) -> Option<f64> {
+        self.config
+            .epsilon
+            .or(self.baseline.as_ref().map(|b| b.significance))
+            .or(self.seen_significance)
+    }
+
+    /// Total records ingested.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Records that carried a ground-truth label.
+    pub fn labeled(&self) -> usize {
+        self.labeled
+    }
+
+    /// Ingests one prediction record into every window.
+    pub fn push(&mut self, record: &PredictionRecord) {
+        self.records += 1;
+        if self.seen_significance.is_none() && record.significance > 0.0 {
+            self.seen_significance = Some(record.significance);
+        }
+        self.predicted_infected.push(if record.infected { 1.0 } else { 0.0 });
+        self.imputed.push(if record.imputed_modality { 1.0 } else { 0.0 });
+
+        if let Some(label) = record.label.filter(|l| *l < 2) {
+            self.labeled += 1;
+            let miss = if record.region.contains(&label) { 0.0 } else { 1.0 };
+            self.coverage_miss[label].push(miss);
+            // Brier over the normalized two-class probability vector.
+            let p1 = record.probability_infected;
+            let (t0, t1) = if label == 0 { (1.0, 0.0) } else { (0.0, 1.0) };
+            let term = (((1.0 - p1) - t0).powi(2) + (p1 - t1).powi(2)) / 2.0;
+            self.brier.push(term);
+        }
+
+        for (name, window) in &mut self.source_scores {
+            if let Some(probe) = record.sources.iter().find(|p| &p.source == name) {
+                let min_score = probe.scores[0].min(probe.scores[1]);
+                window.push(min_score);
+            }
+        }
+    }
+
+    /// Evaluates every monitor against its reference.
+    pub fn statuses(&self) -> Vec<MonitorStatus> {
+        let mut out = Vec::new();
+        out.extend(self.coverage_statuses());
+        if let Some(status) = self.brier_status() {
+            out.push(status);
+        }
+        out.extend(self.drift_statuses());
+        if let Some(status) = self.balance_status() {
+            out.push(status);
+        }
+        out.push(self.imputed_status());
+        out
+    }
+
+    /// The worst health across all monitors.
+    pub fn overall(&self) -> Health {
+        self.statuses().iter().map(|s| s.health).max().unwrap_or(Health::Healthy)
+    }
+
+    fn underpowered(&self, monitor: &str, observed: f64, expected: f64, n: usize) -> MonitorStatus {
+        MonitorStatus {
+            monitor: monitor.to_string(),
+            health: Health::Healthy,
+            observed,
+            expected,
+            tolerance: 0.0,
+            samples: n,
+            evidence: format!(
+                "insufficient samples ({n} < {}); monitor not yet powered",
+                self.config.min_samples
+            ),
+        }
+    }
+
+    fn coverage_statuses(&self) -> Vec<MonitorStatus> {
+        let names = ["coverage.trojan_free", "coverage.trojan_infected"];
+        let Some(epsilon) = self.epsilon() else {
+            return Vec::new();
+        };
+        names
+            .iter()
+            .zip(self.coverage_miss.iter())
+            .map(|(name, window)| {
+                let n = window.len();
+                if n < self.config.min_samples {
+                    return self.underpowered(name, window.mean().unwrap_or(0.0), epsilon, n);
+                }
+                let err = window.mean().expect("non-empty window");
+                let sigma = (epsilon * (1.0 - epsilon) / n as f64).sqrt();
+                let warn = epsilon + self.config.coverage_warn_sigmas * sigma;
+                let alert = epsilon + self.config.coverage_alert_sigmas * sigma;
+                let health = if err > alert {
+                    Health::Alert
+                } else if err > warn {
+                    Health::Warn
+                } else {
+                    Health::Healthy
+                };
+                MonitorStatus {
+                    monitor: name.to_string(),
+                    health,
+                    observed: err,
+                    expected: epsilon,
+                    tolerance: self.config.coverage_warn_sigmas * sigma,
+                    samples: n,
+                    evidence: format!(
+                        "empirical miscoverage {err:.3} vs ε={epsilon:.3} \
+                         (warn>{warn:.3}, alert>{alert:.3}, n={n})"
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    fn brier_status(&self) -> Option<MonitorStatus> {
+        let reference = self.baseline.as_ref()?.winner_brier;
+        let n = self.brier.len();
+        if n < self.config.min_samples {
+            return Some(self.underpowered(
+                "brier",
+                self.brier.mean().unwrap_or(0.0),
+                reference,
+                n,
+            ));
+        }
+        let observed = self.brier.mean().expect("non-empty window");
+        let warn = reference + self.config.brier_warn_margin;
+        let alert = reference + self.config.brier_alert_margin;
+        let health = if observed > alert {
+            Health::Alert
+        } else if observed > warn {
+            Health::Warn
+        } else {
+            Health::Healthy
+        };
+        Some(MonitorStatus {
+            monitor: "brier".to_string(),
+            health,
+            observed,
+            expected: reference,
+            tolerance: self.config.brier_warn_margin,
+            samples: n,
+            evidence: format!(
+                "rolling Brier {observed:.4} vs fit-time {reference:.4} \
+                 (warn>{warn:.4}, alert>{alert:.4}, n={n})"
+            ),
+        })
+    }
+
+    fn drift_statuses(&self) -> Vec<MonitorStatus> {
+        let Some(baseline) = self.baseline.as_ref() else {
+            return Vec::new();
+        };
+        self.source_scores
+            .iter()
+            .filter_map(|(name, window)| {
+                let reference = baseline.sources.get(name)?;
+                let monitor = format!("drift.{name}");
+                let n = window.len();
+                if n < self.config.min_samples {
+                    return Some(self.underpowered(&monitor, 0.0, self.config.psi_warn, n));
+                }
+                let psi = reference.psi(&window.as_vec())?;
+                // A finite window has nonzero PSI even with no shift: under
+                // the null the estimate behaves like a scaled χ² with
+                // (bins − 1) degrees of freedom, mean ≈ (bins − 1)/n. Subtract
+                // that noise floor so small windows are not spuriously
+                // flagged.
+                let noise_floor = reference.expected.len().saturating_sub(1) as f64 / n as f64;
+                let adjusted = (psi - noise_floor).max(0.0);
+                let health = if adjusted > self.config.psi_alert {
+                    Health::Alert
+                } else if adjusted > self.config.psi_warn {
+                    Health::Warn
+                } else {
+                    Health::Healthy
+                };
+                Some(MonitorStatus {
+                    monitor,
+                    health,
+                    observed: adjusted,
+                    expected: self.config.psi_warn,
+                    tolerance: 0.0,
+                    samples: n,
+                    evidence: format!(
+                        "PSI {adjusted:.3} (raw {psi:.3} − noise floor {noise_floor:.3}) of \
+                         predicted-class nonconformity scores vs calibration baseline \
+                         (warn>{:.2}, alert>{:.2}, n={n})",
+                        self.config.psi_warn, self.config.psi_alert
+                    ),
+                })
+            })
+            .collect()
+    }
+
+    fn balance_status(&self) -> Option<MonitorStatus> {
+        let reference = self.baseline.as_ref()?.class_balance;
+        let n = self.predicted_infected.len();
+        if n < self.config.min_samples {
+            return Some(self.underpowered(
+                "class_balance",
+                self.predicted_infected.mean().unwrap_or(0.0),
+                reference,
+                n,
+            ));
+        }
+        let observed = self.predicted_infected.mean().expect("non-empty window");
+        let sigma = (reference * (1.0 - reference) / n as f64).sqrt().max(1e-6);
+        let deviation = (observed - reference).abs();
+        let warn = self.config.balance_warn_sigmas * sigma;
+        let alert = self.config.balance_alert_sigmas * sigma;
+        let health = if deviation > alert {
+            Health::Alert
+        } else if deviation > warn {
+            Health::Warn
+        } else {
+            Health::Healthy
+        };
+        Some(MonitorStatus {
+            monitor: "class_balance".to_string(),
+            health,
+            observed,
+            expected: reference,
+            tolerance: warn,
+            samples: n,
+            evidence: format!(
+                "predicted-infected fraction {observed:.3} vs calibration balance \
+                 {reference:.3} (±{warn:.3} warn, ±{alert:.3} alert, n={n})"
+            ),
+        })
+    }
+
+    fn imputed_status(&self) -> MonitorStatus {
+        let n = self.imputed.len();
+        if n < self.config.min_samples {
+            return self.underpowered(
+                "modality.imputed",
+                self.imputed.mean().unwrap_or(0.0),
+                self.config.imputed_warn,
+                n,
+            );
+        }
+        let observed = self.imputed.mean().expect("non-empty window");
+        let health = if observed > self.config.imputed_alert {
+            Health::Alert
+        } else if observed > self.config.imputed_warn {
+            Health::Warn
+        } else {
+            Health::Healthy
+        };
+        MonitorStatus {
+            monitor: "modality.imputed".to_string(),
+            health,
+            observed,
+            expected: self.config.imputed_warn,
+            tolerance: 0.0,
+            samples: n,
+            evidence: format!(
+                "imputed-modality fraction {observed:.3} (warn>{:.2}, alert>{:.2}, n={n})",
+                self.config.imputed_warn, self.config.imputed_alert
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psi::ScoreBaseline;
+    use crate::record::SourceProbe;
+    use std::collections::BTreeMap;
+
+    fn config() -> MonitorConfig {
+        MonitorConfig { window: 128, min_samples: 20, ..MonitorConfig::default() }
+    }
+
+    fn baseline() -> CalibrationBaseline {
+        let scores: Vec<f64> = (0..200).map(|i| 0.05 + 0.001 * (i % 100) as f64).collect();
+        let mut sources = BTreeMap::new();
+        sources
+            .insert("early_fusion".to_string(), ScoreBaseline::from_scores(&scores, 10).unwrap());
+        CalibrationBaseline {
+            sources,
+            class_balance: 1.0 / 3.0,
+            winner_brier: 0.05,
+            significance: 0.1,
+            calibration_count: 200,
+        }
+    }
+
+    /// A record whose coverage, Brier, drift, balance and imputation
+    /// behavior the caller controls.
+    fn record(
+        label: usize,
+        covered: bool,
+        p1: f64,
+        min_score: f64,
+        imputed: bool,
+    ) -> PredictionRecord {
+        let region = if covered { vec![label] } else { vec![1 - label] };
+        let infected = p1 >= 0.5;
+        PredictionRecord {
+            seq: 0,
+            design: String::new(),
+            strategy: "EarlyFusion".into(),
+            infected,
+            probability_infected: p1,
+            p_values: [1.0 - p1, p1],
+            region,
+            credibility: 0.9,
+            confidence: 0.9,
+            uncertain: false,
+            significance: 0.1,
+            graph_present: true,
+            tabular_present: !imputed,
+            imputed_modality: imputed,
+            label: Some(label),
+            latency_us: 50.0,
+            sources: vec![SourceProbe {
+                source: "early_fusion".into(),
+                p_values: [1.0 - p1, p1],
+                scores: [min_score + 0.4, min_score],
+            }],
+        }
+    }
+
+    fn status<'a>(statuses: &'a [MonitorStatus], name: &str) -> &'a MonitorStatus {
+        statuses.iter().find(|s| s.monitor == name).unwrap_or_else(|| panic!("no monitor {name}"))
+    }
+
+    #[test]
+    fn in_distribution_stream_is_healthy() {
+        let config = MonitorConfig { window: 256, ..config() };
+        let mut suite = MonitorSuite::new(config, Some(baseline()));
+        // 1/3 infected, ~5% miscoverage, good Brier, scores matching the
+        // calibration baseline's support exactly.
+        for i in 0..200 {
+            let label = usize::from(i % 3 == 0);
+            let covered = i % 20 != 0;
+            let p1 = if label == 1 { 0.9 } else { 0.1 };
+            suite.push(&record(label, covered, p1, 0.05 + 0.001 * (i % 100) as f64, false));
+        }
+        assert_eq!(suite.overall(), Health::Healthy, "{:#?}", suite.statuses());
+        assert_eq!(suite.records(), 200);
+        assert_eq!(suite.labeled(), 200);
+    }
+
+    #[test]
+    fn coverage_collapse_alerts_per_class() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        for i in 0..90 {
+            let label = usize::from(i % 3 == 0);
+            // Trojan-infected class always misses coverage.
+            let covered = label == 0;
+            let p1 = if label == 1 { 0.1 } else { 0.1 };
+            suite.push(&record(label, covered, p1, 0.06, false));
+        }
+        let statuses = suite.statuses();
+        assert_eq!(status(&statuses, "coverage.trojan_infected").health, Health::Alert);
+        assert_eq!(status(&statuses, "coverage.trojan_free").health, Health::Healthy);
+        assert_eq!(suite.overall(), Health::Alert);
+    }
+
+    #[test]
+    fn score_shift_trips_psi_drift() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        for i in 0..60 {
+            let label = usize::from(i % 3 == 0);
+            let p1 = if label == 1 { 0.9 } else { 0.1 };
+            // Scores far above the calibration baseline's support.
+            suite.push(&record(label, true, p1, 0.4 + 0.001 * (i % 50) as f64, false));
+        }
+        let statuses = suite.statuses();
+        assert_eq!(status(&statuses, "drift.early_fusion").health, Health::Alert);
+    }
+
+    #[test]
+    fn degraded_probabilities_alert_on_brier() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        for i in 0..60 {
+            let label = usize::from(i % 3 == 0);
+            // Covered regions but near-chance probabilities: Brier ~0.25.
+            let p1 = 0.5;
+            suite.push(&record(label, true, p1, 0.06, false));
+        }
+        let statuses = suite.statuses();
+        assert_eq!(status(&statuses, "brier").health, Health::Alert);
+    }
+
+    #[test]
+    fn class_balance_shift_is_flagged() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        // Everything predicted infected vs baseline balance 1/3.
+        for _ in 0..60 {
+            suite.push(&record(1, true, 0.9, 0.06, false));
+        }
+        let statuses = suite.statuses();
+        assert_eq!(status(&statuses, "class_balance").health, Health::Alert);
+    }
+
+    #[test]
+    fn heavy_imputation_warns_then_alerts() {
+        let mut suite = MonitorSuite::new(config(), None);
+        for i in 0..60 {
+            suite.push(&record(0, true, 0.1, 0.06, i % 5 == 0));
+        }
+        let statuses = suite.statuses();
+        assert_eq!(status(&statuses, "modality.imputed").health, Health::Warn);
+
+        let mut suite = MonitorSuite::new(config(), None);
+        for _ in 0..60 {
+            suite.push(&record(0, true, 0.1, 0.06, true));
+        }
+        assert_eq!(status(&suite.statuses(), "modality.imputed").health, Health::Alert);
+    }
+
+    #[test]
+    fn underpowered_monitors_stay_healthy_with_a_note() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        for _ in 0..5 {
+            suite.push(&record(1, false, 0.5, 0.45, true));
+        }
+        for status in suite.statuses() {
+            assert_eq!(status.health, Health::Healthy, "{status:?}");
+            assert!(status.evidence.contains("insufficient samples"), "{status:?}");
+        }
+    }
+
+    #[test]
+    fn unlabeled_records_skip_coverage_and_brier() {
+        let mut suite = MonitorSuite::new(config(), Some(baseline()));
+        for _ in 0..40 {
+            let mut r = record(0, true, 0.1, 0.06, false);
+            r.label = None;
+            suite.push(&r);
+        }
+        assert_eq!(suite.labeled(), 0);
+        let statuses = suite.statuses();
+        assert!(status(&statuses, "brier").evidence.contains("insufficient samples"));
+        // Unlabeled monitors still run: balance + drift are label-free.
+        assert_eq!(status(&statuses, "class_balance").health, Health::Alert);
+    }
+
+    #[test]
+    fn health_orders_by_severity() {
+        assert!(Health::Healthy < Health::Warn);
+        assert!(Health::Warn < Health::Alert);
+        assert_eq!(serde_json::to_string(&Health::Warn).unwrap(), "\"warn\"");
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = Window::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.as_vec(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.mean(), Some(3.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Population Stability Index (PSI) baselines for nonconformity-score
+//! drift detection.
+//!
+//! At fit time the detector snapshots the distribution of predicted-class
+//! nonconformity scores on its calibration split into a [`ScoreBaseline`]
+//! per p-value source, bundled with class balance and Brier reference
+//! points in a [`CalibrationBaseline`]. At serve time the drift monitor
+//! re-bins live scores against the frozen edges and computes
+//! `PSI = Σ (obs − exp) · ln(obs / exp)`; values above ~0.10 conventionally
+//! signal moderate shift and above ~0.25 a severe one.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions are floored at this value before the PSI log-ratio so empty
+/// bins contribute a large-but-finite penalty instead of ±∞.
+const PSI_FLOOR: f64 = 1e-4;
+
+/// A frozen, quantile-binned reference distribution of one score stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreBaseline {
+    /// Interior bin edges, ascending; bin `i` covers `(edges[i-1], edges[i]]`
+    /// with open-ended first and last bins. `edges.len() + 1` bins total.
+    pub edges: Vec<f64>,
+    /// Expected fraction of mass per bin, measured on the baseline sample.
+    pub expected: Vec<f64>,
+    /// Number of baseline observations the expectations were measured on.
+    pub n: usize,
+}
+
+impl ScoreBaseline {
+    /// Builds a baseline from raw scores using up to `bins` quantile bins.
+    ///
+    /// Duplicate quantile edges (heavily tied scores) are collapsed, so the
+    /// realized bin count can be smaller than requested. Returns `None` when
+    /// `scores` is empty, `bins < 2`, or ties collapse everything into a
+    /// single bin (PSI would be identically zero and meaningless).
+    pub fn from_scores(scores: &[f64], bins: usize) -> Option<Self> {
+        if scores.is_empty() || bins < 2 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores compare"));
+        let n = sorted.len();
+        let mut edges = Vec::with_capacity(bins - 1);
+        for k in 1..bins {
+            // Nearest-rank quantile at k/bins.
+            let rank = (k * n).div_ceil(bins);
+            let edge = sorted[rank.saturating_sub(1).min(n - 1)];
+            if edges.last().is_none_or(|last| edge > *last) {
+                edges.push(edge);
+            }
+        }
+        // Drop a top edge equal to the max: its upper bin would be empty by
+        // construction and every baseline observation ≤ max lands below it.
+        if edges.last() == sorted.last() {
+            edges.pop();
+        }
+        if edges.is_empty() {
+            return None;
+        }
+        let expected = bin_fractions(&edges, &sorted);
+        Some(Self { edges, expected, n })
+    }
+
+    /// PSI of `observed` against this baseline. Larger means more drift;
+    /// 0 means the binned distributions match exactly.
+    ///
+    /// Returns `None` when `observed` is empty.
+    pub fn psi(&self, observed: &[f64]) -> Option<f64> {
+        if observed.is_empty() {
+            return None;
+        }
+        let obs = bin_fractions(&self.edges, observed);
+        let mut total = 0.0;
+        for (o, e) in obs.iter().zip(self.expected.iter()) {
+            let o = o.max(PSI_FLOOR);
+            let e = e.max(PSI_FLOOR);
+            total += (o - e) * (o / e).ln();
+        }
+        Some(total)
+    }
+}
+
+/// Fraction of `values` in each bin defined by `edges` (see
+/// [`ScoreBaseline::edges`] for the bin convention).
+fn bin_fractions(edges: &[f64], values: &[f64]) -> Vec<f64> {
+    let mut counts = vec![0usize; edges.len() + 1];
+    for &v in values {
+        let bin = edges.partition_point(|e| *e < v);
+        counts[bin] += 1;
+    }
+    let total = values.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+/// Everything the drift/calibration monitors need from fit time, persisted
+/// inside the detector JSON and embedded in audit-log headers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBaseline {
+    /// Per-source baselines over predicted-class (minimum) nonconformity
+    /// scores on the calibration split, keyed by source name (`"graph"`,
+    /// `"tabular"`, `"early_fusion"`).
+    pub sources: BTreeMap<String, ScoreBaseline>,
+    /// Fraction of Trojan-infected samples in the calibration split.
+    pub class_balance: f64,
+    /// Test-split Brier score of the winning fusion strategy at fit time.
+    pub winner_brier: f64,
+    /// Significance level ε the detector was configured with.
+    pub significance: f64,
+    /// Size of the calibration split.
+    pub calibration_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|i| lo + (hi - lo) * (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn identical_distributions_have_near_zero_psi() {
+        let baseline = ScoreBaseline::from_scores(&uniform(1000, 0.0, 0.5), 10).unwrap();
+        let psi = baseline.psi(&uniform(1000, 0.0, 0.5)).unwrap();
+        assert!(psi.abs() < 0.01, "psi {psi} should be ~0 for identical data");
+    }
+
+    #[test]
+    fn shifted_distribution_has_large_psi() {
+        let baseline = ScoreBaseline::from_scores(&uniform(1000, 0.0, 0.25), 10).unwrap();
+        let psi = baseline.psi(&uniform(1000, 0.25, 0.5)).unwrap();
+        assert!(psi > 1.0, "psi {psi} should be large for disjoint supports");
+    }
+
+    #[test]
+    fn moderate_shift_lands_between_thresholds() {
+        let baseline = ScoreBaseline::from_scores(&uniform(2000, 0.0, 1.0), 10).unwrap();
+        let mut shifted = uniform(1400, 0.0, 1.0);
+        shifted.extend(uniform(600, 0.6, 1.0));
+        let psi = baseline.psi(&shifted).unwrap();
+        assert!(psi > 0.02 && psi < 1.0, "psi {psi} should reflect a partial shift");
+    }
+
+    #[test]
+    fn heavy_ties_collapse_edges_but_still_bin() {
+        let mut scores = vec![0.5; 95];
+        scores.extend([0.1, 0.2, 0.3, 0.9, 1.0]);
+        let baseline = ScoreBaseline::from_scores(&scores, 10).unwrap();
+        assert!(baseline.edges.len() < 9, "tied quantiles must deduplicate");
+        assert!(baseline.psi(&scores).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(ScoreBaseline::from_scores(&[], 10).is_none());
+        assert!(ScoreBaseline::from_scores(&[0.3; 50], 10).is_none());
+        assert!(ScoreBaseline::from_scores(&[0.1, 0.2], 1).is_none());
+        let baseline = ScoreBaseline::from_scores(&uniform(100, 0.0, 1.0), 10).unwrap();
+        assert!(baseline.psi(&[]).is_none());
+    }
+
+    #[test]
+    fn expected_fractions_sum_to_one() {
+        let baseline = ScoreBaseline::from_scores(&uniform(503, 0.0, 1.0), 10).unwrap();
+        let sum: f64 = baseline.expected.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(baseline.n, 503);
+    }
+
+    #[test]
+    fn calibration_baseline_round_trips_through_json() {
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            "graph".to_string(),
+            ScoreBaseline::from_scores(&uniform(100, 0.0, 0.5), 10).unwrap(),
+        );
+        let baseline = CalibrationBaseline {
+            sources,
+            class_balance: 1.0 / 3.0,
+            winner_brier: 0.04,
+            significance: 0.1,
+            calibration_count: 100,
+        };
+        let json = serde_json::to_string(&baseline).unwrap();
+        let restored: CalibrationBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(baseline, restored);
+    }
+}

@@ -1,0 +1,234 @@
+//! Prediction provenance: the per-`detect` audit record and the JSONL
+//! audit-log framing around it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AuditError;
+use crate::psi::CalibrationBaseline;
+
+/// Version of the audit-log line schema. Bump the major number when a field
+/// is renamed or its meaning changes; readers reject logs from the future.
+pub const AUDIT_SCHEMA_VERSION: u32 = 1;
+
+/// Per-class conformal evidence from one p-value source (a single-modality
+/// classifier or the early-fusion classifier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceProbe {
+    /// Source name: `"graph"`, `"tabular"` or `"early_fusion"`.
+    pub source: String,
+    /// Per-class Mondrian p-values from this source.
+    pub p_values: [f64; 2],
+    /// Per-class nonconformity scores fed to the Mondrian ICP.
+    pub scores: [f64; 2],
+}
+
+/// One `detect` call, serialized to the audit log: the full evidence trail
+/// from modality availability through per-source p-values to the fused
+/// decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Monotonic sequence number within the emitting detector.
+    pub seq: u64,
+    /// Design identifier (file stem or module name; may be empty for
+    /// anonymous library calls).
+    pub design: String,
+    /// The fusion strategy that produced the decision, e.g. `"LateFusion"`.
+    pub strategy: String,
+    /// The hedged point decision.
+    pub infected: bool,
+    /// Normalized probability of infection derived from the p-values.
+    pub probability_infected: f64,
+    /// Final per-class p-values (combined, for late fusion).
+    pub p_values: [f64; 2],
+    /// Classes in the prediction region at `significance`.
+    pub region: Vec<usize>,
+    /// Credibility of the decision (largest p-value).
+    pub credibility: f64,
+    /// Confidence of the decision (1 − second-largest p-value).
+    pub confidence: f64,
+    /// Whether the region contains both classes.
+    pub uncertain: bool,
+    /// The significance level ε the region was computed at.
+    pub significance: f64,
+    /// Whether the graph modality was supplied by the caller.
+    pub graph_present: bool,
+    /// Whether the tabular modality was supplied by the caller.
+    pub tabular_present: bool,
+    /// Whether a missing modality was GAN-imputed.
+    pub imputed_modality: bool,
+    /// Ground-truth label when known (0 = TF, 1 = TI); enables the coverage
+    /// and Brier monitors downstream.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<usize>,
+    /// Wall-clock latency of the detect call, in microseconds.
+    pub latency_us: f64,
+    /// Per-source conformal evidence (one entry per classifier consulted).
+    pub sources: Vec<SourceProbe>,
+}
+
+/// The audit-log header: written as the first JSONL line so a log is
+/// self-contained for replay (`noodle observe` needs no model file).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditHeader {
+    /// Audit-log schema version ([`AUDIT_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Version of the noodle workspace that emitted the log.
+    pub tool_version: String,
+    /// The detector's configured significance level ε.
+    pub significance: f64,
+    /// The detector's winning fusion strategy.
+    pub strategy: String,
+    /// Calibration baseline persisted with the detector at fit time; powers
+    /// the PSI drift, Brier and class-balance monitors.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub baseline: Option<CalibrationBaseline>,
+}
+
+/// One line of the JSONL audit log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AuditLine {
+    /// The log header (first line).
+    Header(AuditHeader),
+    /// One prediction record.
+    Prediction(PredictionRecord),
+}
+
+/// Parses a JSONL audit log into its header (if present) and records.
+///
+/// Blank lines are skipped. Lines must parse as [`AuditLine`]; a header
+/// with a `schema_version` newer than [`AUDIT_SCHEMA_VERSION`] is rejected
+/// so old readers never silently misinterpret future logs.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] on malformed JSON or an unsupported version.
+pub fn parse_audit_log(
+    text: &str,
+) -> Result<(Option<AuditHeader>, Vec<PredictionRecord>), AuditError> {
+    let mut header = None;
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: AuditLine = serde_json::from_str(line)
+            .map_err(|e| AuditError::new(format!("audit line {}: {e}", idx + 1)))?;
+        match parsed {
+            AuditLine::Header(h) => {
+                if h.schema_version > AUDIT_SCHEMA_VERSION {
+                    return Err(AuditError::new(format!(
+                        "audit log has schema version {} but this build reads at most {}",
+                        h.schema_version, AUDIT_SCHEMA_VERSION
+                    )));
+                }
+                header = Some(h);
+            }
+            AuditLine::Prediction(r) => records.push(r),
+        }
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record(seq: u64) -> PredictionRecord {
+        PredictionRecord {
+            seq,
+            design: format!("alu_tf_{seq:03}"),
+            strategy: "LateFusion".into(),
+            infected: false,
+            probability_infected: 0.2,
+            p_values: [0.8, 0.2],
+            region: vec![0],
+            credibility: 0.8,
+            confidence: 0.8,
+            uncertain: false,
+            significance: 0.1,
+            graph_present: true,
+            tabular_present: true,
+            imputed_modality: false,
+            label: Some(0),
+            latency_us: 512.0,
+            sources: vec![SourceProbe {
+                source: "graph".into(),
+                p_values: [0.7, 0.3],
+                scores: [0.1, 0.9],
+            }],
+        }
+    }
+
+    fn sample_header() -> AuditHeader {
+        AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            significance: 0.1,
+            strategy: "LateFusion".into(),
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn audit_line_round_trip_is_lossless() {
+        let lines = [
+            AuditLine::Header(sample_header()),
+            AuditLine::Prediction(sample_record(0)),
+            AuditLine::Prediction(sample_record(1)),
+        ];
+        for line in &lines {
+            let json = serde_json::to_string(line).unwrap();
+            let restored: AuditLine = serde_json::from_str(&json).unwrap();
+            assert_eq!(line, &restored);
+        }
+    }
+
+    #[test]
+    fn lines_are_tagged_by_type() {
+        let json = serde_json::to_string(&AuditLine::Header(sample_header())).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["type"], "header");
+        let json = serde_json::to_string(&AuditLine::Prediction(sample_record(0))).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["type"], "prediction");
+        assert_eq!(value["seq"], 0);
+        assert_eq!(value["sources"][0]["source"], "graph");
+    }
+
+    #[test]
+    fn parse_audit_log_splits_header_and_records() {
+        let text = format!(
+            "{}\n\n{}\n{}\n",
+            serde_json::to_string(&AuditLine::Header(sample_header())).unwrap(),
+            serde_json::to_string(&AuditLine::Prediction(sample_record(0))).unwrap(),
+            serde_json::to_string(&AuditLine::Prediction(sample_record(1))).unwrap(),
+        );
+        let (header, records) = parse_audit_log(&text).unwrap();
+        assert_eq!(header.unwrap().strategy, "LateFusion");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].seq, 1);
+    }
+
+    #[test]
+    fn parse_audit_log_rejects_future_versions_and_garbage() {
+        let mut future = sample_header();
+        future.schema_version = AUDIT_SCHEMA_VERSION + 1;
+        let text = serde_json::to_string(&AuditLine::Header(future)).unwrap();
+        let err = parse_audit_log(&text).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+
+        let err = parse_audit_log("not json\n").unwrap_err();
+        assert!(err.to_string().contains("audit line 1"));
+    }
+
+    #[test]
+    fn absent_label_is_omitted_from_json() {
+        let mut record = sample_record(0);
+        record.label = None;
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(!json.contains("\"label\""));
+        let restored: PredictionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.label, None);
+    }
+}

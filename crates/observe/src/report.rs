@@ -1,0 +1,190 @@
+//! The machine-readable health report produced by replaying an audit log.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AuditError;
+use crate::monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
+use crate::record::{AuditHeader, PredictionRecord};
+
+/// Version of the [`MonitorReport`] JSON schema.
+pub const MONITOR_SCHEMA_VERSION: u32 = 1;
+
+/// The outcome of replaying an audit log through the monitor suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Report schema version ([`MONITOR_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Version of the noodle workspace that wrote the report.
+    pub tool_version: String,
+    /// Total prediction records replayed.
+    pub records: usize,
+    /// Records carrying a ground-truth label.
+    pub labeled: usize,
+    /// Significance level ε the coverage monitors checked against, if known.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub epsilon: Option<f64>,
+    /// Sliding-window length the monitors used.
+    pub window: usize,
+    /// Worst health across all monitors.
+    pub overall: Health,
+    /// Per-monitor verdicts with evidence.
+    pub monitors: Vec<MonitorStatus>,
+}
+
+impl MonitorReport {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("monitor report serializes")
+    }
+
+    /// Deserializes, rejecting reports with a newer schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] on malformed JSON or an unsupported version.
+    pub fn from_json(json: &str) -> Result<Self, AuditError> {
+        let report: Self = serde_json::from_str(json)
+            .map_err(|e| AuditError::new(format!("monitor report: {e}")))?;
+        if report.schema_version > MONITOR_SCHEMA_VERSION {
+            return Err(AuditError::new(format!(
+                "monitor report has schema version {} but this build reads at most {}",
+                report.schema_version, MONITOR_SCHEMA_VERSION
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Writes pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` if the file cannot be written.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Replays parsed audit-log contents through a fresh [`MonitorSuite`] and
+/// summarizes the result.
+///
+/// The header (when present) supplies the calibration baseline for the
+/// drift/Brier/balance monitors and the fallback ε; `config.epsilon`
+/// overrides it.
+///
+/// # Errors
+///
+/// Returns [`AuditError`] when there are no records to replay.
+pub fn replay(
+    header: Option<&AuditHeader>,
+    records: &[PredictionRecord],
+    config: MonitorConfig,
+) -> Result<MonitorReport, AuditError> {
+    if records.is_empty() {
+        return Err(AuditError::new("audit log contains no prediction records"));
+    }
+    let window = config.window;
+    let baseline = header.and_then(|h| h.baseline.clone());
+    let mut suite = MonitorSuite::new(config, baseline);
+    for record in records {
+        suite.push(record);
+    }
+    Ok(MonitorReport {
+        schema_version: MONITOR_SCHEMA_VERSION,
+        tool_version: env!("CARGO_PKG_VERSION").to_string(),
+        records: suite.records(),
+        labeled: suite.labeled(),
+        epsilon: suite.epsilon(),
+        window,
+        overall: suite.overall(),
+        monitors: suite.statuses(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{SourceProbe, AUDIT_SCHEMA_VERSION};
+
+    fn record(seq: u64, label: usize, covered: bool) -> PredictionRecord {
+        let p1 = if label == 1 { 0.9 } else { 0.1 };
+        PredictionRecord {
+            seq,
+            design: format!("alu_tf_{seq:03}"),
+            strategy: "LateFusion".into(),
+            infected: label == 1,
+            probability_infected: p1,
+            p_values: [1.0 - p1, p1],
+            region: if covered { vec![label] } else { vec![1 - label] },
+            credibility: 0.9,
+            confidence: 0.9,
+            uncertain: false,
+            significance: 0.1,
+            graph_present: true,
+            tabular_present: true,
+            imputed_modality: false,
+            label: Some(label),
+            latency_us: 80.0,
+            sources: vec![SourceProbe {
+                source: "graph".into(),
+                p_values: [1.0 - p1, p1],
+                scores: [0.4, 0.05],
+            }],
+        }
+    }
+
+    fn header() -> AuditHeader {
+        AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            significance: 0.1,
+            strategy: "LateFusion".into(),
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn replay_summarizes_a_healthy_stream() {
+        let records: Vec<_> =
+            (0..60).map(|i| record(i, usize::from(i % 3 == 0), i % 25 != 0)).collect();
+        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        assert_eq!(report.records, 60);
+        assert_eq!(report.labeled, 60);
+        assert_eq!(report.epsilon, Some(0.1));
+        assert_eq!(report.overall, Health::Healthy, "{:#?}", report.monitors);
+        assert!(report.monitors.iter().any(|m| m.monitor == "coverage.trojan_infected"));
+    }
+
+    #[test]
+    fn replay_flags_a_coverage_collapse() {
+        let records: Vec<_> = (0..60).map(|i| record(i, usize::from(i % 2 == 0), false)).collect();
+        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        assert_eq!(report.overall, Health::Alert);
+    }
+
+    #[test]
+    fn replay_without_records_errors() {
+        let err = replay(Some(&header()), &[], MonitorConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("no prediction records"));
+    }
+
+    #[test]
+    fn config_epsilon_overrides_the_header() {
+        let records: Vec<_> = (0..60).map(|i| record(i, usize::from(i % 3 == 0), true)).collect();
+        let config = MonitorConfig { epsilon: Some(0.25), ..MonitorConfig::default() };
+        let report = replay(Some(&header()), &records, config).unwrap();
+        assert_eq!(report.epsilon, Some(0.25));
+    }
+
+    #[test]
+    fn report_json_round_trips_and_rejects_future_versions() {
+        let records: Vec<_> = (0..30).map(|i| record(i, usize::from(i % 3 == 0), true)).collect();
+        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        let restored = MonitorReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, restored);
+
+        let mut future = report;
+        future.schema_version = MONITOR_SCHEMA_VERSION + 1;
+        let err = MonitorReport::from_json(&future.to_json()).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Pluggable audit sinks: where prediction records go as they are emitted.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::record::{AuditHeader, AuditLine, PredictionRecord};
+
+/// Receives the audit header once and every prediction record as it is
+/// produced.
+///
+/// The `Debug` supertrait keeps holders (e.g. the detector) derivable;
+/// sinks over opaque writers implement it with a placeholder.
+pub trait AuditSink: Send + fmt::Debug {
+    /// Called once when the sink is attached, with the emitting detector's
+    /// header (version, significance, calibration baseline).
+    fn header(&mut self, header: &AuditHeader);
+
+    /// Called once per prediction.
+    fn record(&mut self, record: &PredictionRecord);
+}
+
+/// Runs `build` and emits the resulting record only when a sink is
+/// attached.
+///
+/// This is the gating discipline of the hot detect path: with `sink ==
+/// None` the builder closure is never invoked, so audit emission adds zero
+/// allocations to an unaudited detector (verified by the crate's
+/// counting-allocator test).
+pub fn emit_if<F: FnOnce() -> PredictionRecord>(sink: Option<&mut dyn AuditSink>, build: F) {
+    if let Some(sink) = sink {
+        let record = build();
+        sink.record(&record);
+        noodle_telemetry::counter_add("audit.records", 1);
+    }
+}
+
+/// Streams one JSON object per line to a writer — the `detect --audit`
+/// sink. The header becomes the first line, so the log replays standalone.
+pub struct JsonlAudit {
+    writer: Box<dyn Write + Send>,
+}
+
+impl JsonlAudit {
+    /// An audit sink over an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self { writer }
+    }
+
+    /// Creates (or truncates) `path` and streams the log to it, buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    fn write_line(&mut self, line: &AuditLine) {
+        if let Ok(json) = serde_json::to_string(line) {
+            let _ = writeln!(self.writer, "{json}");
+        }
+    }
+}
+
+impl fmt::Debug for JsonlAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlAudit").finish_non_exhaustive()
+    }
+}
+
+impl AuditSink for JsonlAudit {
+    fn header(&mut self, header: &AuditHeader) {
+        self.write_line(&AuditLine::Header(header.clone()));
+    }
+
+    fn record(&mut self, record: &PredictionRecord) {
+        self.write_line(&AuditLine::Prediction(record.clone()));
+    }
+}
+
+impl Drop for JsonlAudit {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Collects records in memory, for tests. Clones share storage, so a test
+/// can keep one handle and attach the other to a detector.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryAudit {
+    inner: Arc<Mutex<MemoryAuditInner>>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryAuditInner {
+    header: Option<AuditHeader>,
+    records: Vec<PredictionRecord>,
+}
+
+impl MemoryAudit {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The header received, if any.
+    pub fn header(&self) -> Option<AuditHeader> {
+        self.inner.lock().expect("memory audit poisoned").header.clone()
+    }
+
+    /// Every record received so far, in emission order.
+    pub fn records(&self) -> Vec<PredictionRecord> {
+        self.inner.lock().expect("memory audit poisoned").records.clone()
+    }
+}
+
+impl AuditSink for MemoryAudit {
+    fn header(&mut self, header: &AuditHeader) {
+        self.inner.lock().expect("memory audit poisoned").header = Some(header.clone());
+    }
+
+    fn record(&mut self, record: &PredictionRecord) {
+        self.inner.lock().expect("memory audit poisoned").records.push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{parse_audit_log, SourceProbe, AUDIT_SCHEMA_VERSION};
+
+    fn record(seq: u64) -> PredictionRecord {
+        PredictionRecord {
+            seq,
+            design: "uart_ti_000".into(),
+            strategy: "EarlyFusion".into(),
+            infected: true,
+            probability_infected: 0.9,
+            p_values: [0.05, 0.45],
+            region: vec![1],
+            credibility: 0.45,
+            confidence: 0.95,
+            uncertain: false,
+            significance: 0.1,
+            graph_present: true,
+            tabular_present: false,
+            imputed_modality: true,
+            label: Some(1),
+            latency_us: 100.0,
+            sources: vec![SourceProbe {
+                source: "early_fusion".into(),
+                p_values: [0.05, 0.45],
+                scores: [0.9, 0.1],
+            }],
+        }
+    }
+
+    fn header() -> AuditHeader {
+        AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            significance: 0.1,
+            strategy: "EarlyFusion".into(),
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn jsonl_audit_writes_parseable_log() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        #[derive(Debug)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlAudit::new(Box::new(Shared(buf.clone())));
+        sink.header(&header());
+        sink.record(&record(0));
+        sink.record(&record(1));
+        drop(sink);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let (parsed_header, records) = parse_audit_log(&text).unwrap();
+        assert_eq!(parsed_header.unwrap().strategy, "EarlyFusion");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], record(0));
+    }
+
+    #[test]
+    fn memory_audit_shares_storage_across_clones() {
+        let sink = MemoryAudit::new();
+        let mut attached = sink.clone();
+        attached.header(&header());
+        attached.record(&record(7));
+        assert_eq!(sink.header().unwrap().significance, 0.1);
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.records()[0].seq, 7);
+    }
+
+    #[test]
+    fn emit_if_skips_the_builder_without_a_sink() {
+        emit_if(None, || panic!("builder must not run when no sink is attached"));
+        let sink = MemoryAudit::new();
+        let mut attached = sink.clone();
+        emit_if(Some(&mut attached), || record(3));
+        assert_eq!(sink.records().len(), 1);
+    }
+}

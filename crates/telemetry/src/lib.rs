@@ -44,9 +44,11 @@ mod span;
 
 pub use metrics::{
     counter_add, gauge_set, histogram_record, register_histogram, time_histogram, Histogram,
-    TelemetrySnapshot, TimerGuard,
+    Quantiles, TelemetrySnapshot, TimerGuard,
 };
-pub use report::{CorpusSummary, EvaluationSummary, RunReport};
+pub use report::{
+    CorpusSummary, EvaluationSummary, ReportError, RunContext, RunReport, SCHEMA_VERSION,
+};
 pub use sink::{JsonLines, MemorySink, NullSink, Sink, StderrPretty};
 pub use span::{format_duration_ns, start_span, SpanGuard, SpanRecord};
 

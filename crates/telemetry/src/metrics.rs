@@ -7,11 +7,25 @@ use serde::{Deserialize, Serialize};
 
 use crate::{enabled, registry};
 
+/// Exact quantiles of a histogram's retained observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
 /// A fixed-bucket histogram with `len(bounds) + 1` buckets.
 ///
 /// Bucket `i` counts values `v` with `v <= bounds[i]` (and
 /// `v > bounds[i - 1]` for `i > 0`); the final bucket counts values above
-/// every bound. Bounds are sorted ascending at construction.
+/// every bound. Bounds are sorted ascending at construction. Raw
+/// observations are additionally retained for exact quantile queries —
+/// run-scoped metric volumes are small enough that exactness beats a
+/// sketch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     /// Inclusive upper bounds of the finite buckets, ascending.
@@ -26,6 +40,10 @@ pub struct Histogram {
     pub min: Option<f64>,
     /// Largest observation, if any.
     pub max: Option<f64>,
+    /// Raw finite observations in arrival order (absent in reports written
+    /// before quantile support).
+    #[serde(default)]
+    pub values: Vec<f64>,
 }
 
 impl Histogram {
@@ -35,7 +53,7 @@ impl Histogram {
         bounds.sort_by(|a, b| a.total_cmp(b));
         bounds.dedup();
         let counts = vec![0; bounds.len() + 1];
-        Self { bounds, counts, count: 0, sum: 0.0, min: None, max: None }
+        Self { bounds, counts, count: 0, sum: 0.0, min: None, max: None, values: Vec::new() }
     }
 
     /// Default bounds: a 1–2–5 logarithmic ladder from 1e-6 to 1e9, wide
@@ -63,11 +81,37 @@ impl Histogram {
         self.sum += value;
         self.min = Some(self.min.map_or(value, |m| m.min(value)));
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        self.values.push(value);
     }
 
     /// Mean of the observations, or `None` before the first one.
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact nearest-rank quantile of the retained observations:
+    /// the `ceil(q·n)`-th smallest value.
+    ///
+    /// Returns `None` when empty or `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// The standard p50/p95/p99 summary, or `None` before the first
+    /// observation (including histograms restored from pre-quantile
+    /// reports, which carry no raw values).
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        Some(Quantiles {
+            p50: self.quantile(0.5)?,
+            p95: self.quantile(0.95)?,
+            p99: self.quantile(0.99)?,
+        })
     }
 }
 
@@ -201,5 +245,48 @@ mod tests {
         h.record(2.0);
         h.record(4.0);
         assert_eq!(h.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut h = Histogram::new(&Histogram::default_bounds());
+        // 1..=100 in shuffled-ish order; nearest-rank quantiles are exact.
+        for i in 0..100u32 {
+            h.record(((i * 37) % 100 + 1) as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        let q = h.quantiles().unwrap();
+        assert_eq!((q.p50, q.p95, q.p99), (50.0, 95.0, 99.0));
+    }
+
+    #[test]
+    fn quantiles_of_small_samples_clamp_ranks() {
+        let mut h = Histogram::new(&[10.0]);
+        h.record(7.0);
+        assert_eq!(h.quantile(0.5), Some(7.0));
+        assert_eq!(h.quantile(0.99), Some(7.0));
+    }
+
+    #[test]
+    fn quantiles_need_observations_and_valid_q() {
+        let mut h = Histogram::new(&[10.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantiles(), None);
+        h.record(1.0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn pre_quantile_reports_deserialize_with_empty_values() {
+        // A histogram serialized before the `values` field existed.
+        let legacy = r#"{"bounds":[1.0],"counts":[1,0],"count":1,"sum":0.5,"min":0.5,"max":0.5}"#;
+        let h: Histogram = serde_json::from_str(legacy).unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.values.is_empty());
+        assert_eq!(h.quantiles(), None);
     }
 }

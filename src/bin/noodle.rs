@@ -4,7 +4,8 @@
 //! ```text
 //! noodle gen-corpus <dir> [--tf 28] [--ti 12] [--seed N]   write a synthetic corpus as .v files
 //! noodle train <model.json> [--corpus-seed N] [--fast]     fit on a generated corpus and save
-//! noodle detect <model.json> <file.v>...                   classify Verilog files
+//! noodle detect <model.json> <file.v>... [--audit <log>]   classify Verilog files
+//! noodle observe <audit.jsonl> [--out <report.json>]       replay an audit log through monitors
 //! noodle inspect <file.v>                                  print both modality feature vectors
 //! noodle version                                           print the workspace version
 //! ```
@@ -27,7 +28,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats};
-use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunReport};
+use noodle::observe::{parse_audit_log, replay, JsonlAudit, MonitorConfig};
+use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunContext, RunReport};
 use noodle::{
     extract_modalities, FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector,
     PipelineError,
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         Some("gen-corpus") => cmd_gen_corpus(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
+        Some("observe") => cmd_observe(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("version" | "--version" | "-V") => {
             println!("noodle {}", env!("CARGO_PKG_VERSION"));
@@ -72,13 +75,17 @@ fn print_usage() {
          USAGE:\n  \
          noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
          noodle train <model.json> [--corpus-seed N] [--fast]\n  \
-         noodle detect <model.json> <file.v>...\n  \
+         noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n  \
+         noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n  \
          noodle inspect <file.v>\n  \
          noodle version\n\n\
          OBSERVABILITY (any command):\n  \
          --trace[=pretty|json]   stream per-stage timings to stderr\n  \
          --report <path>         write a RunReport JSON summary\n  \
-         --quiet                 suppress progress output\n"
+         --quiet                 suppress progress output\n\n\
+         `detect --audit` appends one JSON prediction record per file (plus a\n\
+         header with the model's calibration baseline); `observe` replays such\n\
+         a log through the coverage/Brier/drift monitor suite.\n"
     );
 }
 
@@ -220,6 +227,7 @@ impl Observability {
     fn finish(
         &self,
         command: &str,
+        seed: Option<u64>,
         corpus: Option<CorpusSummary>,
         evaluation: Option<EvaluationSummary>,
     ) -> Result<(), CliError> {
@@ -227,6 +235,11 @@ impl Observability {
             return Ok(());
         };
         let mut report = RunReport::from_snapshot(command, telemetry::snapshot());
+        report.context = Some(RunContext {
+            invocation: invocation_line(),
+            seed,
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        });
         report.corpus = corpus;
         report.evaluation = evaluation;
         report
@@ -236,6 +249,26 @@ impl Observability {
             eprintln!("run report written to {}", path.display());
         }
         Ok(())
+    }
+}
+
+/// The command line being run, reconstructed for the report's run-context
+/// block (`noodle train model.json --fast ...`).
+fn invocation_line() -> String {
+    let mut parts = vec!["noodle".to_string()];
+    parts.extend(std::env::args().skip(1));
+    parts.join(" ")
+}
+
+/// Ground-truth label implied by a corpus file name, if any: generated
+/// designs are named `{tag}_tf_{i:03}` / `{tag}_ti_{i:03}`.
+fn label_from_stem(stem: &str) -> Option<usize> {
+    if stem.contains("_ti_") {
+        Some(1)
+    } else if stem.contains("_tf_") {
+        Some(0)
+    } else {
+        None
     }
 }
 
@@ -294,7 +327,7 @@ fn cmd_gen_corpus(args: &[String]) -> Result<(), CliError> {
             stats.mean_lines
         );
     }
-    observability.finish("gen-corpus", Some(summary), None)
+    observability.finish("gen-corpus", Some(config.seed), Some(summary), None)
 }
 
 fn cmd_train(args: &[String]) -> Result<(), CliError> {
@@ -339,23 +372,32 @@ fn cmd_train(args: &[String]) -> Result<(), CliError> {
     if !observability.quiet {
         println!("model saved to {model_path}");
     }
-    observability.finish("train", Some(corpus_summary), Some(evaluation))
+    observability.finish("train", Some(train_seed), Some(corpus_summary), Some(evaluation))
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let (positional, flags) = parse_flags(args)?;
     let observability = Observability::from_flags(&flags)?;
     let [model_path, files @ ..] = positional.as_slice() else {
-        return Err(CliError::msg("usage: noodle detect <model.json> <file.v>..."));
+        return Err(CliError::msg(
+            "usage: noodle detect <model.json> <file.v>... [--audit <log.jsonl>]",
+        ));
     };
     if files.is_empty() {
         return Err(CliError::msg("no Verilog files given"));
     }
+    let audit_path = flag_value(&flags, "audit").map(PathBuf::from);
     let root = telemetry::span!("detect_run", files = files.len());
     let json = fs::read_to_string(model_path)
         .map_err(|e| CliError::msg(format!("cannot read {model_path}: {e}")))?;
     let mut detector = NoodleDetector::from_json(&json)
         .map_err(|e| CliError::msg(format!("{model_path} is not a valid model: {e}")))?;
+    if let Some(path) = &audit_path {
+        let sink = JsonlAudit::create(path).map_err(|e| {
+            CliError::msg(format!("cannot create audit log {}: {e}", path.display()))
+        })?;
+        detector.set_audit_sink(Box::new(sink));
+    }
     println!(
         "{:<32} {:<9} {:>7} {:>12} {:>11}  region",
         "file", "verdict", "p(TI)", "credibility", "confidence"
@@ -363,8 +405,9 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     for file in files {
         let source = fs::read_to_string(Path::new(file))
             .map_err(|e| CliError::msg(format!("cannot read {file}: {e}")))?;
+        let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or(file);
         let verdict = detector
-            .detect(&source)
+            .detect_named(stem, &source, label_from_stem(stem))
             .map_err(CliError::pipeline(format!("cannot screen {file}")))?;
         let region = match verdict.region.as_slice() {
             [] => "{} (anomalous)".to_string(),
@@ -381,8 +424,86 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
             verdict.confidence,
         );
     }
+    // Drop the sink so its buffered writer flushes before we report.
+    drop(detector.take_audit_sink());
+    if let Some(path) = &audit_path {
+        if !observability.quiet {
+            eprintln!("audit log written to {}", path.display());
+        }
+    }
     drop(root);
-    observability.finish("detect", None, None)
+    if telemetry::enabled() && !observability.quiet {
+        let snapshot = telemetry::snapshot();
+        if let Some(q) = snapshot.histograms.get("detect.latency_us").and_then(|h| h.quantiles()) {
+            eprintln!(
+                "detect latency: p50 {:.0} us, p95 {:.0} us, p99 {:.0} us",
+                q.p50, q.p95, q.p99
+            );
+        }
+    }
+    observability.finish("detect", None, None, None)
+}
+
+fn cmd_observe(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
+    let [audit_path] = positional.as_slice() else {
+        return Err(CliError::msg(
+            "usage: noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]",
+        ));
+    };
+    let out = flag_value(&flags, "out").map(PathBuf::from);
+    let defaults = MonitorConfig::default();
+    let config = MonitorConfig {
+        window: parse_num(&flags, "window", defaults.window)?,
+        min_samples: parse_num(&flags, "min-samples", defaults.min_samples)?,
+        epsilon: match flag_value(&flags, "epsilon") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .map_err(|_| CliError::msg(format!("--epsilon expects a number, got `{v}`")))?,
+            ),
+        },
+        ..defaults
+    };
+    let root = telemetry::span!("observe");
+    let text = fs::read_to_string(Path::new(audit_path))
+        .map_err(|e| CliError::msg(format!("cannot read {audit_path}: {e}")))?;
+    let (header, records) =
+        parse_audit_log(&text).map_err(|e| CliError::msg(format!("{audit_path}: {e}")))?;
+    telemetry::counter_add("observe.records", records.len() as u64);
+    let report = replay(header.as_ref(), &records, config)
+        .map_err(|e| CliError::msg(format!("{audit_path}: {e}")))?;
+    if !observability.quiet {
+        let epsilon = report.epsilon.map_or_else(|| "unknown".to_string(), |e| format!("{e}"));
+        println!(
+            "replayed {} predictions ({} labeled) from {audit_path} (window {}, epsilon {epsilon})",
+            report.records, report.labeled, report.window
+        );
+    }
+    for status in &report.monitors {
+        println!(
+            "[{:<7}] {:<26} observed {:>8.4}  expected {:>8.4} (tol {:.4}, n={})  {}",
+            status.health.to_string(),
+            status.monitor,
+            status.observed,
+            status.expected,
+            status.tolerance,
+            status.samples,
+            status.evidence,
+        );
+    }
+    println!("overall: {}", report.overall);
+    if let Some(path) = &out {
+        report
+            .write_to(path)
+            .map_err(|e| CliError::msg(format!("cannot write {}: {e}", path.display())))?;
+        if !observability.quiet {
+            eprintln!("monitor report written to {}", path.display());
+        }
+    }
+    drop(root);
+    observability.finish("observe", None, None, None)
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
@@ -403,5 +524,5 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     let nonzero = graph.iter().filter(|&&v| v > 0.0).count();
     println!("\ngraph image: {} cells, {nonzero} non-zero", graph.len());
     drop(root);
-    observability.finish("inspect", None, None)
+    observability.finish("inspect", None, None, None)
 }

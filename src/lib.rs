@@ -15,6 +15,7 @@
 //! | [`conformal`] | `noodle-conformal` | Mondrian ICP, p-value combination, prediction regions |
 //! | [`metrics`] | `noodle-metrics` | Brier (+decompositions), ROC/AUC, calibration, radar |
 //! | [`telemetry`] | `noodle-telemetry` | spans, counters/histograms, run reports |
+//! | [`observe`] | `noodle-observe` | prediction audit logs, coverage/drift monitors |
 //! | [`core`] | `noodle-core` | the end-to-end NOODLE detector |
 //!
 //! The most-used types are also re-exported at the crate root.
@@ -47,6 +48,7 @@ pub use noodle_gan as gan;
 pub use noodle_graph as graph;
 pub use noodle_metrics as metrics;
 pub use noodle_nn as nn;
+pub use noodle_observe as observe;
 pub use noodle_tabular as tabular;
 pub use noodle_telemetry as telemetry;
 pub use noodle_verilog as verilog;
@@ -58,4 +60,7 @@ pub use noodle_core::{
     FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector, PipelineError,
 };
 pub use noodle_metrics::{brier_score, roc_curve, RadarMetrics};
+pub use noodle_observe::{
+    AuditSink, Health, JsonlAudit, MonitorConfig, MonitorReport, MonitorSuite, PredictionRecord,
+};
 pub use noodle_telemetry::{RunReport, TelemetrySnapshot};

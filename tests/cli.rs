@@ -52,6 +52,17 @@ fn assert_train_report(path: &Path) {
     assert!(report["corpus"]["total"].as_u64().unwrap_or(0) > 0);
     let winner = report["evaluation"]["winner"].as_str().expect("winner recorded");
     assert!(report["evaluation"]["brier"][winner].is_number(), "winner has a Brier score");
+    // Versioned schema + run context (PR: observability).
+    assert_eq!(report["schema_version"], 2);
+    let context = &report["context"];
+    assert!(context["invocation"].as_str().expect("invocation recorded").contains("train"));
+    assert_eq!(context["seed"], 42, "default train seed recorded in context");
+    assert!(context["version"].is_string());
+    // Exact quantiles are surfaced for every histogram.
+    let quantiles = &report["histogram_quantiles"]["nn.epoch_loss"];
+    for key in ["p50", "p95", "p99"] {
+        assert!(quantiles[key].is_number(), "nn.epoch_loss missing {key}: {quantiles}");
+    }
 }
 
 #[test]
@@ -101,20 +112,72 @@ fn cli_full_round_trip() {
     }
     assert_train_report(&report);
 
-    // detect on a couple of generated files
+    // detect on every generated file, with an audit log and a run report
     let mut paths: Vec<String> = std::fs::read_dir(&corpus_dir)
         .unwrap()
         .map(|e| e.unwrap().path().to_str().unwrap().to_string())
         .collect();
     paths.sort();
+    let audit = dir.join("audit.jsonl");
+    let detect_report = dir.join("detect_report.json");
     let out = noodle()
-        .args(["detect", model.to_str().unwrap(), &paths[0], &paths[1]])
+        .args(["detect", model.to_str().unwrap()])
+        .args(&paths)
+        .args(["--audit", audit.to_str().unwrap(), "--report", detect_report.to_str().unwrap()])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("verdict"), "{stdout}");
-    assert!(stdout.lines().count() >= 3, "{stdout}");
+    assert!(stdout.lines().count() >= paths.len() + 1, "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("detect latency: p50"), "{stderr}");
+
+    // The audit log is one JSON object per line: a header carrying the
+    // calibration baseline, then one prediction per screened file.
+    let log = std::fs::read_to_string(&audit).expect("audit log written");
+    let lines: Vec<serde_json::Value> = log
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("audit line is valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), paths.len() + 1, "header + one record per file");
+    assert_eq!(lines[0]["type"], "header");
+    assert!(lines[0]["baseline"]["sources"].is_object(), "header embeds the baseline");
+    for record in &lines[1..] {
+        assert_eq!(record["type"], "prediction");
+        assert!(record["design"].as_str().unwrap().contains('_'), "{record}");
+        assert!(record["label"].is_number(), "corpus file names imply labels: {record}");
+        assert!(record["latency_us"].as_f64().unwrap() > 0.0, "{record}");
+        assert!(!record["sources"].as_array().unwrap().is_empty(), "{record}");
+    }
+    // The detect run report carries exact latency quantiles.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&detect_report).unwrap()).unwrap();
+    assert_eq!(report["command"], "detect");
+    assert_eq!(report["counters"]["audit.records"], paths.len() as u64);
+    assert!(report["histogram_quantiles"]["detect.latency_us"]["p95"].is_number(), "{report}");
+
+    // observe: replay the audit log through the monitor suite
+    let monitor_path = dir.join("monitor_report.json");
+    let out = noodle()
+        .args(["observe", audit.to_str().unwrap(), "--out", monitor_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overall:"), "{stdout}");
+    assert!(stdout.contains("coverage.trojan_free"), "{stdout}");
+    let monitor: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&monitor_path).unwrap()).unwrap();
+    assert_eq!(monitor["schema_version"], 1);
+    assert_eq!(monitor["records"], paths.len());
+    assert_eq!(monitor["labeled"], paths.len());
+    assert!(monitor["epsilon"].is_number(), "epsilon comes from the audit header");
+    assert!(!monitor["monitors"].as_array().unwrap().is_empty());
+    // 15 in-distribution records are below every monitor's min-samples
+    // gate, so nothing may fire on this healthy stream.
+    assert_eq!(monitor["overall"], "healthy", "{monitor}");
 
     // inspect
     let out = noodle().args(["inspect", &paths[0]]).output().expect("binary runs");

@@ -1,0 +1,131 @@
+//! End-to-end monitoring tests: a detector fit on a restricted slice of
+//! circuit families is screened against an in-distribution stream (conformal
+//! coverage must stay inside its binomial tolerance band) and against an
+//! induced-drift stream of Trojan-infected designs from the held-out
+//! families (at least one monitor must leave `Healthy`).
+//!
+//! Both streams flow through the real audit pipeline: `detect_named` →
+//! [`JsonlAudit`] → [`parse_audit_log`] → [`replay`].
+
+use std::path::PathBuf;
+
+use noodle::bench_gen::{generate_corpus, CircuitFamily, CorpusConfig};
+use noodle::observe::{parse_audit_log, replay, Health, JsonlAudit, MonitorConfig, MonitorReport};
+use noodle::{MultimodalDataset, NoodleConfig, NoodleDetector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Families withheld from the fit corpus and used to induce drift.
+const HELD_OUT: [CircuitFamily; 4] = [
+    CircuitFamily::CryptoRound,
+    CircuitFamily::Lfsr,
+    CircuitFamily::GrayCounter,
+    CircuitFamily::CrcGen,
+];
+
+fn held_out(family: CircuitFamily) -> bool {
+    HELD_OUT.contains(&family)
+}
+
+/// Fits a fast-config detector on a corpus restricted to the non-held-out
+/// lead families.
+fn fit_restricted() -> NoodleDetector {
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 28, trojan_infected: 14, seed: 11 });
+    let kept: Vec<_> = corpus.into_iter().filter(|b| !held_out(b.family)).collect();
+    assert!(kept.len() >= 25, "family filter left only {} designs", kept.len());
+    let dataset = MultimodalDataset::from_benchmarks(&kept).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap()
+}
+
+/// Screens every benchmark through an audited detector, then replays the
+/// written JSONL log through the monitor suite.
+fn audit_and_replay(
+    detector: &mut NoodleDetector,
+    stream: &[noodle::Benchmark],
+    log_name: &str,
+) -> MonitorReport {
+    let path = PathBuf::from(std::env::temp_dir())
+        .join(format!("noodle_{log_name}_{}.jsonl", std::process::id()));
+    let sink = JsonlAudit::create(&path).unwrap();
+    detector.set_audit_sink(Box::new(sink));
+    for bench in stream {
+        detector.detect_named(&bench.name, &bench.source, Some(bench.label.index())).unwrap();
+    }
+    // Drop the sink so the buffered log flushes.
+    drop(detector.take_audit_sink());
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let (header, records) = parse_audit_log(&text).unwrap();
+    let header = header.expect("audit log starts with a header");
+    assert!(header.baseline.is_some(), "fit detector persists a calibration baseline");
+    assert_eq!(records.len(), stream.len());
+    replay(Some(&header), &records, MonitorConfig::default()).unwrap()
+}
+
+#[test]
+fn in_distribution_coverage_stays_within_binomial_band() {
+    let mut detector = fit_restricted();
+    // A fresh draw from the same generator and family mix: exchangeable
+    // with calibration, so Mondrian coverage must hold per class.
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 40, trojan_infected: 40, seed: 99 });
+    let stream: Vec<_> = probe.into_iter().filter(|b| !held_out(b.family)).collect();
+    let report = audit_and_replay(&mut detector, &stream, "in_dist");
+
+    assert_eq!(report.records, stream.len());
+    assert_eq!(report.labeled, stream.len());
+    let epsilon = report.epsilon.expect("epsilon known from the audit header");
+    for name in ["coverage.trojan_free", "coverage.trojan_infected"] {
+        let status = report
+            .monitors
+            .iter()
+            .find(|m| m.monitor == name)
+            .unwrap_or_else(|| panic!("missing monitor {name}"));
+        assert!(
+            status.samples >= 20,
+            "{name} underpowered with {} samples; grow the probe",
+            status.samples
+        );
+        // `tolerance` is the 2σ warn half-width; stay within a 4σ binomial
+        // band of ε so a single unlucky draw cannot flip the test.
+        let sigma = status.tolerance / 2.0;
+        assert!(
+            status.observed <= epsilon + 4.0 * sigma,
+            "{name}: empirical miscoverage {:.3} breaches ε={epsilon:.3} + 4σ ({:.3}): {:#?}",
+            status.observed,
+            epsilon + 4.0 * sigma,
+            report.monitors
+        );
+    }
+    // The baseline-backed monitors all ran against this stream.
+    for name in ["brier", "class_balance", "modality.imputed"] {
+        assert!(report.monitors.iter().any(|m| m.monitor == name), "missing monitor {name}");
+    }
+    assert!(
+        report.monitors.iter().any(|m| m.monitor.starts_with("drift.")),
+        "no drift monitor in {:#?}",
+        report.monitors
+    );
+}
+
+#[test]
+fn held_out_family_trojan_stream_trips_a_monitor() {
+    let mut detector = fit_restricted();
+    // Induced drift: every design is Trojan-infected AND led by a circuit
+    // family the detector never saw at fit time. Whatever the detector does
+    // with these, some monitor must notice: confident detections shift the
+    // predicted class balance far from the calibration prior, missed ones
+    // collapse Trojan-infected coverage and inflate the Brier score, and
+    // unfamiliar structure moves the nonconformity-score distribution.
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 0, trojan_infected: 84, seed: 909 });
+    let stream: Vec<_> = probe.into_iter().filter(|b| held_out(b.family)).collect();
+    assert!(stream.len() >= 20, "drift stream too small: {}", stream.len());
+    let report = audit_and_replay(&mut detector, &stream, "drift");
+
+    assert_eq!(report.records, stream.len());
+    assert!(
+        report.overall >= Health::Warn,
+        "induced drift went unnoticed by every monitor: {:#?}",
+        report.monitors
+    );
+}
