@@ -92,8 +92,12 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Benchmark> {
         "bench_gen.designs",
         (config.trojan_free + config.trojan_infected) as u64,
     );
+    // Two phases: circuit construction consumes the single seeded RNG
+    // stream and must stay sequential (the corpus is a pure function of
+    // the seed), while pretty-printing each finished module is independent
+    // and fans out on the compute pool.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut corpus = Vec::with_capacity(config.trojan_free + config.trojan_infected);
+    let mut built = Vec::with_capacity(config.trojan_free + config.trojan_infected);
     let specs = TrojanSpec::all();
     for i in 0..config.trojan_free {
         let family = CircuitFamily::ALL[i % CircuitFamily::ALL.len()];
@@ -110,13 +114,7 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Benchmark> {
         }
         add_benign_decorations(&mut circuit, rng.random_range(1..=3), &mut rng);
         apply_style_variations(&mut circuit.module, &mut rng);
-        corpus.push(Benchmark {
-            name,
-            source: print_module(&circuit.module),
-            label: Label::TrojanFree,
-            family,
-            trojan: None,
-        });
+        built.push((name, circuit, Label::TrojanFree, family, None));
     }
     for i in 0..config.trojan_infected {
         // Offset the family rotation so infected designs are not a subset of
@@ -131,15 +129,18 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Benchmark> {
         let spec = specs[i % specs.len()];
         let descriptor = insert_trojan(&mut circuit, spec, &mut rng);
         apply_style_variations(&mut circuit.module, &mut rng);
-        corpus.push(Benchmark {
-            name,
-            source: print_module(&circuit.module),
-            label: Label::TrojanInfected,
-            family,
-            trojan: Some(descriptor),
-        });
+        built.push((name, circuit, Label::TrojanInfected, family, Some(descriptor)));
     }
-    corpus
+    noodle_compute::par_map_collect(built.len(), 1, |i| {
+        let (name, circuit, label, family, trojan) = &built[i];
+        Benchmark {
+            name: name.clone(),
+            source: print_module(&circuit.module),
+            label: *label,
+            family: *family,
+            trojan: trojan.clone(),
+        }
+    })
 }
 
 /// Builds one IP-scale design: the lead family plus 1–3 further random

@@ -1,0 +1,67 @@
+//! Criterion benches for the compute kernels the CNN training loop lowers
+//! onto: GEMM at the exact sizes the modality heads use, the Conv2d
+//! forward/backward passes at training batch size, and the im2col lowering
+//! in isolation.
+//!
+//! Thread count follows `NOODLE_THREADS`; run with `NOODLE_THREADS=1` to
+//! measure the single-core kernels themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noodle_nn::lowering::im2col_2d;
+use noodle_nn::{Conv2d, Layer, Mode, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Graph-image geometry from the modality classifiers: `[2, 12, 12]`
+/// inputs, 8 first-layer channels, 3×3 kernels, same-padding.
+const CHANNELS: usize = 2;
+const SIZE: usize = 12;
+const COUT: usize = 8;
+const KERNEL: usize = 3;
+const BATCH: usize = 16;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    // Sizes taken from the CNN heads: the graph head's Dense(144, 32) and
+    // Dense(32, 2) at batch 16, and the conv-as-GEMM shape [8, 18] @ [18, 144].
+    for (m, k, n) in [(BATCH, 144, 32), (BATCH, 32, 2), (COUT, 18, 144)] {
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv: Layer = Conv2d::new(CHANNELS, COUT, KERNEL, 1, &mut rng).into();
+    let x = Tensor::rand_uniform(&[BATCH, CHANNELS, SIZE, SIZE], -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("conv2d");
+    group.bench_function("forward_b16", |bench| {
+        bench.iter(|| black_box(conv.forward(black_box(&x), Mode::Train)))
+    });
+    let gy = conv.forward(&x, Mode::Train);
+    group.bench_function("backward_b16", |bench| {
+        bench.iter(|| black_box(conv.backward(black_box(&gy))))
+    });
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::rand_uniform(&[CHANNELS, SIZE, SIZE], -1.0, 1.0, &mut rng);
+    let mut cols = vec![0.0f32; CHANNELS * KERNEL * KERNEL * SIZE * SIZE];
+    c.bench_function("im2col_2d/2x12x12_k3", |bench| {
+        bench.iter(|| {
+            im2col_2d(black_box(x.data()), CHANNELS, SIZE, SIZE, KERNEL, 1, SIZE, SIZE, &mut cols);
+            black_box(&cols);
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! Scripts-free quick benchmark for the compute kernels.
+//!
+//! Times the lowered (im2col + blocked GEMM) convolution and matmul paths
+//! against faithful copies of the pre-lowering naive kernels, and writes a
+//! machine-readable `BENCH_compute.json`:
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin compute_quick -- [--out PATH] [--iters N]
+//! ```
+//!
+//! The JSON reports the median ns/iter per kernel plus naive-vs-lowered
+//! speedups, so CI can assert the GEMM path stays ahead without carrying
+//! a criterion baseline around.
+
+use std::time::Instant;
+
+use noodle_nn::{Conv2d, Layer, Mode, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Graph-image geometry from the modality classifiers.
+const CHANNELS: usize = 2;
+const SIZE: usize = 12;
+const COUT: usize = 8;
+const KERNEL: usize = 3;
+const PAD: usize = 1;
+const BATCH: usize = 16;
+
+fn main() {
+    let mut out_path = String::from("BENCH_compute.json");
+    let mut iters: usize = 200;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                iters = args[i + 1].parse().expect("--iters expects a number");
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: compute_quick [--out PATH] [--iters N] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut results: Vec<(String, u128)> = Vec::new();
+
+    // --- conv2d forward: lowered vs naive --------------------------------
+    let mut conv: Layer = Conv2d::new(CHANNELS, COUT, KERNEL, PAD, &mut rng).into();
+    let x = Tensor::rand_uniform(&[BATCH, CHANNELS, SIZE, SIZE], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform(&[COUT * CHANNELS * KERNEL * KERNEL], -1.0, 1.0, &mut rng);
+    let bias = vec![0.1f32; COUT];
+    results.push((
+        "conv2d_forward_b16".into(),
+        median_ns(iters, || {
+            black_box(conv.forward(black_box(&x), Mode::Train));
+        }),
+    ));
+    let mut naive_out = vec![0.0f32; BATCH * COUT * SIZE * SIZE];
+    results.push((
+        "conv2d_forward_b16_naive".into(),
+        median_ns(iters, || {
+            conv2d_forward_naive(black_box(x.data()), weight.data(), &bias, &mut naive_out);
+            black_box(&naive_out);
+        }),
+    ));
+
+    // --- conv2d backward (lowered only; the naive path is gone) ----------
+    let gy = conv.forward(&x, Mode::Train);
+    results.push((
+        "conv2d_backward_b16".into(),
+        median_ns(iters, || {
+            black_box(conv.backward(black_box(&gy)));
+        }),
+    ));
+
+    // --- head matmul: lowered vs naive ------------------------------------
+    let (m, k, n) = (BATCH, 144, 32);
+    let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+    results.push((
+        "matmul_16x144x32".into(),
+        median_ns(iters, || {
+            black_box(black_box(&a).matmul(&b));
+        }),
+    ));
+    let mut naive_mm = vec![0.0f32; m * n];
+    results.push((
+        "matmul_16x144x32_naive".into(),
+        median_ns(iters, || {
+            matmul_naive(m, k, n, black_box(a.data()), b.data(), &mut naive_mm);
+            black_box(&naive_mm);
+        }),
+    ));
+
+    // --- im2col lowering ---------------------------------------------------
+    let sample = &x.data()[..CHANNELS * SIZE * SIZE];
+    let mut cols = vec![0.0f32; CHANNELS * KERNEL * KERNEL * SIZE * SIZE];
+    results.push((
+        "im2col_2d_2x12x12_k3".into(),
+        median_ns(iters, || {
+            noodle_nn::lowering::im2col_2d(
+                black_box(sample),
+                CHANNELS,
+                SIZE,
+                SIZE,
+                KERNEL,
+                PAD,
+                SIZE,
+                SIZE,
+                &mut cols,
+            );
+            black_box(&cols);
+        }),
+    ));
+
+    let json = render_json(&results, iters);
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("{json}");
+    eprintln!("benchmark results written to {out_path}");
+}
+
+/// Median wall-clock nanoseconds per call over `iters` timed calls (three
+/// untimed warmup calls first).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut times: Vec<u128> = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Faithful copy of the pre-lowering Conv2d forward (six nested loops over
+/// `[batch, cout, oh, ow, cin, kh, kw]` with per-tap bounds checks), kept
+/// here as the speedup baseline.
+fn conv2d_forward_naive(x: &[f32], wt: &[f32], bias: &[f32], o: &mut [f32]) {
+    let (batch, cin, h, w) = (BATCH, CHANNELS, SIZE, SIZE);
+    let (cout, k, pad) = (COUT, KERNEL, PAD);
+    let (oh, ow) = (h + 2 * pad - k + 1, w + 2 * pad - k + 1);
+    for b in 0..batch {
+        for co in 0..cout {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[co];
+                    for ci in 0..cin {
+                        for ky in 0..k {
+                            let sy = oy + ky;
+                            if sy < pad || sy >= pad + h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let sx = ox + kx;
+                                if sx < pad || sx >= pad + w {
+                                    continue;
+                                }
+                                let xi = x[((b * cin + ci) * h + (sy - pad)) * w + (sx - pad)];
+                                acc += xi * wt[((co * cin + ci) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    o[((b * cout + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Faithful copy of the pre-lowering `Tensor::matmul` inner loops,
+/// including its `a == 0.0` skip branch.
+fn matmul_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    out.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+}
+
+/// Renders the results as the `BENCH_compute.json` schema by hand (the
+/// bench crate does not depend on serde_json).
+fn render_json(results: &[(String, u128)], iters: usize) -> String {
+    let lookup = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns);
+    let mut kernels = String::new();
+    for (idx, (name, ns)) in results.iter().enumerate() {
+        if idx > 0 {
+            kernels.push_str(",\n");
+        }
+        kernels.push_str(&format!("    \"{name}\": {{\"median_ns\": {ns}, \"iters\": {iters}}}"));
+    }
+    let mut speedups = String::new();
+    for (kernel, naive) in [
+        ("conv2d_forward_b16", "conv2d_forward_b16_naive"),
+        ("matmul_16x144x32", "matmul_16x144x32_naive"),
+    ] {
+        if let (Some(fast), Some(slow)) = (lookup(kernel), lookup(naive)) {
+            if !speedups.is_empty() {
+                speedups.push_str(",\n");
+            }
+            let ratio = slow as f64 / fast.max(1) as f64;
+            speedups.push_str(&format!("    \"{kernel}\": {ratio:.3}"));
+        }
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"speedup\": {{\n{speedups}\n  }}\n}}\n",
+        noodle_compute::num_threads(),
+    )
+}

@@ -1,0 +1,56 @@
+//! # noodle-compute
+//!
+//! The std-only data-parallel compute backend for the NOODLE pipeline: a
+//! lazily-initialized thread pool with a chunk-claiming work queue
+//! ([`par_for`], [`par_map_collect`], [`par_map_reduce`]) and the
+//! cache-blocked GEMM kernels ([`gemm`], [`gemm_at`], [`gemm_bt`],
+//! [`transpose`]) the neural-network layers lower onto.
+//!
+//! ## Determinism contract
+//!
+//! Everything in this crate is **bit-deterministic across thread counts**:
+//!
+//! * chunk boundaries depend only on problem size and grain, never on the
+//!   number of threads;
+//! * parallelism only partitions *outputs* — each output element is
+//!   written by exactly one thread with a fixed accumulation order;
+//! * reductions combine per-chunk partials in ascending chunk order on a
+//!   single thread.
+//!
+//! A seeded pipeline run therefore produces byte-identical models at
+//! `NOODLE_THREADS=1` and `NOODLE_THREADS=16`; the thread count is purely
+//! a throughput knob. See `DESIGN.md` § "Parallelism & determinism model".
+//!
+//! ## Thread-count resolution
+//!
+//! [`set_thread_override`] (tests/benches) → `NOODLE_THREADS` env var →
+//! serial under this crate's own `cfg(test)` → available parallelism.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! let squares = noodle_compute::par_map_collect(8, 2, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let (m, k, n) = (2, 3, 2);
+//! let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+//! let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+//! let mut out = [0.0; 4];
+//! noodle_compute::gemm(m, k, n, &a, &b, &mut out);
+//! assert_eq!(out, [4.0, 5.0, 10.0, 11.0]);
+//! ```
+
+#![warn(missing_docs)]
+// `unsafe` is confined to two well-commented patterns: type-erasing the
+// parallel-region closure for the persistent workers, and handing each
+// worker a disjoint row range of an exclusively borrowed output buffer.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod gemm;
+mod pool;
+
+pub use gemm::{gemm, gemm_at, gemm_bt, transpose};
+pub use pool::{
+    add_flops, flops, jobs, num_threads, par_chunks_mut, par_for, par_map_collect, par_map_reduce,
+    set_thread_override,
+};

@@ -60,14 +60,28 @@ impl MultimodalDataset {
     /// modules.
     pub fn from_benchmarks(benchmarks: &[Benchmark]) -> Result<Self, PipelineError> {
         let _span = noodle_telemetry::span!("dataset.build", designs = benchmarks.len());
+        let started = std::time::Instant::now();
+        // Designs are independent, so both stages fan out one design per
+        // chunk; collecting in index order keeps the sample order — and
+        // which error is reported — identical at every thread count.
         let parsed: Vec<noodle_verilog::SourceFile> = {
             let _parse = noodle_telemetry::span!("dataset.parse");
-            benchmarks.iter().map(|b| parse(&b.source)).collect::<Result<_, _>>()?
+            noodle_compute::par_map_collect(benchmarks.len(), 1, |i| parse(&benchmarks[i].source))
+                .into_iter()
+                .collect::<Result<_, _>>()?
         };
         let _extract = noodle_telemetry::span!("dataset.extract");
-        let mut samples = Vec::with_capacity(benchmarks.len());
-        for (bench, file) in benchmarks.iter().zip(&parsed) {
-            samples.push(sample_from_file(&bench.name, file, bench.label.index())?);
+        let samples = noodle_compute::par_map_collect(benchmarks.len(), 1, |i| {
+            sample_from_file(&benchmarks[i].name, &parsed[i], benchmarks[i].label.index())
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            noodle_telemetry::gauge_set(
+                "dataset.designs_per_sec",
+                benchmarks.len() as f64 / elapsed,
+            );
         }
         Ok(Self { samples })
     }
@@ -80,10 +94,12 @@ impl MultimodalDataset {
     /// modules.
     pub fn from_sources(sources: &[(&str, &str, usize)]) -> Result<Self, PipelineError> {
         let _span = noodle_telemetry::span!("dataset.build", designs = sources.len());
-        let mut samples = Vec::with_capacity(sources.len());
-        for (name, source, label) in sources {
-            samples.push(sample_from_source(name, source, *label)?);
-        }
+        let samples = noodle_compute::par_map_collect(sources.len(), 1, |i| {
+            let (name, source, label) = sources[i];
+            sample_from_source(name, source, label)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { samples })
     }
 

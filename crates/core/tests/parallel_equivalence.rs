@@ -1,0 +1,102 @@
+//! Thread-count invariance of the full training path.
+//!
+//! The compute pool's determinism contract (chunk boundaries independent of
+//! the thread count, index-ordered reductions) promises that the pipeline
+//! is bit-identical at `NOODLE_THREADS=1` and `NOODLE_THREADS=4`. This test
+//! holds it to that: train the graph-image and tabular classifiers on the
+//! same seeded corpus at both thread counts and demand byte-identical
+//! serialized weights, bit-identical loss traces, and identical Mondrian
+//! conformal p-values.
+
+use noodle_bench_gen::{generate_corpus, CorpusConfig};
+use noodle_compute::set_thread_override;
+use noodle_conformal::{nonconformity_from_proba, MondrianIcp};
+use noodle_core::{ModalityClassifier, ModalityKind, MultimodalDataset, TABULAR_DIM};
+use noodle_nn::{Tensor, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything a training run produces that downstream stages consume.
+struct RunArtifacts {
+    /// Full serde_json serialization of the trained classifier (weights).
+    model_json: String,
+    /// Per-epoch mean losses, as raw bits.
+    loss_bits: Vec<u32>,
+    /// Mondrian p-values for both classes on the test split.
+    p_values: Vec<f64>,
+}
+
+fn modality_input(dataset: &MultimodalDataset, kind: ModalityKind, indices: &[usize]) -> Tensor {
+    match kind {
+        ModalityKind::Graph => dataset.graph_tensor(indices),
+        _ => {
+            let m = dataset.tabular_matrix(indices);
+            let n = m.shape()[0];
+            m.reshape(&[n, 1, TABULAR_DIM]).expect("tabular rows have a fixed width")
+        }
+    }
+}
+
+/// Generates the corpus, trains one modality classifier, calibrates a
+/// Mondrian ICP and scores the test split — all at `threads` threads.
+fn run_pipeline(kind: ModalityKind, threads: usize) -> RunArtifacts {
+    set_thread_override(Some(threads));
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 6, seed: 11 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus extracts cleanly");
+    let split = dataset.split(0.5, 0.25, 7);
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut clf = ModalityClassifier::new(kind, &mut rng);
+    let x_train = modality_input(&dataset, kind, &split.train);
+    let labels = dataset.labels(&split.train);
+    let config = TrainConfig { epochs: 3, batch_size: 8, lr: 1e-3 };
+    let trace = clf.fit(&x_train, &labels, &config, &mut rng);
+
+    let x_cal = modality_input(&dataset, kind, &split.calibration);
+    let cal_labels = dataset.labels(&split.calibration);
+    let cal_proba = clf.predict_proba(&x_cal);
+    let scores: Vec<(f32, usize)> = cal_labels
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (nonconformity_from_proba(cal_proba.at(&[i, y])), y))
+        .collect();
+    let icp = MondrianIcp::fit(&scores, 2).expect("calibration split covers both classes");
+
+    let x_test = modality_input(&dataset, kind, &split.test);
+    let test_proba = clf.predict_proba(&x_test);
+    let mut p_values = Vec::new();
+    for i in 0..split.test.len() {
+        for class in 0..2 {
+            p_values.push(icp.p_value(class, nonconformity_from_proba(test_proba.at(&[i, class]))));
+        }
+    }
+    set_thread_override(None);
+
+    RunArtifacts {
+        model_json: serde_json::to_string(&clf).expect("classifier serializes"),
+        loss_bits: trace.iter().map(|e| e.loss.to_bits()).collect(),
+        p_values,
+    }
+}
+
+/// One test (not one per modality) because the thread override is global
+/// and the harness runs `#[test]` functions concurrently.
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    for kind in [ModalityKind::Graph, ModalityKind::Tabular] {
+        let serial = run_pipeline(kind, 1);
+        let parallel = run_pipeline(kind, 4);
+        assert_eq!(
+            serial.loss_bits, parallel.loss_bits,
+            "{kind:?}: loss trace diverged between 1 and 4 threads"
+        );
+        assert_eq!(
+            serial.model_json, parallel.model_json,
+            "{kind:?}: serialized weights diverged between 1 and 4 threads"
+        );
+        assert_eq!(
+            serial.p_values, parallel.p_values,
+            "{kind:?}: Mondrian p-values diverged between 1 and 4 threads"
+        );
+    }
+}

@@ -95,6 +95,12 @@ impl VanillaGan {
         let batch = config.batch_size.clamp(1, n);
         let mut trace = Vec::with_capacity(config.epochs);
 
+        // The heavy math (Dense forward/backward GEMMs) is parallelized
+        // inside the noodle-compute kernels; the epoch loop itself stays
+        // sequential so the shuffle/noise RNG stream is identical at every
+        // thread count.
+        let flops_before = noodle_compute::flops();
+        let started = std::time::Instant::now();
         for epoch in 0..config.epochs {
             let mut d_loss_sum = 0.0;
             let mut g_loss_sum = 0.0;
@@ -139,6 +145,14 @@ impl VanillaGan {
             noodle_telemetry::histogram_record("gan.d_loss", d_loss as f64);
             noodle_telemetry::histogram_record("gan.g_loss", g_loss as f64);
             trace.push(GanEpoch { epoch, d_loss, g_loss });
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let gflop = (noodle_compute::flops() - flops_before) as f64 / 1e9;
+        noodle_telemetry::gauge_set("gan.train_gflop", gflop);
+        if elapsed > 0.0 {
+            let trained = (config.epochs * n) as f64;
+            noodle_telemetry::gauge_set("gan.samples_per_sec", trained / elapsed);
+            noodle_telemetry::gauge_set("gan.train_gflops", gflop / elapsed);
         }
 
         Self { generator, discriminator, scaler, latent_dim: config.latent_dim, data_dim: d, trace }

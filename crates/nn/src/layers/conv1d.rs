@@ -1,11 +1,22 @@
 //! 1-D convolution over `[batch, channels, length]` inputs.
+//!
+//! Forward and backward are lowered onto im2col + blocked GEMM (see
+//! [`crate::lowering`]) and parallelized across the batch, exactly like
+//! [`super::Conv2d`].
 
+use noodle_compute::{gemm, gemm_at, gemm_bt, par_chunks_mut, par_map_reduce};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use super::ParamMut;
+use super::{Mode, ParamMut};
 use crate::init;
+use crate::lowering::{col2im_1d, im2col_1d};
 use crate::tensor::Tensor;
+
+/// Batch samples handled per parallel chunk; fixed (never derived from
+/// the thread count) so gradient reduction order is thread-count
+/// invariant.
+const BATCH_GRAIN: usize = 4;
 
 /// A 1-D convolution layer with stride 1 and symmetric zero padding.
 ///
@@ -74,7 +85,7 @@ impl Conv1d {
         padded - self.kernel() + 1
     }
 
-    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+    pub(crate) fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.ndim(), 3, "Conv1d expects [batch, ch, len], got {:?}", input.shape());
         assert_eq!(
             input.shape()[1],
@@ -83,33 +94,31 @@ impl Conv1d {
             self.in_channels(),
             input.shape()[1]
         );
-        self.cached_input = Some(input.clone());
+        if mode == Mode::Train {
+            match &mut self.cached_input {
+                Some(c) => c.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
+        }
         let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let out_len = self.output_len(len);
+        let ck = cin * k;
         let mut out = Tensor::zeros(&[batch, cout, out_len]);
         let x = input.data();
-        let w = self.weight.data();
+        let w2 = self.weight.data(); // viewed as [cout, ck]
         let bias = self.bias.data();
-        let o = out.data_mut();
-        for b in 0..batch {
-            for co in 0..cout {
-                for t in 0..out_len {
-                    let mut acc = bias[co];
-                    for ci in 0..cin {
-                        for kk in 0..k {
-                            let src = t + kk;
-                            if src < pad || src >= pad + len {
-                                continue;
-                            }
-                            let xi = x[(b * cin + ci) * len + (src - pad)];
-                            acc += xi * w[(co * cin + ci) * k + kk];
-                        }
-                    }
-                    o[(b * cout + co) * out_len + t] = acc;
+        par_chunks_mut(out.data_mut(), cout * out_len, BATCH_GRAIN, |samples, out_chunk| {
+            let mut cols = vec![0.0; ck * out_len];
+            for (i, b) in samples.enumerate() {
+                im2col_1d(&x[b * cin * len..][..cin * len], cin, len, k, pad, out_len, &mut cols);
+                let out_b = &mut out_chunk[i * cout * out_len..][..cout * out_len];
+                for co in 0..cout {
+                    out_b[co * out_len..][..out_len].fill(bias[co]);
                 }
+                gemm(cout, ck, out_len, w2, &cols, out_b);
             }
-        }
+        });
         out
     }
 
@@ -119,33 +128,72 @@ impl Conv1d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let out_len = self.output_len(len);
         assert_eq!(grad_output.shape(), &[batch, cout, out_len]);
+        let ck = cin * k;
         let x = input.data();
         let go = grad_output.data();
-        let w = self.weight.data();
-        let gw = self.grad_weight.data_mut();
-        let gb = self.grad_bias.data_mut();
+        let wt = self.weight.data();
+
+        // dX per sample: gcols = W^T @ dY_b, scattered back onto the grid.
         let mut grad_input = Tensor::zeros(&[batch, cin, len]);
-        let gi = grad_input.data_mut();
-        for b in 0..batch {
-            for co in 0..cout {
-                for t in 0..out_len {
-                    let g = go[(b * cout + co) * out_len + t];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    gb[co] += g;
-                    for ci in 0..cin {
-                        for kk in 0..k {
-                            let src = t + kk;
-                            if src < pad || src >= pad + len {
-                                continue;
-                            }
-                            let xi_idx = (b * cin + ci) * len + (src - pad);
-                            gw[(co * cin + ci) * k + kk] += g * x[xi_idx];
-                            gi[xi_idx] += g * w[(co * cin + ci) * k + kk];
-                        }
+        par_chunks_mut(grad_input.data_mut(), cin * len, BATCH_GRAIN, |samples, gi_chunk| {
+            let mut gcols = vec![0.0; ck * out_len];
+            for (i, b) in samples.enumerate() {
+                gcols.fill(0.0);
+                gemm_at(
+                    cout,
+                    ck,
+                    out_len,
+                    wt,
+                    &go[b * cout * out_len..][..cout * out_len],
+                    &mut gcols,
+                );
+                let gi_b = &mut gi_chunk[i * cin * len..][..cin * len];
+                col2im_1d(&gcols, cin, len, k, pad, out_len, gi_b);
+            }
+        });
+
+        // dW / db: per-chunk partials folded in ascending chunk order.
+        let partials = par_map_reduce(
+            batch,
+            BATCH_GRAIN,
+            |samples| {
+                let mut cols = vec![0.0; ck * out_len];
+                let mut gw = vec![0.0; cout * ck];
+                let mut gb = vec![0.0; cout];
+                for b in samples {
+                    im2col_1d(
+                        &x[b * cin * len..][..cin * len],
+                        cin,
+                        len,
+                        k,
+                        pad,
+                        out_len,
+                        &mut cols,
+                    );
+                    let go_b = &go[b * cout * out_len..][..cout * out_len];
+                    gemm_bt(cout, out_len, ck, go_b, &cols, &mut gw);
+                    for co in 0..cout {
+                        gb[co] += go_b[co * out_len..][..out_len].iter().sum::<f32>();
                     }
                 }
+                (gw, gb)
+            },
+            |(mut gw, mut gb), (gw2, gb2)| {
+                for (a, b) in gw.iter_mut().zip(&gw2) {
+                    *a += *b;
+                }
+                for (a, b) in gb.iter_mut().zip(&gb2) {
+                    *a += *b;
+                }
+                (gw, gb)
+            },
+        );
+        if let Some((gw, gb)) = partials {
+            for (a, b) in self.grad_weight.data_mut().iter_mut().zip(&gw) {
+                *a += *b;
+            }
+            for (a, b) in self.grad_bias.data_mut().iter_mut().zip(&gb) {
+                *a += *b;
             }
         }
         grad_input
@@ -177,7 +225,7 @@ mod tests {
     fn kernel_one_is_identity() {
         let mut c = identity_conv();
         let x = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.data(), x.data());
     }
 
@@ -188,7 +236,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[1, 1, 3]);
         assert_eq!(y.data(), &[3.0, 5.0, 7.0]);
     }
@@ -200,7 +248,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 3], vec![0.0, 1.0, 0.0]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 3], vec![5.0, 6.0, 7.0]).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         // Centre-tap kernel with same-padding reproduces the input.
         assert_eq!(y.shape(), &[1, 1, 3]);
         assert_eq!(y.data(), &[5.0, 6.0, 7.0]);
@@ -211,7 +259,7 @@ mod tests {
         let mut c = identity_conv();
         c.bias = Tensor::from_slice(&[10.0]);
         let x = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 2.0]).unwrap();
-        assert_eq!(c.forward(&x).data(), &[11.0, 12.0]);
+        assert_eq!(c.forward(&x, Mode::Train).data(), &[11.0, 12.0]);
     }
 
     #[test]
@@ -221,7 +269,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 3], vec![1.0, 2.0, 3.0]).unwrap();
-        let _ = c.forward(&x);
+        let _ = c.forward(&x, Mode::Train);
         let gy = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 1.0]).unwrap();
         let gx = c.backward(&gy);
         // Middle input appears in both windows.
@@ -236,9 +284,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut c = Conv1d::new(2, 4, 3, 1, &mut rng);
         let x = Tensor::zeros(&[5, 2, 8]);
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[5, 4, 8]);
         let gx = c.backward(&Tensor::zeros(&[5, 4, 8]));
         assert_eq!(gx.shape(), &[5, 2, 8]);
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache_activations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv1d::new(2, 3, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 2, 6]);
+        let _ = c.forward(&x, Mode::Eval);
+        assert!(c.cached_input.is_none(), "Eval forward must not cache the input");
+        let _ = c.forward(&x, Mode::Train);
+        assert!(c.cached_input.is_some(), "Train forward must cache the input");
     }
 }

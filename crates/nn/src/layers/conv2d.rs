@@ -1,11 +1,23 @@
 //! 2-D convolution over `[batch, channels, height, width]` inputs.
+//!
+//! Forward and backward are lowered onto im2col + blocked GEMM (see
+//! [`crate::lowering`]) and parallelized across the batch; see
+//! `DESIGN.md` § "Parallelism & determinism model" for why results are
+//! bit-identical at every thread count.
 
+use noodle_compute::{gemm, gemm_at, gemm_bt, par_chunks_mut, par_map_reduce};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use super::ParamMut;
+use super::{Mode, ParamMut};
 use crate::init;
+use crate::lowering::{col2im_2d, im2col_2d};
 use crate::tensor::Tensor;
+
+/// Batch samples handled per parallel chunk. A fixed constant (never
+/// derived from the thread count) so chunk boundaries — and therefore
+/// the gradient reduction order — are identical at every thread count.
+const BATCH_GRAIN: usize = 4;
 
 /// A 2-D convolution layer with stride 1 and symmetric zero padding.
 ///
@@ -74,7 +86,7 @@ impl Conv2d {
         padded - self.kernel() + 1
     }
 
-    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+    pub(crate) fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.ndim(), 4, "Conv2d expects [b, c, h, w], got {:?}", input.shape());
         assert_eq!(
             input.shape()[1],
@@ -83,42 +95,47 @@ impl Conv2d {
             self.in_channels(),
             input.shape()[1]
         );
-        self.cached_input = Some(input.clone());
+        if mode == Mode::Train {
+            // Only training needs the activation for backward; reuse the
+            // cached tensor's allocation instead of cloning every call.
+            match &mut self.cached_input {
+                Some(c) => c.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
+        }
         let (batch, cin, h, w) =
             (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let (ckk, l) = (cin * k * k, oh * ow);
         let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
         let x = input.data();
-        let wt = self.weight.data();
+        let w2 = self.weight.data(); // viewed as [cout, ckk]
         let bias = self.bias.data();
-        let o = out.data_mut();
-        for b in 0..batch {
-            for co in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias[co];
-                        for ci in 0..cin {
-                            for ky in 0..k {
-                                let sy = oy + ky;
-                                if sy < pad || sy >= pad + h {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let sx = ox + kx;
-                                    if sx < pad || sx >= pad + w {
-                                        continue;
-                                    }
-                                    let xi = x[((b * cin + ci) * h + (sy - pad)) * w + (sx - pad)];
-                                    acc += xi * wt[((co * cin + ci) * k + ky) * k + kx];
-                                }
-                            }
-                        }
-                        o[((b * cout + co) * oh + oy) * ow + ox] = acc;
-                    }
+        // One chunk = BATCH_GRAIN samples; each writes a disjoint slice of
+        // the output and reuses one im2col scratch buffer across its
+        // samples. The inner GEMM runs inline (nested regions are serial).
+        par_chunks_mut(out.data_mut(), cout * l, BATCH_GRAIN, |samples, out_chunk| {
+            let mut cols = vec![0.0; ckk * l];
+            for (i, b) in samples.enumerate() {
+                im2col_2d(
+                    &x[b * cin * h * w..][..cin * h * w],
+                    cin,
+                    h,
+                    w,
+                    k,
+                    pad,
+                    oh,
+                    ow,
+                    &mut cols,
+                );
+                let out_b = &mut out_chunk[i * cout * l..][..cout * l];
+                for co in 0..cout {
+                    out_b[co * l..][..l].fill(bias[co]);
                 }
+                gemm(cout, ckk, l, w2, &cols, out_b);
             }
-        }
+        });
         out
     }
 
@@ -129,42 +146,70 @@ impl Conv2d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         assert_eq!(grad_output.shape(), &[batch, cout, oh, ow]);
+        let (ckk, l) = (cin * k * k, oh * ow);
         let x = input.data();
         let go = grad_output.data();
         let wt = self.weight.data();
-        let gw = self.grad_weight.data_mut();
-        let gb = self.grad_bias.data_mut();
+
+        // dX: each sample's gradient image is disjoint, so the batch is
+        // partitioned directly. gcols = W^T @ dY_b, then scattered back
+        // onto the input grid.
         let mut grad_input = Tensor::zeros(&[batch, cin, h, w]);
-        let gi = grad_input.data_mut();
-        for b in 0..batch {
-            for co in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = go[((b * cout + co) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        gb[co] += g;
-                        for ci in 0..cin {
-                            for ky in 0..k {
-                                let sy = oy + ky;
-                                if sy < pad || sy >= pad + h {
-                                    continue;
-                                }
-                                for kx in 0..k {
-                                    let sx = ox + kx;
-                                    if sx < pad || sx >= pad + w {
-                                        continue;
-                                    }
-                                    let xi_idx = ((b * cin + ci) * h + (sy - pad)) * w + (sx - pad);
-                                    let w_idx = ((co * cin + ci) * k + ky) * k + kx;
-                                    gw[w_idx] += g * x[xi_idx];
-                                    gi[xi_idx] += g * wt[w_idx];
-                                }
-                            }
-                        }
+        par_chunks_mut(grad_input.data_mut(), cin * h * w, BATCH_GRAIN, |samples, gi_chunk| {
+            let mut gcols = vec![0.0; ckk * l];
+            for (i, b) in samples.enumerate() {
+                gcols.fill(0.0);
+                gemm_at(cout, ckk, l, wt, &go[b * cout * l..][..cout * l], &mut gcols);
+                let gi_b = &mut gi_chunk[i * cin * h * w..][..cin * h * w];
+                col2im_2d(&gcols, cin, h, w, k, pad, oh, ow, gi_b);
+            }
+        });
+
+        // dW / db: per-chunk partial sums (dW_b = dY_b @ cols_b^T), folded
+        // in ascending chunk order so the totals are thread-count invariant.
+        let partials = par_map_reduce(
+            batch,
+            BATCH_GRAIN,
+            |samples| {
+                let mut cols = vec![0.0; ckk * l];
+                let mut gw = vec![0.0; cout * ckk];
+                let mut gb = vec![0.0; cout];
+                for b in samples {
+                    im2col_2d(
+                        &x[b * cin * h * w..][..cin * h * w],
+                        cin,
+                        h,
+                        w,
+                        k,
+                        pad,
+                        oh,
+                        ow,
+                        &mut cols,
+                    );
+                    let go_b = &go[b * cout * l..][..cout * l];
+                    gemm_bt(cout, l, ckk, go_b, &cols, &mut gw);
+                    for co in 0..cout {
+                        gb[co] += go_b[co * l..][..l].iter().sum::<f32>();
                     }
                 }
+                (gw, gb)
+            },
+            |(mut gw, mut gb), (gw2, gb2)| {
+                for (a, b) in gw.iter_mut().zip(&gw2) {
+                    *a += *b;
+                }
+                for (a, b) in gb.iter_mut().zip(&gb2) {
+                    *a += *b;
+                }
+                (gw, gb)
+            },
+        );
+        if let Some((gw, gb)) = partials {
+            for (a, b) in self.grad_weight.data_mut().iter_mut().zip(&gw) {
+                *a += *b;
+            }
+            for (a, b) in self.grad_bias.data_mut().iter_mut().zip(&gb) {
+                *a += *b;
             }
         }
         grad_input
@@ -191,7 +236,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.data(), &[2.0, 4.0, 6.0, 8.0]);
     }
 
@@ -202,7 +247,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         // windows: [1,2,4,5]=12 [2,3,5,6]=16 [4,5,7,8]=24 [5,6,8,9]=28
         assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
@@ -217,7 +262,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 3, 3], kernel).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape(), x.shape());
         assert_eq!(y.data(), x.data());
     }
@@ -229,7 +274,7 @@ mod tests {
         c.weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
         c.bias = Tensor::zeros(&[1]);
         let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let _ = c.forward(&x);
+        let _ = c.forward(&x, Mode::Train);
         let gy = Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]).unwrap();
         let gx = c.backward(&gy);
         assert_eq!(gx.data(), &[1.0; 4]);
@@ -242,9 +287,65 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut c = Conv2d::new(3, 8, 3, 1, &mut rng);
         let x = Tensor::zeros(&[2, 3, 16, 16]);
-        let y = c.forward(&x);
+        let y = c.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[2, 8, 16, 16]);
         let gx = c.backward(&Tensor::zeros(&[2, 8, 16, 16]));
         assert_eq!(gx.shape(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache_activations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(1, 2, 3, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let _ = c.forward(&x, Mode::Eval);
+        assert!(c.cached_input.is_none(), "Eval forward must not cache the input");
+        let _ = c.forward(&x, Mode::Train);
+        assert!(c.cached_input.is_some(), "Train forward must cache the input");
+    }
+
+    /// The im2col + GEMM path against a direct translation of the
+    /// convolution definition, on an awkward (padding > kernel reach)
+    /// multichannel case.
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = Conv2d::new(3, 4, 3, 2, &mut rng);
+        let x = Tensor::rand_uniform(&[5, 3, 6, 5], -1.0, 1.0, &mut rng);
+        let y = c.forward(&x, Mode::Eval);
+        let (h, w, k, pad) = (6, 5, 3, 2);
+        let (oh, ow) = (h + 2 * pad - k + 1, w + 2 * pad - k + 1);
+        assert_eq!(y.shape(), &[5, 4, oh, ow]);
+        for b in 0..5 {
+            for co in 0..4 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = c.bias.data()[co];
+                        for ci in 0..3 {
+                            for ky in 0..k {
+                                let sy = oy + ky;
+                                if sy < pad || sy >= pad + h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let sx = ox + kx;
+                                    if sx < pad || sx >= pad + w {
+                                        continue;
+                                    }
+                                    acc += x.data()
+                                        [((b * 3 + ci) * h + (sy - pad)) * w + (sx - pad)]
+                                        * c.weight.data()[((co * 3 + ci) * k + ky) * k + kx];
+                                }
+                            }
+                        }
+                        let got = y.data()[((b * 4 + co) * oh + oy) * ow + ox];
+                        assert!(
+                            (got - acc).abs() < 1e-5,
+                            "mismatch at b={b} co={co} oy={oy} ox={ox}: {got} vs {acc}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use super::ParamMut;
+use super::{Mode, ParamMut};
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -55,7 +55,7 @@ impl Dense {
         &self.bias
     }
 
-    pub(crate) fn forward(&mut self, input: &Tensor) -> Tensor {
+    pub(crate) fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.ndim(), 2, "Dense expects [batch, in] input, got {:?}", input.shape());
         assert_eq!(
             input.shape()[1],
@@ -64,8 +64,16 @@ impl Dense {
             self.in_features(),
             input.shape()[1]
         );
-        self.cached_input = Some(input.clone());
-        let mut out = input.matmul(&self.weight.transpose());
+        if mode == Mode::Train {
+            // Only training needs the activation for backward; reuse the
+            // cached tensor's allocation instead of cloning every call.
+            match &mut self.cached_input {
+                Some(c) => c.copy_from(input),
+                None => self.cached_input = Some(input.clone()),
+            }
+        }
+        // x @ W^T without materializing the transpose.
+        let mut out = input.matmul_bt(&self.weight);
         let (batch, out_f) = (out.shape()[0], out.shape()[1]);
         let bias = self.bias.data();
         let data = out.data_mut();
@@ -80,7 +88,7 @@ impl Dense {
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = dY^T X ; db = sum over batch ; dX = dY W
-        self.grad_weight.axpy(1.0, &grad_output.transpose().matmul(input));
+        self.grad_weight.add_matmul_at(grad_output, input);
         let (batch, out_f) = (grad_output.shape()[0], grad_output.shape()[1]);
         let gb = self.grad_bias.data_mut();
         let go = grad_output.data();
@@ -119,7 +127,7 @@ mod tests {
     fn forward_hand_computed() {
         let mut d = fixed_dense();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
-        let y = d.forward(&x);
+        let y = d.forward(&x, Mode::Train);
         // y0 = 1*1 + 2*1 + 0.5 = 3.5 ; y1 = 3 + 4 - 0.5 = 6.5
         assert_eq!(y.data(), &[3.5, 6.5]);
     }
@@ -128,7 +136,7 @@ mod tests {
     fn backward_shapes_and_values() {
         let mut d = fixed_dense();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
-        let _ = d.forward(&x);
+        let _ = d.forward(&x, Mode::Train);
         let gy = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]).unwrap();
         let gx = d.backward(&gy);
         // dX = gy W = [1+3, 2+4]
@@ -143,9 +151,9 @@ mod tests {
         let mut d = fixed_dense();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 0.0]).unwrap();
         let gy = Tensor::from_vec(vec![1, 2], vec![1.0, 0.0]).unwrap();
-        let _ = d.forward(&x);
+        let _ = d.forward(&x, Mode::Train);
         let _ = d.backward(&gy);
-        let _ = d.forward(&x);
+        let _ = d.forward(&x, Mode::Train);
         let _ = d.backward(&gy);
         assert_eq!(d.grad_bias.data()[0], 2.0);
     }

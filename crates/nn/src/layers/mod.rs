@@ -86,10 +86,10 @@ impl Layer {
     /// Runs the layer forward, caching whatever `backward` will need.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         match self {
-            Layer::Dense(l) => l.forward(input),
+            Layer::Dense(l) => l.forward(input, mode),
             Layer::BatchNorm1d(l) => l.forward(input, mode),
-            Layer::Conv1d(l) => l.forward(input),
-            Layer::Conv2d(l) => l.forward(input),
+            Layer::Conv1d(l) => l.forward(input, mode),
+            Layer::Conv2d(l) => l.forward(input, mode),
             Layer::Activation(l) => l.forward(input),
             Layer::Dropout(l) => l.forward(input, mode),
             Layer::Flatten(l) => l.forward(input),

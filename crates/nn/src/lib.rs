@@ -5,9 +5,12 @@
 //! backpropagation, standard losses, and SGD/Adam optimizers.
 //!
 //! The crate intentionally avoids heavyweight ML frameworks: NOODLE's
-//! networks are small CNNs trained on a few hundred samples, so simple
-//! loop-based kernels are fast enough, fully deterministic under a seeded
-//! RNG, and easy to verify with finite-difference gradient checks (see the
+//! networks are small CNNs trained on a few hundred samples, so the hot
+//! paths lower onto `noodle-compute` — convolutions via im2col onto a
+//! cache-blocked GEMM, batches fanned out over the workspace thread pool —
+//! while staying fully deterministic under a seeded RNG at *every* thread
+//! count (see [`lowering`] and the compute crate's determinism contract)
+//! and easy to verify with finite-difference gradient checks (see the
 //! crate's integration tests).
 //!
 //! ## Quickstart
@@ -37,6 +40,7 @@
 pub mod init;
 mod layers;
 pub mod loss;
+pub mod lowering;
 mod model;
 pub mod optim;
 mod tensor;

@@ -164,6 +164,13 @@ pub fn fit_classifier<R: Rng + ?Sized>(
     let mut opt = Adam::new(config.lr);
     let mut order: Vec<usize> = (0..n).collect();
     let mut trace = Vec::with_capacity(config.epochs);
+    // Gradient work is parallelized inside the layer kernels (batch-level
+    // im2col/GEMM on the noodle-compute pool), so the minibatch loop stays
+    // sequential and the shuffle/dropout RNG streams are untouched by the
+    // thread count.
+    let flops_before = noodle_compute::flops();
+    let started = std::time::Instant::now();
+    noodle_telemetry::gauge_set("compute.threads", noodle_compute::num_threads() as f64);
     for epoch in 0..config.epochs {
         order.shuffle(rng);
         let mut epoch_loss = 0.0;
@@ -181,9 +188,18 @@ pub fn fit_classifier<R: Rng + ?Sized>(
         }
         let mean_loss = epoch_loss / batches.max(1) as f32;
         noodle_telemetry::counter_add("nn.epochs", 1);
+        noodle_telemetry::counter_add("nn.samples", n as u64);
         noodle_telemetry::gauge_set("nn.epoch_loss", mean_loss as f64);
         noodle_telemetry::histogram_record("nn.epoch_loss", mean_loss as f64);
         trace.push(EpochStats { epoch, loss: mean_loss });
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let gflop = (noodle_compute::flops() - flops_before) as f64 / 1e9;
+    noodle_telemetry::gauge_set("nn.fit_gflop", gflop);
+    if elapsed > 0.0 {
+        let trained = (config.epochs * n) as f64;
+        noodle_telemetry::gauge_set("nn.samples_per_sec", trained / elapsed);
+        noodle_telemetry::gauge_set("nn.fit_gflops", gflop / elapsed);
     }
     trace
 }

@@ -299,6 +299,10 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
+    /// Lowered onto the row-parallel, cache-blocked GEMM kernel in
+    /// `noodle-compute`; each output element accumulates over `k` in
+    /// ascending order, so results are bit-identical at every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank 2 or the inner dimensions differ.
@@ -309,23 +313,64 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
+        noodle_compute::gemm(m, k, n, &self.data, &other.data, &mut out);
         Self { shape: vec![m, n], data: out }
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// `self @ other^T` for `self: [m, k]` and `other: [n, k]`, without
+    /// materializing the transpose — both operands stream row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_bt(&self, other: &Self) -> Self {
+        assert_eq!(self.ndim(), 2, "matmul_bt lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul_bt rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_bt shared dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        noodle_compute::gemm_bt(m, k, n, &self.data, &other.data, &mut out);
+        Self { shape: vec![m, n], data: out }
+    }
+
+    /// `self^T @ other` for `self: [k, m]` and `other: [k, n]`, without
+    /// materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_at(&self, other: &Self) -> Self {
+        assert_eq!(self.ndim(), 2, "matmul_at lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul_at rhs must be rank 2, got {:?}", other.shape);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_at shared dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        noodle_compute::gemm_at(k, m, n, &self.data, &other.data, &mut out);
+        Self { shape: vec![m, n], data: out }
+    }
+
+    /// In-place `self += a^T @ b` for `a: [k, m]`, `b: [k, n]` and
+    /// `self: [m, n]` — the gradient-accumulation primitive
+    /// (`dW += dY^T @ X`) with no temporary and no transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any rank or dimension mismatch.
+    pub fn add_matmul_at(&mut self, a: &Self, b: &Self) {
+        assert_eq!(self.ndim(), 2, "add_matmul_at target must be rank 2, got {:?}", self.shape);
+        assert_eq!(a.ndim(), 2, "add_matmul_at lhs must be rank 2, got {:?}", a.shape);
+        assert_eq!(b.ndim(), 2, "add_matmul_at rhs must be rank 2, got {:?}", b.shape);
+        let (k, m) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "add_matmul_at shared dimensions differ: {k} vs {k2}");
+        assert_eq!(self.shape, vec![m, n], "add_matmul_at target must be [{m}, {n}]");
+        noodle_compute::gemm_at(k, m, n, &a.data, &b.data, &mut self.data);
+    }
+
+    /// Transpose of a rank-2 tensor (tiled so the writes stay cache-local
+    /// instead of striding column-major through the whole output).
     ///
     /// # Panics
     ///
@@ -334,12 +379,17 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires rank 2, got {:?}", self.shape);
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut data = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = self.data[i * n + j];
-            }
-        }
+        noodle_compute::transpose(m, n, &self.data, &mut data);
         Self { shape: vec![n, m], data }
+    }
+
+    /// Copies `src`'s shape and contents into `self`, reusing `self`'s
+    /// existing allocation when it is large enough (unlike `clone()`,
+    /// which always allocates). Used by layers to cache forward inputs
+    /// without a fresh allocation per call.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.shape.clone_from(&src.shape);
+        self.data.clone_from(&src.data);
     }
 
     /// Returns row `i` of a rank-2 tensor as a slice.
@@ -525,6 +575,48 @@ mod tests {
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().shape(), &[3, 2]);
         assert_eq!(a.transpose().at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn transposed_operand_variants_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::rand_uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng); // b^T: [6, 5]
+        let via_bt = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert_eq!(via_bt.shape(), &[4, 5]);
+        for (x, y) in via_bt.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        let c = Tensor::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng); // a^T would be [... , 4]
+        let at = Tensor::rand_uniform(&[6, 4], -1.0, 1.0, &mut rng);
+        let via_at = at.matmul_at(&c);
+        let explicit_at = at.transpose().matmul(&c);
+        assert_eq!(via_at.shape(), &[4, 3]);
+        for (x, y) in via_at.data().iter().zip(explicit_at.data()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn add_matmul_at_accumulates() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let mut acc = Tensor::ones(&[2, 2]);
+        acc.add_matmul_at(&a, &b);
+        // a^T @ b = [[1,3],[2,4]] @ [[5,6],[7,8]] = [[26,30],[38,44]], plus ones.
+        assert_eq!(acc.data(), &[27.0, 31.0, 39.0, 45.0]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut dst = Tensor::zeros(&[4, 4]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let small = Tensor::from_slice(&[9.0]);
+        dst.copy_from(&small);
+        assert_eq!(dst, small);
     }
 
     #[test]

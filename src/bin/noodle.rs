@@ -16,6 +16,7 @@
 //! --trace[=pretty|json]   stream per-stage span timings to stderr
 //! --report <path>         write a RunReport JSON summary at exit
 //! --quiet                 suppress progress output (errors still print)
+//! --threads N             compute pool size (default: NOODLE_THREADS or all cores)
 //! ```
 //!
 //! The tool is deliberately dependency-free (hand-rolled argument parsing)
@@ -82,7 +83,9 @@ fn print_usage() {
          OBSERVABILITY (any command):\n  \
          --trace[=pretty|json]   stream per-stage timings to stderr\n  \
          --report <path>         write a RunReport JSON summary\n  \
-         --quiet                 suppress progress output\n\n\
+         --quiet                 suppress progress output\n  \
+         --threads N             compute pool size (results are identical\n                          \
+         at every thread count; default NOODLE_THREADS or all cores)\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
          a log through the coverage/Brier/drift monitor suite.\n"
@@ -197,6 +200,16 @@ struct Observability {
 
 impl Observability {
     fn from_flags(flags: &[(&str, &str)]) -> Result<Self, CliError> {
+        if let Some(threads) = flag_value(flags, "threads") {
+            let n: usize = threads.parse().map_err(|_| {
+                CliError::msg(format!("--threads expects a positive number, got `{threads}`"))
+            })?;
+            if n == 0 {
+                return Err(CliError::msg("--threads expects a positive number, got `0`"));
+            }
+            noodle::compute::set_thread_override(Some(n));
+        }
+        telemetry::gauge_set("compute.threads", noodle::compute::num_threads() as f64);
         let trace = flag_value(flags, "trace");
         let report = flag_value(flags, "report").map(PathBuf::from);
         let quiet = flag_value(flags, "quiet").is_some();
@@ -234,6 +247,8 @@ impl Observability {
         let Some(path) = &self.report else {
             return Ok(());
         };
+        telemetry::gauge_set("compute.gflop_total", noodle::compute::flops() as f64 / 1e9);
+        telemetry::gauge_set("compute.parallel_jobs", noodle::compute::jobs() as f64);
         let mut report = RunReport::from_snapshot(command, telemetry::snapshot());
         report.context = Some(RunContext {
             invocation: invocation_line(),

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use noodle_bench_gen as bench_gen;
+pub use noodle_compute as compute;
 pub use noodle_conformal as conformal;
 pub use noodle_core as core;
 pub use noodle_gan as gan;
