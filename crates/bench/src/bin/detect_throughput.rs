@@ -1,0 +1,122 @@
+//! Scripts-free serving-throughput benchmark for the batched detect engine.
+//!
+//! Fits a fast detector once, then screens the same probe corpus two ways:
+//!
+//! - **batch_1**: the sequential path (`detect_named` per file) pinned to a
+//!   single thread — one-request-at-a-time serving;
+//! - **batch_32**: `detect_batch` with 32-file micro-batches on the full
+//!   compute pool — the high-throughput serving configuration.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin detect_throughput -- \
+//!     [--out PATH] [--iters N] [--files N]
+//! ```
+//!
+//! Writes a machine-readable `BENCH_detect.json` with files/sec for both
+//! configurations plus their ratio, so CI can assert the batched engine
+//! stays ahead without carrying a criterion baseline around. Verdicts are
+//! bit-identical between the two paths (asserted here on every run).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use noodle_bench_gen::{generate_corpus, CorpusConfig};
+use noodle_core::{DetectRequest, MultimodalDataset, NoodleConfig, NoodleDetector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut out_path = String::from("BENCH_detect.json");
+    let mut iters: usize = 5;
+    let mut files: usize = 32;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                iters = args[i + 1].parse().expect("--iters expects a number");
+                i += 2;
+            }
+            "--files" if i + 1 < args.len() => {
+                files = args[i + 1].parse().expect("--files expects a number");
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: detect_throughput [--out PATH] [--iters N] [--files N] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let files = files.max(2);
+
+    eprintln!("fitting detector (fast config)...");
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus extracts cleanly");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut detector =
+        NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).expect("fit succeeds");
+
+    let infected = files / 3;
+    let probe = generate_corpus(&CorpusConfig {
+        trojan_free: files - infected,
+        trojan_infected: infected,
+        seed: 997,
+    });
+    let requests: Vec<DetectRequest<'_>> = probe
+        .iter()
+        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+        .collect();
+
+    // The two paths must agree bitwise before their speeds mean anything.
+    let sequential: Vec<_> = probe
+        .iter()
+        .map(|b| detector.detect_named(&b.name, &b.source, None).expect("detect succeeds"))
+        .collect();
+    let batched = detector.detect_batch(&requests, 32, None).expect("detect_batch succeeds");
+    assert_eq!(batched, sequential, "batched verdicts diverge from sequential");
+
+    // Batch-of-one serving: one request at a time on a single stream.
+    noodle_compute::set_thread_override(Some(1));
+    let seq_ns = median_ns(iters, || {
+        for r in &requests {
+            black_box(detector.detect_named(r.design, r.source, None).expect("detect succeeds"));
+        }
+    });
+
+    // Batched serving: 32-file micro-batches on the full compute pool.
+    noodle_compute::set_thread_override(None);
+    let batch_ns = median_ns(iters, || {
+        black_box(detector.detect_batch(&requests, 32, None).expect("detect_batch succeeds"));
+    });
+
+    let fps_seq = files as f64 / (seq_ns as f64 / 1e9);
+    let fps_batch = files as f64 / (batch_ns as f64 / 1e9);
+    let speedup = fps_batch / fps_seq;
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"files\": {files},\n  \"iters\": {iters},\n  \"files_per_sec\": {{\n    \"batch_1\": {fps_seq:.2},\n    \"batch_32\": {fps_batch:.2}\n  }},\n  \"speedup\": {speedup:.3}\n}}\n",
+        noodle_compute::num_threads(),
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("{json}");
+    eprintln!("benchmark results written to {out_path}");
+}
+
+/// Median wall-clock nanoseconds per call over `iters` timed calls (one
+/// untimed warmup call first — it also warms the inference arena path).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    f();
+    let mut times: Vec<u128> = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}

@@ -7,8 +7,8 @@
 //! 1-D for the tabular vector and the early-fusion concatenation).
 
 use noodle_nn::{
-    fit_classifier, Activation, Conv1d, Conv2d, Dense, Dropout, EpochStats, Flatten, MaxPool1d,
-    MaxPool2d, Sequential, Tensor, TrainConfig,
+    fit_classifier, Activation, Conv1d, Conv2d, Dense, Dropout, EpochStats, Flatten, InferArena,
+    MaxPool1d, MaxPool2d, Sequential, Tensor, TrainConfig,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -120,6 +120,15 @@ impl ModalityClassifier {
         self.net.predict_proba(inputs)
     }
 
+    /// Softmax class probabilities `[n, 2]` through the allocation-free
+    /// inference path: bit-identical to [`Self::predict_proba`] at every
+    /// batch size, but takes `&self` and writes into `arena`'s reusable
+    /// buffers instead of allocating fresh tensors.
+    pub fn infer_proba<'a>(&self, inputs: &Tensor, arena: &'a mut InferArena) -> &'a Tensor {
+        assert_eq!(&inputs.shape()[1..], self.input_shape().as_slice(), "input shape mismatch");
+        self.net.infer_proba(inputs, arena)
+    }
+
     /// Number of trainable parameters.
     pub fn param_count(&mut self) -> usize {
         self.net.param_count()
@@ -199,6 +208,20 @@ mod tests {
         let mut early = ModalityClassifier::new(ModalityKind::EarlyFusion, &mut rng);
         assert!(early.param_count() > tab.param_count());
         assert_eq!(tab.kind(), ModalityKind::Tabular);
+    }
+
+    #[test]
+    fn infer_proba_matches_predict_proba_bitwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for kind in [ModalityKind::Graph, ModalityKind::Tabular, ModalityKind::EarlyFusion] {
+            let mut clf = ModalityClassifier::new(kind, &mut rng);
+            let mut shape = vec![6];
+            shape.extend(clf.input_shape());
+            let x = Tensor::rand_uniform(&shape, 0.0, 1.0, &mut rng);
+            let expected = clf.predict_proba(&x);
+            let mut arena = InferArena::new();
+            assert_eq!(clf.infer_proba(&x, &mut arena), &expected, "{kind:?} diverges");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use noodle_conformal::{nonconformity_from_proba, Combiner, ConformalPrediction, 
 use noodle_gan::{GanConfig, ImputerConfig, ModalityImputer};
 use noodle_graph::{IMAGE_CHANNELS, IMAGE_SIZE};
 use noodle_metrics::brier_score;
-use noodle_nn::{Tensor, TrainConfig};
+use noodle_nn::{InferArena, Tensor, TrainConfig};
 use noodle_observe::{
     emit_if, AuditHeader, AuditSink, CalibrationBaseline, PredictionRecord, ScoreBaseline,
     SourceProbe, AUDIT_SCHEMA_VERSION,
@@ -27,6 +27,7 @@ use crate::amplify::amplify_dataset;
 use crate::classifier::{ModalityClassifier, ModalityKind};
 use crate::dataset::{extract_modalities, MultimodalDataset, Split, GRAPH_DIM, TABULAR_DIM};
 use crate::error::PipelineError;
+use crate::feature_cache::FeatureCache;
 use crate::normalize::ZScore;
 
 /// All hyperparameters of the NOODLE pipeline.
@@ -202,6 +203,35 @@ pub struct Detection {
     pub imputed_modality: bool,
     /// The strategy that produced the decision.
     pub strategy: FusionStrategy,
+}
+
+/// One named screening request for [`NoodleDetector::detect_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct DetectRequest<'a> {
+    /// Design identifier carried into audit records and verdict output.
+    pub design: &'a str,
+    /// Verilog source text to screen.
+    pub source: &'a str,
+    /// Optional ground-truth label (0 = TF, 1 = TI) for offline monitors.
+    pub label: Option<usize>,
+}
+
+/// Latency attribution carried into one audit record: the per-file share
+/// plus the size and wall time of the enclosing micro-batch (trivially one
+/// file and the same latency on the sequential path).
+#[derive(Debug, Clone, Copy)]
+struct AuditTiming {
+    latency_us: f64,
+    batch_latency_us: f64,
+    batch_size: usize,
+}
+
+impl AuditTiming {
+    /// Timing for a sequential (batch-of-one) detect call.
+    fn single(start: Option<Instant>) -> Self {
+        let us = start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e6);
+        Self { latency_us: us, batch_latency_us: us, batch_size: 1 }
+    }
 }
 
 /// A fitted NOODLE detector.
@@ -637,7 +667,15 @@ impl NoodleDetector {
         let strategy = self.evaluation.winner;
         let (prediction, probes) = self.predict_with_optional_probes(&graph, &tabular, strategy);
         let detection = self.decision(prediction, strategy, imputed);
-        self.emit_audit(design, label, &detection, graph_present, tabular_present, probes, start);
+        self.emit_audit(
+            design,
+            label,
+            &detection,
+            graph_present,
+            tabular_present,
+            probes,
+            AuditTiming::single(start),
+        );
         Ok(detection)
     }
 
@@ -656,8 +694,214 @@ impl NoodleDetector {
         let (graph, tabular) = extract_modalities(source)?;
         let (prediction, probes) = self.predict_with_optional_probes(&graph, &tabular, strategy);
         let detection = self.decision(prediction, strategy, false);
-        self.emit_audit("", None, &detection, true, true, probes, start);
+        self.emit_audit("", None, &detection, true, true, probes, AuditTiming::single(start));
         Ok(detection)
+    }
+
+    /// Screens many designs through the high-throughput serving engine:
+    /// modality extraction fans out over the compute pool (consulting the
+    /// optional [`FeatureCache`] first), then CNN forwards run as
+    /// micro-batches of up to `batch_size` rows through a reusable,
+    /// allocation-free inference arena.
+    ///
+    /// Every kernel on the fast path is row-independent, so verdicts,
+    /// p-values and audit records are bit-identical to calling
+    /// [`NoodleDetector::detect_named`] once per design, in request order,
+    /// at every batch size and thread count. Audit records additionally
+    /// carry the micro-batch size and wall time; the per-file latency is
+    /// the batch's share, measured (like the sequential path) from after
+    /// feature extraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PipelineError`] in request order if any source
+    /// fails to parse; no audit records are emitted in that case.
+    pub fn detect_batch(
+        &mut self,
+        requests: &[DetectRequest<'_>],
+        batch_size: usize,
+        mut cache: Option<&mut FeatureCache>,
+    ) -> Result<Vec<Detection>, PipelineError> {
+        let n = requests.len();
+        let batch_size = batch_size.max(1);
+        let _span = noodle_telemetry::span!("detect.batch", files = n, batch = batch_size);
+        let started = Instant::now();
+
+        // Stage 1: features. Cache lookups run first (sequential, they
+        // mutate LRU state); the misses fan out over the compute pool in
+        // request order, so the first error reported is the lowest index —
+        // exactly what a sequential loop would surface.
+        let mut features: Vec<Option<(Vec<f32>, Vec<f32>)>> = requests
+            .iter()
+            .map(|r| cache.as_deref_mut().and_then(|c| c.lookup(r.source)))
+            .collect();
+        let miss_idx: Vec<usize> = (0..n).filter(|&i| features[i].is_none()).collect();
+        let extracted = noodle_compute::par_map_collect(miss_idx.len(), 1, |j| {
+            extract_modalities(requests[miss_idx[j]].source)
+        });
+        for (&i, result) in miss_idx.iter().zip(extracted) {
+            let (graph, tabular) = result?;
+            if let Some(c) = cache.as_deref_mut() {
+                c.insert(requests[i].source, graph.clone(), tabular.clone());
+            }
+            features[i] = Some((graph, tabular));
+        }
+
+        // Stage 2: micro-batched CNN forwards + conformal p-values. The
+        // arena is local to the call — it reaches steady-state capacity on
+        // the first chunk and every later chunk reuses it verbatim.
+        let strategy = self.evaluation.winner;
+        let mut arena = InferArena::new();
+        let mut detections = Vec::with_capacity(n);
+        let mut chunk_start = 0;
+        while chunk_start < n {
+            let m = batch_size.min(n - chunk_start);
+            let mut graph_data = Vec::with_capacity(m * GRAPH_DIM);
+            let mut tab_data = Vec::with_capacity(m * TABULAR_DIM);
+            for i in chunk_start..chunk_start + m {
+                let (g, t) = features[i].as_ref().expect("all features filled above");
+                graph_data.extend_from_slice(g);
+                tab_data.extend_from_slice(t);
+            }
+            let graphs =
+                Tensor::from_vec(vec![m, IMAGE_CHANNELS, IMAGE_SIZE, IMAGE_SIZE], graph_data)
+                    .expect("extracted graph vectors have the fixed length");
+            let tab_raw = Tensor::from_vec(vec![m, TABULAR_DIM], tab_data)
+                .expect("extracted tabular vectors have the fixed length");
+
+            let mut probes: Option<Vec<Vec<SourceProbe>>> =
+                self.audit.is_some().then(|| vec![Vec::new(); m]);
+            let batch_start = Instant::now();
+            let predictions =
+                self.conformal_batch(&graphs, &tab_raw, strategy, probes.as_mut(), &mut arena);
+            let batch_us = batch_start.elapsed().as_secs_f64() * 1e6;
+            let per_file_us = batch_us / m as f64;
+            noodle_telemetry::histogram_record("detect.batch_size", m as f64);
+
+            for (j, prediction) in predictions.into_iter().enumerate() {
+                let r = &requests[chunk_start + j];
+                noodle_telemetry::counter_add("detect.calls", 1);
+                noodle_telemetry::histogram_record("detect.latency_us", per_file_us);
+                let detection = self.decision(prediction, strategy, false);
+                let file_probes =
+                    probes.as_mut().map_or_else(Vec::new, |p| std::mem::take(&mut p[j]));
+                self.emit_audit(
+                    r.design,
+                    r.label,
+                    &detection,
+                    true,
+                    true,
+                    file_probes,
+                    AuditTiming {
+                        latency_us: per_file_us,
+                        batch_latency_us: batch_us,
+                        batch_size: m,
+                    },
+                );
+                detections.push(detection);
+            }
+            chunk_start += m;
+        }
+
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            noodle_telemetry::gauge_set("detect.files_per_sec", n as f64 / elapsed);
+        }
+        Ok(detections)
+    }
+
+    /// Batched [`NoodleDetector::conformal_for`]: one forward pass per
+    /// micro-batch through the inference arena. Normalization, the CNN
+    /// kernels and softmax all operate row-by-row, so row `i` here is
+    /// bit-identical to a batch-of-one call on sample `i` alone.
+    fn conformal_batch(
+        &self,
+        graphs: &Tensor,
+        tab_raw: &Tensor,
+        strategy: FusionStrategy,
+        mut probes: Option<&mut Vec<Vec<SourceProbe>>>,
+        arena: &mut InferArena,
+    ) -> Vec<ConformalPrediction> {
+        let m = graphs.shape()[0];
+        let tab_norm = self.tabular_norm.transform(tab_raw);
+        match strategy {
+            FusionStrategy::GraphOnly => conformal_rows(
+                &self.graph_clf,
+                &self.icp_graph,
+                graphs,
+                "graph",
+                &mut probes,
+                arena,
+            )
+            .into_iter()
+            .map(ConformalPrediction::new)
+            .collect(),
+            FusionStrategy::TabularOnly => {
+                let tab_t = tab_norm
+                    .reshape(&[m, 1, TABULAR_DIM])
+                    .expect("reshape keeps the element count");
+                conformal_rows(
+                    &self.tabular_clf,
+                    &self.icp_tabular,
+                    &tab_t,
+                    "tabular",
+                    &mut probes,
+                    arena,
+                )
+                .into_iter()
+                .map(ConformalPrediction::new)
+                .collect()
+            }
+            FusionStrategy::EarlyFusion => {
+                let mut rows = Vec::with_capacity(m * (GRAPH_DIM + TABULAR_DIM));
+                for i in 0..m {
+                    rows.extend_from_slice(&graphs.data()[i * GRAPH_DIM..(i + 1) * GRAPH_DIM]);
+                    rows.extend_from_slice(tab_norm.row(i));
+                }
+                let early = Tensor::from_vec(vec![m, 1, GRAPH_DIM + TABULAR_DIM], rows)
+                    .expect("concatenation length is fixed");
+                conformal_rows(
+                    &self.early_clf,
+                    &self.icp_early,
+                    &early,
+                    "early_fusion",
+                    &mut probes,
+                    arena,
+                )
+                .into_iter()
+                .map(ConformalPrediction::new)
+                .collect()
+            }
+            FusionStrategy::LateFusion => {
+                let tab_t = tab_norm
+                    .reshape(&[m, 1, TABULAR_DIM])
+                    .expect("reshape keeps the element count");
+                let pg = conformal_rows(
+                    &self.graph_clf,
+                    &self.icp_graph,
+                    graphs,
+                    "graph",
+                    &mut probes,
+                    arena,
+                );
+                let pt = conformal_rows(
+                    &self.tabular_clf,
+                    &self.icp_tabular,
+                    &tab_t,
+                    "tabular",
+                    &mut probes,
+                    arena,
+                );
+                pg.into_iter()
+                    .zip(pt)
+                    .map(|(pg, pt)| {
+                        let fused: Vec<f64> =
+                            (0..2).map(|c| self.config.combiner.combine(&[pg[c], pt[c]])).collect();
+                        ConformalPrediction::new(fused)
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// Runs [`NoodleDetector::conformal_for`], collecting per-source
@@ -686,7 +930,7 @@ impl NoodleDetector {
         graph_present: bool,
         tabular_present: bool,
         probes: Vec<SourceProbe>,
-        start: Option<Instant>,
+        timing: AuditTiming,
     ) {
         if self.audit.is_none() {
             return;
@@ -710,7 +954,9 @@ impl NoodleDetector {
             tabular_present,
             imputed_modality: detection.imputed_modality,
             label,
-            latency_us: start.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e6),
+            latency_us: timing.latency_us,
+            batch_latency_us: timing.batch_latency_us,
+            batch_size: timing.batch_size,
             sources: probes,
         };
         emit_if(self.audit.as_deref_mut(), move || record);
@@ -853,6 +1099,31 @@ fn push_probe(
             scores: [scores[0] as f64, scores[1] as f64],
         });
     }
+}
+
+/// Runs one classifier over a whole micro-batch through the inference
+/// arena and converts every row to per-class conformal p-values, recording
+/// one probe per file when audit evidence is being gathered.
+fn conformal_rows(
+    clf: &ModalityClassifier,
+    icp: &MondrianIcp,
+    inputs: &Tensor,
+    source: &str,
+    probes: &mut Option<&mut Vec<Vec<SourceProbe>>>,
+    arena: &mut InferArena,
+) -> Vec<Vec<f64>> {
+    let proba = clf.infer_proba(inputs, arena);
+    let m = proba.shape()[0];
+    let mut all = Vec::with_capacity(m);
+    for i in 0..m {
+        let scores = scores_from_proba(proba.row(i));
+        let p = icp.p_values(&scores);
+        if let Some(per_file) = probes.as_deref_mut() {
+            push_probe(&mut Some(&mut per_file[i]), source, &p, &scores);
+        }
+        all.push(p);
+    }
+    all
 }
 
 /// Calibrates one p-value source and snapshots its predicted-class
@@ -1028,6 +1299,54 @@ mod tests {
         for (a, b) in det.evaluation().brier.iter().zip(&restored.evaluation().brier) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn detect_batch_matches_sequential_bitwise() {
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 2, seed: 77 });
+        let sequential: Vec<Detection> =
+            probe.iter().map(|b| det.detect_named(&b.name, &b.source, None).unwrap()).collect();
+        let requests: Vec<DetectRequest<'_>> = probe
+            .iter()
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .collect();
+        for batch in [1, 2, 5, 8] {
+            let batched = det.detect_batch(&requests, batch, None).unwrap();
+            assert_eq!(batched, sequential, "batch={batch} diverges from sequential");
+        }
+    }
+
+    #[test]
+    fn detect_batch_surfaces_the_first_error_in_request_order() {
+        let mut det = fitted();
+        let good = generate_corpus(&CorpusConfig { trojan_free: 1, trojan_infected: 0, seed: 6 });
+        let requests = [
+            DetectRequest { design: "ok", source: &good[0].source, label: None },
+            DetectRequest { design: "bad", source: "module broken(", label: None },
+        ];
+        assert!(det.detect_batch(&requests, 32, None).is_err());
+        // An empty batch is a no-op, not an error.
+        assert!(det.detect_batch(&[], 32, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detect_batch_reuses_cached_features() {
+        use crate::feature_cache::FeatureCache;
+
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 1, seed: 9 });
+        let requests: Vec<DetectRequest<'_>> = probe
+            .iter()
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .collect();
+        let mut cache = FeatureCache::new(16);
+        let cold = det.detect_batch(&requests, 4, Some(&mut cache)).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.stats().hits, 0);
+        let warm = det.detect_batch(&requests, 4, Some(&mut cache)).unwrap();
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cold, warm, "cached features must reproduce the cold verdicts");
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Content-addressed cache of extracted modality features.
+//!
+//! Parsing a Verilog design and rasterizing its graph image dominates the
+//! cost of screening a file, and the result depends only on the source
+//! text and the extractor implementation. The cache therefore keys each
+//! entry by an FNV-1a hash of [`EXTRACTOR_VERSION`] plus the raw source
+//! bytes: re-screening a corpus after touching one file recomputes exactly
+//! that file, and bumping the version constant invalidates every entry at
+//! once when the extractors change.
+//!
+//! Entries live in a bounded in-memory LRU map; with a cache directory
+//! attached (`noodle detect --cache-dir`) each entry is also persisted as
+//! a small JSON file so warm starts survive across processes. Hits,
+//! misses and evictions are counted both locally ([`CacheStats`]) and as
+//! `cache.*` telemetry counters so they surface in the RunReport.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{extract_modalities, GRAPH_DIM, TABULAR_DIM};
+use crate::error::PipelineError;
+
+/// Version stamp of the feature extractors baked into cache keys. Bump
+/// whenever `noodle-graph`/`noodle-tabular` change what they compute so
+/// stale entries (in memory or on disk) can never be served.
+pub const EXTRACTOR_VERSION: u32 = 1;
+
+/// Hit/miss/eviction counters accumulated over a [`FeatureCache`]'s life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to extraction.
+    pub misses: u64,
+    /// In-memory entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+/// One cached feature pair as serialized to the on-disk store.
+#[derive(Debug, Serialize, Deserialize)]
+struct DiskEntry {
+    extractor_version: u32,
+    graph: Vec<f32>,
+    tabular: Vec<f32>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    graph: Vec<f32>,
+    tabular: Vec<f32>,
+    last_used: u64,
+}
+
+/// A content-addressed LRU cache of `(graph, tabular)` feature vectors
+/// with an optional on-disk store.
+///
+/// # Examples
+///
+/// ```
+/// use noodle_core::FeatureCache;
+///
+/// let src = "module m(input a, output y); assign y = !a; endmodule";
+/// let mut cache = FeatureCache::new(64);
+/// assert!(cache.lookup(src).is_none());
+/// let (graph, tabular) = noodle_core::extract_modalities(src).unwrap();
+/// cache.insert(src, graph, tabular);
+/// assert!(cache.lookup(src).is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct FeatureCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    tick: u64,
+    dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl FeatureCache {
+    /// Creates an in-memory cache holding at most `capacity` entries
+    /// (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            tick: 0,
+            dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache backed by an on-disk store under `dir` (created if
+    /// missing). Disk I/O is best effort: unreadable or stale files are
+    /// treated as misses and overwritten.
+    pub fn with_dir(capacity: usize, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = Self::new(capacity);
+        cache.dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the cached feature pair for `source`, consulting memory
+    /// first and then the on-disk store. Counts a hit or a miss.
+    pub fn lookup(&mut self, source: &str) -> Option<(Vec<f32>, Vec<f32>)> {
+        let key = feature_key(source);
+        self.tick += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            noodle_telemetry::counter_add("cache.hits", 1);
+            return Some((entry.graph.clone(), entry.tabular.clone()));
+        }
+        if let Some(features) = self.dir.as_deref().and_then(|dir| read_disk_entry(dir, key)) {
+            self.store(key, features.0.clone(), features.1.clone());
+            self.stats.hits += 1;
+            noodle_telemetry::counter_add("cache.hits", 1);
+            return Some(features);
+        }
+        self.stats.misses += 1;
+        noodle_telemetry::counter_add("cache.misses", 1);
+        None
+    }
+
+    /// Inserts freshly extracted features for `source`, evicting the
+    /// least-recently-used entry if the cache is full and mirroring the
+    /// entry to the on-disk store when one is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vectors do not have the extractor's
+    /// dimensions ([`GRAPH_DIM`], [`TABULAR_DIM`]).
+    pub fn insert(&mut self, source: &str, graph: Vec<f32>, tabular: Vec<f32>) {
+        assert_eq!(graph.len(), GRAPH_DIM, "graph feature vector has the wrong length");
+        assert_eq!(tabular.len(), TABULAR_DIM, "tabular feature vector has the wrong length");
+        let key = feature_key(source);
+        if let Some(dir) = self.dir.as_deref() {
+            write_disk_entry(dir, key, &graph, &tabular);
+        }
+        self.tick += 1;
+        self.store(key, graph, tabular);
+    }
+
+    /// Returns the features for `source`, extracting (and caching) them on
+    /// a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PipelineError`] from extraction on a miss.
+    pub fn features_for(&mut self, source: &str) -> Result<(Vec<f32>, Vec<f32>), PipelineError> {
+        if let Some(features) = self.lookup(source) {
+            return Ok(features);
+        }
+        let (graph, tabular) = extract_modalities(source)?;
+        self.insert(source, graph.clone(), tabular.clone());
+        Ok((graph, tabular))
+    }
+
+    /// Places an entry in the in-memory map, enforcing the LRU bound.
+    fn store(&mut self, key: u64, graph: Vec<f32>, tabular: Vec<f32>) {
+        self.map.insert(key, Entry { graph, tabular, last_used: self.tick });
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+                noodle_telemetry::counter_add("cache.evictions", 1);
+            }
+        }
+    }
+}
+
+/// FNV-1a (64-bit) over the extractor version followed by the source
+/// bytes. Stable across platforms and dependency-free.
+fn feature_key(source: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in EXTRACTOR_VERSION.to_le_bytes().into_iter().chain(source.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.json"))
+}
+
+/// Best-effort read of a persisted entry; stale versions and malformed or
+/// truncated files are treated as absent.
+fn read_disk_entry(dir: &Path, key: u64) -> Option<(Vec<f32>, Vec<f32>)> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    let entry: DiskEntry = serde_json::from_str(&text).ok()?;
+    if entry.extractor_version != EXTRACTOR_VERSION
+        || entry.graph.len() != GRAPH_DIM
+        || entry.tabular.len() != TABULAR_DIM
+    {
+        return None;
+    }
+    Some((entry.graph, entry.tabular))
+}
+
+/// Best-effort write of a persisted entry; I/O failures leave the disk
+/// store behind but never break detection.
+fn write_disk_entry(dir: &Path, key: u64, graph: &[f32], tabular: &[f32]) {
+    let entry = DiskEntry {
+        extractor_version: EXTRACTOR_VERSION,
+        graph: graph.to_vec(),
+        tabular: tabular.to_vec(),
+    };
+    if let Ok(json) = serde_json::to_string(&entry) {
+        let _ = std::fs::write(entry_path(dir, key), json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: &str = "module a(input x, output y); assign y = !x; endmodule";
+    const SRC_B: &str = "module b(input x, output y); assign y = x; endmodule";
+
+    #[test]
+    fn miss_then_hit_with_counters() {
+        let mut cache = FeatureCache::new(8);
+        assert!(cache.lookup(SRC_A).is_none());
+        let (g, t) = extract_modalities(SRC_A).unwrap();
+        cache.insert(SRC_A, g.clone(), t.clone());
+        assert_eq!(cache.lookup(SRC_A), Some((g, t)));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn distinct_sources_do_not_collide() {
+        let mut cache = FeatureCache::new(8);
+        let (ga, ta) = extract_modalities(SRC_A).unwrap();
+        let (gb, tb) = extract_modalities(SRC_B).unwrap();
+        cache.insert(SRC_A, ga.clone(), ta.clone());
+        cache.insert(SRC_B, gb.clone(), tb.clone());
+        assert_eq!(cache.lookup(SRC_A), Some((ga, ta)));
+        assert_eq!(cache.lookup(SRC_B), Some((gb, tb)));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut cache = FeatureCache::new(2);
+        let (g, t) = extract_modalities(SRC_A).unwrap();
+        cache.insert("one", g.clone(), t.clone());
+        cache.insert("two", g.clone(), t.clone());
+        let _ = cache.lookup("one"); // "two" becomes the LRU entry
+        cache.insert("three", g.clone(), t.clone());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup("one").is_some());
+        assert!(cache.lookup("two").is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup("three").is_some());
+    }
+
+    #[test]
+    fn features_for_extracts_once() {
+        let mut cache = FeatureCache::new(8);
+        let cold = cache.features_for(SRC_A).unwrap();
+        let warm = cache.features_for(SRC_A).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_rejects_stale_versions() {
+        let dir = std::env::temp_dir().join(format!("noodle_fc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut cache = FeatureCache::with_dir(8, &dir).unwrap();
+            let _ = cache.features_for(SRC_A).unwrap();
+        }
+        // A fresh process-equivalent cache warm-starts from disk.
+        let mut warm = FeatureCache::with_dir(8, &dir).unwrap();
+        assert!(warm.lookup(SRC_A).is_some(), "disk entry should satisfy the lookup");
+        assert_eq!(warm.stats().hits, 1);
+
+        // Corrupt the version stamp: the entry must be ignored.
+        let key = feature_key(SRC_A);
+        let path = entry_path(&dir, key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"extractor_version\":1", "\"extractor_version\":99"))
+            .unwrap();
+        let mut stale = FeatureCache::with_dir(8, &dir).unwrap();
+        assert!(stale.lookup(SRC_A).is_none(), "stale extractor version must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_depends_on_source_and_version() {
+        assert_ne!(feature_key(SRC_A), feature_key(SRC_B));
+        assert_eq!(feature_key(SRC_A), feature_key(SRC_A));
+    }
+}

@@ -45,6 +45,7 @@ mod crossval;
 mod dataset;
 mod detector;
 mod error;
+mod feature_cache;
 mod normalize;
 
 pub use amplify::amplify_dataset;
@@ -53,6 +54,9 @@ pub use crossval::{cross_validate, CrossValidation, FoldReport};
 pub use dataset::{
     extract_modalities, MultimodalDataset, MultimodalSample, Split, GRAPH_DIM, TABULAR_DIM,
 };
-pub use detector::{Detection, EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector};
+pub use detector::{
+    DetectRequest, Detection, EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector,
+};
 pub use error::PipelineError;
+pub use feature_cache::{CacheStats, FeatureCache, EXTRACTOR_VERSION};
 pub use normalize::ZScore;

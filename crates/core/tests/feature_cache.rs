@@ -1,0 +1,82 @@
+//! Verdict-level feature-cache correctness: a warm cache (in-memory or
+//! restored from the on-disk store) reproduces cold verdicts exactly, and
+//! editing one source invalidates exactly that cache entry.
+
+use noodle_bench_gen::{generate_corpus, CorpusConfig};
+use noodle_core::{DetectRequest, FeatureCache, MultimodalDataset, NoodleConfig, NoodleDetector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fitted() -> NoodleDetector {
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap()
+}
+
+#[test]
+fn warm_cache_reproduces_cold_verdicts_and_edits_invalidate_one_entry() {
+    let mut det = fitted();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 4, trojan_infected: 2, seed: 55 });
+    let n = probe.len();
+    let requests: Vec<DetectRequest<'_>> = probe
+        .iter()
+        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("noodle_fc_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cache = FeatureCache::with_dir(64, &dir).unwrap();
+
+    // Cold: every file misses and is extracted once.
+    let cold = det.detect_batch(&requests, 4, Some(&mut cache)).unwrap();
+    assert_eq!(cache.stats().misses, n as u64);
+    assert_eq!(cache.stats().hits, 0);
+
+    // Warm: every file hits; verdicts are identical.
+    let warm = det.detect_batch(&requests, 4, Some(&mut cache)).unwrap();
+    assert_eq!(cache.stats().misses, n as u64);
+    assert_eq!(cache.stats().hits, n as u64);
+    assert_eq!(warm, cold, "warm-cache verdicts diverge from cold");
+
+    // A fresh cache over the same directory warms itself from disk.
+    let mut disk_cache = FeatureCache::with_dir(64, &dir).unwrap();
+    let from_disk = det.detect_batch(&requests, 4, Some(&mut disk_cache)).unwrap();
+    assert_eq!(disk_cache.stats().hits, n as u64);
+    assert_eq!(disk_cache.stats().misses, 0);
+    assert_eq!(from_disk, cold, "disk-restored verdicts diverge from cold");
+
+    // Editing one source invalidates exactly its entry: one miss, the rest
+    // still hit, and the untouched files keep their verdicts.
+    const EDITED: usize = 2;
+    let sources: Vec<String> = probe
+        .iter()
+        .enumerate()
+        .map(
+            |(i, b)| {
+                if i == EDITED {
+                    format!("{}\n// revised\n", b.source)
+                } else {
+                    b.source.clone()
+                }
+            },
+        )
+        .collect();
+    let edited_requests: Vec<DetectRequest<'_>> = probe
+        .iter()
+        .zip(&sources)
+        .map(|(b, s)| DetectRequest { design: &b.name, source: s, label: None })
+        .collect();
+    let before = cache.stats();
+    let rerun = det.detect_batch(&edited_requests, 4, Some(&mut cache)).unwrap();
+    let after = cache.stats();
+    assert_eq!(after.misses - before.misses, 1, "exactly the edited file must miss");
+    assert_eq!(after.hits - before.hits, (n - 1) as u64);
+    for (i, (a, b)) in rerun.iter().zip(&cold).enumerate() {
+        if i != EDITED {
+            assert_eq!(a, b, "verdict for untouched file {i} changed");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

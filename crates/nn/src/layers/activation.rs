@@ -84,6 +84,36 @@ impl Activation {
         }
     }
 
+    /// Inference-only forward into a caller-owned buffer: the same
+    /// elementwise maps as `forward` without caching the activation.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        out.resize_in_place(input.shape());
+        let x = input.data();
+        let o = out.data_mut();
+        match self.kind {
+            ActivationKind::Relu => {
+                for (o, &x) in o.iter_mut().zip(x) {
+                    *o = x.max(0.0);
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                for (o, &x) in o.iter_mut().zip(x) {
+                    *o = if x >= 0.0 { x } else { LEAKY_SLOPE * x };
+                }
+            }
+            ActivationKind::Sigmoid => {
+                for (o, &x) in o.iter_mut().zip(x) {
+                    *o = sigmoid(x);
+                }
+            }
+            ActivationKind::Tanh => {
+                for (o, &x) in o.iter_mut().zip(x) {
+                    *o = x.tanh();
+                }
+            }
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cached = self.cached.as_ref().expect("Activation::backward called before forward");
         match self.kind {
@@ -133,6 +163,31 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
         }
     }
     out
+}
+
+/// In-place variant of [`softmax_rows`]: identical per-row arithmetic
+/// (subtract the row max, exponentiate and sum, divide) applied directly
+/// to `logits` without allocating. Used by the inference fast path.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax_rows_inplace(logits: &mut Tensor) {
+    assert_eq!(logits.ndim(), 2, "softmax_rows expects rank 2, got {:?}", logits.shape());
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    let data = logits.data_mut();
+    for b in 0..batch {
+        let row = &mut data[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
 }
 
 #[cfg(test)]

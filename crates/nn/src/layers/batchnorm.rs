@@ -112,6 +112,25 @@ impl BatchNorm1d {
         out
     }
 
+    /// Inference-only forward into a caller-owned buffer: the same
+    /// running-statistics normalization as `forward(_, Mode::Eval)`,
+    /// element for element, without touching the training cache.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.ndim(), 2, "BatchNorm1d expects [batch, features]");
+        let (batch, features) = (input.shape()[0], input.shape()[1]);
+        assert_eq!(features, self.features(), "feature count mismatch");
+        out.resize_in_place(&[batch, features]);
+        let x = input.data();
+        let o = out.data_mut();
+        for r in 0..batch {
+            for c in 0..features {
+                let idx = r * features + c;
+                let n = (x[idx] - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
+                o[idx] = self.gamma.data()[c] * n + self.beta.data()[c];
+            }
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cache =
             self.cache.as_ref().expect("BatchNorm1d::backward called before a training forward");

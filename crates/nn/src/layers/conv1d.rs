@@ -122,6 +122,39 @@ impl Conv1d {
         out
     }
 
+    /// Inference-only forward into a caller-owned buffer; see
+    /// [`super::Conv2d::infer`] — same per-sample im2col → bias prefill →
+    /// GEMM order as `forward`, so results are bit-identical, with the
+    /// scratch buffers reused across calls.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor, cols: &mut Vec<f32>) {
+        assert_eq!(input.ndim(), 3, "Conv1d expects [batch, ch, len], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels(),
+            "Conv1d expects {} input channels, got {}",
+            self.in_channels(),
+            input.shape()[1]
+        );
+        let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let out_len = self.output_len(len);
+        let ck = cin * k;
+        out.resize_in_place(&[batch, cout, out_len]);
+        cols.resize(ck * out_len, 0.0);
+        let x = input.data();
+        let w2 = self.weight.data(); // viewed as [cout, ck]
+        let bias = self.bias.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            im2col_1d(&x[b * cin * len..][..cin * len], cin, len, k, pad, out_len, cols);
+            let out_b = &mut o[b * cout * out_len..][..cout * out_len];
+            for co in 0..cout {
+                out_b[co * out_len..][..out_len].fill(bias[co]);
+            }
+            gemm(cout, ck, out_len, w2, cols, out_b);
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Conv1d::backward called before forward");
         let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);

@@ -139,6 +139,42 @@ impl Conv2d {
         out
     }
 
+    /// Inference-only forward into a caller-owned buffer: per-sample
+    /// im2col → bias prefill → GEMM in exactly the same order as
+    /// `forward`, so results are bit-identical, but the im2col scratch
+    /// and output come from the caller and are reused across calls.
+    /// Samples are walked sequentially; the GEMM itself still fans rows
+    /// out over the compute pool.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor, cols: &mut Vec<f32>) {
+        assert_eq!(input.ndim(), 4, "Conv2d expects [b, c, h, w], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels(),
+            "Conv2d expects {} input channels, got {}",
+            self.in_channels(),
+            input.shape()[1]
+        );
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let (ckk, l) = (cin * k * k, oh * ow);
+        out.resize_in_place(&[batch, cout, oh, ow]);
+        cols.resize(ckk * l, 0.0);
+        let x = input.data();
+        let w2 = self.weight.data(); // viewed as [cout, ckk]
+        let bias = self.bias.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            im2col_2d(&x[b * cin * h * w..][..cin * h * w], cin, h, w, k, pad, oh, ow, cols);
+            let out_b = &mut o[b * cout * l..][..cout * l];
+            for co in 0..cout {
+                out_b[co * l..][..l].fill(bias[co]);
+            }
+            gemm(cout, ckk, l, w2, cols, out_b);
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Conv2d::backward called before forward");
         let (batch, cin, h, w) =

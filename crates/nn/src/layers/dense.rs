@@ -85,6 +85,39 @@ impl Dense {
         out
     }
 
+    /// Inference-only forward into a caller-owned buffer: identical
+    /// arithmetic to `forward(_, Mode::Eval)` (zeroed GEMM accumulator,
+    /// bias added afterwards in the same loop order) but allocation-free
+    /// once `out` has warmed up to the output size.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.ndim(), 2, "Dense expects [batch, in] input, got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_features(),
+            "Dense expects {} input features, got {}",
+            self.in_features(),
+            input.shape()[1]
+        );
+        let (batch, out_f) = (input.shape()[0], self.out_features());
+        out.resize_in_place(&[batch, out_f]);
+        let data = out.data_mut();
+        data.fill(0.0);
+        noodle_compute::gemm_bt(
+            batch,
+            self.in_features(),
+            out_f,
+            input.data(),
+            self.weight.data(),
+            data,
+        );
+        let bias = self.bias.data();
+        for b in 0..batch {
+            for j in 0..out_f {
+                data[b * out_f + j] += bias[j];
+            }
+        }
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
         // dW = dY^T X ; db = sum over batch ; dX = dY W

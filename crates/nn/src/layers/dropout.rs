@@ -60,6 +60,13 @@ impl Dropout {
         out
     }
 
+    /// Inference-only forward into a caller-owned buffer: dropout is the
+    /// identity in evaluation mode, so this is a plain copy.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        out.resize_in_place(input.shape());
+        out.data_mut().copy_from_slice(input.data());
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         match &self.cached_mask {
             Some(mask) => grad_output.mul(mask),

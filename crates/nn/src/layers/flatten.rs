@@ -25,6 +25,16 @@ impl Flatten {
         input.reshape(&[batch, rest]).expect("flatten reshape cannot change the element count")
     }
 
+    /// Inference-only forward into a caller-owned buffer: copies the data
+    /// under the flattened shape without caching the input shape.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert!(input.ndim() >= 1, "Flatten requires at least rank 1");
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        out.resize_in_place(&[batch, rest]);
+        out.data_mut().copy_from_slice(input.data());
+    }
+
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let shape = self.cached_shape.as_ref().expect("Flatten::backward called before forward");
         grad_output

@@ -14,7 +14,7 @@ mod dropout;
 mod flatten;
 mod pool;
 
-pub use activation::{sigmoid, softmax_rows, Activation, ActivationKind};
+pub use activation::{sigmoid, softmax_rows, softmax_rows_inplace, Activation, ActivationKind};
 pub use batchnorm::BatchNorm1d;
 pub use conv1d::Conv1d;
 pub use conv2d::Conv2d;
@@ -95,6 +95,26 @@ impl Layer {
             Layer::Flatten(l) => l.forward(input),
             Layer::MaxPool1d(l) => l.forward(input),
             Layer::MaxPool2d(l) => l.forward(input),
+        }
+    }
+
+    /// Inference-only forward into a caller-owned output buffer.
+    ///
+    /// Bit-identical to [`Layer::forward`] in [`Mode::Eval`] but takes
+    /// `&self` (no training caches are written) and reuses `out` plus the
+    /// `cols` im2col scratch, so a warmed-up buffer pair makes repeated
+    /// inference allocation-free. See [`crate::InferArena`].
+    pub fn infer(&self, input: &Tensor, out: &mut Tensor, cols: &mut Vec<f32>) {
+        match self {
+            Layer::Dense(l) => l.infer(input, out),
+            Layer::BatchNorm1d(l) => l.infer(input, out),
+            Layer::Conv1d(l) => l.infer(input, out, cols),
+            Layer::Conv2d(l) => l.infer(input, out, cols),
+            Layer::Activation(l) => l.infer(input, out),
+            Layer::Dropout(l) => l.infer(input, out),
+            Layer::Flatten(l) => l.infer(input, out),
+            Layer::MaxPool1d(l) => l.infer(input, out),
+            Layer::MaxPool2d(l) => l.infer(input, out),
         }
     }
 

@@ -81,6 +81,32 @@ impl MaxPool1d {
         let cache = self.cached.as_ref().expect("MaxPool1d::backward called before forward");
         scatter_pool_grad(cache, grad_output)
     }
+
+    /// Inference-only forward into a caller-owned buffer: the same window
+    /// scan as `forward` without recording argmax indices.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.ndim(), 3, "MaxPool1d expects [b, c, l], got {:?}", input.shape());
+        let (batch, ch, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let out_len = len / self.kernel;
+        assert!(out_len > 0, "input length {len} shorter than pool kernel {}", self.kernel);
+        out.resize_in_place(&[batch, ch, out_len]);
+        let x = input.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            for c in 0..ch {
+                for t in 0..out_len {
+                    let base = (b * ch + c) * len + t * self.kernel;
+                    let mut best = x[base];
+                    for k in 1..self.kernel {
+                        if x[base + k] > best {
+                            best = x[base + k];
+                        }
+                    }
+                    o[(b * ch + c) * out_len + t] = best;
+                }
+            }
+        }
+    }
 }
 
 impl MaxPool2d {
@@ -140,6 +166,39 @@ impl MaxPool2d {
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let cache = self.cached.as_ref().expect("MaxPool2d::backward called before forward");
         scatter_pool_grad(cache, grad_output)
+    }
+
+    /// Inference-only forward into a caller-owned buffer: the same window
+    /// scan as `forward` without recording argmax indices.
+    pub(crate) fn infer(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.ndim(), 4, "MaxPool2d expects [b, c, h, w], got {:?}", input.shape());
+        let (batch, ch, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (oh, ow) = (h / self.kernel, w / self.kernel);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool kernel {}", self.kernel);
+        out.resize_in_place(&[batch, ch, oh, ow]);
+        let x = input.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            for c in 0..ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.kernel + ky;
+                                let ix = ox * self.kernel + kx;
+                                let v = x[((b * ch + c) * h + iy) * w + ix];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        o[((b * ch + c) * oh + oy) * ow + ox] = best;
+                    }
+                }
+            }
+        }
     }
 }
 

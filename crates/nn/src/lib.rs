@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod infer;
 pub mod init;
 mod layers;
 pub mod loss;
@@ -45,9 +46,10 @@ mod model;
 pub mod optim;
 mod tensor;
 
+pub use infer::InferArena;
 pub use layers::{
-    sigmoid, softmax_rows, Activation, ActivationKind, BatchNorm1d, Conv1d, Conv2d, Dense, Dropout,
-    Flatten, Layer, MaxPool1d, MaxPool2d, Mode, ParamMut,
+    sigmoid, softmax_rows, softmax_rows_inplace, Activation, ActivationKind, BatchNorm1d, Conv1d,
+    Conv2d, Dense, Dropout, Flatten, Layer, MaxPool1d, MaxPool2d, Mode, ParamMut,
 };
 pub use model::{fit_classifier, EpochStats, Sequential, TrainConfig};
 pub use optim::{Adam, Sgd};

@@ -392,6 +392,18 @@ impl Tensor {
         self.data.clone_from(&src.data);
     }
 
+    /// Reshapes `self` to `shape` in place, resizing the backing storage and
+    /// reusing its capacity (no allocation once the capacity suffices).
+    /// Element values after a resize are unspecified: callers are expected
+    /// to overwrite every element. Used by the inference arena to recycle
+    /// activation buffers across forward calls.
+    pub fn resize_in_place(&mut self, shape: &[usize]) {
+        let len: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
     /// Returns row `i` of a rank-2 tensor as a slice.
     ///
     /// # Panics

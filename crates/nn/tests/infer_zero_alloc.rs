@@ -1,0 +1,101 @@
+//! Proves the inference arena's allocation discipline: after one warmup
+//! call, `Sequential::infer_proba` performs zero heap allocations — the
+//! activation buffers and im2col scratch reach steady-state capacity and
+//! are reused verbatim on every subsequent call.
+//!
+//! Threads are pinned to 1 for the measured region: single-threaded
+//! `par_for` regions run inline with no task handles, so the whole
+//! forward pass touches no allocator. (At higher thread counts the only
+//! allocations are the compute pool's per-region task headers — nothing
+//! per-tensor.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use noodle_nn::{
+    Activation, Conv2d, Dense, Dropout, Flatten, InferArena, MaxPool2d, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// The graph-modality CNN architecture used by the detector.
+fn graph_cnn(rng: &mut StdRng) -> Sequential {
+    Sequential::new(vec![
+        Conv2d::new(2, 8, 3, 1, rng).into(),
+        Activation::relu().into(),
+        MaxPool2d::new(2).into(),
+        Conv2d::new(8, 16, 3, 1, rng).into(),
+        Activation::relu().into(),
+        MaxPool2d::new(2).into(),
+        Flatten::new().into(),
+        Dropout::new(0.2, 17).into(),
+        Dense::new(16 * 3 * 3, 32, rng).into(),
+        Activation::relu().into(),
+        Dense::new(32, 2, rng).into(),
+    ])
+}
+
+#[test]
+fn warm_infer_allocates_nothing() {
+    // Integration tests do not inherit noodle-compute's cfg(test) default,
+    // so pin the pool explicitly: inline par_for regions are allocation-free.
+    noodle_compute::set_thread_override(Some(1));
+    let mut rng = StdRng::seed_from_u64(21);
+    let net = graph_cnn(&mut rng);
+    let x = Tensor::rand_uniform(&[32, 2, 12, 12], -1.0, 1.0, &mut rng);
+    let mut arena = InferArena::new();
+
+    // Warmup: buffers grow to steady-state capacity.
+    for _ in 0..2 {
+        let _ = net.infer_proba(&x, &mut arena);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let p = net.infer_proba(&x, &mut arena);
+        assert_eq!(p.shape(), &[32, 2]);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "warm infer_proba must not touch the allocator");
+}
+
+#[test]
+fn smaller_batches_reuse_the_warm_arena() {
+    noodle_compute::set_thread_override(Some(1));
+    let mut rng = StdRng::seed_from_u64(22);
+    let net = graph_cnn(&mut rng);
+    let full = Tensor::rand_uniform(&[32, 2, 12, 12], -1.0, 1.0, &mut rng);
+    let tail = Tensor::rand_uniform(&[5, 2, 12, 12], -1.0, 1.0, &mut rng);
+    let mut arena = InferArena::new();
+    let _ = net.infer_proba(&full, &mut arena);
+
+    // A final ragged micro-batch must fit inside the warmed buffers.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let p = net.infer_proba(&tail, &mut arena);
+    assert_eq!(p.shape(), &[5, 2]);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "shrinking the batch must not reallocate");
+}

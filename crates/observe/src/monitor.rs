@@ -513,6 +513,8 @@ mod tests {
             imputed_modality: imputed,
             label: Some(label),
             latency_us: 50.0,
+            batch_latency_us: 50.0,
+            batch_size: 1,
             sources: vec![SourceProbe {
                 source: "early_fusion".into(),
                 p_values: [1.0 - p1, p1],

@@ -8,7 +8,12 @@ use crate::psi::CalibrationBaseline;
 
 /// Version of the audit-log line schema. Bump the major number when a field
 /// is renamed or its meaning changes; readers reject logs from the future.
-pub const AUDIT_SCHEMA_VERSION: u32 = 1;
+///
+/// History:
+/// - v1: initial schema.
+/// - v2: records carry `batch_size` and `batch_latency_us` (batched detect
+///   engine); v1 logs still parse, defaulting both to a batch of one.
+pub const AUDIT_SCHEMA_VERSION: u32 = 2;
 
 /// Per-class conformal evidence from one p-value source (a single-modality
 /// classifier or the early-fusion classifier).
@@ -60,10 +65,25 @@ pub struct PredictionRecord {
     /// and Brier monitors downstream.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub label: Option<usize>,
-    /// Wall-clock latency of the detect call, in microseconds.
+    /// Wall-clock latency attributed to this file, in microseconds. On the
+    /// batched path this is the micro-batch's share (`batch_latency_us`
+    /// divided by `batch_size`); sequential calls record their own latency.
     pub latency_us: f64,
+    /// Wall-clock latency of the enclosing micro-batch (forward pass plus
+    /// conformal p-values), in microseconds. Equals `latency_us` for
+    /// sequential calls; v1 logs default to 0.
+    #[serde(default)]
+    pub batch_latency_us: f64,
+    /// Number of files in the micro-batch that produced this record; v1
+    /// logs default to 1 (sequential).
+    #[serde(default = "default_batch_size")]
+    pub batch_size: usize,
     /// Per-source conformal evidence (one entry per classifier consulted).
     pub sources: Vec<SourceProbe>,
+}
+
+fn default_batch_size() -> usize {
+    1
 }
 
 /// The audit-log header: written as the first JSONL line so a log is
@@ -152,6 +172,8 @@ mod tests {
             imputed_modality: false,
             label: Some(0),
             latency_us: 512.0,
+            batch_latency_us: 512.0,
+            batch_size: 1,
             sources: vec![SourceProbe {
                 source: "graph".into(),
                 p_values: [0.7, 0.3],
@@ -220,6 +242,25 @@ mod tests {
 
         let err = parse_audit_log("not json\n").unwrap_err();
         assert!(err.to_string().contains("audit line 1"));
+    }
+
+    #[test]
+    fn v1_records_parse_with_batch_defaults() {
+        // A record serialized before the v2 batch fields existed must still
+        // parse, reading as a batch of one with no separate batch latency.
+        let mut value = serde_json::to_value(sample_record(0)).unwrap();
+        let obj = value.as_object_mut().unwrap();
+        obj.remove("batch_size");
+        obj.remove("batch_latency_us");
+        let restored: PredictionRecord = serde_json::from_value(value).unwrap();
+        assert_eq!(restored.batch_size, 1);
+        assert_eq!(restored.batch_latency_us, 0.0);
+
+        let mut v1 = sample_header();
+        v1.schema_version = 1;
+        let text = serde_json::to_string(&AuditLine::Header(v1)).unwrap();
+        let (header, _) = parse_audit_log(&text).unwrap();
+        assert_eq!(header.unwrap().schema_version, 1);
     }
 
     #[test]

@@ -124,6 +124,8 @@ mod tests {
             imputed_modality: false,
             label: Some(label),
             latency_us: 80.0,
+            batch_latency_us: 80.0,
+            batch_size: 1,
             sources: vec![SourceProbe {
                 source: "graph".into(),
                 p_values: [1.0 - p1, p1],

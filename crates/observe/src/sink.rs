@@ -150,6 +150,8 @@ mod tests {
             imputed_modality: true,
             label: Some(1),
             latency_us: 100.0,
+            batch_latency_us: 100.0,
+            batch_size: 1,
             sources: vec![SourceProbe {
                 source: "early_fusion".into(),
                 p_values: [0.05, 0.45],

@@ -5,6 +5,7 @@
 //! noodle gen-corpus <dir> [--tf 28] [--ti 12] [--seed N]   write a synthetic corpus as .v files
 //! noodle train <model.json> [--corpus-seed N] [--fast]     fit on a generated corpus and save
 //! noodle detect <model.json> <file.v>... [--audit <log>]   classify Verilog files
+//!               [--batch N] [--cache-dir <dir>]            (batched engine + feature cache)
 //! noodle observe <audit.jsonl> [--out <report.json>]       replay an audit log through monitors
 //! noodle inspect <file.v>                                  print both modality feature vectors
 //! noodle version                                           print the workspace version
@@ -32,8 +33,8 @@ use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats
 use noodle::observe::{parse_audit_log, replay, JsonlAudit, MonitorConfig};
 use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunContext, RunReport};
 use noodle::{
-    extract_modalities, FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector,
-    PipelineError,
+    extract_modalities, DetectRequest, FeatureCache, FusionStrategy, MultimodalDataset,
+    NoodleConfig, NoodleDetector, PipelineError,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,7 +77,8 @@ fn print_usage() {
          USAGE:\n  \
          noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
          noodle train <model.json> [--corpus-seed N] [--fast]\n  \
-         noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n  \
+         noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n         \
+         [--batch N] [--cache-dir <dir>]\n  \
          noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n  \
          noodle inspect <file.v>\n  \
          noodle version\n\n\
@@ -86,6 +88,10 @@ fn print_usage() {
          --quiet                 suppress progress output\n  \
          --threads N             compute pool size (results are identical\n                          \
          at every thread count; default NOODLE_THREADS or all cores)\n\n\
+         `detect` fans feature extraction over the compute pool and runs CNN\n\
+         forwards in micro-batches of --batch files (default 32); verdicts are\n\
+         bit-identical at every batch size. --cache-dir reuses extracted\n\
+         features across runs, keyed by source content + extractor version.\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
          a log through the coverage/Brier/drift monitor suite.\n"
@@ -395,14 +401,29 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let observability = Observability::from_flags(&flags)?;
     let [model_path, files @ ..] = positional.as_slice() else {
         return Err(CliError::msg(
-            "usage: noodle detect <model.json> <file.v>... [--audit <log.jsonl>]",
+            "usage: noodle detect <model.json> <file.v>... \
+             [--audit <log.jsonl>] [--batch N] [--cache-dir <dir>]",
         ));
     };
     if files.is_empty() {
         return Err(CliError::msg("no Verilog files given"));
     }
     let audit_path = flag_value(&flags, "audit").map(PathBuf::from);
-    let root = telemetry::span!("detect_run", files = files.len());
+    let batch: usize = parse_num(&flags, "batch", 32)?;
+    if batch == 0 {
+        return Err(CliError::msg("--batch expects a positive number, got `0`"));
+    }
+    let root = telemetry::span!("detect_run", files = files.len(), batch = batch);
+
+    // Read and validate every input file before touching the model: a typo
+    // in the last file name must not cost a multi-second model load first.
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let source = fs::read_to_string(Path::new(file))
+            .map_err(|e| CliError::msg(format!("cannot read {file}: {e}")))?;
+        sources.push(source);
+    }
+
     let json = fs::read_to_string(model_path)
         .map_err(|e| CliError::msg(format!("cannot read {model_path}: {e}")))?;
     let mut detector = NoodleDetector::from_json(&json)
@@ -413,17 +434,30 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         })?;
         detector.set_audit_sink(Box::new(sink));
     }
+    let mut cache = match flag_value(&flags, "cache-dir") {
+        Some(dir) => Some(FeatureCache::with_dir(4096, Path::new(dir)).map_err(|e| {
+            CliError::msg(format!("cannot open feature cache directory {dir}: {e}"))
+        })?),
+        None => None,
+    };
+
+    let requests: Vec<DetectRequest<'_>> = files
+        .iter()
+        .zip(&sources)
+        .map(|(file, source)| {
+            let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or(file);
+            DetectRequest { design: stem, source, label: label_from_stem(stem) }
+        })
+        .collect();
+    let verdicts = detector
+        .detect_batch(&requests, batch, cache.as_mut())
+        .map_err(CliError::pipeline("cannot screen the given files"))?;
+
     println!(
         "{:<32} {:<9} {:>7} {:>12} {:>11}  region",
         "file", "verdict", "p(TI)", "credibility", "confidence"
     );
-    for file in files {
-        let source = fs::read_to_string(Path::new(file))
-            .map_err(|e| CliError::msg(format!("cannot read {file}: {e}")))?;
-        let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or(file);
-        let verdict = detector
-            .detect_named(stem, &source, label_from_stem(stem))
-            .map_err(CliError::pipeline(format!("cannot screen {file}")))?;
+    for (file, verdict) in files.iter().zip(&verdicts) {
         let region = match verdict.region.as_slice() {
             [] => "{} (anomalous)".to_string(),
             [0] => "{TF}".to_string(),
@@ -438,6 +472,15 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
             verdict.credibility,
             verdict.confidence,
         );
+    }
+    if let Some(cache) = &cache {
+        if !observability.quiet {
+            let stats = cache.stats();
+            eprintln!(
+                "feature cache: {} hits, {} misses, {} evictions",
+                stats.hits, stats.misses, stats.evictions
+            );
+        }
     }
     // Drop the sink so its buffered writer flushes before we report.
     drop(detector.take_audit_sink());

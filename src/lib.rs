@@ -57,8 +57,9 @@ pub use noodle_verilog as verilog;
 pub use noodle_bench_gen::{generate_corpus, Benchmark, CorpusConfig, Label, TrojanSpec};
 pub use noodle_conformal::{Combiner, ConformalPrediction, MondrianIcp};
 pub use noodle_core::{
-    cross_validate, extract_modalities, CrossValidation, Detection, EvaluationReport,
-    FusionStrategy, MultimodalDataset, NoodleConfig, NoodleDetector, PipelineError,
+    cross_validate, extract_modalities, CacheStats, CrossValidation, DetectRequest, Detection,
+    EvaluationReport, FeatureCache, FusionStrategy, MultimodalDataset, NoodleConfig,
+    NoodleDetector, PipelineError,
 };
 pub use noodle_metrics::{brier_score, roc_curve, RadarMetrics};
 pub use noodle_observe::{

@@ -1,0 +1,97 @@
+//! Golden equivalence for the batched serving engine: verdicts and audit
+//! records from `detect_batch` must be byte-identical to the sequential
+//! `detect_named` loop at every micro-batch size and thread count.
+//!
+//! Wall-clock timing fields (`latency_us`, `batch_latency_us`) and the
+//! batch geometry (`batch_size`) are the only legitimate differences, so
+//! they are canonicalized before the serialized records are compared.
+
+use noodle::observe::MemoryAudit;
+use noodle::{
+    generate_corpus, Benchmark, CorpusConfig, DetectRequest, Detection, MultimodalDataset,
+    NoodleConfig, NoodleDetector, PredictionRecord,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Sequential,
+    Batched(usize),
+}
+
+/// Fits once and hands out the serialized model: every serving run restores
+/// a fresh detector from it, so audit sequence numbers restart at zero.
+fn fitted_json() -> String {
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let detector = NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap();
+    detector.to_json().unwrap()
+}
+
+fn run(
+    json: &str,
+    probe: &[Benchmark],
+    mode: Mode,
+    threads: usize,
+) -> (Vec<Detection>, Vec<String>) {
+    noodle::compute::set_thread_override(Some(threads));
+    let mut det = NoodleDetector::from_json(json).unwrap();
+    let sink = MemoryAudit::new();
+    det.set_audit_sink(Box::new(sink.clone()));
+    let detections: Vec<Detection> = match mode {
+        Mode::Sequential => probe
+            .iter()
+            .map(|b| det.detect_named(&b.name, &b.source, Some(b.label.index())).unwrap())
+            .collect(),
+        Mode::Batched(batch) => {
+            let requests: Vec<DetectRequest<'_>> = probe
+                .iter()
+                .map(|b| DetectRequest {
+                    design: &b.name,
+                    source: &b.source,
+                    label: Some(b.label.index()),
+                })
+                .collect();
+            det.detect_batch(&requests, batch, None).unwrap()
+        }
+    };
+    let records: Vec<String> = sink
+        .records()
+        .into_iter()
+        .map(|mut r: PredictionRecord| {
+            // Timing and batch geometry legitimately differ between serving
+            // modes; every other byte must match.
+            r.latency_us = 0.0;
+            r.batch_latency_us = 0.0;
+            r.batch_size = 0;
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect();
+    (detections, records)
+}
+
+#[test]
+fn batched_and_sequential_serving_are_bit_identical() {
+    let json = fitted_json();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 10, trojan_infected: 6, seed: 2024 });
+
+    let (ref_detections, ref_records) = run(&json, &probe, Mode::Sequential, 1);
+    assert_eq!(ref_detections.len(), probe.len());
+    assert_eq!(ref_records.len(), probe.len());
+
+    for threads in [1, 4] {
+        for mode in [Mode::Sequential, Mode::Batched(1), Mode::Batched(5), Mode::Batched(32)] {
+            let (detections, records) = run(&json, &probe, mode, threads);
+            assert_eq!(
+                detections, ref_detections,
+                "{mode:?} at {threads} thread(s) diverges from sequential verdicts"
+            );
+            assert_eq!(
+                records, ref_records,
+                "{mode:?} at {threads} thread(s) diverges from sequential audit records"
+            );
+        }
+    }
+}
