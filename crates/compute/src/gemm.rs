@@ -11,6 +11,10 @@
 //! inner `j` loop blocked so the active panel of `b` stays cache-resident;
 //! the `j` blocking does not reorder the `p` accumulation of any element.
 
+use std::sync::OnceLock;
+
+use noodle_profile::{EventKind, KernelTimer};
+
 use crate::pool::{add_flops, par_for};
 
 /// Column-block width for the `i-p-j` kernels: 1024 floats = 4 KiB per
@@ -57,6 +61,42 @@ fn check_dims(name: &str, m: usize, k: usize, n: usize, a: usize, b: usize, out:
     assert_eq!(out, m * n, "{name}: out has {out} elements, expected {m}x{n}");
 }
 
+/// Bytes-touched estimate for a kernel over the given slices (used as the
+/// profiler's byte payload; counts each operand once).
+fn kernel_bytes(a: usize, b: usize, out: usize) -> u64 {
+    (4 * (a + b + out)) as u64
+}
+
+/// The serial blocked `i-p-j` body of [`gemm`] over rows
+/// `rows.start..rows.end`, writing into `chunk` (the sub-slice covering
+/// exactly those rows). Shared between the parallel chunk bodies and the
+/// single-core peak measurement so the roofline ceiling times the real
+/// inner loop.
+fn gemm_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mut jb = 0;
+    while jb < n {
+        let je = n.min(jb + COL_BLOCK);
+        for (ci, i) in rows.clone().enumerate() {
+            let dst = &mut chunk[ci * n + jb..ci * n + je];
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b[p * n + jb..p * n + je];
+                for (d, &bv) in dst.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+        }
+        jb += COL_BLOCK;
+    }
+}
+
 /// `out += a @ b` for row-major `a: [m, k]`, `b: [k, n]`, `out: [m, n]`.
 ///
 /// # Panics
@@ -68,25 +108,16 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
         return;
     }
     add_flops(2 * (m * n * k) as u64);
+    let _prof = KernelTimer::start(
+        EventKind::Gemm,
+        2 * (m * n * k) as u64,
+        kernel_bytes(a.len(), b.len(), out.len()),
+    );
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
         let chunk = unsafe { optr.rows(&rows, n) };
-        let mut jb = 0;
-        while jb < n {
-            let je = n.min(jb + COL_BLOCK);
-            for (ci, i) in rows.clone().enumerate() {
-                let dst = &mut chunk[ci * n + jb..ci * n + je];
-                let arow = &a[i * k..(i + 1) * k];
-                for (p, &av) in arow.iter().enumerate() {
-                    let brow = &b[p * n + jb..p * n + je];
-                    for (d, &bv) in dst.iter_mut().zip(brow) {
-                        *d += av * bv;
-                    }
-                }
-            }
-            jb += COL_BLOCK;
-        }
+        gemm_rows(rows, k, n, a, b, chunk);
     });
 }
 
@@ -107,6 +138,11 @@ pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mut [f
         return;
     }
     add_flops(2 * (m * n * k) as u64);
+    let _prof = KernelTimer::start(
+        EventKind::GemmBt,
+        2 * (m * n * k) as u64,
+        kernel_bytes(a.len(), bt.len(), out.len()),
+    );
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
@@ -143,6 +179,11 @@ pub fn gemm_at(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
         return;
     }
     add_flops(2 * (m * n * k) as u64);
+    let _prof = KernelTimer::start(
+        EventKind::GemmAt,
+        2 * (m * n * k) as u64,
+        kernel_bytes(a.len(), b.len(), out.len()),
+    );
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
@@ -187,6 +228,35 @@ pub fn transpose(m: usize, n: usize, src: &[f32], dst: &mut [f32]) {
         }
         i0 = i1;
     }
+}
+
+static GEMM_PEAK: OnceLock<f64> = OnceLock::new();
+
+/// Measured single-core GEMM peak throughput in GFLOP/s: the roofline
+/// ceiling profile summaries compare achieved kernel throughput against.
+///
+/// Times the same blocked `i-p-j` inner loop [`gemm`] runs, on an
+/// L1-resident 48³ problem, serially on the calling thread (no pool, no
+/// profiler events, no FLOP accounting). Measured once per process
+/// (~1 ms) and cached.
+pub fn gemm_peak_gflops() -> f64 {
+    const DIM: usize = 48;
+    const REPS: u32 = 24;
+    *GEMM_PEAK.get_or_init(|| {
+        let a: Vec<f32> = (0..DIM * DIM).map(|i| ((i * 31 + 7) % 61) as f32 * 0.1 - 3.0).collect();
+        let b: Vec<f32> = (0..DIM * DIM).map(|i| ((i * 17 + 3) % 53) as f32 * 0.1 - 2.5).collect();
+        let mut out = vec![0.0f32; DIM * DIM];
+        for _ in 0..4 {
+            gemm_rows(0..DIM, DIM, DIM, &a, &b, &mut out);
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..REPS {
+            gemm_rows(0..DIM, DIM, DIM, &a, &b, &mut out);
+        }
+        let ns = start.elapsed().as_nanos().max(1) as f64;
+        std::hint::black_box(&out);
+        2.0 * (DIM * DIM * DIM) as f64 * f64::from(REPS) / ns
+    })
 }
 
 #[cfg(test)]
@@ -304,5 +374,13 @@ mod tests {
     #[should_panic(expected = "gemm: lhs")]
     fn dimension_mismatch_panics() {
         gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut [0.0; 4]);
+    }
+
+    #[test]
+    fn peak_measurement_is_positive_and_cached() {
+        let peak = gemm_peak_gflops();
+        assert!(peak > 0.0, "measured GEMM peak must be positive, got {peak}");
+        // Cached: a second call returns the identical bits instantly.
+        assert_eq!(peak.to_bits(), gemm_peak_gflops().to_bits());
     }
 }

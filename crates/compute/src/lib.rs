@@ -49,8 +49,8 @@
 mod gemm;
 mod pool;
 
-pub use gemm::{gemm, gemm_at, gemm_bt, transpose};
+pub use gemm::{gemm, gemm_at, gemm_bt, gemm_peak_gflops, transpose};
 pub use pool::{
-    add_flops, flops, jobs, num_threads, par_chunks_mut, par_for, par_map_collect, par_map_reduce,
-    set_thread_override,
+    add_flops, busy_ns, flops, jobs, num_threads, par_chunks_mut, par_for, par_map_collect,
+    par_map_reduce, queue_wait_ns, set_thread_override,
 };

@@ -48,6 +48,14 @@ static FLOPS: AtomicU64 = AtomicU64::new(0);
 /// Total parallel regions executed (inline or fanned out), for telemetry.
 static JOBS: AtomicU64 = AtomicU64::new(0);
 
+/// Total nanoseconds threads spent executing chunk bodies (outermost
+/// regions only — nested inline regions are already inside a timed body).
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Total nanoseconds between a region's submission and each participating
+/// worker claiming its first chunk of it.
+static QUEUE_WAIT_NS: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
     /// Nesting depth of parallel regions on this thread. Non-zero means we
     /// are already inside a chunk body, so inner regions run inline.
@@ -100,6 +108,19 @@ pub fn jobs() -> u64 {
     JOBS.load(Ordering::Relaxed)
 }
 
+/// Total nanoseconds threads have spent executing parallel-region chunk
+/// bodies since process start (summed across threads, so this can exceed
+/// wall clock). Feeds the `compute.pool_utilization` gauge.
+pub fn busy_ns() -> u64 {
+    BUSY_NS.load(Ordering::Relaxed)
+}
+
+/// Total nanoseconds workers have spent between region submission and
+/// claiming their first chunk. Feeds the `compute.queue_wait_frac` gauge.
+pub fn queue_wait_ns() -> u64 {
+    QUEUE_WAIT_NS.load(Ordering::Relaxed)
+}
+
 /// One submitted parallel region: a type-erased chunk body plus the
 /// claim/completion state shared between the submitter and the workers.
 struct Task {
@@ -111,6 +132,8 @@ struct Task {
     len: usize,
     grain: usize,
     chunks: usize,
+    /// Profiler timestamp at submission, for queue-wait attribution.
+    submit_ns: u64,
     /// Next unclaimed chunk index.
     next: AtomicUsize,
     /// Chunks not yet finished; completion signal below.
@@ -132,13 +155,17 @@ impl Task {
         lo..self.len.min(lo + self.grain)
     }
 
-    /// Claims and runs chunks until the queue is empty.
-    fn work(&self) {
+    /// Claims and runs chunks until the queue is empty; returns how many
+    /// chunk bodies this thread actually ran (0 for a stale wake-up, which
+    /// tells the caller to skip busy/queue-wait attribution).
+    fn work(&self) -> usize {
+        let mut ran = 0;
         loop {
             let chunk = self.next.fetch_add(1, Ordering::Relaxed);
             if chunk >= self.chunks {
-                return;
+                return ran;
             }
+            ran += 1;
             let range = self.chunk_range(chunk);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // SAFETY: `ctx` is live (see `Send`/`Sync` justification)
@@ -220,9 +247,32 @@ fn worker_loop() {
             }
         };
         if let Some(task) = task {
+            let start_ns = noodle_profile::now_ns();
             REGION_DEPTH.with(|d| d.set(d.get() + 1));
-            task.work();
+            let ran = task.work();
             REGION_DEPTH.with(|d| d.set(d.get() - 1));
+            if ran > 0 {
+                let busy = noodle_profile::now_ns().saturating_sub(start_ns);
+                let wait = start_ns.saturating_sub(task.submit_ns);
+                BUSY_NS.fetch_add(busy, Ordering::Relaxed);
+                QUEUE_WAIT_NS.fetch_add(wait, Ordering::Relaxed);
+                if noodle_profile::enabled() {
+                    noodle_profile::record(
+                        noodle_profile::EventKind::QueueWait,
+                        task.submit_ns,
+                        wait,
+                        0,
+                        0,
+                    );
+                    noodle_profile::record(
+                        noodle_profile::EventKind::PoolJob,
+                        start_ns,
+                        busy,
+                        ran as u64,
+                        0,
+                    );
+                }
+            }
         }
     }
 }
@@ -251,11 +301,27 @@ where
     let threads = num_threads();
     let nested = REGION_DEPTH.with(|d| d.get()) > 0;
     if threads <= 1 || chunks == 1 || nested {
+        // Nested regions run inside an already-timed outer chunk body, so
+        // timing them again would double-count busy time.
+        let start_ns = if nested { 0 } else { noodle_profile::now_ns() };
         let mut lo = 0;
         while lo < len {
             let hi = len.min(lo + grain);
             body(lo..hi);
             lo = hi;
+        }
+        if !nested {
+            let busy = noodle_profile::now_ns().saturating_sub(start_ns);
+            BUSY_NS.fetch_add(busy, Ordering::Relaxed);
+            if noodle_profile::enabled() {
+                noodle_profile::record(
+                    noodle_profile::EventKind::PoolJob,
+                    start_ns,
+                    busy,
+                    chunks as u64,
+                    0,
+                );
+            }
         }
         return;
     }
@@ -274,6 +340,7 @@ where
         len,
         grain,
         chunks,
+        submit_ns: noodle_profile::now_ns(),
         next: AtomicUsize::new(0),
         remaining: Mutex::new(chunks),
         done: Condvar::new(),
@@ -288,10 +355,25 @@ where
         p.bell.notify_all();
     }
 
-    // Participate, then wait for stragglers.
+    // Participate, then wait for stragglers. The submitter never queues,
+    // so it records busy time but no queue wait.
+    let start_ns = noodle_profile::now_ns();
     REGION_DEPTH.with(|d| d.set(d.get() + 1));
-    task.work();
+    let ran = task.work();
     REGION_DEPTH.with(|d| d.set(d.get() - 1));
+    if ran > 0 {
+        let busy = noodle_profile::now_ns().saturating_sub(start_ns);
+        BUSY_NS.fetch_add(busy, Ordering::Relaxed);
+        if noodle_profile::enabled() {
+            noodle_profile::record(
+                noodle_profile::EventKind::PoolJob,
+                start_ns,
+                busy,
+                ran as u64,
+                0,
+            );
+        }
+    }
     {
         let mut remaining = task.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *remaining > 0 {
@@ -564,5 +646,31 @@ mod tests {
         let before = flops();
         add_flops(128);
         assert!(flops() >= before + 128);
+    }
+
+    #[test]
+    fn busy_counter_accumulates_serial_and_parallel() {
+        for threads in [1, 4] {
+            let before = busy_ns();
+            with_threads(threads, || {
+                par_for(64, 1, |range| {
+                    let mut acc = 0usize;
+                    for i in range {
+                        acc = acc.wrapping_add(i * i);
+                    }
+                    std::hint::black_box(acc);
+                });
+            });
+            assert!(busy_ns() > before, "busy_ns must grow at {threads} threads");
+        }
+        // Queue wait only accrues when workers pick up announced tasks;
+        // it may legitimately stay zero, but must never regress.
+        let wait = queue_wait_ns();
+        with_threads(4, || {
+            par_for(32, 1, |r| {
+                std::hint::black_box(r.len());
+            });
+        });
+        assert!(queue_wait_ns() >= wait);
     }
 }

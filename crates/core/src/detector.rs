@@ -772,8 +772,16 @@ impl NoodleDetector {
             let mut probes: Option<Vec<Vec<SourceProbe>>> =
                 self.audit.is_some().then(|| vec![Vec::new(); m]);
             let batch_start = Instant::now();
+            let prof_start_ns = noodle_profile::now_ns();
             let predictions =
                 self.conformal_batch(&graphs, &tab_raw, strategy, probes.as_mut(), &mut arena);
+            noodle_profile::record(
+                noodle_profile::EventKind::BatchInfer,
+                prof_start_ns,
+                noodle_profile::now_ns().saturating_sub(prof_start_ns),
+                0,
+                (4 * (graphs.len() + tab_raw.len())) as u64,
+            );
             let batch_us = batch_start.elapsed().as_secs_f64() * 1e6;
             let per_file_us = batch_us / m as f64;
             noodle_telemetry::histogram_record("detect.batch_size", m as f64);

@@ -1,0 +1,62 @@
+//! Profiling must be a pure observer.
+//!
+//! The profiler's contract (ISSUE: "must not perturb determinism") is that
+//! enabling `--profile` only reads clocks and writes per-thread rings — it
+//! never touches RNG state, chunk boundaries, or accumulation order. This
+//! test trains the same seeded classifier three ways — profiling off,
+//! profiling on at 1 thread, profiling on at 4 threads — and demands
+//! byte-identical serialized weights from all three, then checks that the
+//! profiled runs actually recorded kernel events (the observer observed).
+
+use noodle_bench_gen::{generate_corpus, CorpusConfig};
+use noodle_compute::set_thread_override;
+use noodle_core::{ModalityClassifier, ModalityKind, MultimodalDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains one graph-image classifier on a tiny seeded corpus at `threads`
+/// threads and returns its full serde_json serialization (the same bytes
+/// `noodle train` writes to the model file).
+fn fit_model_json(threads: usize) -> String {
+    set_thread_override(Some(threads));
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 8, trojan_infected: 5, seed: 23 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus extracts cleanly");
+    let split = dataset.split(0.6, 0.2, 7);
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut clf = ModalityClassifier::new(ModalityKind::Graph, &mut rng);
+    let x = dataset.graph_tensor(&split.train);
+    let labels = dataset.labels(&split.train);
+    let config = noodle_nn::TrainConfig { epochs: 2, batch_size: 8, lr: 1e-3 };
+    let _ = clf.fit(&x, &labels, &config, &mut rng);
+    set_thread_override(None);
+    serde_json::to_string(&clf).expect("classifier serializes")
+}
+
+/// One test function (not one per configuration) because both the thread
+/// override and the profiling switch are process-global and the harness
+/// runs `#[test]` functions concurrently.
+#[test]
+fn profiled_training_is_bitwise_identical_across_thread_counts() {
+    let unprofiled = fit_model_json(1);
+
+    noodle_profile::set_enabled(true);
+    let serial = fit_model_json(1);
+    let parallel = fit_model_json(4);
+    noodle_profile::set_enabled(false);
+
+    assert_eq!(
+        unprofiled, serial,
+        "enabling profiling changed the trained model's serialized bytes"
+    );
+    assert_eq!(serial, parallel, "profiled training diverged between 1 and 4 threads");
+
+    // The runs above must have actually exercised the profiler: kernel
+    // events (gemm/conv/dense) from more than zero threads.
+    let profile = noodle_profile::drain();
+    let kernel_events: usize = profile
+        .threads
+        .iter()
+        .map(|t| t.events.iter().filter(|e| e.kind.is_kernel()).count())
+        .sum();
+    assert!(kernel_events > 0, "profiled training recorded no kernel events");
+}

@@ -5,6 +5,7 @@
 //! [`super::Conv2d`].
 
 use noodle_compute::{gemm, gemm_at, gemm_bt, par_chunks_mut, par_map_reduce};
+use noodle_profile::{EventKind, KernelTimer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +105,11 @@ impl Conv1d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let out_len = self.output_len(len);
         let ck = cin * k;
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ck * out_len) as u64,
+            (4 * (input.len() + batch * cout * out_len)) as u64,
+        );
         let mut out = Tensor::zeros(&[batch, cout, out_len]);
         let x = input.data();
         let w2 = self.weight.data(); // viewed as [cout, ck]
@@ -139,6 +145,11 @@ impl Conv1d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let out_len = self.output_len(len);
         let ck = cin * k;
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ck * out_len) as u64,
+            (4 * (input.len() + batch * cout * out_len)) as u64,
+        );
         out.resize_in_place(&[batch, cout, out_len]);
         cols.resize(ck * out_len, 0.0);
         let x = input.data();
@@ -162,6 +173,12 @@ impl Conv1d {
         let out_len = self.output_len(len);
         assert_eq!(grad_output.shape(), &[batch, cout, out_len]);
         let ck = cin * k;
+        // dX (gemm_at) + dW (gemm_bt), each 2·b·cout·ck·out_len FLOPs.
+        let _prof = KernelTimer::start(
+            EventKind::ConvBwd,
+            4 * (batch * cout * ck * out_len) as u64,
+            (4 * (input.len() + 2 * grad_output.len())) as u64,
+        );
         let x = input.data();
         let go = grad_output.data();
         let wt = self.weight.data();

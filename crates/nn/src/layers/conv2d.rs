@@ -6,6 +6,7 @@
 //! bit-identical at every thread count.
 
 use noodle_compute::{gemm, gemm_at, gemm_bt, par_chunks_mut, par_map_reduce};
+use noodle_profile::{EventKind, KernelTimer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,11 @@ impl Conv2d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         let (ckk, l) = (cin * k * k, oh * ow);
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ckk * l) as u64,
+            (4 * (input.len() + batch * cout * l)) as u64,
+        );
         let mut out = Tensor::zeros(&[batch, cout, oh, ow]);
         let x = input.data();
         let w2 = self.weight.data(); // viewed as [cout, ckk]
@@ -159,6 +165,11 @@ impl Conv2d {
         let (cout, k, pad) = (self.out_channels(), self.kernel(), self.padding);
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         let (ckk, l) = (cin * k * k, oh * ow);
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ckk * l) as u64,
+            (4 * (input.len() + batch * cout * l)) as u64,
+        );
         out.resize_in_place(&[batch, cout, oh, ow]);
         cols.resize(ckk * l, 0.0);
         let x = input.data();
@@ -183,6 +194,12 @@ impl Conv2d {
         let (oh, ow) = (self.out_dim(h), self.out_dim(w));
         assert_eq!(grad_output.shape(), &[batch, cout, oh, ow]);
         let (ckk, l) = (cin * k * k, oh * ow);
+        // dX (gemm_at) + dW (gemm_bt), each 2·b·cout·ckk·l FLOPs.
+        let _prof = KernelTimer::start(
+            EventKind::ConvBwd,
+            4 * (batch * cout * ckk * l) as u64,
+            (4 * (input.len() + 2 * grad_output.len())) as u64,
+        );
         let x = input.data();
         let go = grad_output.data();
         let wt = self.weight.data();

@@ -1,5 +1,6 @@
 //! Fully connected (affine) layer.
 
+use noodle_profile::{EventKind, KernelTimer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +73,11 @@ impl Dense {
                 None => self.cached_input = Some(input.clone()),
             }
         }
+        let _prof = KernelTimer::start(
+            EventKind::DenseFwd,
+            2 * (input.shape()[0] * self.in_features() * self.out_features()) as u64,
+            (4 * (input.len() + input.shape()[0] * self.out_features())) as u64,
+        );
         // x @ W^T without materializing the transpose.
         let mut out = input.matmul_bt(&self.weight);
         let (batch, out_f) = (out.shape()[0], out.shape()[1]);
@@ -99,6 +105,11 @@ impl Dense {
             input.shape()[1]
         );
         let (batch, out_f) = (input.shape()[0], self.out_features());
+        let _prof = KernelTimer::start(
+            EventKind::DenseFwd,
+            2 * (batch * self.in_features() * out_f) as u64,
+            (4 * (input.len() + batch * out_f)) as u64,
+        );
         out.resize_in_place(&[batch, out_f]);
         let data = out.data_mut();
         data.fill(0.0);
@@ -120,6 +131,12 @@ impl Dense {
 
     pub(crate) fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
+        // dW (add_matmul_at) + dX (matmul), each 2·b·in·out FLOPs.
+        let _prof = KernelTimer::start(
+            EventKind::DenseBwd,
+            4 * (grad_output.shape()[0] * self.in_features() * self.out_features()) as u64,
+            (4 * (input.len() + 2 * grad_output.len())) as u64,
+        );
         // dW = dY^T X ; db = sum over batch ; dX = dY W
         self.grad_weight.add_matmul_at(grad_output, input);
         let (batch, out_f) = (grad_output.shape()[0], grad_output.shape()[1]);

@@ -16,6 +16,8 @@
 //! These functions are `pub` so the benchmark harness can measure the
 //! lowering in isolation; they are not part of the supported model API.
 
+use noodle_profile::{EventKind, KernelTimer};
+
 /// Unrolls one `[cin, h, w]` sample into `cols = [cin * k * k, oh * ow]`
 /// for a stride-1 convolution with square kernel `k` and symmetric zero
 /// padding `pad`, where `oh = h + 2*pad - k + 1` (and likewise `ow`).
@@ -41,6 +43,7 @@ pub fn im2col_2d(
 ) {
     assert_eq!(x.len(), cin * h * w, "im2col_2d: input length mismatch");
     assert_eq!(cols.len(), cin * k * k * oh * ow, "im2col_2d: cols length mismatch");
+    let _prof = KernelTimer::start(EventKind::Im2col, 0, (4 * (x.len() + cols.len())) as u64);
     for ci in 0..cin {
         for ky in 0..k {
             for kx in 0..k {
@@ -86,6 +89,11 @@ pub fn col2im_2d(
 ) {
     assert_eq!(gx.len(), cin * h * w, "col2im_2d: grad length mismatch");
     assert_eq!(cols.len(), cin * k * k * oh * ow, "col2im_2d: cols length mismatch");
+    let _prof = KernelTimer::start(
+        EventKind::Col2im,
+        cols.len() as u64,
+        (4 * (gx.len() + cols.len())) as u64,
+    );
     for ci in 0..cin {
         for ky in 0..k {
             for kx in 0..k {
@@ -130,6 +138,7 @@ pub fn im2col_1d(
 ) {
     assert_eq!(x.len(), cin * len, "im2col_1d: input length mismatch");
     assert_eq!(cols.len(), cin * k * out_len, "im2col_1d: cols length mismatch");
+    let _prof = KernelTimer::start(EventKind::Im2col, 0, (4 * (x.len() + cols.len())) as u64);
     for ci in 0..cin {
         for kk in 0..k {
             let row = &mut cols[(ci * k + kk) * out_len..][..out_len];
@@ -166,6 +175,11 @@ pub fn col2im_1d(
 ) {
     assert_eq!(gx.len(), cin * len, "col2im_1d: grad length mismatch");
     assert_eq!(cols.len(), cin * k * out_len, "col2im_1d: cols length mismatch");
+    let _prof = KernelTimer::start(
+        EventKind::Col2im,
+        cols.len() as u64,
+        (4 * (gx.len() + cols.len())) as u64,
+    );
     for ci in 0..cin {
         for kk in 0..k {
             let row = &cols[(ci * k + kk) * out_len..][..out_len];

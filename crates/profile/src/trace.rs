@@ -1,0 +1,238 @@
+//! Chrome Trace Event Format export and read-back.
+//!
+//! [`write_chrome_trace`] renders a drained [`Profile`] as JSON loadable
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): each
+//! thread becomes one timeline row (named via a `thread_name` metadata
+//! event), every event is a `"ph": "X"` complete event with microsecond
+//! timestamps, and run-level metadata (command, GEMM peak, memory stats)
+//! rides in `otherData`. [`read_chrome_trace`] inverts the mapping so
+//! `noodle profile <trace.json>` can re-summarise a saved trace offline.
+
+use serde_json::{json, Map, Value};
+
+use crate::alloc::MemStats;
+use crate::ring::{EventKind, Profile, ProfileEvent, ThreadProfile};
+
+/// Run-level metadata embedded in the trace's `otherData` block.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceMeta {
+    /// `noodle` version that produced the trace.
+    #[serde(default)]
+    pub tool_version: String,
+    /// The CLI invocation being profiled.
+    #[serde(default)]
+    pub command: String,
+    /// Measured single-core GEMM peak, GFLOP/s.
+    #[serde(default)]
+    pub peak_gflops: f64,
+    /// Observed wall clock, nanoseconds.
+    #[serde(default)]
+    pub wall_ns: u64,
+    /// Allocator counters when `--profile-mem` was on.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mem: Option<MemStats>,
+}
+
+/// Why a trace file could not be read back.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file was not valid JSON.
+    Json(serde_json::Error),
+    /// The JSON was missing the Chrome-trace structure we expect.
+    Format(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace is not valid JSON: {e}"),
+            TraceError::Format(msg) => write!(f, "trace format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Json(e) => Some(e),
+            TraceError::Format(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+/// Serialises a profile as Chrome Trace Event Format JSON.
+pub fn write_chrome_trace(profile: &Profile, meta: &TraceMeta) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for thread in &profile.threads {
+        events.push(json!({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 1,
+            "tid": thread.tid,
+            "args": { "name": thread.name }
+        }));
+        for e in &thread.events {
+            events.push(json!({
+                "ph": "X",
+                "name": e.name,
+                "cat": e.kind.category(),
+                "pid": 1,
+                "tid": thread.tid,
+                "ts": e.start_ns as f64 / 1000.0,
+                "dur": e.dur_ns as f64 / 1000.0,
+                "args": { "flops": e.flops, "bytes": e.bytes }
+            }));
+        }
+    }
+    let doc = json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    });
+    serde_json::to_string(&doc).expect("chrome trace serialization cannot fail")
+}
+
+fn as_u64_ns(obj: &Map<String, Value>, key: &str) -> u64 {
+    // ts/dur are microseconds, possibly fractional; convert back to ns.
+    (obj.get(key).and_then(Value::as_f64).unwrap_or(0.0) * 1000.0).round() as u64
+}
+
+/// Parses a Chrome-trace JSON string back into a [`Profile`] and its
+/// [`TraceMeta`]. Only events written by [`write_chrome_trace`] are
+/// required; unknown events are skipped rather than rejected.
+pub fn read_chrome_trace(text: &str) -> Result<(Profile, TraceMeta), TraceError> {
+    let doc: Value = serde_json::from_str(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| TraceError::Format("missing traceEvents array".into()))?;
+    let meta: TraceMeta =
+        doc.get("otherData").cloned().map(serde_json::from_value).transpose()?.unwrap_or_default();
+
+    let mut threads: std::collections::BTreeMap<u32, ThreadProfile> =
+        std::collections::BTreeMap::new();
+    for raw in events {
+        let Some(obj) = raw.as_object() else { continue };
+        let tid = obj.get("tid").and_then(Value::as_u64).unwrap_or(0) as u32;
+        let ph = obj.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = obj.get("name").and_then(Value::as_str).unwrap_or("").to_owned();
+        let thread = threads.entry(tid).or_insert_with(|| ThreadProfile {
+            tid,
+            name: format!("tid-{tid}"),
+            dropped: 0,
+            events: Vec::new(),
+        });
+        match ph {
+            "M" if name == "thread_name" => {
+                if let Some(n) = obj.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                {
+                    thread.name = n.to_owned();
+                }
+            }
+            "X" => {
+                let cat = obj.get("cat").and_then(Value::as_str).unwrap_or("");
+                let kind = if cat == "span" {
+                    EventKind::Span
+                } else {
+                    EventKind::from_label(&name).unwrap_or(EventKind::Span)
+                };
+                let args = obj.get("args").and_then(Value::as_object);
+                thread.events.push(ProfileEvent {
+                    kind,
+                    name,
+                    start_ns: as_u64_ns(obj, "ts"),
+                    dur_ns: as_u64_ns(obj, "dur"),
+                    flops: args.and_then(|a| a.get("flops")).and_then(Value::as_u64).unwrap_or(0),
+                    bytes: args.and_then(|a| a.get("bytes")).and_then(Value::as_u64).unwrap_or(0),
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok((Profile { threads: threads.into_values().collect() }, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips() {
+        let profile = Profile {
+            threads: vec![ThreadProfile {
+                tid: 0,
+                name: "main".into(),
+                dropped: 0,
+                events: vec![
+                    ProfileEvent {
+                        kind: EventKind::Span,
+                        name: "fit".into(),
+                        start_ns: 0,
+                        dur_ns: 5_000,
+                        flops: 0,
+                        bytes: 0,
+                    },
+                    ProfileEvent {
+                        kind: EventKind::Gemm,
+                        name: "gemm".into(),
+                        start_ns: 1_000,
+                        dur_ns: 2_000,
+                        flops: 123_456,
+                        bytes: 789,
+                    },
+                ],
+            }],
+        };
+        let meta = TraceMeta {
+            tool_version: "0.1.0".into(),
+            command: "fit --fast".into(),
+            peak_gflops: 12.5,
+            wall_ns: 5_000,
+            mem: None,
+        };
+        let text = write_chrome_trace(&profile, &meta);
+        let (back, back_meta) = read_chrome_trace(&text).unwrap();
+        assert_eq!(back.threads.len(), 1);
+        assert_eq!(back.threads[0].name, "main");
+        assert_eq!(back.threads[0].events, profile.threads[0].events);
+        assert_eq!(back_meta, meta);
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(matches!(read_chrome_trace("{nope"), Err(TraceError::Json(_))));
+        assert!(matches!(read_chrome_trace("{}"), Err(TraceError::Format(_))));
+    }
+
+    #[test]
+    fn trace_contains_thread_metadata_and_categories() {
+        let profile = Profile {
+            threads: vec![ThreadProfile {
+                tid: 3,
+                name: "noodle-compute-2".into(),
+                dropped: 0,
+                events: vec![ProfileEvent {
+                    kind: EventKind::PoolJob,
+                    name: "pool_job".into(),
+                    start_ns: 10,
+                    dur_ns: 20,
+                    flops: 4,
+                    bytes: 0,
+                }],
+            }],
+        };
+        let text = write_chrome_trace(&profile, &TraceMeta::default());
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["ph"] == "M"
+            && e["name"] == "thread_name"
+            && e["args"]["name"] == "noodle-compute-2"));
+        assert!(events.iter().any(|e| e["ph"] == "X" && e["cat"] == "pool"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Enforces the profiler's overhead contract: with profiling disabled,
+//! every instrumented entry point (`record`, `KernelTimer`) is a no-op
+//! that performs **zero heap allocations** — the same discipline the
+//! audit sink (PR 2) and infer arena (PR 4) hold on their warm paths.
+//!
+//! Uses the crate's own [`CountingAllocator`] installed as the global
+//! allocator, which doubles as an integration test of the allocator
+//! itself (counters move only inside the enabled window).
+
+use noodle_profile::{
+    mem_stats, record, set_enabled, set_mem_enabled, CountingAllocator, EventKind, KernelTimer,
+};
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator::new();
+
+/// The counters and switches are process-global; the harness runs tests
+/// concurrently, so each one takes this lock to keep its window clean.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn disabled_profiling_allocates_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_enabled(false);
+    set_mem_enabled(true);
+    let before = mem_stats().allocations;
+    for i in 0..1_000u64 {
+        record(EventKind::Gemm, i, 1, 1_000, 64);
+        let _t = KernelTimer::start(EventKind::DenseFwd, 2_048, 128);
+    }
+    let after = mem_stats().allocations;
+    set_mem_enabled(false);
+    assert_eq!(after - before, 0, "disabled profiling must not touch the allocator");
+}
+
+#[test]
+fn counting_allocator_tracks_real_allocations() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_mem_enabled(true);
+    let before = mem_stats();
+    let v: Vec<u8> = Vec::with_capacity(1 << 16);
+    let after = mem_stats();
+    drop(v);
+    set_mem_enabled(false);
+    assert!(after.allocations > before.allocations, "a real Vec allocation must be counted");
+    assert!(after.allocated_bytes - before.allocated_bytes >= 1 << 16);
+    assert!(after.peak_bytes >= 1 << 16);
+}
+
+#[test]
+fn enabled_recording_after_warmup_allocates_nothing() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // First event registers the thread's ring (one-time allocation); the
+    // steady-state push path must then be allocation-free.
+    set_enabled(true);
+    record(EventKind::Gemm, 0, 1, 10, 10);
+    set_mem_enabled(true);
+    let before = mem_stats().allocations;
+    for i in 0..1_000u64 {
+        record(EventKind::Gemm, i, 1, 1_000, 64);
+    }
+    let after = mem_stats().allocations;
+    set_mem_enabled(false);
+    set_enabled(false);
+    assert_eq!(after - before, 0, "warm ring pushes must not allocate");
+}

@@ -1,7 +1,7 @@
 //! # noodle-telemetry
 //!
-//! A zero-dependency (beyond `serde`/`serde_json`) tracing and metrics
-//! layer for the NOODLE pipeline:
+//! A lightweight (`serde`/`serde_json` + `noodle-profile` only) tracing
+//! and metrics layer for the NOODLE pipeline:
 //!
 //! * [`span!`] — hierarchical spans with wall-clock timing and key/value
 //!   attributes, streamed live to a pluggable [`Sink`] (stderr
@@ -43,8 +43,8 @@ mod sink;
 mod span;
 
 pub use metrics::{
-    counter_add, gauge_set, histogram_record, register_histogram, time_histogram, Histogram,
-    Quantiles, TelemetrySnapshot, TimerGuard,
+    counter_add, gauge_set, histogram_record, merge_histogram, register_histogram, time_histogram,
+    Histogram, Quantiles, TelemetrySnapshot, TimerGuard,
 };
 pub use report::{
     CorpusSummary, EvaluationSummary, ReportError, RunContext, RunReport, SCHEMA_VERSION,
@@ -57,7 +57,6 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static EPOCH: OnceLock<Instant> = OnceLock::new();
 static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
 static SINK: OnceLock<Mutex<Box<dyn Sink>>> = OnceLock::new();
 
@@ -86,8 +85,12 @@ pub fn set_enabled(on: bool) {
 }
 
 /// The common time origin for span `start_ns` offsets.
+///
+/// Delegates to the profiler's epoch so spans and profiler events from one
+/// run share a single timeline (a span at `start_ns = t` lines up with the
+/// kernel events it contains in the Chrome trace).
 pub(crate) fn epoch() -> Instant {
-    *EPOCH.get_or_init(Instant::now)
+    noodle_profile::epoch()
 }
 
 pub(crate) fn registry() -> &'static Mutex<Registry> {

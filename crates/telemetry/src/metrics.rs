@@ -113,6 +113,33 @@ impl Histogram {
             p99: self.quantile(0.99)?,
         })
     }
+
+    /// Folds `other` into `self`: bucket counts add elementwise, totals
+    /// and extrema combine, and the retained observations concatenate —
+    /// so quantiles of the merged histogram equal quantiles of recording
+    /// every observation into one histogram. Used to fold per-thread
+    /// kernel histograms into the global registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "Histogram::merge requires identical bucket bounds");
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.values.extend_from_slice(&other.values);
+    }
 }
 
 /// A point-in-time copy of every metric and finished root span.
@@ -160,6 +187,20 @@ pub fn histogram_record(name: &str, value: f64) {
         .entry(name.to_string())
         .or_insert_with(|| Histogram::new(&Histogram::default_bounds()))
         .record(value);
+}
+
+/// Merges `hist` into the named registry histogram, creating it with the
+/// same bounds on first use (so the merge never panics on a fresh name).
+/// No-op when telemetry is disabled.
+pub fn merge_histogram(name: &str, hist: &Histogram) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    reg.histograms
+        .entry(name.to_string())
+        .or_insert_with(|| Histogram::new(&hist.bounds))
+        .merge(hist);
 }
 
 /// Creates (or replaces) the named histogram with explicit bucket bounds.
@@ -278,6 +319,51 @@ mod tests {
         h.record(1.0);
         assert_eq!(h.quantile(0.0), None);
         assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn merged_quantiles_match_single_histogram_recording() {
+        let bounds = Histogram::default_bounds();
+        // Record 1..=300 split across three per-thread histograms (strided
+        // so each shard sees a different value range) and into one
+        // reference histogram.
+        let mut reference = Histogram::new(&bounds);
+        let mut shards: Vec<Histogram> = (0..3).map(|_| Histogram::new(&bounds)).collect();
+        for i in 0..300u32 {
+            let v = ((i * 101) % 300 + 1) as f64;
+            reference.record(v);
+            shards[(i % 3) as usize].record(v);
+        }
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count, reference.count);
+        assert_eq!(merged.counts, reference.counts);
+        assert_eq!(merged.sum, reference.sum);
+        assert_eq!(merged.min, reference.min);
+        assert_eq!(merged.max, reference.max);
+        let (m, r) = (merged.quantiles().unwrap(), reference.quantiles().unwrap());
+        assert_eq!((m.p50, m.p95, m.p99), (r.p50, r.p95, r.p99));
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        b.record(1.5);
+        a.merge(&b);
+        assert_eq!(a.count, 1);
+        assert_eq!(a.min, Some(1.5));
+        assert_eq!(a.max, Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
     }
 
     #[test]

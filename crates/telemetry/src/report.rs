@@ -130,6 +130,11 @@ pub struct RunReport {
     /// Fusion competition outcome, when the run trained a detector.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub evaluation: Option<EvaluationSummary>,
+    /// Execution profile (top spans by self-time, per-thread utilization,
+    /// kernel roofline), when the run was profiled with `--profile`.
+    /// Additive and optional, so no schema bump.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<noodle_profile::ProfileSummary>,
 }
 
 impl RunReport {
@@ -152,6 +157,7 @@ impl RunReport {
             histogram_quantiles,
             corpus: None,
             evaluation: None,
+            profile: None,
         }
     }
 
@@ -251,6 +257,7 @@ mod tests {
                 winner: "LateFusion".into(),
                 brier: BTreeMap::from([("LateFusion".to_string(), 0.08)]),
             }),
+            profile: None,
         }
     }
 

@@ -126,6 +126,9 @@ impl Drop for SpanGuard {
             Some((record, depth))
         });
         if let Some((record, depth)) = closed {
+            // Mirror the closed span onto the profiler timeline (no-op
+            // unless `--profile` enabled event collection).
+            noodle_profile::record_span(&record.name, record.start_ns, record.duration_ns);
             if depth == 0 {
                 registry().lock().expect("telemetry registry poisoned").spans.push(record.clone());
             }

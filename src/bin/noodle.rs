@@ -7,6 +7,7 @@
 //! noodle detect <model.json> <file.v>... [--audit <log>]   classify Verilog files
 //!               [--batch N] [--cache-dir <dir>]            (batched engine + feature cache)
 //! noodle observe <audit.jsonl> [--out <report.json>]       replay an audit log through monitors
+//! noodle profile <trace.json>                              render a recorded trace's summary
 //! noodle inspect <file.v>                                  print both modality feature vectors
 //! noodle version                                           print the workspace version
 //! ```
@@ -16,6 +17,8 @@
 //! ```text
 //! --trace[=pretty|json]   stream per-stage span timings to stderr
 //! --report <path>         write a RunReport JSON summary at exit
+//! --profile <out.json>    record a per-thread Chrome trace + roofline summary
+//! --profile-mem           also count allocations (needs --profile)
 //! --quiet                 suppress progress output (errors still print)
 //! --threads N             compute pool size (default: NOODLE_THREADS or all cores)
 //! ```
@@ -31,6 +34,7 @@ use std::process::ExitCode;
 
 use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats};
 use noodle::observe::{parse_audit_log, replay, JsonlAudit, MonitorConfig};
+use noodle::profile;
 use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunContext, RunReport};
 use noodle::{
     extract_modalities, DetectRequest, FeatureCache, FusionStrategy, MultimodalDataset,
@@ -39,6 +43,11 @@ use noodle::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Counting allocator for `--profile-mem`: a pure pass-through to the
+/// system allocator (one relaxed load per call) until the flag arms it.
+#[global_allocator]
+static ALLOC: profile::CountingAllocator = profile::CountingAllocator::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -46,6 +55,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("observe") => cmd_observe(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("version" | "--version" | "-V") => {
             println!("noodle {}", env!("CARGO_PKG_VERSION"));
@@ -80,11 +90,15 @@ fn print_usage() {
          noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n         \
          [--batch N] [--cache-dir <dir>]\n  \
          noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n  \
+         noodle profile <trace.json>\n  \
          noodle inspect <file.v>\n  \
          noodle version\n\n\
          OBSERVABILITY (any command):\n  \
          --trace[=pretty|json]   stream per-stage timings to stderr\n  \
          --report <path>         write a RunReport JSON summary\n  \
+         --profile <out.json>    record a Chrome/Perfetto trace with one row per\n                          \
+         pool thread plus a kernel roofline summary\n  \
+         --profile-mem           also count allocations (needs --profile)\n  \
          --quiet                 suppress progress output\n  \
          --threads N             compute pool size (results are identical\n                          \
          at every thread count; default NOODLE_THREADS or all cores)\n\n\
@@ -94,7 +108,11 @@ fn print_usage() {
          features across runs, keyed by source content + extractor version.\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
-         a log through the coverage/Brier/drift monitor suite.\n"
+         a log through the coverage/Brier/drift monitor suite.\n\n\
+         `--profile` drains per-thread event rings at exit into a Chrome Trace\n\
+         Event JSON (open in chrome://tracing or ui.perfetto.dev); `noodle\n\
+         profile <trace.json>` re-renders its summary offline. Profiling never\n\
+         changes results: outputs are bit-identical with it on or off.\n"
     );
 }
 
@@ -143,7 +161,7 @@ impl From<String> for CliError {
 
 /// Flags that take no value; everything else consumes the next argument
 /// (or an inline `--flag=value`).
-const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace"];
+const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace", "profile-mem"];
 
 /// Positional arguments plus `(name, value)` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -197,10 +215,13 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 /// Observability options shared by every command: configures the global
-/// telemetry layer from `--trace`/`--report`/`--quiet` and writes the
-/// [`RunReport`] at the end of a run.
+/// telemetry and profiling layers from
+/// `--trace`/`--report`/`--profile`/`--quiet` and writes the [`RunReport`]
+/// and Chrome trace at the end of a run.
 struct Observability {
     report: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    profile_mem: bool,
     quiet: bool,
 }
 
@@ -215,13 +236,26 @@ impl Observability {
             }
             noodle::compute::set_thread_override(Some(n));
         }
-        telemetry::gauge_set("compute.threads", noodle::compute::num_threads() as f64);
         let trace = flag_value(flags, "trace");
         let report = flag_value(flags, "report").map(PathBuf::from);
+        let profile_path = flag_value(flags, "profile").map(PathBuf::from);
+        let profile_mem = flag_value(flags, "profile-mem").is_some();
+        if profile_mem && profile_path.is_none() {
+            return Err(CliError::msg("--profile-mem requires --profile <trace.json>"));
+        }
         let quiet = flag_value(flags, "quiet").is_some();
-        if trace.is_some() || report.is_some() {
+        if trace.is_some() || report.is_some() || profile_path.is_some() {
             telemetry::set_enabled(true);
         }
+        if profile_path.is_some() {
+            profile::set_enabled(true);
+        }
+        if profile_mem {
+            profile::set_mem_enabled(true);
+        }
+        // After set_enabled: gauges set while telemetry is disabled are
+        // dropped, so a `--report` run used to lose this one.
+        telemetry::gauge_set("compute.threads", noodle::compute::num_threads() as f64);
         match trace {
             Some("true" | "pretty") if !quiet => {
                 telemetry::set_sink(Box::new(telemetry::StderrPretty::default()));
@@ -238,11 +272,11 @@ impl Observability {
                 )));
             }
         }
-        Ok(Self { report, quiet })
+        Ok(Self { report, profile: profile_path, profile_mem, quiet })
     }
 
-    /// Writes the run report, if one was requested. Call after the root
-    /// span guard has been dropped so the stage tree is complete.
+    /// Writes the Chrome trace and run report, if requested. Call after
+    /// the root span guard has been dropped so the stage tree is complete.
     fn finish(
         &self,
         command: &str,
@@ -250,11 +284,24 @@ impl Observability {
         corpus: Option<CorpusSummary>,
         evaluation: Option<EvaluationSummary>,
     ) -> Result<(), CliError> {
+        // Drain the profiler first: it folds per-kernel timings into
+        // telemetry histograms that the snapshot below must include.
+        let profile_summary = self.write_profile()?;
         let Some(path) = &self.report else {
             return Ok(());
         };
         telemetry::gauge_set("compute.gflop_total", noodle::compute::flops() as f64 / 1e9);
         telemetry::gauge_set("compute.parallel_jobs", noodle::compute::jobs() as f64);
+        let busy = noodle::compute::busy_ns() as f64;
+        let wait = noodle::compute::queue_wait_ns() as f64;
+        // Capacity = wall time since the shared epoch x pool width.
+        let capacity = profile::now_ns() as f64 * noodle::compute::num_threads() as f64;
+        if capacity > 0.0 {
+            telemetry::gauge_set("compute.pool_utilization", busy / capacity);
+        }
+        if busy + wait > 0.0 {
+            telemetry::gauge_set("compute.queue_wait_frac", wait / (busy + wait));
+        }
         let mut report = RunReport::from_snapshot(command, telemetry::snapshot());
         report.context = Some(RunContext {
             invocation: invocation_line(),
@@ -263,6 +310,7 @@ impl Observability {
         });
         report.corpus = corpus;
         report.evaluation = evaluation;
+        report.profile = profile_summary;
         report
             .write_to(path)
             .map_err(|e| CliError::msg(format!("cannot write report {}: {e}", path.display())))?;
@@ -270,6 +318,57 @@ impl Observability {
             eprintln!("run report written to {}", path.display());
         }
         Ok(())
+    }
+
+    /// Drains the per-thread event rings into a Chrome trace (written
+    /// through its own file handle — `--audit` may be streaming to a
+    /// different file in the same invocation) and returns the roofline
+    /// summary for embedding in the run report.
+    fn write_profile(&self) -> Result<Option<profile::ProfileSummary>, CliError> {
+        let Some(path) = &self.profile else {
+            return Ok(None);
+        };
+        let prof = profile::drain();
+        let peak = noodle::compute::gemm_peak_gflops();
+        let mem = self.profile_mem.then(profile::mem_stats);
+        // Fold per-kernel wall times into telemetry histograms so the run
+        // report's metrics section and the trace agree.
+        let bounds = telemetry::Histogram::default_bounds();
+        let mut by_kernel: std::collections::BTreeMap<&str, telemetry::Histogram> =
+            std::collections::BTreeMap::new();
+        for thread in &prof.threads {
+            for event in &thread.events {
+                if event.kind.is_kernel() {
+                    by_kernel
+                        .entry(event.kind.label())
+                        .or_insert_with(|| telemetry::Histogram::new(&bounds))
+                        .record(event.dur_ns as f64 / 1e3);
+                }
+            }
+        }
+        for (name, hist) in &by_kernel {
+            telemetry::merge_histogram(&format!("profile.kernel.{name}_us"), hist);
+        }
+        let summary = profile::summarize(&prof, peak, mem);
+        let meta = profile::TraceMeta {
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            command: invocation_line(),
+            peak_gflops: peak,
+            wall_ns: prof.wall_ns(),
+            mem,
+        };
+        let mut file = fs::File::create(path)
+            .map_err(|e| CliError::msg(format!("cannot create trace {}: {e}", path.display())))?;
+        std::io::Write::write_all(&mut file, profile::write_chrome_trace(&prof, &meta).as_bytes())
+            .map_err(|e| CliError::msg(format!("cannot write trace {}: {e}", path.display())))?;
+        if !self.quiet {
+            eprint!("{}", profile::render_summary(&summary));
+            eprintln!(
+                "trace written to {} (open in chrome://tracing or ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        Ok(Some(summary))
     }
 }
 
@@ -562,6 +661,27 @@ fn cmd_observe(args: &[String]) -> Result<(), CliError> {
     }
     drop(root);
     observability.finish("observe", None, None, None)
+}
+
+/// Re-renders the summary of a trace recorded with `--profile`, offline:
+/// the peak GFLOP/s and memory counters ride along in the trace's
+/// `otherData` block, so no model or corpus is needed.
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = parse_flags(args)?;
+    let observability = Observability::from_flags(&flags)?;
+    let [trace_path] = positional.as_slice() else {
+        return Err(CliError::msg("usage: noodle profile <trace.json>"));
+    };
+    let text = fs::read_to_string(Path::new(trace_path))
+        .map_err(|e| CliError::msg(format!("cannot read {trace_path}: {e}")))?;
+    let (prof, meta) = profile::read_chrome_trace(&text)
+        .map_err(|e| CliError::msg(format!("{trace_path}: {e}")))?;
+    let summary = profile::summarize(&prof, meta.peak_gflops, meta.mem);
+    if !observability.quiet && !meta.command.is_empty() {
+        println!("trace of `{}` (noodle {})", meta.command, meta.tool_version);
+    }
+    print!("{}", profile::render_summary(&summary));
+    observability.finish("profile", None, None, None)
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {

@@ -15,6 +15,7 @@
 //! | [`conformal`] | `noodle-conformal` | Mondrian ICP, p-value combination, prediction regions |
 //! | [`metrics`] | `noodle-metrics` | Brier (+decompositions), ROC/AUC, calibration, radar |
 //! | [`telemetry`] | `noodle-telemetry` | spans, counters/histograms, run reports |
+//! | [`profile`] | `noodle-profile` | per-thread profiler, Chrome-trace export, roofline summary |
 //! | [`observe`] | `noodle-observe` | prediction audit logs, coverage/drift monitors |
 //! | [`core`] | `noodle-core` | the end-to-end NOODLE detector |
 //!
@@ -50,6 +51,7 @@ pub use noodle_graph as graph;
 pub use noodle_metrics as metrics;
 pub use noodle_nn as nn;
 pub use noodle_observe as observe;
+pub use noodle_profile as profile;
 pub use noodle_tabular as tabular;
 pub use noodle_telemetry as telemetry;
 pub use noodle_verilog as verilog;

@@ -230,6 +230,135 @@ fn cli_gen_corpus_report_is_parseable_json() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Parses a Chrome trace file and returns (metadata events, complete
+/// events) — the two `ph` kinds the profiler emits.
+fn split_trace_events(path: &Path) -> (Vec<serde_json::Value>, Vec<serde_json::Value>) {
+    let json = std::fs::read_to_string(path).expect("trace file exists");
+    let trace: serde_json::Value = serde_json::from_str(&json).expect("trace is valid JSON");
+    let events = trace["traceEvents"].as_array().expect("traceEvents is an array");
+    let meta = events.iter().filter(|e| e["ph"] == "M").cloned().collect();
+    let complete = events.iter().filter(|e| e["ph"] == "X").cloned().collect();
+    (meta, complete)
+}
+
+#[test]
+fn cli_profile_round_trip() {
+    let dir = std::env::temp_dir().join(format!("noodle_cli_prof_{}", std::process::id()));
+    let corpus_dir = dir.join("corpus");
+    let model = dir.join("model.json");
+
+    let out = noodle()
+        .args(["gen-corpus", corpus_dir.to_str().unwrap(), "--tf", "8", "--ti", "4", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // train with profiling + memory accounting + run report, on a 2-thread pool
+    let trace = dir.join("train_trace.json");
+    let report = dir.join("train_report.json");
+    let out = noodle()
+        .args([
+            "train",
+            model.to_str().unwrap(),
+            "--fast",
+            "--corpus-seed",
+            "5",
+            "--threads",
+            "2",
+            "--profile",
+            trace.to_str().unwrap(),
+            "--profile-mem",
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("trace written to"), "{stderr}");
+
+    // The trace names every timeline row and carries per-thread kernel
+    // events with FLOP payloads.
+    let (meta, complete) = split_trace_events(&trace);
+    assert!(meta.iter().any(|e| e["name"] == "thread_name"), "trace has thread_name metadata rows");
+    let tids: std::collections::BTreeSet<u64> =
+        complete.iter().map(|e| e["tid"].as_u64().expect("tid is u64")).collect();
+    // A 2-thread pool spawns one worker; the submitting (main) thread is
+    // the second lane, so the trace has at least two timeline rows.
+    let pool_rows = meta
+        .iter()
+        .filter(|e| e["args"]["name"].as_str().is_some_and(|n| n.starts_with("noodle-compute")))
+        .count();
+    assert!(pool_rows >= 1, "pool workers get named timeline rows: {meta:?}");
+    assert!(tids.len() >= 2, "events from more than one thread: {tids:?}");
+    assert!(
+        complete
+            .iter()
+            .any(|e| e["cat"] == "kernel" && e["args"]["flops"].as_u64().unwrap_or(0) > 0),
+        "kernel events carry FLOP payloads"
+    );
+
+    // The run report embeds the profile summary: per-thread utilization,
+    // top spans, kernel roofline rows and (via --profile-mem) memory.
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    let profile = &report["profile"];
+    assert!(profile.is_object(), "report embeds a profile block: {report}");
+    assert!(profile["peak_gflops"].as_f64().unwrap() > 0.0, "{profile}");
+    assert!(!profile["threads"].as_array().unwrap().is_empty(), "{profile}");
+    assert!(!profile["kernels"].as_array().unwrap().is_empty(), "{profile}");
+    assert!(profile["mem"]["allocations"].as_u64().unwrap() > 0, "{profile}");
+    assert!(report["gauges"]["compute.pool_utilization"].is_number(), "{report}");
+    assert!(report["gauges"]["compute.queue_wait_frac"].is_number(), "{report}");
+    assert!(report["histograms"].get("profile.kernel.gemm_us").is_some(), "{report}");
+
+    // detect with --audit and --profile in the same invocation: each sink
+    // writes through its own file handle, so both must come out intact.
+    let mut paths: Vec<String> = std::fs::read_dir(&corpus_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path().to_str().unwrap().to_string())
+        .collect();
+    paths.sort();
+    let audit = dir.join("audit.jsonl");
+    let detect_trace = dir.join("detect_trace.json");
+    let out = noodle()
+        .args(["detect", model.to_str().unwrap()])
+        .args(&paths)
+        .args(["--audit", audit.to_str().unwrap(), "--profile", detect_trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = std::fs::read_to_string(&audit).expect("audit log written");
+    let lines: Vec<serde_json::Value> = log
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("audit line is valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), paths.len() + 1, "header + one audit record per file");
+    let (_, complete) = split_trace_events(&detect_trace);
+    assert!(
+        complete.iter().any(|e| e["name"] == "batch_infer"),
+        "detect trace records micro-batch inference events"
+    );
+
+    // `noodle profile` re-renders the summary offline from the trace alone.
+    let out = noodle().args(["profile", trace.to_str().unwrap()]).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("thread"), "{stdout}");
+    assert!(stdout.contains("gemm"), "{stdout}");
+    assert!(stdout.contains("peak"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_profile_mem_requires_profile() {
+    let out = noodle().args(["inspect", "x.v", "--profile-mem"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile-mem requires --profile"));
+}
+
 #[test]
 fn cli_version_prints_workspace_version() {
     let out = noodle().arg("version").output().expect("binary runs");
