@@ -1,0 +1,241 @@
+//! The background exposition server: bounded accept loop, hand-rolled
+//! HTTP/1.1, one short-lived connection per scrape.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use noodle_observe::{Health, StreamingMonitors};
+
+use crate::prom::render_prometheus;
+
+/// How long the accept loop sleeps between polls when no connection is
+/// pending. Bounds shutdown latency; scrape latency is unaffected once a
+/// connection is accepted.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection read/write timeout. A stalled scraper cannot wedge the
+/// accept loop for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Maximum bytes of request head we read before answering. Scrape
+/// requests are one line plus a few headers; anything larger is rejected.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A hook run right before each `/metrics` render, so gauges that are
+/// normally only computed at end-of-run (e.g. `compute.pool_utilization`)
+/// can be refreshed to live values at scrape time.
+pub type RefreshFn = Box<dyn Fn() + Send + Sync>;
+
+/// A running exposition server. Binds eagerly (so address errors surface
+/// at startup), serves from a single background thread, and joins that
+/// thread on drop.
+#[derive(Debug)]
+pub struct ExportServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExportServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port `0` for ephemeral) and
+    /// starts serving `/metrics`, `/monitor` and `/healthz`.
+    ///
+    /// `monitors` is typically a clone of the engine attached to the
+    /// detector's audit path, so `/monitor` and `/healthz` reflect every
+    /// prediction the moment it is emitted. `refresh` (if any) runs before
+    /// each `/metrics` render.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` when the address cannot be bound.
+    pub fn start(
+        addr: &str,
+        monitors: StreamingMonitors,
+        refresh: Option<RefreshFn>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("noodle-export".into())
+            .spawn(move || serve(listener, monitors, refresh, flag))?;
+        Ok(Self { addr, shutdown, handle: Some(handle) })
+    }
+
+    /// The actually-bound address (resolves port `0` to the ephemeral
+    /// port the OS picked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ExportServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(
+    listener: TcpListener,
+    monitors: StreamingMonitors,
+    refresh: Option<RefreshFn>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, &monitors, refresh.as_deref());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    monitors: &StreamingMonitors,
+    refresh: Option<&(dyn Fn() + Send + Sync)>,
+) -> std::io::Result<()> {
+    // Accepted sockets inherit the listener's non-blocking mode on some
+    // platforms; per-connection I/O is blocking with hard timeouts.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = read_head(&mut stream)?;
+    let response = match parse_request_line(&head) {
+        Some(("GET", path)) => route(path, monitors, refresh),
+        Some((_, _)) => respond(
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        ),
+        None => respond(400, "Bad Request", "text/plain; charset=utf-8", "malformed request\n"),
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
+fn read_head(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(head)
+}
+
+/// Extracts `(method, path)` from the request line, dropping any query
+/// string. Returns `None` on garbage.
+fn parse_request_line(head: &[u8]) -> Option<(&str, &str)> {
+    let text = std::str::from_utf8(head).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn route(
+    path: &str,
+    monitors: &StreamingMonitors,
+    refresh: Option<&(dyn Fn() + Send + Sync)>,
+) -> String {
+    match path {
+        "/metrics" => {
+            if let Some(refresh) = refresh {
+                refresh();
+            }
+            let body = render_prometheus(&noodle_telemetry::metrics_snapshot());
+            respond(200, "OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/monitor" => {
+            let mut body = monitors.report().to_json();
+            body.push('\n');
+            respond(200, "OK", "application/json", &body)
+        }
+        "/healthz" => {
+            let overall = monitors.overall();
+            let body = serde_json::json!({
+                "overall": overall,
+                "records": monitors.records(),
+                "monitors": monitors.statuses(),
+            });
+            let mut body = serde_json::to_string_pretty(&body).unwrap_or_default();
+            body.push('\n');
+            if overall == Health::Alert {
+                respond(503, "Service Unavailable", "application/json", &body)
+            } else {
+                respond(200, "OK", "application/json", &body)
+            }
+        }
+        "/" => respond(
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            "noodle live observability\n\n/metrics  Prometheus text exposition\n/monitor  MonitorReport JSON\n/healthz  aggregated health (503 on alert)\n",
+        ),
+        _ => respond(404, "Not Found", "text/plain; charset=utf-8", "no such endpoint\n"),
+    }
+}
+
+fn respond(status: u16, reason: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing_handles_queries_and_garbage() {
+        assert_eq!(parse_request_line(b"GET /metrics HTTP/1.1\r\n"), Some(("GET", "/metrics")));
+        assert_eq!(
+            parse_request_line(b"GET /healthz?verbose=1 HTTP/1.1\r\n"),
+            Some(("GET", "/healthz"))
+        );
+        assert_eq!(parse_request_line(b"POST /metrics HTTP/1.1\r\n"), Some(("POST", "/metrics")));
+        assert_eq!(parse_request_line(b"\xff\xfe"), None);
+        assert_eq!(parse_request_line(b""), None);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let r = respond(200, "OK", "text/plain", "hi");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 2\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("\r\n\r\nhi"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # noodle-export
+//!
+//! The live observability plane for the NOODLE pipeline: a background,
+//! dependency-free (std `TcpListener` + hand-rolled HTTP/1.1) exposition
+//! server that makes a running `train`/`detect` process scrapeable:
+//!
+//! * `GET /metrics` — Prometheus text exposition rendered from the live
+//!   `noodle-telemetry` registry (counters, gauges, histogram buckets and
+//!   quantiles), via a lock-light [`noodle_telemetry::metrics_snapshot`];
+//! * `GET /monitor` — the current
+//!   [`MonitorReport`](noodle_observe::MonitorReport) JSON from a shared
+//!   [`StreamingMonitors`](noodle_observe::StreamingMonitors) engine that
+//!   the detector updates in-flight;
+//! * `GET /healthz` — aggregated health with per-monitor evidence:
+//!   HTTP 200 while `Healthy`/`Warn`, 503 on `Alert`, so the endpoint
+//!   plugs directly into load-balancer and orchestrator health checks.
+//!
+//! The server is strictly pay-for-what-you-use: nothing binds, spawns or
+//! allocates unless [`ExportServer::start`] is called (the CLI only does
+//! so under `--observe-addr`), and dropping the server joins the accept
+//! thread. One short-lived connection per request (`Connection: close`),
+//! bounded request heads, and read/write timeouts keep the accept loop
+//! robust against stalled or misbehaving scrapers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod prom;
+
+pub use http::{ExportServer, RefreshFn};
+pub use prom::{render_prometheus, sanitize_metric_name};

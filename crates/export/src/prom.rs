@@ -1,0 +1,154 @@
+//! Prometheus text-exposition rendering (format version 0.0.4) from a
+//! [`MetricsSnapshot`].
+
+use noodle_telemetry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a dotted telemetry metric name (`compute.pool_utilization`) to a
+/// Prometheus-legal one (`noodle_compute_pool_utilization`): every
+/// non-alphanumeric character becomes `_` and everything is prefixed with
+/// `noodle_` (which also guarantees the name never starts with a digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("noodle_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way the exposition format spells specials.
+fn sample(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+fn render_histogram(out: &mut String, base: &str, hist: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {base} histogram\n"));
+    for (bound, cumulative) in hist.cumulative_buckets() {
+        let le = if bound.is_finite() { sample(bound) } else { "+Inf".to_string() };
+        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{base}_sum {}\n", sample(hist.sum)));
+    out.push_str(&format!("{base}_count {}\n", hist.count));
+    if let Some(q) = &hist.quantiles {
+        for (suffix, value) in [("p50", q.p50), ("p95", q.p95), ("p99", q.p99)] {
+            out.push_str(&format!("# TYPE {base}_{suffix} gauge\n"));
+            out.push_str(&format!("{base}_{suffix} {}\n", sample(value)));
+        }
+    }
+}
+
+/// Renders a full `/metrics` payload: counters as `*_total`, gauges
+/// verbatim, histograms as cumulative `_bucket{le=...}` series ending at
+/// `+Inf` plus `_sum`/`_count`, and exact nearest-rank quantiles as
+/// companion `_p50`/`_p95`/`_p99` gauges.
+///
+/// The snapshot is taken by the caller, so one snapshot can serve one
+/// scrape atomically — every series in the payload reflects the same
+/// instant.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let base = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {base}_total counter\n"));
+        out.push_str(&format!("{base}_total {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let base = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {base} gauge\n"));
+        out.push_str(&format!("{base} {}\n", sample(*value)));
+    }
+    for (name, hist) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize_metric_name(name), hist);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noodle_telemetry::Histogram;
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("audit.records".into(), 42);
+        snap.gauges.insert("compute.pool_utilization".into(), 0.75);
+        let mut h = Histogram::new(&[1.0, 5.0]);
+        for v in [0.5, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        snap.histograms.insert("detect.latency_us".into(), h.snapshot());
+        snap
+    }
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(
+            sanitize_metric_name("compute.pool_utilization"),
+            "noodle_compute_pool_utilization"
+        );
+        assert_eq!(sanitize_metric_name("nn.samples_per_sec"), "noodle_nn_samples_per_sec");
+    }
+
+    #[test]
+    fn counters_get_the_total_suffix() {
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE noodle_audit_records_total counter\n"));
+        assert!(text.contains("noodle_audit_records_total 42\n"));
+    }
+
+    #[test]
+    fn gauges_render_verbatim() {
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE noodle_compute_pool_utilization gauge\n"));
+        assert!(text.contains("noodle_compute_pool_utilization 0.75\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE noodle_detect_latency_us histogram\n"));
+        assert!(text.contains("noodle_detect_latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("noodle_detect_latency_us_bucket{le=\"5\"} 3\n"));
+        assert!(text.contains("noodle_detect_latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("noodle_detect_latency_us_count 4\n"));
+        assert!(text.contains("noodle_detect_latency_us_sum 15.5\n"));
+        assert!(text.contains("noodle_detect_latency_us_p95 "));
+    }
+
+    #[test]
+    fn every_line_is_a_comment_or_a_sample() {
+        let text = render_prometheus(&snapshot());
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+            } else {
+                let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+                assert!(name.starts_with("noodle_"), "bad name: {line}");
+                assert!(
+                    value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                    "bad value: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn special_values_use_exposition_spelling() {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.insert("weird".into(), f64::NAN);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("noodle_weird NaN\n"));
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end scrapes of a live `ExportServer` over real sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use noodle_export::ExportServer;
+use noodle_observe::{
+    MonitorConfig, MonitorReport, PredictionRecord, SourceProbe, StreamingMonitors,
+};
+
+fn record(seq: u64, imputed: bool) -> PredictionRecord {
+    PredictionRecord {
+        seq,
+        design: format!("alu_{seq:03}"),
+        strategy: "LateFusion".into(),
+        infected: false,
+        probability_infected: 0.1,
+        p_values: [0.9, 0.1],
+        region: vec![0],
+        credibility: 0.9,
+        confidence: 0.9,
+        uncertain: false,
+        significance: 0.1,
+        graph_present: true,
+        tabular_present: !imputed,
+        imputed_modality: imputed,
+        label: Some(0),
+        latency_us: 80.0,
+        batch_latency_us: 80.0,
+        batch_size: 1,
+        sources: vec![SourceProbe {
+            source: "graph".into(),
+            p_values: [0.9, 0.1],
+            scores: [0.05, 0.4],
+        }],
+    }
+}
+
+/// One full HTTP exchange; returns (status line, body).
+fn scrape(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to export server");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    scrape(addr, &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"))
+}
+
+#[test]
+fn serves_all_endpoints_and_shuts_down_on_drop() {
+    noodle_telemetry::set_enabled(true);
+    noodle_telemetry::counter_add("endpoints_test.events", 3);
+    noodle_telemetry::gauge_set("endpoints_test.level", 0.5);
+    noodle_telemetry::histogram_record("endpoints_test.latency", 2.5);
+
+    let monitors = StreamingMonitors::new(MonitorConfig::default());
+    for seq in 0..5 {
+        monitors.observe(&record(seq, false));
+    }
+    let refreshed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let refreshed_inner = std::sync::Arc::clone(&refreshed);
+    let server = ExportServer::start(
+        "127.0.0.1:0",
+        monitors.clone(),
+        Some(Box::new(move || {
+            refreshed_inner.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        })),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    assert_ne!(addr.port(), 0, "port 0 resolves to the OS-assigned port");
+
+    // /metrics: Prometheus text with our metrics, refresh hook invoked.
+    let (status, body) = get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("noodle_endpoints_test_events_total 3\n"), "{body}");
+    assert!(body.contains("noodle_endpoints_test_level 0.5\n"), "{body}");
+    assert!(body.contains("noodle_endpoints_test_latency_bucket{le=\"+Inf\"}"), "{body}");
+    assert!(refreshed.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+
+    // /monitor: the live MonitorReport, reflecting in-flight records.
+    let (status, body) = get(addr, "/monitor");
+    assert!(status.contains("200"), "{status}");
+    let report = MonitorReport::from_json(&body).expect("monitor JSON parses");
+    assert_eq!(report.records, 5);
+
+    // New records are visible on the next scrape without restarting.
+    monitors.observe(&record(5, false));
+    let (_, body) = get(addr, "/monitor");
+    assert_eq!(MonitorReport::from_json(&body).unwrap().records, 6);
+
+    // /healthz: healthy stream => 200 with evidence.
+    let (status, body) = get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["overall"], "healthy");
+    assert!(health["monitors"].is_array());
+
+    // Index, 404 and 405.
+    let (status, body) = get(addr, "/");
+    assert!(status.contains("200") && body.contains("/metrics"));
+    let (status, _) = get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = scrape(addr, "POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(status.contains("405"), "{status}");
+
+    drop(server);
+    // The listener is gone shortly after drop; a fresh connect must fail.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(TcpStream::connect(addr).is_err(), "server still listening after drop");
+}
+
+#[test]
+fn healthz_turns_503_on_alert() {
+    let config = MonitorConfig { min_samples: 5, ..MonitorConfig::default() };
+    let monitors = StreamingMonitors::new(config);
+    for seq in 0..30 {
+        monitors.observe(&record(seq, true)); // all imputed => modality alert
+    }
+    let server = ExportServer::start("127.0.0.1:0", monitors, None).unwrap();
+    let (status, body) = get(server.addr(), "/healthz");
+    assert!(status.contains("503"), "{status}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["overall"], "alert");
+}
+
+#[test]
+fn concurrent_scrapes_all_succeed() {
+    let monitors = StreamingMonitors::new(MonitorConfig::default());
+    let server = ExportServer::start("127.0.0.1:0", monitors.clone(), None).unwrap();
+    let addr = server.addr();
+
+    // Hammer the server from several threads while records keep flowing.
+    let writer = std::thread::spawn(move || {
+        for seq in 0..200 {
+            monitors.observe(&record(seq, false));
+        }
+    });
+    let scrapers: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let path = ["/metrics", "/monitor", "/healthz"][i % 3];
+                for _ in 0..10 {
+                    let (status, _) = get(addr, path);
+                    assert!(status.contains("200"), "{path}: {status}");
+                }
+            })
+        })
+        .collect();
+    for s in scrapers {
+        s.join().unwrap();
+    }
+    writer.join().unwrap();
+}

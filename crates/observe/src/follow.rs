@@ -1,0 +1,170 @@
+//! Tailing a live (possibly rotating) audit log — `noodle observe --follow`.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::record::AuditLine;
+
+/// Incrementally reads new [`AuditLine`]s from a growing JSONL audit log.
+///
+/// The follower remembers its byte offset between [`LogFollower::poll`]
+/// calls and only parses bytes appended since the last call. Writers flush
+/// on their own schedule, so a poll may observe a torn final line; those
+/// bytes are buffered and completed on a later poll — a line is only ever
+/// surfaced once, whole.
+///
+/// Rotation-aware: when the file shrinks below the remembered offset (the
+/// live log was renamed to `.1` and recreated by
+/// [`crate::RotatingJsonlAudit`]), the follower restarts from byte 0 of
+/// the fresh live file. Records in flight during the swap land in the
+/// rotated segment, not the new live file — a follower that only tails the
+/// live path can miss lines written between its last poll and the
+/// rotation, which is the standard `tail -F` contract. The re-emitted
+/// header at the top of each segment is delivered like any other line;
+/// [`crate::StreamingMonitors`] ignores headers after the first record, so
+/// feeding a follower into it is safe across rotations.
+#[derive(Debug)]
+pub struct LogFollower {
+    path: PathBuf,
+    offset: u64,
+    partial: Vec<u8>,
+}
+
+impl LogFollower {
+    /// A follower over `path`, starting from the beginning of the file.
+    /// The file does not have to exist yet; polls return nothing until it
+    /// does.
+    pub fn new(path: &Path) -> Self {
+        Self { path: path.to_path_buf(), offset: 0, partial: Vec::new() }
+    }
+
+    /// The byte offset the next poll resumes from.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads every line completed since the last poll, in file order.
+    ///
+    /// Returns an empty vec when the file is missing or nothing new has
+    /// been written. Complete lines that fail to parse as [`AuditLine`]
+    /// (e.g. torn by a rotation mid-write) are skipped rather than
+    /// aborting the tail.
+    pub fn poll(&mut self) -> Vec<AuditLine> {
+        let Ok(mut file) = std::fs::File::open(&self.path) else {
+            return Vec::new();
+        };
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            // The live log was rotated out from under us; start over on
+            // the fresh file.
+            self.offset = 0;
+            self.partial.clear();
+        }
+        if len == self.offset {
+            return Vec::new();
+        }
+        if file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return Vec::new();
+        }
+        let mut fresh = Vec::new();
+        let Ok(read) = file.take(len - self.offset).read_to_end(&mut fresh) else {
+            return Vec::new();
+        };
+        self.offset += read as u64;
+        self.partial.extend_from_slice(&fresh);
+
+        let mut lines = Vec::new();
+        while let Some(newline) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=newline).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Ok(parsed) = serde_json::from_str::<AuditLine>(trimmed) {
+                lines.push(parsed);
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AuditHeader, AUDIT_SCHEMA_VERSION};
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("noodle_follow_{tag}_{}_{n}", std::process::id()))
+    }
+
+    fn header_line() -> String {
+        let header = AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            significance: 0.1,
+            strategy: "LateFusion".into(),
+            baseline: None,
+        };
+        serde_json::to_string(&AuditLine::Header(header)).unwrap()
+    }
+
+    #[test]
+    fn missing_file_polls_empty() {
+        let mut follower = LogFollower::new(&temp_path("missing"));
+        assert!(follower.poll().is_empty());
+        assert_eq!(follower.offset(), 0);
+    }
+
+    #[test]
+    fn delivers_appended_lines_incrementally() {
+        let path = temp_path("grow");
+        std::fs::write(&path, format!("{}\n", header_line())).unwrap();
+        let mut follower = LogFollower::new(&path);
+        assert_eq!(follower.poll().len(), 1);
+        assert!(follower.poll().is_empty());
+
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "{}", header_line()).unwrap();
+        writeln!(file, "{}", header_line()).unwrap();
+        drop(file);
+        assert_eq!(follower.poll().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffers_torn_lines_until_complete() {
+        let path = temp_path("torn");
+        let full = header_line();
+        let (head, tail) = full.split_at(full.len() / 2);
+        std::fs::write(&path, head).unwrap();
+        let mut follower = LogFollower::new(&path);
+        assert!(follower.poll().is_empty(), "half a line must not be surfaced");
+
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "{tail}\n").unwrap();
+        drop(file);
+        let lines = follower.poll();
+        assert_eq!(lines.len(), 1);
+        assert!(matches!(lines[0], AuditLine::Header(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restarts_from_zero_after_rotation() {
+        let path = temp_path("rotate");
+        let line = header_line();
+        std::fs::write(&path, format!("{line}\n{line}\n{line}\n")).unwrap();
+        let mut follower = LogFollower::new(&path);
+        assert_eq!(follower.poll().len(), 3);
+
+        // Rotation: the live file is replaced by a shorter fresh one.
+        std::fs::write(&path, format!("{line}\n")).unwrap();
+        assert_eq!(follower.poll().len(), 1);
+        assert_eq!(follower.offset(), line.len() as u64 + 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,9 +15,18 @@
 //!   nonconformity-score PSI drift against the fit-time
 //!   [`CalibrationBaseline`], class-balance and modality-imputation drift,
 //!   each reporting [`Health`] with evidence.
-//! - [`replay`] / [`MonitorReport`] — offline replay of a JSONL audit log
-//!   into a machine-readable health report (the `noodle observe`
-//!   subcommand).
+//! - [`StreamingMonitors`] — the incremental engine behind all of the
+//!   above: consumes records one at a time with O(window) memory, clones
+//!   share state, and it implements [`AuditSink`] so it can sit behind the
+//!   detector (optionally tee'd with a file sink via [`TeeAudit`]) and
+//!   update monitors in-flight while `noodle-export` scrapes it live.
+//! - [`replay`] / [`MonitorReport`] — offline replay of a JSONL audit log,
+//!   a thin loop over [`StreamingMonitors`] (the `noodle observe`
+//!   subcommand); [`LogFollower`] tails a growing or rotating log into the
+//!   same engine (`noodle observe --follow`).
+//! - [`RotatingJsonlAudit`] — a size-rotated file sink (`.1`..`.N`
+//!   suffixes, fsync-on-rotate, header re-emitted per segment so every
+//!   segment replays standalone).
 //!
 //! Audit emission follows the same gating discipline as
 //! `noodle-telemetry`: with no sink attached, [`emit_if`] never invokes
@@ -28,17 +37,21 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod follow;
 pub mod monitor;
 pub mod psi;
 pub mod record;
 pub mod report;
 pub mod sink;
+pub mod streaming;
 
 pub use error::AuditError;
+pub use follow::LogFollower;
 pub use monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
 pub use psi::{CalibrationBaseline, ScoreBaseline};
 pub use record::{
     parse_audit_log, AuditHeader, AuditLine, PredictionRecord, SourceProbe, AUDIT_SCHEMA_VERSION,
 };
 pub use report::{replay, MonitorReport, MONITOR_SCHEMA_VERSION};
-pub use sink::{emit_if, AuditSink, JsonlAudit, MemoryAudit};
+pub use sink::{emit_if, AuditSink, JsonlAudit, MemoryAudit, RotatingJsonlAudit, TeeAudit};
+pub use streaming::{StreamingMonitors, Transition};

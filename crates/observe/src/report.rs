@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::AuditError;
-use crate::monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
+use crate::monitor::{Health, MonitorConfig, MonitorStatus};
 use crate::record::{AuditHeader, PredictionRecord};
 
 /// Version of the [`MonitorReport`] JSON schema.
@@ -64,40 +64,31 @@ impl MonitorReport {
     }
 }
 
-/// Replays parsed audit-log contents through a fresh [`MonitorSuite`] and
-/// summarizes the result.
+/// Replays parsed audit-log contents through a fresh
+/// [`crate::StreamingMonitors`] engine and summarizes the result — a thin
+/// loop over the same incremental engine that powers live monitoring, so
+/// batch replay and streaming consumption are identical by construction.
 ///
 /// The header (when present) supplies the calibration baseline for the
 /// drift/Brier/balance monitors and the fallback ε; `config.epsilon`
 /// overrides it.
 ///
-/// # Errors
-///
-/// Returns [`AuditError`] when there are no records to replay.
+/// An empty record slice is not an error: it yields a valid,
+/// schema-versioned report with zero records and `Healthy` overall (a
+/// service that has not served a prediction yet is healthy, not broken).
 pub fn replay(
     header: Option<&AuditHeader>,
     records: &[PredictionRecord],
     config: MonitorConfig,
-) -> Result<MonitorReport, AuditError> {
-    if records.is_empty() {
-        return Err(AuditError::new("audit log contains no prediction records"));
+) -> MonitorReport {
+    let stream = crate::StreamingMonitors::new(config);
+    if let Some(header) = header {
+        stream.observe_header(header);
     }
-    let window = config.window;
-    let baseline = header.and_then(|h| h.baseline.clone());
-    let mut suite = MonitorSuite::new(config, baseline);
     for record in records {
-        suite.push(record);
+        stream.observe(record);
     }
-    Ok(MonitorReport {
-        schema_version: MONITOR_SCHEMA_VERSION,
-        tool_version: env!("CARGO_PKG_VERSION").to_string(),
-        records: suite.records(),
-        labeled: suite.labeled(),
-        epsilon: suite.epsilon(),
-        window,
-        overall: suite.overall(),
-        monitors: suite.statuses(),
-    })
+    stream.report()
 }
 
 #[cfg(test)]
@@ -148,7 +139,7 @@ mod tests {
     fn replay_summarizes_a_healthy_stream() {
         let records: Vec<_> =
             (0..60).map(|i| record(i, usize::from(i % 3 == 0), i % 25 != 0)).collect();
-        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        let report = replay(Some(&header()), &records, MonitorConfig::default());
         assert_eq!(report.records, 60);
         assert_eq!(report.labeled, 60);
         assert_eq!(report.epsilon, Some(0.1));
@@ -159,28 +150,33 @@ mod tests {
     #[test]
     fn replay_flags_a_coverage_collapse() {
         let records: Vec<_> = (0..60).map(|i| record(i, usize::from(i % 2 == 0), false)).collect();
-        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        let report = replay(Some(&header()), &records, MonitorConfig::default());
         assert_eq!(report.overall, Health::Alert);
     }
 
     #[test]
-    fn replay_without_records_errors() {
-        let err = replay(Some(&header()), &[], MonitorConfig::default()).unwrap_err();
-        assert!(err.to_string().contains("no prediction records"));
+    fn replay_without_records_is_a_valid_empty_report() {
+        let report = replay(Some(&header()), &[], MonitorConfig::default());
+        assert_eq!(report.records, 0);
+        assert_eq!(report.labeled, 0);
+        assert_eq!(report.overall, Health::Healthy);
+        assert_eq!(report.schema_version, MONITOR_SCHEMA_VERSION);
+        let restored = MonitorReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, restored);
     }
 
     #[test]
     fn config_epsilon_overrides_the_header() {
         let records: Vec<_> = (0..60).map(|i| record(i, usize::from(i % 3 == 0), true)).collect();
         let config = MonitorConfig { epsilon: Some(0.25), ..MonitorConfig::default() };
-        let report = replay(Some(&header()), &records, config).unwrap();
+        let report = replay(Some(&header()), &records, config);
         assert_eq!(report.epsilon, Some(0.25));
     }
 
     #[test]
     fn report_json_round_trips_and_rejects_future_versions() {
         let records: Vec<_> = (0..30).map(|i| record(i, usize::from(i % 3 == 0), true)).collect();
-        let report = replay(Some(&header()), &records, MonitorConfig::default()).unwrap();
+        let report = replay(Some(&header()), &records, MonitorConfig::default());
         let restored = MonitorReport::from_json(&report.to_json()).unwrap();
         assert_eq!(report, restored);
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::record::{AuditHeader, AuditLine, PredictionRecord};
@@ -84,6 +84,154 @@ impl AuditSink for JsonlAudit {
 impl Drop for JsonlAudit {
     fn drop(&mut self) {
         let _ = self.writer.flush();
+    }
+}
+
+/// Fans every header/record out to several sinks in order — e.g. a file
+/// sink for durable audit plus a [`crate::StreamingMonitors`] clone so the
+/// live exposition server sees each prediction as it happens.
+#[derive(Debug, Default)]
+pub struct TeeAudit {
+    sinks: Vec<Box<dyn AuditSink>>,
+}
+
+impl TeeAudit {
+    /// A tee over the given sinks, invoked in order.
+    pub fn new(sinks: Vec<Box<dyn AuditSink>>) -> Self {
+        Self { sinks }
+    }
+
+    /// Appends another downstream sink.
+    pub fn push(&mut self, sink: Box<dyn AuditSink>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl AuditSink for TeeAudit {
+    fn header(&mut self, header: &AuditHeader) {
+        for sink in &mut self.sinks {
+            sink.header(header);
+        }
+    }
+
+    fn record(&mut self, record: &PredictionRecord) {
+        for sink in &mut self.sinks {
+            sink.record(record);
+        }
+    }
+}
+
+/// A size-rotated JSONL audit sink.
+///
+/// Writes to `path` until the next line would push the segment past
+/// `max_bytes`, then rotates: the live log is flushed, fsynced and renamed
+/// to `path.1` (existing `path.i` shift to `path.i+1`, the oldest beyond
+/// `keep` is dropped) and a fresh live file is opened. The audit header is
+/// re-emitted at the top of every segment so each one replays standalone
+/// through [`crate::replay`].
+///
+/// A `max_bytes` of `0` disables rotation (plain append-forever
+/// behaviour); a single record larger than `max_bytes` still lands whole
+/// in its own segment — lines are never split across files.
+pub struct RotatingJsonlAudit {
+    path: PathBuf,
+    file: std::io::BufWriter<std::fs::File>,
+    written: u64,
+    max_bytes: u64,
+    keep: usize,
+    header: Option<AuditHeader>,
+}
+
+impl RotatingJsonlAudit {
+    /// Creates (or truncates) the live log at `path`, rotating segments at
+    /// `max_bytes` and keeping at most `keep` rotated files (`keep` is
+    /// clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` if the live file cannot be created.
+    pub fn create(path: &Path, max_bytes: u64, keep: usize) -> std::io::Result<Self> {
+        let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            written: 0,
+            max_bytes,
+            keep: keep.max(1),
+            header: None,
+        })
+    }
+
+    /// The path a rotated segment lands at: `<live>.<index>`, newest first.
+    pub fn rotated_path(path: &Path, index: usize) -> PathBuf {
+        PathBuf::from(format!("{}.{index}", path.display()))
+    }
+
+    fn rotate(&mut self) {
+        // Durability point: everything in the closing segment reaches disk
+        // before any rename happens.
+        let _ = self.file.flush();
+        let _ = self.file.get_ref().sync_all();
+        for i in (1..self.keep).rev() {
+            let from = Self::rotated_path(&self.path, i);
+            if from.exists() {
+                let _ = std::fs::rename(&from, Self::rotated_path(&self.path, i + 1));
+            }
+        }
+        let _ = std::fs::rename(&self.path, Self::rotated_path(&self.path, 1));
+        match std::fs::File::create(&self.path) {
+            Ok(file) => {
+                self.file = std::io::BufWriter::new(file);
+                self.written = 0;
+                if let Some(header) = self.header.clone() {
+                    self.write_line(&AuditLine::Header(header));
+                }
+            }
+            Err(_) => {
+                // Could not reopen; keep appending to the old handle (now
+                // named `.1`) rather than silently dropping records.
+                self.written = 0;
+            }
+        }
+    }
+
+    fn write_line(&mut self, line: &AuditLine) {
+        if let Ok(json) = serde_json::to_string(line) {
+            let len = json.len() as u64 + 1;
+            if self.max_bytes > 0 && self.written > 0 && self.written + len > self.max_bytes {
+                self.rotate();
+            }
+            if writeln!(self.file, "{json}").is_ok() {
+                self.written += len;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RotatingJsonlAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RotatingJsonlAudit")
+            .field("path", &self.path)
+            .field("max_bytes", &self.max_bytes)
+            .field("keep", &self.keep)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuditSink for RotatingJsonlAudit {
+    fn header(&mut self, header: &AuditHeader) {
+        self.header = Some(header.clone());
+        self.write_line(&AuditLine::Header(header.clone()));
+    }
+
+    fn record(&mut self, record: &PredictionRecord) {
+        self.write_line(&AuditLine::Prediction(record.clone()));
+    }
+}
+
+impl Drop for RotatingJsonlAudit {
+    fn drop(&mut self) {
+        let _ = self.file.flush();
     }
 }
 
@@ -214,5 +362,75 @@ mod tests {
         let mut attached = sink.clone();
         emit_if(Some(&mut attached), || record(3));
         assert_eq!(sink.records().len(), 1);
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_sink() {
+        let a = MemoryAudit::new();
+        let b = MemoryAudit::new();
+        let mut tee = TeeAudit::new(vec![Box::new(a.clone())]);
+        tee.push(Box::new(b.clone()));
+        tee.header(&header());
+        tee.record(&record(0));
+        tee.record(&record(1));
+        assert_eq!(a.records().len(), 2);
+        assert_eq!(b.records().len(), 2);
+        assert_eq!(b.header().unwrap().strategy, "EarlyFusion");
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("noodle_sink_{tag}_{}_{n}", std::process::id()))
+    }
+
+    #[test]
+    fn rotation_shifts_segments_and_reemits_the_header() {
+        let dir = temp_path("rotate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        // Tiny cap: every record forces a rotation.
+        let mut sink = RotatingJsonlAudit::create(&path, 64, 2).unwrap();
+        sink.header(&header());
+        for seq in 0..4 {
+            sink.record(&record(seq));
+        }
+        drop(sink);
+
+        // Live file plus at most `keep` rotated segments; older dropped.
+        assert!(path.exists());
+        assert!(RotatingJsonlAudit::rotated_path(&path, 1).exists());
+        assert!(RotatingJsonlAudit::rotated_path(&path, 2).exists());
+        assert!(!RotatingJsonlAudit::rotated_path(&path, 3).exists());
+
+        // Every segment replays standalone: header first, then records.
+        for p in [
+            path.clone(),
+            RotatingJsonlAudit::rotated_path(&path, 1),
+            RotatingJsonlAudit::rotated_path(&path, 2),
+        ] {
+            let text = std::fs::read_to_string(&p).unwrap();
+            let (parsed_header, records) = parse_audit_log(&text).unwrap();
+            assert!(parsed_header.is_some(), "segment {} lost its header", p.display());
+            assert!(!records.is_empty(), "segment {} has no records", p.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_max_bytes_never_rotates() {
+        let dir = temp_path("norotate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("audit.jsonl");
+        let mut sink = RotatingJsonlAudit::create(&path, 0, 4).unwrap();
+        sink.header(&header());
+        for seq in 0..16 {
+            sink.record(&record(seq));
+        }
+        drop(sink);
+        assert!(!RotatingJsonlAudit::rotated_path(&path, 1).exists());
+        let (_, records) = parse_audit_log(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(records.len(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,289 @@
+//! The incremental streaming engine behind live monitoring.
+//!
+//! [`StreamingMonitors`] consumes [`PredictionRecord`]s one at a time with
+//! O(window) memory and can be cheaply cloned: every clone shares the same
+//! monitor state behind an `Arc<Mutex<_>>`. That makes it the single
+//! engine for all three consumption modes:
+//!
+//! - **in-flight**: attached (directly or via `TeeAudit`) as an
+//!   [`AuditSink`], so every `detect`/`detect_batch` call updates the
+//!   monitors as the prediction is emitted;
+//! - **scraped**: a clone held by the `noodle-export` exposition server
+//!   renders `GET /monitor` and `GET /healthz` from the live state;
+//! - **replayed**: [`crate::replay`] is a thin loop that feeds a parsed
+//!   audit log through a fresh instance — by construction, streaming and
+//!   batch replay produce identical reports (enforced by a prefix
+//!   property test in this crate).
+
+use std::sync::{Arc, Mutex};
+
+use crate::monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
+use crate::record::{AuditHeader, PredictionRecord};
+use crate::report::{MonitorReport, MONITOR_SCHEMA_VERSION};
+use crate::sink::AuditSink;
+
+/// One monitor's health change, as surfaced by
+/// [`StreamingMonitors::transitions_since_last`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// The health the monitor reported before the change (monitors never
+    /// seen before start from [`Health::Healthy`]).
+    pub from: Health,
+    /// The monitor's current status (name, new health, evidence).
+    pub status: MonitorStatus,
+}
+
+#[derive(Debug)]
+struct StreamingState {
+    config: MonitorConfig,
+    suite: MonitorSuite,
+    /// Per-monitor health at the last `transitions_since_last` call, for
+    /// the `--follow` transition printer. Only populated on demand, so
+    /// plain replay pays nothing for it.
+    last_health: std::collections::BTreeMap<String, Health>,
+}
+
+/// A shareable, incremental monitor engine: push records as they happen,
+/// read a consistent [`MonitorReport`] at any moment.
+///
+/// Memory is O(window) regardless of how many records have been consumed
+/// — the underlying [`MonitorSuite`] keeps only its sliding windows.
+#[derive(Debug, Clone)]
+pub struct StreamingMonitors {
+    inner: Arc<Mutex<StreamingState>>,
+}
+
+impl StreamingMonitors {
+    /// A fresh engine with the given thresholds and no calibration
+    /// baseline yet (supply one via [`StreamingMonitors::observe_header`]).
+    pub fn new(config: MonitorConfig) -> Self {
+        let suite = MonitorSuite::new(config.clone(), None);
+        Self {
+            inner: Arc::new(Mutex::new(StreamingState {
+                config,
+                suite,
+                last_health: std::collections::BTreeMap::new(),
+            })),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, StreamingState> {
+        self.inner.lock().expect("streaming monitor state poisoned")
+    }
+
+    /// Applies an audit-log header: its calibration baseline powers the
+    /// drift/Brier/class-balance monitors.
+    ///
+    /// Only effective before the first record; later headers (e.g. the
+    /// re-emitted header at the top of each rotated log segment) are
+    /// ignored so a follower can tail across rotations without resetting
+    /// monitor state.
+    pub fn observe_header(&self, header: &AuditHeader) {
+        let mut state = self.state();
+        if state.suite.records() == 0 {
+            state.suite = MonitorSuite::new(state.config.clone(), header.baseline.clone());
+        }
+    }
+
+    /// Ingests one prediction record into every monitor window.
+    pub fn observe(&self, record: &PredictionRecord) {
+        self.state().suite.push(record);
+    }
+
+    /// Total records consumed so far.
+    pub fn records(&self) -> usize {
+        self.state().suite.records()
+    }
+
+    /// The worst health across all monitors, right now.
+    pub fn overall(&self) -> Health {
+        self.state().suite.overall()
+    }
+
+    /// Every monitor's current verdict with evidence.
+    pub fn statuses(&self) -> Vec<MonitorStatus> {
+        self.state().suite.statuses()
+    }
+
+    /// A point-in-time [`MonitorReport`] over everything consumed so far.
+    /// Valid (and `Healthy`) even before the first record.
+    pub fn report(&self) -> MonitorReport {
+        let state = self.state();
+        MonitorReport {
+            schema_version: MONITOR_SCHEMA_VERSION,
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            records: state.suite.records(),
+            labeled: state.suite.labeled(),
+            epsilon: state.suite.epsilon(),
+            window: state.config.window,
+            overall: state.suite.overall(),
+            monitors: state.suite.statuses(),
+        }
+    }
+
+    /// Monitors whose health changed since the previous call (first call:
+    /// since the engine was created, with unseen monitors assumed
+    /// `Healthy`). Drives the `observe --follow` transition printer.
+    pub fn transitions_since_last(&self) -> Vec<Transition> {
+        let mut state = self.state();
+        let statuses = state.suite.statuses();
+        let mut transitions = Vec::new();
+        for status in statuses {
+            let previous = state.last_health.insert(status.monitor.clone(), status.health);
+            let from = previous.unwrap_or(Health::Healthy);
+            if from != status.health {
+                transitions.push(Transition { from, status });
+            }
+        }
+        transitions
+    }
+}
+
+impl AuditSink for StreamingMonitors {
+    fn header(&mut self, header: &AuditHeader) {
+        self.observe_header(header);
+    }
+
+    fn record(&mut self, record: &PredictionRecord) {
+        self.observe(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psi::{CalibrationBaseline, ScoreBaseline};
+    use crate::record::{SourceProbe, AUDIT_SCHEMA_VERSION};
+    use crate::replay;
+    use std::collections::BTreeMap;
+
+    fn record(seq: u64, label: usize, covered: bool) -> PredictionRecord {
+        let p1 = if label == 1 { 0.9 } else { 0.1 };
+        PredictionRecord {
+            seq,
+            design: format!("uart_{seq:03}"),
+            strategy: "LateFusion".into(),
+            infected: label == 1,
+            probability_infected: p1,
+            p_values: [1.0 - p1, p1],
+            region: if covered { vec![label] } else { vec![1 - label] },
+            credibility: 0.9,
+            confidence: 0.9,
+            uncertain: false,
+            significance: 0.1,
+            graph_present: true,
+            tabular_present: true,
+            imputed_modality: false,
+            label: Some(label),
+            latency_us: 80.0,
+            batch_latency_us: 80.0,
+            batch_size: 1,
+            sources: vec![SourceProbe {
+                source: "graph".into(),
+                p_values: [1.0 - p1, p1],
+                scores: [0.4, 0.05],
+            }],
+        }
+    }
+
+    fn header(with_baseline: bool) -> AuditHeader {
+        let baseline = with_baseline.then(|| {
+            let scores: Vec<f64> = (0..200).map(|i| 0.02 + 0.001 * (i % 80) as f64).collect();
+            let mut sources = BTreeMap::new();
+            sources.insert("graph".to_string(), ScoreBaseline::from_scores(&scores, 10).unwrap());
+            CalibrationBaseline {
+                sources,
+                class_balance: 1.0 / 3.0,
+                winner_brier: 0.05,
+                significance: 0.1,
+                calibration_count: 200,
+            }
+        });
+        AuditHeader {
+            schema_version: AUDIT_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            significance: 0.1,
+            strategy: "LateFusion".into(),
+            baseline,
+        }
+    }
+
+    #[test]
+    fn empty_engine_reports_a_valid_healthy_zero_record_report() {
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        let report = stream.report();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.labeled, 0);
+        assert_eq!(report.overall, Health::Healthy);
+        assert_eq!(report.schema_version, MONITOR_SCHEMA_VERSION);
+        // Round-trips through the versioned JSON schema.
+        let restored = MonitorReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, restored);
+    }
+
+    #[test]
+    fn streaming_matches_batch_replay_on_a_fixed_stream() {
+        let h = header(true);
+        let records: Vec<_> =
+            (0..80).map(|i| record(i, usize::from(i % 3 == 0), i % 9 != 0)).collect();
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        stream.observe_header(&h);
+        for r in &records {
+            stream.observe(r);
+        }
+        let batch = replay(Some(&h), &records, MonitorConfig::default());
+        assert_eq!(stream.report(), batch);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        let writer = stream.clone();
+        writer.observe(&record(0, 0, true));
+        assert_eq!(stream.records(), 1);
+    }
+
+    #[test]
+    fn late_headers_do_not_reset_consumed_records() {
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        stream.observe_header(&header(true));
+        for i in 0..10 {
+            stream.observe(&record(i, 0, true));
+        }
+        // A rotated segment re-emits the header mid-stream; state persists.
+        stream.observe_header(&header(true));
+        assert_eq!(stream.records(), 10);
+    }
+
+    #[test]
+    fn transitions_fire_once_per_health_change() {
+        let config = MonitorConfig { min_samples: 5, ..MonitorConfig::default() };
+        let stream = StreamingMonitors::new(config);
+        stream.observe_header(&header(false));
+        assert!(stream.transitions_since_last().is_empty());
+        // Drive the imputed-modality monitor to Alert.
+        for i in 0..20 {
+            let mut r = record(i, 0, true);
+            r.imputed_modality = true;
+            stream.observe(&r);
+        }
+        let transitions = stream.transitions_since_last();
+        assert!(
+            transitions.iter().any(|t| t.status.monitor == "modality.imputed"
+                && t.from == Health::Healthy
+                && t.status.health == Health::Alert),
+            "{transitions:?}"
+        );
+        // No further change, no further transition.
+        assert!(stream.transitions_since_last().is_empty());
+    }
+
+    #[test]
+    fn works_as_an_audit_sink() {
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        let mut sink: Box<dyn AuditSink> = Box::new(stream.clone());
+        sink.header(&header(true));
+        sink.record(&record(0, 1, true));
+        assert_eq!(stream.records(), 1);
+    }
+}

@@ -44,7 +44,7 @@ mod span;
 
 pub use metrics::{
     counter_add, gauge_set, histogram_record, merge_histogram, register_histogram, time_histogram,
-    Histogram, Quantiles, TelemetrySnapshot, TimerGuard,
+    Histogram, HistogramSnapshot, MetricsSnapshot, Quantiles, TelemetrySnapshot, TimerGuard,
 };
 pub use report::{
     CorpusSummary, EvaluationSummary, ReportError, RunContext, RunReport, SCHEMA_VERSION,
@@ -107,6 +107,25 @@ pub(crate) fn with_sink(f: impl FnOnce(&mut dyn Sink)) {
     let slot = SINK.get_or_init(|| Mutex::new(Box::new(NullSink)));
     let mut sink = slot.lock().expect("telemetry sink poisoned");
     f(sink.as_mut());
+}
+
+/// A scrape-oriented copy of the metric registry: counters, gauges and
+/// per-histogram [`HistogramSnapshot`]s.
+///
+/// The registry lock is held only for the raw map copies; the histogram
+/// summaries (which sort retained observations) are computed after the
+/// lock is released, so repeated `/metrics` scrapes cannot stall the
+/// instrumented hot paths that share the registry mutex.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let (counters, gauges, histograms) = {
+        let reg = registry().lock().expect("telemetry registry poisoned");
+        (reg.counters.clone(), reg.gauges.clone(), reg.histograms.clone())
+    };
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms: histograms.iter().map(|(name, h)| (name.clone(), h.snapshot())).collect(),
+    }
 }
 
 /// A point-in-time copy of every finished root span and metric.

@@ -18,6 +18,48 @@ pub struct Quantiles {
     pub p99: f64,
 }
 
+/// A point-in-time summary of one histogram: everything a scrape or report
+/// needs (bucket counts, totals, extrema, exact quantiles) without the raw
+/// observation vector.
+///
+/// Produced by [`Histogram::snapshot`], which sorts the retained
+/// observations **once** to derive all three quantiles — unlike calling
+/// [`Histogram::quantile`] three times, which would clone and sort per
+/// call. The snapshot is what the `/metrics` exporter renders and what
+/// `RunReport` embeds as `histogram_quantiles`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (one more than `bounds` for overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation, if any.
+    pub min: Option<f64>,
+    /// Largest observation, if any.
+    pub max: Option<f64>,
+    /// Exact p50/p95/p99, when at least one observation was retained.
+    pub quantiles: Option<Quantiles>,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative `(upper_bound, count)` pairs in Prometheus `le` order,
+    /// ending with the `+Inf` bucket (whose count equals `count`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut running = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            running += c;
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
 /// A fixed-bucket histogram with `len(bounds) + 1` buckets.
 ///
 /// Bucket `i` counts values `v` with `v <= bounds[i]` (and
@@ -106,12 +148,36 @@ impl Histogram {
     /// The standard p50/p95/p99 summary, or `None` before the first
     /// observation (including histograms restored from pre-quantile
     /// reports, which carry no raw values).
+    ///
+    /// Sorts the retained observations once and reads all three ranks from
+    /// the sorted copy.
     pub fn quantiles(&self) -> Option<Quantiles> {
-        Some(Quantiles {
-            p50: self.quantile(0.5)?,
-            p95: self.quantile(0.95)?,
-            p99: self.quantile(0.99)?,
-        })
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let at = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(Quantiles { p50: at(0.5), p95: at(0.95), p99: at(0.99) })
+    }
+
+    /// A point-in-time [`HistogramSnapshot`]: bucket counts, totals,
+    /// extrema and quantiles, computed with a single sort and no retained
+    /// raw values — the form served by `/metrics` scrapes and embedded in
+    /// run reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            quantiles: self.quantiles(),
+        }
     }
 
     /// Folds `other` into `self`: bucket counts add elementwise, totals
@@ -140,6 +206,23 @@ impl Histogram {
         };
         self.values.extend_from_slice(&other.values);
     }
+}
+
+/// A scrape-oriented copy of every metric: counters, gauges and
+/// [`HistogramSnapshot`]s — no spans and no raw observation vectors.
+///
+/// Produced by [`crate::metrics_snapshot`], which holds the registry lock
+/// only long enough to copy the raw maps and computes the histogram
+/// summaries (the O(n log n) part) after releasing it, so a concurrent
+/// scrape never stalls instrumented hot paths.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// A point-in-time copy of every metric and finished root span.
@@ -364,6 +447,42 @@ mod tests {
         let mut a = Histogram::new(&[1.0]);
         let b = Histogram::new(&[2.0]);
         a.merge(&b);
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_histogram_with_one_sort() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 2.0, 42.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds, h.bounds);
+        assert_eq!(snap.counts, h.counts);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 44.5);
+        assert_eq!(snap.min, Some(0.5));
+        assert_eq!(snap.max, Some(42.0));
+        let q = snap.quantiles.unwrap();
+        assert_eq!((q.p50, q.p95, q.p99), (2.0, 42.0, 42.0));
+        assert_eq!(q, h.quantiles().unwrap());
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_quantiles() {
+        let snap = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantiles, None);
+        assert_eq!(snap.cumulative_buckets(), vec![(1.0, 0), (f64::INFINITY, 0)]);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_inf_with_the_total() {
+        let mut h = Histogram::new(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 5.0, 9.0] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert_eq!(cum, vec![(1.0, 2), (2.0, 4), (5.0, 5), (f64::INFINITY, 6)]);
     }
 
     #[test]

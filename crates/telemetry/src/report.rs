@@ -138,12 +138,14 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Builds a report from a telemetry snapshot.
+    /// Builds a report from a telemetry snapshot. Quantiles come from
+    /// [`Histogram::snapshot`], which sorts each histogram's observations
+    /// once instead of once per quantile.
     pub fn from_snapshot(command: &str, snapshot: TelemetrySnapshot) -> Self {
         let histogram_quantiles = snapshot
             .histograms
             .iter()
-            .filter_map(|(name, h)| Some((name.clone(), h.quantiles()?)))
+            .filter_map(|(name, h)| Some((name.clone(), h.snapshot().quantiles?)))
             .collect();
         Self {
             schema_version: SCHEMA_VERSION,

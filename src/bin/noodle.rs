@@ -6,7 +6,9 @@
 //! noodle train <model.json> [--corpus-seed N] [--fast]     fit on a generated corpus and save
 //! noodle detect <model.json> <file.v>... [--audit <log>]   classify Verilog files
 //!               [--batch N] [--cache-dir <dir>]            (batched engine + feature cache)
+//!               [--audit-rotate-bytes N] [--audit-keep K]  (size-rotated audit segments)
 //! noodle observe <audit.jsonl> [--out <report.json>]       replay an audit log through monitors
+//!               [--follow [--poll-ms MS] [--idle-exit-ms MS]]  tail a growing log live
 //! noodle profile <trace.json>                              render a recorded trace's summary
 //! noodle inspect <file.v>                                  print both modality feature vectors
 //! noodle version                                           print the workspace version
@@ -21,6 +23,9 @@
 //! --profile-mem           also count allocations (needs --profile)
 //! --quiet                 suppress progress output (errors still print)
 //! --threads N             compute pool size (default: NOODLE_THREADS or all cores)
+//! --observe-addr H:P      serve live /metrics, /monitor and /healthz while running
+//!                         (or NOODLE_OBSERVE_ADDR; port 0 picks an ephemeral port,
+//!                         echoed on stderr)
 //! ```
 //!
 //! The tool is deliberately dependency-free (hand-rolled argument parsing)
@@ -33,7 +38,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats};
-use noodle::observe::{parse_audit_log, replay, JsonlAudit, MonitorConfig};
+use noodle::export::ExportServer;
+use noodle::observe::{
+    parse_audit_log, replay, AuditLine, AuditSink, JsonlAudit, LogFollower, MonitorConfig,
+    MonitorReport, RotatingJsonlAudit, StreamingMonitors, TeeAudit,
+};
 use noodle::profile;
 use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunContext, RunReport};
 use noodle::{
@@ -88,8 +97,10 @@ fn print_usage() {
          noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
          noodle train <model.json> [--corpus-seed N] [--fast]\n  \
          noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n         \
-         [--batch N] [--cache-dir <dir>]\n  \
-         noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n  \
+         [--batch N] [--cache-dir <dir>]\n         \
+         [--audit-rotate-bytes N] [--audit-keep K]\n  \
+         noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n         \
+         [--follow [--poll-ms MS] [--idle-exit-ms MS]]\n  \
          noodle profile <trace.json>\n  \
          noodle inspect <file.v>\n  \
          noodle version\n\n\
@@ -101,14 +112,23 @@ fn print_usage() {
          --profile-mem           also count allocations (needs --profile)\n  \
          --quiet                 suppress progress output\n  \
          --threads N             compute pool size (results are identical\n                          \
-         at every thread count; default NOODLE_THREADS or all cores)\n\n\
+         at every thread count; default NOODLE_THREADS or all cores)\n  \
+         --observe-addr H:P      serve GET /metrics (Prometheus), /monitor (JSON) and\n                          \
+         /healthz (200/503) from a background thread while the\n                          \
+         command runs; NOODLE_OBSERVE_ADDR works too; port 0\n                          \
+         picks an ephemeral port, echoed on stderr\n\n\
          `detect` fans feature extraction over the compute pool and runs CNN\n\
          forwards in micro-batches of --batch files (default 32); verdicts are\n\
          bit-identical at every batch size. --cache-dir reuses extracted\n\
          features across runs, keyed by source content + extractor version.\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
-         a log through the coverage/Brier/drift monitor suite.\n\n\
+         a log through the coverage/Brier/drift monitor suite, and `observe\n\
+         --follow` tails a growing (or size-rotated) log live, printing a line\n\
+         on every monitor health transition. --audit-rotate-bytes caps each\n\
+         audit segment (0 = never rotate); rotated segments get .1...K\n\
+         suffixes (--audit-keep, default 8) and re-emit the header so each\n\
+         replays standalone.\n\n\
          `--profile` drains per-thread event rings at exit into a Chrome Trace\n\
          Event JSON (open in chrome://tracing or ui.perfetto.dev); `noodle\n\
          profile <trace.json>` re-renders its summary offline. Profiling never\n\
@@ -161,7 +181,7 @@ impl From<String> for CliError {
 
 /// Flags that take no value; everything else consumes the next argument
 /// (or an inline `--flag=value`).
-const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace", "profile-mem"];
+const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace", "profile-mem", "follow"];
 
 /// Positional arguments plus `(name, value)` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -223,6 +243,33 @@ struct Observability {
     profile: Option<PathBuf>,
     profile_mem: bool,
     quiet: bool,
+    /// The live monitor engine shared with the exposition server when
+    /// `--observe-addr` (or `NOODLE_OBSERVE_ADDR`) is set. `detect` tees
+    /// its audit stream into a clone so `/monitor` and `/healthz` track
+    /// predictions in-flight.
+    monitors: Option<StreamingMonitors>,
+    /// Keeps the exposition server alive for the duration of the command;
+    /// never read, only dropped — dropping joins the accept thread.
+    _export: Option<ExportServer>,
+}
+
+/// Refreshes the compute-pool gauges from live counters. Called at the
+/// end of a `--report` run and before every `/metrics` scrape, so the
+/// exported `compute.pool_utilization` is current mid-run rather than a
+/// stale end-of-run artifact.
+fn set_compute_gauges() {
+    telemetry::gauge_set("compute.gflop_total", noodle::compute::flops() as f64 / 1e9);
+    telemetry::gauge_set("compute.parallel_jobs", noodle::compute::jobs() as f64);
+    let busy = noodle::compute::busy_ns() as f64;
+    let wait = noodle::compute::queue_wait_ns() as f64;
+    // Capacity = wall time since the shared epoch x pool width.
+    let capacity = profile::now_ns() as f64 * noodle::compute::num_threads() as f64;
+    if capacity > 0.0 {
+        telemetry::gauge_set("compute.pool_utilization", busy / capacity);
+    }
+    if busy + wait > 0.0 {
+        telemetry::gauge_set("compute.queue_wait_frac", wait / (busy + wait));
+    }
 }
 
 impl Observability {
@@ -244,7 +291,10 @@ impl Observability {
             return Err(CliError::msg("--profile-mem requires --profile <trace.json>"));
         }
         let quiet = flag_value(flags, "quiet").is_some();
-        if trace.is_some() || report.is_some() || profile_path.is_some() {
+        let observe_addr = flag_value(flags, "observe-addr")
+            .map(str::to_string)
+            .or_else(|| std::env::var("NOODLE_OBSERVE_ADDR").ok().filter(|v| !v.is_empty()));
+        if trace.is_some() || report.is_some() || profile_path.is_some() || observe_addr.is_some() {
             telemetry::set_enabled(true);
         }
         if profile_path.is_some() {
@@ -272,7 +322,23 @@ impl Observability {
                 )));
             }
         }
-        Ok(Self { report, profile: profile_path, profile_mem, quiet })
+        let (monitors, export) = match observe_addr {
+            None => (None, None),
+            Some(addr) => {
+                let monitors = StreamingMonitors::new(MonitorConfig::default());
+                let server = ExportServer::start(
+                    &addr,
+                    monitors.clone(),
+                    Some(Box::new(set_compute_gauges)),
+                )
+                .map_err(|e| CliError::msg(format!("cannot bind --observe-addr {addr}: {e}")))?;
+                // Always announced (port 0 resolves to an ephemeral port
+                // the caller cannot know otherwise).
+                eprintln!("observability endpoints at http://{}", server.addr());
+                (Some(monitors), Some(server))
+            }
+        };
+        Ok(Self { report, profile: profile_path, profile_mem, quiet, monitors, _export: export })
     }
 
     /// Writes the Chrome trace and run report, if requested. Call after
@@ -290,18 +356,7 @@ impl Observability {
         let Some(path) = &self.report else {
             return Ok(());
         };
-        telemetry::gauge_set("compute.gflop_total", noodle::compute::flops() as f64 / 1e9);
-        telemetry::gauge_set("compute.parallel_jobs", noodle::compute::jobs() as f64);
-        let busy = noodle::compute::busy_ns() as f64;
-        let wait = noodle::compute::queue_wait_ns() as f64;
-        // Capacity = wall time since the shared epoch x pool width.
-        let capacity = profile::now_ns() as f64 * noodle::compute::num_threads() as f64;
-        if capacity > 0.0 {
-            telemetry::gauge_set("compute.pool_utilization", busy / capacity);
-        }
-        if busy + wait > 0.0 {
-            telemetry::gauge_set("compute.queue_wait_frac", wait / (busy + wait));
-        }
+        set_compute_gauges();
         let mut report = RunReport::from_snapshot(command, telemetry::snapshot());
         report.context = Some(RunContext {
             invocation: invocation_line(),
@@ -508,6 +563,8 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::msg("no Verilog files given"));
     }
     let audit_path = flag_value(&flags, "audit").map(PathBuf::from);
+    let audit_rotate_bytes: u64 = parse_num(&flags, "audit-rotate-bytes", 0)?;
+    let audit_keep: usize = parse_num(&flags, "audit-keep", 8)?;
     let batch: usize = parse_num(&flags, "batch", 32)?;
     if batch == 0 {
         return Err(CliError::msg("--batch expects a positive number, got `0`"));
@@ -527,11 +584,33 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::msg(format!("cannot read {model_path}: {e}")))?;
     let mut detector = NoodleDetector::from_json(&json)
         .map_err(|e| CliError::msg(format!("{model_path} is not a valid model: {e}")))?;
-    if let Some(path) = &audit_path {
-        let sink = JsonlAudit::create(path).map_err(|e| {
-            CliError::msg(format!("cannot create audit log {}: {e}", path.display()))
-        })?;
-        detector.set_audit_sink(Box::new(sink));
+    let file_sink: Option<Box<dyn AuditSink>> = match &audit_path {
+        None => None,
+        Some(path) => {
+            let cannot =
+                |e| CliError::msg(format!("cannot create audit log {}: {e}", path.display()));
+            Some(if audit_rotate_bytes > 0 {
+                Box::new(
+                    RotatingJsonlAudit::create(path, audit_rotate_bytes, audit_keep)
+                        .map_err(cannot)?,
+                ) as Box<dyn AuditSink>
+            } else {
+                Box::new(JsonlAudit::create(path).map_err(cannot)?)
+            })
+        }
+    };
+    // With --observe-addr, the live monitor engine rides behind the audit
+    // path: tee'd with the file sink, or attached alone so `/monitor` and
+    // `/healthz` stay live even without --audit.
+    let live_sink: Option<Box<dyn AuditSink>> =
+        observability.monitors.clone().map(|m| Box::new(m) as Box<dyn AuditSink>);
+    match (file_sink, live_sink) {
+        (Some(file), Some(live)) => {
+            detector.set_audit_sink(Box::new(TeeAudit::new(vec![file, live])));
+        }
+        (Some(file), None) => detector.set_audit_sink(file),
+        (None, Some(live)) => detector.set_audit_sink(live),
+        (None, None) => {}
     }
     let mut cache = match flag_value(&flags, "cache-dir") {
         Some(dir) => Some(FeatureCache::with_dir(4096, Path::new(dir)).map_err(|e| {
@@ -606,7 +685,8 @@ fn cmd_observe(args: &[String]) -> Result<(), CliError> {
     let observability = Observability::from_flags(&flags)?;
     let [audit_path] = positional.as_slice() else {
         return Err(CliError::msg(
-            "usage: noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]",
+            "usage: noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>] \
+             [--follow [--poll-ms MS] [--idle-exit-ms MS]]",
         ));
     };
     let out = flag_value(&flags, "out").map(PathBuf::from);
@@ -623,15 +703,33 @@ fn cmd_observe(args: &[String]) -> Result<(), CliError> {
         },
         ..defaults
     };
+    if flag_value(&flags, "follow").is_some() {
+        let poll_ms: u64 = parse_num(&flags, "poll-ms", 500)?;
+        let idle_exit_ms: u64 = parse_num(&flags, "idle-exit-ms", 0)?;
+        return follow_audit_log(
+            audit_path,
+            config,
+            out.as_deref(),
+            &observability,
+            poll_ms,
+            idle_exit_ms,
+        );
+    }
     let root = telemetry::span!("observe");
     let text = fs::read_to_string(Path::new(audit_path))
         .map_err(|e| CliError::msg(format!("cannot read {audit_path}: {e}")))?;
     let (header, records) =
         parse_audit_log(&text).map_err(|e| CliError::msg(format!("{audit_path}: {e}")))?;
     telemetry::counter_add("observe.records", records.len() as u64);
-    let report = replay(header.as_ref(), &records, config)
-        .map_err(|e| CliError::msg(format!("{audit_path}: {e}")))?;
-    if !observability.quiet {
+    let report = replay(header.as_ref(), &records, config);
+    print_monitor_report(&report, audit_path, observability.quiet);
+    write_monitor_report(&report, out.as_deref(), observability.quiet)?;
+    drop(root);
+    observability.finish("observe", None, None, None)
+}
+
+fn print_monitor_report(report: &MonitorReport, audit_path: &str, quiet: bool) {
+    if !quiet {
         let epsilon = report.epsilon.map_or_else(|| "unknown".to_string(), |e| format!("{e}"));
         println!(
             "replayed {} predictions ({} labeled) from {audit_path} (window {}, epsilon {epsilon})",
@@ -651,15 +749,89 @@ fn cmd_observe(args: &[String]) -> Result<(), CliError> {
         );
     }
     println!("overall: {}", report.overall);
-    if let Some(path) = &out {
-        report
-            .write_to(path)
-            .map_err(|e| CliError::msg(format!("cannot write {}: {e}", path.display())))?;
-        if !observability.quiet {
-            eprintln!("monitor report written to {}", path.display());
-        }
+}
+
+fn write_monitor_report(
+    report: &MonitorReport,
+    out: Option<&Path>,
+    quiet: bool,
+) -> Result<(), CliError> {
+    let Some(path) = out else {
+        return Ok(());
+    };
+    report
+        .write_to(path)
+        .map_err(|e| CliError::msg(format!("cannot write {}: {e}", path.display())))?;
+    if !quiet {
+        eprintln!("monitor report written to {}", path.display());
     }
-    drop(root);
+    Ok(())
+}
+
+/// `observe --follow`: tails a growing (and possibly rotating) audit log
+/// through the same [`StreamingMonitors`] engine that batch replay uses,
+/// printing a line whenever a monitor's health changes.
+///
+/// Runs until interrupted, or until the log has been idle for
+/// `--idle-exit-ms` (0 = forever); on exit it prints the standard monitor
+/// summary and honours `--out`.
+fn follow_audit_log(
+    audit_path: &str,
+    config: MonitorConfig,
+    out: Option<&Path>,
+    observability: &Observability,
+    poll_ms: u64,
+    idle_exit_ms: u64,
+) -> Result<(), CliError> {
+    let stream = StreamingMonitors::new(config);
+    // With --observe-addr, mirror the tail into the exporter's engine so
+    // /monitor and /healthz track the followed log live.
+    let mirror = observability.monitors.clone();
+    let mut follower = LogFollower::new(Path::new(audit_path));
+    if !observability.quiet {
+        eprintln!("following {audit_path} (poll {poll_ms} ms, ctrl-c to stop)");
+    }
+    let mut last_news = std::time::Instant::now();
+    loop {
+        let lines = follower.poll();
+        if !lines.is_empty() {
+            last_news = std::time::Instant::now();
+        }
+        for line in lines {
+            match line {
+                AuditLine::Header(header) => {
+                    stream.observe_header(&header);
+                    if let Some(mirror) = &mirror {
+                        mirror.observe_header(&header);
+                    }
+                }
+                AuditLine::Prediction(record) => {
+                    stream.observe(&record);
+                    if let Some(mirror) = &mirror {
+                        mirror.observe(&record);
+                    }
+                    telemetry::counter_add("observe.records", 1);
+                }
+            }
+        }
+        for transition in stream.transitions_since_last() {
+            println!(
+                "[{} -> {}] {:<26} after {} records: {}",
+                transition.from,
+                transition.status.health,
+                transition.status.monitor,
+                stream.records(),
+                transition.status.evidence,
+            );
+        }
+        if idle_exit_ms > 0 && last_news.elapsed().as_millis() >= u128::from(idle_exit_ms) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
+    }
+    let report = stream.report();
+    print_monitor_report(&report, audit_path, observability.quiet);
+    write_monitor_report(&report, out, observability.quiet)?;
     observability.finish("observe", None, None, None)
 }
 

@@ -17,6 +17,7 @@
 //! | [`telemetry`] | `noodle-telemetry` | spans, counters/histograms, run reports |
 //! | [`profile`] | `noodle-profile` | per-thread profiler, Chrome-trace export, roofline summary |
 //! | [`observe`] | `noodle-observe` | prediction audit logs, coverage/drift monitors |
+//! | [`export`] | `noodle-export` | live /metrics, /monitor and /healthz exposition server |
 //! | [`core`] | `noodle-core` | the end-to-end NOODLE detector |
 //!
 //! The most-used types are also re-exported at the crate root.
@@ -46,6 +47,7 @@ pub use noodle_bench_gen as bench_gen;
 pub use noodle_compute as compute;
 pub use noodle_conformal as conformal;
 pub use noodle_core as core;
+pub use noodle_export as export;
 pub use noodle_gan as gan;
 pub use noodle_graph as graph;
 pub use noodle_metrics as metrics;
@@ -63,8 +65,10 @@ pub use noodle_core::{
     EvaluationReport, FeatureCache, FusionStrategy, MultimodalDataset, NoodleConfig,
     NoodleDetector, PipelineError,
 };
+pub use noodle_export::ExportServer;
 pub use noodle_metrics::{brier_score, roc_curve, RadarMetrics};
 pub use noodle_observe::{
     AuditSink, Health, JsonlAudit, MonitorConfig, MonitorReport, MonitorSuite, PredictionRecord,
+    RotatingJsonlAudit, StreamingMonitors,
 };
 pub use noodle_telemetry::{RunReport, TelemetrySnapshot};

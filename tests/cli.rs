@@ -179,6 +179,44 @@ fn cli_full_round_trip() {
     // gate, so nothing may fire on this healthy stream.
     assert_eq!(monitor["overall"], "healthy", "{monitor}");
 
+    // detect again with size-based audit rotation: small cap so the run
+    // rotates several times, keeping at most 2 rotated segments.
+    let rotating = dir.join("rotating.jsonl");
+    let out = noodle()
+        .args(["detect", model.to_str().unwrap()])
+        .args(&paths)
+        .args([
+            "--audit",
+            rotating.to_str().unwrap(),
+            "--audit-rotate-bytes",
+            "2048",
+            "--audit-keep",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let seg1 = dir.join("rotating.jsonl.1");
+    let seg2 = dir.join("rotating.jsonl.2");
+    assert!(rotating.exists() && seg1.exists() && seg2.exists(), "rotation produced segments");
+    assert!(!dir.join("rotating.jsonl.3").exists(), "--audit-keep 2 caps rotated segments");
+    // Every segment starts with a re-emitted header, so each replays
+    // standalone through `noodle observe`.
+    for segment in [&rotating, &seg1, &seg2] {
+        let text = std::fs::read_to_string(segment).unwrap();
+        let first: serde_json::Value =
+            serde_json::from_str(text.lines().next().expect("segment is non-empty")).unwrap();
+        assert_eq!(first["type"], "header", "{}", segment.display());
+        let out =
+            noodle().args(["observe", segment.to_str().unwrap()]).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "observe {}: {}",
+            segment.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
     // inspect
     let out = noodle().args(["inspect", &paths[0]]).output().expect("binary runs");
     assert!(out.status.success());
@@ -186,6 +224,162 @@ fn cli_full_round_trip() {
     assert!(stdout.contains("tabular features"));
     assert!(stdout.contains("graph image"));
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_observe_empty_audit_log_yields_valid_empty_report() {
+    let dir = std::env::temp_dir().join(format!("noodle_cli_empty_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("empty.jsonl");
+    std::fs::write(&log, "").unwrap();
+    let report_path = dir.join("report.json");
+    let out = noodle()
+        .args(["observe", log.to_str().unwrap(), "--out", report_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "empty log must be valid, not an error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overall: healthy"), "{stdout}");
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report["schema_version"], 1);
+    assert_eq!(report["records"], 0);
+    assert_eq!(report["labeled"], 0);
+    assert_eq!(report["overall"], "healthy");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A hand-written audit header line matching the v2 schema.
+fn audit_header_line() -> String {
+    serde_json::json!({
+        "type": "header", "schema_version": 2, "tool_version": "0.1.0",
+        "significance": 0.1, "strategy": "LateFusion", "baseline": null,
+    })
+    .to_string()
+}
+
+/// A hand-written healthy prediction line (clean verdict, covered label).
+fn audit_prediction_line(seq: u64) -> String {
+    serde_json::json!({
+        "type": "prediction", "seq": seq, "design": format!("uart_tf_{seq:03}"),
+        "strategy": "LateFusion", "infected": false, "probability_infected": 0.1,
+        "p_values": [0.9, 0.1], "region": [0], "credibility": 0.9, "confidence": 0.9,
+        "uncertain": false, "significance": 0.1, "graph_present": true,
+        "tabular_present": true, "imputed_modality": false, "label": 0,
+        "latency_us": 80.0, "batch_latency_us": 80.0, "batch_size": 1,
+        "sources": [{"source": "graph", "p_values": [0.9, 0.1], "scores": [0.05, 0.4]}],
+    })
+    .to_string()
+}
+
+/// One raw HTTP/1.1 exchange against the exposition server; returns
+/// (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to export server");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn cli_observe_follow_tails_growing_and_rotated_logs() {
+    use std::io::{BufRead, Write};
+
+    let dir = std::env::temp_dir().join(format!("noodle_cli_follow_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("audit.jsonl");
+    std::fs::write(&log, format!("{}\n", audit_header_line())).unwrap();
+
+    let mut child = noodle()
+        .args([
+            "observe",
+            log.to_str().unwrap(),
+            "--follow",
+            "--poll-ms",
+            "40",
+            "--idle-exit-ms",
+            "3000",
+            "--observe-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    // The exporter echoes its ephemeral address on stderr; grab it.
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while stderr.read_line(&mut line).unwrap() > 0 {
+        if let Some(rest) = line.trim().strip_prefix("observability endpoints at http://") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("exporter address echoed on stderr");
+
+    // Grow the log; the follower should pick the records up live.
+    {
+        let mut file = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+        for seq in 0..5 {
+            writeln!(file, "{}", audit_prediction_line(seq)).unwrap();
+        }
+    }
+    // The shared engine behind /monitor must converge on the 5 records.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let (status, body) = http_get(&addr, "/monitor");
+        assert!(status.contains("200"), "{status}");
+        let report: serde_json::Value = serde_json::from_str(&body).expect("monitor JSON");
+        if report["records"] == 5 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "follower never saw the records: {report}");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // While it runs, /metrics and /healthz serve live data.
+    let (status, body) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("noodle_observe_records_total 5"), "{body}");
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+
+    // Simulate a rotation: live log renamed away, fresh one re-starts with
+    // a header. The follower must reset to offset 0 and keep counting.
+    std::fs::rename(&log, dir.join("audit.jsonl.1")).unwrap();
+    {
+        let mut file = std::fs::File::create(&log).unwrap();
+        writeln!(file, "{}", audit_header_line()).unwrap();
+        for seq in 5..8 {
+            writeln!(file, "{}", audit_prediction_line(seq)).unwrap();
+        }
+    }
+
+    // After --idle-exit-ms of quiet the follower exits with a summary.
+    let out = child.wait_with_output().expect("follower exits");
+    assert!(out.status.success(), "follow run failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("replayed 8 predictions"),
+        "5 pre-rotation + 3 post-rotation records: {stdout}"
+    );
+    assert!(stdout.contains("overall:"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -10,7 +10,9 @@
 use std::path::PathBuf;
 
 use noodle::bench_gen::{generate_corpus, CircuitFamily, CorpusConfig};
-use noodle::observe::{parse_audit_log, replay, Health, JsonlAudit, MonitorConfig, MonitorReport};
+use noodle::observe::{
+    parse_audit_log, replay, Health, JsonlAudit, MonitorConfig, MonitorReport, StreamingMonitors,
+};
 use noodle::{MultimodalDataset, NoodleConfig, NoodleDetector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,7 +62,19 @@ fn audit_and_replay(
     let header = header.expect("audit log starts with a header");
     assert!(header.baseline.is_some(), "fit detector persists a calibration baseline");
     assert_eq!(records.len(), stream.len());
-    replay(Some(&header), &records, MonitorConfig::default()).unwrap()
+    let report = replay(Some(&header), &records, MonitorConfig::default());
+
+    // Differential check on a real detector stream: feeding the same log
+    // incrementally through the streaming engine must land in exactly the
+    // state batch replay reports.
+    let streaming = StreamingMonitors::new(MonitorConfig::default());
+    streaming.observe_header(&header);
+    for record in &records {
+        streaming.observe(record);
+    }
+    assert_eq!(streaming.report(), report, "streaming and batch replay disagree on {log_name}");
+
+    report
 }
 
 #[test]
