@@ -1,0 +1,160 @@
+//! Compares a fresh benchmark JSON against a checked-in baseline and
+//! flags regressions, so CI can catch performance cliffs without carrying
+//! criterion state around:
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin bench_compare -- \
+//!     <baseline.json> <current.json> [--warn-pct 10] [--fail-pct 25]
+//! ```
+//!
+//! Both files are flattened to dotted numeric leaves
+//! (`kernels.matmul_16x144x32.median_ns`, `files_per_sec.batch_32`, ...).
+//! Keys whose last segment is environment metadata (`schema_version`,
+//! `threads`, `files`, `iters`) are skipped. Direction is inferred from
+//! the key: `*_ns` / `*latency*` leaves regress when they grow,
+//! everything else (`speedup`, `files_per_sec`) regresses when it
+//! shrinks. A regression past `--warn-pct` prints a warning; past
+//! `--fail-pct` the process exits non-zero. Keys present on only one
+//! side are reported but never fatal, so baselines survive added
+//! kernels.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut warn_pct = 10.0f64;
+    let mut fail_pct = 25.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--warn-pct" if i + 1 < args.len() => {
+                warn_pct = args[i + 1].parse().expect("--warn-pct expects a number");
+                i += 2;
+            }
+            "--fail-pct" if i + 1 < args.len() => {
+                fail_pct = args[i + 1].parse().expect("--fail-pct expects a number");
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "usage: bench_compare <baseline.json> <current.json> \
+                     [--warn-pct P] [--fail-pct P] (got `{flag}`)"
+                );
+                return ExitCode::from(2);
+            }
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <current.json> [--warn-pct P] [--fail-pct P]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let mut worst: Option<(String, f64)> = None;
+    let mut warned = 0usize;
+
+    println!("{:<44} {:>14} {:>14} {:>9}", "metric", "baseline", "current", "delta");
+    for (key, base) in &baseline {
+        let Some(now) = current.get(key) else {
+            println!("{key:<44} {base:>14.3} {:>14} {:>9}", "missing", "-");
+            continue;
+        };
+        if *base == 0.0 {
+            continue;
+        }
+        // Positive = regression, in percent, regardless of direction.
+        let regression = if lower_is_better(key) {
+            (now - base) / base * 100.0
+        } else {
+            (base - now) / base * 100.0
+        };
+        let marker = if regression > fail_pct {
+            "FAIL"
+        } else if regression > warn_pct {
+            "WARN"
+        } else {
+            "ok"
+        };
+        println!("{key:<44} {base:>14.3} {now:>14.3} {regression:>+8.1}% {marker}");
+        if regression > warn_pct {
+            warned += 1;
+        }
+        if worst.as_ref().is_none_or(|(_, w)| regression > *w) {
+            worst = Some((key.clone(), regression));
+        }
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            println!("{key:<44} {:>14} (new metric, no baseline)", "-");
+        }
+    }
+
+    match worst {
+        Some((key, regression)) if regression > fail_pct => {
+            eprintln!(
+                "FAIL: `{key}` regressed {regression:.1}% (threshold {fail_pct}%) \
+                 against {baseline_path}"
+            );
+            ExitCode::FAILURE
+        }
+        _ => {
+            if warned > 0 {
+                eprintln!(
+                    "WARN: {warned} metric(s) regressed past {warn_pct}% (fail at {fail_pct}%)"
+                );
+            } else {
+                eprintln!("ok: no metric regressed past {warn_pct}% against {baseline_path}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let value: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path} is not JSON: {e}"));
+    let mut flat = BTreeMap::new();
+    flatten("", &value, &mut flat);
+    flat
+}
+
+/// Flattens numeric leaves into dotted paths, dropping environment
+/// metadata that legitimately differs between machines and runs.
+fn flatten(prefix: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f64>) {
+    const SKIP: &[&str] = &["schema_version", "threads", "files", "iters"];
+    match value {
+        serde_json::Value::Object(map) => {
+            for (key, child) in map {
+                if SKIP.contains(&key.as_str()) {
+                    continue;
+                }
+                let path = if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                flatten(&path, child, out);
+            }
+        }
+        serde_json::Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                out.insert(prefix.to_string(), f);
+            }
+        }
+        // Strings (provenance notes), bools, nulls and arrays are not
+        // benchmark metrics.
+        _ => {}
+    }
+}
+
+/// Whether a smaller value is the better one for this metric key.
+fn lower_is_better(key: &str) -> bool {
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    leaf.ends_with("_ns") || leaf == "ns" || leaf.contains("latency")
+}

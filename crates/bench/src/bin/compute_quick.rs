@@ -195,8 +195,9 @@ fn matmul_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     }
 }
 
-/// Renders the results as the `BENCH_compute.json` schema by hand (the
-/// bench crate does not depend on serde_json).
+/// Renders the results as the `BENCH_compute.json` schema by hand, so the
+/// insertion order above is the key order on disk and baseline diffs stay
+/// small.
 fn render_json(results: &[(String, u128)], iters: usize) -> String {
     let lookup = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, ns)| *ns);
     let mut kernels = String::new();

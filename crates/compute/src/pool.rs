@@ -134,6 +134,11 @@ struct Task {
     chunks: usize,
     /// Profiler timestamp at submission, for queue-wait attribution.
     submit_ns: u64,
+    /// The submitter's ambient trace context, adopted by every worker for
+    /// the duration of its chunks so causality survives the pool boundary.
+    /// Carried *alongside* the chunks — it never influences chunk
+    /// boundaries or claim order, so the determinism contract is intact.
+    trace: Option<noodle_trace::TraceContext>,
     /// Next unclaimed chunk index.
     next: AtomicUsize,
     /// Chunks not yet finished; completion signal below.
@@ -248,6 +253,10 @@ fn worker_loop() {
         };
         if let Some(task) = task {
             let start_ns = noodle_profile::now_ns();
+            // Adopt the submitter's trace context for the chunks *and* the
+            // profiler events below, so kernel and pool-job events recorded
+            // on this worker join the submitting request's trace.
+            let prev_trace = noodle_trace::swap_current(task.trace);
             REGION_DEPTH.with(|d| d.set(d.get() + 1));
             let ran = task.work();
             REGION_DEPTH.with(|d| d.set(d.get() - 1));
@@ -273,6 +282,7 @@ fn worker_loop() {
                     );
                 }
             }
+            noodle_trace::swap_current(prev_trace);
         }
     }
 }
@@ -341,6 +351,7 @@ where
         grain,
         chunks,
         submit_ns: noodle_profile::now_ns(),
+        trace: noodle_trace::current(),
         next: AtomicUsize::new(0),
         remaining: Mutex::new(chunks),
         done: Condvar::new(),
@@ -607,6 +618,27 @@ mod tests {
                 }
             });
             assert_eq!(total.load(Ordering::Relaxed), 40);
+        });
+    }
+
+    #[test]
+    fn child_chunks_inherit_the_submitters_trace_context() {
+        let ctx = noodle_trace::TraceContext::mint();
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let _guard = noodle_trace::set_current(ctx);
+                let seen: Vec<_> = par_map_collect(16, 1, |_| noodle_trace::current());
+                assert!(
+                    seen.iter().all(|&c| c == Some(ctx)),
+                    "every chunk sees the submitting job's context at {threads} threads"
+                );
+            });
+        }
+        // Workers restore their slot: a later traceless job must not leak
+        // the previous job's context into its chunks.
+        with_threads(4, || {
+            let seen: Vec<_> = par_map_collect(16, 1, |_| noodle_trace::current());
+            assert!(seen.iter().all(|&c| c.is_none()), "context must not leak across jobs");
         });
     }
 

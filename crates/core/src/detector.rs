@@ -580,6 +580,12 @@ impl NoodleDetector {
         source: &str,
         label: Option<usize>,
     ) -> Result<Detection, PipelineError> {
+        // One trace context per request: inherit the caller's when one is
+        // ambient (so an outer service can stitch its own trace through),
+        // mint otherwise. The guard drops last, so the span and latency
+        // histogram below both record under this context.
+        let request = noodle_trace::current().unwrap_or_else(noodle_trace::TraceContext::mint);
+        let _trace = noodle_trace::set_current(request);
         let _span = noodle_telemetry::span!("detect");
         let _timer = noodle_telemetry::time_histogram("detect.latency_us");
         noodle_telemetry::counter_add("detect.calls", 1);
@@ -617,6 +623,8 @@ impl NoodleDetector {
         tabular: Option<&[f32]>,
         label: Option<usize>,
     ) -> Result<Detection, PipelineError> {
+        let request = noodle_trace::current().unwrap_or_else(noodle_trace::TraceContext::mint);
+        let _trace = noodle_trace::set_current(request);
         let start = self.audit.is_some().then(Instant::now);
         let graph_present = graph.is_some();
         let tabular_present = tabular.is_some();
@@ -676,6 +684,14 @@ impl NoodleDetector {
             probes,
             AuditTiming::single(start),
         );
+        noodle_trace::flight_record(
+            noodle_trace::FlightKind::Request,
+            request.trace_id,
+            request.span_id,
+            0,
+            u64::from(detection.infected),
+            design,
+        );
         Ok(detection)
     }
 
@@ -724,6 +740,12 @@ impl NoodleDetector {
     ) -> Result<Vec<Detection>, PipelineError> {
         let n = requests.len();
         let batch_size = batch_size.max(1);
+        // One base context for the whole call; design `i` gets the pure
+        // derivation `base.derived(i)`, so extraction (stage 1, on pool
+        // threads) and inference/audit (stage 2, on this thread) stamp the
+        // same per-design id at every thread count and batch size.
+        let base = noodle_trace::current().unwrap_or_else(noodle_trace::TraceContext::mint);
+        let _trace = noodle_trace::set_current(base);
         let _span = noodle_telemetry::span!("detect.batch", files = n, batch = batch_size);
         let started = Instant::now();
 
@@ -737,7 +759,9 @@ impl NoodleDetector {
             .collect();
         let miss_idx: Vec<usize> = (0..n).filter(|&i| features[i].is_none()).collect();
         let extracted = noodle_compute::par_map_collect(miss_idx.len(), 1, |j| {
-            extract_modalities(requests[miss_idx[j]].source)
+            let i = miss_idx[j];
+            let _trace = noodle_trace::set_current(base.derived(i as u64));
+            extract_modalities(requests[i].source)
         });
         for (&i, result) in miss_idx.iter().zip(extracted) {
             let (graph, tabular) = result?;
@@ -773,6 +797,10 @@ impl NoodleDetector {
                 self.audit.is_some().then(|| vec![Vec::new(); m]);
             let batch_start = Instant::now();
             let prof_start_ns = noodle_profile::now_ns();
+            // The shared forward pass is attributed to the chunk's first
+            // design (a micro-batch has no single owner; first-in-chunk is
+            // deterministic and cheap to compute when reading a trace).
+            let chunk_trace = noodle_trace::set_current(base.derived(chunk_start as u64));
             let predictions =
                 self.conformal_batch(&graphs, &tab_raw, strategy, probes.as_mut(), &mut arena);
             noodle_profile::record(
@@ -782,12 +810,16 @@ impl NoodleDetector {
                 0,
                 (4 * (graphs.len() + tab_raw.len())) as u64,
             );
+            drop(chunk_trace);
             let batch_us = batch_start.elapsed().as_secs_f64() * 1e6;
             let per_file_us = batch_us / m as f64;
             noodle_telemetry::histogram_record("detect.batch_size", m as f64);
 
             for (j, prediction) in predictions.into_iter().enumerate() {
-                let r = &requests[chunk_start + j];
+                let idx = chunk_start + j;
+                let r = &requests[idx];
+                let request = base.derived(idx as u64);
+                let _req_trace = noodle_trace::set_current(request);
                 noodle_telemetry::counter_add("detect.calls", 1);
                 noodle_telemetry::histogram_record("detect.latency_us", per_file_us);
                 let detection = self.decision(prediction, strategy, false);
@@ -805,6 +837,22 @@ impl NoodleDetector {
                         batch_latency_us: batch_us,
                         batch_size: m,
                     },
+                );
+                // A per-design marker on the profiler timeline (its batch
+                // share of the forward) plus a flight-recorder summary, so
+                // one trace id greps across audit, Chrome trace and ring.
+                noodle_profile::record_span(
+                    "detect.request",
+                    prof_start_ns,
+                    (per_file_us * 1e3) as u64,
+                );
+                noodle_trace::flight_record(
+                    noodle_trace::FlightKind::Request,
+                    request.trace_id,
+                    request.span_id,
+                    idx as u64,
+                    u64::from(detection.infected),
+                    r.design,
                 );
                 detections.push(detection);
             }
@@ -949,6 +997,8 @@ impl NoodleDetector {
         let record = PredictionRecord {
             seq,
             design: design.to_string(),
+            trace_id: noodle_trace::current()
+                .map_or_else(String::new, |c| noodle_trace::format_trace_id(c.trace_id)),
             strategy: format!("{:?}", detection.strategy),
             infected: detection.infected,
             probability_infected: detection.probability_infected,

@@ -1,0 +1,20 @@
+//! Embeds the short git SHA at build time so `/metrics` can expose a
+//! `noodle_build_info` series identifying exactly what is running.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=NOODLE_GIT_SHA={sha}");
+    // Re-run when HEAD moves so the embedded SHA stays honest; harmless
+    // if the path does not exist (e.g. building from a source tarball).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

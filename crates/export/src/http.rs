@@ -41,7 +41,8 @@ pub struct ExportServer {
 
 impl ExportServer {
     /// Binds `addr` (e.g. `127.0.0.1:9464`, port `0` for ephemeral) and
-    /// starts serving `/metrics`, `/monitor` and `/healthz`.
+    /// starts serving `/metrics`, `/monitor`, `/healthz`, `/debug/flight`
+    /// and `/debug/trace/<id>`.
     ///
     /// `monitors` is typically a clone of the engine attached to the
     /// detector's audit path, so `/monitor` and `/healthz` reflect every
@@ -197,11 +198,48 @@ fn route(
                 respond(200, "OK", "application/json", &body)
             }
         }
+        "/debug/flight" => {
+            let bundle = noodle_observe::FlightBundle::capture("manual", monitors.report());
+            let mut body = bundle.to_json();
+            body.push('\n');
+            respond(200, "OK", "application/json", &body)
+        }
+        _ if path.starts_with("/debug/trace/") => {
+            let id = &path["/debug/trace/".len()..];
+            match noodle_trace::parse_trace_id(id) {
+                Some(parsed) => {
+                    let hex = noodle_trace::format_trace_id(parsed);
+                    let events: Vec<_> = noodle_trace::flight_snapshot()
+                        .into_iter()
+                        .filter(|e| e.trace_id == hex)
+                        .collect();
+                    if events.is_empty() {
+                        respond(
+                            404,
+                            "Not Found",
+                            "text/plain; charset=utf-8",
+                            "no flight-recorder events for that trace id\n",
+                        )
+                    } else {
+                        let body = serde_json::json!({ "trace_id": hex, "events": events });
+                        let mut body = serde_json::to_string_pretty(&body).unwrap_or_default();
+                        body.push('\n');
+                        respond(200, "OK", "application/json", &body)
+                    }
+                }
+                None => respond(
+                    400,
+                    "Bad Request",
+                    "text/plain; charset=utf-8",
+                    "trace id must be 1-16 hex digits\n",
+                ),
+            }
+        }
         "/" => respond(
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "noodle live observability\n\n/metrics  Prometheus text exposition\n/monitor  MonitorReport JSON\n/healthz  aggregated health (503 on alert)\n",
+            "noodle live observability\n\n/metrics  Prometheus text exposition\n/monitor  MonitorReport JSON\n/healthz  aggregated health (503 on alert)\n/debug/flight  flight-recorder bundle, captured now\n/debug/trace/<id>  flight events for one trace id\n",
         ),
         _ => respond(404, "Not Found", "text/plain; charset=utf-8", "no such endpoint\n"),
     }

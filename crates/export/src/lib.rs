@@ -13,7 +13,13 @@
 //!   the detector updates in-flight;
 //! * `GET /healthz` — aggregated health with per-monitor evidence:
 //!   HTTP 200 while `Healthy`/`Warn`, 503 on `Alert`, so the endpoint
-//!   plugs directly into load-balancer and orchestrator health checks.
+//!   plugs directly into load-balancer and orchestrator health checks;
+//! * `GET /debug/flight` — a [`noodle_observe::FlightBundle`] captured on
+//!   demand (recent flight-recorder events, live metrics, monitor
+//!   verdicts);
+//! * `GET /debug/trace/<id>` — the flight-recorder events belonging to
+//!   one 16-hex-digit trace id, for joining a single request across
+//!   audit log, Chrome trace and ring.
 //!
 //! The server is strictly pay-for-what-you-use: nothing binds, spawns or
 //! allocates unless [`ExportServer::start`] is called (the CLI only does
@@ -29,4 +35,4 @@ mod http;
 mod prom;
 
 pub use http::{ExportServer, RefreshFn};
-pub use prom::{render_prometheus, sanitize_metric_name};
+pub use prom::{escape_label_value, render_prometheus, sanitize_metric_name};

@@ -20,6 +20,21 @@ pub fn sanitize_metric_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be escaped inside the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a sample value the way the exposition format spells specials.
 fn sample(value: f64) -> String {
     if value.is_nan() {
@@ -35,9 +50,15 @@ fn sample(value: f64) -> String {
 
 fn render_histogram(out: &mut String, base: &str, hist: &HistogramSnapshot) {
     out.push_str(&format!("# TYPE {base} histogram\n"));
-    for (bound, cumulative) in hist.cumulative_buckets() {
+    for (i, (bound, cumulative)) in hist.cumulative_buckets().into_iter().enumerate() {
         let le = if bound.is_finite() { sample(bound) } else { "+Inf".to_string() };
-        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}"));
+        // OpenMetrics exemplar: the most recent traced observation in
+        // this bucket, so a latency outlier links straight to its trace.
+        if let Some(Some(ex)) = hist.exemplars.get(i) {
+            out.push_str(&format!(" # {{trace_id=\"{:016x}\"}} {}", ex.trace_id, sample(ex.value)));
+        }
+        out.push('\n');
     }
     out.push_str(&format!("{base}_sum {}\n", sample(hist.sum)));
     out.push_str(&format!("{base}_count {}\n", hist.count));
@@ -49,16 +70,30 @@ fn render_histogram(out: &mut String, base: &str, hist: &HistogramSnapshot) {
     }
 }
 
-/// Renders a full `/metrics` payload: counters as `*_total`, gauges
+/// Renders a full `/metrics` payload: a `noodle_build_info` identity
+/// series and process-uptime gauge, counters as `*_total`, gauges
 /// verbatim, histograms as cumulative `_bucket{le=...}` series ending at
-/// `+Inf` plus `_sum`/`_count`, and exact nearest-rank quantiles as
-/// companion `_p50`/`_p95`/`_p99` gauges.
+/// `+Inf` (each carrying an OpenMetrics `# {trace_id="..."} value`
+/// exemplar when a traced observation landed in the bucket) plus
+/// `_sum`/`_count`, and exact nearest-rank quantiles as companion
+/// `_p50`/`_p95`/`_p99` gauges.
 ///
 /// The snapshot is taken by the caller, so one snapshot can serve one
 /// scrape atomically — every series in the payload reflects the same
 /// instant.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    out.push_str("# TYPE noodle_build_info gauge\n");
+    out.push_str(&format!(
+        "noodle_build_info{{version=\"{}\",git_sha=\"{}\"}} 1\n",
+        escape_label_value(env!("CARGO_PKG_VERSION")),
+        escape_label_value(env!("NOODLE_GIT_SHA")),
+    ));
+    out.push_str("# TYPE noodle_process_uptime_seconds gauge\n");
+    out.push_str(&format!(
+        "noodle_process_uptime_seconds {}\n",
+        sample(noodle_trace::now_ns() as f64 / 1e9)
+    ));
     for (name, value) in &snapshot.counters {
         let base = sanitize_metric_name(name);
         out.push_str(&format!("# TYPE {base}_total counter\n"));
@@ -133,14 +168,26 @@ mod tests {
         for line in text.lines() {
             if line.starts_with('#') {
                 assert!(line.starts_with("# TYPE "), "bad comment: {line}");
-            } else {
-                let (name, value) = line.rsplit_once(' ').expect("sample has a value");
-                assert!(name.starts_with("noodle_"), "bad name: {line}");
-                assert!(
-                    value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
-                    "bad value: {line}"
-                );
+                continue;
             }
+            // Strip an OpenMetrics exemplar suffix before checking the
+            // sample grammar; the suffix has its own fixed shape.
+            let (line, exemplar) = match line.split_once(" # ") {
+                Some((sample, ex)) => (sample, Some(ex)),
+                None => (line, None),
+            };
+            if let Some(ex) = exemplar {
+                let (labels, value) = ex.rsplit_once(' ').expect("exemplar has a value");
+                assert!(labels.starts_with("{trace_id=\""), "bad exemplar: {ex}");
+                assert!(labels.ends_with("\"}"), "bad exemplar: {ex}");
+                assert!(value.parse::<f64>().is_ok(), "bad exemplar value: {ex}");
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(name.starts_with("noodle_"), "bad name: {line}");
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad value: {line}"
+            );
         }
     }
 
@@ -150,5 +197,50 @@ mod tests {
         snap.gauges.insert("weird".into(), f64::NAN);
         let text = render_prometheus(&snap);
         assert!(text.contains("noodle_weird NaN\n"));
+    }
+
+    #[test]
+    fn build_info_and_uptime_lead_the_payload() {
+        let text = render_prometheus(&MetricsSnapshot::default());
+        assert!(text.starts_with("# TYPE noodle_build_info gauge\n"));
+        assert!(text.contains("noodle_build_info{version=\""));
+        assert!(text.contains(",git_sha=\""));
+        assert!(text.contains("} 1\n"));
+        let uptime_line = text
+            .lines()
+            .find(|l| l.starts_with("noodle_process_uptime_seconds "))
+            .expect("uptime gauge present");
+        let value: f64 = uptime_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(value >= 0.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn traced_buckets_carry_an_exemplar() {
+        let ctx = noodle_trace::TraceContext::mint();
+        let mut h = Histogram::new(&[1.0, 5.0]);
+        h.record(0.5); // untraced bucket: no exemplar
+        {
+            let _guard = noodle_trace::set_current(ctx);
+            h.record(2.0);
+        }
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("detect.latency_us".into(), h.snapshot());
+        let text = render_prometheus(&snap);
+        let hex = noodle_trace::format_trace_id(ctx.trace_id);
+        assert!(
+            text.contains(&format!(
+                "noodle_detect_latency_us_bucket{{le=\"5\"}} 2 # {{trace_id=\"{hex}\"}} 2\n"
+            )),
+            "{text}"
+        );
+        assert!(text.contains("noodle_detect_latency_us_bucket{le=\"1\"} 1\n"), "{text}");
     }
 }

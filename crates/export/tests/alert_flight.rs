@@ -1,0 +1,112 @@
+//! The alert-triggered flight recorder, end to end: a drifted audit
+//! stream trips the streaming monitors into Alert, `/healthz` turns 503
+//! with per-monitor evidence, and exactly one flight bundle lands on
+//! disk at the transition.
+
+use noodle_export::ExportServer;
+use noodle_observe::{
+    install_alert_dump, FlightBundle, Health, MonitorConfig, PredictionRecord, SourceProbe,
+    StreamingMonitors,
+};
+
+fn record(seq: u64, imputed: bool) -> PredictionRecord {
+    PredictionRecord {
+        seq,
+        design: format!("uart_{seq:03}"),
+        trace_id: noodle_trace::format_trace_id(0xfee1_dead_0000_0000 | seq),
+        strategy: "LateFusion".into(),
+        infected: false,
+        probability_infected: 0.1,
+        p_values: [0.9, 0.1],
+        region: vec![0],
+        credibility: 0.9,
+        confidence: 0.9,
+        uncertain: false,
+        significance: 0.1,
+        graph_present: true,
+        tabular_present: !imputed,
+        imputed_modality: imputed,
+        label: Some(0),
+        latency_us: 80.0,
+        batch_latency_us: 80.0,
+        batch_size: 1,
+        sources: vec![SourceProbe {
+            source: "graph".into(),
+            p_values: [0.9, 0.1],
+            scores: [0.05, 0.4],
+        }],
+    }
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to export server");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn drifted_stream_trips_healthz_and_writes_exactly_one_bundle() {
+    let dir = std::env::temp_dir().join(format!(
+        "noodle-alert-flight-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos())
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = MonitorConfig { min_samples: 5, ..MonitorConfig::default() };
+    let monitors = StreamingMonitors::new(config);
+    install_alert_dump(&monitors, &dir);
+
+    // A healthy prefix, then a drifted tail: every record suddenly has an
+    // imputed modality, which drives the modality monitor into Alert.
+    for seq in 0..10 {
+        monitors.observe(&record(seq, false));
+    }
+    for seq in 10..40 {
+        monitors.observe(&record(seq, true));
+    }
+    assert_eq!(monitors.overall(), Health::Alert);
+
+    // /healthz turns 503 and carries per-monitor evidence.
+    let server = ExportServer::start("127.0.0.1:0", monitors.clone(), None).unwrap();
+    let (status, body) = get(server.addr(), "/healthz");
+    assert!(status.contains("503"), "{status}");
+    let health: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(health["overall"], "alert");
+    assert!(
+        health["monitors"].as_array().unwrap().iter().any(
+            |m| m["health"] == "alert" && m["evidence"].as_str().is_some_and(|e| !e.is_empty())
+        ),
+        "{body}"
+    );
+
+    // Exactly one bundle was written, at the Healthy→Alert transition —
+    // staying in Alert for 29 more records must not write more.
+    let bundles: Vec<_> = std::fs::read_dir(&dir)
+        .expect("bundle directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("flight-"))
+        })
+        .collect();
+    assert_eq!(bundles.len(), 1, "{bundles:?}");
+    let bundle = FlightBundle::from_json(&std::fs::read_to_string(&bundles[0]).unwrap()).unwrap();
+    assert_eq!(bundle.reason, "alert");
+    assert_eq!(bundle.monitor.overall, Health::Alert);
+    assert!(bundle.monitor.monitors.iter().any(|m| m.health == Health::Alert));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -13,6 +13,7 @@ fn record(seq: u64, imputed: bool) -> PredictionRecord {
     PredictionRecord {
         seq,
         design: format!("alu_{seq:03}"),
+        trace_id: String::new(),
         strategy: "LateFusion".into(),
         infected: false,
         probability_infected: 0.1,
@@ -115,6 +116,50 @@ fn serves_all_endpoints_and_shuts_down_on_drop() {
     // The listener is gone shortly after drop; a fresh connect must fail.
     std::thread::sleep(Duration::from_millis(100));
     assert!(TcpStream::connect(addr).is_err(), "server still listening after drop");
+}
+
+#[test]
+fn debug_flight_returns_a_parseable_bundle() {
+    let monitors = StreamingMonitors::new(MonitorConfig::default());
+    monitors.observe(&record(0, false));
+    let server = ExportServer::start("127.0.0.1:0", monitors, None).unwrap();
+    let (status, body) = get(server.addr(), "/debug/flight");
+    assert!(status.contains("200"), "{status}");
+    let bundle = noodle_observe::FlightBundle::from_json(&body).expect("bundle JSON parses");
+    assert_eq!(bundle.reason, "manual");
+    assert_eq!(bundle.monitor.records, 1);
+}
+
+#[test]
+fn debug_trace_filters_flight_events_by_id() {
+    let ctx = noodle_trace::TraceContext::mint();
+    noodle_trace::flight_record(
+        noodle_trace::FlightKind::Request,
+        ctx.trace_id,
+        ctx.span_id,
+        0,
+        0,
+        "uart_dbg",
+    );
+    let monitors = StreamingMonitors::new(MonitorConfig::default());
+    let server = ExportServer::start("127.0.0.1:0", monitors, None).unwrap();
+    let hex = noodle_trace::format_trace_id(ctx.trace_id);
+
+    let (status, body) = get(server.addr(), &format!("/debug/trace/{hex}"));
+    assert!(status.contains("200"), "{status}");
+    let value: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(value["trace_id"], hex.as_str());
+    assert!(value["events"].as_array().unwrap().iter().any(|e| e["name"] == "uart_dbg"));
+
+    // A valid id with no events is a 404; a malformed id is a 400.
+    let other = noodle_trace::TraceContext::mint();
+    let (status, _) = get(
+        server.addr(),
+        &format!("/debug/trace/{}", noodle_trace::format_trace_id(other.trace_id)),
+    );
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = get(server.addr(), "/debug/trace/not-hex");
+    assert!(status.contains("400"), "{status}");
 }
 
 #[test]

@@ -1,0 +1,199 @@
+//! Alert-triggered flight-recorder bundles.
+//!
+//! A [`FlightBundle`] is a self-contained diagnostics snapshot taken the
+//! moment something goes wrong: the flight-recorder ring (recent span
+//! opens/closes, monitor transitions, request summaries), the live metric
+//! registry and the full monitor verdicts, stamped with the trace id that
+//! was ambient at capture. [`install_alert_dump`] wires a
+//! [`StreamingMonitors`] engine so its first Healthy/Warn→Alert transition
+//! writes exactly one bundle to disk — the black box is recovered at the
+//! crash site, not reconstructed afterwards.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use noodle_telemetry::MetricsSnapshot;
+use noodle_trace::FlightRecordEvent;
+
+use crate::error::AuditError;
+use crate::report::MonitorReport;
+use crate::streaming::StreamingMonitors;
+
+/// Version of the [`FlightBundle`] JSON schema.
+pub const FLIGHT_BUNDLE_SCHEMA_VERSION: u32 = 1;
+
+/// A self-contained diagnostics snapshot: recent flight-recorder events,
+/// live metrics and monitor verdicts, plus what triggered the capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightBundle {
+    /// Bundle schema version ([`FLIGHT_BUNDLE_SCHEMA_VERSION`] at write
+    /// time).
+    pub schema_version: u32,
+    /// Version of the noodle workspace that wrote the bundle.
+    pub tool_version: String,
+    /// Why the bundle was captured: `"alert"` for the monitor hook,
+    /// `"manual"` for `GET /debug/flight`.
+    pub reason: String,
+    /// Trace id (16 hex digits) ambient at capture; empty if none. For
+    /// alert captures this is the request whose record tripped the
+    /// monitors.
+    #[serde(default)]
+    pub trigger_trace_id: String,
+    /// Milliseconds since the Unix epoch at capture (also the filename
+    /// discriminator for [`FlightBundle::write`]).
+    pub unix_ms: u64,
+    /// The flight-recorder ring at capture, oldest event first.
+    pub events: Vec<FlightRecordEvent>,
+    /// The live metric registry at capture.
+    pub metrics: MetricsSnapshot,
+    /// Monitor verdicts at capture.
+    pub monitor: MonitorReport,
+}
+
+impl FlightBundle {
+    /// Captures a bundle right now: snapshots the flight ring and the
+    /// metric registry, stamps the ambient trace id (if any) and the
+    /// wall clock, and attaches the given monitor report.
+    pub fn capture(reason: &str, monitor: MonitorReport) -> Self {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let trigger_trace_id = noodle_trace::current()
+            .map_or_else(String::new, |c| noodle_trace::format_trace_id(c.trace_id));
+        Self {
+            schema_version: FLIGHT_BUNDLE_SCHEMA_VERSION,
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            reason: reason.to_string(),
+            trigger_trace_id,
+            unix_ms,
+            events: noodle_trace::flight_snapshot(),
+            metrics: noodle_telemetry::metrics_snapshot(),
+            monitor,
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("flight bundle serializes")
+    }
+
+    /// Deserializes, rejecting bundles with a newer schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] on malformed JSON or an unsupported version.
+    pub fn from_json(json: &str) -> Result<Self, AuditError> {
+        let bundle: Self = serde_json::from_str(json)
+            .map_err(|e| AuditError::new(format!("flight bundle: {e}")))?;
+        if bundle.schema_version > FLIGHT_BUNDLE_SCHEMA_VERSION {
+            return Err(AuditError::new(format!(
+                "flight bundle has schema version {} but this build reads at most {}",
+                bundle.schema_version, FLIGHT_BUNDLE_SCHEMA_VERSION
+            )));
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `dir/flight-<unix_ms>.json`, creating `dir`
+    /// (and parents) if needed. Returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuditError`] if the directory or file cannot be written.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, AuditError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| AuditError::new(format!("flight bundle dir {}: {e}", dir.display())))?;
+        let path = dir.join(format!("flight-{}.json", self.unix_ms));
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| AuditError::new(format!("flight bundle {}: {e}", path.display())))?;
+        Ok(path)
+    }
+}
+
+/// Wires `monitors` so that each Healthy/Warn→Alert transition captures
+/// one [`FlightBundle`] (reason `"alert"`) and writes it into `dir`.
+///
+/// Failures to write are reported on stderr and otherwise swallowed: an
+/// observability fault must never fail the detect path it is observing.
+pub fn install_alert_dump(monitors: &StreamingMonitors, dir: &Path) {
+    let dir = dir.to_path_buf();
+    monitors.set_alert_hook(move |report| {
+        let bundle = FlightBundle::capture("alert", report.clone());
+        match bundle.write(&dir) {
+            Ok(path) => eprintln!(
+                "[observe] monitors degraded to Alert; flight bundle written to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[observe] failed to write flight bundle: {e}"),
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Health;
+    use crate::report::MONITOR_SCHEMA_VERSION;
+
+    fn empty_report() -> MonitorReport {
+        MonitorReport {
+            schema_version: MONITOR_SCHEMA_VERSION,
+            tool_version: "0.1.0".into(),
+            records: 0,
+            labeled: 0,
+            epsilon: None,
+            window: 50,
+            overall: Health::Healthy,
+            monitors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn capture_round_trips_through_json() {
+        let ctx = noodle_trace::TraceContext::mint();
+        let bundle = {
+            let _guard = noodle_trace::set_current(ctx);
+            noodle_trace::flight_record(
+                noodle_trace::FlightKind::Request,
+                ctx.trace_id,
+                ctx.span_id,
+                0,
+                0,
+                "uart_000",
+            );
+            FlightBundle::capture("manual", empty_report())
+        };
+        assert_eq!(bundle.schema_version, FLIGHT_BUNDLE_SCHEMA_VERSION);
+        assert_eq!(bundle.reason, "manual");
+        assert_eq!(bundle.trigger_trace_id, noodle_trace::format_trace_id(ctx.trace_id));
+        assert!(bundle.events.iter().any(|e| e.trace_id == bundle.trigger_trace_id));
+        let restored = FlightBundle::from_json(&bundle.to_json()).unwrap();
+        assert_eq!(bundle, restored);
+    }
+
+    #[test]
+    fn from_json_rejects_future_versions() {
+        let mut bundle = FlightBundle::capture("manual", empty_report());
+        bundle.schema_version = FLIGHT_BUNDLE_SCHEMA_VERSION + 1;
+        let err = FlightBundle::from_json(&bundle.to_json()).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+    }
+
+    #[test]
+    fn write_creates_the_directory_and_a_timestamped_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "noodle-flight-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos())
+        ));
+        let bundle = FlightBundle::capture("manual", empty_report());
+        let path = bundle.write(&dir).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("flight-"));
+        let restored = FlightBundle::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(bundle, restored);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,6 +27,10 @@
 //! - [`RotatingJsonlAudit`] — a size-rotated file sink (`.1`..`.N`
 //!   suffixes, fsync-on-rotate, header re-emitted per segment so every
 //!   segment replays standalone).
+//! - [`FlightBundle`] / [`install_alert_dump`] — alert-triggered flight
+//!   recorder: the first Healthy/Warn→Alert transition dumps a
+//!   self-contained diagnostics bundle (recent flight-recorder events,
+//!   live metrics, monitor verdicts, triggering trace id) to disk.
 //!
 //! Audit emission follows the same gating discipline as
 //! `noodle-telemetry`: with no sink attached, [`emit_if`] never invokes
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod flight;
 pub mod follow;
 pub mod monitor;
 pub mod psi;
@@ -46,6 +51,7 @@ pub mod sink;
 pub mod streaming;
 
 pub use error::AuditError;
+pub use flight::{install_alert_dump, FlightBundle, FLIGHT_BUNDLE_SCHEMA_VERSION};
 pub use follow::LogFollower;
 pub use monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
 pub use psi::{CalibrationBaseline, ScoreBaseline};

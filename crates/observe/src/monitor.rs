@@ -499,6 +499,7 @@ mod tests {
         PredictionRecord {
             seq: 0,
             design: String::new(),
+            trace_id: String::new(),
             strategy: "EarlyFusion".into(),
             infected,
             probability_infected: p1,

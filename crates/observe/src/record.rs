@@ -13,7 +13,9 @@ use crate::psi::CalibrationBaseline;
 /// - v1: initial schema.
 /// - v2: records carry `batch_size` and `batch_latency_us` (batched detect
 ///   engine); v1 logs still parse, defaulting both to a batch of one.
-pub const AUDIT_SCHEMA_VERSION: u32 = 2;
+/// - v3: records carry `trace_id` (request-scoped tracing); v1/v2 logs
+///   still parse, defaulting to an empty (unknown) trace id.
+pub const AUDIT_SCHEMA_VERSION: u32 = 3;
 
 /// Per-class conformal evidence from one p-value source (a single-modality
 /// classifier or the early-fusion classifier).
@@ -37,6 +39,12 @@ pub struct PredictionRecord {
     /// Design identifier (file stem or module name; may be empty for
     /// anonymous library calls).
     pub design: String,
+    /// Trace id (16 lowercase hex digits) of the request context that
+    /// produced this record; empty in logs written before schema v3 or
+    /// when no context was ambient. Grep the same id in the telemetry
+    /// spans and the Chrome trace to join all three views of one request.
+    #[serde(default)]
+    pub trace_id: String,
     /// The fusion strategy that produced the decision, e.g. `"LateFusion"`.
     pub strategy: String,
     /// The hedged point decision.
@@ -158,6 +166,7 @@ mod tests {
         PredictionRecord {
             seq,
             design: format!("alu_tf_{seq:03}"),
+            trace_id: "00c0ffee00c0ffee".into(),
             strategy: "LateFusion".into(),
             infected: false,
             probability_infected: 0.2,
@@ -261,6 +270,22 @@ mod tests {
         let text = serde_json::to_string(&AuditLine::Header(v1)).unwrap();
         let (header, _) = parse_audit_log(&text).unwrap();
         assert_eq!(header.unwrap().schema_version, 1);
+    }
+
+    #[test]
+    fn v2_records_parse_with_an_empty_trace_id() {
+        // A record serialized before the v3 trace field existed must still
+        // parse, reading as an unknown (empty) trace id.
+        let mut value = serde_json::to_value(sample_record(0)).unwrap();
+        value.as_object_mut().unwrap().remove("trace_id");
+        let restored: PredictionRecord = serde_json::from_value(value).unwrap();
+        assert!(restored.trace_id.is_empty());
+
+        let mut v2 = sample_header();
+        v2.schema_version = 2;
+        let text = serde_json::to_string(&AuditLine::Header(v2)).unwrap();
+        let (header, _) = parse_audit_log(&text).unwrap();
+        assert_eq!(header.unwrap().schema_version, 2);
     }
 
     #[test]

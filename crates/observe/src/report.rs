@@ -101,6 +101,7 @@ mod tests {
         PredictionRecord {
             seq,
             design: format!("alu_tf_{seq:03}"),
+            trace_id: String::new(),
             strategy: "LateFusion".into(),
             infected: label == 1,
             probability_infected: p1,

@@ -284,6 +284,7 @@ mod tests {
         PredictionRecord {
             seq,
             design: "uart_ti_000".into(),
+            trace_id: String::new(),
             strategy: "EarlyFusion".into(),
             infected: true,
             probability_infected: 0.9,

@@ -33,7 +33,11 @@ pub struct Transition {
     pub status: MonitorStatus,
 }
 
-#[derive(Debug)]
+/// Called (with the internal lock released) when the overall health first
+/// degrades to [`Health::Alert`]; receives the report computed at the
+/// transitioning record.
+type AlertHook = Arc<dyn Fn(&MonitorReport) + Send + Sync>;
+
 struct StreamingState {
     config: MonitorConfig,
     suite: MonitorSuite,
@@ -41,6 +45,23 @@ struct StreamingState {
     /// the `--follow` transition printer. Only populated on demand, so
     /// plain replay pays nothing for it.
     last_health: std::collections::BTreeMap<String, Health>,
+    /// Overall health as of the previous record, maintained only while an
+    /// alert hook is installed (computing it allocates evidence strings,
+    /// so hook-less replay pays nothing).
+    last_overall: Health,
+    alert_hook: Option<AlertHook>,
+}
+
+impl std::fmt::Debug for StreamingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingState")
+            .field("config", &self.config)
+            .field("suite", &self.suite)
+            .field("last_health", &self.last_health)
+            .field("last_overall", &self.last_overall)
+            .field("alert_hook", &self.alert_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 /// A shareable, incremental monitor engine: push records as they happen,
@@ -63,6 +84,8 @@ impl StreamingMonitors {
                 config,
                 suite,
                 last_health: std::collections::BTreeMap::new(),
+                last_overall: Health::Healthy,
+                alert_hook: None,
             })),
         }
     }
@@ -86,8 +109,61 @@ impl StreamingMonitors {
     }
 
     /// Ingests one prediction record into every monitor window.
+    ///
+    /// While an alert hook is installed (see
+    /// [`StreamingMonitors::set_alert_hook`]), the overall health is
+    /// re-evaluated per record; a change is logged to the flight recorder
+    /// and a degradation to [`Health::Alert`] fires the hook exactly once
+    /// per Healthy/Warn→Alert transition, with the lock already released.
     pub fn observe(&self, record: &PredictionRecord) {
-        self.state().suite.push(record);
+        let fired = {
+            let mut state = self.state();
+            state.suite.push(record);
+            if state.alert_hook.is_none() {
+                None
+            } else {
+                let overall = state.suite.overall();
+                let previous = std::mem::replace(&mut state.last_overall, overall);
+                if previous != overall {
+                    noodle_trace::flight_record(
+                        noodle_trace::FlightKind::MonitorTransition,
+                        noodle_trace::current().map_or(0, |c| c.trace_id),
+                        0,
+                        previous as u64,
+                        overall as u64,
+                        "monitors.overall",
+                    );
+                }
+                if overall == Health::Alert && previous != Health::Alert {
+                    // Build the report while the suite is still locked so
+                    // the hook sees the exact transitioning state; invoke
+                    // it after unlocking so a hook that reads this engine
+                    // back (or dumps a bundle) cannot deadlock.
+                    let report = Self::report_locked(&state);
+                    state.alert_hook.clone().map(|hook| (hook, report))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some((hook, report)) = fired {
+            hook(&report);
+        }
+    }
+
+    /// Installs (replacing any previous) the alert hook: called exactly
+    /// once each time the overall health degrades to [`Health::Alert`]
+    /// from a healthier state. The current health at install time is the
+    /// starting point, so an engine already in `Alert` does not re-fire
+    /// until it recovers and degrades again.
+    ///
+    /// Installing a hook turns on per-record overall-health evaluation
+    /// (one `overall()` per record); without a hook the ingest path stays
+    /// allocation-free.
+    pub fn set_alert_hook(&self, hook: impl Fn(&MonitorReport) + Send + Sync + 'static) {
+        let mut state = self.state();
+        state.last_overall = state.suite.overall();
+        state.alert_hook = Some(Arc::new(hook));
     }
 
     /// Total records consumed so far.
@@ -108,7 +184,10 @@ impl StreamingMonitors {
     /// A point-in-time [`MonitorReport`] over everything consumed so far.
     /// Valid (and `Healthy`) even before the first record.
     pub fn report(&self) -> MonitorReport {
-        let state = self.state();
+        Self::report_locked(&self.state())
+    }
+
+    fn report_locked(state: &StreamingState) -> MonitorReport {
         MonitorReport {
             schema_version: MONITOR_SCHEMA_VERSION,
             tool_version: env!("CARGO_PKG_VERSION").to_string(),
@@ -162,6 +241,7 @@ mod tests {
         PredictionRecord {
             seq,
             design: format!("uart_{seq:03}"),
+            trace_id: String::new(),
             strategy: "LateFusion".into(),
             infected: label == 1,
             probability_infected: p1,
@@ -276,6 +356,36 @@ mod tests {
         );
         // No further change, no further transition.
         assert!(stream.transitions_since_last().is_empty());
+    }
+
+    #[test]
+    fn alert_hook_fires_exactly_once_per_degradation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let config = MonitorConfig { min_samples: 5, ..MonitorConfig::default() };
+        let stream = StreamingMonitors::new(config);
+        stream.observe_header(&header(false));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let fired = fired.clone();
+            let seen = seen.clone();
+            stream.set_alert_hook(move |report| {
+                fired.fetch_add(1, Ordering::SeqCst);
+                *seen.lock().unwrap() = Some(report.clone());
+            });
+        }
+        // Drive the imputed-modality monitor to Alert; the hook must fire
+        // on the transitioning record only, not on every record in Alert.
+        for i in 0..30 {
+            let mut r = record(i, 0, true);
+            r.imputed_modality = true;
+            stream.observe(&r);
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let report = seen.lock().unwrap().clone().expect("hook saw a report");
+        assert_eq!(report.overall, Health::Alert);
+        assert!(report.monitors.iter().any(|m| m.health == Health::Alert));
     }
 
     #[test]

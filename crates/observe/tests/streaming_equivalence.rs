@@ -41,6 +41,7 @@ fn arb_record(seq: u64) -> impl Strategy<Value = PredictionRecord> {
             PredictionRecord {
                 seq,
                 design: format!("fuzz_{seq:04}"),
+                trace_id: String::new(),
                 strategy: "LateFusion".into(),
                 infected,
                 probability_infected: p1,

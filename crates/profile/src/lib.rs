@@ -58,11 +58,9 @@ pub use summary::{
 pub use trace::{read_chrome_trace, write_chrome_trace, TraceError, TraceMeta};
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 /// Whether profiling is currently collecting. One relaxed atomic load —
 /// this is the only cost instrumented hot paths pay when profiling is off.
@@ -82,10 +80,11 @@ pub fn set_enabled(on: bool) {
 }
 
 /// The common time origin shared by every event (and, through the
-/// telemetry layer, every span): the first instant the profiler or the
-/// telemetry layer was touched.
+/// telemetry layer, every span): the first instant any tracing layer was
+/// touched. Delegates to `noodle-trace`, which owns the process-wide
+/// epoch, so flight-recorder events share the same timeline.
 pub fn epoch() -> Instant {
-    *EPOCH.get_or_init(Instant::now)
+    noodle_trace::epoch()
 }
 
 /// Nanoseconds since the [`epoch`]. Monotonic; used for every event

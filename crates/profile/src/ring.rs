@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{enabled, now_ns};
 
-/// Default events retained per thread (~12 MiB at 48 bytes/event),
+/// Default events retained per thread (~14 MiB at 56 bytes/event),
 /// overridable via `NOODLE_PROFILE_CAPACITY`.
 const DEFAULT_CAPACITY: usize = 1 << 18;
 
@@ -126,10 +126,19 @@ struct Event {
     dur_ns: u64,
     flops: u64,
     bytes: u64,
+    /// Owning request's trace id (0 = no ambient context), captured from
+    /// `noodle_trace::current()` at record time.
+    trace: u64,
 }
 
 const EMPTY_EVENT: Event =
-    Event { kind: EventKind::Span, name: 0, start_ns: 0, dur_ns: 0, flops: 0, bytes: 0 };
+    Event { kind: EventKind::Span, name: 0, start_ns: 0, dur_ns: 0, flops: 0, bytes: 0, trace: 0 };
+
+/// The ambient trace id to stamp on an event being recorded right now.
+#[inline]
+fn current_trace() -> u64 {
+    noodle_trace::current().map_or(0, |c| c.trace_id)
+}
 
 /// One thread's single-producer event ring.
 struct ThreadRing {
@@ -248,7 +257,9 @@ pub fn record(kind: EventKind, start_ns: u64, dur_ns: u64, flops: u64, bytes: u6
     if !enabled() {
         return;
     }
-    with_ring(|r| r.push(Event { kind, name: 0, start_ns, dur_ns, flops, bytes }));
+    with_ring(|r| {
+        r.push(Event { kind, name: 0, start_ns, dur_ns, flops, bytes, trace: current_trace() })
+    });
 }
 
 /// Records a closed span (called by the telemetry layer's span guard).
@@ -262,7 +273,15 @@ pub fn record_span(name: &str, start_ns: u64, dur_ns: u64) {
     }
     let id = intern(name);
     with_ring(|r| {
-        r.push(Event { kind: EventKind::Span, name: id, start_ns, dur_ns, flops: 0, bytes: 0 })
+        r.push(Event {
+            kind: EventKind::Span,
+            name: id,
+            start_ns,
+            dur_ns,
+            flops: 0,
+            bytes: 0,
+            trace: current_trace(),
+        })
     });
 }
 
@@ -316,6 +335,10 @@ pub struct ProfileEvent {
     pub flops: u64,
     /// Bytes touched by the event, when known.
     pub bytes: u64,
+    /// Trace id of the request this event belongs to (0 = none); joins
+    /// the event to its audit record and telemetry spans.
+    #[serde(default)]
+    pub trace_id: u64,
 }
 
 /// All events recorded by one thread, in push order.
@@ -394,6 +417,7 @@ pub fn drain() -> Profile {
                     dur_ns: e.dur_ns,
                     flops: e.flops,
                     bytes: e.bytes,
+                    trace_id: e.trace,
                 })
                 .collect(),
         })
@@ -464,10 +488,35 @@ mod tests {
                 dur_ns: 1,
                 flops: 0,
                 bytes: 0,
+                trace: 0,
             });
         }
         assert_eq!(ring.snapshot().len(), 4);
         assert_eq!(ring.dropped.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn events_carry_the_ambient_trace_id() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let ctx = noodle_trace::TraceContext::mint();
+        {
+            let _t = noodle_trace::set_current(ctx);
+            record(EventKind::Im2col, 1, 2, 3, 4);
+            record_span("traced.span", 1, 2);
+        }
+        record(EventKind::Im2col, 5, 6, 7, 8);
+        let profile = drain();
+        set_enabled(false);
+        let events: Vec<&ProfileEvent> =
+            profile.threads.iter().flat_map(|t| t.events.iter()).collect();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Im2col && e.flops == 3 && e.trace_id == ctx.trace_id));
+        assert!(events.iter().any(|e| e.name == "traced.span" && e.trace_id == ctx.trace_id));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Im2col && e.flops == 7 && e.trace_id == 0));
     }
 
     #[test]

@@ -328,7 +328,15 @@ mod tests {
     use crate::ring::ThreadProfile;
 
     fn ev(kind: EventKind, name: &str, start: u64, dur: u64, flops: u64) -> ProfileEvent {
-        ProfileEvent { kind, name: name.into(), start_ns: start, dur_ns: dur, flops, bytes: 0 }
+        ProfileEvent {
+            kind,
+            name: name.into(),
+            start_ns: start,
+            dur_ns: dur,
+            flops,
+            bytes: 0,
+            trace_id: 0,
+        }
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub fn write_chrome_trace(profile: &Profile, meta: &TraceMeta) -> String {
             "args": { "name": thread.name }
         }));
         for e in &thread.events {
+            let mut args = json!({ "flops": e.flops, "bytes": e.bytes });
+            if e.trace_id != 0 {
+                // 16-hex-digit form: the same string the audit record and
+                // /debug/trace/<id> use, so one grep joins all three.
+                args["trace"] = Value::String(noodle_trace::format_trace_id(e.trace_id));
+            }
             events.push(json!({
                 "ph": "X",
                 "name": e.name,
@@ -86,7 +92,7 @@ pub fn write_chrome_trace(profile: &Profile, meta: &TraceMeta) -> String {
                 "tid": thread.tid,
                 "ts": e.start_ns as f64 / 1000.0,
                 "dur": e.dur_ns as f64 / 1000.0,
-                "args": { "flops": e.flops, "bytes": e.bytes }
+                "args": args
             }));
         }
     }
@@ -150,6 +156,11 @@ pub fn read_chrome_trace(text: &str) -> Result<(Profile, TraceMeta), TraceError>
                     dur_ns: as_u64_ns(obj, "dur"),
                     flops: args.and_then(|a| a.get("flops")).and_then(Value::as_u64).unwrap_or(0),
                     bytes: args.and_then(|a| a.get("bytes")).and_then(Value::as_u64).unwrap_or(0),
+                    trace_id: args
+                        .and_then(|a| a.get("trace"))
+                        .and_then(Value::as_str)
+                        .and_then(noodle_trace::parse_trace_id)
+                        .unwrap_or(0),
                 });
             }
             _ => {}
@@ -177,6 +188,7 @@ mod tests {
                         dur_ns: 5_000,
                         flops: 0,
                         bytes: 0,
+                        trace_id: 0,
                     },
                     ProfileEvent {
                         kind: EventKind::Gemm,
@@ -185,6 +197,7 @@ mod tests {
                         dur_ns: 2_000,
                         flops: 123_456,
                         bytes: 789,
+                        trace_id: 0xdead_beef_cafe_f00d,
                     },
                 ],
             }],
@@ -224,6 +237,7 @@ mod tests {
                     dur_ns: 20,
                     flops: 4,
                     bytes: 0,
+                    trace_id: 0,
                 }],
             }],
         };

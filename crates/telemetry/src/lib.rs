@@ -44,7 +44,8 @@ mod span;
 
 pub use metrics::{
     counter_add, gauge_set, histogram_record, merge_histogram, register_histogram, time_histogram,
-    Histogram, HistogramSnapshot, MetricsSnapshot, Quantiles, TelemetrySnapshot, TimerGuard,
+    Exemplar, Histogram, HistogramSnapshot, MetricsSnapshot, Quantiles, TelemetrySnapshot,
+    TimerGuard,
 };
 pub use report::{
     CorpusSummary, EvaluationSummary, ReportError, RunContext, RunReport, SCHEMA_VERSION,

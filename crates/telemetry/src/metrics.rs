@@ -18,6 +18,18 @@ pub struct Quantiles {
     pub p99: f64,
 }
 
+/// One traced observation retained per histogram bucket: the most recent
+/// value recorded into that bucket while a request context was ambient.
+/// Surfaced on `/metrics` as an OpenMetrics exemplar, so a latency
+/// outlier in a bucket links straight to the request that caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// Trace id of the request that recorded it (never 0).
+    pub trace_id: u64,
+}
+
 /// A point-in-time summary of one histogram: everything a scrape or report
 /// needs (bucket counts, totals, extrema, exact quantiles) without the raw
 /// observation vector.
@@ -43,6 +55,10 @@ pub struct HistogramSnapshot {
     pub max: Option<f64>,
     /// Exact p50/p95/p99, when at least one observation was retained.
     pub quantiles: Option<Quantiles>,
+    /// Per-bucket trace-id exemplars (empty when no traced observation
+    /// was ever recorded; absent in snapshots written before exemplars).
+    #[serde(default)]
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -86,6 +102,11 @@ pub struct Histogram {
     /// before quantile support).
     #[serde(default)]
     pub values: Vec<f64>,
+    /// Per-bucket trace-id exemplars: the most recent traced observation
+    /// that landed in each bucket (absent in reports written before
+    /// exemplar support; kept empty until the first traced observation).
+    #[serde(default)]
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -95,7 +116,16 @@ impl Histogram {
         bounds.sort_by(|a, b| a.total_cmp(b));
         bounds.dedup();
         let counts = vec![0; bounds.len() + 1];
-        Self { bounds, counts, count: 0, sum: 0.0, min: None, max: None, values: Vec::new() }
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            values: Vec::new(),
+            exemplars: Vec::new(),
+        }
     }
 
     /// Default bounds: a 1–2–5 logarithmic ladder from 1e-6 to 1e9, wide
@@ -124,6 +154,15 @@ impl Histogram {
         self.min = Some(self.min.map_or(value, |m| m.min(value)));
         self.max = Some(self.max.map_or(value, |m| m.max(value)));
         self.values.push(value);
+        if let Some(ctx) = noodle_trace::current() {
+            // Keep the latest traced observation per bucket as its
+            // exemplar. The vector stays empty until the first traced
+            // observation, so untraced histograms pay nothing.
+            if self.exemplars.len() != self.counts.len() {
+                self.exemplars.resize(self.counts.len(), None);
+            }
+            self.exemplars[idx] = Some(Exemplar { value, trace_id: ctx.trace_id });
+        }
     }
 
     /// Mean of the observations, or `None` before the first one.
@@ -177,6 +216,7 @@ impl Histogram {
             min: self.min,
             max: self.max,
             quantiles: self.quantiles(),
+            exemplars: self.exemplars.clone(),
         }
     }
 
@@ -205,6 +245,16 @@ impl Histogram {
             (a, b) => a.or(b),
         };
         self.values.extend_from_slice(&other.values);
+        if other.exemplars.iter().any(Option::is_some) {
+            if self.exemplars.len() != self.counts.len() {
+                self.exemplars.resize(self.counts.len(), None);
+            }
+            for (i, ex) in other.exemplars.iter().enumerate() {
+                if ex.is_some() {
+                    self.exemplars[i] = *ex;
+                }
+            }
+        }
     }
 }
 
@@ -493,5 +543,40 @@ mod tests {
         assert_eq!(h.count, 1);
         assert!(h.values.is_empty());
         assert_eq!(h.quantiles(), None);
+    }
+
+    #[test]
+    fn traced_observations_leave_bucket_exemplars() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5); // untraced: no exemplar storage allocated
+        assert!(h.exemplars.is_empty());
+
+        let ctx = noodle_trace::TraceContext::mint();
+        {
+            let _guard = noodle_trace::set_current(ctx);
+            h.record(2.0); // bucket 1
+            h.record(5.0); // bucket 1 again: exemplar replaced
+        }
+        h.record(42.0); // untraced: overflow bucket keeps no exemplar
+        assert_eq!(h.exemplars.len(), h.counts.len());
+        assert_eq!(h.exemplars[0], None);
+        assert_eq!(h.exemplars[1], Some(Exemplar { value: 5.0, trace_id: ctx.trace_id }));
+        assert_eq!(h.exemplars[2], None);
+
+        // Merge adopts the other shard's exemplars where present.
+        let mut empty = Histogram::new(&[1.0, 10.0]);
+        empty.merge(&h);
+        assert_eq!(empty.exemplars[1], Some(Exemplar { value: 5.0, trace_id: ctx.trace_id }));
+
+        // Snapshot carries them through to scrape rendering.
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars, h.exemplars);
+
+        // Legacy-deserialized histograms (no exemplar vector) still record.
+        let legacy = r#"{"bounds":[1.0],"counts":[0,0],"count":0,"sum":0.0,"min":null,"max":null}"#;
+        let mut old: Histogram = serde_json::from_str(legacy).unwrap();
+        let _guard = noodle_trace::set_current(ctx);
+        old.record(0.5);
+        assert_eq!(old.exemplars[0], Some(Exemplar { value: 0.5, trace_id: ctx.trace_id }));
     }
 }

@@ -72,6 +72,12 @@ pub struct RunContext {
     pub seed: Option<u64>,
     /// Version of the crate that ran the command.
     pub version: String,
+    /// The observability HTTP endpoint actually bound by
+    /// `--observe-addr`, with any ephemeral port resolved
+    /// (`"127.0.0.1:43817"`), so scripts can discover the live endpoints
+    /// from `--report` output instead of scraping stderr.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub observe_addr: Option<String>,
 }
 
 /// Corpus composition statistics, mirrored from `bench_gen::CorpusStats`
@@ -230,6 +236,7 @@ mod tests {
                 invocation: "noodle train --fast --corpus-seed 3".into(),
                 seed: Some(3),
                 version: "0.1.0".into(),
+                observe_addr: Some("127.0.0.1:43817".into()),
             }),
             stages: vec![SpanRecord {
                 name: "train".into(),
@@ -242,7 +249,9 @@ mod tests {
                     start_ns: 20,
                     duration_ns: 3_000,
                     children: Vec::new(),
+                    trace_id: String::new(),
                 }],
+                trace_id: "00c0ffee00c0ffee".into(),
             }],
             counters: BTreeMap::from([("verilog.parse_calls".to_string(), 15)]),
             gauges: BTreeMap::from([("brier.late".to_string(), 0.08)]),
@@ -305,7 +314,7 @@ mod tests {
             assert!(quantiles.get(key).is_some(), "missing quantile key `{key}`");
         }
         let context = &value["context"];
-        for key in ["invocation", "seed", "version"] {
+        for key in ["invocation", "seed", "version", "observe_addr"] {
             assert!(context.get(key).is_some(), "missing context key `{key}`");
         }
         assert_eq!(value["schema_version"], SCHEMA_VERSION);

@@ -125,6 +125,7 @@ mod tests {
             start_ns: 0,
             duration_ns: 1_500,
             children: Vec::new(),
+            trace_id: String::new(),
         }
     }
 

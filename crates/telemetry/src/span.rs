@@ -29,6 +29,11 @@ pub struct SpanRecord {
     pub duration_ns: u64,
     /// Child spans, in completion order.
     pub children: Vec<SpanRecord>,
+    /// Trace id (16 hex digits) of the request active when the span
+    /// opened; empty when no request context was ambient. Joins the span
+    /// to its audit record and profiler events.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub trace_id: String,
 }
 
 impl SpanRecord {
@@ -61,6 +66,10 @@ struct PendingSpan {
     start: Instant,
     start_ns: u64,
     children: Vec<SpanRecord>,
+    /// Ambient trace context at open time (0 = none), kept numeric until
+    /// close so the pending span stays cheap.
+    trace: u64,
+    span: u64,
 }
 
 thread_local! {
@@ -92,6 +101,8 @@ pub fn start_span(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
     }
     let start = Instant::now();
     let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+    let (trace, span) = noodle_trace::current().map_or((0, 0), |c| (c.trace_id, c.span_id));
+    noodle_trace::flight_record(noodle_trace::FlightKind::SpanOpen, trace, span, 0, 0, name);
     SPAN_STACK.with(|stack| {
         stack.borrow_mut().push(PendingSpan {
             name: name.to_string(),
@@ -99,6 +110,8 @@ pub fn start_span(name: &str, attrs: Vec<(String, String)>) -> SpanGuard {
             start,
             start_ns,
             children: Vec::new(),
+            trace,
+            span,
         });
     });
     SpanGuard { armed: true }
@@ -112,20 +125,35 @@ impl Drop for SpanGuard {
         let closed = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let pending = stack.pop()?;
+            let trace = pending.trace;
+            let span = pending.span;
             let record = SpanRecord {
                 duration_ns: pending.start.elapsed().as_nanos() as u64,
                 name: pending.name,
                 attrs: pending.attrs,
                 start_ns: pending.start_ns,
                 children: pending.children,
+                trace_id: if trace == 0 {
+                    String::new()
+                } else {
+                    noodle_trace::format_trace_id(trace)
+                },
             };
             let depth = stack.len();
             if let Some(parent) = stack.last_mut() {
                 parent.children.push(record.clone());
             }
-            Some((record, depth))
+            Some((record, depth, trace, span))
         });
-        if let Some((record, depth)) = closed {
+        if let Some((record, depth, trace, span)) = closed {
+            noodle_trace::flight_record(
+                noodle_trace::FlightKind::SpanClose,
+                trace,
+                span,
+                record.duration_ns,
+                0,
+                &record.name,
+            );
             // Mirror the closed span onto the profiler timeline (no-op
             // unless `--profile` enabled event collection).
             noodle_profile::record_span(&record.name, record.start_ns, record.duration_ns);
@@ -162,6 +190,7 @@ mod tests {
             start_ns: 0,
             duration_ns,
             children: Vec::new(),
+            trace_id: String::new(),
         }
     }
 

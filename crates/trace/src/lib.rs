@@ -1,0 +1,61 @@
+//! # noodle-trace
+//!
+//! Request-scoped causal tracing for the NOODLE pipeline, plus an
+//! always-on **flight recorder**.
+//!
+//! * [`TraceContext`] — a cheap `Copy` pair of (trace id, span id) minted
+//!   once per detect request (or derived per design inside a batch) and
+//!   carried through every layer: telemetry spans, profiler kernel
+//!   events, audit records and compute-pool child jobs all stamp the
+//!   ambient context, so one 16-hex-digit id joins a design's audit
+//!   record, its spans and its kernels across every output.
+//! * **Ambient slot** — [`current`] / [`set_current`] expose the active
+//!   context through a thread-local `Cell`. The `noodle-compute` pool
+//!   captures the submitter's context at job submission and installs it
+//!   on workers around each chunk, so causality survives the pool
+//!   boundary without touching chunk geometry (the determinism contract
+//!   is untouched: contexts ride alongside chunks, they never influence
+//!   them).
+//! * **Flight recorder** — a bounded lock-free ring of recent structured
+//!   events ([`flight_record`] / [`flight_snapshot`]): span open/close,
+//!   monitor transitions, per-request summaries. Writers pay two atomic
+//!   stores and a fixed-size `Copy` slot write — no locks, no allocation
+//!   after the ring exists — so it can stay on for the life of the
+//!   process and be dumped the moment something goes wrong.
+//!
+//! This crate is a leaf: every other noodle crate may depend on it. It
+//! also owns the process-wide monotonic [`epoch`] that `noodle-profile`
+//! and `noodle-telemetry` share, so flight events, profiler events and
+//! spans all live on one timeline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod context;
+mod flight;
+
+pub use context::{
+    current, format_trace_id, parse_trace_id, set_current, swap_current, ContextGuard, TraceContext,
+};
+pub use flight::{
+    flight_enabled, flight_record, flight_snapshot, set_flight_enabled, FlightKind,
+    FlightRecordEvent, FLIGHT_NAME_CAP,
+};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process-wide monotonic time origin. First touch pins it;
+/// `noodle-profile::epoch` delegates here so spans, kernel events and
+/// flight events share one timeline.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the [`epoch`]. Allocation-free.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}

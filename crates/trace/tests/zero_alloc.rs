@@ -1,0 +1,68 @@
+//! Proves the flight recorder's overhead budget: after the one-time lazy
+//! ring allocation, recording events, minting contexts and swapping the
+//! ambient slot perform zero heap allocations — and the disabled path is
+//! likewise free. This is what lets the recorder stay always-on.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use noodle_trace::{flight_record, set_flight_enabled, FlightKind, TraceContext};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warm_and_disabled_flight_paths_allocate_nothing() {
+    // Warm up: allocate the ring, pin the epoch, seed the id generator.
+    let warm = TraceContext::mint();
+    flight_record(FlightKind::SpanOpen, warm.trace_id, warm.span_id, 0, 0, "warmup");
+
+    // Warm (enabled) path: mint + ambient swap + record, all alloc-free.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1000u64 {
+        let ctx = TraceContext::mint();
+        let child = ctx.derived(i);
+        let _guard = noodle_trace::set_current(child);
+        debug_assert_eq!(noodle_trace::current(), Some(child));
+        flight_record(
+            FlightKind::Request,
+            child.trace_id,
+            child.span_id,
+            i,
+            0,
+            "design_under_test",
+        );
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "warm flight-recorder path must not allocate");
+
+    // Disabled path: one relaxed load, nothing else.
+    set_flight_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1000u64 {
+        flight_record(FlightKind::SpanOpen, i, 0, 0, 0, "suppressed");
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    set_flight_enabled(true);
+    assert_eq!(after - before, 0, "disabled flight-recorder path must not allocate");
+}

@@ -25,8 +25,16 @@
 //! --threads N             compute pool size (default: NOODLE_THREADS or all cores)
 //! --observe-addr H:P      serve live /metrics, /monitor and /healthz while running
 //!                         (or NOODLE_OBSERVE_ADDR; port 0 picks an ephemeral port,
-//!                         echoed on stderr)
+//!                         echoed on stderr and recorded in the run report)
+//! --observe-linger-ms N   keep the observability server up N ms after the
+//!                         command finishes (so scripts can scrape /debug/*)
 //! ```
+//!
+//! Every detect request carries a request-scoped trace id: it is stamped
+//! into audit records, span records, profiler events and `/metrics`
+//! exemplars, and the always-on flight recorder dumps a diagnostics
+//! bundle to `results/flight-<ts>.json` whenever the live monitors
+//! degrade to Alert.
 //!
 //! The tool is deliberately dependency-free (hand-rolled argument parsing)
 //! so the workspace's only runtime dependencies stay `rand` + `serde`.
@@ -116,7 +124,11 @@ fn print_usage() {
          --observe-addr H:P      serve GET /metrics (Prometheus), /monitor (JSON) and\n                          \
          /healthz (200/503) from a background thread while the\n                          \
          command runs; NOODLE_OBSERVE_ADDR works too; port 0\n                          \
-         picks an ephemeral port, echoed on stderr\n\n\
+         picks an ephemeral port, echoed on stderr and\n                          \
+         recorded in the --report run context\n  \
+         --observe-linger-ms N   keep the observability server alive N ms after\n                          \
+         the command finishes, so scripts can scrape\n                          \
+         /debug/flight and /debug/trace/<id>\n\n\
          `detect` fans feature extraction over the compute pool and runs CNN\n\
          forwards in micro-batches of --batch files (default 32); verdicts are\n\
          bit-identical at every batch size. --cache-dir reuses extracted\n\
@@ -248,9 +260,29 @@ struct Observability {
     /// its audit stream into a clone so `/monitor` and `/healthz` track
     /// predictions in-flight.
     monitors: Option<StreamingMonitors>,
+    /// The address the exposition server actually bound (port 0 resolved),
+    /// surfaced in the run report's context block.
+    observe_addr: Option<String>,
+    /// `--observe-linger-ms`: how long to keep the exposition server up
+    /// after the command finishes, so scripts can scrape `/debug/*`.
+    linger_ms: u64,
     /// Keeps the exposition server alive for the duration of the command;
     /// never read, only dropped — dropping joins the accept thread.
     _export: Option<ExportServer>,
+}
+
+impl Drop for Observability {
+    fn drop(&mut self) {
+        // The linger runs in Drop (not `finish`) so the server outlives
+        // every late write path; fields drop after this body, so the
+        // accept thread is still serving while we sleep.
+        if self.linger_ms > 0 && self._export.is_some() {
+            if !self.quiet {
+                eprintln!("lingering {} ms before shutting down observability", self.linger_ms);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(self.linger_ms));
+        }
+    }
 }
 
 /// Refreshes the compute-pool gauges from live counters. Called at the
@@ -322,10 +354,14 @@ impl Observability {
                 )));
             }
         }
-        let (monitors, export) = match observe_addr {
-            None => (None, None),
+        let linger_ms: u64 = parse_num(flags, "observe-linger-ms", 0)?;
+        let (monitors, bound_addr, export) = match observe_addr {
+            None => (None, None, None),
             Some(addr) => {
                 let monitors = StreamingMonitors::new(MonitorConfig::default());
+                // Degrading to Alert dumps a flight bundle (recent ring
+                // events + metrics + monitor verdicts) under results/.
+                noodle::observe::install_alert_dump(&monitors, Path::new("results"));
                 let server = ExportServer::start(
                     &addr,
                     monitors.clone(),
@@ -335,10 +371,20 @@ impl Observability {
                 // Always announced (port 0 resolves to an ephemeral port
                 // the caller cannot know otherwise).
                 eprintln!("observability endpoints at http://{}", server.addr());
-                (Some(monitors), Some(server))
+                let bound = server.addr().to_string();
+                (Some(monitors), Some(bound), Some(server))
             }
         };
-        Ok(Self { report, profile: profile_path, profile_mem, quiet, monitors, _export: export })
+        Ok(Self {
+            report,
+            profile: profile_path,
+            profile_mem,
+            quiet,
+            monitors,
+            observe_addr: bound_addr,
+            linger_ms,
+            _export: export,
+        })
     }
 
     /// Writes the Chrome trace and run report, if requested. Call after
@@ -362,6 +408,7 @@ impl Observability {
             invocation: invocation_line(),
             seed,
             version: env!("CARGO_PKG_VERSION").to_string(),
+            observe_addr: self.observe_addr.clone(),
         });
         report.corpus = corpus;
         report.evaluation = evaluation;

@@ -2,9 +2,11 @@
 //! records from `detect_batch` must be byte-identical to the sequential
 //! `detect_named` loop at every micro-batch size and thread count.
 //!
-//! Wall-clock timing fields (`latency_us`, `batch_latency_us`) and the
-//! batch geometry (`batch_size`) are the only legitimate differences, so
-//! they are canonicalized before the serialized records are compared.
+//! Wall-clock timing fields (`latency_us`, `batch_latency_us`), the
+//! batch geometry (`batch_size`) and the minted `trace_id` (derived from
+//! a process-global counter, so it differs across runs but never across
+//! thread counts within a request) are the only legitimate differences,
+//! so they are canonicalized before the serialized records are compared.
 
 use noodle::observe::MemoryAudit;
 use noodle::{
@@ -57,15 +59,23 @@ fn run(
             det.detect_batch(&requests, batch, None).unwrap()
         }
     };
+    // Every record must carry a trace id (request-scoped tracing is always
+    // on), and ids must be unique within a run; the ids themselves come
+    // from a process-global counter, so they are canonicalized away before
+    // the byte comparison below.
+    let mut seen = std::collections::HashSet::new();
     let records: Vec<String> = sink
         .records()
         .into_iter()
         .map(|mut r: PredictionRecord| {
+            assert!(!r.trace_id.is_empty(), "record {} is missing a trace id", r.seq);
+            assert!(seen.insert(r.trace_id.clone()), "duplicate trace id {}", r.trace_id);
             // Timing and batch geometry legitimately differ between serving
             // modes; every other byte must match.
             r.latency_us = 0.0;
             r.batch_latency_us = 0.0;
             r.batch_size = 0;
+            r.trace_id = String::new();
             serde_json::to_string(&r).unwrap()
         })
         .collect();
