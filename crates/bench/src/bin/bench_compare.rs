@@ -15,8 +15,10 @@
 //! everything else (`speedup`, `files_per_sec`) regresses when it
 //! shrinks. A regression past `--warn-pct` prints a warning; past
 //! `--fail-pct` the process exits non-zero. Keys present on only one
-//! side are reported but never fatal, so baselines survive added
-//! kernels.
+//! side — a baseline metric the current run no longer emits, or a new
+//! metric with no baseline yet — are warned about but never fatal, so
+//! baselines survive added and renamed kernels (the warning is the cue
+//! to regenerate).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -59,13 +61,75 @@ fn main() -> ExitCode {
 
     let baseline = load(baseline_path);
     let current = load(current_path);
-    let mut worst: Option<(String, f64)> = None;
-    let mut warned = 0usize;
+    let outcome = compare(&baseline, &current, warn_pct, fail_pct);
 
     println!("{:<44} {:>14} {:>14} {:>9}", "metric", "baseline", "current", "delta");
-    for (key, base) in &baseline {
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    for key in &outcome.missing {
+        eprintln!("WARN: baseline metric `{key}` is missing from {current_path} (not fatal)");
+    }
+    for key in &outcome.added {
+        eprintln!("WARN: `{key}` has no baseline in {baseline_path} (not fatal)");
+    }
+
+    match &outcome.worst {
+        Some((key, regression)) if *regression > fail_pct => {
+            eprintln!(
+                "FAIL: `{key}` regressed {regression:.1}% (threshold {fail_pct}%) \
+                 against {baseline_path}"
+            );
+            ExitCode::FAILURE
+        }
+        _ => {
+            if outcome.warned > 0 {
+                eprintln!(
+                    "WARN: {} metric(s) regressed past {warn_pct}% (fail at {fail_pct}%)",
+                    outcome.warned
+                );
+            } else {
+                eprintln!("ok: no metric regressed past {warn_pct}% against {baseline_path}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// What a baseline-vs-current comparison found. Only `worst` past the fail
+/// threshold makes the run fatal; one-sided keys are advisory.
+struct Outcome {
+    /// One formatted table row per metric present on both sides.
+    lines: Vec<String>,
+    /// Baseline keys the current run no longer emits.
+    missing: Vec<String>,
+    /// Current keys with no baseline yet.
+    added: Vec<String>,
+    /// Metrics whose regression exceeded the warn threshold.
+    warned: usize,
+    /// The single worst regression (positive percent), if any metric was
+    /// comparable at all.
+    worst: Option<(String, f64)>,
+}
+
+/// Pure comparison over flattened metric maps; `main` only does IO around
+/// this so the warn/fail semantics are unit-testable.
+fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Outcome {
+    let mut outcome = Outcome {
+        lines: Vec::new(),
+        missing: Vec::new(),
+        added: Vec::new(),
+        warned: 0,
+        worst: None,
+    };
+    for (key, base) in baseline {
         let Some(now) = current.get(key) else {
-            println!("{key:<44} {base:>14.3} {:>14} {:>9}", "missing", "-");
+            outcome.missing.push(key.clone());
             continue;
         };
         if *base == 0.0 {
@@ -84,39 +148,22 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
-        println!("{key:<44} {base:>14.3} {now:>14.3} {regression:>+8.1}% {marker}");
+        outcome
+            .lines
+            .push(format!("{key:<44} {base:>14.3} {now:>14.3} {regression:>+8.1}% {marker}"));
         if regression > warn_pct {
-            warned += 1;
+            outcome.warned += 1;
         }
-        if worst.as_ref().is_none_or(|(_, w)| regression > *w) {
-            worst = Some((key.clone(), regression));
+        if outcome.worst.as_ref().is_none_or(|(_, w)| regression > *w) {
+            outcome.worst = Some((key.clone(), regression));
         }
     }
     for key in current.keys() {
         if !baseline.contains_key(key) {
-            println!("{key:<44} {:>14} (new metric, no baseline)", "-");
+            outcome.added.push(key.clone());
         }
     }
-
-    match worst {
-        Some((key, regression)) if regression > fail_pct => {
-            eprintln!(
-                "FAIL: `{key}` regressed {regression:.1}% (threshold {fail_pct}%) \
-                 against {baseline_path}"
-            );
-            ExitCode::FAILURE
-        }
-        _ => {
-            if warned > 0 {
-                eprintln!(
-                    "WARN: {warned} metric(s) regressed past {warn_pct}% (fail at {fail_pct}%)"
-                );
-            } else {
-                eprintln!("ok: no metric regressed past {warn_pct}% against {baseline_path}");
-            }
-            ExitCode::SUCCESS
-        }
-    }
+    outcome
 }
 
 fn load(path: &str) -> BTreeMap<String, f64> {
@@ -157,4 +204,73 @@ fn flatten(prefix: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f
 fn lower_is_better(key: &str) -> bool {
     let leaf = key.rsplit('.').next().unwrap_or(key);
     leaf.ends_with("_ns") || leaf == "ns" || leaf.contains("latency")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    /// A baseline key absent from the current run is a warning, never a
+    /// failure — CI keeps passing while the baseline catches up.
+    #[test]
+    fn missing_baseline_key_warns_but_never_fails() {
+        let baseline = metrics(&[("speedup.batch", 3.0), ("speedup.quantize", 1.4)]);
+        let current = metrics(&[("speedup.batch", 3.0)]);
+        let outcome = compare(&baseline, &current, 10.0, 25.0);
+        assert_eq!(outcome.missing, vec!["speedup.quantize".to_string()]);
+        assert_eq!(outcome.warned, 0);
+        let worst = outcome.worst.expect("the shared key is comparable");
+        assert!(worst.1 <= 25.0, "a one-sided key must not register as a regression: {worst:?}");
+    }
+
+    /// New metrics with no baseline are reported as additions, and do not
+    /// affect the worst-regression verdict.
+    #[test]
+    fn new_metric_without_baseline_is_advisory() {
+        let baseline = metrics(&[("kernels.matmul.median_ns", 1000.0)]);
+        let current = metrics(&[
+            ("kernels.matmul.median_ns", 1000.0),
+            ("kernels.matmul_scalar.median_ns", 5000.0),
+        ]);
+        let outcome = compare(&baseline, &current, 10.0, 25.0);
+        assert_eq!(outcome.added, vec!["kernels.matmul_scalar.median_ns".to_string()]);
+        assert_eq!(outcome.warned, 0);
+        assert!(outcome.worst.unwrap().1 <= 25.0);
+    }
+
+    /// Direction inference: `*_ns` regresses when it grows, throughput-like
+    /// keys regress when they shrink; crossing the fail threshold surfaces
+    /// in `worst`.
+    #[test]
+    fn regressions_respect_metric_direction() {
+        let baseline =
+            metrics(&[("kernels.gemm.median_ns", 1000.0), ("files_per_sec.batch_32", 600.0)]);
+        let faster =
+            metrics(&[("kernels.gemm.median_ns", 500.0), ("files_per_sec.batch_32", 900.0)]);
+        let outcome = compare(&baseline, &faster, 10.0, 25.0);
+        assert_eq!(outcome.warned, 0, "improvements in both directions are not regressions");
+
+        let slower =
+            metrics(&[("kernels.gemm.median_ns", 2000.0), ("files_per_sec.batch_32", 300.0)]);
+        let outcome = compare(&baseline, &slower, 10.0, 25.0);
+        assert_eq!(outcome.warned, 2);
+        let (_, pct) = outcome.worst.expect("both metrics regressed");
+        assert!(pct > 25.0, "a 2x cliff must cross the fail threshold: {pct}");
+    }
+
+    /// A zero-valued baseline leaf (e.g. `verdict_flips: 0`) cannot be
+    /// expressed as a percentage and is skipped rather than dividing by
+    /// zero.
+    #[test]
+    fn zero_baseline_leaves_are_skipped() {
+        let baseline = metrics(&[("verdict_flips", 0.0)]);
+        let current = metrics(&[("verdict_flips", 3.0)]);
+        let outcome = compare(&baseline, &current, 10.0, 25.0);
+        assert!(outcome.lines.is_empty());
+        assert!(outcome.worst.is_none());
+    }
 }

@@ -10,7 +10,10 @@
 //!
 //! The JSON reports the median ns/iter per kernel plus naive-vs-lowered
 //! speedups, so CI can assert the GEMM path stays ahead without carrying
-//! a criterion baseline around.
+//! a criterion baseline around. The headline kernels are also re-timed
+//! with the SIMD dispatch pinned to the scalar reference bodies
+//! (`*_scalar` keys), and the vector-vs-scalar ratios land under
+//! `speedup.simd_*`; the active ISA is recorded in the `simd` field.
 
 use std::time::Instant;
 
@@ -121,6 +124,26 @@ fn main() {
         }),
     ));
 
+    // --- scalar-pinned reruns of the SIMD headline kernels -----------------
+    // The lowered paths above dispatch to the widest ISA the host offers;
+    // pinning the override to the scalar reference bodies re-times the same
+    // code with vectorization off, so the JSON carries the SIMD speedup as a
+    // first-class metric (`speedup.simd_*`) that CI can gate on.
+    noodle_compute::set_simd_override(Some(false));
+    results.push((
+        "conv2d_forward_b16_scalar".into(),
+        median_ns(iters, || {
+            black_box(conv.forward(black_box(&x), Mode::Train));
+        }),
+    ));
+    results.push((
+        "matmul_16x144x32_scalar".into(),
+        median_ns(iters, || {
+            black_box(black_box(&a).matmul(&b));
+        }),
+    ));
+    noodle_compute::set_simd_override(None);
+
     let json = render_json(&results, iters);
     std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
     println!("{json}");
@@ -208,20 +231,23 @@ fn render_json(results: &[(String, u128)], iters: usize) -> String {
         kernels.push_str(&format!("    \"{name}\": {{\"median_ns\": {ns}, \"iters\": {iters}}}"));
     }
     let mut speedups = String::new();
-    for (kernel, naive) in [
-        ("conv2d_forward_b16", "conv2d_forward_b16_naive"),
-        ("matmul_16x144x32", "matmul_16x144x32_naive"),
+    for (label, kernel, slow_key) in [
+        ("conv2d_forward_b16", "conv2d_forward_b16", "conv2d_forward_b16_naive"),
+        ("matmul_16x144x32", "matmul_16x144x32", "matmul_16x144x32_naive"),
+        ("simd_conv2d_forward_b16", "conv2d_forward_b16", "conv2d_forward_b16_scalar"),
+        ("simd_matmul_16x144x32", "matmul_16x144x32", "matmul_16x144x32_scalar"),
     ] {
-        if let (Some(fast), Some(slow)) = (lookup(kernel), lookup(naive)) {
+        if let (Some(fast), Some(slow)) = (lookup(kernel), lookup(slow_key)) {
             if !speedups.is_empty() {
                 speedups.push_str(",\n");
             }
             let ratio = slow as f64 / fast.max(1) as f64;
-            speedups.push_str(&format!("    \"{kernel}\": {ratio:.3}"));
+            speedups.push_str(&format!("    \"{label}\": {ratio:.3}"));
         }
     }
     format!(
-        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"speedup\": {{\n{speedups}\n  }}\n}}\n",
+        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"simd\": \"{}\",\n  \"kernels\": {{\n{kernels}\n  }},\n  \"speedup\": {{\n{speedups}\n  }}\n}}\n",
         noodle_compute::num_threads(),
+        noodle_compute::active_isa().name(),
     )
 }

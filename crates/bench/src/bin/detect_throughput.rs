@@ -5,7 +5,11 @@
 //! - **batch_1**: the sequential path (`detect_named` per file) pinned to a
 //!   single thread — one-request-at-a-time serving;
 //! - **batch_32**: `detect_batch` with 32-file micro-batches on the full
-//!   compute pool — the high-throughput serving configuration.
+//!   compute pool — the high-throughput serving configuration;
+//! - **batch_32_quantized**: the same batched engine with CNN forwards
+//!   served from the int8 post-training-quantized twins (`--quantize` on
+//!   the CLI). Zero verdict flips against the float path is asserted on
+//!   every run and recorded as `verdict_flips` in the JSON.
 //!
 //! ```text
 //! cargo run --release -p noodle-bench --bin detect_throughput -- \
@@ -95,12 +99,29 @@ fn main() {
         black_box(detector.detect_batch(&requests, 32, None).expect("detect_batch succeeds"));
     });
 
+    // Quantized serving: same micro-batched engine, CNN forwards routed to
+    // the int8 post-training-quantized twins. Verdict parity with the float
+    // path is a hard requirement — a flip here means the calibration scheme
+    // broke, and the numbers are meaningless.
+    detector.set_quantized(true).expect("fit always emits a quantized section");
+    let quantized = detector.detect_batch(&requests, 32, None).expect("detect_batch succeeds");
+    let verdict_flips =
+        quantized.iter().zip(&batched).filter(|(q, f)| q.infected != f.infected).count();
+    assert_eq!(verdict_flips, 0, "int8 serving flipped verdicts against the float path");
+    let quant_ns = median_ns(iters, || {
+        black_box(detector.detect_batch(&requests, 32, None).expect("detect_batch succeeds"));
+    });
+    detector.set_quantized(false).expect("disabling quantized serving is infallible");
+
     let fps_seq = files as f64 / (seq_ns as f64 / 1e9);
     let fps_batch = files as f64 / (batch_ns as f64 / 1e9);
+    let fps_quant = files as f64 / (quant_ns as f64 / 1e9);
     let speedup = fps_batch / fps_seq;
+    let speedup_quant = fps_quant / fps_batch;
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"files\": {files},\n  \"iters\": {iters},\n  \"files_per_sec\": {{\n    \"batch_1\": {fps_seq:.2},\n    \"batch_32\": {fps_batch:.2}\n  }},\n  \"speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"files\": {files},\n  \"iters\": {iters},\n  \"simd\": \"{}\",\n  \"files_per_sec\": {{\n    \"batch_1\": {fps_seq:.2},\n    \"batch_32\": {fps_batch:.2},\n    \"batch_32_quantized\": {fps_quant:.2}\n  }},\n  \"verdict_flips\": {verdict_flips},\n  \"speedup\": {{\n    \"batch\": {speedup:.3},\n    \"quantize\": {speedup_quant:.3}\n  }}\n}}\n",
         noodle_compute::num_threads(),
+        noodle_compute::active_isa().name(),
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
     println!("{json}");

@@ -1,25 +1,27 @@
-//! Cache-blocked, row-parallel GEMM kernels over `f32` slices.
+//! Cache-blocked, row-parallel GEMM kernels over `f32` slices (plus an
+//! int8 variant for the quantized serving path).
 //!
 //! Every kernel accumulates each output element over the shared dimension
-//! in **ascending index order**, and parallelism only ever partitions the
-//! *output* rows (each element is written by exactly one thread). Results
-//! are therefore bit-identical at every thread count, which is what lets
-//! the training loops built on top assert byte-identical weights between
-//! `NOODLE_THREADS=1` and `NOODLE_THREADS>=4` runs.
+//! in a **fixed schedule** (ascending index order, with dot products
+//! optionally lane-split by the SIMD bodies — see [`crate::simd`]), and
+//! parallelism only ever partitions the *output* rows (each element is
+//! written by exactly one thread). Results are therefore bit-identical at
+//! every thread count, which is what lets the training loops built on top
+//! assert byte-identical weights between `NOODLE_THREADS=1` and
+//! `NOODLE_THREADS>=4` runs.
 //!
 //! Layouts are row-major. `a @ b` uses the classic `i-p-j` loop with the
 //! inner `j` loop blocked so the active panel of `b` stays cache-resident;
 //! the `j` blocking does not reorder the `p` accumulation of any element.
+//! The per-row-range inner bodies live in [`crate::simd`] and are selected
+//! once per kernel call from the runtime-detected instruction set.
 
 use std::sync::OnceLock;
 
 use noodle_profile::{EventKind, KernelTimer};
 
 use crate::pool::{add_flops, par_for};
-
-/// Column-block width for the `i-p-j` kernels: 1024 floats = 4 KiB per
-/// `b` row segment, comfortably L1-resident alongside the output row.
-const COL_BLOCK: usize = 1024;
+use crate::simd;
 
 /// Tile side for the blocked transpose.
 const TRANSPOSE_TILE: usize = 32;
@@ -37,20 +39,20 @@ fn row_grain(row_cost: usize) -> usize {
 }
 
 /// A mutable output pointer shared across the row-partitioned workers.
-struct OutPtr(*mut f32);
+struct OutPtr<T>(*mut T);
 
 // SAFETY: each parallel chunk touches a disjoint row range of the output,
 // and the unique borrow lives for the whole parallel region.
-unsafe impl Send for OutPtr {}
-unsafe impl Sync for OutPtr {}
+unsafe impl<T: Send> Send for OutPtr<T> {}
+unsafe impl<T: Send> Sync for OutPtr<T> {}
 
-impl OutPtr {
+impl<T> OutPtr<T> {
     /// Reborrows rows `rows.start..rows.end` of an `[_, n]` matrix.
     ///
     /// # Safety
     ///
     /// The range must be in bounds and disjoint from every other chunk.
-    unsafe fn rows(&self, rows: &std::ops::Range<usize>, n: usize) -> &mut [f32] {
+    unsafe fn rows(&self, rows: &std::ops::Range<usize>, n: usize) -> &mut [T] {
         unsafe { std::slice::from_raw_parts_mut(self.0.add(rows.start * n), rows.len() * n) }
     }
 }
@@ -65,36 +67,6 @@ fn check_dims(name: &str, m: usize, k: usize, n: usize, a: usize, b: usize, out:
 /// profiler's byte payload; counts each operand once).
 fn kernel_bytes(a: usize, b: usize, out: usize) -> u64 {
     (4 * (a + b + out)) as u64
-}
-
-/// The serial blocked `i-p-j` body of [`gemm`] over rows
-/// `rows.start..rows.end`, writing into `chunk` (the sub-slice covering
-/// exactly those rows). Shared between the parallel chunk bodies and the
-/// single-core peak measurement so the roofline ceiling times the real
-/// inner loop.
-fn gemm_rows(
-    rows: std::ops::Range<usize>,
-    k: usize,
-    n: usize,
-    a: &[f32],
-    b: &[f32],
-    chunk: &mut [f32],
-) {
-    let mut jb = 0;
-    while jb < n {
-        let je = n.min(jb + COL_BLOCK);
-        for (ci, i) in rows.clone().enumerate() {
-            let dst = &mut chunk[ci * n + jb..ci * n + je];
-            let arow = &a[i * k..(i + 1) * k];
-            for (p, &av) in arow.iter().enumerate() {
-                let brow = &b[p * n + jb..p * n + je];
-                for (d, &bv) in dst.iter_mut().zip(brow) {
-                    *d += av * bv;
-                }
-            }
-        }
-        jb += COL_BLOCK;
-    }
 }
 
 /// `out += a @ b` for row-major `a: [m, k]`, `b: [k, n]`, `out: [m, n]`.
@@ -113,11 +85,12 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
         2 * (m * n * k) as u64,
         kernel_bytes(a.len(), b.len(), out.len()),
     );
+    let isa = simd::active_isa();
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
         let chunk = unsafe { optr.rows(&rows, n) };
-        gemm_rows(rows, k, n, a, b, chunk);
+        simd::gemm_rows(isa, rows, k, n, a, b, chunk);
     });
 }
 
@@ -143,21 +116,47 @@ pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mut [f
         2 * (m * n * k) as u64,
         kernel_bytes(a.len(), bt.len(), out.len()),
     );
+    let isa = simd::active_isa();
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
         let chunk = unsafe { optr.rows(&rows, n) };
-        for (ci, i) in rows.clone().enumerate() {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &bt[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                chunk[ci * n + j] += acc;
-            }
-        }
+        simd::gemm_bt_rows(isa, rows, k, n, a, bt, chunk);
+    });
+}
+
+/// `out += a @ bt^T` over int8 operands with exact `i32` accumulation:
+/// the quantized serving path's matmul (`a: [m, k]` row-quantized
+/// activations, `bt: [n, k]` per-channel-quantized weights,
+/// `out: [m, n]` accumulators).
+///
+/// Integer accumulation is exact, so results are bit-identical across
+/// thread counts *and* instruction sets — the scalar and SIMD bodies
+/// agree to the bit, unlike the float kernels which agree only to
+/// rounding.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn gemm_bt_i8(m: usize, k: usize, n: usize, a: &[i8], bt: &[i8], out: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_bt_i8: lhs has {} elements, expected {m}x{k}", a.len());
+    assert_eq!(bt.len(), n * k, "gemm_bt_i8: rhs has {} elements, expected {n}x{k}", bt.len());
+    assert_eq!(out.len(), m * n, "gemm_bt_i8: out has {} elements, expected {m}x{n}", out.len());
+    if m == 0 || n == 0 {
+        return;
+    }
+    add_flops(2 * (m * n * k) as u64);
+    let _prof = KernelTimer::start(
+        EventKind::GemmI8,
+        2 * (m * n * k) as u64,
+        (a.len() + bt.len() + 4 * out.len()) as u64,
+    );
+    let isa = simd::active_isa();
+    let optr = OutPtr(out.as_mut_ptr());
+    par_for(m, row_grain(k * n), |rows| {
+        // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
+        let chunk = unsafe { optr.rows(&rows, n) };
+        simd::gemm_bt_rows_i8(isa, rows, k, n, a, bt, chunk);
     });
 }
 
@@ -184,21 +183,12 @@ pub fn gemm_at(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
         2 * (m * n * k) as u64,
         kernel_bytes(a.len(), b.len(), out.len()),
     );
+    let isa = simd::active_isa();
     let optr = OutPtr(out.as_mut_ptr());
     par_for(m, row_grain(k * n), |rows| {
         // SAFETY: chunks partition `0..m`, so row ranges are disjoint.
         let chunk = unsafe { optr.rows(&rows, n) };
-        for p in 0..k {
-            let brow = &b[p * n..(p + 1) * n];
-            let acol = &a[p * m..(p + 1) * m];
-            for (ci, i) in rows.clone().enumerate() {
-                let av = acol[i];
-                let dst = &mut chunk[ci * n..(ci + 1) * n];
-                for (d, &bv) in dst.iter_mut().zip(brow) {
-                    *d += av * bv;
-                }
-            }
-        }
+        simd::gemm_at_rows(isa, rows, k, m, n, a, b, chunk);
     });
 }
 
@@ -235,23 +225,27 @@ static GEMM_PEAK: OnceLock<f64> = OnceLock::new();
 /// Measured single-core GEMM peak throughput in GFLOP/s: the roofline
 /// ceiling profile summaries compare achieved kernel throughput against.
 ///
-/// Times the same blocked `i-p-j` inner loop [`gemm`] runs, on an
-/// L1-resident 48³ problem, serially on the calling thread (no pool, no
-/// profiler events, no FLOP accounting). Measured once per process
-/// (~1 ms) and cached.
+/// Times the same dispatched inner-loop body [`gemm`] runs — including
+/// the SIMD microkernel when one is active, so the ceiling and the
+/// attributed kernels move together and the roofline gap stays honest —
+/// on an L1-resident 48³ problem, serially on the calling thread (no
+/// pool, no profiler events, no FLOP accounting). Measured once per
+/// process (~1 ms) and cached under the instruction set active at the
+/// first call (the CLI resolves `--no-simd` before any kernel runs).
 pub fn gemm_peak_gflops() -> f64 {
     const DIM: usize = 48;
     const REPS: u32 = 24;
     *GEMM_PEAK.get_or_init(|| {
+        let isa = simd::active_isa();
         let a: Vec<f32> = (0..DIM * DIM).map(|i| ((i * 31 + 7) % 61) as f32 * 0.1 - 3.0).collect();
         let b: Vec<f32> = (0..DIM * DIM).map(|i| ((i * 17 + 3) % 53) as f32 * 0.1 - 2.5).collect();
         let mut out = vec![0.0f32; DIM * DIM];
         for _ in 0..4 {
-            gemm_rows(0..DIM, DIM, DIM, &a, &b, &mut out);
+            simd::gemm_rows(isa, 0..DIM, DIM, DIM, &a, &b, &mut out);
         }
         let start = std::time::Instant::now();
         for _ in 0..REPS {
-            gemm_rows(0..DIM, DIM, DIM, &a, &b, &mut out);
+            simd::gemm_rows(isa, 0..DIM, DIM, DIM, &a, &b, &mut out);
         }
         let ns = start.elapsed().as_nanos().max(1) as f64;
         std::hint::black_box(&out);
@@ -367,7 +361,43 @@ mod tests {
         gemm(3, 0, 4, &[], &[], &mut [0.0; 12]);
         gemm_bt(2, 0, 2, &[], &[], &mut [0.0; 4]);
         gemm_at(0, 2, 2, &[], &[], &mut [0.0; 4]);
+        gemm_bt_i8(2, 0, 2, &[], &[], &mut [0i32; 4]);
         transpose(0, 5, &[], &mut []);
+    }
+
+    #[test]
+    fn gemm_bt_i8_matches_naive_and_accumulates() {
+        let (m, k, n) = (3, 21, 4);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 7) % 255) as i8).collect();
+        let bt: Vec<i8> = (0..n * k).map(|i| ((i * 13 + 5) % 255) as i8).collect();
+        let mut out = vec![1i32; m * n];
+        gemm_bt_i8(m, k, n, &a, &bt, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let want: i32 =
+                    (0..k).map(|p| i32::from(a[i * k + p]) * i32::from(bt[j * k + p])).sum::<i32>()
+                        + 1;
+                assert_eq!(out[i * n + j], want, "mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bt_i8_is_thread_count_invariant() {
+        let (m, k, n) = (40, 50, 12);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 19 + 2) % 255) as i8).collect();
+        let bt: Vec<i8> = (0..n * k).map(|i| ((i * 23 + 9) % 255) as i8).collect();
+        let run = |threads: usize| {
+            set_thread_override(Some(threads));
+            let mut out = vec![0i32; m * n];
+            gemm_bt_i8(m, k, n, &a, &bt, &mut out);
+            set_thread_override(None);
+            out
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(serial, run(threads), "gemm_bt_i8 differs at {threads} threads");
+        }
     }
 
     #[test]

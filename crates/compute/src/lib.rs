@@ -26,6 +26,16 @@
 //! [`set_thread_override`] (tests/benches) → `NOODLE_THREADS` env var →
 //! serial under this crate's own `cfg(test)` → available parallelism.
 //!
+//! ## SIMD dispatch
+//!
+//! The GEMM inner loops are runtime-dispatched to explicit-width SIMD
+//! bodies (AVX2+FMA on x86-64, NEON on aarch64, scalar fallback) probed
+//! once per process; [`set_simd_override`] (tests / `--no-simd`) and the
+//! `NOODLE_SIMD=off` env var pin the scalar bodies. [`active_isa`]
+//! reports the selection for run reports and audit headers. The vector
+//! bodies use fixed lane-reduction schedules, so the determinism
+//! contract above is unchanged. See `DESIGN.md` § "SIMD dispatch model".
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -41,16 +51,21 @@
 //! ```
 
 #![warn(missing_docs)]
-// `unsafe` is confined to two well-commented patterns: type-erasing the
-// parallel-region closure for the persistent workers, and handing each
-// worker a disjoint row range of an exclusively borrowed output buffer.
+// `unsafe` is confined to three well-commented patterns: type-erasing the
+// parallel-region closure for the persistent workers, handing each worker
+// a disjoint row range of an exclusively borrowed output buffer, and the
+// `#[target_feature]` SIMD bodies in `simd/` (which opt out of
+// `unsafe_op_in_unsafe_fn` locally — they are wall-to-wall intrinsics and
+// only callable through the feature-checked dispatcher).
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod gemm;
 mod pool;
+mod simd;
 
-pub use gemm::{gemm, gemm_at, gemm_bt, gemm_peak_gflops, transpose};
+pub use gemm::{gemm, gemm_at, gemm_bt, gemm_bt_i8, gemm_peak_gflops, transpose};
 pub use pool::{
     add_flops, busy_ns, flops, jobs, num_threads, par_chunks_mut, par_for, par_map_collect,
     par_map_reduce, queue_wait_ns, set_thread_override,
 };
+pub use simd::{active_isa, set_simd_override, SimdIsa};

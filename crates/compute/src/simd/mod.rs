@@ -1,0 +1,283 @@
+//! Runtime-dispatched SIMD microkernel bodies for the GEMM family.
+//!
+//! The instruction set is probed **once** per process (AVX2+FMA on
+//! x86-64, NEON on aarch64, portable scalar everywhere else) and every
+//! kernel call routes its per-row-range body through the selected
+//! implementation. Selection order: [`set_simd_override`] (tests / the
+//! `--no-simd` CLI flag) → the `NOODLE_SIMD` environment variable
+//! (`off`/`0`/`false`/`scalar` force the scalar bodies) → hardware
+//! feature detection.
+//!
+//! ## Determinism
+//!
+//! The vector bodies keep the PR 3 contract — bit-identical results at
+//! every thread count — because:
+//!
+//! * `gemm`/`gemm_at` vectorize across *output columns*: each output
+//!   element still accumulates over the shared dimension in ascending
+//!   order, one FMA per step, so its value depends only on the problem,
+//!   never on chunking.
+//! * `gemm_bt` splits each dot product into a fixed number of lane
+//!   accumulators (`k mod LANES` decides which element lands in which
+//!   lane), reduces the lanes in a **fixed tree order**, then folds the
+//!   scalar tail in ascending index order. The whole schedule is a pure
+//!   function of `k`.
+//! * The int8 kernels accumulate in `i32`, which is exact: integer
+//!   addition is associative, so any fixed reduction is bit-stable.
+//!
+//! Results *do* differ from the pre-SIMD scalar path (FMA keeps the
+//! intermediate product unrounded; the lane split reorders float sums),
+//! which is why the checked-in benchmark goldens were regenerated once
+//! when this module landed — see `DESIGN.md` § "SIMD dispatch model".
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+/// Column-block width for the `i-p-j` kernels: 1024 floats = 4 KiB per
+/// `b` row segment, comfortably L1-resident alongside the output row.
+pub(crate) const COL_BLOCK: usize = 1024;
+
+/// The instruction set the GEMM kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdIsa {
+    /// x86-64 AVX2 with FMA: 8-lane `f32` vectors, fused multiply-add.
+    Avx2Fma,
+    /// aarch64 NEON: 4-lane `f32` vectors, fused multiply-add.
+    Neon,
+    /// Portable scalar loops (also the `NOODLE_SIMD=off` fallback).
+    Scalar,
+}
+
+impl SimdIsa {
+    /// Stable lowercase label for run reports, audit headers and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdIsa::Avx2Fma => "avx2+fma",
+            SimdIsa::Neon => "neon",
+            SimdIsa::Scalar => "scalar",
+        }
+    }
+}
+
+/// Runtime override: 0 = auto (env var, then detection), 1 = force
+/// scalar, 2 = force detection (ignore the env var).
+static SIMD_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+static DETECTED: OnceLock<SimdIsa> = OnceLock::new();
+static ENV_DISABLED: OnceLock<bool> = OnceLock::new();
+
+fn detected_isa() -> SimdIsa {
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdIsa::Avx2Fma;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return SimdIsa::Neon;
+            }
+        }
+        SimdIsa::Scalar
+    })
+}
+
+fn env_disabled() -> bool {
+    *ENV_DISABLED.get_or_init(|| {
+        std::env::var("NOODLE_SIMD")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                matches!(v.as_str(), "off" | "0" | "false" | "scalar")
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Forces the kernel dispatch: `Some(false)` pins the scalar bodies
+/// (the `--no-simd` CLI flag), `Some(true)` pins hardware detection
+/// even when `NOODLE_SIMD=off` is set, `None` restores the default
+/// resolution. Takes effect on the next kernel call; used by tests to
+/// compare the scalar and vector bodies within one process.
+pub fn set_simd_override(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    SIMD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The instruction set the next kernel call will dispatch to, after
+/// applying [`set_simd_override`] and the `NOODLE_SIMD` env var.
+pub fn active_isa() -> SimdIsa {
+    match SIMD_OVERRIDE.load(Ordering::Relaxed) {
+        1 => SimdIsa::Scalar,
+        2 => detected_isa(),
+        _ => {
+            if env_disabled() {
+                SimdIsa::Scalar
+            } else {
+                detected_isa()
+            }
+        }
+    }
+}
+
+/// Dispatched body of `gemm` over output rows `rows`, writing into
+/// `chunk` (the sub-slice covering exactly those rows).
+pub(crate) fn gemm_rows(
+    isa: SimdIsa,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` is only produced by detection confirming
+        // the `avx2` and `fma` features on the running CPU.
+        SimdIsa::Avx2Fma => unsafe { x86::gemm_rows(rows, k, n, a, b, chunk) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` is only produced by detection confirming NEON.
+        SimdIsa::Neon => unsafe { neon::gemm_rows(rows, k, n, a, b, chunk) },
+        _ => scalar::gemm_rows(rows, k, n, a, b, chunk),
+    }
+}
+
+/// Dispatched body of `gemm_bt` over output rows `rows`.
+pub(crate) fn gemm_bt_rows(
+    isa: SimdIsa,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bt: &[f32],
+    chunk: &mut [f32],
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` implies the CPU supports avx2+fma.
+        SimdIsa::Avx2Fma => unsafe { x86::gemm_bt_rows(rows, k, n, a, bt, chunk) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` implies the CPU supports NEON.
+        SimdIsa::Neon => unsafe { neon::gemm_bt_rows(rows, k, n, a, bt, chunk) },
+        _ => scalar::gemm_bt_rows(rows, k, n, a, bt, chunk),
+    }
+}
+
+/// Dispatched body of `gemm_at` over output rows `rows` (`a: [k, m]`,
+/// `b: [k, n]`; `m` is the lhs row stride).
+pub(crate) fn gemm_at_rows(
+    isa: SimdIsa,
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` implies the CPU supports avx2+fma.
+        SimdIsa::Avx2Fma => unsafe { x86::gemm_at_rows(rows, k, m, n, a, b, chunk) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` implies the CPU supports NEON.
+        SimdIsa::Neon => unsafe { neon::gemm_at_rows(rows, k, m, n, a, b, chunk) },
+        _ => scalar::gemm_at_rows(rows, k, m, n, a, b, chunk),
+    }
+}
+
+/// Dispatched body of the int8 `gemm_bt` over output rows `rows`:
+/// exact `i32` accumulation, so every implementation returns identical
+/// bits regardless of lane width.
+pub(crate) fn gemm_bt_rows_i8(
+    isa: SimdIsa,
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    chunk: &mut [i32],
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2Fma` implies the CPU supports avx2.
+        SimdIsa::Avx2Fma => unsafe { x86::gemm_bt_rows_i8(rows, k, n, a, bt, chunk) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `Neon` implies the CPU supports NEON.
+        SimdIsa::Neon => unsafe { neon::gemm_bt_rows_i8(rows, k, n, a, bt, chunk) },
+        _ => scalar::gemm_bt_rows_i8(rows, k, n, a, bt, chunk),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_pins_scalar_and_detection() {
+        set_simd_override(Some(false));
+        assert_eq!(active_isa(), SimdIsa::Scalar);
+        set_simd_override(Some(true));
+        assert_eq!(active_isa(), detected_isa());
+        set_simd_override(None);
+        let auto = active_isa();
+        assert!(auto == SimdIsa::Scalar || auto == detected_isa());
+    }
+
+    #[test]
+    fn isa_names_are_stable() {
+        assert_eq!(SimdIsa::Avx2Fma.name(), "avx2+fma");
+        assert_eq!(SimdIsa::Neon.name(), "neon");
+        assert_eq!(SimdIsa::Scalar.name(), "scalar");
+    }
+
+    /// The vector bodies must agree with the scalar reference to within
+    /// FMA rounding on every lane-alignment combination (ragged `k`/`n`
+    /// exercise the tails). Tight ULP proptests live in
+    /// `tests/simd_equivalence.rs`; this is the cheap smoke check.
+    #[test]
+    fn dispatched_bodies_match_scalar_reference() {
+        let isa = detected_isa();
+        for (m, k, n) in [(3, 9, 11), (2, 16, 8), (1, 5, 3), (4, 33, 17)] {
+            let a: Vec<f32> =
+                (0..m * k).map(|i| ((i * 37 + 11) % 97) as f32 * 0.25 - 12.0).collect();
+            let b: Vec<f32> =
+                (0..k * n).map(|i| ((i * 31 + 7) % 89) as f32 * 0.125 - 5.0).collect();
+            let mut want = vec![0.0f32; m * n];
+            scalar::gemm_rows(0..m, k, n, &a, &b, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            gemm_rows(isa, 0..m, k, n, &a, &b, &mut got);
+            for (x, y) in got.iter().zip(&want) {
+                assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0), "{x} vs {y} at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_bodies_are_bit_exact_across_isas() {
+        let (m, k, n) = (3, 37, 5);
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 29 + 3) % 255) as i8).collect();
+        let bt: Vec<i8> = (0..n * k).map(|i| ((i * 41 + 13) % 255) as i8).collect();
+        let mut want = vec![0i32; m * n];
+        scalar::gemm_bt_rows_i8(0..m, k, n, &a, &bt, &mut want);
+        let mut got = vec![0i32; m * n];
+        gemm_bt_rows_i8(detected_isa(), 0..m, k, n, &a, &bt, &mut got);
+        assert_eq!(want, got, "int8 accumulation must be exact on every ISA");
+    }
+}

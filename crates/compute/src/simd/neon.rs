@@ -1,0 +1,160 @@
+//! aarch64 NEON kernel bodies: 4-lane `f32` vectors with fused
+//! multiply-add, plus an 8-lane int8 dot product (`vmull_s8` to `i16`,
+//! pairwise-accumulate to `i32`).
+//!
+//! Same accumulation-order guarantees as the AVX2 bodies (see
+//! [`super::x86`]), with `LANES = 4`: element `p` of a dot product lands
+//! in lane `p mod 4`, lanes reduce in a fixed pairwise tree, and the
+//! `k mod 4` tail folds serially afterwards.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::aarch64::*;
+use std::ops::Range;
+
+use super::COL_BLOCK;
+
+/// `dst[i] += a * src[i]`, 4 lanes at a time with an FMA tail.
+#[target_feature(enable = "neon")]
+unsafe fn axpy4(dst: &mut [f32], a: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let len = dst.len();
+    let va = vdupq_n_f32(a);
+    let mut j = 0;
+    while j + 4 <= len {
+        let vb = vld1q_f32(src.as_ptr().add(j));
+        let vd = vld1q_f32(dst.as_ptr().add(j));
+        vst1q_f32(dst.as_mut_ptr().add(j), vfmaq_f32(vd, va, vb));
+        j += 4;
+    }
+    while j < len {
+        *dst.get_unchecked_mut(j) = a.mul_add(*src.get_unchecked(j), *dst.get_unchecked(j));
+        j += 1;
+    }
+}
+
+/// Dot product with a fixed lane-reduction order: lanes (0+2, 1+3),
+/// then lane0 + lane1, then the serial tail.
+#[target_feature(enable = "neon")]
+unsafe fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    let mut acc = vdupq_n_f32(0.0);
+    let mut p = 0;
+    while p + 4 <= len {
+        let va = vld1q_f32(a.as_ptr().add(p));
+        let vb = vld1q_f32(b.as_ptr().add(p));
+        acc = vfmaq_f32(acc, va, vb);
+        p += 4;
+    }
+    let s = vadd_f32(vget_low_f32(acc), vget_high_f32(acc));
+    let mut sum = vget_lane_f32::<0>(s) + vget_lane_f32::<1>(s);
+    while p < len {
+        sum = a.get_unchecked(p).mul_add(*b.get_unchecked(p), sum);
+        p += 1;
+    }
+    sum
+}
+
+/// Int8 dot product: 8-lane `i8 × i8 → i16` widening multiply,
+/// pairwise-accumulated into 4 × `i32`. Integer addition is exact, so
+/// the reduction order cannot change the result.
+#[target_feature(enable = "neon")]
+unsafe fn dot8_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    let mut acc = vdupq_n_s32(0);
+    let mut p = 0;
+    while p + 8 <= len {
+        let va = vld1_s8(a.as_ptr().add(p));
+        let vb = vld1_s8(b.as_ptr().add(p));
+        acc = vpadalq_s16(acc, vmull_s8(va, vb));
+        p += 8;
+    }
+    let mut sum = vaddvq_s32(acc);
+    while p < len {
+        sum += i32::from(*a.get_unchecked(p)) * i32::from(*b.get_unchecked(p));
+        p += 1;
+    }
+    sum
+}
+
+/// NEON body of `gemm` (blocked `i-p-j`, vectorized innermost axpy).
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemm_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mut jb = 0;
+    while jb < n {
+        let je = n.min(jb + COL_BLOCK);
+        for (ci, i) in rows.clone().enumerate() {
+            let dst = &mut chunk[ci * n + jb..ci * n + je];
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                axpy4(dst, av, &b[p * n + jb..p * n + je]);
+            }
+        }
+        jb += COL_BLOCK;
+    }
+}
+
+/// NEON body of `gemm_bt`: one [`dot4`] per output element.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemm_bt_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bt: &[f32],
+    chunk: &mut [f32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            chunk[ci * n + j] += dot4(arow, &bt[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// NEON body of `gemm_at`: `p` outermost, vectorized axpy per row.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemm_at_rows(
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        let acol = &a[p * m..(p + 1) * m];
+        for (ci, i) in rows.clone().enumerate() {
+            axpy4(&mut chunk[ci * n..(ci + 1) * n], acol[i], brow);
+        }
+    }
+}
+
+/// NEON body of the int8 `gemm_bt`: one [`dot8_i8`] per output element.
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn gemm_bt_rows_i8(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    chunk: &mut [i32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            chunk[ci * n + j] += dot8_i8(arow, &bt[j * k..(j + 1) * k]);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Portable scalar kernel bodies: the reference implementation every
+//! vector body is property-tested against, and the fallback when no
+//! supported ISA is detected or SIMD is disabled (`NOODLE_SIMD=off`,
+//! `--no-simd`, [`super::set_simd_override`]).
+//!
+//! These are byte-for-byte the pre-SIMD kernels, so a scalar-pinned run
+//! reproduces historic results exactly.
+
+use std::ops::Range;
+
+use super::COL_BLOCK;
+
+/// Serial blocked `i-p-j` body of `gemm` over rows `rows.start..rows.end`,
+/// writing into `chunk` (the sub-slice covering exactly those rows).
+pub(crate) fn gemm_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mut jb = 0;
+    while jb < n {
+        let je = n.min(jb + COL_BLOCK);
+        for (ci, i) in rows.clone().enumerate() {
+            let dst = &mut chunk[ci * n + jb..ci * n + je];
+            let arow = &a[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b[p * n + jb..p * n + je];
+                for (d, &bv) in dst.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+        }
+        jb += COL_BLOCK;
+    }
+}
+
+/// Dot-product body of `gemm_bt` over rows `rows` (`a: [m, k]`,
+/// `bt: [n, k]`): each output element is one ascending-order dot over `k`.
+pub(crate) fn gemm_bt_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bt: &[f32],
+    chunk: &mut [f32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bt[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            chunk[ci * n + j] += acc;
+        }
+    }
+}
+
+/// `p`-outermost body of `gemm_at` over rows `rows` (`a: [k, m]`,
+/// `b: [k, n]`); each element accumulates over ascending `p`.
+pub(crate) fn gemm_at_rows(
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        let acol = &a[p * m..(p + 1) * m];
+        for (ci, i) in rows.clone().enumerate() {
+            let av = acol[i];
+            let dst = &mut chunk[ci * n..(ci + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(brow) {
+                *d += av * bv;
+            }
+        }
+    }
+}
+
+/// Int8 dot-product body of `gemm_bt_i8` over rows `rows`: `i8 × i8`
+/// products accumulated exactly in `i32`.
+pub(crate) fn gemm_bt_rows_i8(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    chunk: &mut [i32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bt[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += i32::from(av) * i32::from(bv);
+            }
+            chunk[ci * n + j] += acc;
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! AVX2+FMA kernel bodies: a register-blocked 8-lane `f32` microkernel
+//! for `gemm`, fixed-tree dot products for `gemm_bt`, and an exact
+//! 32-byte int8 kernel (widen to `i16`, `madd` to `i32`).
+//!
+//! Every function here carries `#[target_feature(enable = "avx2,fma")]`
+//! (or `"avx2"` for the integer bodies) and must only be called after
+//! runtime detection has confirmed the features — the dispatcher in
+//! [`super`] is the sole caller.
+//!
+//! Accumulation-order notes (the determinism contract):
+//! * `gemm_rows` holds a 4-row × 16-column block of accumulators in
+//!   registers across the whole `k` loop. Each output element still
+//!   accumulates over the shared dimension in ascending order, one fused
+//!   multiply-add per step — bit-identical to a scalar `mul_add` chain,
+//!   and independent of how rows are grouped or chunked. The masked
+//!   column tail uses the same FMA schedule, so column position never
+//!   changes a value's rounding.
+//! * `gemm_at_rows` vectorizes across output columns with one FMA per
+//!   step — the same ascending-`p` fused chain as `gemm_rows`.
+//! * `dot8` assigns element `p` to lane `p mod 8`, reduces the eight
+//!   lane partials in a fixed tree (`lo+hi`, then pairwise), and folds
+//!   the `k mod 8` tail serially afterwards. The schedule depends only
+//!   on `k`.
+//! * The int8 bodies accumulate in `i32`, which is exact — no schedule
+//!   can change the result.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::*;
+use std::ops::Range;
+
+/// Lane mask with the first `rem` (< 8) lanes enabled, for
+/// `maskload`/`maskstore` column tails.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tail_mask(rem: usize) -> __m256i {
+    debug_assert!(rem < 8);
+    let idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    _mm256_cmpgt_epi32(_mm256_set1_epi32(rem as i32), idx)
+}
+
+/// `dst[i] += a * src[i]` over equal-length slices, 8 lanes at a time
+/// with an FMA tail (scalar `mul_add` rounds identically to a vector
+/// lane, so alignment never changes a value's rounding).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy8(dst: &mut [f32], a: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let len = dst.len();
+    let va = _mm256_set1_ps(a);
+    let mut j = 0;
+    while j + 8 <= len {
+        let vb = _mm256_loadu_ps(src.as_ptr().add(j));
+        let vd = _mm256_loadu_ps(dst.as_ptr().add(j));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(j), _mm256_fmadd_ps(va, vb, vd));
+        j += 8;
+    }
+    while j < len {
+        *dst.get_unchecked_mut(j) = a.mul_add(*src.get_unchecked(j), *dst.get_unchecked(j));
+        j += 1;
+    }
+}
+
+/// Dot product over equal-length slices with the fixed lane-reduction
+/// order described in the module docs.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let mut p = 0;
+    while p + 8 <= len {
+        let va = _mm256_loadu_ps(a.as_ptr().add(p));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(p));
+        acc = _mm256_fmadd_ps(va, vb, acc);
+        p += 8;
+    }
+    // Fixed reduction tree: (lo, hi) halves, then (0+2, 1+3), then +1.
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps::<1>(acc);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps::<0b01>(s, s));
+    let mut sum = _mm_cvtss_f32(s);
+    while p < len {
+        sum = a.get_unchecked(p).mul_add(*b.get_unchecked(p), sum);
+        p += 1;
+    }
+    sum
+}
+
+/// Fixed horizontal sum of 8 × `i32` (exact, order-free).
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0100_1110>(s));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0000_0001>(s));
+    _mm_cvtsi128_si32(s)
+}
+
+/// AVX2+FMA body of `gemm`: 4-row × 16-column register-blocked
+/// microkernel (8 independent FMA chains fill the pipelines; the
+/// accumulator block stays in registers for the whole `k` loop, so the
+/// output is loaded and stored exactly once per element).
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn gemm_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    debug_assert_eq!(chunk.len(), (rows.end - rows.start) * n);
+    let nrows = rows.end - rows.start;
+    let mut ci = 0;
+    while ci < nrows {
+        let rb = (nrows - ci).min(4);
+        let mut j = 0;
+        while j + 16 <= n {
+            match rb {
+                4 => kern16::<4>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                3 => kern16::<3>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                2 => kern16::<2>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                _ => kern16::<1>(rows.start + ci, ci, j, k, n, a, b, chunk),
+            }
+            j += 16;
+        }
+        while j + 8 <= n {
+            match rb {
+                4 => kern8::<4>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                3 => kern8::<3>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                2 => kern8::<2>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                _ => kern8::<1>(rows.start + ci, ci, j, k, n, a, b, chunk),
+            }
+            j += 8;
+        }
+        if j < n {
+            match rb {
+                4 => kern_tail::<4>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                3 => kern_tail::<3>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                2 => kern_tail::<2>(rows.start + ci, ci, j, k, n, a, b, chunk),
+                _ => kern_tail::<1>(rows.start + ci, ci, j, k, n, a, b, chunk),
+            }
+        }
+        ci += rb;
+    }
+}
+
+/// `R`-row × 16-column accumulator block (2 vectors per row).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kern16<const R: usize>(
+    i0: usize,
+    ci: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mut acc0 = [_mm256_setzero_ps(); R];
+    let mut acc1 = [_mm256_setzero_ps(); R];
+    for r in 0..R {
+        let dst = chunk.as_ptr().add((ci + r) * n + j);
+        acc0[r] = _mm256_loadu_ps(dst);
+        acc1[r] = _mm256_loadu_ps(dst.add(8));
+    }
+    for p in 0..k {
+        let b0 = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+        let b1 = _mm256_loadu_ps(b.as_ptr().add(p * n + j + 8));
+        for r in 0..R {
+            let va = _mm256_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+            acc0[r] = _mm256_fmadd_ps(va, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(va, b1, acc1[r]);
+        }
+    }
+    for r in 0..R {
+        let dst = chunk.as_mut_ptr().add((ci + r) * n + j);
+        _mm256_storeu_ps(dst, acc0[r]);
+        _mm256_storeu_ps(dst.add(8), acc1[r]);
+    }
+}
+
+/// `R`-row × 8-column accumulator block.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kern8<const R: usize>(
+    i0: usize,
+    ci: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mut acc = [_mm256_setzero_ps(); R];
+    for r in 0..R {
+        acc[r] = _mm256_loadu_ps(chunk.as_ptr().add((ci + r) * n + j));
+    }
+    for p in 0..k {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+        for r in 0..R {
+            let va = _mm256_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+            acc[r] = _mm256_fmadd_ps(va, bv, acc[r]);
+        }
+    }
+    for r in 0..R {
+        _mm256_storeu_ps(chunk.as_mut_ptr().add((ci + r) * n + j), acc[r]);
+    }
+}
+
+/// `R`-row masked block for the `n mod 8` column tail — same FMA
+/// schedule as the full-width blocks, inactive lanes never touched.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kern_tail<const R: usize>(
+    i0: usize,
+    ci: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    let mask = tail_mask(n - j);
+    let mut acc = [_mm256_setzero_ps(); R];
+    for r in 0..R {
+        acc[r] = _mm256_maskload_ps(chunk.as_ptr().add((ci + r) * n + j), mask);
+    }
+    for p in 0..k {
+        let bv = _mm256_maskload_ps(b.as_ptr().add(p * n + j), mask);
+        for r in 0..R {
+            let va = _mm256_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+            acc[r] = _mm256_fmadd_ps(va, bv, acc[r]);
+        }
+    }
+    for r in 0..R {
+        _mm256_maskstore_ps(chunk.as_mut_ptr().add((ci + r) * n + j), mask, acc[r]);
+    }
+}
+
+/// AVX2+FMA body of `gemm_bt`: one [`dot8`] per output element.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn gemm_bt_rows(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bt: &[f32],
+    chunk: &mut [f32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            chunk[ci * n + j] += dot8(arow, &bt[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// AVX2+FMA body of `gemm_at`: `p` outermost, vectorized axpy per row.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn gemm_at_rows(
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+) {
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        let acol = &a[p * m..(p + 1) * m];
+        for (ci, i) in rows.clone().enumerate() {
+            axpy8(&mut chunk[ci * n..(ci + 1) * n], acol[i], brow);
+        }
+    }
+}
+
+/// AVX2 body of the int8 `gemm_bt`: two output columns at a time, 32
+/// bytes per step (two `cvtepi8_epi16` + `madd_epi16` chains per
+/// column), exact `i32` accumulation for the full `i8` range.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemm_bt_rows_i8(
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    bt: &[i8],
+    chunk: &mut [i32],
+) {
+    for (ci, i) in rows.clone().enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let b1 = &bt[(j + 1) * k..(j + 2) * k];
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut p = 0;
+            while p + 32 <= k {
+                let a_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.as_ptr().add(p).cast()));
+                let a_hi = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.as_ptr().add(p + 16).cast()));
+                let b0_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.as_ptr().add(p).cast()));
+                let b0_hi = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.as_ptr().add(p + 16).cast()));
+                let b1_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.as_ptr().add(p).cast()));
+                let b1_hi = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.as_ptr().add(p + 16).cast()));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a_lo, b0_lo));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(a_hi, b0_hi));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(a_lo, b1_lo));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(a_hi, b1_hi));
+                p += 32;
+            }
+            while p + 16 <= k {
+                let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.as_ptr().add(p).cast()));
+                let vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.as_ptr().add(p).cast()));
+                let vb1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.as_ptr().add(p).cast()));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, vb0));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, vb1));
+                p += 16;
+            }
+            let mut s0 = hsum_epi32(acc0);
+            let mut s1 = hsum_epi32(acc1);
+            while p < k {
+                s0 += i32::from(*arow.get_unchecked(p)) * i32::from(*b0.get_unchecked(p));
+                s1 += i32::from(*arow.get_unchecked(p)) * i32::from(*b1.get_unchecked(p));
+                p += 1;
+            }
+            chunk[ci * n + j] += s0;
+            chunk[ci * n + j + 1] += s1;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &bt[j * k..(j + 1) * k];
+            let mut acc = _mm256_setzero_si256();
+            let mut p = 0;
+            while p + 16 <= k {
+                let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.as_ptr().add(p).cast()));
+                let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.as_ptr().add(p).cast()));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+                p += 16;
+            }
+            let mut sum = hsum_epi32(acc);
+            while p < k {
+                sum += i32::from(*arow.get_unchecked(p)) * i32::from(*b0.get_unchecked(p));
+                p += 1;
+            }
+            chunk[ci * n + j] += sum;
+        }
+    }
+}

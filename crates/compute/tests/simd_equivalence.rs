@@ -1,0 +1,173 @@
+//! Property tests pinning the SIMD microkernels to the scalar reference
+//! bodies across ragged shapes.
+//!
+//! The float kernels are allowed to differ from the scalar path only by
+//! FMA/lane-reduction rounding: the bound scales with the reduction
+//! depth `k` (each element is a length-`k` sum, so the two schedules can
+//! drift by at most a few ULP per accumulation step). The int8 kernel
+//! accumulates exactly and must match bit-for-bit.
+//!
+//! The SIMD override is process-global, so every test that flips it
+//! holds [`OVERRIDE_LOCK`] — `#[test]` functions in this binary run on
+//! parallel threads.
+
+use std::sync::Mutex;
+
+use noodle_compute::{
+    active_isa, gemm, gemm_at, gemm_bt, gemm_bt_i8, set_simd_override, transpose, SimdIsa,
+};
+use proptest::prelude::*;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the scalar bodies pinned, then with the detected ISA
+/// pinned, restoring auto resolution afterwards even on panic.
+fn scalar_then_simd<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_simd_override(None);
+        }
+    }
+    let _restore = Restore;
+    set_simd_override(Some(false));
+    let scalar = f();
+    set_simd_override(Some(true));
+    let simd = f();
+    (scalar, simd)
+}
+
+/// `|x - y|` must be within `steps` float-spacing units of the scalar
+/// value: one fused-vs-unfused rounding step per accumulation, so the
+/// budget scales with the reduction depth.
+fn assert_close(scalar: &[f32], simd: &[f32], k: usize, tag: &str) {
+    let steps = 8.0 * (k as f32 + 1.0);
+    for (i, (x, y)) in scalar.iter().zip(simd).enumerate() {
+        let tol = steps * f32::EPSILON * x.abs().max(1.0);
+        assert!(
+            (x - y).abs() <= tol,
+            "{tag}: element {i} drifted beyond {steps} steps: scalar {x} vs simd {y}"
+        );
+    }
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..24, 1usize..80, 1usize..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_simd_matches_scalar_within_ulp((m, k, n) in dims(),
+                                           seed in any::<u32>()) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed.wrapping_mul(2654435761));
+        let (scalar, simd) = scalar_then_simd(|| {
+            let mut out = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut out);
+            out
+        });
+        assert_close(&scalar, &simd, k, "gemm");
+    }
+
+    #[test]
+    fn gemm_bt_simd_matches_scalar_within_ulp((m, k, n) in dims(),
+                                              seed in any::<u32>()) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = fill(m * k, seed);
+        let bt = fill(n * k, seed.wrapping_mul(0x9e3779b9));
+        let (scalar, simd) = scalar_then_simd(|| {
+            let mut out = vec![0.0f32; m * n];
+            gemm_bt(m, k, n, &a, &bt, &mut out);
+            out
+        });
+        assert_close(&scalar, &simd, k, "gemm_bt");
+    }
+
+    #[test]
+    fn gemm_at_simd_matches_scalar_within_ulp((m, k, n) in dims(),
+                                              seed in any::<u32>()) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let at = fill(k * m, seed);
+        let b = fill(k * n, seed.wrapping_add(0x85ebca6b));
+        let (scalar, simd) = scalar_then_simd(|| {
+            let mut out = vec![0.0f32; m * n];
+            gemm_at(k, m, n, &at, &b, &mut out);
+            out
+        });
+        assert_close(&scalar, &simd, k, "gemm_at");
+    }
+
+    /// The three layouts must agree with each other under SIMD too, not
+    /// just with their own scalar twins.
+    #[test]
+    fn transposed_layouts_agree_under_simd((m, k, n) in dims(),
+                                           seed in any::<u32>()) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_simd_override(None);
+            }
+        }
+        let _restore = Restore;
+        set_simd_override(Some(true));
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed.wrapping_mul(747796405));
+        let mut at = vec![0.0f32; m * k];
+        transpose(m, k, &a, &mut at);
+        let mut bt = vec![0.0f32; k * n];
+        transpose(k, n, &b, &mut bt);
+        let mut base = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut base);
+        let mut via_at = vec![0.0f32; m * n];
+        gemm_at(k, m, n, &at, &b, &mut via_at);
+        let mut via_bt = vec![0.0f32; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut via_bt);
+        assert_close(&base, &via_at, k, "gemm vs gemm_at");
+        assert_close(&base, &via_bt, k, "gemm vs gemm_bt");
+    }
+
+    #[test]
+    fn int8_simd_is_bit_exact((m, k, n) in dims(), seed in any::<u32>()) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a: Vec<i8> = (0..m * k)
+            .map(|i| (mix(seed, i as u32) & 0xff) as u8 as i8)
+            .collect();
+        let bt: Vec<i8> = (0..n * k)
+            .map(|i| (mix(seed ^ 0xdead_beef, i as u32) & 0xff) as u8 as i8)
+            .collect();
+        let (scalar, simd) = scalar_then_simd(|| {
+            let mut out = vec![3i32; m * n];
+            gemm_bt_i8(m, k, n, &a, &bt, &mut out);
+            out
+        });
+        prop_assert_eq!(scalar, simd);
+    }
+}
+
+#[test]
+fn override_restores_auto_resolution() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_simd_override(Some(false));
+    assert_eq!(active_isa(), SimdIsa::Scalar);
+    set_simd_override(None);
+    // Auto resolution honours NOODLE_SIMD, so either outcome is legal;
+    // the call must simply not be stuck on the scalar pin.
+    let _ = active_isa();
+}
+
+/// Deterministic pseudo-random fill in `[-8, 8)` (splitmix-style hash so
+/// failures minimize to stable inputs).
+fn fill(len: usize, seed: u32) -> Vec<f32> {
+    (0..len).map(|i| (mix(seed, i as u32) % 4096) as f32 / 256.0 - 8.0).collect()
+}
+
+fn mix(seed: u32, i: u32) -> u32 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9));
+    z = (z ^ (z >> 16)).wrapping_mul(0x85eb_ca6b);
+    z = (z ^ (z >> 13)).wrapping_mul(0xc2b2_ae35);
+    z ^ (z >> 16)
+}

@@ -8,7 +8,7 @@
 
 use noodle_nn::{
     fit_classifier, Activation, Conv1d, Conv2d, Dense, Dropout, EpochStats, Flatten, InferArena,
-    MaxPool1d, MaxPool2d, Sequential, Tensor, TrainConfig,
+    MaxPool1d, MaxPool2d, QuantizedModel, Sequential, Tensor, TrainConfig,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -132,6 +132,18 @@ impl ModalityClassifier {
     /// Number of trainable parameters.
     pub fn param_count(&mut self) -> usize {
         self.net.param_count()
+    }
+
+    /// Builds the int8 post-training-quantized serving twin of this
+    /// classifier, with activation scales calibrated on `calibration`
+    /// (a batch in this modality's input shape).
+    pub fn quantize(&self, calibration: &Tensor) -> QuantizedModel {
+        assert_eq!(
+            &calibration.shape()[1..],
+            self.input_shape().as_slice(),
+            "input shape mismatch"
+        );
+        QuantizedModel::from_calibrated(&self.net, calibration)
     }
 }
 

@@ -15,7 +15,7 @@ use noodle_conformal::{nonconformity_from_proba, Combiner, ConformalPrediction, 
 use noodle_gan::{GanConfig, ImputerConfig, ModalityImputer};
 use noodle_graph::{IMAGE_CHANNELS, IMAGE_SIZE};
 use noodle_metrics::brier_score;
-use noodle_nn::{InferArena, Tensor, TrainConfig};
+use noodle_nn::{InferArena, QuantizedModel, Tensor, TrainConfig};
 use noodle_observe::{
     emit_if, AuditHeader, AuditSink, CalibrationBaseline, PredictionRecord, ScoreBaseline,
     SourceProbe, AUDIT_SCHEMA_VERSION,
@@ -236,6 +236,50 @@ impl AuditTiming {
 
 /// A fitted NOODLE detector.
 ///
+/// The int8 post-training-quantized serving twins of the three CNNs,
+/// built at fit time from the ICP calibration split and persisted in the
+/// model JSON alongside the float networks.
+///
+/// The detector serves from the float networks by default;
+/// [`NoodleDetector::set_quantized`] switches the CNN forwards to these
+/// twins (everything else — normalization, conformal p-values, fusion —
+/// is unchanged). The calibration-set Brier scores of both paths are
+/// captured here so deployments can gate quantization on measured
+/// calibration quality instead of hoping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedNets {
+    graph: QuantizedModel,
+    tabular: QuantizedModel,
+    early: QuantizedModel,
+    /// Calibration-set Brier scores of the float CNNs, in
+    /// `[graph, tabular, early_fusion]` order.
+    calib_brier_f32: [f64; 3],
+    /// The same statistic served through the int8 path.
+    calib_brier_int8: [f64; 3],
+}
+
+impl QuantizedNets {
+    /// The quantized twin serving the given modality.
+    fn for_kind(&self, kind: ModalityKind) -> &QuantizedModel {
+        match kind {
+            ModalityKind::Graph => &self.graph,
+            ModalityKind::Tabular => &self.tabular,
+            ModalityKind::EarlyFusion => &self.early,
+        }
+    }
+
+    /// Calibration-set Brier scores of the float CNNs, in
+    /// `[graph, tabular, early_fusion]` order.
+    pub fn calib_brier_f32(&self) -> [f64; 3] {
+        self.calib_brier_f32
+    }
+
+    /// Calibration-set Brier scores of the int8 twins, in the same order.
+    pub fn calib_brier_int8(&self) -> [f64; 3] {
+        self.calib_brier_int8
+    }
+}
+
 /// The whole detector — CNNs, normalizer, conformal calibration, imputers
 /// and the captured evaluation — serializes with [`NoodleDetector::to_json`]
 /// so a model can be trained once and deployed.
@@ -257,6 +301,14 @@ pub struct NoodleDetector {
     /// observability layer existed).
     #[serde(default)]
     baseline: Option<CalibrationBaseline>,
+    /// Int8 serving twins of the three CNNs (absent in detectors fitted
+    /// before the quantized path existed).
+    #[serde(default)]
+    quantized: Option<QuantizedNets>,
+    /// Whether detect calls serve from the quantized twins; a runtime
+    /// switch, never serialized.
+    #[serde(skip)]
+    use_quantized: bool,
     /// Attached audit sink; runtime-only, never serialized.
     #[serde(skip)]
     audit: Option<Box<dyn AuditSink>>,
@@ -362,18 +414,36 @@ impl NoodleDetector {
 
         // Step 5: Mondrian ICP calibration per source (Algorithm 1).
         let calib_labels = amplified.labels(&split.calibration);
-        let (icp_graph, graph_min_scores) =
-            calibrate(&mut graph_clf, &amplified.graph_tensor(&split.calibration), &calib_labels)?;
-        let (icp_tabular, tabular_min_scores) = calibrate(
-            &mut tabular_clf,
-            &tab_input(&amplified, &split.calibration, &tabular_norm),
-            &calib_labels,
-        )?;
-        let (icp_early, early_min_scores) = calibrate(
-            &mut early_clf,
-            &early_input(&amplified, &split.calibration, &tabular_norm),
-            &calib_labels,
-        )?;
+        let calib_graph = amplified.graph_tensor(&split.calibration);
+        let calib_tab = tab_input(&amplified, &split.calibration, &tabular_norm);
+        let calib_early = early_input(&amplified, &split.calibration, &tabular_norm);
+        let (icp_graph, graph_min_scores) = calibrate(&mut graph_clf, &calib_graph, &calib_labels)?;
+        let (icp_tabular, tabular_min_scores) =
+            calibrate(&mut tabular_clf, &calib_tab, &calib_labels)?;
+        let (icp_early, early_min_scores) = calibrate(&mut early_clf, &calib_early, &calib_labels)?;
+
+        // Step 5b: int8 serving twins, calibrated on the same split the
+        // ICP sees, with the calibration-set Brier score of both paths
+        // captured so the quantization quality is measurable at serve
+        // time (and gated in CI).
+        let quantized = {
+            let _span = noodle_telemetry::span!("quantize.calibrate", samples = calib_labels.len());
+            let calib_outcomes: Vec<bool> = calib_labels.iter().map(|&l| l == 1).collect();
+            let mut arena = InferArena::new();
+            let (q_graph, graph_briers) =
+                quantize_source(&mut graph_clf, &calib_graph, &calib_outcomes, &mut arena);
+            let (q_tabular, tabular_briers) =
+                quantize_source(&mut tabular_clf, &calib_tab, &calib_outcomes, &mut arena);
+            let (q_early, early_briers) =
+                quantize_source(&mut early_clf, &calib_early, &calib_outcomes, &mut arena);
+            Some(QuantizedNets {
+                graph: q_graph,
+                tabular: q_tabular,
+                early: q_early,
+                calib_brier_f32: [graph_briers.0, tabular_briers.0, early_briers.0],
+                calib_brier_int8: [graph_briers.1, tabular_briers.1, early_briers.1],
+            })
+        };
 
         // Step 6: evaluate every strategy on the test split.
         let fusion_span =
@@ -485,6 +555,8 @@ impl NoodleDetector {
             imputer_tab_to_graph,
             evaluation,
             baseline,
+            quantized,
+            use_quantized: false,
             audit: None,
             audit_seq: 0,
         })
@@ -511,6 +583,46 @@ impl NoodleDetector {
         self.baseline.as_ref()
     }
 
+    /// The int8 serving twins persisted at fit time, if any (detectors
+    /// serialized before the quantized path existed carry none).
+    pub fn quantized_nets(&self) -> Option<&QuantizedNets> {
+        self.quantized.as_ref()
+    }
+
+    /// Switches CNN serving between the float networks (`false`, the
+    /// default) and the int8 post-training-quantized twins (`true`).
+    /// Everything downstream of the softmax — conformal p-values, fusion,
+    /// regions, audit — is identical code in both modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Dataset`] when enabling quantization on a
+    /// model that carries no quantized section (fitted before the int8
+    /// path existed); refit to generate one.
+    pub fn set_quantized(&mut self, on: bool) -> Result<(), PipelineError> {
+        if on && self.quantized.is_none() {
+            return Err(PipelineError::Dataset(
+                "this model carries no quantized section; refit to generate one".into(),
+            ));
+        }
+        self.use_quantized = on;
+        Ok(())
+    }
+
+    /// Whether detect calls currently serve from the int8 twins.
+    pub fn is_quantized(&self) -> bool {
+        self.use_quantized
+    }
+
+    /// The quantized nets, but only when quantized serving is switched on.
+    fn active_quantized(&self) -> Option<&QuantizedNets> {
+        if self.use_quantized {
+            self.quantized.as_ref()
+        } else {
+            None
+        }
+    }
+
     /// The audit-log header describing this detector (schema version,
     /// significance, winning strategy, calibration baseline).
     pub fn audit_header(&self) -> AuditHeader {
@@ -519,6 +631,8 @@ impl NoodleDetector {
             tool_version: env!("CARGO_PKG_VERSION").to_string(),
             significance: self.config.significance,
             strategy: format!("{:?}", self.evaluation.winner),
+            simd: noodle_compute::active_isa().name().to_string(),
+            quantized: self.use_quantized,
             baseline: self.baseline.clone(),
         }
     }
@@ -879,10 +993,12 @@ impl NoodleDetector {
         arena: &mut InferArena,
     ) -> Vec<ConformalPrediction> {
         let m = graphs.shape()[0];
+        let quant = self.active_quantized();
         let tab_norm = self.tabular_norm.transform(tab_raw);
         match strategy {
             FusionStrategy::GraphOnly => conformal_rows(
                 &self.graph_clf,
+                quant.map(|q| q.for_kind(ModalityKind::Graph)),
                 &self.icp_graph,
                 graphs,
                 "graph",
@@ -898,6 +1014,7 @@ impl NoodleDetector {
                     .expect("reshape keeps the element count");
                 conformal_rows(
                     &self.tabular_clf,
+                    quant.map(|q| q.for_kind(ModalityKind::Tabular)),
                     &self.icp_tabular,
                     &tab_t,
                     "tabular",
@@ -918,6 +1035,7 @@ impl NoodleDetector {
                     .expect("concatenation length is fixed");
                 conformal_rows(
                     &self.early_clf,
+                    quant.map(|q| q.for_kind(ModalityKind::EarlyFusion)),
                     &self.icp_early,
                     &early,
                     "early_fusion",
@@ -934,6 +1052,7 @@ impl NoodleDetector {
                     .expect("reshape keeps the element count");
                 let pg = conformal_rows(
                     &self.graph_clf,
+                    quant.map(|q| q.for_kind(ModalityKind::Graph)),
                     &self.icp_graph,
                     graphs,
                     "graph",
@@ -942,6 +1061,7 @@ impl NoodleDetector {
                 );
                 let pt = conformal_rows(
                     &self.tabular_clf,
+                    quant.map(|q| q.for_kind(ModalityKind::Tabular)),
                     &self.icp_tabular,
                     &tab_t,
                     "tabular",
@@ -1020,6 +1140,22 @@ impl NoodleDetector {
         emit_if(self.audit.as_deref_mut(), move || record);
     }
 
+    /// One CNN forward for a single design through whichever serving path
+    /// is active: the float network, or the int8 twin when quantized
+    /// serving is on. Bit-identical to the corresponding batched forward
+    /// (both paths are row-independent).
+    fn serve_proba(&mut self, kind: ModalityKind, input: &Tensor) -> Tensor {
+        if let Some(q) = self.active_quantized() {
+            let mut arena = InferArena::new();
+            return q.for_kind(kind).infer_proba(input, &mut arena).clone();
+        }
+        match kind {
+            ModalityKind::Graph => self.graph_clf.predict_proba(input),
+            ModalityKind::Tabular => self.tabular_clf.predict_proba(input),
+            ModalityKind::EarlyFusion => self.early_clf.predict_proba(input),
+        }
+    }
+
     fn conformal_for(
         &mut self,
         graph: &[f32],
@@ -1037,14 +1173,14 @@ impl NoodleDetector {
             tab_norm.reshape(&[1, 1, TABULAR_DIM]).expect("reshape keeps the element count");
         match strategy {
             FusionStrategy::GraphOnly => {
-                let proba = self.graph_clf.predict_proba(&graph_t);
+                let proba = self.serve_proba(ModalityKind::Graph, &graph_t);
                 let scores = scores_from_proba(proba.row(0));
                 let p = self.icp_graph.p_values(&scores);
                 push_probe(&mut probes, "graph", &p, &scores);
                 ConformalPrediction::new(p)
             }
             FusionStrategy::TabularOnly => {
-                let proba = self.tabular_clf.predict_proba(&tab_t);
+                let proba = self.serve_proba(ModalityKind::Tabular, &tab_t);
                 let scores = scores_from_proba(proba.row(0));
                 let p = self.icp_tabular.p_values(&scores);
                 push_probe(&mut probes, "tabular", &p, &scores);
@@ -1055,7 +1191,7 @@ impl NoodleDetector {
                 row.extend_from_slice(tab_norm.row(0));
                 let early = Tensor::from_vec(vec![1, 1, GRAPH_DIM + TABULAR_DIM], row)
                     .expect("concatenation length is fixed");
-                let proba = self.early_clf.predict_proba(&early);
+                let proba = self.serve_proba(ModalityKind::EarlyFusion, &early);
                 let scores = scores_from_proba(proba.row(0));
                 let p = self.icp_early.p_values(&scores);
                 push_probe(&mut probes, "early_fusion", &p, &scores);
@@ -1063,14 +1199,14 @@ impl NoodleDetector {
             }
             FusionStrategy::LateFusion => {
                 let pg = {
-                    let proba = self.graph_clf.predict_proba(&graph_t);
+                    let proba = self.serve_proba(ModalityKind::Graph, &graph_t);
                     let scores = scores_from_proba(proba.row(0));
                     let p = self.icp_graph.p_values(&scores);
                     push_probe(&mut probes, "graph", &p, &scores);
                     p
                 };
                 let pt = {
-                    let proba = self.tabular_clf.predict_proba(&tab_t);
+                    let proba = self.serve_proba(ModalityKind::Tabular, &tab_t);
                     let scores = scores_from_proba(proba.row(0));
                     let p = self.icp_tabular.p_values(&scores);
                     push_probe(&mut probes, "tabular", &p, &scores);
@@ -1161,16 +1297,23 @@ fn push_probe(
 
 /// Runs one classifier over a whole micro-batch through the inference
 /// arena and converts every row to per-class conformal p-values, recording
-/// one probe per file when audit evidence is being gathered.
+/// one probe per file when audit evidence is being gathered. When `quant`
+/// is present the CNN forward serves from the int8 twin instead of the
+/// float network; everything downstream is identical.
+#[allow(clippy::too_many_arguments)]
 fn conformal_rows(
     clf: &ModalityClassifier,
+    quant: Option<&QuantizedModel>,
     icp: &MondrianIcp,
     inputs: &Tensor,
     source: &str,
     probes: &mut Option<&mut Vec<Vec<SourceProbe>>>,
     arena: &mut InferArena,
 ) -> Vec<Vec<f64>> {
-    let proba = clf.infer_proba(inputs, arena);
+    let proba = match quant {
+        Some(q) => q.infer_proba(inputs, arena),
+        None => clf.infer_proba(inputs, arena),
+    };
     let m = proba.shape()[0];
     let mut all = Vec::with_capacity(m);
     for i in 0..m {
@@ -1211,6 +1354,22 @@ fn calibrate(
         })
         .collect();
     Ok((MondrianIcp::fit(&scores, 2)?, min_scores))
+}
+
+/// Builds one classifier's int8 serving twin and scores both paths on the
+/// calibration set, returning `(twin, (brier_f32, brier_int8))`.
+fn quantize_source(
+    clf: &mut ModalityClassifier,
+    calib: &Tensor,
+    outcomes: &[bool],
+    arena: &mut InferArena,
+) -> (QuantizedModel, (f64, f64)) {
+    let quant = clf.quantize(calib);
+    let f_proba = clf.predict_proba(calib);
+    let f32_probs: Vec<f64> = (0..outcomes.len()).map(|i| f_proba.row(i)[1] as f64).collect();
+    let q_proba = quant.infer_proba(calib, arena);
+    let q_probs: Vec<f64> = (0..outcomes.len()).map(|i| q_proba.row(i)[1] as f64).collect();
+    (quant, (brier_score(&f32_probs, outcomes), brier_score(&q_probs, outcomes)))
 }
 
 fn tab_input(dataset: &MultimodalDataset, indices: &[usize], norm: &ZScore) -> Tensor {
@@ -1407,6 +1566,87 @@ mod tests {
         assert_eq!(cold, warm, "cached features must reproduce the cold verdicts");
     }
 
+    /// The quantized-serving golden gate: on the seed corpus the int8
+    /// path must produce zero verdict flips against the float path, keep
+    /// p-values close, and not regress the calibration-set Brier score
+    /// beyond the quantization budget.
+    #[test]
+    fn quantized_serving_preserves_verdicts_on_the_seed_corpus() {
+        let mut det = fitted();
+        let probe = generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 2, seed: 77 });
+        let requests: Vec<DetectRequest<'_>> = probe
+            .iter()
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .collect();
+        let float = det.detect_batch(&requests, 32, None).unwrap();
+        det.set_quantized(true).unwrap();
+        assert!(det.is_quantized());
+        let quant = det.detect_batch(&requests, 32, None).unwrap();
+
+        let flips = float.iter().zip(&quant).filter(|(f, q)| f.infected != q.infected).count();
+        assert_eq!(flips, 0, "quantization flipped {flips} verdicts on the seed corpus");
+        for (f, q) in float.iter().zip(&quant) {
+            let (pf, pq) = (f.prediction.p_values(), q.prediction.p_values());
+            for c in 0..2 {
+                assert!(
+                    (pf[c] - pq[c]).abs() < 0.25,
+                    "class-{c} p-value drifted under int8: {} vs {}",
+                    pf[c],
+                    pq[c]
+                );
+            }
+        }
+
+        // Brier regression gate: the int8 twins may cost at most 0.02
+        // Brier on the calibration set, per source.
+        let nets = det.quantized_nets().expect("fit persists the quantized section");
+        for (source, (f, q)) in ["graph", "tabular", "early_fusion"]
+            .iter()
+            .zip(nets.calib_brier_f32().into_iter().zip(nets.calib_brier_int8()))
+        {
+            assert!((0.0..=1.0).contains(&q), "{source} int8 brier {q}");
+            assert!(q <= f + 0.02, "{source} calibration Brier regressed under int8: {q} vs {f}");
+        }
+    }
+
+    #[test]
+    fn quantized_batch_matches_sequential_and_round_trips() {
+        let mut det = fitted();
+        det.set_quantized(true).unwrap();
+        let probe = generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 2, seed: 55 });
+        let sequential: Vec<Detection> =
+            probe.iter().map(|b| det.detect_named(&b.name, &b.source, None).unwrap()).collect();
+        let requests: Vec<DetectRequest<'_>> = probe
+            .iter()
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .collect();
+        for batch in [1, 3, 8] {
+            let batched = det.detect_batch(&requests, batch, None).unwrap();
+            assert_eq!(batched, sequential, "quantized batch={batch} diverges from sequential");
+        }
+
+        // The quantized section (and its decisions) survive model JSON.
+        let json = det.to_json().unwrap();
+        let mut restored = NoodleDetector::from_json(&json).unwrap();
+        assert!(restored.quantized_nets().is_some());
+        restored.set_quantized(true).unwrap();
+        let replayed = restored.detect_batch(&requests, 8, None).unwrap();
+        for (a, b) in sequential.iter().zip(&replayed) {
+            assert_eq!(a.infected, b.infected);
+            assert_eq!(a.prediction.p_values(), b.prediction.p_values());
+        }
+
+        // A model stripped of its quantized section (e.g. fitted before
+        // the int8 path existed) still loads, but refuses to enable it.
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value.as_object_mut().unwrap().remove("quantized");
+        let mut stripped = NoodleDetector::from_json(&value.to_string()).unwrap();
+        assert!(stripped.quantized_nets().is_none());
+        assert!(stripped.set_quantized(true).is_err());
+        stripped.set_quantized(false).unwrap();
+        assert!(!stripped.is_quantized());
+    }
+
     #[test]
     fn strategy_labels_match_table_one() {
         assert_eq!(FusionStrategy::GraphOnly.label(), "Graph-based Data");
@@ -1446,6 +1686,8 @@ mod tests {
         assert_eq!(header.schema_version, noodle_observe::AUDIT_SCHEMA_VERSION);
         assert!((header.significance - det.config().significance).abs() < 1e-12);
         assert_eq!(header.strategy, format!("{:?}", det.winner()));
+        assert_eq!(header.simd, noodle_compute::active_isa().name());
+        assert!(!header.quantized, "float serving is the default");
         assert!(header.baseline.is_some());
 
         let probe =

@@ -56,6 +56,7 @@ pub use dataset::{
 };
 pub use detector::{
     DetectRequest, Detection, EvaluationReport, FusionStrategy, NoodleConfig, NoodleDetector,
+    QuantizedNets,
 };
 pub use error::PipelineError;
 pub use feature_cache::{CacheStats, FeatureCache, EXTRACTOR_VERSION};

@@ -1,7 +1,8 @@
 //! Zero-allocation batched inference.
 //!
-//! [`InferArena`] owns two ping-pong activation buffers and one im2col
-//! scratch vector. [`Sequential::infer_batch`] threads a batch through the
+//! [`InferArena`] owns two ping-pong activation buffers, one im2col
+//! scratch vector, and the int8 scratch used by the quantized serving
+//! path ([`crate::QuantizedModel`]). [`Sequential::infer_batch`] threads a batch through the
 //! network by alternating between the two buffers — each layer reads the
 //! previous layer's output from one buffer and writes into the other via
 //! [`Layer::infer`](crate::Layer::infer), which resizes in place instead
@@ -45,10 +46,15 @@ use crate::tensor::Tensor;
 pub struct InferArena {
     /// Ping-pong activation buffers; consecutive layers alternate between
     /// them so no layer ever reads and writes the same storage.
-    bufs: [Tensor; 2],
+    pub(crate) bufs: [Tensor; 2],
     /// im2col scratch shared by every convolution layer (sized to the
     /// largest `cin·k·k · oh·ow` seen so far).
-    cols: Vec<f32>,
+    pub(crate) cols: Vec<f32>,
+    /// Quantized-activation scratch for the int8 serving path (unused —
+    /// and never grown — by float inference).
+    pub(crate) qbuf: Vec<i8>,
+    /// i32 accumulator scratch for the int8 serving path.
+    pub(crate) qacc: Vec<i32>,
 }
 
 impl InferArena {

@@ -75,6 +75,21 @@ impl Conv1d {
         self.weight.shape()[2]
     }
 
+    /// Symmetric zero padding applied to each end of the sequence.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The `[out_channels, in_channels, k]` kernel tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output-channel bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
     /// Output length for an input of length `len`.
     ///
     /// # Panics

@@ -81,6 +81,21 @@ impl Conv2d {
         self.weight.shape()[2]
     }
 
+    /// Symmetric zero padding applied to each spatial edge.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The `[out_channels, in_channels, kh, kw]` kernel tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-output-channel bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
     fn out_dim(&self, dim: usize) -> usize {
         let padded = dim + 2 * self.padding;
         assert!(padded + 1 > self.kernel(), "input dim {dim} too small for kernel");

@@ -44,6 +44,7 @@ pub mod loss;
 pub mod lowering;
 mod model;
 pub mod optim;
+mod quant;
 mod tensor;
 
 pub use infer::InferArena;
@@ -53,6 +54,7 @@ pub use layers::{
 };
 pub use model::{fit_classifier, EpochStats, Sequential, TrainConfig};
 pub use optim::{Adam, Sgd};
+pub use quant::{QLayer, QuantizedModel};
 pub use tensor::{ShapeError, Tensor};
 
 #[cfg(test)]
@@ -64,6 +66,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Tensor>();
         assert_send_sync::<Sequential>();
+        assert_send_sync::<QuantizedModel>();
         assert_send_sync::<Layer>();
         assert_send_sync::<Adam>();
         assert_send_sync::<Sgd>();

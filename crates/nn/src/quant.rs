@@ -1,0 +1,562 @@
+//! Post-training int8 quantization for the serving path.
+//!
+//! [`QuantizedModel::from_calibrated`] walks a trained [`Sequential`],
+//! quantizing every `Dense`/`Conv1d`/`Conv2d` to 8-bit integers:
+//!
+//! * **weights** use symmetric per-output-channel scales
+//!   (`max |w_row| / 127`), so a badly scaled channel cannot poison the
+//!   precision of the others;
+//! * **activations** use one static symmetric scale per quantized layer,
+//!   calibrated as the max absolute activation that layer's *input*
+//!   reaches on the calibration set (the same held-out split the
+//!   conformal predictors are calibrated on). Novel inputs that exceed
+//!   the calibrated range saturate at ±127 rather than wrapping.
+//!
+//! Inference quantizes each quantized layer's input to `i8`, runs the
+//! matmul in [`noodle_compute::gemm_bt_i8`] with exact `i32`
+//! accumulation, and dequantizes immediately (`acc · s_act · s_w[ch] +
+//! bias`), so activations between layers — and every non-quantized
+//! layer (activations, pooling, batch norm, flatten, dropout) — stay in
+//! `f32` and run bit-identically to the float path.
+//!
+//! Because the integer accumulation is exact and the quantize/dequantize
+//! steps are elementwise, quantized inference inherits the float path's
+//! determinism contract: byte-identical outputs at every thread count
+//! *and* across SIMD instruction sets. The outputs differ from the f32
+//! model only by the quantization error, which the detector bounds at
+//! fit time with calibration-set Brier scores (and CI bounds end-to-end
+//! with a verdict-flip golden test).
+
+use noodle_compute::gemm_bt_i8;
+use noodle_profile::{EventKind, KernelTimer};
+use serde::{Deserialize, Serialize};
+
+use crate::infer::InferArena;
+use crate::layers::{softmax_rows_inplace, Layer};
+use crate::lowering::{im2col_1d, im2col_2d};
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+
+/// Largest magnitude representable after symmetric int8 quantization.
+const QMAX: f32 = 127.0;
+
+fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Symmetric scale mapping `[-max_abs, max_abs]` onto `[-127, 127]`; an
+/// all-zero range quantizes through scale 1.0 (everything maps to 0).
+fn scale_for(max_abs: f32) -> f32 {
+    if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs / QMAX
+    } else {
+        1.0
+    }
+}
+
+#[inline]
+fn quantize(x: f32, inv_scale: f32) -> i8 {
+    (x * inv_scale).round().clamp(-QMAX, QMAX) as i8
+}
+
+/// Quantizes a `[rows, cols]` weight matrix with one symmetric scale per
+/// row (= per output channel), returning `(q, scales)`.
+fn quantize_rows(weight: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(weight.len(), rows * cols, "weight length disagrees with {rows}x{cols}");
+    let mut q = vec![0i8; rows * cols];
+    let mut scales = vec![1.0f32; rows];
+    for r in 0..rows {
+        let row = &weight[r * cols..(r + 1) * cols];
+        let scale = scale_for(max_abs(row));
+        let inv = 1.0 / scale;
+        scales[r] = scale;
+        for (dst, &w) in q[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *dst = quantize(w, inv);
+        }
+    }
+    (q, scales)
+}
+
+fn quantize_into(src: &[f32], scale: f32, dst: &mut Vec<i8>) {
+    dst.clear();
+    let inv = 1.0 / scale;
+    dst.extend(src.iter().map(|&x| quantize(x, inv)));
+}
+
+/// Int8 twin of [`crate::Dense`]: `y = dequant(q(x) @ w_q^T) + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QDense {
+    in_features: usize,
+    out_features: usize,
+    /// Static symmetric input-activation scale from calibration.
+    act_scale: f32,
+    /// Per-output-row symmetric weight scales.
+    weight_scale: Vec<f32>,
+    /// `[out_features, in_features]` row-major int8 weights.
+    weight_q: Vec<i8>,
+    /// Bias stays in f32 (added after dequantization).
+    bias: Vec<f32>,
+}
+
+impl QDense {
+    fn from_calibrated(dense: &crate::Dense, input_max_abs: f32) -> Self {
+        let (out_f, in_f) = (dense.out_features(), dense.in_features());
+        let (weight_q, weight_scale) = quantize_rows(dense.weight().data(), out_f, in_f);
+        Self {
+            in_features: in_f,
+            out_features: out_f,
+            act_scale: scale_for(input_max_abs),
+            weight_scale,
+            weight_q,
+            bias: dense.bias().data().to_vec(),
+        }
+    }
+
+    fn infer(&self, input: &Tensor, out: &mut Tensor, qbuf: &mut Vec<i8>, qacc: &mut Vec<i32>) {
+        assert_eq!(input.ndim(), 2, "QDense expects [batch, in] input, got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "QDense expects {} input features, got {}",
+            self.in_features,
+            input.shape()[1]
+        );
+        let (batch, out_f) = (input.shape()[0], self.out_features);
+        let _prof = KernelTimer::start(
+            EventKind::DenseFwd,
+            2 * (batch * self.in_features * out_f) as u64,
+            (4 * (input.len() + batch * out_f)) as u64,
+        );
+        quantize_into(input.data(), self.act_scale, qbuf);
+        out.resize_in_place(&[batch, out_f]);
+        qacc.clear();
+        qacc.resize(batch * out_f, 0);
+        gemm_bt_i8(batch, self.in_features, out_f, qbuf, &self.weight_q, qacc);
+        let data = out.data_mut();
+        for b in 0..batch {
+            for o in 0..out_f {
+                let scale = self.act_scale * self.weight_scale[o];
+                data[b * out_f + o] = qacc[b * out_f + o] as f32 * scale + self.bias[o];
+            }
+        }
+    }
+}
+
+/// Int8 twin of [`crate::Conv2d`]: im2col → quantize-transpose → int8
+/// GEMM → dequantize, per sample, in the float path's lowering order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    act_scale: f32,
+    /// Per-output-channel symmetric weight scales.
+    weight_scale: Vec<f32>,
+    /// `[out_channels, in_channels·k·k]` row-major int8 weights.
+    weight_q: Vec<i8>,
+    bias: Vec<f32>,
+}
+
+impl QConv2d {
+    fn from_calibrated(conv: &crate::Conv2d, input_max_abs: f32) -> Self {
+        let (cout, cin, k) = (conv.out_channels(), conv.in_channels(), conv.kernel());
+        let (weight_q, weight_scale) = quantize_rows(conv.weight().data(), cout, cin * k * k);
+        Self {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            padding: conv.padding(),
+            act_scale: scale_for(input_max_abs),
+            weight_scale,
+            weight_q,
+            bias: conv.bias().data().to_vec(),
+        }
+    }
+
+    fn out_dim(&self, dim: usize) -> usize {
+        let padded = dim + 2 * self.padding;
+        assert!(padded + 1 > self.kernel, "input dim {dim} too small for kernel");
+        padded - self.kernel + 1
+    }
+
+    fn infer(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        cols: &mut Vec<f32>,
+        qbuf: &mut Vec<i8>,
+        qacc: &mut Vec<i32>,
+    ) {
+        assert_eq!(input.ndim(), 4, "QConv2d expects [b, c, h, w], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "QConv2d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let (batch, cin, h, w) =
+            (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let (cout, k, pad) = (self.out_channels, self.kernel, self.padding);
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let (ckk, l) = (cin * k * k, oh * ow);
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ckk * l) as u64,
+            (4 * (input.len() + batch * cout * l)) as u64,
+        );
+        out.resize_in_place(&[batch, cout, oh, ow]);
+        cols.resize(ckk * l, 0.0);
+        qbuf.clear();
+        qbuf.resize(l * ckk, 0);
+        let inv_act = 1.0 / self.act_scale;
+        let x = input.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            im2col_2d(&x[b * cin * h * w..][..cin * h * w], cin, h, w, k, pad, oh, ow, cols);
+            // Quantize and transpose the patch matrix `[ckk, l]` into
+            // `[l, ckk]` so each output element is one contiguous int8
+            // dot product.
+            for p in 0..ckk {
+                let col_row = &cols[p * l..(p + 1) * l];
+                for (j, &v) in col_row.iter().enumerate() {
+                    qbuf[j * ckk + p] = quantize(v, inv_act);
+                }
+            }
+            qacc.clear();
+            qacc.resize(cout * l, 0);
+            gemm_bt_i8(cout, ckk, l, &self.weight_q, qbuf, qacc);
+            let out_b = &mut o[b * cout * l..][..cout * l];
+            for co in 0..cout {
+                let scale = self.act_scale * self.weight_scale[co];
+                let bias = self.bias[co];
+                for j in 0..l {
+                    out_b[co * l + j] = qacc[co * l + j] as f32 * scale + bias;
+                }
+            }
+        }
+    }
+}
+
+/// Int8 twin of [`crate::Conv1d`]; see [`QConv2d`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QConv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    act_scale: f32,
+    weight_scale: Vec<f32>,
+    /// `[out_channels, in_channels·k]` row-major int8 weights.
+    weight_q: Vec<i8>,
+    bias: Vec<f32>,
+}
+
+impl QConv1d {
+    fn from_calibrated(conv: &crate::Conv1d, input_max_abs: f32) -> Self {
+        let (cout, cin, k) = (conv.out_channels(), conv.in_channels(), conv.kernel());
+        let (weight_q, weight_scale) = quantize_rows(conv.weight().data(), cout, cin * k);
+        Self {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            padding: conv.padding(),
+            act_scale: scale_for(input_max_abs),
+            weight_scale,
+            weight_q,
+            bias: conv.bias().data().to_vec(),
+        }
+    }
+
+    fn output_len(&self, len: usize) -> usize {
+        let padded = len + 2 * self.padding;
+        assert!(padded + 1 > self.kernel, "input length {len} too small for kernel");
+        padded - self.kernel + 1
+    }
+
+    fn infer(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        cols: &mut Vec<f32>,
+        qbuf: &mut Vec<i8>,
+        qacc: &mut Vec<i32>,
+    ) {
+        assert_eq!(input.ndim(), 3, "QConv1d expects [batch, ch, len], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_channels,
+            "QConv1d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[1]
+        );
+        let (batch, cin, len) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (cout, k, pad) = (self.out_channels, self.kernel, self.padding);
+        let out_len = self.output_len(len);
+        let ck = cin * k;
+        let _prof = KernelTimer::start(
+            EventKind::ConvFwd,
+            2 * (batch * cout * ck * out_len) as u64,
+            (4 * (input.len() + batch * cout * out_len)) as u64,
+        );
+        out.resize_in_place(&[batch, cout, out_len]);
+        cols.resize(ck * out_len, 0.0);
+        qbuf.clear();
+        qbuf.resize(out_len * ck, 0);
+        let inv_act = 1.0 / self.act_scale;
+        let x = input.data();
+        let o = out.data_mut();
+        for b in 0..batch {
+            im2col_1d(&x[b * cin * len..][..cin * len], cin, len, k, pad, out_len, cols);
+            for p in 0..ck {
+                let col_row = &cols[p * out_len..(p + 1) * out_len];
+                for (j, &v) in col_row.iter().enumerate() {
+                    qbuf[j * ck + p] = quantize(v, inv_act);
+                }
+            }
+            qacc.clear();
+            qacc.resize(cout * out_len, 0);
+            gemm_bt_i8(cout, ck, out_len, &self.weight_q, qbuf, qacc);
+            let out_b = &mut o[b * cout * out_len..][..cout * out_len];
+            for co in 0..cout {
+                let scale = self.act_scale * self.weight_scale[co];
+                let bias = self.bias[co];
+                for j in 0..out_len {
+                    out_b[co * out_len + j] = qacc[co * out_len + j] as f32 * scale + bias;
+                }
+            }
+        }
+    }
+}
+
+/// One layer of a [`QuantizedModel`]: an int8 twin for the GEMM-backed
+/// layers, the original layer for everything else.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum QLayer {
+    /// Quantized fully connected layer.
+    Dense(QDense),
+    /// Quantized 1-D convolution.
+    Conv1d(QConv1d),
+    /// Quantized 2-D convolution.
+    Conv2d(QConv2d),
+    /// Non-GEMM layer running its unchanged f32 inference kernel.
+    Passthrough(Layer),
+}
+
+impl QLayer {
+    fn infer(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        cols: &mut Vec<f32>,
+        qbuf: &mut Vec<i8>,
+        qacc: &mut Vec<i32>,
+    ) {
+        match self {
+            QLayer::Dense(l) => l.infer(input, out, qbuf, qacc),
+            QLayer::Conv1d(l) => l.infer(input, out, cols, qbuf, qacc),
+            QLayer::Conv2d(l) => l.infer(input, out, cols, qbuf, qacc),
+            QLayer::Passthrough(l) => l.infer(input, out, cols),
+        }
+    }
+}
+
+/// An int8 post-training-quantized serving twin of a [`Sequential`].
+///
+/// Built once at fit time with [`Self::from_calibrated`], serialized
+/// alongside the float model, and served through [`Self::infer_proba`]
+/// with the same [`InferArena`] zero-allocation discipline as the float
+/// path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedModel {
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedModel {
+    /// Quantizes `net` using `calibration` (a batch in the network's
+    /// input shape) to set the static activation scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty.
+    pub fn from_calibrated(net: &Sequential, calibration: &Tensor) -> Self {
+        assert!(calibration.len() > 0, "quantization needs a non-empty calibration batch");
+        let mut layers = Vec::with_capacity(net.layers().len());
+        let mut cur = calibration.clone();
+        let mut cols = Vec::new();
+        for layer in net.layers() {
+            let input_max = max_abs(cur.data());
+            layers.push(match layer {
+                Layer::Dense(d) => QLayer::Dense(QDense::from_calibrated(d, input_max)),
+                Layer::Conv1d(c) => QLayer::Conv1d(QConv1d::from_calibrated(c, input_max)),
+                Layer::Conv2d(c) => QLayer::Conv2d(QConv2d::from_calibrated(c, input_max)),
+                other => QLayer::Passthrough(other.clone()),
+            });
+            // Advance the calibration activations through the *float*
+            // layer: scales describe the true distribution each layer
+            // sees, not one distorted by upstream quantization error.
+            let mut next = Tensor::zeros(&[1]);
+            layer.infer(&cur, &mut next, &mut cols);
+            cur = next;
+        }
+        Self { layers }
+    }
+
+    /// Number of quantized (int8 GEMM) layers.
+    pub fn quantized_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| !matches!(l, QLayer::Passthrough(_))).count()
+    }
+
+    /// Runs quantized inference, returning the logits as a view into the
+    /// arena. Mirrors [`Sequential::infer_batch`]'s ping-pong exactly.
+    pub fn infer_batch<'a>(&self, input: &Tensor, arena: &'a mut InferArena) -> &'a Tensor {
+        let idx = self.infer_into(input, arena);
+        &arena.bufs[idx]
+    }
+
+    /// Softmax class probabilities via [`Self::infer_batch`].
+    pub fn infer_proba<'a>(&self, input: &Tensor, arena: &'a mut InferArena) -> &'a Tensor {
+        let idx = self.infer_into(input, arena);
+        softmax_rows_inplace(&mut arena.bufs[idx]);
+        &arena.bufs[idx]
+    }
+
+    fn infer_into(&self, input: &Tensor, arena: &mut InferArena) -> usize {
+        if self.layers.is_empty() {
+            arena.bufs[0].copy_from(input);
+            return 0;
+        }
+        let mut cur = 0;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let InferArena { bufs, cols, qbuf, qacc } = arena;
+            let (first, second) = bufs.split_at_mut(1);
+            if i == 0 {
+                layer.infer(input, &mut first[0], cols, qbuf, qacc);
+                cur = 0;
+            } else if cur == 0 {
+                layer.infer(&first[0], &mut second[0], cols, qbuf, qacc);
+                cur = 1;
+            } else {
+                layer.infer(&second[0], &mut first[0], cols, qbuf, qacc);
+                cur = 0;
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Conv2d, Dense, Flatten, MaxPool2d};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cnn(rng: &mut StdRng) -> Sequential {
+        Sequential::new(vec![
+            Conv2d::new(2, 4, 3, 1, rng).into(),
+            Activation::relu().into(),
+            MaxPool2d::new(2).into(),
+            Flatten::new().into(),
+            Dense::new(4 * 6 * 6, 8, rng).into(),
+            Activation::relu().into(),
+            Dense::new(8, 2, rng).into(),
+        ])
+    }
+
+    #[test]
+    fn quantized_probas_track_float_probas() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = cnn(&mut rng);
+        let calib = Tensor::rand_uniform(&[6, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let q = QuantizedModel::from_calibrated(&net, &calib);
+        assert_eq!(q.quantized_layer_count(), 3);
+        let x = Tensor::rand_uniform(&[5, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let mut arena = InferArena::new();
+        let pf = net.infer_proba(&x, &mut arena).clone();
+        let mut qarena = InferArena::new();
+        let pq = q.infer_proba(&x, &mut qarena);
+        for (a, b) in pf.data().iter().zip(pq.data()) {
+            assert!((a - b).abs() < 0.1, "quantized proba drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_inference_is_deterministic_and_thread_invariant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = cnn(&mut rng);
+        let calib = Tensor::rand_uniform(&[4, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let q = QuantizedModel::from_calibrated(&net, &calib);
+        let x = Tensor::rand_uniform(&[7, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let mut arena = InferArena::new();
+        noodle_compute::set_thread_override(Some(1));
+        let serial = q.infer_proba(&x, &mut arena).clone();
+        for threads in [2, 4] {
+            noodle_compute::set_thread_override(Some(threads));
+            let par = q.infer_proba(&x, &mut arena).clone();
+            assert_eq!(serial, par, "quantized inference differs at {threads} threads");
+        }
+        noodle_compute::set_thread_override(None);
+        // And batched rows must equal solo rows (micro-batching safety).
+        let sample = 2 * 12 * 12;
+        let mut solo_arena = InferArena::new();
+        for i in 0..7 {
+            let xi = Tensor::from_vec(
+                vec![1, 2, 12, 12],
+                x.data()[i * sample..(i + 1) * sample].to_vec(),
+            )
+            .unwrap();
+            let solo = q.infer_proba(&xi, &mut solo_arena);
+            assert_eq!(solo.row(0), serial.row(i), "row {i} differs from solo inference");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_outputs_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = cnn(&mut rng);
+        let calib = Tensor::rand_uniform(&[3, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let q = QuantizedModel::from_calibrated(&net, &calib);
+        let json = serde_json::to_string(&q).expect("serialize");
+        let q2: QuantizedModel = serde_json::from_str(&json).expect("deserialize");
+        let x = Tensor::rand_uniform(&[2, 2, 12, 12], -1.0, 1.0, &mut rng);
+        let mut a1 = InferArena::new();
+        let mut a2 = InferArena::new();
+        assert_eq!(q.infer_proba(&x, &mut a1), q2.infer_proba(&x, &mut a2));
+    }
+
+    #[test]
+    fn passthrough_only_model_matches_float_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Sequential::new(vec![
+            Activation::relu().into(),
+            MaxPool2d::new(2).into(),
+            Flatten::new().into(),
+        ]);
+        let calib = Tensor::rand_uniform(&[2, 2, 8, 8], -1.0, 1.0, &mut rng);
+        let q = QuantizedModel::from_calibrated(&net, &calib);
+        assert_eq!(q.quantized_layer_count(), 0);
+        let x = Tensor::rand_uniform(&[3, 2, 8, 8], -1.0, 1.0, &mut rng);
+        let mut fa = InferArena::new();
+        let mut qa = InferArena::new();
+        assert_eq!(net.infer_batch(&x, &mut fa).clone(), *q.infer_batch(&x, &mut qa));
+    }
+
+    #[test]
+    fn zero_weight_rows_quantize_safely() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new(vec![Dense::new(3, 2, &mut rng).into()]);
+        // Zero every weight row: the scales must fall back to 1.0 and
+        // produce exact zeros (plus the zero bias) instead of NaNs.
+        for p in net.params_mut() {
+            p.value.data_mut().fill(0.0);
+        }
+        let calib = Tensor::zeros(&[2, 3]);
+        let q = QuantizedModel::from_calibrated(&net, &calib);
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, -2.0, 3.0]).unwrap();
+        let mut arena = InferArena::new();
+        let out = q.infer_batch(&x, &mut arena);
+        assert!(out.data().iter().all(|v| *v == 0.0), "zero net must stay zero, got {out:?}");
+    }
+}

@@ -107,6 +107,8 @@ mod tests {
             tool_version: "0.1.0".into(),
             significance: 0.1,
             strategy: "LateFusion".into(),
+            simd: String::new(),
+            quantized: false,
             baseline: None,
         };
         serde_json::to_string(&AuditLine::Header(header)).unwrap()

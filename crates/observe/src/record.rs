@@ -106,6 +106,17 @@ pub struct AuditHeader {
     pub significance: f64,
     /// The detector's winning fusion strategy.
     pub strategy: String,
+    /// SIMD instruction set the serving kernels dispatched to when this
+    /// log was written (`"avx2+fma"`, `"neon"` or `"scalar"`); older logs
+    /// default to empty. Serving numerics may legally differ between ISAs
+    /// (the kernel lane widths differ), so replay tooling needs this to
+    /// compare like with like.
+    #[serde(default)]
+    pub simd: String,
+    /// Whether the detector served from its int8 post-training-quantized
+    /// twins; older logs default to `false`.
+    #[serde(default)]
+    pub quantized: bool,
     /// Calibration baseline persisted with the detector at fit time; powers
     /// the PSI drift, Brier and class-balance monitors.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -197,6 +208,8 @@ mod tests {
             tool_version: "0.1.0".into(),
             significance: 0.1,
             strategy: "LateFusion".into(),
+            simd: String::new(),
+            quantized: false,
             baseline: None,
         }
     }

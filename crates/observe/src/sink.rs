@@ -315,6 +315,8 @@ mod tests {
             tool_version: "0.1.0".into(),
             significance: 0.1,
             strategy: "EarlyFusion".into(),
+            simd: String::new(),
+            quantized: false,
             baseline: None,
         }
     }

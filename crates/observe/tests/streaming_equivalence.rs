@@ -82,6 +82,8 @@ fn baseline_header() -> AuditHeader {
         tool_version: "0.1.0".into(),
         significance: 0.1,
         strategy: "LateFusion".into(),
+        simd: String::new(),
+        quantized: false,
         baseline: Some(CalibrationBaseline {
             sources,
             class_balance: 0.3,

@@ -40,6 +40,8 @@ pub enum EventKind {
     GemmBt,
     /// `a^T @ b` GEMM.
     GemmAt,
+    /// Int8 `a @ b^T` GEMM with i32 accumulation (quantized serving).
+    GemmI8,
     /// im2col patch unrolling (1-D or 2-D).
     Im2col,
     /// col2im gradient scatter (1-D or 2-D).
@@ -67,6 +69,7 @@ impl EventKind {
             EventKind::Gemm => "gemm",
             EventKind::GemmBt => "gemm_bt",
             EventKind::GemmAt => "gemm_at",
+            EventKind::GemmI8 => "gemm_i8",
             EventKind::Im2col => "im2col",
             EventKind::Col2im => "col2im",
             EventKind::ConvFwd => "conv_fwd",
@@ -96,6 +99,7 @@ impl EventKind {
             "gemm" => EventKind::Gemm,
             "gemm_bt" => EventKind::GemmBt,
             "gemm_at" => EventKind::GemmAt,
+            "gemm_i8" => EventKind::GemmI8,
             "im2col" => EventKind::Im2col,
             "col2im" => EventKind::Col2im,
             "conv_fwd" => EventKind::ConvFwd,
@@ -528,6 +532,7 @@ mod tests {
             EventKind::Gemm,
             EventKind::GemmBt,
             EventKind::GemmAt,
+            EventKind::GemmI8,
             EventKind::Im2col,
             EventKind::Col2im,
             EventKind::ConvFwd,

@@ -78,6 +78,13 @@ pub struct RunContext {
     /// from `--report` output instead of scraping stderr.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub observe_addr: Option<String>,
+    /// SIMD instruction set the compute kernels dispatched to
+    /// (`"avx2+fma"`, `"neon"` or `"scalar"`). Kernel numerics may
+    /// legally differ between ISAs, so reproducing a run exactly needs
+    /// the dispatch choice on record; reports predating the field read
+    /// back as `None`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub simd: Option<String>,
 }
 
 /// Corpus composition statistics, mirrored from `bench_gen::CorpusStats`
@@ -237,6 +244,7 @@ mod tests {
                 seed: Some(3),
                 version: "0.1.0".into(),
                 observe_addr: Some("127.0.0.1:43817".into()),
+                simd: Some("avx2+fma".into()),
             }),
             stages: vec![SpanRecord {
                 name: "train".into(),

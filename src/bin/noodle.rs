@@ -105,7 +105,7 @@ fn print_usage() {
          noodle gen-corpus <dir> [--tf N] [--ti N] [--seed N]\n  \
          noodle train <model.json> [--corpus-seed N] [--fast]\n  \
          noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n         \
-         [--batch N] [--cache-dir <dir>]\n         \
+         [--batch N] [--cache-dir <dir>] [--quantize]\n         \
          [--audit-rotate-bytes N] [--audit-keep K]\n  \
          noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n         \
          [--follow [--poll-ms MS] [--idle-exit-ms MS]]\n  \
@@ -121,6 +121,9 @@ fn print_usage() {
          --quiet                 suppress progress output\n  \
          --threads N             compute pool size (results are identical\n                          \
          at every thread count; default NOODLE_THREADS or all cores)\n  \
+         --no-simd               pin compute kernels to their scalar reference\n                          \
+         bodies (NOODLE_SIMD=off works too); the active ISA\n                          \
+         is recorded in --report and audit headers\n  \
          --observe-addr H:P      serve GET /metrics (Prometheus), /monitor (JSON) and\n                          \
          /healthz (200/503) from a background thread while the\n                          \
          command runs; NOODLE_OBSERVE_ADDR works too; port 0\n                          \
@@ -132,7 +135,11 @@ fn print_usage() {
          `detect` fans feature extraction over the compute pool and runs CNN\n\
          forwards in micro-batches of --batch files (default 32); verdicts are\n\
          bit-identical at every batch size. --cache-dir reuses extracted\n\
-         features across runs, keyed by source content + extractor version.\n\n\
+         features across runs, keyed by source content + extractor version.\n\
+         --quantize serves CNN forwards from the model's int8 post-training-\n\
+         quantized twins (i32 accumulation, dequantize at activation); the\n\
+         model must have been trained by a build that emits the quantized\n\
+         section, and the audit header records quantized=true.\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
          a log through the coverage/Brier/drift monitor suite, and `observe\n\
@@ -193,7 +200,8 @@ impl From<String> for CliError {
 
 /// Flags that take no value; everything else consumes the next argument
 /// (or an inline `--flag=value`).
-const BOOLEAN_FLAGS: &[&str] = &["fast", "quiet", "trace", "profile-mem", "follow"];
+const BOOLEAN_FLAGS: &[&str] =
+    &["fast", "quiet", "trace", "profile-mem", "follow", "no-simd", "quantize"];
 
 /// Positional arguments plus `(name, value)` flag pairs.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
@@ -315,6 +323,12 @@ impl Observability {
             }
             noodle::compute::set_thread_override(Some(n));
         }
+        // Pin the kernels to their scalar bodies before any compute runs
+        // (the NOODLE_SIMD env override is honoured by the compute crate
+        // itself; the flag exists so scripts need no env plumbing).
+        if flag_value(flags, "no-simd").is_some() {
+            noodle::compute::set_simd_override(Some(false));
+        }
         let trace = flag_value(flags, "trace");
         let report = flag_value(flags, "report").map(PathBuf::from);
         let profile_path = flag_value(flags, "profile").map(PathBuf::from);
@@ -409,6 +423,7 @@ impl Observability {
             seed,
             version: env!("CARGO_PKG_VERSION").to_string(),
             observe_addr: self.observe_addr.clone(),
+            simd: Some(noodle::compute::active_isa().name().to_string()),
         });
         report.corpus = corpus;
         report.evaluation = evaluation;
@@ -631,6 +646,13 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::msg(format!("cannot read {model_path}: {e}")))?;
     let mut detector = NoodleDetector::from_json(&json)
         .map_err(|e| CliError::msg(format!("{model_path} is not a valid model: {e}")))?;
+    // Before the audit sinks attach, so the emitted header records the
+    // serving mode actually used.
+    if flag_value(&flags, "quantize").is_some() {
+        detector
+            .set_quantized(true)
+            .map_err(CliError::pipeline(format!("{model_path} cannot serve quantized")))?;
+    }
     let file_sink: Option<Box<dyn AuditSink>> = match &audit_path {
         None => None,
         Some(path) => {
