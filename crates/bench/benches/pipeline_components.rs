@@ -11,7 +11,7 @@ use noodle_gan::{GanConfig, VanillaGan};
 use noodle_graph::{build_graph, graph_image};
 use noodle_nn::Tensor;
 use noodle_tabular::extract_features;
-use noodle_verilog::{parse, Simulator};
+use noodle_verilog::{compile, parse, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -59,11 +59,22 @@ fn bench_components(c: &mut Criterion) {
         })
     });
 
-    // RTL simulation: 100 clock cycles of the first corpus design.
+    // RTL simulation: 100 clock cycles of the first corpus design, on
+    // the tree-walking interpreter and on the compiled tape engine.
     let sim_file = parse(&corpus[0].source).unwrap();
     c.bench_function("simulate_100_cycles", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(&sim_file.modules[0]).unwrap();
+            sim.set("rst", 1).unwrap();
+            sim.step("clk").unwrap();
+            sim.set("rst", 0).unwrap();
+            sim.run("clk", 100).unwrap();
+            black_box(sim.get("clk"))
+        })
+    });
+    c.bench_function("simulate_100_cycles_compiled", |b| {
+        b.iter(|| {
+            let mut sim = compile(&sim_file.modules[0]).unwrap();
             sim.set("rst", 1).unwrap();
             sim.step("clk").unwrap();
             sim.set("rst", 0).unwrap();

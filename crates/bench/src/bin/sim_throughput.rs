@@ -1,0 +1,157 @@
+//! Simulation-throughput benchmark: tree-walking interpreter vs the
+//! compiled instruction-tape engine.
+//!
+//! Composes three benign designs of increasing size from the bench-gen
+//! circuit families (small: 1 core, medium: 8 cores, large: 24 cores,
+//! all merged into a single flat module sharing `clk`/`rst`), then runs
+//! each design on both backends for the same number of clock cycles and
+//! records cycles/sec. The headline number is `speedup.compile` — the
+//! compiled/interpreted ratio on the medium design, which CI gates at
+//! 10x.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin sim_throughput -- \
+//!     [--out PATH] [--iters N] [--cycles N]
+//! ```
+//!
+//! Correctness rides along: after the timed runs (which execute the
+//! identical cycle count on both engines), every signal the interpreter
+//! exposes must read back identically from the compiled engine, or the
+//! benchmark aborts — the numbers are only published for two engines
+//! that finished in the same state.
+
+use std::time::Instant;
+
+use noodle_bench_gen::{compose, families, CircuitFamily, GeneratedCircuit};
+use noodle_verilog::{compile, CompiledSim, Module, PortDirection, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Composes `cores` family instances (cycling through every family so
+/// sequential and combinational cores are both represented) into one
+/// flat module.
+fn build_design(name: &str, cores: usize, rng: &mut StdRng) -> Module {
+    let all = CircuitFamily::ALL;
+    let instances: Vec<GeneratedCircuit> = (0..cores)
+        .map(|i| families::generate(all[i % all.len()], &format!("core{i}"), rng))
+        .collect();
+    compose(name, instances).module
+}
+
+/// Drives both backends through `iters + 1` runs of `cycles` clock
+/// cycles each (first run untimed), checks the final visible state
+/// matches, and returns (interp cycles/sec, compiled cycles/sec).
+fn bench_design(module: &Module, cycles: usize, iters: usize) -> (f64, f64) {
+    let mut interp = Simulator::new(module).expect("interpreter accepts the design");
+    let mut compiled: CompiledSim = compile(module).expect("compiler accepts the design");
+
+    // A fixed input vector: reset pulse, then a busy data pattern.
+    let inputs: Vec<String> = module
+        .resolved_ports()
+        .iter()
+        .filter(|p| p.direction == PortDirection::Input && p.name != "clk")
+        .map(|p| p.name.clone())
+        .collect();
+    for name in &inputs {
+        let value = if name.contains("rst") { 0 } else { 0xA5A5_5A5A_A5A5_5A5A };
+        interp.set(name, value).expect("interp set");
+        compiled.set(name, value).expect("compiled set");
+    }
+
+    let interp_ns = median_ns(iters, || interp.run("clk", cycles).expect("interp run"));
+    let compiled_ns = median_ns(iters, || compiled.run("clk", cycles).expect("compiled run"));
+
+    // Both engines executed the same total cycle count on the same
+    // stimulus; their visible state must be identical.
+    for signal in interp.signal_names() {
+        assert_eq!(
+            compiled.get(&signal),
+            interp.get(&signal),
+            "backends diverged on `{signal}` of `{}`",
+            module.name
+        );
+    }
+
+    let cps = |ns: u128| cycles as f64 / (ns as f64 / 1e9);
+    (cps(interp_ns), cps(compiled_ns))
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut iters: usize = 5;
+    let mut cycles: usize = 2000;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                iters = args[i + 1].parse().expect("--iters expects a number");
+                i += 2;
+            }
+            "--cycles" if i + 1 < args.len() => {
+                cycles = args[i + 1].parse().expect("--cycles expects a number");
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: sim_throughput [--out PATH] [--iters N] [--cycles N] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cycles = cycles.max(10);
+
+    let mut rng = StdRng::seed_from_u64(0x51B0);
+    let sizes = [("small", 1usize), ("medium", 8), ("large", 24)];
+    let mut rows = Vec::new();
+    for (label, cores) in sizes {
+        let module = build_design(&format!("bench_{label}"), cores, &mut rng);
+        eprintln!("benchmarking {label} ({cores} cores, {cycles} cycles x {iters} iters)...");
+        let (interp_cps, compiled_cps) = bench_design(&module, cycles, iters);
+        eprintln!(
+            "  interp {interp_cps:.0} cyc/s, compiled {compiled_cps:.0} cyc/s ({:.1}x)",
+            compiled_cps / interp_cps
+        );
+        rows.push((label, interp_cps, compiled_cps));
+    }
+
+    let speedup_of = |label: &str| {
+        let row = rows.iter().find(|r| r.0 == label).unwrap();
+        row.2 / row.1
+    };
+    let cps_entries = rows
+        .iter()
+        .map(|(label, interp, compiled)| {
+            format!("    \"{label}_interp\": {interp:.1},\n    \"{label}_compiled\": {compiled:.1}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"iters\": {iters},\n  \"cycles\": {cycles},\n  \"cycles_per_sec\": {{\n{cps_entries}\n  }},\n  \"speedup\": {{\n    \"compile\": {:.3},\n    \"compile_small\": {:.3},\n    \"compile_large\": {:.3}\n  }}\n}}\n",
+        speedup_of("medium"),
+        speedup_of("small"),
+        speedup_of("large"),
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("{json}");
+    eprintln!("benchmark results written to {out_path}");
+}
+
+/// Median wall-clock nanoseconds per call over `iters` timed calls (one
+/// untimed warmup call first).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    f();
+    let mut times: Vec<u128> = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    times[times.len() / 2]
+}

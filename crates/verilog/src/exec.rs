@@ -1,0 +1,300 @@
+//! The instruction-tape executor behind [`crate::CompiledSim`].
+//!
+//! A tape is a flat array of stack-machine opcodes produced by
+//! [`crate::compile`]. Execution runs linearly over two dense value
+//! regions: `stable` holds live signal state, `shadow` holds snapshot
+//! state (pre-edge values during a clock step, block-entry values
+//! inside a combinational `always` process). Every arithmetic step uses
+//! the exact expressions of the interpreter in `interp.rs`, so the two
+//! backends agree bit for bit — including panic behaviour on
+//! out-of-range shifts under debug assertions.
+
+use crate::ast::{BinaryOp, UnaryOp};
+use crate::interp::{apply_binary, apply_unary, mask, SimError, MAX_LOOP_ITERATIONS};
+
+/// One opcode of a compiled process tape.
+///
+/// Value operands travel on an explicit `u128` stack; `atom` operands
+/// index the dense signal table fixed at compile time.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// Push a constant.
+    Const(u128),
+    /// Push the live value of an atom.
+    Load(u32),
+    /// Push the snapshot value of an atom.
+    LoadPre(u32),
+    /// `[base, idx] -> (base >> min(idx, 127)) & 1`.
+    BitSel,
+    /// `[base] -> mask(base >> lo, width)`.
+    PartSel {
+        /// Low bit of the select.
+        lo: u32,
+        /// Width of the select.
+        width: u32,
+    },
+    /// Apply a unary operator at the operand's width.
+    Unary(UnaryOp, u32),
+    /// Apply a binary operator at the expression's width.
+    Binary(BinaryOp, u32),
+    /// `[cond, then, else] -> if cond != 0 { then } else { else }`.
+    Select,
+    /// `[acc, part] -> (acc << width) | mask(part, width)`.
+    ConcatFold(u32),
+    /// `[v] -> {count{mask(v, width)}}`.
+    RepeatFold {
+        /// Replication count.
+        count: u32,
+        /// Width of one replica.
+        width: u32,
+    },
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// `[v] -> v >> width` (concat-store residual shift).
+    ShrConst(u32),
+    /// Unconditional jump to an absolute tape index.
+    Jump(u32),
+    /// Pop a value; jump when it is zero.
+    JumpIfZero(u32),
+    /// Pop into a temp slot (case subjects).
+    StoreTemp(u32),
+    /// Pop a value; jump when it equals the temp slot.
+    JumpIfEqTemp {
+        /// Temp slot holding the case subject.
+        temp: u32,
+        /// Jump target on match.
+        target: u32,
+    },
+    /// Pop and store to an atom's live value (masked to its width).
+    Store(u32),
+    /// `[value, idx]`: read-modify-write one live bit of an atom.
+    StoreBit(u32),
+    /// Read-modify-write a live constant part select of an atom.
+    StorePart {
+        /// Target atom.
+        atom: u32,
+        /// Low bit.
+        lo: u32,
+        /// Field width.
+        width: u32,
+    },
+    /// Pop and queue a nonblocking whole-signal update (raw value).
+    NbStore(u32),
+    /// `[value, idx]`: queue a nonblocking single-bit update.
+    NbStoreBit(u32),
+    /// Queue a nonblocking part-select update.
+    NbStorePart {
+        /// Target atom.
+        atom: u32,
+        /// Low bit.
+        lo: u32,
+        /// Field width.
+        width: u32,
+    },
+    /// Zero a loop iteration counter.
+    LoopInit(u32),
+    /// Bump a loop counter and jump back to the condition; errors past
+    /// the interpreter's iteration budget.
+    LoopBump {
+        /// Counter slot.
+        slot: u32,
+        /// Loop condition tape index.
+        target: u32,
+    },
+    /// Copy the listed atoms stable -> shadow (selective block-entry
+    /// snapshot for a combinational `always` process).
+    Snapshot(Box<[u32]>),
+    /// Commit queued nonblocking updates to stable state, in order.
+    NbFlush,
+}
+
+/// Mutable run state of a compiled simulation: the two value regions
+/// plus the evaluation stack, temp slots, loop counters and the
+/// nonblocking queue. All buffers are reused across calls; a warm
+/// `step()` allocates nothing.
+#[derive(Debug, Clone)]
+pub(crate) struct Machine {
+    pub stable: Vec<u128>,
+    pub shadow: Vec<u128>,
+    pub stack: Vec<u128>,
+    pub temps: Vec<u128>,
+    pub loops: Vec<usize>,
+    pub nb: Vec<(u32, u128)>,
+}
+
+impl Machine {
+    pub(crate) fn new(initial: Vec<u128>, temps: usize, loops: usize) -> Self {
+        let shadow = vec![0; initial.len()];
+        Self {
+            stable: initial,
+            shadow,
+            stack: Vec::with_capacity(16),
+            temps: vec![0; temps],
+            loops: vec![0; loops],
+            nb: Vec::new(),
+        }
+    }
+
+    fn pop(&mut self) -> u128 {
+        self.stack.pop().expect("compiled tape stack underflow")
+    }
+
+    /// The value a nonblocking read-modify-write starts from: the
+    /// newest queued update for the atom, else its snapshot value.
+    fn nb_current(&self, atom: u32) -> u128 {
+        self.nb
+            .iter()
+            .rev()
+            .find(|&&(a, _)| a == atom)
+            .map(|&(_, v)| v)
+            .unwrap_or(self.shadow[atom as usize])
+    }
+
+    /// Commits queued nonblocking updates in order, masking each to the
+    /// target's width.
+    pub(crate) fn flush_nb(&mut self, widths: &[u32]) {
+        for i in 0..self.nb.len() {
+            let (atom, value) = self.nb[i];
+            self.stable[atom as usize] = mask(value, widths[atom as usize]);
+        }
+        self.nb.clear();
+    }
+}
+
+/// Executes one tape to completion.
+pub(crate) fn run_tape(tape: &[Instr], widths: &[u32], m: &mut Machine) -> Result<(), SimError> {
+    let mut pc = 0usize;
+    while pc < tape.len() {
+        match &tape[pc] {
+            Instr::Const(v) => m.stack.push(*v),
+            Instr::Load(atom) => m.stack.push(m.stable[*atom as usize]),
+            Instr::LoadPre(atom) => m.stack.push(m.shadow[*atom as usize]),
+            Instr::BitSel => {
+                let idx = m.pop() as u32;
+                let base = m.pop();
+                m.stack.push((base >> idx.min(127)) & 1);
+            }
+            Instr::PartSel { lo, width } => {
+                let base = m.pop();
+                m.stack.push(mask(base >> lo, *width));
+            }
+            Instr::Unary(op, w) => {
+                let v = m.pop();
+                m.stack.push(apply_unary(*op, v, *w));
+            }
+            Instr::Binary(op, w) => {
+                let b = m.pop();
+                let a = m.pop();
+                m.stack.push(apply_binary(*op, a, b, *w));
+            }
+            Instr::Select => {
+                let else_v = m.pop();
+                let then_v = m.pop();
+                let cond = m.pop();
+                m.stack.push(if cond != 0 { then_v } else { else_v });
+            }
+            Instr::ConcatFold(w) => {
+                let part = m.pop();
+                let acc = m.pop();
+                m.stack.push((acc << w) | mask(part, *w));
+            }
+            Instr::RepeatFold { count, width } => {
+                let v = mask(m.pop(), *width);
+                let mut out: u128 = 0;
+                for _ in 0..*count {
+                    out = (out << width) | v;
+                }
+                m.stack.push(out);
+            }
+            Instr::Dup => {
+                let top = *m.stack.last().expect("compiled tape stack underflow");
+                m.stack.push(top);
+            }
+            Instr::Pop => {
+                m.pop();
+            }
+            Instr::ShrConst(w) => {
+                let v = m.pop();
+                m.stack.push(v >> w);
+            }
+            Instr::Jump(target) => {
+                pc = *target as usize;
+                continue;
+            }
+            Instr::JumpIfZero(target) => {
+                if m.pop() == 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::StoreTemp(slot) => {
+                let v = m.pop();
+                m.temps[*slot as usize] = v;
+            }
+            Instr::JumpIfEqTemp { temp, target } => {
+                if m.pop() == m.temps[*temp as usize] {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Store(atom) => {
+                let v = m.pop();
+                m.stable[*atom as usize] = mask(v, widths[*atom as usize]);
+            }
+            Instr::StoreBit(atom) => {
+                let idx = m.pop() as u32;
+                let value = m.pop();
+                let a = *atom as usize;
+                let current = m.stable[a];
+                let updated = (current & !(1u128 << idx)) | ((value & 1) << idx);
+                m.stable[a] = mask(updated, widths[a]);
+            }
+            Instr::StorePart { atom, lo, width } => {
+                let value = m.pop();
+                let a = *atom as usize;
+                let current = m.stable[a];
+                let field = mask(u128::MAX, *width) << lo;
+                let updated = (current & !field) | (mask(value, *width) << lo);
+                m.stable[a] = mask(updated, widths[a]);
+            }
+            Instr::NbStore(atom) => {
+                let v = m.pop();
+                m.nb.push((*atom, v));
+            }
+            Instr::NbStoreBit(atom) => {
+                let idx = m.pop() as u32;
+                let value = m.pop();
+                let current = m.nb_current(*atom);
+                let updated = (current & !(1u128 << idx)) | ((value & 1) << idx);
+                m.nb.push((*atom, updated));
+            }
+            Instr::NbStorePart { atom, lo, width } => {
+                let value = m.pop();
+                let current = m.nb_current(*atom);
+                let field = mask(u128::MAX, *width) << lo;
+                let updated = (current & !field) | (mask(value, *width) << lo);
+                m.nb.push((*atom, updated));
+            }
+            Instr::LoopInit(slot) => m.loops[*slot as usize] = 0,
+            Instr::LoopBump { slot, target } => {
+                let s = *slot as usize;
+                m.loops[s] += 1;
+                if m.loops[s] > MAX_LOOP_ITERATIONS {
+                    return Err(SimError::new("for loop exceeded the iteration budget"));
+                }
+                pc = *target as usize;
+                continue;
+            }
+            Instr::Snapshot(atoms) => {
+                for &a in atoms.iter() {
+                    m.shadow[a as usize] = m.stable[a as usize];
+                }
+            }
+            Instr::NbFlush => m.flush_nb(widths),
+        }
+        pc += 1;
+    }
+    Ok(())
+}

@@ -34,11 +34,15 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod compile;
 mod error;
+mod exec;
 mod interp;
 mod lexer;
 mod parser;
 mod printer;
+mod sched;
+mod sim;
 pub mod token;
 pub mod transform;
 mod vcd;
@@ -48,9 +52,11 @@ pub use ast::{
     BinaryOp, CaseArm, CaseKind, Connection, Edge, EventControl, EventExpr, Expr, Item, LValue,
     Literal, Module, NetType, Port, PortDirection, Range, SourceFile, Stmt, UnaryOp,
 };
+pub use compile::{compile, CompiledSim};
 pub use error::ParseError;
 pub use interp::{SimError, Simulator};
 pub use lexer::tokenize;
 pub use parser::parse;
 pub use printer::{print_expr, print_module, print_source, print_stmt};
+pub use sim::Simulate;
 pub use vcd::VcdRecorder;

@@ -1,0 +1,430 @@
+//! Combinational scheduling: dependency analysis, stable topological
+//! sorting and loop extraction, shared by the compiled engine (which
+//! schedules once at elaboration) and the interpreter (which uses the
+//! same analysis to *explain* a settle failure with the exact signal
+//! cycle instead of an opaque iteration cap).
+//!
+//! Dependencies are tracked at bit-range granularity ("atomization
+//! lite"): a process that assigns `y[0]` and one that reads `y[1]` do
+//! not conflict, so disjoint part-selects of one bus never produce a
+//! false combinational loop. Implicit read-modify-write reads (the
+//! untouched bits preserved by a bit/part-select store) are excluded —
+//! preserving bits commutes across disjoint writers, so they impose no
+//! ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::ast::{Expr, LValue, Stmt};
+
+/// A read or write of bits `lo..=hi` of signal atom `atom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BitRange {
+    pub atom: u32,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl BitRange {
+    fn overlaps(&self, other: &BitRange) -> bool {
+        self.atom == other.atom && self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// External reads and writes of one combinational process.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProcIo {
+    pub reads: Vec<BitRange>,
+    pub writes: Vec<BitRange>,
+}
+
+/// A borrowed view of one combinational process, shared between the
+/// interpreter's process representation and the compiler's.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CombRef<'a> {
+    Assign { lhs: &'a LValue, rhs: &'a Expr },
+    Always { body: &'a Stmt },
+}
+
+/// Resolves signal names to atom indices and widths. Returns `None` for
+/// names the caller does not know (they contribute no dependencies).
+pub(crate) trait Resolver {
+    fn resolve(&self, name: &str) -> Option<(u32, u32)>;
+}
+
+impl<F: Fn(&str) -> Option<(u32, u32)>> Resolver for F {
+    fn resolve(&self, name: &str) -> Option<(u32, u32)> {
+        self(name)
+    }
+}
+
+fn whole(atom: u32, width: u32) -> BitRange {
+    BitRange { atom, lo: 0, hi: width.saturating_sub(1) }
+}
+
+/// Collects the bit ranges read by `expr`. Constant bit/part selects
+/// narrow the range; dynamic bit indices widen to the whole signal.
+fn expr_reads(expr: &Expr, resolve: &dyn Resolver, out: &mut Vec<BitRange>) {
+    match expr {
+        Expr::Ident(name) => {
+            if let Some((atom, width)) = resolve.resolve(name) {
+                out.push(whole(atom, width));
+            }
+        }
+        Expr::Literal(_) | Expr::Str(_) => {}
+        Expr::Bit { name, index } => {
+            if let Some((atom, width)) = resolve.resolve(name) {
+                if let Expr::Literal(l) = index.as_ref() {
+                    let bit = (l.value as u32).min(width.saturating_sub(1));
+                    out.push(BitRange { atom, lo: bit, hi: bit });
+                } else {
+                    out.push(whole(atom, width));
+                }
+            }
+            expr_reads(index, resolve, out);
+        }
+        Expr::Part { name, msb, lsb } => {
+            if let Some((atom, _)) = resolve.resolve(name) {
+                let (hi, lo) = (*msb.max(lsb) as u32, *msb.min(lsb) as u32);
+                out.push(BitRange { atom, lo, hi });
+            }
+        }
+        Expr::Unary { operand, .. } => expr_reads(operand, resolve, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_reads(lhs, resolve, out);
+            expr_reads(rhs, resolve, out);
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            expr_reads(cond, resolve, out);
+            expr_reads(then_expr, resolve, out);
+            expr_reads(else_expr, resolve, out);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                expr_reads(p, resolve, out);
+            }
+        }
+        Expr::Repeat { expr, .. } => expr_reads(expr, resolve, out),
+    }
+}
+
+/// The bit ranges written by a target (plus the atoms of fully-written
+/// whole signals, for definite-assignment tracking).
+fn lvalue_writes(
+    lhs: &LValue,
+    resolve: &dyn Resolver,
+    writes: &mut Vec<BitRange>,
+    fully: &mut Vec<u32>,
+    index_reads: &mut Vec<BitRange>,
+) {
+    match lhs {
+        LValue::Ident(name) => {
+            if let Some((atom, width)) = resolve.resolve(name) {
+                writes.push(whole(atom, width));
+                fully.push(atom);
+            }
+        }
+        LValue::Bit { name, index } => {
+            if let Some((atom, width)) = resolve.resolve(name) {
+                if let Expr::Literal(l) = index.as_ref() {
+                    let bit = (l.value as u32).min(width.saturating_sub(1));
+                    writes.push(BitRange { atom, lo: bit, hi: bit });
+                } else {
+                    writes.push(whole(atom, width));
+                }
+            }
+            expr_reads(index, resolve, index_reads);
+        }
+        LValue::Part { name, msb, lsb } => {
+            if let Some((atom, _)) = resolve.resolve(name) {
+                let (hi, lo) = (*msb.max(lsb) as u32, *msb.min(lsb) as u32);
+                writes.push(BitRange { atom, lo, hi });
+            }
+        }
+        LValue::Concat(parts) => {
+            for p in parts {
+                lvalue_writes(p, resolve, writes, fully, index_reads);
+            }
+        }
+    }
+}
+
+/// Walks a comb `always` body tracking which atoms have definitely been
+/// fully assigned (those shadow later *live-context* reads — blocking
+/// RHSs and for-loop conditions). Snapshot-context reads (`if`/`case`
+/// conditions and nonblocking RHSs read the body-entry snapshot in the
+/// interpreter) are never shadowed.
+fn walk_stmt(stmt: &Stmt, resolve: &dyn Resolver, io: &mut ProcIo, assigned: &mut HashSet<u32>) {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                walk_stmt(s, resolve, io, assigned);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            // Conditions read the body-entry snapshot: never shadowed.
+            expr_reads(cond, resolve, &mut io.reads);
+            let mut then_assigned = assigned.clone();
+            walk_stmt(then_branch, resolve, io, &mut then_assigned);
+            if let Some(els) = else_branch {
+                let mut else_assigned = assigned.clone();
+                walk_stmt(els, resolve, io, &mut else_assigned);
+                // Only atoms assigned on *both* paths are definite.
+                assigned.extend(then_assigned.intersection(&else_assigned).copied());
+            }
+        }
+        Stmt::Case { subject, arms, default, .. } => {
+            expr_reads(subject, resolve, &mut io.reads);
+            let mut branch_sets: Vec<HashSet<u32>> = Vec::with_capacity(arms.len() + 1);
+            for arm in arms {
+                for label in &arm.labels {
+                    expr_reads(label, resolve, &mut io.reads);
+                }
+                let mut arm_assigned = assigned.clone();
+                walk_stmt(&arm.body, resolve, io, &mut arm_assigned);
+                branch_sets.push(arm_assigned);
+            }
+            if let Some(d) = default {
+                let mut def_assigned = assigned.clone();
+                walk_stmt(d, resolve, io, &mut def_assigned);
+                branch_sets.push(def_assigned);
+                // With a default every path runs exactly one branch.
+                if let Some((first, rest)) = branch_sets.split_first() {
+                    let common: HashSet<u32> = rest
+                        .iter()
+                        .fold(first.clone(), |acc, s| acc.intersection(s).copied().collect());
+                    assigned.extend(common);
+                }
+            }
+        }
+        Stmt::Blocking { lhs, rhs } => {
+            // Blocking RHSs read live values: shadowed by earlier full
+            // assignments within this body.
+            let mut reads = Vec::new();
+            expr_reads(rhs, resolve, &mut reads);
+            reads.retain(|r| !assigned.contains(&r.atom));
+            io.reads.extend(reads);
+            let mut fully = Vec::new();
+            let mut index_reads = Vec::new();
+            lvalue_writes(lhs, resolve, &mut io.writes, &mut fully, &mut index_reads);
+            index_reads.retain(|r| !assigned.contains(&r.atom));
+            io.reads.extend(index_reads);
+            assigned.extend(fully);
+        }
+        Stmt::Nonblocking { lhs, rhs } => {
+            // Nonblocking RHSs and bit indices read the snapshot.
+            expr_reads(rhs, resolve, &mut io.reads);
+            let mut fully = Vec::new();
+            let mut index_reads = Vec::new();
+            lvalue_writes(lhs, resolve, &mut io.writes, &mut fully, &mut index_reads);
+            io.reads.extend(index_reads);
+            // NB commits after the body: later live reads do not see it,
+            // so it never joins the definitely-assigned set.
+        }
+        Stmt::For { init, cond, step, body } => {
+            walk_stmt(init, resolve, io, assigned);
+            let mut cond_reads = Vec::new();
+            expr_reads(cond, resolve, &mut cond_reads);
+            cond_reads.retain(|r| !assigned.contains(&r.atom));
+            io.reads.extend(cond_reads);
+            // Body and step may run zero times: their writes count, their
+            // definite assignments do not.
+            let mut loop_assigned = assigned.clone();
+            walk_stmt(body, resolve, io, &mut loop_assigned);
+            walk_stmt(step, resolve, io, &mut loop_assigned);
+        }
+        // The interpreter never evaluates system-task arguments.
+        Stmt::SystemCall { .. } | Stmt::Null => {}
+    }
+}
+
+/// Computes the external reads and writes of one combinational process.
+pub(crate) fn comb_io(process: CombRef<'_>, resolve: &dyn Resolver) -> ProcIo {
+    let mut io = ProcIo::default();
+    match process {
+        CombRef::Assign { lhs, rhs } => {
+            expr_reads(rhs, resolve, &mut io.reads);
+            let mut fully = Vec::new();
+            let mut index_reads = Vec::new();
+            lvalue_writes(lhs, resolve, &mut io.writes, &mut fully, &mut index_reads);
+            io.reads.extend(index_reads);
+        }
+        CombRef::Always { body } => {
+            let mut assigned = HashSet::new();
+            walk_stmt(body, resolve, &mut io, &mut assigned);
+        }
+    }
+    io
+}
+
+/// The detected combinational loop: atoms of the signal chain, in
+/// dependency order (`a -> b -> ... -> a`).
+#[derive(Debug, Clone)]
+pub(crate) struct Cycle {
+    pub atoms: Vec<u32>,
+}
+
+/// Topologically sorts processes so every process runs after all
+/// producers of its reads. The sort is *stable*: among unordered
+/// processes, declaration order is preserved — this keeps last-writer-
+/// wins semantics for overlapping writes identical to the interpreter's
+/// sweep order. Processes with overlapping writes are additionally
+/// ordered by declaration index for the same reason.
+///
+/// Returns the scheduled order, or the signal cycle on a loop.
+pub(crate) fn schedule(ios: &[ProcIo]) -> Result<Vec<usize>, Cycle> {
+    let n = ios.len();
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+
+    // Self-dependency: a process reading bits it also writes is a loop
+    // by itself (e.g. `assign a = ~a;`).
+    for io in ios {
+        for r in &io.reads {
+            if let Some(w) = io.writes.iter().find(|w| w.overlaps(r)) {
+                return Err(Cycle { atoms: vec![w.atom] });
+            }
+        }
+    }
+
+    for (a, io_a) in ios.iter().enumerate() {
+        for (b, io_b) in ios.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            // Producer -> consumer.
+            if io_a.writes.iter().any(|w| io_b.reads.iter().any(|r| w.overlaps(r))) {
+                edges[a].insert(b);
+            }
+            // Overlapping writers keep declaration order.
+            if a < b && io_a.writes.iter().any(|w| io_b.writes.iter().any(|x| w.overlaps(x))) {
+                edges[a].insert(b);
+            }
+        }
+    }
+
+    let mut indegree = vec![0usize; n];
+    for targets in &edges {
+        for &t in targets {
+            indegree[t] += 1;
+        }
+    }
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        indegree.iter().enumerate().filter(|(_, &d)| d == 0).map(|(i, _)| Reverse(i)).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(i)) = ready.pop() {
+        order.push(i);
+        for &t in &edges[i] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                ready.push(Reverse(t));
+            }
+        }
+    }
+    if order.len() == n {
+        return Ok(order);
+    }
+
+    // A loop remains among the unscheduled processes: walk successors
+    // (restricted to unscheduled nodes, which all sit on or feed cycles)
+    // until a process repeats, then link consecutive processes by the
+    // signal that connects them.
+    let scheduled: HashSet<usize> = order.iter().copied().collect();
+    let start = (0..n).find(|i| !scheduled.contains(i)).expect("a process must remain");
+    let mut path = vec![start];
+    let mut seen: HashSet<usize> = HashSet::from([start]);
+    let cycle_procs = loop {
+        let cur = *path.last().expect("path is never empty");
+        let next = edges[cur]
+            .iter()
+            .copied()
+            .filter(|t| !scheduled.contains(t))
+            .min()
+            .expect("unscheduled process must have an unscheduled successor");
+        if let Some(pos) = path.iter().position(|&p| p == next) {
+            break path[pos..].to_vec();
+        }
+        seen.insert(next);
+        path.push(next);
+    };
+    let mut atoms = Vec::with_capacity(cycle_procs.len());
+    for (k, &p) in cycle_procs.iter().enumerate() {
+        let q = cycle_procs[(k + 1) % cycle_procs.len()];
+        let link = ios[p]
+            .writes
+            .iter()
+            .find(|w| ios[q].reads.iter().any(|r| w.overlaps(r)))
+            .or_else(|| ios[p].writes.first())
+            .expect("cycle edge must involve a write");
+        atoms.push(link.atom);
+    }
+    Err(Cycle { atoms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(atom: u32) -> BitRange {
+        BitRange { atom, lo: 0, hi: 0 }
+    }
+
+    #[test]
+    fn chain_schedules_in_dependency_order() {
+        // p0: c = b, p1: b = a, p2: y = c  (declaration order is wrong)
+        let ios = vec![
+            ProcIo { reads: vec![range(1)], writes: vec![range(2)] },
+            ProcIo { reads: vec![range(0)], writes: vec![range(1)] },
+            ProcIo { reads: vec![range(2)], writes: vec![range(3)] },
+        ];
+        assert_eq!(schedule(&ios).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn independent_processes_keep_declaration_order() {
+        let ios = vec![
+            ProcIo { reads: vec![range(0)], writes: vec![range(1)] },
+            ProcIo { reads: vec![range(0)], writes: vec![range(2)] },
+            ProcIo { reads: vec![range(0)], writes: vec![range(3)] },
+        ];
+        assert_eq!(schedule(&ios).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_process_loop_is_reported_with_both_signals() {
+        // p0: a = ~b, p1: b = ~a
+        let ios = vec![
+            ProcIo { reads: vec![range(1)], writes: vec![range(0)] },
+            ProcIo { reads: vec![range(0)], writes: vec![range(1)] },
+        ];
+        let cycle = schedule(&ios).unwrap_err();
+        let mut atoms = cycle.atoms.clone();
+        atoms.sort_unstable();
+        assert_eq!(atoms, vec![0, 1]);
+    }
+
+    #[test]
+    fn self_loop_is_reported() {
+        let ios = vec![ProcIo { reads: vec![range(7)], writes: vec![range(7)] }];
+        assert_eq!(schedule(&ios).unwrap_err().atoms, vec![7]);
+    }
+
+    #[test]
+    fn disjoint_bit_ranges_do_not_conflict() {
+        // p0: y[0] = y[1] — reads and writes of y touch different bits.
+        let ios = vec![ProcIo {
+            reads: vec![BitRange { atom: 0, lo: 1, hi: 1 }],
+            writes: vec![BitRange { atom: 0, lo: 0, hi: 0 }],
+        }];
+        assert_eq!(schedule(&ios).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn overlapping_writers_stay_in_declaration_order() {
+        let ios = vec![
+            ProcIo { reads: vec![], writes: vec![range(5)] },
+            ProcIo { reads: vec![], writes: vec![range(5)] },
+        ];
+        assert_eq!(schedule(&ios).unwrap(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The backend-agnostic simulation surface.
+//!
+//! Both engines — the tree-walking [`Simulator`] and the compiled
+//! [`CompiledSim`] — expose the same step/settle/peek/poke contract.
+//! [`Simulate`] abstracts over them so harnesses (VCD recording,
+//! dynamic feature extraction, differential testing) can be written
+//! once and driven by either backend.
+
+use crate::compile::CompiledSim;
+use crate::interp::{SimError, Simulator};
+
+/// The common two-state simulation contract of both engines.
+///
+/// Implementations must agree cycle-for-cycle: same width semantics
+/// (values truncated to 128 bits at assignment), same nonblocking
+/// commit order, same settle results. The differential test suite holds
+/// them to that.
+pub trait Simulate {
+    /// Sets a signal to `value` (truncated to its width) and re-settles
+    /// combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the signal does not exist or settling
+    /// fails.
+    fn set(&mut self, name: &str, value: u128) -> Result<(), SimError>;
+
+    /// Current value of a signal, if it exists.
+    fn get(&self, name: &str) -> Option<u128>;
+
+    /// Width in bits of a signal, if it exists.
+    fn width(&self, name: &str) -> Option<u32>;
+
+    /// Input ports as `(name, width)` pairs, in declaration order.
+    fn inputs(&self) -> &[(String, u32)];
+
+    /// Output ports as `(name, width)` pairs, in declaration order.
+    fn outputs(&self) -> &[(String, u32)];
+
+    /// Names of every signal visible to [`Simulate::get`].
+    fn signal_names(&self) -> Vec<String>;
+
+    /// Performs one positive edge on `clock` and re-settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or a combinational
+    /// loop.
+    fn step(&mut self, clock: &str) -> Result<(), SimError>;
+
+    /// Propagates combinational logic to a fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on evaluation failure or a combinational
+    /// loop.
+    fn settle(&mut self) -> Result<(), SimError>;
+
+    /// Fires clocked processes sensitive to an edge on `signal`
+    /// (asynchronous set/reset modelling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`Simulate::step`].
+    fn async_reset(&mut self, signal: &str) -> Result<(), SimError>;
+
+    /// Runs `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`Simulate::step`].
+    fn run(&mut self, clock: &str, cycles: usize) -> Result<(), SimError>;
+}
+
+impl Simulate for Simulator {
+    fn set(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        Simulator::set(self, name, value)
+    }
+
+    fn get(&self, name: &str) -> Option<u128> {
+        Simulator::get(self, name)
+    }
+
+    fn width(&self, name: &str) -> Option<u32> {
+        Simulator::width(self, name)
+    }
+
+    fn inputs(&self) -> &[(String, u32)] {
+        Simulator::inputs(self)
+    }
+
+    fn outputs(&self) -> &[(String, u32)] {
+        Simulator::outputs(self)
+    }
+
+    fn signal_names(&self) -> Vec<String> {
+        Simulator::signal_names(self)
+    }
+
+    fn step(&mut self, clock: &str) -> Result<(), SimError> {
+        Simulator::step(self, clock)
+    }
+
+    fn settle(&mut self) -> Result<(), SimError> {
+        Simulator::settle(self)
+    }
+
+    fn async_reset(&mut self, signal: &str) -> Result<(), SimError> {
+        Simulator::async_reset(self, signal)
+    }
+
+    fn run(&mut self, clock: &str, cycles: usize) -> Result<(), SimError> {
+        Simulator::run(self, clock, cycles)
+    }
+}
+
+impl Simulate for CompiledSim {
+    fn set(&mut self, name: &str, value: u128) -> Result<(), SimError> {
+        CompiledSim::set(self, name, value)
+    }
+
+    fn get(&self, name: &str) -> Option<u128> {
+        CompiledSim::get(self, name)
+    }
+
+    fn width(&self, name: &str) -> Option<u32> {
+        CompiledSim::width(self, name)
+    }
+
+    fn inputs(&self) -> &[(String, u32)] {
+        CompiledSim::inputs(self)
+    }
+
+    fn outputs(&self) -> &[(String, u32)] {
+        CompiledSim::outputs(self)
+    }
+
+    fn signal_names(&self) -> Vec<String> {
+        CompiledSim::signal_names(self)
+    }
+
+    fn step(&mut self, clock: &str) -> Result<(), SimError> {
+        CompiledSim::step(self, clock)
+    }
+
+    fn settle(&mut self) -> Result<(), SimError> {
+        CompiledSim::settle(self)
+    }
+
+    fn async_reset(&mut self, signal: &str) -> Result<(), SimError> {
+        CompiledSim::async_reset(self, signal)
+    }
+
+    fn run(&mut self, clock: &str, cycles: usize) -> Result<(), SimError> {
+        CompiledSim::run(self, clock, cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parse;
+
+    const COUNTER: &str = "module m(input clk, input rst, output reg [3:0] q);
+        always @(posedge clk) if (rst) q <= 4'd0; else q <= q + 4'd1;
+    endmodule";
+
+    fn drive(sim: &mut dyn Simulate) -> u128 {
+        sim.set("rst", 1).unwrap();
+        sim.step("clk").unwrap();
+        sim.set("rst", 0).unwrap();
+        sim.run("clk", 5).unwrap();
+        sim.get("q").unwrap()
+    }
+
+    #[test]
+    fn both_backends_drive_through_the_trait() {
+        let file = parse(COUNTER).unwrap();
+        let mut interp = Simulator::new(&file.modules[0]).unwrap();
+        let mut compiled = compile(&file.modules[0]).unwrap();
+        assert_eq!(drive(&mut interp), 5);
+        assert_eq!(drive(&mut compiled), 5);
+    }
+}

@@ -1,14 +1,17 @@
-//! VCD (Value Change Dump) waveform recording for the [`Simulator`].
+//! VCD (Value Change Dump) waveform recording for any [`Simulate`]
+//! backend.
 //!
 //! [`VcdRecorder`] samples chosen signals after each interesting point of a
 //! simulation and serializes the trace in the standard IEEE 1364 VCD text
 //! format, viewable in GTKWave and friends — handy when dissecting what an
-//! inserted Trojan actually does cycle by cycle.
+//! inserted Trojan actually does cycle by cycle. It works identically
+//! over the interpreter and the compiled engine.
 
 use std::collections::HashMap;
 use std::fmt::Write;
 
-use crate::interp::{SimError, Simulator};
+use crate::interp::SimError;
+use crate::sim::Simulate;
 
 /// Records value changes of selected signals and serializes them as VCD.
 ///
@@ -55,7 +58,11 @@ impl VcdRecorder {
     /// # Errors
     ///
     /// Returns [`SimError`] if any signal does not exist in the simulator.
-    pub fn new(scope: &str, sim: &Simulator, signals: &[&str]) -> Result<Self, SimError> {
+    pub fn new<S: Simulate + ?Sized>(
+        scope: &str,
+        sim: &S,
+        signals: &[&str],
+    ) -> Result<Self, SimError> {
         let mut recorded = Vec::with_capacity(signals.len());
         for (i, &name) in signals.iter().enumerate() {
             let width =
@@ -76,7 +83,7 @@ impl VcdRecorder {
     /// # Errors
     ///
     /// Returns [`SimError`] if the simulator has no ports to record.
-    pub fn over_ports(scope: &str, sim: &Simulator) -> Result<Self, SimError> {
+    pub fn over_ports<S: Simulate + ?Sized>(scope: &str, sim: &S) -> Result<Self, SimError> {
         let names: Vec<String> =
             sim.inputs().iter().chain(sim.outputs()).map(|(n, _)| n.clone()).collect();
         if names.is_empty() {
@@ -98,7 +105,7 @@ impl VcdRecorder {
     ///
     /// Returns [`SimError`] if a recorded signal vanished (cannot happen
     /// with a simulator built from the same module).
-    pub fn sample(&mut self, sim: &Simulator) -> Result<(), SimError> {
+    pub fn sample<S: Simulate + ?Sized>(&mut self, sim: &S) -> Result<(), SimError> {
         for (i, (name, _, _)) in self.signals.iter().enumerate() {
             let value =
                 sim.get(name).ok_or_else(|| SimError::new(format!("unknown signal `{name}`")))?;
@@ -160,6 +167,7 @@ fn id_code(index: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp::Simulator;
     use crate::parse;
 
     fn counter_sim() -> Simulator {

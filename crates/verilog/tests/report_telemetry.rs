@@ -1,0 +1,61 @@
+//! The simulation engines' telemetry lands in the run report without
+//! changing its schema: the `sim.elaborate` / `sim.compile` / `sim.run`
+//! spans become stages (tagged with their backend), the
+//! `sim.cycles_per_sec` gauge is published, and the report still
+//! round-trips through JSON losslessly at the current schema version.
+//!
+//! This file holds a single test because the telemetry registry is
+//! process-global; an integration test binary gives it a process of its
+//! own.
+
+use noodle_telemetry as telemetry;
+use noodle_verilog::{compile, parse, Simulator};
+
+const DESIGN: &str = "module m(input clk, input rst, output reg [7:0] q);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else q <= q + 8'd1;
+    end
+endmodule";
+
+#[test]
+fn simulator_telemetry_lands_in_the_run_report() {
+    telemetry::set_sink(Box::new(telemetry::NullSink));
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let file = parse(DESIGN).unwrap();
+    let module = &file.modules[0];
+    let mut interp = Simulator::new(module).unwrap();
+    interp.run("clk", 16).unwrap();
+    let mut compiled = compile(module).unwrap();
+    compiled.run("clk", 16).unwrap();
+
+    let report = telemetry::RunReport::from_snapshot("simulate", telemetry::snapshot());
+
+    // Both backends' spans arrive as root stages.
+    let stage_names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+    for name in ["sim.elaborate", "sim.compile", "sim.run"] {
+        assert!(stage_names.contains(&name), "missing stage `{name}` in {stage_names:?}");
+    }
+    let run_backends: Vec<&str> = report
+        .stages
+        .iter()
+        .filter(|s| s.name == "sim.run")
+        .flat_map(|s| s.attrs.iter())
+        .filter(|(key, _)| key == "backend")
+        .map(|(_, value)| value.as_str())
+        .collect();
+    assert!(
+        run_backends.contains(&"interp") && run_backends.contains(&"compiled"),
+        "expected a sim.run stage per backend, got {run_backends:?}"
+    );
+
+    // The throughput gauge carries the last run's rate.
+    assert!(report.gauges["sim.cycles_per_sec"] > 0.0, "gauges: {:?}", report.gauges);
+
+    // Schema-preserving: current version, lossless JSON round-trip.
+    assert_eq!(report.schema_version, telemetry::SCHEMA_VERSION);
+    let restored = telemetry::RunReport::from_json(&report.to_json().unwrap()).unwrap();
+    assert_eq!(restored, report);
+}

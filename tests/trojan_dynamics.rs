@@ -10,17 +10,19 @@
 use noodle::bench_gen::{
     families, insert_trojan, CircuitFamily, PayloadKind, TriggerKind, TrojanSpec,
 };
-use noodle::verilog::{parse, print_module, PortDirection, Simulator};
+use noodle::verilog::{compile, parse, print_module, PortDirection, Simulate, Simulator};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Clean and infected simulators plus the inserted Trojan's descriptor
+/// and the design's driveable input ports.
+type TrojanPair =
+    (Box<dyn Simulate>, Box<dyn Simulate>, noodle::bench_gen::TrojanDescriptor, Vec<(String, u64)>);
+
 /// Builds simulators for the clean and infected variants of one design
-/// (round-tripped through source text, like the real corpus).
-fn build_pair(
-    family: CircuitFamily,
-    spec: TrojanSpec,
-    seed: u64,
-) -> (Simulator, Simulator, noodle::bench_gen::TrojanDescriptor, Vec<(String, u64)>) {
+/// (round-tripped through source text, like the real corpus), on either
+/// backend — the Trojan semantics must hold regardless of the engine.
+fn build_pair(family: CircuitFamily, spec: TrojanSpec, seed: u64, compiled: bool) -> TrojanPair {
     let mut rng = StdRng::seed_from_u64(seed);
     let clean = families::generate(family, "dut", &mut rng);
     let mut infected = clean.clone();
@@ -28,8 +30,15 @@ fn build_pair(
 
     let clean_file = parse(&print_module(&clean.module)).expect("clean parses");
     let infected_file = parse(&print_module(&infected.module)).expect("infected parses");
-    let clean_sim = Simulator::new(&clean_file.modules[0]).expect("clean simulates");
-    let infected_sim = Simulator::new(&infected_file.modules[0]).expect("infected simulates");
+    let build = |module| -> Box<dyn Simulate> {
+        if compiled {
+            Box::new(compile(module).expect("design compiles"))
+        } else {
+            Box::new(Simulator::new(module).expect("design simulates"))
+        }
+    };
+    let clean_sim = build(&clean_file.modules[0]);
+    let infected_sim = build(&infected_file.modules[0]);
 
     let inputs: Vec<(String, u64)> = clean
         .module
@@ -53,8 +62,8 @@ fn output_ports(sim_src: &noodle::bench_gen::GeneratedCircuit) -> Vec<String> {
 }
 
 fn drive_random_cycle(
-    clean: &mut Simulator,
-    infected: &mut Simulator,
+    clean: &mut dyn Simulate,
+    infected: &mut dyn Simulate,
     inputs: &[(String, u64)],
     avoid: Option<(&str, &[u64])>,
     rng: &mut StdRng,
@@ -76,8 +85,7 @@ fn drive_random_cycle(
     }
 }
 
-#[test]
-fn trojans_are_dormant_until_triggered() {
+fn check_trojans_are_dormant_until_triggered(compiled: bool) {
     let mut rng = StdRng::seed_from_u64(2024);
     for (i, spec) in TrojanSpec::all().into_iter().enumerate() {
         let family = CircuitFamily::ALL[(i * 3 + 1) % CircuitFamily::ALL.len()];
@@ -87,7 +95,7 @@ fn trojans_are_dormant_until_triggered() {
             families::generate(family, "dut", &mut r)
         };
         let (mut clean, mut infected, descriptor, inputs) =
-            build_pair(family, spec, 500 + i as u64);
+            build_pair(family, spec, 500 + i as u64, compiled);
         let _ = &mut probe_rng;
         let outputs = output_ports(&clean_circuit);
         let has_clock = clean_circuit.clock.is_some();
@@ -111,7 +119,7 @@ fn trojans_are_dormant_until_triggered() {
         let avoid = (descriptor.trigger != TriggerKind::TimeBomb)
             .then_some((descriptor.trigger_source.as_str(), descriptor.trigger_values.as_slice()));
         for cycle in 0..40 {
-            drive_random_cycle(&mut clean, &mut infected, &driven, avoid, &mut rng, has_clock);
+            drive_random_cycle(&mut *clean, &mut *infected, &driven, avoid, &mut rng, has_clock);
             assert_eq!(
                 infected.get("cfg_match"),
                 Some(0),
@@ -169,55 +177,71 @@ fn trojans_are_dormant_until_triggered() {
 }
 
 #[test]
+fn trojans_are_dormant_until_triggered() {
+    check_trojans_are_dormant_until_triggered(false);
+}
+
+#[test]
+fn trojans_are_dormant_until_triggered_compiled() {
+    check_trojans_are_dormant_until_triggered(true);
+}
+
+#[test]
 fn dos_payload_zeroes_the_output_when_fired() {
     let spec =
         TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::DenialOfService };
-    let (mut clean, mut infected, descriptor, _) = build_pair(CircuitFamily::Arbiter, spec, 7);
-    // Drive all requests high: the arbiter must grant someone...
-    clean.set("req", 0b1111).unwrap();
-    infected.set("req", 0b1111).unwrap();
-    assert_ne!(clean.get("grant"), Some(0));
-    // ...unless the magic request pattern kills the grant output.
-    let magic = descriptor.trigger_values[0] as u128;
-    clean.set(&descriptor.trigger_source, magic).unwrap();
-    infected.set(&descriptor.trigger_source, magic).unwrap();
-    if descriptor.hooked_output == "grant" && clean.get("grant") != Some(0) {
-        assert_eq!(infected.get("grant"), Some(0), "DoS payload must zero the grant");
+    for compiled in [false, true] {
+        let (mut clean, mut infected, descriptor, _) =
+            build_pair(CircuitFamily::Arbiter, spec, 7, compiled);
+        // Drive all requests high: the arbiter must grant someone...
+        clean.set("req", 0b1111).unwrap();
+        infected.set("req", 0b1111).unwrap();
+        assert_ne!(clean.get("grant"), Some(0));
+        // ...unless the magic request pattern kills the grant output.
+        let magic = descriptor.trigger_values[0] as u128;
+        clean.set(&descriptor.trigger_source, magic).unwrap();
+        infected.set(&descriptor.trigger_source, magic).unwrap();
+        if descriptor.hooked_output == "grant" && clean.get("grant") != Some(0) {
+            assert_eq!(infected.get("grant"), Some(0), "DoS payload must zero the grant");
+        }
     }
 }
 
 #[test]
 fn leak_payload_exfiltrates_the_secret_bit() {
     let spec = TrojanSpec { trigger: TriggerKind::MagicValue, payload: PayloadKind::Leak };
-    let (mut clean, mut infected, descriptor, _) = build_pair(CircuitFamily::CryptoRound, spec, 11);
-    assert_eq!(descriptor.payload, PayloadKind::Leak);
-    // Load a known state with an odd low bit, then trigger and compare the
-    // hijacked output: the xor-ed difference equals the replicated secret
-    // bit, which is exactly what an attacker reads off the bus.
-    for sim in [&mut clean, &mut infected] {
-        sim.set("rst", 1).unwrap();
-        sim.step("clk").unwrap();
-        sim.set("rst", 0).unwrap();
-        sim.set("key", 0x55).unwrap();
-        sim.set("din", 0x01).unwrap();
-        sim.set("load", 1).unwrap();
-        sim.step("clk").unwrap();
+    for compiled in [false, true] {
+        let (mut clean, mut infected, descriptor, _) =
+            build_pair(CircuitFamily::CryptoRound, spec, 11, compiled);
+        assert_eq!(descriptor.payload, PayloadKind::Leak);
+        // Load a known state with an odd low bit, then trigger and compare the
+        // hijacked output: the xor-ed difference equals the replicated secret
+        // bit, which is exactly what an attacker reads off the bus.
+        for sim in [&mut clean, &mut infected] {
+            sim.set("rst", 1).unwrap();
+            sim.step("clk").unwrap();
+            sim.set("rst", 0).unwrap();
+            sim.set("key", 0x55).unwrap();
+            sim.set("din", 0x01).unwrap();
+            sim.set("load", 1).unwrap();
+            sim.step("clk").unwrap();
+        }
+        let magic = descriptor.trigger_values[0] as u128;
+        clean.set(&descriptor.trigger_source, magic).unwrap();
+        infected.set(&descriptor.trigger_source, magic).unwrap();
+        assert_eq!(infected.get("cfg_match"), Some(1));
+        let clean_out = clean.get(&descriptor.hooked_output).unwrap();
+        let infected_out = infected.get(&descriptor.hooked_output).unwrap();
+        let diff = clean_out ^ infected_out;
+        // The leak xors a replicated single secret bit: diff is all-zeros or
+        // all-ones over the output width.
+        let width = infected.width(&descriptor.hooked_output).unwrap();
+        let all_ones = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+        assert!(
+            diff == 0 || diff == all_ones,
+            "leak payload must replicate one bit: diff = {diff:#x} (width {width})"
+        );
     }
-    let magic = descriptor.trigger_values[0] as u128;
-    clean.set(&descriptor.trigger_source, magic).unwrap();
-    infected.set(&descriptor.trigger_source, magic).unwrap();
-    assert_eq!(infected.get("cfg_match"), Some(1));
-    let clean_out = clean.get(&descriptor.hooked_output).unwrap();
-    let infected_out = infected.get(&descriptor.hooked_output).unwrap();
-    let diff = clean_out ^ infected_out;
-    // The leak xors a replicated single secret bit: diff is all-zeros or
-    // all-ones over the output width.
-    let width = infected.width(&descriptor.hooked_output).unwrap();
-    let all_ones = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
-    assert!(
-        diff == 0 || diff == all_ones,
-        "leak payload must replicate one bit: diff = {diff:#x} (width {width})"
-    );
 }
 
 #[test]
