@@ -9,8 +9,11 @@
 //!
 //! Both files are flattened to dotted numeric leaves
 //! (`kernels.matmul_16x144x32.median_ns`, `files_per_sec.batch_32`, ...).
-//! Keys whose last segment is environment metadata (`schema_version`,
-//! `threads`, `files`, `iters`) are skipped. Direction is inferred from
+//! Keys whose segment is environment metadata (`schema_version`,
+//! `threads`, `files`, `iters`) or deliberately load-dependent
+//! (`shed_frac`: the serve bench induces shedding at its overload level,
+//! and direction inference would misread a smaller fraction as a
+//! regression) are skipped. Direction is inferred from
 //! the key: `*_ns` / `*latency*` leaves regress when they grow,
 //! everything else (`speedup`, `files_per_sec`) regresses when it
 //! shrinks. A regression past `--warn-pct` prints a warning; past
@@ -178,7 +181,7 @@ fn load(path: &str) -> BTreeMap<String, f64> {
 /// Flattens numeric leaves into dotted paths, dropping environment
 /// metadata that legitimately differs between machines and runs.
 fn flatten(prefix: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f64>) {
-    const SKIP: &[&str] = &["schema_version", "threads", "files", "iters"];
+    const SKIP: &[&str] = &["schema_version", "threads", "files", "iters", "shed_frac"];
     match value {
         serde_json::Value::Object(map) => {
             for (key, child) in map {
@@ -200,10 +203,12 @@ fn flatten(prefix: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f
     }
 }
 
-/// Whether a smaller value is the better one for this metric key.
+/// Whether a smaller value is the better one for this metric key. Any
+/// `latency` segment marks the whole subtree (`latency_us.light.p50`
+/// regresses when it grows, even though the leaf is just `p50`).
 fn lower_is_better(key: &str) -> bool {
     let leaf = key.rsplit('.').next().unwrap_or(key);
-    leaf.ends_with("_ns") || leaf == "ns" || leaf.contains("latency")
+    leaf.ends_with("_ns") || leaf == "ns" || key.contains("latency")
 }
 
 #[cfg(test)]
@@ -260,6 +265,36 @@ mod tests {
         assert_eq!(outcome.warned, 2);
         let (_, pct) = outcome.worst.expect("both metrics regressed");
         assert!(pct > 25.0, "a 2x cliff must cross the fail threshold: {pct}");
+    }
+
+    /// Quantile leaves under a `latency` segment inherit lower-is-better
+    /// from the path, not the leaf.
+    #[test]
+    fn latency_quantiles_are_lower_is_better() {
+        let baseline = metrics(&[("latency_us.light.p99", 1000.0)]);
+        let faster = metrics(&[("latency_us.light.p99", 500.0)]);
+        assert_eq!(compare(&baseline, &faster, 10.0, 25.0).warned, 0);
+        let slower = metrics(&[("latency_us.light.p99", 2000.0)]);
+        let outcome = compare(&baseline, &slower, 10.0, 25.0);
+        assert!(outcome.worst.unwrap().1 > 25.0, "a 2x latency cliff is a regression");
+    }
+
+    /// `shed_frac` subtrees are environment/load-dependent (the overload
+    /// level of the serve bench sheds by design) and never flattened into
+    /// comparable metrics.
+    #[test]
+    fn shed_fraction_subtrees_are_skipped() {
+        let value: serde_json::Value = serde_json::from_str(
+            r#"{"latency_us":{"light":{"p50":900.0}},"shed_frac":{"light":0.0,"overload":0.4}}"#,
+        )
+        .unwrap();
+        let mut flat = BTreeMap::new();
+        flatten("", &value, &mut flat);
+        assert!(flat.contains_key("latency_us.light.p50"));
+        assert!(
+            !flat.keys().any(|k| k.contains("shed_frac")),
+            "shed fractions must not be compared: {flat:?}"
+        );
     }
 
     /// A zero-valued baseline leaf (e.g. `verdict_flips: 0`) cannot be

@@ -74,7 +74,7 @@ fn main() {
     });
     let requests: Vec<DetectRequest<'_>> = probe
         .iter()
-        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
         .collect();
 
     // The two paths must agree bitwise before their speeds mean anything.

@@ -1,0 +1,291 @@
+//! Load generator for the `noodle-serve` daemon: latency vs offered QPS.
+//!
+//! Fits a fast detector once, starts an in-process [`ServeEngine`] on an
+//! ephemeral port, then drives it over real TCP in three phases:
+//!
+//! - **calibration**: N closed-loop clients (send, wait, repeat) measure
+//!   the sustainable ceiling `max_qps`;
+//! - **light**: open-loop paced traffic at 0.5x the ceiling — the
+//!   latency here is deadline-dominated and should be stable across
+//!   machines;
+//! - **overload**: open-loop at 2x the ceiling — admission control must
+//!   shed rather than let latency grow without bound.
+//!
+//! ```text
+//! cargo run --release -p noodle-bench --bin serve_bench -- \
+//!     [--out PATH] [--clients N] [--requests N]
+//! ```
+//!
+//! Writes `BENCH_serve.json` with client-observed p50/p99 end-to-end
+//! latency per level plus the shed fraction. `shed_frac` is skipped by
+//! `bench_compare` (overload sheds by design; the fraction tracks the
+//! machine's ceiling, not code quality), and every request is asserted
+//! to receive exactly one response at every level.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use noodle_bench_gen::{generate_corpus, Benchmark, CorpusConfig};
+use noodle_core::{MultimodalDataset, NoodleConfig, NoodleDetector};
+use noodle_serve::{ServeConfig, ServeController, ServeEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut clients: usize = 8;
+    let mut requests: usize = 24;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--clients" if i + 1 < args.len() => {
+                clients = args[i + 1].parse().expect("--clients expects a number");
+                i += 2;
+            }
+            "--requests" if i + 1 < args.len() => {
+                requests = args[i + 1].parse().expect("--requests expects a number");
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "usage: serve_bench [--out PATH] [--clients N] [--requests N] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let clients = clients.max(1);
+    let requests = requests.max(4);
+
+    eprintln!("fitting detector (fast config)...");
+    let corpus = generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
+    let dataset = MultimodalDataset::from_benchmarks(&corpus).expect("corpus extracts cleanly");
+    let mut rng = StdRng::seed_from_u64(1);
+    let detector =
+        NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).expect("fit succeeds");
+
+    let probe: Arc<Vec<Benchmark>> =
+        Arc::new(generate_corpus(&CorpusConfig { trojan_free: 8, trojan_infected: 4, seed: 997 }));
+
+    let config = ServeConfig {
+        batch_deadline: Duration::from_millis(10),
+        queue_cap: 4 * clients,
+        ..ServeConfig::default()
+    };
+    let deadline_ms = config.batch_deadline.as_millis() as u64;
+    let engine = ServeEngine::start(detector, None, None, None, config, ServeController::new())
+        .expect("engine binds an ephemeral port");
+    let addr = engine.addr();
+    eprintln!("daemon at {addr}, {clients} clients, {requests} requests/client/level");
+
+    // Phase 1 — closed loop: each client keeps exactly one request in
+    // flight, so aggregate throughput is the daemon's sustainable ceiling.
+    let calib_start = Instant::now();
+    let calib: Vec<LevelStats> =
+        run_clients(clients, |_| closed_loop(addr, requests, Arc::clone(&probe)));
+    let calib_wall = calib_start.elapsed().as_secs_f64();
+    let served: usize = calib.iter().map(|s| s.latencies_us.len()).sum();
+    assert_eq!(served, clients * requests, "calibration lost responses");
+    let max_qps = served as f64 / calib_wall;
+    eprintln!("ceiling: {max_qps:.1} req/s over {calib_wall:.2}s");
+
+    // Phases 2 and 3 — open loop at fixed offered rates around the
+    // ceiling.
+    let light = offered_level(addr, clients, requests, max_qps * 0.5, &probe);
+    let overload = offered_level(addr, clients, requests, max_qps * 2.0, &probe);
+
+    engine.join();
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"threads\": {},\n  \"simd\": \"{}\",\n  \
+         \"clients\": {clients},\n  \"batch_deadline_ms\": {deadline_ms},\n  \
+         \"max_qps\": {max_qps:.2},\n  \"latency_us\": {{\n    \
+         \"light\": {{ \"p50\": {:.0}, \"p99\": {:.0} }},\n    \
+         \"overload\": {{ \"p50\": {:.0}, \"p99\": {:.0} }}\n  }},\n  \
+         \"shed_frac\": {{ \"light\": {:.4}, \"overload\": {:.4} }}\n}}\n",
+        noodle_compute::num_threads(),
+        noodle_compute::active_isa().name(),
+        light.p50(),
+        light.p99(),
+        overload.p50(),
+        overload.p99(),
+        light.shed_frac(),
+        overload.shed_frac(),
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("{json}");
+    eprintln!("benchmark results written to {out_path}");
+}
+
+/// Per-client tally of one load level.
+#[derive(Debug, Default)]
+struct LevelStats {
+    /// Client-observed end-to-end latency of each verdict, µs.
+    latencies_us: Vec<f64>,
+    shed: usize,
+    errors: usize,
+}
+
+impl LevelStats {
+    fn merge(mut tallies: Vec<LevelStats>) -> LevelStats {
+        let mut total = LevelStats::default();
+        for tally in &mut tallies {
+            total.latencies_us.append(&mut tally.latencies_us);
+            total.shed += tally.shed;
+            total.errors += tally.errors;
+        }
+        total.latencies_us.sort_by(|a, b| a.total_cmp(b));
+        total
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1]
+    }
+
+    fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    fn shed_frac(&self) -> f64 {
+        let total = self.latencies_us.len() + self.shed + self.errors;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
+
+/// Spawns `clients` threads and merges their tallies.
+fn run_clients(
+    clients: usize,
+    client: impl Fn(usize) -> LevelStats + Send + Sync,
+) -> Vec<LevelStats> {
+    let client = &client;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients).map(|c| scope.spawn(move || client(c))).collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    })
+}
+
+fn request_line(id: usize, probe: &[Benchmark]) -> String {
+    let bench = &probe[id % probe.len()];
+    format!(
+        "{}\n",
+        serde_json::json!({ "design": bench.name, "source": bench.source, "id": id as u64 })
+    )
+}
+
+/// Classifies one response line into the tally; returns the echoed id.
+fn tally_response(line: &str, stats: &mut LevelStats) -> u64 {
+    let value: serde_json::Value = serde_json::from_str(line).expect("daemon speaks JSON");
+    let id = value["id"].as_u64().expect("responses echo the request id");
+    match value["type"].as_str() {
+        Some("verdict") => {}
+        Some("shed") => stats.shed += 1,
+        _ => stats.errors += 1,
+    }
+    id
+}
+
+/// One closed-loop client: send, wait for the answer, repeat.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    requests: usize,
+    probe: Arc<Vec<Benchmark>>,
+) -> LevelStats {
+    let stream = TcpStream::connect(addr).expect("daemon accepts connections");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("socket configures");
+    let mut writer = stream.try_clone().expect("socket clones");
+    let mut reader = BufReader::new(stream);
+    let mut stats = LevelStats::default();
+    let mut line = String::new();
+    for id in 0..requests {
+        let sent = Instant::now();
+        writer.write_all(request_line(id, &probe).as_bytes()).expect("request writes");
+        line.clear();
+        reader.read_line(&mut line).expect("daemon answers within the timeout");
+        let echoed = tally_response(&line, &mut stats);
+        assert_eq!(echoed, id as u64, "closed loop has one request in flight");
+        if line.contains("\"verdict\"") {
+            stats.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    stats
+}
+
+/// One open-loop load level: every client paces `requests` submissions at
+/// `offered_qps / clients` each and a companion reader correlates the
+/// responses by id. Asserts exactly one response per request.
+fn offered_level(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    offered_qps: f64,
+    probe: &Arc<Vec<Benchmark>>,
+) -> LevelStats {
+    let interval = Duration::from_secs_f64(clients as f64 / offered_qps.max(1.0));
+    let tallies = run_clients(clients, |_| {
+        let stream = TcpStream::connect(addr).expect("daemon accepts connections");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("socket configures");
+        let mut writer = stream.try_clone().expect("socket clones");
+        // The sender stamps each request's send time here before the line
+        // hits the socket, so the reader always finds it populated (a
+        // response cannot overtake its own request).
+        let sent_at: Arc<std::sync::Mutex<Vec<Option<Instant>>>> =
+            Arc::new(std::sync::Mutex::new(vec![None; requests]));
+        let reader = std::thread::spawn({
+            let stream = stream.try_clone().expect("socket clones");
+            let sent_at = Arc::clone(&sent_at);
+            move || {
+                let mut stats = LevelStats::default();
+                let mut reader = BufReader::new(stream);
+                let mut pending = requests;
+                let mut line = String::new();
+                while pending > 0 {
+                    line.clear();
+                    reader.read_line(&mut line).expect("daemon answers within the timeout");
+                    assert!(!line.is_empty(), "daemon closed with responses outstanding");
+                    let id = tally_response(&line, &mut stats) as usize;
+                    if line.contains("\"verdict\"") {
+                        let sent = sent_at.lock().unwrap()[id].expect("send precedes response");
+                        stats.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    }
+                    pending -= 1;
+                }
+                stats
+            }
+        });
+        // Paced sender: target send times are fixed on the level clock, so
+        // a slow daemon does not slow the offered rate down (open loop).
+        let start = Instant::now();
+        for id in 0..requests {
+            let target = start + interval.mul_f64(id as f64);
+            if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            sent_at.lock().unwrap()[id] = Some(Instant::now());
+            writer.write_all(request_line(id, probe).as_bytes()).expect("request writes");
+        }
+        reader.join().expect("reader thread panicked")
+    });
+    let total: usize = tallies.iter().map(|t| t.latencies_us.len() + t.shed + t.errors).sum();
+    assert_eq!(total, clients * requests, "a request went unanswered at {offered_qps:.0} qps");
+    LevelStats::merge(tallies)
+}

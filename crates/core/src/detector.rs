@@ -18,7 +18,7 @@ use noodle_metrics::brier_score;
 use noodle_nn::{InferArena, QuantizedModel, Tensor, TrainConfig};
 use noodle_observe::{
     emit_if, AuditHeader, AuditSink, CalibrationBaseline, PredictionRecord, ScoreBaseline,
-    SourceProbe, AUDIT_SCHEMA_VERSION,
+    ServeInfo, SourceProbe, AUDIT_SCHEMA_VERSION,
 };
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -214,6 +214,13 @@ pub struct DetectRequest<'a> {
     pub source: &'a str,
     /// Optional ground-truth label (0 = TF, 1 = TI) for offline monitors.
     pub label: Option<usize>,
+    /// Pre-minted trace context for this request. A serving layer that
+    /// mints a context at admission passes it here so the audit record,
+    /// telemetry exemplars and flight-recorder events all carry the
+    /// admission-time id; `None` (the CLI/batch default) derives a
+    /// deterministic per-index context from the call's base context, which
+    /// preserves the bit-identical batching contract.
+    pub trace: Option<noodle_trace::TraceContext>,
 }
 
 /// Latency attribution carried into one audit record: the per-file share
@@ -315,6 +322,11 @@ pub struct NoodleDetector {
     /// Monotonic sequence number for emitted audit records.
     #[serde(skip)]
     audit_seq: u64,
+    /// Serving-daemon provenance stamped into audit headers when this
+    /// detector serves behind `noodle serve`; runtime-only, never
+    /// serialized.
+    #[serde(skip)]
+    serve: Option<ServeInfo>,
 }
 
 impl NoodleDetector {
@@ -559,6 +571,7 @@ impl NoodleDetector {
             use_quantized: false,
             audit: None,
             audit_seq: 0,
+            serve: None,
         })
     }
 
@@ -634,7 +647,16 @@ impl NoodleDetector {
             simd: noodle_compute::active_isa().name().to_string(),
             quantized: self.use_quantized,
             baseline: self.baseline.clone(),
+            serve: self.serve.clone(),
         }
+    }
+
+    /// Stamps serving-daemon provenance (bind address, batch deadline,
+    /// queue capacity) into every audit header this detector emits. Call
+    /// before [`NoodleDetector::set_audit_sink`] so the header that opens
+    /// the log already carries it.
+    pub fn set_serve_info(&mut self, serve: Option<ServeInfo>) {
+        self.serve = serve;
     }
 
     /// Attaches an audit sink: the header is sent immediately and every
@@ -855,10 +877,12 @@ impl NoodleDetector {
         let n = requests.len();
         let batch_size = batch_size.max(1);
         // One base context for the whole call; design `i` gets the pure
-        // derivation `base.derived(i)`, so extraction (stage 1, on pool
+        // derivation `base.derived(i)` unless the request carries its own
+        // admission-minted context, so extraction (stage 1, on pool
         // threads) and inference/audit (stage 2, on this thread) stamp the
         // same per-design id at every thread count and batch size.
         let base = noodle_trace::current().unwrap_or_else(noodle_trace::TraceContext::mint);
+        let request_ctx = |i: usize| requests[i].trace.unwrap_or_else(|| base.derived(i as u64));
         let _trace = noodle_trace::set_current(base);
         let _span = noodle_telemetry::span!("detect.batch", files = n, batch = batch_size);
         let started = Instant::now();
@@ -874,7 +898,7 @@ impl NoodleDetector {
         let miss_idx: Vec<usize> = (0..n).filter(|&i| features[i].is_none()).collect();
         let extracted = noodle_compute::par_map_collect(miss_idx.len(), 1, |j| {
             let i = miss_idx[j];
-            let _trace = noodle_trace::set_current(base.derived(i as u64));
+            let _trace = noodle_trace::set_current(request_ctx(i));
             extract_modalities(requests[i].source)
         });
         for (&i, result) in miss_idx.iter().zip(extracted) {
@@ -914,7 +938,7 @@ impl NoodleDetector {
             // The shared forward pass is attributed to the chunk's first
             // design (a micro-batch has no single owner; first-in-chunk is
             // deterministic and cheap to compute when reading a trace).
-            let chunk_trace = noodle_trace::set_current(base.derived(chunk_start as u64));
+            let chunk_trace = noodle_trace::set_current(request_ctx(chunk_start));
             let predictions =
                 self.conformal_batch(&graphs, &tab_raw, strategy, probes.as_mut(), &mut arena);
             noodle_profile::record(
@@ -932,7 +956,7 @@ impl NoodleDetector {
             for (j, prediction) in predictions.into_iter().enumerate() {
                 let idx = chunk_start + j;
                 let r = &requests[idx];
-                let request = base.derived(idx as u64);
+                let request = request_ctx(idx);
                 let _req_trace = noodle_trace::set_current(request);
                 noodle_telemetry::counter_add("detect.calls", 1);
                 noodle_telemetry::histogram_record("detect.latency_us", per_file_us);
@@ -1526,7 +1550,7 @@ mod tests {
             probe.iter().map(|b| det.detect_named(&b.name, &b.source, None).unwrap()).collect();
         let requests: Vec<DetectRequest<'_>> = probe
             .iter()
-            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
             .collect();
         for batch in [1, 2, 5, 8] {
             let batched = det.detect_batch(&requests, batch, None).unwrap();
@@ -1539,8 +1563,8 @@ mod tests {
         let mut det = fitted();
         let good = generate_corpus(&CorpusConfig { trojan_free: 1, trojan_infected: 0, seed: 6 });
         let requests = [
-            DetectRequest { design: "ok", source: &good[0].source, label: None },
-            DetectRequest { design: "bad", source: "module broken(", label: None },
+            DetectRequest { design: "ok", source: &good[0].source, label: None, trace: None },
+            DetectRequest { design: "bad", source: "module broken(", label: None, trace: None },
         ];
         assert!(det.detect_batch(&requests, 32, None).is_err());
         // An empty batch is a no-op, not an error.
@@ -1555,7 +1579,7 @@ mod tests {
         let probe = generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 1, seed: 9 });
         let requests: Vec<DetectRequest<'_>> = probe
             .iter()
-            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
             .collect();
         let mut cache = FeatureCache::new(16);
         let cold = det.detect_batch(&requests, 4, Some(&mut cache)).unwrap();
@@ -1576,7 +1600,7 @@ mod tests {
         let probe = generate_corpus(&CorpusConfig { trojan_free: 3, trojan_infected: 2, seed: 77 });
         let requests: Vec<DetectRequest<'_>> = probe
             .iter()
-            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
             .collect();
         let float = det.detect_batch(&requests, 32, None).unwrap();
         det.set_quantized(true).unwrap();
@@ -1618,7 +1642,7 @@ mod tests {
             probe.iter().map(|b| det.detect_named(&b.name, &b.source, None).unwrap()).collect();
         let requests: Vec<DetectRequest<'_>> = probe
             .iter()
-            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+            .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
             .collect();
         for batch in [1, 3, 8] {
             let batched = det.detect_batch(&requests, batch, None).unwrap();

@@ -21,7 +21,7 @@ fn warm_cache_reproduces_cold_verdicts_and_edits_invalidate_one_entry() {
     let n = probe.len();
     let requests: Vec<DetectRequest<'_>> = probe
         .iter()
-        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None })
+        .map(|b| DetectRequest { design: &b.name, source: &b.source, label: None, trace: None })
         .collect();
 
     let dir = std::env::temp_dir().join(format!("noodle_fc_it_{}", std::process::id()));
@@ -65,7 +65,7 @@ fn warm_cache_reproduces_cold_verdicts_and_edits_invalidate_one_entry() {
     let edited_requests: Vec<DetectRequest<'_>> = probe
         .iter()
         .zip(&sources)
-        .map(|(b, s)| DetectRequest { design: &b.name, source: s, label: None })
+        .map(|(b, s)| DetectRequest { design: &b.name, source: s, label: None, trace: None })
         .collect();
     let before = cache.stats();
     let rerun = det.detect_batch(&edited_requests, 4, Some(&mut cache)).unwrap();

@@ -24,10 +24,21 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// requests are one line plus a few headers; anything larger is rejected.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
+/// Maximum request-body bytes we read for admin endpoints. Reload/drain
+/// carry empty or tiny JSON bodies; anything larger is truncated.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
 /// A hook run right before each `/metrics` render, so gauges that are
 /// normally only computed at end-of-run (e.g. `compute.pool_utilization`)
 /// can be refreshed to live values at scrape time.
 pub type RefreshFn = Box<dyn Fn() + Send + Sync>;
+
+/// An admin hook consulted before the built-in GET routes: receives
+/// `(method, path, body)` and returns `Some((status, body))` to answer
+/// the request itself (e.g. `POST /reload` on the serve daemon), `None`
+/// to fall through to the built-in routing (404/405 for unknowns).
+/// Response bodies starting with `{` are served as `application/json`.
+pub type AdminFn = Box<dyn Fn(&str, &str, &str) -> Option<(u16, String)> + Send + Sync>;
 
 /// A running exposition server. Binds eagerly (so address errors surface
 /// at startup), serves from a single background thread, and joins that
@@ -57,6 +68,23 @@ impl ExportServer {
         monitors: StreamingMonitors,
         refresh: Option<RefreshFn>,
     ) -> std::io::Result<Self> {
+        Self::start_with_admin(addr, monitors, refresh, None)
+    }
+
+    /// Like [`ExportServer::start`], additionally consulting `admin` for
+    /// every request before the built-in GET routes. The serve daemon uses
+    /// this to answer `POST /reload` and `POST /drain` on the same port
+    /// that `/metrics` and `/healthz` live on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` when the address cannot be bound.
+    pub fn start_with_admin(
+        addr: &str,
+        monitors: StreamingMonitors,
+        refresh: Option<RefreshFn>,
+        admin: Option<AdminFn>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -64,7 +92,7 @@ impl ExportServer {
         let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("noodle-export".into())
-            .spawn(move || serve(listener, monitors, refresh, flag))?;
+            .spawn(move || serve(listener, monitors, refresh, admin, flag))?;
         Ok(Self { addr, shutdown, handle: Some(handle) })
     }
 
@@ -88,12 +116,13 @@ fn serve(
     listener: TcpListener,
     monitors: StreamingMonitors,
     refresh: Option<RefreshFn>,
+    admin: Option<AdminFn>,
     shutdown: Arc<AtomicBool>,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_connection(stream, &monitors, refresh.as_deref());
+                let _ = handle_connection(stream, &monitors, refresh.as_deref(), admin.as_deref());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -107,40 +136,65 @@ fn handle_connection(
     mut stream: TcpStream,
     monitors: &StreamingMonitors,
     refresh: Option<&(dyn Fn() + Send + Sync)>,
+    admin: Option<&(dyn Fn(&str, &str, &str) -> Option<(u16, String)> + Send + Sync)>,
 ) -> std::io::Result<()> {
     // Accepted sockets inherit the listener's non-blocking mode on some
     // platforms; per-connection I/O is blocking with hard timeouts.
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let head = read_head(&mut stream)?;
+    let (head, body) = read_request(&mut stream)?;
     let response = match parse_request_line(&head) {
-        Some(("GET", path)) => route(path, monitors, refresh),
-        Some((_, _)) => respond(
-            405,
-            "Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is supported\n",
-        ),
+        Some((method, path)) => {
+            let body = String::from_utf8_lossy(&body);
+            match admin.and_then(|a| a(method, path, &body)) {
+                Some((status, body)) => {
+                    let content_type = if body.trim_start().starts_with('{') {
+                        "application/json"
+                    } else {
+                        "text/plain; charset=utf-8"
+                    };
+                    respond(status, reason_for(status), content_type, &body)
+                }
+                None if method == "GET" => route(path, monitors, refresh),
+                None => respond(
+                    405,
+                    "Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    "method not supported on this endpoint\n",
+                ),
+            }
+        }
         None => respond(400, "Bad Request", "text/plain; charset=utf-8", "malformed request\n"),
     };
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
-/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
-fn read_head(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut head = Vec::with_capacity(256);
+/// Reads one request: the head up to `\r\n\r\n` (capped at
+/// [`MAX_HEAD_BYTES`]) plus as much of the declared `Content-Length` body
+/// as fits under [`MAX_BODY_BYTES`]. Returns `(head, body)`; a request
+/// with no terminator yields everything read as head (the caller answers
+/// 400 when the request line is garbage).
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(Vec<u8>, Vec<u8>)> {
+    let mut data = Vec::with_capacity(256);
     let mut buf = [0u8; 1024];
+    let mut header_end: Option<usize> = None;
     loop {
+        if header_end.is_none() {
+            header_end = data.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4);
+        }
+        if let Some(end) = header_end {
+            let want = content_length(&data[..end]).min(MAX_BODY_BYTES);
+            if data.len() - end >= want {
+                break;
+            }
+        } else if data.len() >= MAX_HEAD_BYTES {
+            break;
+        }
         match stream.read(&mut buf) {
             Ok(0) => break,
-            Ok(n) => {
-                head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
-                    break;
-                }
-            }
+            Ok(n) => data.extend_from_slice(&buf[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -150,7 +204,39 @@ fn read_head(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
             Err(e) => return Err(e),
         }
     }
-    Ok(head)
+    match header_end {
+        Some(end) => {
+            let body = data.split_off(end);
+            Ok((data, body))
+        }
+        None => Ok((data, Vec::new())),
+    }
+}
+
+/// The declared `Content-Length` of a request head, 0 when absent or
+/// malformed.
+fn content_length(head: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(head);
+    text.lines()
+        .filter_map(|line| line.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, value)| value.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Canonical reason phrase for the status codes admin hooks return.
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "",
+    }
 }
 
 /// Extracts `(method, path)` from the request line, dropping any query
@@ -266,6 +352,14 @@ mod tests {
         assert_eq!(parse_request_line(b"POST /metrics HTTP/1.1\r\n"), Some(("POST", "/metrics")));
         assert_eq!(parse_request_line(b"\xff\xfe"), None);
         assert_eq!(parse_request_line(b""), None);
+    }
+
+    #[test]
+    fn content_length_parsing_is_lenient() {
+        assert_eq!(content_length(b"POST /reload HTTP/1.1\r\nContent-Length: 12\r\n\r\n"), 12);
+        assert_eq!(content_length(b"POST /x HTTP/1.1\r\ncontent-length:  7 \r\n\r\n"), 7);
+        assert_eq!(content_length(b"GET / HTTP/1.1\r\n\r\n"), 0);
+        assert_eq!(content_length(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"), 0);
     }
 
     #[test]

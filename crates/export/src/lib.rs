@@ -21,6 +21,11 @@
 //!   one 16-hex-digit trace id, for joining a single request across
 //!   audit log, Chrome trace and ring.
 //!
+//! Hosts that embed the server (the `noodle serve` daemon) can register
+//! an [`AdminFn`] via [`ExportServer::start_with_admin`] to answer
+//! non-GET admin requests — `POST /reload`, `POST /drain` — on the same
+//! port, reusing the same bounded parsing and timeouts.
+//!
 //! The server is strictly pay-for-what-you-use: nothing binds, spawns or
 //! allocates unless [`ExportServer::start`] is called (the CLI only does
 //! so under `--observe-addr`), and dropping the server joins the accept
@@ -34,5 +39,5 @@
 mod http;
 mod prom;
 
-pub use http::{ExportServer, RefreshFn};
+pub use http::{AdminFn, ExportServer, RefreshFn};
 pub use prom::{escape_label_value, render_prometheus, sanitize_metric_name};

@@ -110,6 +110,7 @@ mod tests {
             simd: String::new(),
             quantized: false,
             baseline: None,
+            serve: None,
         };
         serde_json::to_string(&AuditLine::Header(header)).unwrap()
     }

@@ -31,6 +31,11 @@
 //!   recorder: the first Healthy/Warn→Alert transition dumps a
 //!   self-contained diagnostics bundle (recent flight-recorder events,
 //!   live metrics, monitor verdicts, triggering trace id) to disk.
+//! - [`SloSuite`] — serving SLO monitors for the `noodle serve` daemon
+//!   (rolling p99 latency vs target with trace-id evidence, shed/error
+//!   burn rates), merged into [`StreamingMonitors`] via
+//!   [`StreamingMonitors::set_slo`] so a latency regression takes the
+//!   same incident path (`/healthz` 503 + flight bundle) as drift.
 //!
 //! Audit emission follows the same gating discipline as
 //! `noodle-telemetry`: with no sink attached, [`emit_if`] never invokes
@@ -48,6 +53,7 @@ pub mod psi;
 pub mod record;
 pub mod report;
 pub mod sink;
+pub mod slo;
 pub mod streaming;
 
 pub use error::AuditError;
@@ -56,8 +62,10 @@ pub use follow::LogFollower;
 pub use monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
 pub use psi::{CalibrationBaseline, ScoreBaseline};
 pub use record::{
-    parse_audit_log, AuditHeader, AuditLine, PredictionRecord, SourceProbe, AUDIT_SCHEMA_VERSION,
+    parse_audit_log, AuditHeader, AuditLine, PredictionRecord, ServeInfo, SourceProbe,
+    AUDIT_SCHEMA_VERSION,
 };
 pub use report::{replay, MonitorReport, MONITOR_SCHEMA_VERSION};
 pub use sink::{emit_if, AuditSink, JsonlAudit, MemoryAudit, RotatingJsonlAudit, TeeAudit};
+pub use slo::{ServeOutcome, SloConfig, SloSuite};
 pub use streaming::{StreamingMonitors, Transition};

@@ -15,7 +15,10 @@ use crate::psi::CalibrationBaseline;
 ///   engine); v1 logs still parse, defaulting both to a batch of one.
 /// - v3: records carry `trace_id` (request-scoped tracing); v1/v2 logs
 ///   still parse, defaulting to an empty (unknown) trace id.
-pub const AUDIT_SCHEMA_VERSION: u32 = 3;
+/// - v4: the header carries an optional `serve` block (daemon bind
+///   address, batch deadline, queue capacity) when the log was written by
+///   the `noodle serve` daemon; v≤3 logs still parse with no serve block.
+pub const AUDIT_SCHEMA_VERSION: u32 = 4;
 
 /// Per-class conformal evidence from one p-value source (a single-modality
 /// classifier or the early-fusion classifier).
@@ -94,6 +97,21 @@ fn default_batch_size() -> usize {
     1
 }
 
+/// Serving-daemon provenance, embedded in the audit header when the log
+/// was written by `noodle serve`: enough to interpret the latency fields
+/// (requests queue up to `batch_deadline_ms` before inference) and to
+/// correlate the log with the daemon instance that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeInfo {
+    /// Request-plane bind address the daemon accepted submissions on.
+    pub addr: String,
+    /// Batch-formation deadline: a batch closes at `--batch` items or this
+    /// many milliseconds after its first request, whichever comes first.
+    pub batch_deadline_ms: u64,
+    /// Bounded admission-queue capacity; requests beyond it were shed.
+    pub queue_cap: usize,
+}
+
 /// The audit-log header: written as the first JSONL line so a log is
 /// self-contained for replay (`noodle observe` needs no model file).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -121,6 +139,11 @@ pub struct AuditHeader {
     /// the PSI drift, Brier and class-balance monitors.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub baseline: Option<CalibrationBaseline>,
+    /// Present when the log was written by the `noodle serve` daemon;
+    /// absent (and omitted from JSON) for one-shot CLI logs, so v≤3 logs
+    /// parse unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub serve: Option<ServeInfo>,
 }
 
 /// One line of the JSONL audit log.
@@ -211,6 +234,7 @@ mod tests {
             simd: String::new(),
             quantized: false,
             baseline: None,
+            serve: None,
         }
     }
 
@@ -299,6 +323,35 @@ mod tests {
         let text = serde_json::to_string(&AuditLine::Header(v2)).unwrap();
         let (header, _) = parse_audit_log(&text).unwrap();
         assert_eq!(header.unwrap().schema_version, 2);
+    }
+
+    #[test]
+    fn v3_headers_parse_without_a_serve_block() {
+        // A header serialized before the v4 serve block existed must still
+        // parse, reading as a one-shot (non-daemon) log.
+        let mut value = serde_json::to_value(AuditLine::Header(sample_header())).unwrap();
+        value.as_object_mut().unwrap().remove("serve");
+        value["schema_version"] = serde_json::json!(3);
+        let text = serde_json::to_string(&value).unwrap();
+        let (header, _) = parse_audit_log(&text).unwrap();
+        let header = header.unwrap();
+        assert_eq!(header.schema_version, 3);
+        assert_eq!(header.serve, None);
+
+        // And a daemon header round-trips its serve block losslessly.
+        let mut served = sample_header();
+        served.serve = Some(ServeInfo {
+            addr: "127.0.0.1:4410".into(),
+            batch_deadline_ms: 25,
+            queue_cap: 256,
+        });
+        let json = serde_json::to_string(&AuditLine::Header(served.clone())).unwrap();
+        let (restored, _) = parse_audit_log(&json).unwrap();
+        assert_eq!(restored.unwrap().serve, served.serve);
+
+        // One-shot headers omit the key entirely.
+        let json = serde_json::to_string(&sample_header()).unwrap();
+        assert!(!json.contains("\"serve\""));
     }
 
     #[test]

@@ -135,6 +135,7 @@ mod tests {
             simd: String::new(),
             quantized: false,
             baseline: None,
+            serve: None,
         }
     }
 

@@ -318,6 +318,7 @@ mod tests {
             simd: String::new(),
             quantized: false,
             baseline: None,
+            serve: None,
         }
     }
 

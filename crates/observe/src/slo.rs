@@ -1,0 +1,326 @@
+//! Serving SLO monitors for the `noodle serve` daemon.
+//!
+//! Three monitors over sliding windows of served-request observations:
+//!
+//! - **`serve.latency_p99`** — rolling p99 of end-to-end request latency
+//!   against a configured target. Evidence names the slowest trace ids in
+//!   the window, so an alert is directly greppable in the audit log and
+//!   `/debug/trace/<id>`.
+//! - **`serve.shed_rate`** — fraction of admissions shed by the bounded
+//!   queue (429-style burn rate). Sustained shedding means the daemon is
+//!   underprovisioned for the offered load.
+//! - **`serve.error_rate`** — fraction of admitted requests that failed
+//!   (parse errors, inference failures).
+//!
+//! [`SloSuite`] is plugged into [`crate::StreamingMonitors`] via
+//! `set_slo`, so SLO health merges into the same `overall()` that drives
+//! `/healthz` and the alert-triggered flight-bundle dump.
+
+use std::collections::VecDeque;
+
+use crate::monitor::{Health, MonitorStatus};
+
+/// Targets and window sizing for [`SloSuite`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// End-to-end latency target: rolling p99 above this warns.
+    pub p99_target_us: f64,
+    /// Alert when the rolling p99 exceeds `p99_target_us` times this.
+    pub p99_alert_mult: f64,
+    /// Sliding-window length (served requests) for the latency monitor.
+    pub latency_window: usize,
+    /// Sliding-window length (admission outcomes) for the burn-rate
+    /// monitors.
+    pub outcome_window: usize,
+    /// Monitors stay `Healthy` with an "insufficient samples" note until
+    /// this many samples are in their window.
+    pub min_samples: usize,
+    /// Shed fraction above this warns.
+    pub shed_warn: f64,
+    /// Shed fraction above this alerts.
+    pub shed_alert: f64,
+    /// Error fraction above this warns.
+    pub error_warn: f64,
+    /// Error fraction above this alerts.
+    pub error_alert: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            p99_target_us: 250_000.0,
+            p99_alert_mult: 2.0,
+            latency_window: 512,
+            outcome_window: 512,
+            min_samples: 20,
+            shed_warn: 0.05,
+            shed_alert: 0.20,
+            error_warn: 0.01,
+            error_alert: 0.05,
+        }
+    }
+}
+
+/// How one admission attempt ended, as seen by the burn-rate monitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Admitted, inferred, answered with a verdict.
+    Served,
+    /// Refused at admission (queue full or draining).
+    Shed,
+    /// Admitted or parsed but answered with an error.
+    Error,
+}
+
+/// Rolling SLO state: latency window with trace ids, outcome window.
+#[derive(Debug, Clone)]
+pub struct SloSuite {
+    config: SloConfig,
+    /// (e2e latency in µs, trace id) per served request, window-bounded.
+    latencies: VecDeque<(f64, u64)>,
+    outcomes: VecDeque<ServeOutcome>,
+    served_total: u64,
+    shed_total: u64,
+    error_total: u64,
+}
+
+impl SloSuite {
+    /// A fresh suite with empty windows.
+    pub fn new(config: SloConfig) -> Self {
+        Self {
+            config,
+            latencies: VecDeque::new(),
+            outcomes: VecDeque::new(),
+            served_total: 0,
+            shed_total: 0,
+            error_total: 0,
+        }
+    }
+
+    /// Records one served request's end-to-end latency with the trace id
+    /// that produced it (for alert evidence).
+    pub fn observe_latency(&mut self, e2e_us: f64, trace_id: u64) {
+        if self.latencies.len() == self.config.latency_window {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back((e2e_us, trace_id));
+    }
+
+    /// Records one admission outcome.
+    pub fn observe_outcome(&mut self, outcome: ServeOutcome) {
+        match outcome {
+            ServeOutcome::Served => self.served_total += 1,
+            ServeOutcome::Shed => self.shed_total += 1,
+            ServeOutcome::Error => self.error_total += 1,
+        }
+        if self.outcomes.len() == self.config.outcome_window {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(outcome);
+    }
+
+    /// Lifetime totals: (served, shed, errored).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.served_total, self.shed_total, self.error_total)
+    }
+
+    /// The worst health across the SLO monitors, right now.
+    pub fn overall(&self) -> Health {
+        self.statuses().into_iter().map(|s| s.health).max().unwrap_or(Health::Healthy)
+    }
+
+    /// Every SLO monitor's current verdict with evidence.
+    pub fn statuses(&self) -> Vec<MonitorStatus> {
+        vec![
+            self.latency_status(),
+            self.rate_status(
+                "serve.shed_rate",
+                ServeOutcome::Shed,
+                self.config.shed_warn,
+                self.config.shed_alert,
+            ),
+            self.rate_status(
+                "serve.error_rate",
+                ServeOutcome::Error,
+                self.config.error_warn,
+                self.config.error_alert,
+            ),
+        ]
+    }
+
+    fn latency_status(&self) -> MonitorStatus {
+        let n = self.latencies.len();
+        let target = self.config.p99_target_us;
+        let alert_at = target * self.config.p99_alert_mult;
+        if n < self.config.min_samples {
+            return MonitorStatus {
+                monitor: "serve.latency_p99".to_string(),
+                health: Health::Healthy,
+                observed: 0.0,
+                expected: target,
+                tolerance: alert_at - target,
+                samples: n,
+                evidence: format!(
+                    "insufficient samples ({n} < {}) for a p99 estimate",
+                    self.config.min_samples
+                ),
+            };
+        }
+        // Nearest-rank p99 over the window.
+        let mut sorted: Vec<(f64, u64)> = self.latencies.iter().copied().collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let p99 = sorted[rank].0;
+        let health = if p99 > alert_at {
+            Health::Alert
+        } else if p99 > target {
+            Health::Warn
+        } else {
+            Health::Healthy
+        };
+        // Name the slowest over-target requests so the alert is actionable:
+        // the same ids appear in the audit log, the `/metrics` exemplars and
+        // `/debug/trace/<id>`.
+        let slowest: Vec<String> = sorted
+            .iter()
+            .rev()
+            .take(3)
+            .filter(|(us, _)| *us > target)
+            .map(|(us, id)| format!("{}={:.0}us", noodle_trace::format_trace_id(*id), us))
+            .collect();
+        let offenders = if slowest.is_empty() {
+            String::new()
+        } else {
+            format!("; slowest traces: {}", slowest.join(", "))
+        };
+        MonitorStatus {
+            monitor: "serve.latency_p99".to_string(),
+            health,
+            observed: p99,
+            expected: target,
+            tolerance: alert_at - target,
+            samples: n,
+            evidence: format!(
+                "rolling p99 {p99:.0}us vs target {target:.0}us \
+                 (alert>{alert_at:.0}us, n={n}){offenders}"
+            ),
+        }
+    }
+
+    fn rate_status(
+        &self,
+        monitor: &str,
+        kind: ServeOutcome,
+        warn: f64,
+        alert: f64,
+    ) -> MonitorStatus {
+        let n = self.outcomes.len();
+        let hits = self.outcomes.iter().filter(|o| **o == kind).count();
+        if n < self.config.min_samples {
+            return MonitorStatus {
+                monitor: monitor.to_string(),
+                health: Health::Healthy,
+                observed: 0.0,
+                expected: warn,
+                tolerance: 0.0,
+                samples: n,
+                evidence: format!(
+                    "insufficient samples ({n} < {}) for a burn-rate estimate",
+                    self.config.min_samples
+                ),
+            };
+        }
+        let observed = hits as f64 / n as f64;
+        let health = if observed > alert {
+            Health::Alert
+        } else if observed > warn {
+            Health::Warn
+        } else {
+            Health::Healthy
+        };
+        let what = match kind {
+            ServeOutcome::Shed => "shed",
+            ServeOutcome::Error => "errored",
+            ServeOutcome::Served => "served",
+        };
+        MonitorStatus {
+            monitor: monitor.to_string(),
+            health,
+            observed,
+            expected: warn,
+            tolerance: 0.0,
+            samples: n,
+            evidence: format!(
+                "{hits}/{n} admissions {what} ({observed:.3}; warn>{warn:.2}, alert>{alert:.2})"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite(min_samples: usize) -> SloSuite {
+        SloSuite::new(SloConfig {
+            p99_target_us: 1_000.0,
+            p99_alert_mult: 2.0,
+            min_samples,
+            ..SloConfig::default()
+        })
+    }
+
+    #[test]
+    fn underpowered_windows_stay_healthy() {
+        let mut slo = suite(10);
+        slo.observe_latency(1e9, 0xabc);
+        slo.observe_outcome(ServeOutcome::Shed);
+        assert_eq!(slo.overall(), Health::Healthy);
+        assert!(slo.statuses().iter().all(|s| s.evidence.contains("insufficient")));
+    }
+
+    #[test]
+    fn p99_warns_above_target_and_alerts_above_mult() {
+        let mut slo = suite(5);
+        for i in 0..100 {
+            slo.observe_latency(500.0 + i as f64, i);
+        }
+        assert_eq!(slo.overall(), Health::Healthy);
+
+        // Push the p99 just over target: warn.
+        for i in 0..5 {
+            slo.observe_latency(1_500.0, 0x1000 + i);
+        }
+        let status = slo.latency_status();
+        assert_eq!(status.health, Health::Warn, "{}", status.evidence);
+
+        // Blow through 2× target: alert, naming the slow trace ids.
+        for i in 0..10 {
+            slo.observe_latency(5_000.0, 0xbad0 + i);
+        }
+        let status = slo.latency_status();
+        assert_eq!(status.health, Health::Alert, "{}", status.evidence);
+        assert!(
+            status.evidence.contains(&noodle_trace::format_trace_id(0xbad0)),
+            "evidence names offenders: {}",
+            status.evidence
+        );
+    }
+
+    #[test]
+    fn shed_and_error_burn_rates_trip_independently() {
+        let mut slo = suite(10);
+        for _ in 0..80 {
+            slo.observe_outcome(ServeOutcome::Served);
+        }
+        for _ in 0..30 {
+            slo.observe_outcome(ServeOutcome::Shed);
+        }
+        let statuses = slo.statuses();
+        let shed = statuses.iter().find(|s| s.monitor == "serve.shed_rate").unwrap();
+        assert_eq!(shed.health, Health::Alert, "{}", shed.evidence);
+        let err = statuses.iter().find(|s| s.monitor == "serve.error_rate").unwrap();
+        assert_eq!(err.health, Health::Healthy);
+        assert_eq!(slo.totals(), (80, 30, 0));
+    }
+}

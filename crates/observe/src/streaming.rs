@@ -21,6 +21,7 @@ use crate::monitor::{Health, MonitorConfig, MonitorStatus, MonitorSuite};
 use crate::record::{AuditHeader, PredictionRecord};
 use crate::report::{MonitorReport, MONITOR_SCHEMA_VERSION};
 use crate::sink::AuditSink;
+use crate::slo::{ServeOutcome, SloConfig, SloSuite};
 
 /// One monitor's health change, as surfaced by
 /// [`StreamingMonitors::transitions_since_last`].
@@ -41,6 +42,10 @@ type AlertHook = Arc<dyn Fn(&MonitorReport) + Send + Sync>;
 struct StreamingState {
     config: MonitorConfig,
     suite: MonitorSuite,
+    /// Serving SLO monitors, installed by the `serve` daemon via
+    /// [`StreamingMonitors::set_slo`]; `None` for replay/one-shot use, so
+    /// the streaming==replay equivalence is untouched.
+    slo: Option<SloSuite>,
     /// Per-monitor health at the last `transitions_since_last` call, for
     /// the `--follow` transition printer. Only populated on demand, so
     /// plain replay pays nothing for it.
@@ -57,6 +62,7 @@ impl std::fmt::Debug for StreamingState {
         f.debug_struct("StreamingState")
             .field("config", &self.config)
             .field("suite", &self.suite)
+            .field("slo", &self.slo)
             .field("last_health", &self.last_health)
             .field("last_overall", &self.last_overall)
             .field("alert_hook", &self.alert_hook.as_ref().map(|_| "<hook>"))
@@ -83,6 +89,7 @@ impl StreamingMonitors {
             inner: Arc::new(Mutex::new(StreamingState {
                 config,
                 suite,
+                slo: None,
                 last_health: std::collections::BTreeMap::new(),
                 last_overall: Health::Healthy,
                 alert_hook: None,
@@ -119,36 +126,92 @@ impl StreamingMonitors {
         let fired = {
             let mut state = self.state();
             state.suite.push(record);
-            if state.alert_hook.is_none() {
-                None
-            } else {
-                let overall = state.suite.overall();
-                let previous = std::mem::replace(&mut state.last_overall, overall);
-                if previous != overall {
-                    noodle_trace::flight_record(
-                        noodle_trace::FlightKind::MonitorTransition,
-                        noodle_trace::current().map_or(0, |c| c.trace_id),
-                        0,
-                        previous as u64,
-                        overall as u64,
-                        "monitors.overall",
-                    );
-                }
-                if overall == Health::Alert && previous != Health::Alert {
-                    // Build the report while the suite is still locked so
-                    // the hook sees the exact transitioning state; invoke
-                    // it after unlocking so a hook that reads this engine
-                    // back (or dumps a bundle) cannot deadlock.
-                    let report = Self::report_locked(&state);
-                    state.alert_hook.clone().map(|hook| (hook, report))
-                } else {
-                    None
-                }
-            }
+            Self::evaluate_transition_locked(&mut state)
         };
         if let Some((hook, report)) = fired {
             hook(&report);
         }
+    }
+
+    /// Re-evaluates the combined overall health after a state mutation and
+    /// returns the alert hook to fire (if this mutation degraded overall
+    /// health to [`Health::Alert`]). Callers invoke the hook after
+    /// dropping the lock so a hook that reads this engine back (or dumps a
+    /// bundle) cannot deadlock.
+    fn evaluate_transition_locked(
+        state: &mut StreamingState,
+    ) -> Option<(AlertHook, MonitorReport)> {
+        state.alert_hook.as_ref()?;
+        let overall = Self::overall_locked(state);
+        let previous = std::mem::replace(&mut state.last_overall, overall);
+        if previous != overall {
+            noodle_trace::flight_record(
+                noodle_trace::FlightKind::MonitorTransition,
+                noodle_trace::current().map_or(0, |c| c.trace_id),
+                0,
+                previous as u64,
+                overall as u64,
+                "monitors.overall",
+            );
+        }
+        if overall == Health::Alert && previous != Health::Alert {
+            // Build the report while the suite is still locked so the hook
+            // sees the exact transitioning state.
+            let report = Self::report_locked(state);
+            state.alert_hook.clone().map(|hook| (hook, report))
+        } else {
+            None
+        }
+    }
+
+    /// Installs the serving SLO monitors. Their health merges into
+    /// [`StreamingMonitors::overall`], `/healthz` and the alert hook, so a
+    /// latency-SLO breach produces the same incident path (503 + flight
+    /// bundle) as a drift alert.
+    pub fn set_slo(&self, config: SloConfig) {
+        let mut state = self.state();
+        state.slo = Some(SloSuite::new(config));
+    }
+
+    /// Feeds one served request's end-to-end latency (with the trace id
+    /// that produced it) into the SLO latency monitor. No-op unless
+    /// [`StreamingMonitors::set_slo`] was called.
+    pub fn observe_serve_latency(&self, e2e_us: f64, trace_id: u64) {
+        self.observe_slo(|slo| slo.observe_latency(e2e_us, trace_id));
+    }
+
+    /// Feeds one admission outcome into the SLO burn-rate monitors. No-op
+    /// unless [`StreamingMonitors::set_slo`] was called.
+    pub fn observe_serve_outcome(&self, outcome: ServeOutcome) {
+        self.observe_slo(|slo| slo.observe_outcome(outcome));
+    }
+
+    fn observe_slo(&self, mutate: impl FnOnce(&mut SloSuite)) {
+        let fired = {
+            let mut state = self.state();
+            let Some(slo) = state.slo.as_mut() else { return };
+            mutate(slo);
+            Self::evaluate_transition_locked(&mut state)
+        };
+        if let Some((hook, report)) = fired {
+            hook(&report);
+        }
+    }
+
+    fn overall_locked(state: &StreamingState) -> Health {
+        let mut overall = state.suite.overall();
+        if let Some(slo) = &state.slo {
+            overall = overall.max(slo.overall());
+        }
+        overall
+    }
+
+    fn statuses_locked(state: &StreamingState) -> Vec<MonitorStatus> {
+        let mut statuses = state.suite.statuses();
+        if let Some(slo) = &state.slo {
+            statuses.extend(slo.statuses());
+        }
+        statuses
     }
 
     /// Installs (replacing any previous) the alert hook: called exactly
@@ -162,7 +225,7 @@ impl StreamingMonitors {
     /// allocation-free.
     pub fn set_alert_hook(&self, hook: impl Fn(&MonitorReport) + Send + Sync + 'static) {
         let mut state = self.state();
-        state.last_overall = state.suite.overall();
+        state.last_overall = Self::overall_locked(&state);
         state.alert_hook = Some(Arc::new(hook));
     }
 
@@ -171,14 +234,15 @@ impl StreamingMonitors {
         self.state().suite.records()
     }
 
-    /// The worst health across all monitors, right now.
+    /// The worst health across all monitors (SLO monitors included, when
+    /// installed), right now.
     pub fn overall(&self) -> Health {
-        self.state().suite.overall()
+        Self::overall_locked(&self.state())
     }
 
     /// Every monitor's current verdict with evidence.
     pub fn statuses(&self) -> Vec<MonitorStatus> {
-        self.state().suite.statuses()
+        Self::statuses_locked(&self.state())
     }
 
     /// A point-in-time [`MonitorReport`] over everything consumed so far.
@@ -195,8 +259,8 @@ impl StreamingMonitors {
             labeled: state.suite.labeled(),
             epsilon: state.suite.epsilon(),
             window: state.config.window,
-            overall: state.suite.overall(),
-            monitors: state.suite.statuses(),
+            overall: Self::overall_locked(state),
+            monitors: Self::statuses_locked(state),
         }
     }
 
@@ -205,7 +269,7 @@ impl StreamingMonitors {
     /// `Healthy`). Drives the `observe --follow` transition printer.
     pub fn transitions_since_last(&self) -> Vec<Transition> {
         let mut state = self.state();
-        let statuses = state.suite.statuses();
+        let statuses = Self::statuses_locked(&state);
         let mut transitions = Vec::new();
         for status in statuses {
             let previous = state.last_health.insert(status.monitor.clone(), status.health);
@@ -287,6 +351,7 @@ mod tests {
             simd: String::new(),
             quantized: false,
             baseline,
+            serve: None,
         }
     }
 
@@ -388,6 +453,57 @@ mod tests {
         let report = seen.lock().unwrap().clone().expect("hook saw a report");
         assert_eq!(report.overall, Health::Alert);
         assert!(report.monitors.iter().any(|m| m.health == Health::Alert));
+    }
+
+    #[test]
+    fn slo_breach_degrades_overall_and_fires_the_hook_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let stream = StreamingMonitors::new(MonitorConfig::default());
+        stream.set_slo(crate::SloConfig {
+            p99_target_us: 1_000.0,
+            p99_alert_mult: 2.0,
+            min_samples: 5,
+            ..crate::SloConfig::default()
+        });
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::new(Mutex::new(None));
+        {
+            let fired = fired.clone();
+            let seen = seen.clone();
+            stream.set_alert_hook(move |report| {
+                fired.fetch_add(1, Ordering::SeqCst);
+                *seen.lock().unwrap() = Some(report.clone());
+            });
+        }
+        // Healthy traffic, then a latency regression well past 2× target.
+        for i in 0..20 {
+            stream.observe_serve_latency(400.0, i);
+        }
+        assert_eq!(stream.overall(), Health::Healthy);
+        for i in 0..20 {
+            stream.observe_serve_latency(50_000.0, 0xfeed + i);
+        }
+        assert_eq!(stream.overall(), Health::Alert);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires once per degradation");
+        let report = seen.lock().unwrap().clone().expect("hook saw a report");
+        let slo = report
+            .monitors
+            .iter()
+            .find(|m| m.monitor == "serve.latency_p99")
+            .expect("SLO status in the shared report");
+        assert_eq!(slo.health, Health::Alert);
+        assert!(
+            slo.evidence.contains(&noodle_trace::format_trace_id(0xfeed)),
+            "evidence names the offending trace ids: {}",
+            slo.evidence
+        );
+        // Shed burn-rate merges into the same overall.
+        for _ in 0..30 {
+            stream.observe_serve_outcome(ServeOutcome::Shed);
+        }
+        assert_eq!(stream.overall(), Health::Alert);
+        assert!(stream.statuses().iter().any(|s| s.monitor == "serve.shed_rate"));
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn baseline_header() -> AuditHeader {
             significance: 0.1,
             calibration_count: 200,
         }),
+        serve: None,
     }
 }
 

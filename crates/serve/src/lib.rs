@@ -1,0 +1,42 @@
+//! `noodle-serve`: the long-running NOODLE detection daemon.
+//!
+//! A std-only serving layer over [`noodle_core::NoodleDetector`]: clients
+//! connect over TCP and submit Verilog designs as JSONL
+//! ([`ServeRequest`] in, [`ServeResponse`] out, one object per line).
+//! Submissions from all connections funnel through one bounded,
+//! per-client-fair admission queue into the existing `detect_batch`
+//! micro-batcher: a batch closes at `--batch` items or
+//! `--batch-deadline-ms` after its first item, whichever comes first, so
+//! light load pays at most one deadline of extra latency while heavy
+//! load amortizes inference across full batches.
+//!
+//! Every request gets a [`noodle_trace::TraceContext`] minted at
+//! admission and carried through queueing, batch formation, inference,
+//! audit and the response line — so one id greps across the client's
+//! verdict, the audit JSONL, `/metrics` exemplars and
+//! `/debug/trace/<id>`. The engine records the full lifecycle in live
+//! histograms (`serve.queue_us`, `serve.batch_wait_us`,
+//! `serve.infer_us`, `serve.e2e_us`) and gauges (`serve.queue_depth`,
+//! `serve.inflight`, `serve.clients`, `serve.shed_total`), and feeds
+//! per-request latencies and outcomes to the
+//! [`noodle_observe`] SLO monitors when wired.
+//!
+//! Operational controls: bounded admission with 429-style shedding
+//! ([`ServeResponse::Shed`] with a retry hint), model hot-swap between
+//! batches ([`ServeController::request_reload`], typically from `SIGHUP`
+//! or `POST /reload`), and graceful drain
+//! ([`ServeController::request_drain`]) that answers every accepted
+//! request before the engine exits. The [`signals`] module holds the
+//! workspace's only `unsafe` block: raw `signal(2)` registration whose
+//! handlers do nothing but set atomics.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod proto;
+mod queue;
+pub mod signals;
+
+pub use engine::{ModelLoader, ServeConfig, ServeController, ServeEngine, ServeStats};
+pub use proto::{ServeRequest, ServeResponse};

@@ -1,0 +1,145 @@
+//! The JSONL wire protocol of the serving daemon.
+//!
+//! One JSON object per line in each direction. Clients may pipeline:
+//! responses are correlated by the echoed `id` (or `design`), not by
+//! arrival order — shed/error answers are written at admission time and
+//! can overtake verdicts for earlier submissions.
+
+use serde::{Deserialize, Serialize};
+
+/// One submission line: a Verilog design to screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Design identifier, echoed back and stamped into audit records.
+    pub design: String,
+    /// Verilog source text.
+    pub source: String,
+    /// Optional ground-truth label (0 = TF, 1 = TI) for the coverage and
+    /// Brier monitors.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<usize>,
+    /// Optional client-chosen correlation id, echoed verbatim in the
+    /// response.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<u64>,
+}
+
+/// One response line, tagged by `type`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ServeResponse {
+    /// The calibrated verdict for one admitted request.
+    Verdict {
+        /// Echo of the request's correlation id, when one was sent.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<u64>,
+        /// Echo of the request's design identifier.
+        design: String,
+        /// Trace id (16 lowercase hex digits) minted at admission; greps
+        /// across the audit log, `/metrics` exemplars and
+        /// `/debug/trace/<id>`.
+        trace_id: String,
+        /// The hedged point decision.
+        infected: bool,
+        /// Normalized probability of infection.
+        probability_infected: f64,
+        /// Final per-class Mondrian p-values.
+        p_values: [f64; 2],
+        /// Classes in the prediction region at the serving ε.
+        region: Vec<usize>,
+        /// Credibility of the decision (largest p-value).
+        credibility: f64,
+        /// Confidence of the decision (1 − second-largest p-value).
+        confidence: f64,
+        /// Whether the region contains both classes.
+        uncertain: bool,
+        /// Time spent queued before batch formation, in microseconds.
+        queue_us: f64,
+        /// Wall time of the enclosing inference micro-batch, µs.
+        infer_us: f64,
+        /// Admission-to-response latency, µs.
+        e2e_us: f64,
+        /// Number of requests in the micro-batch that served this one.
+        batch_size: usize,
+    },
+    /// Admission refused (429-style): the queue is full or the daemon is
+    /// draining. The request was not processed; retry after the hint.
+    Shed {
+        /// Echo of the request's correlation id, when one was sent.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<u64>,
+        /// Echo of the request's design identifier.
+        design: String,
+        /// Why admission was refused: `"queue full"`, `"draining"` or
+        /// `"too many clients"`.
+        reason: String,
+        /// Suggested backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was admitted or parsed but could not be answered with
+    /// a verdict.
+    Error {
+        /// Echo of the request's correlation id, when one was sent.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<u64>,
+        /// Echo of the request's design identifier (empty when the line
+        /// failed to parse).
+        design: String,
+        /// Human-readable failure description.
+        error: String,
+    },
+}
+
+impl ServeResponse {
+    /// Serializes to one newline-terminated JSONL line.
+    pub fn to_line(&self) -> String {
+        let mut line = serde_json::to_string(self).unwrap_or_else(|_| {
+            r#"{"type":"error","design":"","error":"response serialization failed"}"#.to_string()
+        });
+        line.push('\n');
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_and_default_optionals() {
+        let req = ServeRequest {
+            design: "alu_tf_001".into(),
+            source: "module m; endmodule".into(),
+            label: Some(0),
+            id: Some(7),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let restored: ServeRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, restored);
+
+        let bare: ServeRequest =
+            serde_json::from_str(r#"{"design":"x","source":"module x; endmodule"}"#).unwrap();
+        assert_eq!(bare.label, None);
+        assert_eq!(bare.id, None);
+    }
+
+    #[test]
+    fn responses_are_tagged_one_line_json() {
+        let shed = ServeResponse::Shed {
+            id: None,
+            design: "x".into(),
+            reason: "queue full".into(),
+            retry_after_ms: 50,
+        };
+        let line = shed.to_line();
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1);
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value["type"], "shed");
+        assert_eq!(value["retry_after_ms"], 50);
+        assert!(value.get("id").is_none(), "absent id is omitted");
+
+        let restored: ServeResponse = serde_json::from_str(&line).unwrap();
+        assert_eq!(restored, shed);
+    }
+}

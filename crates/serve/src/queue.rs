@@ -1,0 +1,194 @@
+//! The bounded, per-client-fair admission queue.
+//!
+//! A ring of per-client FIFO queues under one mutex: push appends to the
+//! submitting client's queue (creating it on first use); pop takes the
+//! oldest item of the ring's front client and rotates that client to the
+//! back. A greedy client that floods the queue therefore gets exactly one
+//! slot per rotation while it shares the daemon — round-robin fairness —
+//! and each client's own requests stay in FIFO order.
+//!
+//! Admission is bounded: pushes beyond `cap` (or after [`FairQueue::drain`])
+//! are refused and handed back to the caller to shed. Draining is
+//! one-way: once set, the queue refuses new work and [`FairQueue::pop_until`]
+//! reports [`PopResult::Drained`] when it runs empty, which is the
+//! batcher's signal to exit with zero accepted-but-unanswered requests.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of one bounded-wait pop.
+#[derive(Debug)]
+pub(crate) enum PopResult<T> {
+    /// An item, taken round-robin across clients.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is draining and empty: no item will ever arrive again.
+    Drained,
+}
+
+struct QueueState<T> {
+    /// Ring of (client id, that client's FIFO). Entries exist only while
+    /// non-empty, so the front always has an item when `len > 0`.
+    clients: VecDeque<(u64, VecDeque<T>)>,
+    len: usize,
+    draining: bool,
+}
+
+/// A bounded multi-producer queue with per-client round-robin fairness.
+pub(crate) struct FairQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+impl<T> FairQueue<T> {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { clients: VecDeque::new(), len: 0, draining: false }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().expect("serve queue poisoned")
+    }
+
+    /// Admits one item for `client`, or hands it back when the queue is
+    /// full or draining (the caller sheds it).
+    pub(crate) fn push(&self, client: u64, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        if state.draining || state.len >= self.cap {
+            return Err(item);
+        }
+        state.len += 1;
+        match state.clients.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, ring)) => ring.push_back(item),
+            None => {
+                let mut ring = VecDeque::new();
+                ring.push_back(item);
+                state.clients.push_back((client, ring));
+            }
+        }
+        noodle_telemetry::gauge_set("serve.queue_depth", state.len as f64);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Waits until an item is available (round-robin across clients), the
+    /// deadline passes, or the queue drains empty.
+    pub(crate) fn pop_until(&self, deadline: Instant) -> PopResult<T> {
+        let mut state = self.lock();
+        loop {
+            if state.len > 0 {
+                let (client, mut ring) =
+                    state.clients.pop_front().expect("len > 0 implies a client entry");
+                let item = ring.pop_front().expect("client entries are non-empty");
+                if !ring.is_empty() {
+                    state.clients.push_back((client, ring));
+                }
+                state.len -= 1;
+                noodle_telemetry::gauge_set("serve.queue_depth", state.len as f64);
+                return PopResult::Item(item);
+            }
+            if state.draining {
+                return PopResult::Drained;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopResult::TimedOut;
+            }
+            let (guard, _) =
+                self.available.wait_timeout(state, deadline - now).expect("serve queue poisoned");
+            state = guard;
+        }
+    }
+
+    /// Flips the queue into draining mode: pushes are refused from now
+    /// on, and pops report [`PopResult::Drained`] once the backlog is
+    /// flushed. Idempotent.
+    pub(crate) fn drain(&self) {
+        self.lock().draining = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pop_now<T>(q: &FairQueue<T>) -> PopResult<T> {
+        q.pop_until(Instant::now())
+    }
+
+    #[test]
+    fn round_robin_interleaves_a_greedy_and_a_slow_client() {
+        let q = FairQueue::new(16);
+        for i in 0..6 {
+            q.push(1, format!("greedy-{i}")).unwrap();
+        }
+        q.push(2, "slow-0".to_string()).unwrap();
+        q.push(2, "slow-1".to_string()).unwrap();
+        let mut order = Vec::new();
+        while let PopResult::Item(item) = pop_now(&q) {
+            order.push(item);
+        }
+        // Client 2's first request is served right after client 1's first,
+        // despite client 1 having queued six ahead of it; per-client FIFO
+        // order is preserved.
+        assert_eq!(
+            order,
+            vec![
+                "greedy-0", "slow-0", "greedy-1", "slow-1", "greedy-2", "greedy-3", "greedy-4",
+                "greedy-5"
+            ]
+        );
+    }
+
+    #[test]
+    fn pushes_beyond_cap_are_refused() {
+        let q = FairQueue::new(2);
+        q.push(1, 1).unwrap();
+        q.push(2, 2).unwrap();
+        assert_eq!(q.push(1, 3), Err(3));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_flushes_the_backlog() {
+        let q = FairQueue::new(8);
+        q.push(1, "queued").unwrap();
+        q.drain();
+        assert_eq!(q.push(1, "late"), Err("late"));
+        assert!(matches!(pop_now(&q), PopResult::Item(i) if i == "queued"));
+        assert!(matches!(pop_now(&q), PopResult::Drained));
+    }
+
+    #[test]
+    fn pop_waits_for_a_push_across_threads() {
+        let q = std::sync::Arc::new(FairQueue::new(4));
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(9, 42u32).unwrap();
+            })
+        };
+        let got = q.pop_until(Instant::now() + Duration::from_secs(5));
+        producer.join().unwrap();
+        assert!(matches!(got, PopResult::Item(42)));
+
+        // And an empty queue times out rather than hanging.
+        let got = q.pop_until(Instant::now() + Duration::from_millis(10));
+        assert!(matches!(got, PopResult::TimedOut));
+    }
+}

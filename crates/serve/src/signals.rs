@@ -1,0 +1,114 @@
+//! Minimal signal plumbing for the daemon and the CLI linger path.
+//!
+//! Handlers only set atomics (the only thing that is async-signal-safe);
+//! the serve loop and the interruptible linger sleep poll them. This is
+//! the one place in the workspace that needs `unsafe` (the raw
+//! `signal(2)` registration), which is why it lives in this crate and
+//! not in `noodle-export`/`noodle-observe` (both `forbid(unsafe_code)`).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Once;
+
+static RELOAD: AtomicBool = AtomicBool::new(false);
+static SHUTDOWNS: AtomicU64 = AtomicU64::new(0);
+static INSTALL: Once = Once::new();
+
+/// Installs the process signal handlers (idempotent):
+///
+/// - `SIGHUP` → request a model hot-swap (see [`take_reload`]);
+/// - `SIGINT`/`SIGTERM` → request a graceful drain (see
+///   [`shutdown_requested`]); repeated signals increment a counter so
+///   callers can escalate to a hard exit.
+///
+/// On non-Unix targets this is a no-op and the flags only change via
+/// [`request_shutdown`]/[`request_reload`].
+pub fn install() {
+    INSTALL.call_once(|| {
+        #[cfg(unix)]
+        unix::install();
+    });
+}
+
+/// Consumes a pending reload request, if any.
+pub fn take_reload() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
+}
+
+/// Whether at least one shutdown signal (or [`request_shutdown`]) has
+/// arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWNS.load(Ordering::SeqCst) > 0
+}
+
+/// How many shutdown requests have arrived; ≥2 means the operator is
+/// insisting and callers should exit hard rather than finish draining.
+pub fn shutdown_count() -> u64 {
+    SHUTDOWNS.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of `SIGINT` (used by tests and non-Unix
+/// builds).
+pub fn request_shutdown() {
+    SHUTDOWNS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Programmatic equivalent of `SIGHUP`.
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::os::raw::{c_int, c_long};
+    use std::sync::atomic::Ordering;
+
+    const SIGHUP: c_int = 1;
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`: `sighandler_t` is pointer-sized, declared as
+        /// `c_long` here to avoid a libc dependency.
+        fn signal(signum: c_int, handler: c_long) -> c_long;
+    }
+
+    extern "C" fn on_hup(_: c_int) {
+        super::RELOAD.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_term(_: c_int) {
+        super::SHUTDOWNS.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: the handlers only perform atomic stores, which are
+        // async-signal-safe; `signal` itself is safe to call with a valid
+        // function pointer.
+        unsafe {
+            signal(SIGHUP, on_hup as usize as c_long);
+            signal(SIGINT, on_term as usize as c_long);
+            signal(SIGTERM, on_term as usize as c_long);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_flags_round_trip() {
+        install();
+        assert!(!take_reload());
+        request_reload();
+        assert!(take_reload());
+        assert!(!take_reload(), "reload requests are consumed");
+
+        let before = shutdown_count();
+        request_shutdown();
+        assert!(shutdown_requested());
+        assert_eq!(shutdown_count(), before + 1);
+    }
+}

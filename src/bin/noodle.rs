@@ -7,6 +7,9 @@
 //! noodle detect <model.json> <file.v>... [--audit <log>]   classify Verilog files
 //!               [--batch N] [--cache-dir <dir>]            (batched engine + feature cache)
 //!               [--audit-rotate-bytes N] [--audit-keep K]  (size-rotated audit segments)
+//! noodle serve <model.json> [--addr H:P] [--batch N]       long-running detection daemon
+//!               [--batch-deadline-ms MS] [--queue-cap N]   (JSONL over TCP; SIGHUP or
+//!               [--max-clients N] [--slo-p99-ms MS]        POST /reload hot-swaps the model)
 //! noodle observe <audit.jsonl> [--out <report.json>]       replay an audit log through monitors
 //!               [--follow [--poll-ms MS] [--idle-exit-ms MS]]  tail a growing log live
 //! noodle profile <trace.json>                              render a recorded trace's summary
@@ -46,12 +49,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use noodle::bench_gen::{corpus_stats, generate_corpus, CorpusConfig, CorpusStats};
+use noodle::export::AdminFn;
 use noodle::export::ExportServer;
 use noodle::observe::{
     parse_audit_log, replay, AuditLine, AuditSink, JsonlAudit, LogFollower, MonitorConfig,
-    MonitorReport, RotatingJsonlAudit, StreamingMonitors, TeeAudit,
+    MonitorReport, RotatingJsonlAudit, SloConfig, StreamingMonitors, TeeAudit,
 };
 use noodle::profile;
+use noodle::serve::{signals, ModelLoader, ServeConfig, ServeController, ServeEngine};
 use noodle::telemetry::{self, CorpusSummary, EvaluationSummary, RunContext, RunReport};
 use noodle::{
     extract_modalities, DetectRequest, FeatureCache, FusionStrategy, MultimodalDataset,
@@ -71,6 +76,7 @@ fn main() -> ExitCode {
         Some("gen-corpus") => cmd_gen_corpus(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("observe") => cmd_observe(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -107,6 +113,9 @@ fn print_usage() {
          noodle detect <model.json> <file.v>... [--audit <log.jsonl>]\n         \
          [--batch N] [--cache-dir <dir>] [--quantize]\n         \
          [--audit-rotate-bytes N] [--audit-keep K]\n  \
+         noodle serve <model.json> [--addr H:P] [--batch N] [--batch-deadline-ms MS]\n         \
+         [--queue-cap N] [--max-clients N] [--quantize] [--slo-p99-ms MS]\n         \
+         [--audit <log.jsonl>] [--audit-rotate-bytes N] [--audit-keep K]\n  \
          noodle observe <audit.jsonl> [--epsilon E] [--window N] [--out <report.json>]\n         \
          [--follow [--poll-ms MS] [--idle-exit-ms MS]]\n  \
          noodle profile <trace.json>\n  \
@@ -140,6 +149,19 @@ fn print_usage() {
          quantized twins (i32 accumulation, dequantize at activation); the\n\
          model must have been trained by a build that emits the quantized\n\
          section, and the audit header records quantized=true.\n\n\
+         `serve` runs a long-lived daemon: clients connect over TCP and send one\n\
+         JSON request per line ({{\"design\":...,\"source\":...,[\"id\":N]}}), answered\n\
+         with one JSON verdict/shed/error line each. Submissions from all\n\
+         clients share a bounded fair queue (--queue-cap, round-robin across\n\
+         connections) feeding the micro-batcher: a batch closes at --batch\n\
+         items or --batch-deadline-ms after its first item. Overload sheds\n\
+         429-style with a retry hint instead of queueing unboundedly. With\n\
+         --observe-addr the same process serves /metrics,/monitor,/healthz plus\n\
+         POST /reload (hot-swap the model file without dropping in-flight\n\
+         requests; SIGHUP works too) and POST /drain (answer everything\n\
+         accepted, then exit — SIGINT/SIGTERM work too). --slo-p99-ms sets the\n\
+         p99 end-to-end latency target the SLO monitors alert on (and /healthz\n\
+         flips to 503, dumping a flight bundle naming the slow trace ids).\n\n\
          `detect --audit` appends one JSON prediction record per file (plus a\n\
          header with the model's calibration baseline); `observe` replays such\n\
          a log through the coverage/Brier/drift monitor suite, and `observe\n\
@@ -274,6 +296,10 @@ struct Observability {
     /// `--observe-linger-ms`: how long to keep the exposition server up
     /// after the command finishes, so scripts can scrape `/debug/*`.
     linger_ms: u64,
+    /// Set by [`Observability::finish`]: the command ran to completion.
+    /// Error paths never call `finish`, so they skip the linger — a failed
+    /// run should exit promptly, not hold its scrape window open.
+    completed: std::cell::Cell<bool>,
     /// Keeps the exposition server alive for the duration of the command;
     /// never read, only dropped — dropping joins the accept thread.
     _export: Option<ExportServer>,
@@ -283,12 +309,27 @@ impl Drop for Observability {
     fn drop(&mut self) {
         // The linger runs in Drop (not `finish`) so the server outlives
         // every late write path; fields drop after this body, so the
-        // accept thread is still serving while we sleep.
-        if self.linger_ms > 0 && self._export.is_some() {
+        // accept thread is still serving while we sleep. The sleep happens
+        // in small slices polling the shutdown flag, so a ctrl-c cuts the
+        // window short instead of being ignored for the full duration.
+        if self.linger_ms > 0 && self._export.is_some() && self.completed.get() {
             if !self.quiet {
-                eprintln!("lingering {} ms before shutting down observability", self.linger_ms);
+                eprintln!(
+                    "lingering {} ms before shutting down observability (ctrl-c to cut short)",
+                    self.linger_ms
+                );
             }
-            std::thread::sleep(std::time::Duration::from_millis(self.linger_ms));
+            signals::install();
+            let interrupts_before = signals::shutdown_count();
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_millis(self.linger_ms);
+            loop {
+                let now = std::time::Instant::now();
+                if now >= deadline || signals::shutdown_count() > interrupts_before {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(std::time::Duration::from_millis(50)));
+            }
         }
     }
 }
@@ -314,6 +355,16 @@ fn set_compute_gauges() {
 
 impl Observability {
     fn from_flags(flags: &[(&str, &str)]) -> Result<Self, CliError> {
+        Self::from_flags_with_admin(flags, None)
+    }
+
+    /// Like [`Observability::from_flags`], additionally wiring an admin
+    /// hook into the exposition server (the serve daemon answers
+    /// `POST /reload` and `POST /drain` on the metrics port this way).
+    fn from_flags_with_admin(
+        flags: &[(&str, &str)],
+        admin: Option<AdminFn>,
+    ) -> Result<Self, CliError> {
         if let Some(threads) = flag_value(flags, "threads") {
             let n: usize = threads.parse().map_err(|_| {
                 CliError::msg(format!("--threads expects a positive number, got `{threads}`"))
@@ -376,10 +427,11 @@ impl Observability {
                 // Degrading to Alert dumps a flight bundle (recent ring
                 // events + metrics + monitor verdicts) under results/.
                 noodle::observe::install_alert_dump(&monitors, Path::new("results"));
-                let server = ExportServer::start(
+                let server = ExportServer::start_with_admin(
                     &addr,
                     monitors.clone(),
                     Some(Box::new(set_compute_gauges)),
+                    admin,
                 )
                 .map_err(|e| CliError::msg(format!("cannot bind --observe-addr {addr}: {e}")))?;
                 // Always announced (port 0 resolves to an ephemeral port
@@ -397,6 +449,7 @@ impl Observability {
             monitors,
             observe_addr: bound_addr,
             linger_ms,
+            completed: std::cell::Cell::new(false),
             _export: export,
         })
     }
@@ -410,6 +463,7 @@ impl Observability {
         corpus: Option<CorpusSummary>,
         evaluation: Option<EvaluationSummary>,
     ) -> Result<(), CliError> {
+        self.completed.set(true);
         // Drain the profiler first: it folds per-kernel timings into
         // telemetry histograms that the snapshot below must include.
         let profile_summary = self.write_profile()?;
@@ -693,7 +747,7 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         .zip(&sources)
         .map(|(file, source)| {
             let stem = Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or(file);
-            DetectRequest { design: stem, source, label: label_from_stem(stem) }
+            DetectRequest { design: stem, source, label: label_from_stem(stem), trace: None }
         })
         .collect();
     let verdicts = detector
@@ -747,6 +801,171 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         }
     }
     observability.finish("detect", None, None, None)
+}
+
+/// Loads (and optionally quantizes) a detector from a model file; used
+/// both at `serve` startup and for every hot swap, so a reload sees
+/// exactly what a restart would.
+fn load_detector(model_path: &str, quantize: bool) -> Result<NoodleDetector, String> {
+    let json =
+        fs::read_to_string(model_path).map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let mut detector = NoodleDetector::from_json(&json)
+        .map_err(|e| format!("{model_path} is not a valid model: {e}"))?;
+    if quantize {
+        detector
+            .set_quantized(true)
+            .map_err(|e| format!("{model_path} cannot serve quantized: {e}"))?;
+    }
+    Ok(detector)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let (positional, flags) = parse_flags(args)?;
+    // The request-plane control surface exists before the engine so the
+    // observability server's admin hook can steer it from day one.
+    let ctl = ServeController::new();
+    let admin: AdminFn = {
+        let ctl = ctl.clone();
+        Box::new(move |method, path, _body| match (method, path) {
+            ("POST", "/reload") => {
+                ctl.request_reload();
+                Some((202, "{\"status\":\"reload requested\"}\n".to_string()))
+            }
+            ("POST", "/drain") => {
+                ctl.request_drain();
+                Some((200, "{\"status\":\"draining\"}\n".to_string()))
+            }
+            _ => None,
+        })
+    };
+    let observability = Observability::from_flags_with_admin(&flags, Some(admin))?;
+    // The daemon's lifecycle histograms and gauges must flow regardless of
+    // --trace/--report/--observe-addr.
+    telemetry::set_enabled(true);
+    let [model_path] = positional.as_slice() else {
+        return Err(CliError::msg(
+            "usage: noodle serve <model.json> [--addr H:P] [--batch N] \
+             [--batch-deadline-ms MS] [--queue-cap N] [--max-clients N] [--quantize] \
+             [--slo-p99-ms MS] [--audit <log.jsonl>]",
+        ));
+    };
+    let addr = flag_value(&flags, "addr").unwrap_or("127.0.0.1:0").to_string();
+    let batch: usize = parse_num(&flags, "batch", 32)?;
+    if batch == 0 {
+        return Err(CliError::msg("--batch expects a positive number, got `0`"));
+    }
+    let batch_deadline_ms: u64 = parse_num(&flags, "batch-deadline-ms", 25)?;
+    let queue_cap: usize = parse_num(&flags, "queue-cap", 256)?;
+    if queue_cap == 0 {
+        return Err(CliError::msg("--queue-cap expects a positive number, got `0`"));
+    }
+    let max_clients: usize = parse_num(&flags, "max-clients", 64)?;
+    let slo_p99_ms: f64 = parse_num(&flags, "slo-p99-ms", 250.0)?;
+    let quantize = flag_value(&flags, "quantize").is_some();
+    let audit_path = flag_value(&flags, "audit").map(PathBuf::from);
+    let audit_rotate_bytes: u64 = parse_num(&flags, "audit-rotate-bytes", 0)?;
+    let audit_keep: usize = parse_num(&flags, "audit-keep", 8)?;
+
+    // Serving SLOs ride on the streaming-monitor engine: with
+    // --observe-addr they share the exposition server's (so /healthz and
+    // /monitor reflect them); without it a private engine still drives the
+    // alert-triggered flight dumps.
+    let monitors = match &observability.monitors {
+        Some(monitors) => monitors.clone(),
+        None => {
+            let monitors = StreamingMonitors::new(MonitorConfig::default());
+            noodle::observe::install_alert_dump(&monitors, Path::new("results"));
+            monitors
+        }
+    };
+    monitors.set_slo(SloConfig { p99_target_us: slo_p99_ms * 1000.0, ..SloConfig::default() });
+
+    let detector = load_detector(model_path, quantize).map_err(CliError::msg)?;
+    let loader: ModelLoader = {
+        let model_path = model_path.to_string();
+        Box::new(move || load_detector(&model_path, quantize))
+    };
+    let file_sink: Option<Box<dyn AuditSink>> = match &audit_path {
+        None => None,
+        Some(path) => {
+            let cannot =
+                |e| CliError::msg(format!("cannot create audit log {}: {e}", path.display()));
+            Some(if audit_rotate_bytes > 0 {
+                Box::new(
+                    RotatingJsonlAudit::create(path, audit_rotate_bytes, audit_keep)
+                        .map_err(cannot)?,
+                ) as Box<dyn AuditSink>
+            } else {
+                Box::new(JsonlAudit::create(path).map_err(cannot)?)
+            })
+        }
+    };
+    let live_sink: Box<dyn AuditSink> = Box::new(monitors.clone());
+    let sink: Box<dyn AuditSink> = match file_sink {
+        Some(file) => Box::new(TeeAudit::new(vec![file, live_sink])),
+        None => live_sink,
+    };
+
+    let config = ServeConfig {
+        addr,
+        batch,
+        batch_deadline: std::time::Duration::from_millis(batch_deadline_ms),
+        queue_cap,
+        max_clients,
+        ..ServeConfig::default()
+    };
+    signals::install();
+    let root = telemetry::span!("serve", batch = batch, queue_cap = queue_cap);
+    let engine = ServeEngine::start(
+        detector,
+        Some(loader),
+        Some(sink),
+        Some(monitors.clone()),
+        config,
+        ctl.clone(),
+    )
+    .map_err(|e| CliError::msg(format!("cannot start the serve daemon: {e}")))?;
+    // Always announced (port 0 resolves to an ephemeral port the caller
+    // cannot know otherwise); scripts parse this line.
+    eprintln!("serving detection requests at {}", engine.addr());
+    if let Some(path) = &audit_path {
+        if !observability.quiet {
+            eprintln!("audit log streaming to {}", path.display());
+        }
+    }
+
+    loop {
+        if signals::take_reload() {
+            if !observability.quiet {
+                eprintln!("SIGHUP: model reload requested");
+            }
+            ctl.request_reload();
+        }
+        if signals::shutdown_count() >= 2 {
+            eprintln!("second shutdown signal: exiting without finishing the drain");
+            std::process::exit(130);
+        }
+        if signals::shutdown_requested() && !ctl.draining() {
+            if !observability.quiet {
+                eprintln!("shutdown signal: draining (send again to exit immediately)");
+            }
+            ctl.request_drain();
+        }
+        if ctl.finished() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    engine.join();
+    let stats = ctl.stats();
+    if !observability.quiet {
+        eprintln!(
+            "drained: {} served, {} shed, {} errors, {} reloads",
+            stats.served, stats.shed, stats.errors, stats.reloads
+        );
+    }
+    drop(root);
+    observability.finish("serve", None, None, None)
 }
 
 fn cmd_observe(args: &[String]) -> Result<(), CliError> {

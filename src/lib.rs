@@ -19,6 +19,7 @@
 //! | [`observe`] | `noodle-observe` | prediction audit logs, coverage/drift monitors |
 //! | [`export`] | `noodle-export` | live /metrics, /monitor and /healthz exposition server |
 //! | [`core`] | `noodle-core` | the end-to-end NOODLE detector |
+//! | [`serve`] | `noodle-serve` | long-running JSONL-over-TCP detection daemon |
 //!
 //! The most-used types are also re-exported at the crate root.
 //!
@@ -54,6 +55,7 @@ pub use noodle_metrics as metrics;
 pub use noodle_nn as nn;
 pub use noodle_observe as observe;
 pub use noodle_profile as profile;
+pub use noodle_serve as serve;
 pub use noodle_tabular as tabular;
 pub use noodle_telemetry as telemetry;
 pub use noodle_verilog as verilog;
@@ -71,4 +73,5 @@ pub use noodle_observe::{
     AuditSink, Health, JsonlAudit, MonitorConfig, MonitorReport, MonitorSuite, PredictionRecord,
     RotatingJsonlAudit, StreamingMonitors,
 };
+pub use noodle_serve::{ServeConfig, ServeController, ServeEngine, ServeRequest, ServeResponse};
 pub use noodle_telemetry::{RunReport, TelemetrySnapshot};

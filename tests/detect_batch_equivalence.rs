@@ -54,6 +54,7 @@ fn run(
                     design: &b.name,
                     source: &b.source,
                     label: Some(b.label.index()),
+                    trace: None,
                 })
                 .collect();
             det.detect_batch(&requests, batch, None).unwrap()

@@ -1,0 +1,423 @@
+//! Integration tests for the `noodle serve` daemon: concurrent clients
+//! over real TCP get verdicts byte-identical to the one-shot `detect`
+//! path, graceful drain answers every accepted request, and an induced
+//! SLO breach takes the full incident path (Alert health + exactly one
+//! flight-bundle dump naming the slow trace ids).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use noodle::observe::{
+    install_alert_dump, FlightBundle, Health, MemoryAudit, MonitorConfig, PredictionRecord,
+    SloConfig, StreamingMonitors,
+};
+use noodle::{
+    generate_corpus, Benchmark, CorpusConfig, Detection, MultimodalDataset, NoodleConfig,
+    NoodleDetector, ServeConfig, ServeController, ServeEngine,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fits once per process and hands out the serialized model; every test
+/// restores a fresh detector from it, so audit sequence numbers restart.
+fn fitted_json() -> &'static str {
+    static FITTED: OnceLock<String> = OnceLock::new();
+    FITTED.get_or_init(|| {
+        let corpus =
+            generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 7, seed: 11 });
+        let dataset = MultimodalDataset::from_benchmarks(&corpus).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let detector = NoodleDetector::fit(&dataset, &NoodleConfig::fast(), &mut rng).unwrap();
+        detector.to_json().unwrap()
+    })
+}
+
+/// One submission line (no trailing newline; `writeln!` adds it).
+fn request(id: u64, bench: &Benchmark) -> String {
+    serde_json::json!({
+        "design": bench.name,
+        "source": bench.source,
+        "label": bench.label.index(),
+        "id": id,
+    })
+    .to_string()
+}
+
+/// Reads one response line, panicking on EOF or timeout (a hung or
+/// prematurely closed daemon is exactly what these tests must catch).
+fn read_response(reader: &mut BufReader<TcpStream>) -> serde_json::Value {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("daemon answers within the read timeout");
+    assert!(!line.is_empty(), "daemon closed the connection with a response outstanding");
+    serde_json::from_str(&line).expect("daemon speaks JSONL")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("daemon accepts connections");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let writer = stream.try_clone().unwrap();
+    (writer, BufReader::new(stream))
+}
+
+/// Strips the fields that legitimately differ between serving modes
+/// (timing, batch geometry, emission order, the minted trace id) so the
+/// remaining bytes must match exactly.
+fn canonical(mut r: PredictionRecord) -> String {
+    r.seq = 0;
+    r.latency_us = 0.0;
+    r.batch_latency_us = 0.0;
+    r.batch_size = 0;
+    r.trace_id = String::new();
+    serde_json::to_string(&r).unwrap()
+}
+
+/// Eight concurrent clients — four greedy (flood their whole share, then
+/// collect) and four paced — must each get verdicts byte-identical to the
+/// sequential one-shot `detect` path, and the audit log must join the
+/// responses by trace id.
+#[test]
+fn eight_concurrent_clients_match_one_shot_verdicts() {
+    let json = fitted_json();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 14, trojan_infected: 10, seed: 77 });
+
+    // Reference: the sequential one-shot path with its own audit sink.
+    let mut reference = NoodleDetector::from_json(json).unwrap();
+    let ref_sink = MemoryAudit::new();
+    reference.set_audit_sink(Box::new(ref_sink.clone()));
+    let ref_detections: Vec<Detection> = probe
+        .iter()
+        .map(|b| reference.detect_named(&b.name, &b.source, Some(b.label.index())).unwrap())
+        .collect();
+
+    let serve_sink = MemoryAudit::new();
+    let ctl = ServeController::new();
+    let engine = ServeEngine::start(
+        NoodleDetector::from_json(json).unwrap(),
+        None,
+        Some(Box::new(serve_sink.clone())),
+        None,
+        ServeConfig {
+            batch: 8,
+            batch_deadline: Duration::from_millis(5),
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+        ctl.clone(),
+    )
+    .unwrap();
+    let addr = engine.addr();
+
+    let verdicts: Vec<serde_json::Value> = std::thread::scope(|scope| {
+        let probe = &probe;
+        let handles: Vec<_> = (0..8)
+            .map(|c| {
+                scope.spawn(move || {
+                    let share: Vec<_> = probe.iter().skip(c).step_by(8).collect();
+                    let (mut writer, mut reader) = connect(addr);
+                    let mut out = Vec::new();
+                    if c % 2 == 0 {
+                        // Greedy: every request on the wire before the
+                        // first read — the fair queue interleaves anyway.
+                        for (i, b) in share.iter().enumerate() {
+                            writeln!(writer, "{}", request(i as u64, b)).unwrap();
+                        }
+                        for _ in 0..share.len() {
+                            out.push(read_response(&mut reader));
+                        }
+                    } else {
+                        for (i, b) in share.iter().enumerate() {
+                            writeln!(writer, "{}", request(i as u64, b)).unwrap();
+                            out.push(read_response(&mut reader));
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread panicked")).collect()
+    });
+
+    engine.join();
+    assert!(ctl.finished());
+    let stats = ctl.stats();
+    assert_eq!(stats.served, probe.len() as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.inflight, 0);
+
+    // Every served verdict matches the one-shot detection exactly — f64s
+    // round-trip through JSONL losslessly, so `==` is byte-identity.
+    let expected: HashMap<&str, &Detection> =
+        probe.iter().zip(&ref_detections).map(|(b, d)| (b.name.as_str(), d)).collect();
+    assert_eq!(verdicts.len(), probe.len());
+    let mut trace_by_design: HashMap<String, String> = HashMap::new();
+    for v in &verdicts {
+        assert_eq!(v["type"], "verdict", "{v}");
+        let design = v["design"].as_str().unwrap();
+        let d = expected[design];
+        assert_eq!(v["infected"].as_bool().unwrap(), d.infected, "{design}");
+        assert_eq!(v["probability_infected"].as_f64().unwrap(), d.probability_infected, "{design}");
+        let p = d.prediction.p_values();
+        assert_eq!(v["p_values"][0].as_f64().unwrap(), p[0], "{design}");
+        assert_eq!(v["p_values"][1].as_f64().unwrap(), p[1], "{design}");
+        assert_eq!(v["credibility"].as_f64().unwrap(), d.credibility, "{design}");
+        assert_eq!(v["confidence"].as_f64().unwrap(), d.confidence, "{design}");
+        assert_eq!(v["uncertain"].as_bool().unwrap(), d.uncertain, "{design}");
+        let region: Vec<usize> =
+            v["region"].as_array().unwrap().iter().map(|x| x.as_u64().unwrap() as usize).collect();
+        assert_eq!(region, d.region, "{design}");
+        let trace_id = v["trace_id"].as_str().unwrap();
+        assert_eq!(trace_id.len(), 16, "{v}");
+        trace_by_design.insert(design.to_string(), trace_id.to_string());
+    }
+
+    // The daemon's audit header carries its serving provenance...
+    let header = serve_sink.header().expect("serve audit emits a header");
+    let serve = header.serve.expect("served logs carry the serve block");
+    assert_eq!(serve.batch_deadline_ms, 5);
+    assert_eq!(serve.queue_cap, 64);
+    assert_eq!(serve.addr, addr.to_string());
+    assert!(ref_sink.header().unwrap().serve.is_none(), "one-shot logs have no serve block");
+
+    // ...and its records are canonically identical to the one-shot log,
+    // joined to the client-visible responses by trace id.
+    let serve_records = serve_sink.records();
+    assert_eq!(serve_records.len(), probe.len());
+    for r in &serve_records {
+        assert_eq!(
+            trace_by_design[&r.design], r.trace_id,
+            "audit record and client response disagree on the trace id of {}",
+            r.design
+        );
+    }
+    let mut served: Vec<String> = serve_records.into_iter().map(canonical).collect();
+    let mut one_shot: Vec<String> = ref_sink.records().into_iter().map(canonical).collect();
+    served.sort();
+    one_shot.sort();
+    assert_eq!(served, one_shot, "served audit records diverge from the one-shot path");
+}
+
+/// Draining with a batch still forming must flush the backlog (verdicts
+/// for everything accepted) while shedding new submissions with reason
+/// `"draining"` and a retry hint.
+#[test]
+fn drain_flushes_backlog_and_sheds_new_submissions() {
+    let json = fitted_json();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 2, trojan_infected: 1, seed: 31 });
+    let ctl = ServeController::new();
+    let engine = ServeEngine::start(
+        NoodleDetector::from_json(json).unwrap(),
+        None,
+        None,
+        None,
+        // A long formation deadline parks the batcher waiting for more
+        // work, so the drain demonstrably cuts formation short.
+        ServeConfig {
+            batch: 64,
+            batch_deadline: Duration::from_secs(2),
+            queue_cap: 8,
+            ..ServeConfig::default()
+        },
+        ctl.clone(),
+    )
+    .unwrap();
+
+    let (mut writer, mut reader) = connect(engine.addr());
+    writeln!(writer, "{}", request(0, &probe[0])).unwrap();
+    writeln!(writer, "{}", request(1, &probe[1])).unwrap();
+    // Let both land in the forming batch, then pull the plug and submit a
+    // third request the admission gate must refuse.
+    std::thread::sleep(Duration::from_millis(100));
+    ctl.request_drain();
+    writeln!(writer, "{}", request(2, &probe[2])).unwrap();
+
+    let mut verdicts = Vec::new();
+    let mut sheds = Vec::new();
+    for _ in 0..3 {
+        let v = read_response(&mut reader);
+        match v["type"].as_str().unwrap() {
+            "verdict" => verdicts.push(v),
+            "shed" => sheds.push(v),
+            other => panic!("unexpected response type {other}: {v}"),
+        }
+    }
+    engine.join();
+
+    let mut answered: Vec<u64> = verdicts.iter().map(|v| v["id"].as_u64().unwrap()).collect();
+    answered.sort_unstable();
+    assert_eq!(answered, vec![0, 1], "the accepted backlog must be answered, not dropped");
+    let [shed] = sheds.as_slice() else { panic!("expected exactly one shed, got {sheds:?}") };
+    assert_eq!(shed["id"].as_u64(), Some(2));
+    assert_eq!(shed["reason"], "draining");
+    assert!(shed["retry_after_ms"].as_u64().unwrap() >= 1);
+
+    assert!(ctl.finished());
+    let stats = ctl.stats();
+    assert_eq!((stats.served, stats.shed, stats.errors, stats.inflight), (2, 1, 0, 0));
+}
+
+/// Drain under sustained multi-client load: the daemon may shed, but every
+/// response line pairs with a submission, nothing accepted goes
+/// unanswered, and the engine reports finished with zero in flight.
+#[test]
+fn drain_mid_load_loses_no_accepted_requests() {
+    let json = fitted_json();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 4, trojan_infected: 2, seed: 43 });
+    let ctl = ServeController::new();
+    let engine = ServeEngine::start(
+        NoodleDetector::from_json(json).unwrap(),
+        None,
+        None,
+        None,
+        ServeConfig {
+            batch: 4,
+            batch_deadline: Duration::from_millis(5),
+            queue_cap: 16,
+            ..ServeConfig::default()
+        },
+        ctl.clone(),
+    )
+    .unwrap();
+    let addr = engine.addr();
+
+    // (responses, verdicts) per client; each client bursts four requests,
+    // reads four responses, and stops once it observes the drain (a
+    // draining shed, or the daemon closing after completion).
+    let tallies: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let probe = &probe;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut writer, mut reader) = connect(addr);
+                    let (mut sent, mut responses, mut verdicts) = (0u64, 0usize, 0usize);
+                    let mut saw_drain = false;
+                    'bursts: while !saw_drain {
+                        assert!(sent < 40_000, "drain never reached this client");
+                        for _ in 0..4 {
+                            let b = &probe[sent as usize % probe.len()];
+                            if writeln!(writer, "{}", request(sent, b)).is_err() {
+                                break 'bursts;
+                            }
+                            sent += 1;
+                        }
+                        for _ in 0..4 {
+                            let mut line = String::new();
+                            match reader.read_line(&mut line) {
+                                // EOF: the engine finished the drain before
+                                // reading our latest submissions — those
+                                // were never accepted, which is fine.
+                                Ok(0) => break 'bursts,
+                                Ok(_) => {}
+                                Err(e) => panic!("daemon hung mid-drain: {e}"),
+                            }
+                            responses += 1;
+                            let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+                            match v["type"].as_str().unwrap() {
+                                "verdict" => verdicts += 1,
+                                "shed" => saw_drain |= v["reason"] == "draining",
+                                other => panic!("unexpected response type {other}: {v}"),
+                            }
+                        }
+                    }
+                    (responses, verdicts)
+                })
+            })
+            .collect();
+
+        // Mid-load: wait until requests are demonstrably in flight, then
+        // drain under the backlog.
+        let gate = Instant::now();
+        while ctl.stats().inflight < 8 {
+            assert!(gate.elapsed() < Duration::from_secs(30), "load never built up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ctl.request_drain();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    engine.join();
+
+    assert!(ctl.finished());
+    let stats = ctl.stats();
+    assert_eq!(stats.inflight, 0, "an accepted request went unanswered: {stats:?}");
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    let responses: usize = tallies.iter().map(|t| t.0).sum();
+    let verdicts: usize = tallies.iter().map(|t| t.1).sum();
+    assert!(verdicts > 0, "the daemon served nothing before the drain");
+    assert_eq!(stats.served as usize, verdicts, "{stats:?}");
+    assert_eq!(
+        (stats.served + stats.shed) as usize,
+        responses,
+        "every line the daemon read must be answered exactly once: {stats:?}"
+    );
+}
+
+/// An induced latency-SLO breach must flip the monitors to Alert, name
+/// the slow trace ids in the evidence, and dump exactly one flight bundle.
+#[test]
+fn slo_breach_alerts_and_dumps_exactly_one_flight_bundle() {
+    let json = fitted_json();
+    let probe = generate_corpus(&CorpusConfig { trojan_free: 4, trojan_infected: 2, seed: 59 });
+    let monitors = StreamingMonitors::new(MonitorConfig::default());
+    // A 1µs end-to-end target no real request can meet: every served
+    // request lands over 2x target, so the rolling p99 trips Alert as
+    // soon as the window has enough samples.
+    monitors.set_slo(SloConfig { p99_target_us: 1.0, min_samples: 5, ..SloConfig::default() });
+    let dump_dir = std::env::temp_dir().join(format!("noodle-serve-slo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    install_alert_dump(&monitors, &dump_dir);
+
+    let ctl = ServeController::new();
+    let engine = ServeEngine::start(
+        NoodleDetector::from_json(json).unwrap(),
+        None,
+        None,
+        Some(monitors.clone()),
+        ServeConfig {
+            batch: 4,
+            batch_deadline: Duration::from_millis(5),
+            queue_cap: 16,
+            ..ServeConfig::default()
+        },
+        ctl.clone(),
+    )
+    .unwrap();
+
+    let (mut writer, mut reader) = connect(engine.addr());
+    let mut trace_ids = Vec::new();
+    for id in 0..12u64 {
+        writeln!(writer, "{}", request(id, &probe[id as usize % probe.len()])).unwrap();
+        let v = read_response(&mut reader);
+        assert_eq!(v["type"], "verdict", "{v}");
+        trace_ids.push(v["trace_id"].as_str().unwrap().to_string());
+    }
+    engine.join();
+
+    assert_eq!(monitors.overall(), Health::Alert, "a blown latency SLO must surface as Alert");
+    let statuses = monitors.statuses();
+    let latency = statuses.iter().find(|s| s.monitor == "serve.latency_p99").unwrap();
+    assert_eq!(latency.health, Health::Alert, "{}", latency.evidence);
+    assert!(
+        trace_ids.iter().any(|id| latency.evidence.contains(id.as_str())),
+        "the alert evidence must name trace ids the clients actually saw: {}",
+        latency.evidence
+    );
+
+    let bundles: Vec<_> = std::fs::read_dir(&dump_dir)
+        .expect("the alert transition creates the dump directory")
+        .map(|e| e.unwrap().path())
+        .collect();
+    let [path] = bundles.as_slice() else {
+        panic!("expected exactly one flight bundle per alert transition, got {bundles:?}");
+    };
+    assert!(path.file_name().unwrap().to_str().unwrap().starts_with("flight-"));
+    let bundle = FlightBundle::from_json(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(bundle.reason, "alert");
+    let slo_verdict =
+        bundle.monitor.monitors.iter().find(|s| s.monitor == "serve.latency_p99").unwrap();
+    assert_eq!(slo_verdict.health, Health::Alert);
+    std::fs::remove_dir_all(&dump_dir).unwrap();
+}
